@@ -1,0 +1,37 @@
+//! Ablation: diversification (Algorithm 1's escape mechanism).
+//!
+//! With `g1 = g2 = g3 = 0` the perturbation becomes a no-op re-roll of
+//! zero links (the stall counter still resets), so the search can sit in
+//! a local optimum for the whole budget. The printed objective contrast
+//! quantifies what diversification buys; the timed runs show its cost is
+//! negligible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtr_core::{DtrSearch, Objective, SearchParams};
+use dtr_experiments::paper_random;
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_diversify(c: &mut Criterion) {
+    let topo = paper_random(1);
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+
+    let mut g = c.benchmark_group("ablation_diversify");
+    g.sample_size(10);
+    for (label, gs) in [("paper_g", (0.05, 0.05, 0.03)), ("no_diversification", (0.0, 0.0, 0.0))] {
+        let mut params = SearchParams::tiny();
+        (params.g1, params.g2, params.g3) = gs;
+        let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        println!(
+            "[ablation_diversify] {label}: cost=⟨{:.1}, {:.1}⟩, diversifications={}",
+            res.best_cost.primary, res.best_cost.secondary, res.trace.diversifications
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(label), &params, |b, p| {
+            b.iter(|| black_box(DtrSearch::new(&topo, &demands, Objective::LoadBased, *p).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diversify);
+criterion_main!(benches);

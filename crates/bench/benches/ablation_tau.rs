@@ -1,0 +1,41 @@
+//! Ablation: the heavy-tail rank exponent τ in Algorithm 2.
+//!
+//! τ → 0 ignores link costs (uniform window choice); τ → ∞ always
+//! perturbs the most extreme links (greedy, prone to exploring a sliver
+//! of the space); the paper picks τ = 1.5. This bench fixes the budget
+//! and measures wall time per setting, and prints the achieved objective
+//! once per setting so quality can be compared across τ (lower is
+//! better).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtr_core::{DtrSearch, Objective, SearchParams};
+use dtr_experiments::paper_random;
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_tau(c: &mut Criterion) {
+    let topo = paper_random(1);
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+
+    let mut g = c.benchmark_group("ablation_tau");
+    g.sample_size(10);
+    for tau in [0.0, 0.75, 1.5, 4.0] {
+        let mut params = SearchParams::tiny();
+        params.tau = tau;
+        let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        println!(
+            "[ablation_tau] tau={tau}: cost=⟨{:.1}, {:.1}⟩, accepted={} of {} evals",
+            res.best_cost.primary,
+            res.best_cost.secondary,
+            res.trace.moves_accepted,
+            res.trace.evaluations
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(tau), &params, |b, p| {
+            b.iter(|| black_box(DtrSearch::new(&topo, &demands, Objective::LoadBased, *p).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tau);
+criterion_main!(benches);

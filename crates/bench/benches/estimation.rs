@@ -1,0 +1,45 @@
+//! Micro-benches for the tomography and robustness machinery:
+//! routing-matrix construction, one MART fit, and one full robust
+//! (all-failure-scenarios) candidate evaluation — the per-iteration
+//! costs that size the estimation and robust-search workflows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::{RobustEvaluator, ScenarioCombine};
+use dtr_experiments::paper_random;
+use dtr_graph::weights::DualWeights;
+use dtr_graph::WeightVector;
+use dtr_routing::{gravity_prior, tomogravity, LoadCalculator, RoutingMatrix, TomoCfg};
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_estimation(c: &mut Criterion) {
+    let topo = paper_random(1);
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+    let w = WeightVector::uniform(&topo, 1);
+
+    c.bench_function("routing_matrix_30n", |b| {
+        b.iter(|| black_box(RoutingMatrix::compute(&topo, &w)))
+    });
+
+    let rm = RoutingMatrix::compute(&topo, &w);
+    let measured = LoadCalculator::new().class_loads(&topo, &w, &demands.high);
+    let out: Vec<f64> = (0..demands.high.len()).map(|s| demands.high.row_total(s)).collect();
+    let in_: Vec<f64> = (0..demands.high.len()).map(|t| demands.high.col_total(t)).collect();
+    let prior = gravity_prior(&out, &in_);
+    c.bench_function("tomogravity_mart_30n", |b| {
+        b.iter(|| black_box(tomogravity(&prior, &rm, &measured, &TomoCfg::default())))
+    });
+
+    let mut robust = RobustEvaluator::new(&topo, &demands, ScenarioCombine::Worst);
+    let dual = DualWeights::replicated(w.clone());
+    println!(
+        "[estimation] robust evaluation covers {} failure scenarios",
+        robust.scenario_count()
+    );
+    c.bench_function("robust_eval_all_failures_30n", |b| {
+        b.iter(|| black_box(robust.eval(&dual)))
+    });
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Evaluator throughput and the incremental-evaluation ablation.
+//!
+//! DESIGN.md §5 calls out the per-class caching design choice: `FindL`
+//! candidates re-route only the low class and reuse the cached high side
+//! (`finish`), versus a naive full re-evaluation (`eval_dual`). The gap
+//! between `full_dual` and `low_only_incremental` is the win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::Objective;
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::WeightVector;
+use dtr_routing::Evaluator;
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_eval(c: &mut Criterion) {
+    let topo = random_topology(&RandomTopologyCfg::default());
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+    let w = DualWeights::replicated(WeightVector::delay_proportional(&topo, 30));
+
+    let mut g = c.benchmark_group("evaluator");
+    for objective in [Objective::LoadBased, Objective::sla_default()] {
+        let name = objective.name();
+        let mut ev = Evaluator::new(&topo, &demands, objective);
+
+        g.bench_function(format!("str/{name}"), |b| {
+            b.iter(|| black_box(ev.eval_str(&w.high)))
+        });
+        g.bench_function(format!("full_dual/{name}"), |b| {
+            b.iter(|| black_box(ev.eval_dual(&w)))
+        });
+
+        // Incremental FindH step: re-route high class only.
+        let low_loads = ev.low_loads(&w.low);
+        g.bench_function(format!("high_only_incremental/{name}"), |b| {
+            b.iter(|| {
+                let high = ev.eval_high_side(&w.high);
+                black_box(ev.finish(high, low_loads.clone()))
+            })
+        });
+
+        // Incremental FindL step: re-route low class only, reuse high side.
+        let high = ev.eval_high_side(&w.high);
+        g.bench_function(format!("low_only_incremental/{name}"), |b| {
+            b.iter(|| {
+                let low = ev.low_loads(&w.low);
+                black_box(ev.finish(high.clone(), low))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end figure regeneration at smoke budget — keeps the whole
+//! experiment pipeline (instance build → sweep → ratios → render) under
+//! benchmark so regressions anywhere in the stack show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::Objective;
+use dtr_experiments::{fig2, fig9, triangle, ExperimentCtx, TopologyKind};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = ExperimentCtx::smoke();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig2_panel_isp_load", |b| {
+        b.iter(|| {
+            black_box(fig2::run_panel(
+                &ctx,
+                TopologyKind::Isp,
+                Objective::LoadBased,
+                &fig2::Fig2Cfg::default(),
+            ))
+        })
+    });
+
+    g.bench_function("fig9_sla_sweep", |b| b.iter(|| black_box(fig9::run(&ctx))));
+
+    g.bench_function("triangle_report", |b| b.iter(|| black_box(triangle::run(&ctx))));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

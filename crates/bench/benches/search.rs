@@ -1,0 +1,47 @@
+//! End-to-end search cost: fixed-budget STR and DTR runs on the paper's
+//! instances. Wall time here × (paper budget / bench budget) estimates a
+//! full-fidelity reproduction run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::{DtrSearch, Objective, SearchParams, StrSearch};
+use dtr_experiments::{paper_isp, paper_random};
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+
+    let topo = paper_random(1);
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+    let params = SearchParams::tiny();
+
+    g.bench_function("str/random30/load", |b| {
+        b.iter(|| {
+            black_box(StrSearch::new(&topo, &demands, Objective::LoadBased, params).run())
+        })
+    });
+    g.bench_function("dtr/random30/load", |b| {
+        b.iter(|| {
+            black_box(DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run())
+        })
+    });
+    g.bench_function("dtr/random30/sla", |b| {
+        b.iter(|| {
+            black_box(DtrSearch::new(&topo, &demands, Objective::sla_default(), params).run())
+        })
+    });
+
+    let isp = paper_isp();
+    let isp_demands = DemandSet::generate(&isp, &TrafficCfg::default()).scaled(3.0);
+    g.bench_function("dtr/isp16/load", |b| {
+        b.iter(|| {
+            black_box(DtrSearch::new(&isp, &isp_demands, Objective::LoadBased, params).run())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

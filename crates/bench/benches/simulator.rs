@@ -1,0 +1,56 @@
+//! Simulator throughput: packet events per second of wall time, and the
+//! cost of simulating one paper instance long enough for stable
+//! queueing statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::WeightVector;
+use dtr_sim::{SimConfig, Simulation};
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    // Small instance: 12 nodes, short horizon.
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 12,
+        directed_links: 48,
+        seed: 2,
+    });
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .scaled(2.0);
+    let w = DualWeights::replicated(WeightVector::delay_proportional(&topo, 30));
+    let cfg = SimConfig {
+        warmup_s: 0.05,
+        duration_s: 0.2,
+        seed: 3,
+        ..Default::default()
+    };
+    g.bench_function("random12_0.25s", |b| {
+        b.iter(|| black_box(Simulation::new(&topo, &demands, &w, cfg).run()))
+    });
+
+    // Larger packets → fewer events for the same offered load: the knob
+    // for coarse, fast simulations.
+    let coarse = SimConfig {
+        mean_packet_bits: 64_000.0,
+        ..cfg
+    };
+    g.bench_function("random12_0.25s_coarse_packets", |b| {
+        b.iter(|| black_box(Simulation::new(&topo, &demands, &w, coarse).run()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Traffic-matrix slicing (related work [6]): low-priority cost versus
+//! number of topologies, with the Frank–Wolfe optimum as the asymptote.
+//! Each extra slice costs one more SPF per destination per evaluation —
+//! wall time quantifies that price.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtr_core::{DtrSearch, Objective, SearchParams, SlicedSearch};
+use dtr_experiments::paper_random;
+use dtr_routing::lower_bound::{dual_lower_bound, FwParams};
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::hint::black_box;
+
+fn bench_slicing(c: &mut Criterion) {
+    let topo = paper_random(1);
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+    let params = SearchParams::tiny();
+    let dtr = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    let bound = dual_lower_bound(&topo, &demands, &FwParams::default());
+    println!(
+        "[slicing] Frank–Wolfe bound: Φ_H {:.1}, Φ_L {:.1}; DTR Φ_L {:.1}",
+        bound.phi_h, bound.phi_l, dtr.eval.phi_l
+    );
+
+    let mut g = c.benchmark_group("slicing");
+    g.sample_size(10);
+    for slices in [1usize, 2, 4, 8] {
+        let r = SlicedSearch::new(&topo, &demands, params, slices, dtr.weights.high.clone())
+            .run();
+        println!(
+            "[slicing] S={slices}: Φ_L = {:.1} ({:.2}× bound)",
+            r.cost.secondary,
+            r.cost.secondary / bound.phi_l
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(slices), &slices, |b, &s| {
+            b.iter(|| {
+                black_box(
+                    SlicedSearch::new(&topo, &demands, params, s, dtr.weights.high.clone())
+                        .run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_slicing);
+criterion_main!(benches);

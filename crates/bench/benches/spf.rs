@@ -1,0 +1,46 @@
+//! SPF throughput: the innermost primitive of the weight search.
+//! One weight evaluation costs |V| reverse-Dijkstra runs, so ns/SPF sets
+//! the ceiling on search iterations per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtr_graph::gen::{isp_topology, power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg};
+use dtr_graph::{NodeId, ShortestPathDag, SpfTree, SpfWorkspace, Topology, WeightVector};
+use std::hint::black_box;
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("random_30n_150l", random_topology(&RandomTopologyCfg::default())),
+        (
+            "powerlaw_30n_162l",
+            power_law_topology(&PowerLawTopologyCfg::default()),
+        ),
+        ("isp_16n_70l", isp_topology()),
+    ]
+}
+
+fn bench_spf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spf");
+    for (name, topo) in topologies() {
+        let w = WeightVector::delay_proportional(&topo, 30);
+        let mut ws = SpfWorkspace::new();
+        g.bench_with_input(BenchmarkId::new("dag_single_dest", name), &topo, |b, t| {
+            b.iter(|| {
+                ShortestPathDag::compute_with(t, &w, NodeId(0), None, &mut ws)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dag_all_dests", name), &topo, |b, t| {
+            b.iter(|| {
+                for dest in t.nodes() {
+                    black_box(ShortestPathDag::compute_with(t, &w, dest, None, &mut ws));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("spf_tree", name), &topo, |b, t| {
+            b.iter(|| SpfTree::compute(t, &w, NodeId(0), None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spf);
+criterion_main!(benches);

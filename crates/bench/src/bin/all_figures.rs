@@ -1,0 +1,83 @@
+//! Runs every figure and table in sequence — the one-shot full
+//! reproduction (`--quick` for a fast smoke pass).
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::*;
+use std::time::Instant;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let t0 = Instant::now();
+
+    println!("=== §3.3.1 triangle ===");
+    emit("triangle", &triangle::table(&triangle::run(&ctx)));
+
+    println!("=== Fig. 2 ===");
+    for panel in fig2::run_all(&ctx, &fig2::Fig2Cfg::default()) {
+        emit(
+            &format!("fig2_{}_{}", panel.topology.name(), panel.objective),
+            &fig2::table(&panel),
+        );
+    }
+
+    println!("=== Fig. 3 ===");
+    for (i, panel) in fig3::run_all(&ctx).into_iter().enumerate() {
+        emit(&format!("fig3_{}", (b'a' + i as u8) as char), &fig3::table(&panel));
+    }
+
+    println!("=== Fig. 4 ===");
+    emit("fig4", &fig4::table(&fig4::run_all(&ctx)));
+
+    println!("=== Fig. 5 ===");
+    emit("fig5", &fig5::table(&fig5::run_all(&ctx)));
+
+    println!("=== Fig. 6 ===");
+    emit("fig6", &fig6::table(&fig6::run_all(&ctx)));
+
+    println!("=== Fig. 7 ===");
+    emit("fig7", &fig7::table(&fig7::run(&ctx)));
+
+    println!("=== Fig. 8 ===");
+    emit("fig8", &fig8::table(&fig8::run_all(&ctx)));
+
+    println!("=== Fig. 9 ===");
+    emit("fig9", &fig9::table(&fig9::run(&ctx)));
+
+    println!("=== Table 1 ===");
+    for block in table1::run(&ctx) {
+        emit(&format!("table1_{}", block.topology.name()), &table1::table(&block));
+    }
+
+    println!("=== Optimality gaps (extension) ===");
+    emit("optimality", &optimality::table(&optimality::run(&ctx)));
+
+    println!("=== Failure robustness (extension) ===");
+    emit("robustness", &robustness::table(&robustness::run(&ctx)));
+
+    println!("=== Traffic-drift robustness (extension) ===");
+    emit("drift", &drift::table(&drift::run(&ctx, 10)));
+
+    println!("=== Failure-aware optimization (extension) ===");
+    emit("robust_opt", &robust_opt::table(&robust_opt::run(&ctx)));
+
+    println!("=== Change-limited reoptimization (extension) ===");
+    emit("reopt", &reopt_exp::table(&reopt_exp::run(&ctx)));
+
+    println!("=== Tomogravity estimation (extension) ===");
+    let study = estimation::run(&ctx);
+    emit("estimation_quality", &estimation::quality_table(&study));
+    emit("estimation_impact", &estimation::impact_table(&study));
+
+    println!("=== Control-plane overhead (extension) ===");
+    emit("overhead", &overhead_exp::table(&overhead_exp::run(&ctx)));
+
+    println!("=== Search-strategy convergence (extension) ===");
+    let curves = convergence::run(&ctx);
+    emit("convergence", &convergence::table(&curves));
+    emit("convergence_curves", &convergence::curves_table(&curves));
+
+    println!("=== k-class MTR (extension) ===");
+    emit("multiclass", &multiclass::table(&multiclass::run(&ctx)));
+
+    println!("total wall time: {:?}", t0.elapsed());
+}

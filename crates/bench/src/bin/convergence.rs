@@ -1,0 +1,12 @@
+//! Extension: convergence of the search strategies (local search,
+//! genetic, memetic, annealing, DTR) at equal evaluation budgets.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::convergence;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let curves = convergence::run(&ctx);
+    emit("convergence", &convergence::table(&curves));
+    emit("convergence_curves", &convergence::curves_table(&curves));
+}

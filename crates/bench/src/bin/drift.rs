@@ -1,0 +1,10 @@
+//! Extension: robustness of frozen weight settings to traffic drift.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::drift;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let points = drift::run(&ctx, 10);
+    emit("drift", &drift::table(&points));
+}

@@ -1,0 +1,12 @@
+//! Extension: tomogravity traffic-matrix estimation (Medina et al. \[23\])
+//! and its impact on weight optimization.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::estimation;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let study = estimation::run(&ctx);
+    emit("estimation_quality", &estimation::quality_table(&study));
+    emit("estimation_impact", &estimation::impact_table(&study));
+}

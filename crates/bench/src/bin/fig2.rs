@@ -1,0 +1,14 @@
+//! Regenerates Fig. 2(a–f): cost ratios vs average link utilization for
+//! three topologies under both objectives.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig2;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let cfg = fig2::Fig2Cfg::default();
+    for panel in fig2::run_all(&ctx, &cfg) {
+        let name = format!("fig2_{}_{}", panel.topology.name(), panel.objective);
+        emit(&name, &fig2::table(&panel));
+    }
+}

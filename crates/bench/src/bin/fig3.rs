@@ -1,0 +1,12 @@
+//! Regenerates Fig. 3(a–c): link-utilization histograms, STR vs DTR.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig3;
+
+fn main() {
+    let ctx = ctx_from_args();
+    for (i, panel) in fig3::run_all(&ctx).into_iter().enumerate() {
+        let name = format!("fig3_{}", (b'a' + i as u8) as char);
+        emit(&name, &fig3::table(&panel));
+    }
+}

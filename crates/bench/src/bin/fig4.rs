@@ -1,0 +1,10 @@
+//! Regenerates Fig. 4: impact of the high-priority volume fraction `f`.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig4;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let curves = fig4::run_all(&ctx);
+    emit("fig4", &fig4::table(&curves));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5(a,b): impact of the SD-pair density `k` under both
+//! objectives.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig5;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let curves = fig5::run_all(&ctx);
+    emit("fig5", &fig5::table(&curves));
+}

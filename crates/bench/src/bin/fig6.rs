@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6: sorted per-link high-priority utilization under
+//! STR for two SD-pair densities.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig6;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let curves = fig6::run_all(&ctx);
+    emit("fig6", &fig6::table(&curves));
+}

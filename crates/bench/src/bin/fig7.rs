@@ -1,0 +1,15 @@
+//! Regenerates Fig. 7: link utilization vs propagation delay under the
+//! SLA objective.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig7;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let data = fig7::run(&ctx);
+    emit("fig7", &fig7::table(&data));
+    let (s_short, s_long) = fig7::tercile_means(&data.str_points);
+    let (d_short, d_long) = fig7::tercile_means(&data.dtr_points);
+    println!("STR: mean util shortest-delay tercile {s_short:.3}, longest {s_long:.3}");
+    println!("DTR: mean util shortest-delay tercile {d_short:.3}, longest {d_long:.3}");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 8(a,b): sink traffic pattern, Local vs Uniform.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig8;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let curves = fig8::run_all(&ctx);
+    emit("fig8", &fig8::table(&curves));
+}

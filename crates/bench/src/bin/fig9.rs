@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9(a–c): the effect of loosening the SLA bound.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::fig9;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let points = fig9::run(&ctx);
+    emit("fig9", &fig9::table(&points));
+}

@@ -1,0 +1,11 @@
+//! Extension: k-class MTR vs single-topology routing for k = 2, 3, 4
+//! (the generalization beyond the paper's two topologies).
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::multiclass;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let outcomes = multiclass::run(&ctx);
+    emit("multiclass", &multiclass::table(&outcomes));
+}

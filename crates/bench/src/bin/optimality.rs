@@ -1,0 +1,11 @@
+//! Extension: optimality gaps of STR / DTR / TM-slicing against the
+//! Frank–Wolfe optimal-routing lower bound.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::optimality;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let points = optimality::run(&ctx);
+    emit("optimality", &optimality::table(&points));
+}

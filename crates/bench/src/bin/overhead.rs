@@ -1,0 +1,11 @@
+//! Extension: control-plane overhead of dual-topology routing (the cost
+//! side of §1), measured on the MT-OSPF emulation.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::overhead_exp;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let outcomes = overhead_exp::run(&ctx);
+    emit("overhead", &overhead_exp::table(&outcomes));
+}

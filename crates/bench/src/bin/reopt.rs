@@ -1,0 +1,11 @@
+//! Extension: change-limited reoptimization after traffic drift
+//! (the "changing world" problem of Fortz & Thorup \[19\]).
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::reopt_exp;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let points = reopt_exp::run(&ctx);
+    emit("reopt", &reopt_exp::table(&points));
+}

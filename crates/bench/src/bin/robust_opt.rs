@@ -1,0 +1,12 @@
+//! Extension: failure-aware (robust) weight optimization vs nominal
+//! optimization, both evaluated under every survivable single
+//! duplex-pair failure.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::robust_opt;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let outcomes = robust_opt::run(&ctx);
+    emit("robust_opt", &robust_opt::table(&outcomes));
+}

@@ -1,0 +1,11 @@
+//! Extension: single-link-failure robustness of optimized STR vs DTR
+//! weight settings.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::robustness;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let summaries = robustness::run(&ctx);
+    emit("robustness", &robustness::table(&summaries));
+}

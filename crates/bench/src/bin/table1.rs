@@ -1,0 +1,16 @@
+//! Regenerates Table 1: relaxed STR (ε = 5 %, 30 %) vs DTR.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::table1;
+
+fn main() {
+    let mut ctx = ctx_from_args();
+    // The paper's table has seven load columns.
+    if ctx.load_points < 7 && !std::env::args().any(|a| a == "--quick") {
+        ctx.load_points = 7;
+    }
+    for block in table1::run(&ctx) {
+        let name = format!("table1_{}", block.topology.name());
+        emit(&name, &table1::table(&block));
+    }
+}

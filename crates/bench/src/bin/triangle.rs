@@ -1,0 +1,10 @@
+//! Regenerates the §3.3.1 joint-cost-function demonstration.
+
+use dtr_bench::{ctx_from_args, emit};
+use dtr_experiments::triangle;
+
+fn main() {
+    let ctx = ctx_from_args();
+    let report = triangle::run(&ctx);
+    emit("triangle", &triangle::table(&report));
+}

@@ -1,0 +1,140 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand, positional words and `--flag value`
+/// options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first word).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--flag value` pairs.
+    flags: HashMap<String, String>,
+}
+
+/// Argument errors, reported with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` with no following value.
+    MissingValue(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+    /// A required flag is absent.
+    MissingFlag(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `dtrctl help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "could not parse value {value:?} for {flag}")
+            }
+            ArgError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut args = Args {
+            command,
+            ..Default::default()
+        };
+        while let Some(tok) = it.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+                args.flags.insert(flag.to_string(), value);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(|s| s.as_str())
+    }
+
+    /// A required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::MissingFlag(format!("--{flag}")))
+    }
+
+    /// An optional parsed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: format!("--{flag}"),
+                value: v.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let a = parse("topo random --nodes 30 --seed 7").unwrap();
+        assert_eq!(a.command, "topo");
+        assert_eq!(a.positional, vec!["random"]);
+        assert_eq!(a.get("nodes"), Some("30"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get_or("links", 150usize).unwrap(), 150);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            parse("topo --nodes").unwrap_err(),
+            ArgError::MissingValue("--nodes".into())
+        );
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = parse("topo --nodes abc").unwrap();
+        assert!(matches!(
+            a.get_or("nodes", 0usize),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse("evaluate").unwrap();
+        let e = a.require("topo").unwrap_err();
+        assert_eq!(e.to_string(), "required flag --topo is missing");
+    }
+
+    #[test]
+    fn empty_is_missing_command() {
+        assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+    }
+}

@@ -1,0 +1,777 @@
+//! The `dtrctl` subcommands.
+
+use crate::args::{ArgError, Args};
+use dtr_core::{
+    AnnealSearch, DtrSearch, DualWeights, GaSearch, MemeticSearch, Objective, ReoptSearch,
+    RobustSearch, ScenarioCombine, Scheme, SearchParams, SlaParams, StrSearch,
+};
+use dtr_graph::families::{
+    grid_topology, hierarchical_topology, waxman_topology, GridCfg, HierarchicalCfg, WaxmanCfg,
+};
+use dtr_graph::gen::{
+    isp_topology, power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg,
+};
+use dtr_graph::{export, Topology};
+use dtr_mtr::{MtrNetwork, TopologyId};
+use dtr_routing::Evaluator;
+use dtr_sim::{SimConfig, Simulation, TrafficClass};
+use dtr_traffic::{DemandSet, HighPriModel, SinkPattern, TrafficCfg};
+use std::fmt;
+use std::path::Path;
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown enum-ish value for a flag.
+    UnknownVariant {
+        /// What was being selected.
+        what: &'static str,
+        /// The unrecognized value.
+        value: String,
+    },
+    /// File I/O.
+    Io(std::io::Error),
+    /// JSON (de)serialization.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?} (try `dtrctl help`)")
+            }
+            CliError::UnknownVariant { what, value } => write!(f, "unknown {what} {value:?}"),
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Json(e) => write!(f, "json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+fn load<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let s = std::fs::read_to_string(Path::new(path))?;
+    Ok(serde_json::from_str(&s)?)
+}
+
+fn save<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    std::fs::write(Path::new(path), serde_json::to_string_pretty(value)?)?;
+    println!("[wrote] {path}");
+    Ok(())
+}
+
+fn parse_budget(args: &Args) -> Result<SearchParams, CliError> {
+    let budget = args.get("budget").unwrap_or("experiment");
+    let mut params = match budget {
+        "tiny" => SearchParams::tiny(),
+        "quick" => SearchParams::quick(),
+        "experiment" => SearchParams::experiment(),
+        "paper" => SearchParams::paper(),
+        other => {
+            return Err(CliError::UnknownVariant {
+                what: "budget",
+                value: other.to_string(),
+            })
+        }
+    };
+    params.seed = args.get_or("seed", params.seed)?;
+    Ok(params)
+}
+
+fn parse_objective(args: &Args) -> Result<Objective, CliError> {
+    match args.get("objective").unwrap_or("load") {
+        "load" => Ok(Objective::LoadBased),
+        "sla" => {
+            let bound_ms: f64 = args.get_or("sla-bound-ms", 25.0)?;
+            Ok(Objective::SlaBased(SlaParams {
+                bound_s: bound_ms * 1e-3,
+                ..SlaParams::default()
+            }))
+        }
+        other => Err(CliError::UnknownVariant {
+            what: "objective",
+            value: other.to_string(),
+        }),
+    }
+}
+
+/// Executes one parsed command line. Returns the text that `main` should
+/// exit-0 with; errors bubble up for exit-1.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "topo" => cmd_topo(args),
+        "traffic" => cmd_traffic(args),
+        "optimize" => cmd_optimize(args),
+        "evaluate" => cmd_evaluate(args),
+        "simulate" => cmd_simulate(args),
+        "deploy" => cmd_deploy(args),
+        "bound" => cmd_bound(args),
+        "estimate" => cmd_estimate(args),
+        "reopt" => cmd_reopt(args),
+        "robust" => cmd_robust(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", help_text());
+            Ok(())
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The `help` text (also shown on argument errors).
+pub fn help_text() -> &'static str {
+    "dtrctl — dual-topology routing toolkit
+
+USAGE:
+  dtrctl topo <random|powerlaw|isp|waxman|hierarchical|grid>
+         [--nodes N] [--links L] [--seed S] [--beta 0.6]
+         [--core 6] [--chords 3] [--edge-per-core 4]
+         [--rows 5] [--cols 6] [--torus true]
+         [--out topo.json] [--dot topo.dot]
+  dtrctl traffic --topo topo.json [--f 0.3] [--k 0.1] [--seed S]
+         [--model random|sink-uniform|sink-local] [--sinks 3] [--scale G]
+         --out tm.json
+  dtrctl optimize --topo topo.json --traffic tm.json
+         [--scheme str|dtr|ga|memetic|anneal-str|anneal-dtr]
+         [--objective load|sla] [--sla-bound-ms 25]
+         [--budget tiny|quick|experiment|paper] [--seed S] --out weights.json
+  dtrctl evaluate --topo topo.json --traffic tm.json --weights weights.json
+         [--objective load|sla]
+  dtrctl simulate --topo topo.json --traffic tm.json --weights weights.json
+         [--duration 2.0] [--warmup 0.5] [--seed S]
+  dtrctl deploy --topo topo.json --weights weights.json [--fail-link ID]
+         [--print-config routers.cfg]
+  dtrctl bound --topo topo.json --traffic tm.json
+         (Frank–Wolfe optimal-routing reference and duality bracket)
+  dtrctl estimate --topo topo.json --traffic truth.json
+         [--weights measure-weights.json] --out estimated-tm.json
+         (tomogravity: gravity prior + MART fit to per-class link loads)
+  dtrctl reopt --topo topo.json --traffic new-tm.json --weights incumbent.json
+         --changes H [--scheme str|dtr] [--budget ...] --out weights.json
+         (change-limited reoptimization after traffic drift)
+  dtrctl robust --topo topo.json --traffic tm.json [--weights warmstart.json]
+         [--scheme str|dtr] [--beta 0.5] [--budget ...] --out weights.json
+         (failure-aware optimization over all single duplex-pair cuts)
+
+All artifacts are JSON; see the repository README for the full workflow."
+}
+
+fn cmd_topo(args: &Args) -> Result<(), CliError> {
+    let kind = args
+        .positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("random");
+    let seed = args.get_or("seed", 1u64)?;
+    let topo = match kind {
+        "random" => random_topology(&RandomTopologyCfg {
+            nodes: args.get_or("nodes", 30usize)?,
+            directed_links: args.get_or("links", 150usize)?,
+            seed,
+        }),
+        "powerlaw" => power_law_topology(&PowerLawTopologyCfg {
+            nodes: args.get_or("nodes", 30usize)?,
+            attachments: args.get_or("attachments", 3usize)?,
+            seed,
+        }),
+        "isp" => isp_topology(),
+        "waxman" => waxman_topology(&WaxmanCfg {
+            nodes: args.get_or("nodes", 30usize)?,
+            directed_links: args.get_or("links", 150usize)?,
+            beta: args.get_or("beta", 0.6)?,
+            seed,
+        }),
+        "hierarchical" => hierarchical_topology(&HierarchicalCfg {
+            core_nodes: args.get_or("core", 6usize)?,
+            core_chords: args.get_or("chords", 3usize)?,
+            edge_per_core: args.get_or("edge-per-core", 4usize)?,
+            seed,
+            ..Default::default()
+        }),
+        "grid" => grid_topology(&GridCfg {
+            rows: args.get_or("rows", 5usize)?,
+            cols: args.get_or("cols", 6usize)?,
+            torus: args.get_or("torus", false)?,
+            ..Default::default()
+        }),
+        other => {
+            return Err(CliError::UnknownVariant {
+                what: "topology kind",
+                value: other.to_string(),
+            })
+        }
+    };
+    println!(
+        "generated {kind} topology: {} nodes, {} directed links",
+        topo.node_count(),
+        topo.link_count()
+    );
+    if let Some(path) = args.get("dot") {
+        std::fs::write(path, export::to_dot(&topo, None))?;
+        println!("[wrote] {path}");
+    }
+    if let Some(path) = args.get("out") {
+        save(path, &topo)?;
+    }
+    Ok(())
+}
+
+fn cmd_traffic(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let model = match args.get("model").unwrap_or("random") {
+        "random" => HighPriModel::Random,
+        "sink-uniform" => HighPriModel::Sink {
+            sinks: args.get_or("sinks", 3usize)?,
+            pattern: SinkPattern::Uniform,
+        },
+        "sink-local" => HighPriModel::Sink {
+            sinks: args.get_or("sinks", 3usize)?,
+            pattern: SinkPattern::Local,
+        },
+        other => {
+            return Err(CliError::UnknownVariant {
+                what: "traffic model",
+                value: other.to_string(),
+            })
+        }
+    };
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            f: args.get_or("f", 0.30)?,
+            k: args.get_or("k", 0.10)?,
+            model,
+            seed: args.get_or("seed", 1u64)?,
+        },
+    )
+    .scaled(args.get_or("scale", 1.0)?);
+    println!(
+        "generated traffic: {:.1} Mbit/s total ({:.0}% high priority, {} high-priority pairs)",
+        demands.total_volume(),
+        100.0 * demands.high_fraction(),
+        demands.high_pair_count()
+    );
+    save(args.require("out")?, &demands)
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let demands: DemandSet = load(args.require("traffic")?)?;
+    let params = parse_budget(args)?;
+    let objective = parse_objective(args)?;
+    let scheme = args.get("scheme").unwrap_or("dtr");
+
+    let weights: DualWeights = match scheme {
+        "dtr" => {
+            let r = DtrSearch::new(&topo, &demands, objective, params).run();
+            println!(
+                "DTR: cost {} after {} evaluations ({} improvements)",
+                r.best_cost,
+                r.trace.evaluations,
+                r.trace.improvements.len()
+            );
+            r.weights
+        }
+        "str" => {
+            let r = StrSearch::new(&topo, &demands, objective, params).run();
+            println!(
+                "STR: cost {} after {} evaluations",
+                r.best_cost, r.trace.evaluations
+            );
+            DualWeights::replicated(r.weights)
+        }
+        "ga" => {
+            let r = GaSearch::new(&topo, &demands, objective, params).run();
+            println!(
+                "GA: cost {} after {} generations / {} evaluations",
+                r.best_cost, r.generations, r.trace.evaluations
+            );
+            DualWeights::replicated(r.weights)
+        }
+        "memetic" => {
+            let r = MemeticSearch::new(&topo, &demands, objective, params).run();
+            println!(
+                "memetic: cost {} after {} generations / {} evaluations ({} local improvements)",
+                r.best_cost, r.generations, r.trace.evaluations, r.local_improvements
+            );
+            DualWeights::replicated(r.weights)
+        }
+        "anneal-str" | "anneal-dtr" => {
+            let mode = if scheme == "anneal-str" { Scheme::Str } else { Scheme::Dtr };
+            let r = AnnealSearch::new(&topo, &demands, objective, params, mode).run();
+            println!(
+                "annealing ({}): cost {} after {} evaluations ({} uphill moves)",
+                mode.name(),
+                r.best_cost,
+                r.trace.evaluations,
+                r.uphill_accepted
+            );
+            r.weights
+        }
+        other => {
+            return Err(CliError::UnknownVariant {
+                what: "scheme",
+                value: other.to_string(),
+            })
+        }
+    };
+    save(args.require("out")?, &weights)
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let demands: DemandSet = load(args.require("traffic")?)?;
+    let weights: DualWeights = load(args.require("weights")?)?;
+    let objective = parse_objective(args)?;
+    let mut ev = Evaluator::new(&topo, &demands, objective);
+    let e = ev.eval_dual(&weights);
+    println!("objective         {}", e.cost);
+    println!("phi_H             {:.2}", e.phi_h);
+    println!("phi_L             {:.2}", e.phi_l);
+    println!("avg utilization   {:.3}", e.avg_utilization(&topo));
+    println!("max utilization   {:.3}", e.max_utilization(&topo));
+    if let Some(sla) = &e.sla {
+        println!("SLA violations    {}", sla.violations);
+        println!("SLA penalty       {:.1}", sla.lambda);
+    }
+    let over: Vec<String> = topo
+        .links()
+        .filter(|(lid, l)| {
+            (e.high_loads[lid.index()] + e.low_loads[lid.index()]) / l.capacity > 1.0
+        })
+        .map(|(lid, l)| {
+            format!(
+                "  {} {}→{} at {:.0}%",
+                lid,
+                topo.node_name(l.src),
+                topo.node_name(l.dst),
+                100.0 * (e.high_loads[lid.index()] + e.low_loads[lid.index()]) / l.capacity
+            )
+        })
+        .collect();
+    if !over.is_empty() {
+        println!("overloaded links:");
+        for line in over {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let demands: DemandSet = load(args.require("traffic")?)?;
+    let weights: DualWeights = load(args.require("weights")?)?;
+    let cfg = SimConfig {
+        warmup_s: args.get_or("warmup", 0.5)?,
+        duration_s: args.get_or("duration", 2.0)?,
+        seed: args.get_or("seed", 1u64)?,
+        ..Default::default()
+    };
+    let report = Simulation::new(&topo, &demands, &weights, cfg).run();
+    println!(
+        "simulated {:.1}s: {} packets generated, {} delivered",
+        cfg.warmup_s + cfg.duration_s,
+        report.generated,
+        report.delivered
+    );
+    let mean = |class: TrafficClass| {
+        let (mut sum, mut n) = (0.0, 0u64);
+        for (k, acc) in &report.pair_delays {
+            if k.class == class && acc.count > 0 {
+                sum += acc.sum;
+                n += acc.count;
+            }
+        }
+        if n == 0 { 0.0 } else { sum / n as f64 }
+    };
+    println!(
+        "mean end-to-end delay: high {:.2} ms, low {:.2} ms",
+        mean(TrafficClass::High) * 1e3,
+        mean(TrafficClass::Low) * 1e3
+    );
+    let max_util = topo
+        .links()
+        .map(|(lid, _)| report.utilization(lid))
+        .fold(0.0f64, f64::max);
+    println!("max measured link utilization: {max_util:.3}");
+    Ok(())
+}
+
+fn cmd_deploy(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let weights: DualWeights = load(args.require("weights")?)?;
+    if let Some(path) = args.get("print-config") {
+        std::fs::write(path, dtr_mtr::network_config(&topo, &weights))?;
+        println!("[wrote] {path} (router configuration stanzas)");
+    }
+    let mut net = MtrNetwork::new(&topo, weights);
+    let msgs = net.converge();
+    println!(
+        "converged: {msgs} LSA deliveries, {} SPF runs, databases synchronized: {}",
+        net.stats.spf_runs,
+        net.databases_synchronized()
+    );
+    if let Some(raw) = args.get("fail-link") {
+        let id: u32 = raw.parse().map_err(|_| CliError::UnknownVariant {
+            what: "link id",
+            value: raw.to_string(),
+        })?;
+        let lid = dtr_graph::LinkId(id);
+        let l = topo.link(lid);
+        println!(
+            "failing {} ↔ {} ...",
+            topo.node_name(l.src),
+            topo.node_name(l.dst)
+        );
+        net.fail_link(lid);
+        let msgs = net.converge();
+        println!(
+            "reconverged: {msgs} LSA deliveries, total {} SPF runs",
+            net.stats.spf_runs
+        );
+    }
+    // A forwarding sample across the diameter.
+    let src = dtr_graph::NodeId(0);
+    let dst = dtr_graph::NodeId((topo.node_count() - 1) as u32);
+    for (tid, label) in [(TopologyId::DEFAULT, "high"), (TopologyId::LOW, "low")] {
+        match net.forward_path(tid, src, dst) {
+            Ok(path) => {
+                let names: Vec<&str> = std::iter::once(topo.node_name(src))
+                    .chain(path.iter().map(|&l| topo.node_name(topo.link(l).dst)))
+                    .collect();
+                println!("{label:>4}: {}", names.join(" → "));
+            }
+            Err(e) => println!("{label:>4}: unroutable ({e:?})"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bound(args: &Args) -> Result<(), CliError> {
+    use dtr_routing::lower_bound::{dual_lower_bound, FwParams};
+    let topo: Topology = load(args.require("topo")?)?;
+    let demands: DemandSet = load(args.require("traffic")?)?;
+    let b = dual_lower_bound(&topo, &demands, &FwParams::default());
+    println!("Frank–Wolfe optimal-routing reference (load-based objective):");
+    println!(
+        "  high class: flow cost {:.2}, duality LB {:.2} (bracket {:.2}×)",
+        b.achieved.0,
+        b.phi_h,
+        b.achieved.0 / b.phi_h.max(1e-12)
+    );
+    println!(
+        "  low class : flow cost {:.2}, duality LB {:.2} (conditional on the FW high placement)",
+        b.achieved.1, b.phi_l
+    );
+    println!(
+        "any SPF-realizable weight setting has Φ_H ≥ {:.2}; compare with `dtrctl evaluate`",
+        b.phi_h
+    );
+    Ok(())
+}
+
+/// `estimate`: tomogravity estimation of both class matrices from the
+/// link loads they would produce under the measurement weights.
+fn cmd_estimate(args: &Args) -> Result<(), CliError> {
+    use dtr_routing::{gravity_prior, l1_error, tomogravity, LoadCalculator, RoutingMatrix, TomoCfg};
+    let topo: Topology = load(args.require("topo")?)?;
+    let truth: DemandSet = load(args.require("traffic")?)?;
+    let measure_w = match args.get("weights") {
+        Some(p) => {
+            let w: DualWeights = load(p)?;
+            w.high
+        }
+        None => dtr_graph::WeightVector::uniform(&topo, 1),
+    };
+    let rm = RoutingMatrix::compute(&topo, &measure_w);
+
+    let estimate_class = |m: &dtr_traffic::TrafficMatrix, label: &str| {
+        let measured = LoadCalculator::new().class_loads(&topo, &measure_w, m);
+        let out: Vec<f64> = (0..m.len()).map(|s| m.row_total(s)).collect();
+        let in_: Vec<f64> = (0..m.len()).map(|t| m.col_total(t)).collect();
+        let prior = gravity_prior(&out, &in_);
+        let fit = tomogravity(&prior, &rm, &measured, &TomoCfg::default());
+        println!(
+            "{label}: prior L1 error {:.1}%, estimate {:.1}% ({} MART epochs, residual {:.1e})",
+            100.0 * l1_error(&prior, m),
+            100.0 * l1_error(&fit.matrix, m),
+            fit.iterations,
+            fit.residual
+        );
+        fit.matrix
+    };
+    let estimated = DemandSet {
+        high: estimate_class(&truth.high, "high class"),
+        low: estimate_class(&truth.low, "low class "),
+    };
+    save(args.require("out")?, &estimated)
+}
+
+fn parse_scheme(args: &Args) -> Result<Scheme, CliError> {
+    match args.get("scheme").unwrap_or("dtr") {
+        "dtr" => Ok(Scheme::Dtr),
+        "str" => Ok(Scheme::Str),
+        other => Err(CliError::UnknownVariant {
+            what: "scheme",
+            value: other.to_string(),
+        }),
+    }
+}
+
+/// `reopt`: change-limited reoptimization of an incumbent setting.
+fn cmd_reopt(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let demands: DemandSet = load(args.require("traffic")?)?;
+    let incumbent: DualWeights = load(args.require("weights")?)?;
+    let params = parse_budget(args)?;
+    let objective = parse_objective(args)?;
+    let scheme = parse_scheme(args)?;
+    let h: usize = args
+        .require("changes")?
+        .parse()
+        .map_err(|_| CliError::UnknownVariant {
+            what: "change budget",
+            value: args.get("changes").unwrap_or("").to_string(),
+        })?;
+    let res = ReoptSearch::new(&topo, &demands, objective, params, scheme, incumbent, h).run();
+    println!(
+        "reopt ({}, h={h}): cost {} using {} changes",
+        scheme.name(),
+        res.best_cost,
+        res.changes_used
+    );
+    save(args.require("out")?, &res.weights)
+}
+
+/// `robust`: failure-aware optimization over all single duplex-pair cuts.
+fn cmd_robust(args: &Args) -> Result<(), CliError> {
+    let topo: Topology = load(args.require("topo")?)?;
+    let demands: DemandSet = load(args.require("traffic")?)?;
+    let params = parse_budget(args)?;
+    let scheme = parse_scheme(args)?;
+    let beta: f64 = args.get_or("beta", 0.5)?;
+    let mut search = RobustSearch::new(
+        &topo,
+        &demands,
+        ScenarioCombine::Blend { beta },
+        params,
+        scheme,
+    );
+    if let Some(p) = args.get("weights") {
+        search = search.with_initial(load(p)?);
+    }
+    let res = search.run();
+    println!(
+        "robust ({}, β={beta}, {} scenarios): intact {}, worst {}, combined {}",
+        scheme.name(),
+        res.scenarios_used,
+        res.cost.intact,
+        res.cost.worst,
+        res.cost.combined
+    );
+    save(args.require("out")?, &res.weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("dtrctl-test-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn full_workflow_roundtrip() {
+        let topo_p = tmp("topo.json");
+        let tm_p = tmp("tm.json");
+        let w_p = tmp("w.json");
+
+        run(&args(&format!(
+            "topo random --nodes 10 --links 40 --seed 3 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --f 0.3 --k 0.2 --scale 3 --seed 3 --out {tm_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "optimize --topo {topo_p} --traffic {tm_p} --scheme dtr --budget tiny --out {w_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "evaluate --topo {topo_p} --traffic {tm_p} --weights {w_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "simulate --topo {topo_p} --traffic {tm_p} --weights {w_p} --duration 0.1 --warmup 0.05"
+        )))
+        .unwrap();
+        run(&args(&format!("deploy --topo {topo_p} --weights {w_p}")))
+            .unwrap();
+        run(&args(&format!("bound --topo {topo_p} --traffic {tm_p}"))).unwrap();
+
+        for p in [topo_p, tm_p, w_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn estimate_reopt_robust_workflow() {
+        let topo_p = tmp("t3.json");
+        let tm_p = tmp("m3.json");
+        let w_p = tmp("w3.json");
+        let est_p = tmp("e3.json");
+        let w2_p = tmp("w3b.json");
+
+        run(&args(&format!(
+            "topo random --nodes 8 --links 32 --seed 6 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --scale 3 --seed 6 --out {tm_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "optimize --topo {topo_p} --traffic {tm_p} --scheme dtr --budget tiny --out {w_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "estimate --topo {topo_p} --traffic {tm_p} --out {est_p}"
+        )))
+        .unwrap();
+        let est: DemandSet = load(&est_p).unwrap();
+        assert!(est.total_volume() > 0.0);
+        run(&args(&format!(
+            "reopt --topo {topo_p} --traffic {est_p} --weights {w_p} --changes 3 \
+             --budget tiny --out {w2_p}"
+        )))
+        .unwrap();
+        let a: DualWeights = load(&w_p).unwrap();
+        let b: DualWeights = load(&w2_p).unwrap();
+        let changed = a.high.hamming(&b.high) + a.low.hamming(&b.low);
+        assert!(changed <= 3, "reopt changed {changed} weights");
+        run(&args(&format!(
+            "robust --topo {topo_p} --traffic {tm_p} --weights {w_p} --budget tiny \
+             --beta 0.5 --out {w2_p}"
+        )))
+        .unwrap();
+        for p in [topo_p, tm_p, w_p, est_p, w2_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn new_topology_kinds_generate() {
+        for spec in [
+            "topo waxman --nodes 12 --links 48 --seed 2",
+            "topo hierarchical --core 4 --chords 1 --edge-per-core 2",
+            "topo grid --rows 3 --cols 4",
+            "topo grid --rows 3 --cols 4 --torus true",
+        ] {
+            run(&args(spec)).unwrap();
+        }
+    }
+
+    #[test]
+    fn new_optimize_schemes_run() {
+        let topo_p = tmp("t4.json");
+        let tm_p = tmp("m4.json");
+        let w_p = tmp("w4.json");
+        run(&args(&format!(
+            "topo random --nodes 8 --links 32 --seed 5 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --seed 5 --out {tm_p}"
+        )))
+        .unwrap();
+        for scheme in ["memetic", "anneal-str", "anneal-dtr"] {
+            run(&args(&format!(
+                "optimize --topo {topo_p} --traffic {tm_p} --scheme {scheme} --budget tiny --out {w_p}"
+            )))
+            .unwrap();
+        }
+        let w: DualWeights = load(&w_p).unwrap();
+        assert_eq!(w.high.len(), 32);
+        for p in [topo_p, tm_p, w_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_variant_errors() {
+        assert!(matches!(
+            run(&args("frobnicate")),
+            Err(CliError::UnknownCommand(_))
+        ));
+        let e = run(&args("topo hypercube")).unwrap_err();
+        assert!(matches!(e, CliError::UnknownVariant { what: "topology kind", .. }));
+    }
+
+    #[test]
+    fn missing_required_flag_error() {
+        let e = run(&args("traffic --f 0.3")).unwrap_err();
+        assert!(matches!(e, CliError::Args(ArgError::MissingFlag(_))));
+    }
+
+    #[test]
+    fn help_runs() {
+        run(&args("help")).unwrap();
+        assert!(help_text().contains("optimize"));
+    }
+
+    #[test]
+    fn str_and_ga_schemes_produce_replicated_weights() {
+        let topo_p = tmp("t2.json");
+        let tm_p = tmp("m2.json");
+        let w_p = tmp("w2.json");
+        run(&args(&format!(
+            "topo random --nodes 8 --links 32 --seed 4 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --seed 4 --out {tm_p}"
+        )))
+        .unwrap();
+        for scheme in ["str", "ga"] {
+            run(&args(&format!(
+                "optimize --topo {topo_p} --traffic {tm_p} --scheme {scheme} --budget tiny --out {w_p}"
+            )))
+            .unwrap();
+            let w: DualWeights = load(&w_p).unwrap();
+            assert_eq!(w.high, w.low, "{scheme} must replicate");
+        }
+        for p in [topo_p, tm_p, w_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

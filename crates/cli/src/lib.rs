@@ -1,0 +1,22 @@
+//! # dtr-cli — the `dtrctl` command-line tool
+//!
+//! An operator-facing front end over the DTR workspace. Workflow:
+//!
+//! ```sh
+//! dtrctl topo random --nodes 30 --links 150 --out topo.json
+//! dtrctl traffic --topo topo.json --f 0.3 --k 0.1 --scale 6 --out tm.json
+//! dtrctl optimize --topo topo.json --traffic tm.json --scheme dtr --out weights.json
+//! dtrctl evaluate --topo topo.json --traffic tm.json --weights weights.json
+//! dtrctl simulate --topo topo.json --traffic tm.json --weights weights.json --duration 2
+//! dtrctl deploy   --topo topo.json --weights weights.json
+//! ```
+//!
+//! All artifacts are JSON (`serde`), so they diff, version and script
+//! cleanly. Argument parsing is hand-rolled (`flag value` pairs) to keep
+//! the dependency set minimal — see DESIGN.md.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{run, CliError};

@@ -1,0 +1,445 @@
+//! Simulated-annealing weight search — a search-strategy ablation.
+//!
+//! Fortz–Thorup-style local search (our STR baseline) and genetic
+//! algorithms (\[3\], [`crate::ga`]) are two of the classic heuristic
+//! families for the OSPF weight-setting problem; simulated annealing is
+//! the third. [`AnnealSearch`] implements it for both routing schemes —
+//! [`AnnealMode::Str`] anneals a single weight vector, [`AnnealMode::Dtr`]
+//! anneals the dual vector `{W^H, W^L}` with the same per-class
+//! evaluation caching as Algorithm 1 — so all three strategies can be
+//! compared at an identical evaluation budget
+//! ([`SearchParams::dtr_eval_budget`]).
+//!
+//! ## Annealing a lexicographic objective
+//!
+//! The Metropolis rule needs a scalar degradation `δ ≥ 0` to compute the
+//! acceptance probability `exp(−δ/T)`, but the paper's objectives are
+//! lexicographic tuples. We bridge the two as follows:
+//!
+//! - an improving move (`cost' < cost` in the lexicographic order) is
+//!   always accepted;
+//! - a degrading move is accepted with probability `exp(−δ/T)` where
+//!   `δ = PRIMARY_EMPHASIS · relΔ(primary) + relΔ(secondary)` and
+//!   `relΔ(x) = max(0, (x' − x)/max(x, δ₀))` is the *relative* component
+//!   degradation (scale-free, so one temperature schedule works across
+//!   topologies and load levels).
+//!
+//! The scalarization steers only the *exploration*; the reported result
+//! is the lexicographically best solution ever evaluated, so the answer
+//! is exact with respect to the paper's objective even though the walk
+//! uses a surrogate. `PRIMARY_EMPHASIS` plays the role §3.3.1's `α`
+//! plays for the joint cost function — but here a poor choice merely
+//! slows the walk; it cannot produce a priority inversion in the
+//! reported solution.
+//!
+//! The temperature starts at a value calibrated so the *median* sampled
+//! degradation is accepted with probability ≈ 0.8 (standard practice)
+//! and decays geometrically to a floor over the evaluation budget.
+
+use crate::params::SearchParams;
+use crate::scheme::Scheme;
+use crate::telemetry::{Phase, SearchTrace};
+use dtr_cost::{Lex2, Objective};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{LinkId, Topology, WeightVector};
+use dtr_routing::{Evaluation, Evaluator};
+use dtr_traffic::DemandSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which routing scheme the annealer optimizes (alias of the shared
+/// [`Scheme`] enum).
+pub type AnnealMode = Scheme;
+
+/// Annealing-specific knobs; the evaluation budget and weight range come
+/// from [`SearchParams`] so runs are comparable with the other searches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealParams {
+    /// Acceptance probability targeted for the median degradation when
+    /// calibrating the initial temperature (0.8 is standard).
+    pub initial_acceptance: f64,
+    /// Fraction of the initial temperature reached at the end of the
+    /// budget (the geometric decay rate follows from this and the
+    /// budget).
+    pub final_temp_frac: f64,
+    /// Weight of the primary (high-priority) component in the scalar
+    /// degradation surrogate.
+    pub primary_emphasis: f64,
+    /// Moves sampled up-front to calibrate the temperature (spent from
+    /// the same evaluation budget).
+    pub calibration_samples: usize,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            initial_acceptance: 0.8,
+            final_temp_frac: 1e-3,
+            primary_emphasis: 10.0,
+            calibration_samples: 30,
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best dual setting found. Under [`AnnealMode::Str`] the two vectors
+    /// are identical replicas (so the result type is uniform across
+    /// modes).
+    pub weights: DualWeights,
+    /// Full evaluation of the best setting.
+    pub eval: Evaluation,
+    /// Its objective value.
+    pub best_cost: Lex2,
+    /// Moves accepted while degrading (a measure of how much the walk
+    /// actually explored).
+    pub uphill_accepted: usize,
+    /// Telemetry (evaluations, improvements).
+    pub trace: SearchTrace,
+}
+
+/// Simulated annealing over link weights.
+pub struct AnnealSearch<'a> {
+    evaluator: Evaluator<'a>,
+    params: SearchParams,
+    anneal: AnnealParams,
+    mode: AnnealMode,
+}
+
+/// Floor used when normalizing relative degradations of near-zero costs.
+const DELTA_FLOOR: f64 = 1e-9;
+
+impl<'a> AnnealSearch<'a> {
+    /// Prepares an annealer with default [`AnnealParams`].
+    pub fn new(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        objective: Objective,
+        params: SearchParams,
+        mode: AnnealMode,
+    ) -> Self {
+        params.validate();
+        AnnealSearch {
+            evaluator: Evaluator::new(topo, demands, objective),
+            params,
+            anneal: AnnealParams::default(),
+            mode,
+        }
+    }
+
+    /// Overrides the annealing knobs.
+    pub fn with_anneal_params(mut self, anneal: AnnealParams) -> Self {
+        assert!(
+            (0.0..1.0).contains(&anneal.initial_acceptance) && anneal.initial_acceptance > 0.0,
+            "initial acceptance must be in (0,1)"
+        );
+        assert!(
+            anneal.final_temp_frac > 0.0 && anneal.final_temp_frac < 1.0,
+            "final temperature fraction must be in (0,1)"
+        );
+        assert!(anneal.primary_emphasis >= 1.0, "primary emphasis must be ≥ 1");
+        assert!(anneal.calibration_samples >= 1, "need calibration samples");
+        self.anneal = anneal;
+        self
+    }
+
+    /// Scalar degradation surrogate `δ` for a move from `from` to `to`
+    /// (0 when the move improves lexicographically).
+    fn degradation(&self, from: Lex2, to: Lex2) -> f64 {
+        if to < from {
+            return 0.0;
+        }
+        let rel = |new: f64, old: f64| ((new - old) / old.max(DELTA_FLOOR)).max(0.0);
+        self.anneal.primary_emphasis * rel(to.primary, from.primary)
+            + rel(to.secondary, from.secondary)
+    }
+
+    /// Proposes a single-weight-change move: one class (in DTR mode), one
+    /// link, one fresh weight value guaranteed to differ from the old one.
+    fn propose(&self, w: &DualWeights, rng: &mut StdRng) -> DualWeights {
+        let n = w.high.len();
+        let lid = LinkId(rng.random_range(0..n as u32));
+        let change_high = match self.mode {
+            AnnealMode::Str => true, // both vectors change in lock-step below
+            AnnealMode::Dtr => rng.random_bool(0.5),
+        };
+        let target = if change_high { &w.high } else { &w.low };
+        let old = target.get(lid);
+        let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
+        if v == old {
+            v = if v == self.params.max_weight {
+                self.params.min_weight
+            } else {
+                v + 1
+            };
+        }
+        let mut next = w.clone();
+        match self.mode {
+            AnnealMode::Str => {
+                next.high.set(lid, v);
+                next.low.set(lid, v);
+            }
+            AnnealMode::Dtr if change_high => next.high.set(lid, v),
+            AnnealMode::Dtr => next.low.set(lid, v),
+        }
+        next
+    }
+
+    /// Evaluates a dual setting, exploiting the per-class split in DTR
+    /// mode when only one class's vector changed relative to `prev`.
+    fn evaluate(&mut self, w: &DualWeights, prev: Option<(&DualWeights, &Evaluation)>) -> Evaluation {
+        if let (AnnealMode::Dtr, Some((pw, pe))) = (self.mode, prev) {
+            if w.high == pw.high {
+                // Only the low class moved: reuse the cached high side.
+                let high = self
+                    .evaluator
+                    .high_side_from_loads(pe.high_loads.clone(), &w.high);
+                let low = self.evaluator.low_loads(&w.low);
+                return self.evaluator.finish(high, low);
+            }
+        }
+        match self.mode {
+            AnnealMode::Str => self.evaluator.eval_str(&w.high),
+            AnnealMode::Dtr => self.evaluator.eval_dual(w),
+        }
+    }
+
+    /// Runs the annealer until the evaluation budget
+    /// ([`SearchParams::dtr_eval_budget`]) is spent.
+    pub fn run(mut self) -> AnnealResult {
+        let params = self.params;
+        let anneal = self.anneal;
+        let budget = params.dtr_eval_budget();
+        // Salted so strategy ablations with a shared `seed` explore
+        // independent candidate streams (see DESIGN.md fair-budget notes).
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x616e_6e65_616c_0001);
+        let mut trace = SearchTrace::default();
+
+        let w0 = DualWeights::replicated(WeightVector::uniform(self.evaluator.topo(), 1));
+        let mut cur_w = w0;
+        let mut cur = self.evaluate(&cur_w.clone(), None);
+        trace.evaluations += 1;
+        let mut best_w = cur_w.clone();
+        let mut best = cur.clone();
+        trace.improved(0, Phase::Str, best.cost);
+
+        // --- Temperature calibration: sample random moves, set T₀ so the
+        // median degradation is accepted with the target probability. ---
+        let mut degradations = Vec::with_capacity(anneal.calibration_samples);
+        while degradations.len() < anneal.calibration_samples && trace.evaluations < budget {
+            let cand_w = self.propose(&cur_w, &mut rng);
+            let cand = self.evaluate(&cand_w, Some((&cur_w, &cur)));
+            trace.evaluations += 1;
+            let d = self.degradation(cur.cost, cand.cost);
+            if d > 0.0 {
+                degradations.push(d);
+            }
+            if cand.cost < best.cost {
+                best = cand.clone();
+                best_w = cand_w.clone();
+                trace.improved(trace.evaluations, Phase::Str, best.cost);
+            }
+        }
+        degradations.sort_by(f64::total_cmp);
+        let median = degradations
+            .get(degradations.len() / 2)
+            .copied()
+            .unwrap_or(1.0);
+        // exp(−median/T₀) = initial_acceptance  ⇒  T₀ = −median/ln(p₀).
+        let t0 = (-median / anneal.initial_acceptance.ln()).max(DELTA_FLOOR);
+        let remaining = budget.saturating_sub(trace.evaluations).max(1);
+        // Geometric decay hitting `final_temp_frac·T₀` on the last move.
+        let decay = anneal.final_temp_frac.powf(1.0 / remaining as f64);
+
+        // --- The walk. ---
+        let mut temp = t0;
+        let mut uphill_accepted = 0usize;
+        while trace.evaluations < budget {
+            trace.iterations += 1;
+            let cand_w = self.propose(&cur_w, &mut rng);
+            let cand = self.evaluate(&cand_w, Some((&cur_w, &cur)));
+            trace.evaluations += 1;
+
+            let d = self.degradation(cur.cost, cand.cost);
+            let accept = if d == 0.0 {
+                true
+            } else {
+                rng.random_bool(((-d / temp).exp()).clamp(0.0, 1.0))
+            };
+            if accept {
+                if d > 0.0 {
+                    uphill_accepted += 1;
+                }
+                cur = cand;
+                cur_w = cand_w;
+                trace.moves_accepted += 1;
+                if cur.cost < best.cost {
+                    best = cur.clone();
+                    best_w = cur_w.clone();
+                    trace.improved(trace.evaluations, Phase::Str, best.cost);
+                }
+            }
+            temp = (temp * decay).max(t0 * anneal.final_temp_frac);
+        }
+
+        AnnealResult {
+            best_cost: best.cost,
+            eval: best,
+            weights: best_w,
+            uphill_accepted,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
+    use dtr_traffic::{TrafficCfg, TrafficMatrix};
+
+    fn triangle_instance() -> (Topology, DemandSet) {
+        let topo = triangle_topology(1.0);
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0 / 3.0);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 2.0 / 3.0);
+        (topo, DemandSet { high, low })
+    }
+
+    #[test]
+    fn str_mode_finds_triangle_optimum() {
+        let (topo, demands) = triangle_instance();
+        let res = AnnealSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::quick().with_seed(4),
+            AnnealMode::Str,
+        )
+        .run();
+        assert!((res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9, "phi_h={}", res.eval.phi_h);
+        assert!((res.eval.phi_l - 64.0 / 9.0).abs() < 1e-9, "phi_l={}", res.eval.phi_l);
+        // STR mode keeps the replicas in lock-step.
+        assert_eq!(res.weights.high, res.weights.low);
+    }
+
+    #[test]
+    fn dtr_mode_beats_str_mode_on_triangle() {
+        // The dual annealer must discover that the low class can detour:
+        // its Φ_L strictly beats the STR optimum's 64/9 while Φ_H stays
+        // at the direct-routing optimum.
+        let (topo, demands) = triangle_instance();
+        let dtr = AnnealSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::quick().with_seed(4),
+            AnnealMode::Dtr,
+        )
+        .run();
+        assert!((dtr.eval.phi_h - 1.0 / 3.0).abs() < 1e-9);
+        assert!(dtr.eval.phi_l < 64.0 / 9.0 - 1e-9, "phi_l={}", dtr.eval.phi_l);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 2 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 2, ..Default::default() })
+            .scaled(4.0);
+        let params = SearchParams::tiny().with_seed(2);
+        for mode in [AnnealMode::Str, AnnealMode::Dtr] {
+            let res =
+                AnnealSearch::new(&topo, &demands, Objective::LoadBased, params, mode).run();
+            assert!(res.trace.evaluations <= params.dtr_eval_budget());
+        }
+    }
+
+    #[test]
+    fn never_worse_than_uniform_start() {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 7 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 7, ..Default::default() })
+            .scaled(4.0);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let uniform = ev.eval_str(&WeightVector::uniform(&topo, 1)).cost;
+        let res = AnnealSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny().with_seed(7),
+            AnnealMode::Str,
+        )
+        .run();
+        assert!(res.best_cost <= uniform);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (topo, demands) = triangle_instance();
+        let run = || {
+            AnnealSearch::new(
+                &topo,
+                &demands,
+                Objective::LoadBased,
+                SearchParams::tiny().with_seed(13),
+                AnnealMode::Dtr,
+            )
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.uphill_accepted, b.uphill_accepted);
+    }
+
+    #[test]
+    fn degradation_is_zero_for_improving_moves() {
+        let (topo, demands) = triangle_instance();
+        let s = AnnealSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny(),
+            AnnealMode::Str,
+        );
+        assert_eq!(s.degradation(Lex2::new(2.0, 2.0), Lex2::new(1.0, 5.0)), 0.0);
+        assert_eq!(s.degradation(Lex2::new(2.0, 2.0), Lex2::new(2.0, 1.0)), 0.0);
+        // Pure secondary degradation: relΔ = (3−2)/2 = 0.5.
+        assert!((s.degradation(Lex2::new(2.0, 2.0), Lex2::new(2.0, 3.0)) - 0.5).abs() < 1e-12);
+        // Primary degradation is weighted by the emphasis factor.
+        let d = s.degradation(Lex2::new(2.0, 2.0), Lex2::new(3.0, 2.0));
+        assert!((d - 10.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_under_sla_objective() {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 3 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() })
+            .scaled(4.0);
+        let res = AnnealSearch::new(
+            &topo,
+            &demands,
+            Objective::sla_default(),
+            SearchParams::tiny().with_seed(1),
+            AnnealMode::Dtr,
+        )
+        .run();
+        assert!(res.eval.sla.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "primary emphasis")]
+    fn rejects_bad_anneal_params() {
+        let (topo, demands) = triangle_instance();
+        let _ = AnnealSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny(),
+            AnnealMode::Str,
+        )
+        .with_anneal_params(AnnealParams { primary_emphasis: 0.5, ..Default::default() });
+    }
+}

@@ -1,0 +1,222 @@
+//! The joint cost function `J = α·Φ_H + Φ_L` and the §3.3.1 pathology.
+//!
+//! The paper discusses (and rejects) collapsing the two-class objective
+//! into a single weighted sum: picking `α` is instance-dependent, and a
+//! slightly-too-small `α` silently *inverts* the priority order. The
+//! 3-node example: with `α = 35` the optimum routes both classes on the
+//! direct link (`Φ_H = 1/3`, `Φ_L = 64/9`); lowering `α` to 30 flips the
+//! optimum to an even split (`Φ_H = 1/2`, `Φ_L = 4/3`) — an 81 %
+//! improvement for low priority bought with a 50 % degradation of high
+//! priority.
+//!
+//! [`JointCostExplorer`] reproduces this by exhaustive weight enumeration
+//! (tractable only for toy topologies — the guard enforces that).
+
+use dtr_cost::Objective;
+use dtr_graph::{Topology, Weight, WeightVector};
+use dtr_routing::{Evaluation, Evaluator};
+use dtr_traffic::{DemandSet, TrafficMatrix};
+
+/// The joint cost `J = α·Φ_H + Φ_L` of an evaluation (§3.3.1; load-based
+/// components).
+pub fn joint_cost(alpha: f64, eval: &Evaluation) -> f64 {
+    alpha * eval.phi_h + eval.phi_l
+}
+
+/// Exhaustive STR explorer over all weight assignments in
+/// `[1, max_weight]^{|E|}`.
+pub struct JointCostExplorer<'a> {
+    evaluator: Evaluator<'a>,
+    max_weight: Weight,
+}
+
+/// Upper bound on enumerated settings; beyond this, exhaustive search is
+/// a mistake and the constructor panics.
+const ENUM_LIMIT: u64 = 4_000_000;
+
+impl<'a> JointCostExplorer<'a> {
+    /// Prepares an explorer for `topo` with weights `1..=max_weight`.
+    ///
+    /// # Panics
+    /// If `max_weight^{|E|}` exceeds the enumeration limit.
+    pub fn new(topo: &'a Topology, demands: &'a DemandSet, max_weight: Weight) -> Self {
+        let combos = (max_weight as u64)
+            .checked_pow(topo.link_count() as u32)
+            .unwrap_or(u64::MAX);
+        assert!(
+            combos <= ENUM_LIMIT,
+            "{combos} weight settings is too many for exhaustive search"
+        );
+        JointCostExplorer {
+            evaluator: Evaluator::new(topo, demands, Objective::LoadBased),
+            max_weight,
+        }
+    }
+
+    /// Calls `f` with every weight setting and its evaluation.
+    pub fn for_each(&mut self, mut f: impl FnMut(&WeightVector, &Evaluation)) {
+        let n = self.evaluator.topo().link_count();
+        let mut digits = vec![1u32; n];
+        loop {
+            let w = WeightVector::from_vec(digits.clone());
+            let e = self.evaluator.eval_str(&w);
+            f(&w, &e);
+            // Increment the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return;
+                }
+                if digits[i] < self.max_weight {
+                    digits[i] += 1;
+                    break;
+                }
+                digits[i] = 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// The setting minimizing the joint cost for `alpha` (ties broken by
+    /// first-found).
+    pub fn best_joint(&mut self, alpha: f64) -> (WeightVector, Evaluation) {
+        let mut best: Option<(f64, WeightVector, Evaluation)> = None;
+        self.for_each(|w, e| {
+            let j = joint_cost(alpha, e);
+            if best.as_ref().is_none_or(|(bj, _, _)| j < *bj) {
+                best = Some((j, w.clone(), e.clone()));
+            }
+        });
+        let (_, w, e) = best.expect("at least one setting enumerated");
+        (w, e)
+    }
+
+    /// The setting minimizing the strict lexicographic objective
+    /// `⟨Φ_H, Φ_L⟩`.
+    pub fn best_lexicographic(&mut self) -> (WeightVector, Evaluation) {
+        let mut best: Option<(WeightVector, Evaluation)> = None;
+        self.for_each(|w, e| {
+            if best.as_ref().is_none_or(|(_, b)| e.cost < b.cost) {
+                best = Some((w.clone(), e.clone()));
+            }
+        });
+        best.expect("at least one setting enumerated")
+    }
+}
+
+/// The numbers of the paper's 3-node example, produced by
+/// [`triangle_verdict`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleVerdict {
+    /// `(Φ_H, Φ_L)` of the `J` optimum at α = 35 (expected `(1/3, 64/9)`).
+    pub alpha_hi: (f64, f64),
+    /// `(Φ_H, Φ_L)` of the `J` optimum at α = 30 (expected `(1/2, 4/3)`).
+    pub alpha_lo: (f64, f64),
+    /// Relative improvement of `Φ_L` when lowering α (paper: 81 %).
+    pub low_improvement: f64,
+    /// Relative degradation of `Φ_H` when lowering α (paper: 50 %).
+    pub high_degradation: f64,
+}
+
+/// Reproduces §3.3.1: builds the Fig. 1 triangle with 1/3 high and 2/3
+/// low priority from A to C and compares the joint-cost optima at
+/// α = 35 and α = 30.
+pub fn triangle_verdict() -> TriangleVerdict {
+    let topo = dtr_graph::gen::triangle_topology(1.0);
+    let mut high = TrafficMatrix::zeros(3);
+    high.set(0, 2, 1.0 / 3.0);
+    let mut low = TrafficMatrix::zeros(3);
+    low.set(0, 2, 2.0 / 3.0);
+    let demands = DemandSet { high, low };
+
+    // Weights 1..=3 suffice to express both candidate routings: direct
+    // (uniform weights) and even split (w(A−C) = w(A−B) + w(B−C)).
+    let mut explorer = JointCostExplorer::new(&topo, &demands, 3);
+    let (_, hi) = explorer.best_joint(35.0);
+    let (_, lo) = explorer.best_joint(30.0);
+
+    TriangleVerdict {
+        alpha_hi: (hi.phi_h, hi.phi_l),
+        alpha_lo: (lo.phi_h, lo.phi_l),
+        low_improvement: (hi.phi_l - lo.phi_l) / hi.phi_l,
+        high_degradation: (lo.phi_h - hi.phi_h) / hi.phi_h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_matches_paper_numbers() {
+        let v = triangle_verdict();
+        assert!((v.alpha_hi.0 - 1.0 / 3.0).abs() < 1e-9, "{v:?}");
+        assert!((v.alpha_hi.1 - 64.0 / 9.0).abs() < 1e-9, "{v:?}");
+        assert!((v.alpha_lo.0 - 0.5).abs() < 1e-9, "{v:?}");
+        assert!((v.alpha_lo.1 - 4.0 / 3.0).abs() < 1e-9, "{v:?}");
+        // "improves Φ_L by 81%, but also degrades Φ_H by 50%".
+        assert!((v.low_improvement - 0.8125).abs() < 0.01);
+        assert!((v.high_degradation - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lexicographic_optimum_is_direct_routing() {
+        let topo = dtr_graph::gen::triangle_topology(1.0);
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0 / 3.0);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 2.0 / 3.0);
+        let demands = DemandSet { high, low };
+        let mut ex = JointCostExplorer::new(&topo, &demands, 3);
+        let (_, e) = ex.best_lexicographic();
+        assert!((e.phi_h - 1.0 / 3.0).abs() < 1e-9);
+        assert!((e.phi_l - 64.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_cost_formula() {
+        let topo = dtr_graph::gen::triangle_topology(1.0);
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 0.2);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 0.2);
+        let demands = DemandSet { high, low };
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let e = ev.eval_str(&WeightVector::uniform(&topo, 1));
+        assert!((joint_cost(10.0, &e) - (10.0 * e.phi_h + e.phi_l)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn enumeration_guard_trips() {
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 1,
+        });
+        let demands = DemandSet {
+            high: TrafficMatrix::zeros(10),
+            low: TrafficMatrix::zeros(10),
+        };
+        JointCostExplorer::new(&topo, &demands, 30);
+    }
+
+    #[test]
+    fn for_each_visits_every_setting() {
+        // 2-node duplex topology, weights 1..=4 → 16 settings.
+        let mut b = dtr_graph::TopologyBuilder::new();
+        b.add_nodes(2);
+        b.add_duplex(dtr_graph::NodeId(0), dtr_graph::NodeId(1), 1.0, 0.001);
+        let topo = b.build().unwrap();
+        let mut high = TrafficMatrix::zeros(2);
+        high.set(0, 1, 0.1);
+        let demands = DemandSet {
+            high,
+            low: TrafficMatrix::zeros(2),
+        };
+        let mut ex = JointCostExplorer::new(&topo, &demands, 4);
+        let mut count = 0;
+        ex.for_each(|_, _| count += 1);
+        assert_eq!(count, 16);
+    }
+}

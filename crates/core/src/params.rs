@@ -1,0 +1,190 @@
+//! Search-budget and tuning parameters (paper §5.1.3).
+
+use dtr_graph::{Weight, MAX_WEIGHT, MIN_WEIGHT};
+use serde::{Deserialize, Serialize};
+
+/// All knobs of Algorithm 1 / Algorithm 2 and of the STR baseline search.
+///
+/// Defaults mirror §5.1.3: weights in `1..=30`, `m = 5` neighbors,
+/// `g1 = g2 = 5 %`, `g3 = 3 %`, diversification interval `M = 300`,
+/// heavy-tail exponent `τ = 1.5`. The iteration budgets `N` and `K` are
+/// the paper's only expensive settings; [`SearchParams::paper`] uses the
+/// published values, the other presets scale them down (the experiments
+/// record which preset produced each figure).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Iterations of routines 1 and 2 (`N`, paper: 300 000).
+    pub n_iters: usize,
+    /// Iterations of the refinement routine 3 (`K`, paper: 800 000).
+    pub k_iters: usize,
+    /// Diversify after this many non-improving iterations (`M` = 300).
+    pub diversify_after: usize,
+    /// Neighbors evaluated per iteration (`m` = 5).
+    pub neighbors: usize,
+    /// Fraction of `W^H` weights perturbed when routine 1 diversifies
+    /// (`g1` = 5 %).
+    pub g1: f64,
+    /// Fraction of `W^L` weights perturbed when routine 2 diversifies
+    /// (`g2` = 5 %).
+    pub g2: f64,
+    /// Fraction of **both** vectors perturbed when routine 3 diversifies
+    /// (`g3` = 3 %; smaller because routine 3 restarts from the incumbent).
+    pub g3: f64,
+    /// Heavy-tail exponent of the rank distribution `P(k) ∝ k^{−τ}`
+    /// (τ = 1.5).
+    pub tau: f64,
+    /// Smallest assignable weight (1).
+    pub min_weight: Weight,
+    /// Largest assignable weight (30, §5.1.3).
+    pub max_weight: Weight,
+    /// Largest single-move weight increment/decrement in Algorithm 2's
+    /// neighbors; each move draws a step uniformly from `1..=max_step`.
+    pub max_step: u32,
+    /// RNG seed for the search (generation seeds live in `TrafficCfg`).
+    pub seed: u64,
+}
+
+impl SearchParams {
+    /// The paper's published budget (§5.1.3). Expensive: intended for
+    /// full-fidelity reproduction runs, not interactive use.
+    pub fn paper() -> Self {
+        SearchParams {
+            n_iters: 300_000,
+            k_iters: 800_000,
+            ..Self::base()
+        }
+    }
+
+    /// Budget used by the bundled experiment binaries: large enough for
+    /// the paper's qualitative shape, small enough to sweep many
+    /// configurations on one machine.
+    pub fn experiment() -> Self {
+        SearchParams {
+            n_iters: 1_200,
+            k_iters: 2_000,
+            ..Self::base()
+        }
+    }
+
+    /// Small budget for integration tests and examples.
+    pub fn quick() -> Self {
+        SearchParams {
+            n_iters: 250,
+            k_iters: 400,
+            diversify_after: 60,
+            ..Self::base()
+        }
+    }
+
+    /// Minimal budget for unit tests and doctests.
+    pub fn tiny() -> Self {
+        SearchParams {
+            n_iters: 40,
+            k_iters: 60,
+            diversify_after: 15,
+            ..Self::base()
+        }
+    }
+
+    fn base() -> Self {
+        SearchParams {
+            n_iters: 0,
+            k_iters: 0,
+            diversify_after: 300,
+            neighbors: 5,
+            g1: 0.05,
+            g2: 0.05,
+            g3: 0.03,
+            tau: 1.5,
+            min_weight: MIN_WEIGHT,
+            max_weight: MAX_WEIGHT,
+            max_step: 3,
+            seed: 1,
+        }
+    }
+
+    /// Copy with a different seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        SearchParams { seed, ..self }
+    }
+
+    /// Total evaluation budget of the DTR search (for fair STR
+    /// comparison): routines 1 and 2 evaluate `m` neighbors per
+    /// iteration, routine 3 evaluates `2m` (one `FindH` plus one `FindL`
+    /// pass).
+    pub fn dtr_eval_budget(&self) -> usize {
+        self.neighbors * (2 * self.n_iters + 2 * self.k_iters)
+    }
+
+    /// STR iteration count that matches [`Self::dtr_eval_budget`] with the
+    /// same `m` neighbors per iteration.
+    pub fn str_iters(&self) -> usize {
+        2 * self.n_iters + 2 * self.k_iters
+    }
+
+    /// Panics if a parameter combination is invalid.
+    pub fn validate(&self) {
+        assert!(self.neighbors >= 1, "need at least one neighbor");
+        assert!(self.min_weight >= 1, "weights must be ≥ 1");
+        assert!(self.max_weight > self.min_weight, "degenerate weight range");
+        assert!(self.max_step >= 1, "need a positive step");
+        assert!(self.tau >= 0.0, "negative heavy-tail exponent");
+        for g in [self.g1, self.g2, self.g3] {
+            assert!((0.0..=1.0).contains(&g), "perturbation fraction {g} outside [0,1]");
+        }
+        assert!(self.diversify_after >= 1, "diversification interval must be ≥ 1");
+    }
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self::experiment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_matches_section_5_1_3() {
+        let p = SearchParams::paper();
+        assert_eq!(p.n_iters, 300_000);
+        assert_eq!(p.k_iters, 800_000);
+        assert_eq!(p.neighbors, 5);
+        assert_eq!(p.diversify_after, 300);
+        assert_eq!(p.g1, 0.05);
+        assert_eq!(p.g2, 0.05);
+        assert_eq!(p.g3, 0.03);
+        assert_eq!(p.tau, 1.5);
+        assert_eq!(p.min_weight, 1);
+        assert_eq!(p.max_weight, 30);
+        p.validate();
+    }
+
+    #[test]
+    fn eval_budgets_match_between_schemes() {
+        let p = SearchParams::quick();
+        assert_eq!(p.dtr_eval_budget(), p.str_iters() * p.neighbors);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn validate_rejects_bad_range() {
+        let mut p = SearchParams::tiny();
+        p.max_weight = p.min_weight;
+        p.validate();
+    }
+
+    #[test]
+    fn presets_are_ordered_by_budget() {
+        assert!(SearchParams::tiny().dtr_eval_budget() < SearchParams::quick().dtr_eval_budget());
+        assert!(
+            SearchParams::quick().dtr_eval_budget()
+                < SearchParams::experiment().dtr_eval_budget()
+        );
+        assert!(
+            SearchParams::experiment().dtr_eval_budget() < SearchParams::paper().dtr_eval_budget()
+        );
+    }
+}

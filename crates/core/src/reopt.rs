@@ -1,0 +1,576 @@
+//! Change-limited reoptimization (Fortz & Thorup's "changing world" \[19\]).
+//!
+//! Demand drifts daily, but operators will not push a complete new weight
+//! configuration to every router each morning: each changed metric is a
+//! configuration event that triggers an LSA flood and a network-wide SPF
+//! rerun. \[19\] frames the practical problem as: *given the incumbent
+//! weights and a new traffic matrix, find a better setting that differs
+//! in at most `h` weights*.
+//!
+//! [`ReoptSearch`] implements that constrained search for both schemes:
+//! under [`Scheme::Str`] a "change" is one link's shared weight; under
+//! [`Scheme::Dtr`] each per-class metric counts separately (that is what
+//! a router reconfiguration costs under multi-topology OSPF — one metric
+//! statement per topology per interface). Moves that would exceed the
+//! change budget are rejected; moves that *revert* a previously changed
+//! weight back to its incumbent value release budget. [`frontier`] sweeps
+//! `h` with warm starts to trace the cost-vs-churn curve an operator
+//! actually navigates.
+
+use crate::params::SearchParams;
+use crate::scheme::Scheme;
+use crate::telemetry::{Phase, SearchTrace};
+use dtr_cost::{Lex2, Objective};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{LinkId, Topology};
+use dtr_routing::{Evaluation, Evaluator};
+use dtr_traffic::DemandSet;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of one change-limited reoptimization.
+#[derive(Debug, Clone)]
+pub struct ReoptResult {
+    /// Best setting found within the change budget (replicated vectors
+    /// under [`Scheme::Str`]).
+    pub weights: DualWeights,
+    /// Full evaluation of the best setting on the *new* demand.
+    pub eval: Evaluation,
+    /// Its objective value.
+    pub best_cost: Lex2,
+    /// The change budget `h` this run was allowed.
+    pub max_changes: usize,
+    /// Weight positions actually changed relative to the incumbent
+    /// (`≤ max_changes`).
+    pub changes_used: usize,
+    /// Telemetry.
+    pub trace: SearchTrace,
+}
+
+/// The change-limited local search.
+pub struct ReoptSearch<'a> {
+    evaluator: Evaluator<'a>,
+    params: SearchParams,
+    scheme: Scheme,
+    incumbent: DualWeights,
+    max_changes: usize,
+    start: Option<DualWeights>,
+}
+
+impl<'a> ReoptSearch<'a> {
+    /// Prepares a reoptimization of `incumbent` against `demands`
+    /// (typically a drifted matrix), allowing at most `max_changes`
+    /// weight changes. Under [`Scheme::Str`] the incumbent must have
+    /// replicated vectors.
+    pub fn new(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        objective: Objective,
+        params: SearchParams,
+        scheme: Scheme,
+        incumbent: DualWeights,
+        max_changes: usize,
+    ) -> Self {
+        params.validate();
+        assert_eq!(incumbent.high.len(), topo.link_count());
+        assert_eq!(incumbent.low.len(), topo.link_count());
+        if scheme == Scheme::Str {
+            assert_eq!(
+                incumbent.high, incumbent.low,
+                "STR incumbents must have replicated vectors"
+            );
+        }
+        ReoptSearch {
+            evaluator: Evaluator::new(topo, demands, objective),
+            params,
+            scheme,
+            incumbent,
+            max_changes,
+            start: None,
+        }
+    }
+
+    /// Warm-starts from `w` instead of the incumbent itself. `w` must be
+    /// within the change budget (used by [`frontier`] to chain runs).
+    pub fn with_start(mut self, w: DualWeights) -> Self {
+        assert!(
+            changes_between(&w, &self.incumbent, self.scheme) <= self.max_changes,
+            "warm start exceeds the change budget"
+        );
+        self.start = Some(w);
+        self
+    }
+
+    fn eval(&mut self, w: &DualWeights) -> Evaluation {
+        match self.scheme {
+            Scheme::Str => self.evaluator.eval_str(&w.high),
+            Scheme::Dtr => self.evaluator.eval_dual(w),
+        }
+    }
+
+    /// Runs the constrained search for [`SearchParams::str_iters`]
+    /// iterations of `m` candidates each.
+    pub fn run(mut self) -> ReoptResult {
+        let params = self.params;
+        let scheme = self.scheme;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut trace = SearchTrace::default();
+        let n_links = self.evaluator.topo().link_count();
+        let incumbent = self.incumbent.clone();
+
+        let mut cur_w = self.start.clone().unwrap_or_else(|| incumbent.clone());
+        let mut cur = self.eval(&cur_w.clone());
+        trace.evaluations += 1;
+        let mut best_w = cur_w.clone();
+        let mut best_cost = cur.cost;
+        let mut best_eval = cur.clone();
+        trace.improved(0, Phase::Str, best_cost);
+
+        if self.max_changes == 0 {
+            // Nothing may move; the incumbent (or start) is the answer.
+            return ReoptResult {
+                changes_used: changes_between(&best_w, &incumbent, scheme),
+                weights: best_w,
+                eval: best_eval,
+                best_cost,
+                max_changes: 0,
+                trace,
+            };
+        }
+
+        let mut stall = 0usize;
+        for _ in 0..params.str_iters() {
+            trace.iterations += 1;
+
+            let mut best_cand: Option<(Evaluation, DualWeights)> = None;
+            for _ in 0..params.neighbors {
+                let Some(cand_w) = self.propose(&cur_w, &incumbent, &mut rng) else {
+                    continue;
+                };
+                let e = self.eval(&cand_w);
+                trace.evaluations += 1;
+                if best_cand.as_ref().is_none_or(|(b, _)| e.cost < b.cost) {
+                    best_cand = Some((e, cand_w));
+                }
+            }
+
+            match best_cand {
+                Some((e, w)) if e.cost < cur.cost => {
+                    cur = e;
+                    cur_w = w;
+                    trace.moves_accepted += 1;
+                    if cur.cost < best_cost {
+                        best_cost = cur.cost;
+                        best_w = cur_w.clone();
+                        best_eval = cur.clone();
+                        trace.improved(trace.iterations, Phase::Str, best_cost);
+                        stall = 0;
+                    } else {
+                        stall += 1;
+                    }
+                }
+                _ => stall += 1,
+            }
+
+            if stall >= params.diversify_after {
+                // Restart inside the feasible ball: incumbent weights with
+                // a random subset of ≤ h positions re-randomized.
+                cur_w = self.random_feasible(&incumbent, n_links, &mut rng);
+                cur = self.eval(&cur_w.clone());
+                trace.evaluations += 1;
+                trace.diversifications += 1;
+                stall = 0;
+            }
+        }
+
+        ReoptResult {
+            changes_used: changes_between(&best_w, &incumbent, scheme),
+            weights: best_w,
+            eval: best_eval,
+            best_cost,
+            max_changes: self.max_changes,
+            trace,
+        }
+    }
+
+    /// Proposes one feasible single-weight change, or `None` when the
+    /// randomly chosen position cannot move without breaking the budget.
+    fn propose(
+        &self,
+        cur: &DualWeights,
+        incumbent: &DualWeights,
+        rng: &mut StdRng,
+    ) -> Option<DualWeights> {
+        let n = cur.high.len();
+        let lid = LinkId(rng.random_range(0..n as u32));
+        let change_high = match self.scheme {
+            Scheme::Str => true,
+            Scheme::Dtr => rng.random_bool(0.5),
+        };
+        let (cur_vec, inc_vec) = if change_high {
+            (&cur.high, &incumbent.high)
+        } else {
+            (&cur.low, &incumbent.low)
+        };
+        let old = cur_vec.get(lid);
+        let inc = inc_vec.get(lid);
+        let used = changes_between(cur, incumbent, self.scheme);
+
+        let at_budget = used >= self.max_changes;
+        let position_changed = old != inc;
+        let v = if at_budget && !position_changed {
+            // Budget exhausted and this position is pristine: the only
+            // legal moves elsewhere are reverts, so propose one instead.
+            return self.propose_revert(cur, incumbent, rng);
+        } else if at_budget && position_changed {
+            // May re-value this already-changed position (or revert it).
+            let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
+            if v == old {
+                v = if v == self.params.max_weight { self.params.min_weight } else { v + 1 };
+            }
+            v
+        } else {
+            // Budget available: any new value works.
+            let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
+            if v == old {
+                v = if v == self.params.max_weight { self.params.min_weight } else { v + 1 };
+            }
+            v
+        };
+
+        let mut next = cur.clone();
+        match self.scheme {
+            Scheme::Str => {
+                next.high.set(lid, v);
+                next.low.set(lid, v);
+            }
+            Scheme::Dtr if change_high => next.high.set(lid, v),
+            Scheme::Dtr => next.low.set(lid, v),
+        }
+        Some(next)
+    }
+
+    /// Reverts one randomly chosen changed position to its incumbent
+    /// value (releases one unit of budget); `None` when nothing changed.
+    fn propose_revert(
+        &self,
+        cur: &DualWeights,
+        incumbent: &DualWeights,
+        rng: &mut StdRng,
+    ) -> Option<DualWeights> {
+        let mut changed: Vec<(bool, LinkId)> = Vec::new();
+        for i in 0..cur.high.len() as u32 {
+            let lid = LinkId(i);
+            if cur.high.get(lid) != incumbent.high.get(lid) {
+                changed.push((true, lid));
+            }
+            if self.scheme == Scheme::Dtr && cur.low.get(lid) != incumbent.low.get(lid) {
+                changed.push((false, lid));
+            }
+        }
+        let &(is_high, lid) = changed.choose(rng)?;
+        let mut next = cur.clone();
+        match self.scheme {
+            Scheme::Str => {
+                let v = incumbent.high.get(lid);
+                next.high.set(lid, v);
+                next.low.set(lid, v);
+            }
+            Scheme::Dtr if is_high => {
+                let v = incumbent.high.get(lid);
+                next.high.set(lid, v);
+            }
+            Scheme::Dtr => {
+                let v = incumbent.low.get(lid);
+                next.low.set(lid, v);
+            }
+        }
+        Some(next)
+    }
+
+    /// A random point inside the feasible ball around the incumbent.
+    fn random_feasible(
+        &self,
+        incumbent: &DualWeights,
+        n_links: usize,
+        rng: &mut StdRng,
+    ) -> DualWeights {
+        let mut w = incumbent.clone();
+        let count = rng.random_range(1..=self.max_changes);
+        for _ in 0..count {
+            let lid = LinkId(rng.random_range(0..n_links as u32));
+            let v = rng.random_range(self.params.min_weight..=self.params.max_weight);
+            match self.scheme {
+                Scheme::Str => {
+                    w.high.set(lid, v);
+                    w.low.set(lid, v);
+                }
+                Scheme::Dtr if rng.random_bool(0.5) => w.high.set(lid, v),
+                Scheme::Dtr => w.low.set(lid, v),
+            }
+        }
+        w
+    }
+}
+
+/// Number of configuration changes between two settings under a scheme:
+/// per-link for STR (the vectors are replicas), per-link-per-class for
+/// DTR.
+pub fn changes_between(a: &DualWeights, b: &DualWeights, scheme: Scheme) -> usize {
+    match scheme {
+        Scheme::Str => a.high.hamming(&b.high),
+        Scheme::Dtr => a.high.hamming(&b.high) + a.low.hamming(&b.low),
+    }
+}
+
+/// Sweeps the change budget `h` over `budgets` (must be increasing),
+/// warm-starting each run from the previous best, and returns one
+/// [`ReoptResult`] per budget. The warm start makes the frontier
+/// monotone: a larger budget never reports a worse cost.
+pub fn frontier(
+    topo: &Topology,
+    demands: &DemandSet,
+    objective: Objective,
+    params: SearchParams,
+    scheme: Scheme,
+    incumbent: &DualWeights,
+    budgets: &[usize],
+) -> Vec<ReoptResult> {
+    assert!(
+        budgets.windows(2).all(|w| w[0] < w[1]),
+        "budgets must be strictly increasing"
+    );
+    let mut out: Vec<ReoptResult> = Vec::with_capacity(budgets.len());
+    for (i, &h) in budgets.iter().enumerate() {
+        let mut search = ReoptSearch::new(
+            topo,
+            demands,
+            objective,
+            params.with_seed(params.seed.wrapping_add(i as u64)),
+            scheme,
+            incumbent.clone(),
+            h,
+        );
+        if let Some(prev) = out.last() {
+            search = search.with_start(prev.weights.clone());
+        }
+        out.push(search.run());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
+    use dtr_graph::{NodeId, WeightVector};
+    use dtr_traffic::{TrafficCfg, TrafficMatrix};
+
+    fn triangle_instance() -> (Topology, DemandSet) {
+        let topo = triangle_topology(1.0);
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0 / 3.0);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 2.0 / 3.0);
+        (topo, DemandSet { high, low })
+    }
+
+    fn drifted_instance() -> (Topology, DemandSet, DemandSet) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 8 });
+        let base = DemandSet::generate(&topo, &TrafficCfg { seed: 8, ..Default::default() })
+            .scaled(4.0);
+        // A crude drift: swap emphasis onto a different seed's pattern.
+        let drifted = DemandSet::generate(&topo, &TrafficCfg { seed: 9, ..Default::default() })
+            .scaled(4.0);
+        (topo, base, drifted)
+    }
+
+    #[test]
+    fn zero_budget_returns_incumbent() {
+        let (topo, demands) = triangle_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let res = ReoptSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny(),
+            Scheme::Dtr,
+            incumbent.clone(),
+            0,
+        )
+        .run();
+        assert_eq!(res.weights, incumbent);
+        assert_eq!(res.changes_used, 0);
+    }
+
+    #[test]
+    fn one_change_recovers_triangle_dtr_detour() {
+        // From uniform weights, a single W^L change (raising the direct
+        // A→C low-class weight) reaches Φ_L = 11/9 — the reopt search
+        // must find an improvement of that size with h = 1.
+        let (topo, demands) = triangle_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let res = ReoptSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::quick().with_seed(2),
+            Scheme::Dtr,
+            incumbent,
+            1,
+        )
+        .run();
+        assert!(res.changes_used <= 1);
+        assert!((res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9);
+        assert!(
+            (res.eval.phi_l - 11.0 / 9.0).abs() < 1e-9,
+            "phi_l={} (expected the one-change ECMP split)",
+            res.eval.phi_l
+        );
+    }
+
+    #[test]
+    fn changes_respect_budget() {
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        for h in [1usize, 3, 7] {
+            let res = ReoptSearch::new(
+                &topo,
+                &drifted,
+                Objective::LoadBased,
+                SearchParams::tiny().with_seed(h as u64),
+                Scheme::Dtr,
+                incumbent.clone(),
+                h,
+            )
+            .run();
+            assert!(res.changes_used <= h, "h={h} used={}", res.changes_used);
+            assert_eq!(
+                res.changes_used,
+                changes_between(&res.weights, &incumbent, Scheme::Dtr)
+            );
+        }
+    }
+
+    #[test]
+    fn str_scheme_counts_links_once_and_keeps_replicas() {
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let res = ReoptSearch::new(
+            &topo,
+            &drifted,
+            Objective::LoadBased,
+            SearchParams::tiny().with_seed(5),
+            Scheme::Str,
+            incumbent,
+            3,
+        )
+        .run();
+        assert_eq!(res.weights.high, res.weights.low);
+        assert!(res.changes_used <= 3);
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_budget() {
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let results = frontier(
+            &topo,
+            &drifted,
+            Objective::LoadBased,
+            SearchParams::tiny().with_seed(6),
+            Scheme::Dtr,
+            &incumbent,
+            &[1, 4, 16],
+        );
+        assert_eq!(results.len(), 3);
+        for w in results.windows(2) {
+            assert!(
+                w[1].best_cost <= w[0].best_cost,
+                "larger budget must not be worse: {:?} vs {:?}",
+                w[1].best_cost,
+                w[0].best_cost
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_validation() {
+        let (topo, demands) = triangle_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let mut far = incumbent.clone();
+        far.high.set(topo.find_link(NodeId(0), NodeId(1)).unwrap(), 7);
+        far.low.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 9);
+        let search = ReoptSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny(),
+            Scheme::Dtr,
+            incumbent,
+            2,
+        );
+        // Two changes fit the budget of 2.
+        let _ok = search.with_start(far);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm start exceeds")]
+    fn warm_start_over_budget_panics() {
+        let (topo, demands) = triangle_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let mut far = incumbent.clone();
+        far.high.set(topo.find_link(NodeId(0), NodeId(1)).unwrap(), 7);
+        far.low.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 9);
+        let _ = ReoptSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny(),
+            Scheme::Dtr,
+            incumbent,
+            1,
+        )
+        .with_start(far);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicated")]
+    fn str_scheme_rejects_diverged_incumbent() {
+        let (topo, demands) = triangle_instance();
+        let mut w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        w.low.set(LinkId(0), 9);
+        let _ = ReoptSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::tiny(),
+            Scheme::Str,
+            w,
+            1,
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let run = || {
+            ReoptSearch::new(
+                &topo,
+                &drifted,
+                Objective::LoadBased,
+                SearchParams::tiny().with_seed(31),
+                Scheme::Dtr,
+                incumbent.clone(),
+                5,
+            )
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.changes_used, b.changes_used);
+    }
+}

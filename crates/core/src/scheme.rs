@@ -1,0 +1,39 @@
+//! Which routing scheme a search optimizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Single- vs dual-topology routing, for searches that support both
+/// through one entry point ([`crate::AnnealSearch`],
+/// [`crate::RobustSearch`], [`crate::ReoptSearch`]).
+///
+/// The paper's main algorithms have dedicated types instead
+/// ([`crate::StrSearch`], [`crate::DtrSearch`]) because their search
+/// structure differs between the schemes, not just the move set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// One weight vector shared by both classes (single-topology).
+    Str,
+    /// Independent per-class weight vectors (dual-topology).
+    Dtr,
+}
+
+impl Scheme {
+    /// Machine-readable name for CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Str => "str",
+            Scheme::Dtr => "dtr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Scheme::Str.name(), "str");
+        assert_eq!(Scheme::Dtr.name(), "dtr");
+    }
+}

@@ -1,0 +1,100 @@
+//! Search telemetry: what happened during a heuristic run.
+//!
+//! Used by the experiments to report convergence behaviour and by the
+//! ablation benches to compare design variants (diversification on/off,
+//! τ settings, routine 3 on/off).
+
+use dtr_cost::Lex2;
+use serde::{Deserialize, Serialize};
+
+/// Which routine of Algorithm 1 an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Routine 1: optimizing `W^H` (`FindH`).
+    OptimizeHigh,
+    /// Routine 2: optimizing `W^L` (`FindL`).
+    OptimizeLow,
+    /// Routine 3: joint refinement.
+    Refine,
+    /// The STR baseline's single loop.
+    Str,
+}
+
+/// One incumbent improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Improvement {
+    /// Global iteration counter at which the improvement was found.
+    pub iteration: usize,
+    /// Candidate evaluations spent when the improvement was found — the
+    /// strategy-independent x-axis for convergence curves (iterations
+    /// mean different things to a local search, a GA generation, and an
+    /// annealing step).
+    pub evaluations: usize,
+    /// Routine that found it.
+    pub phase: Phase,
+    /// The new incumbent cost.
+    pub cost: Lex2,
+}
+
+/// Counters and the improvement log of one search run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Total iterations executed (across routines).
+    pub iterations: usize,
+    /// Total candidate evaluations.
+    pub evaluations: usize,
+    /// Diversification events (random perturbations after stalls).
+    pub diversifications: usize,
+    /// Accepted local-search moves.
+    pub moves_accepted: usize,
+    /// Every incumbent improvement, in order.
+    pub improvements: Vec<Improvement>,
+}
+
+impl SearchTrace {
+    /// Records an incumbent improvement at the current evaluation count.
+    pub fn improved(&mut self, iteration: usize, phase: Phase, cost: Lex2) {
+        self.improvements.push(Improvement {
+            iteration,
+            evaluations: self.evaluations,
+            phase,
+            cost,
+        });
+    }
+
+    /// The incumbent cost after the last improvement, if any.
+    pub fn final_cost(&self) -> Option<Lex2> {
+        self.improvements.last().map(|i| i.cost)
+    }
+
+    /// Iterations between the first and last improvement — a crude
+    /// convergence measure used by the ablation benches.
+    pub fn convergence_span(&self) -> usize {
+        match (self.improvements.first(), self.improvements.last()) {
+            (Some(a), Some(b)) => b.iteration - a.iteration,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_improvements_in_order() {
+        let mut t = SearchTrace::default();
+        t.improved(3, Phase::OptimizeHigh, Lex2::new(10.0, 5.0));
+        t.improved(9, Phase::Refine, Lex2::new(8.0, 4.0));
+        assert_eq!(t.improvements.len(), 2);
+        assert_eq!(t.final_cost(), Some(Lex2::new(8.0, 4.0)));
+        assert_eq!(t.convergence_span(), 6);
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let t = SearchTrace::default();
+        assert_eq!(t.final_cost(), None);
+        assert_eq!(t.convergence_span(), 0);
+    }
+}

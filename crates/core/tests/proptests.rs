@@ -1,0 +1,223 @@
+//! Property tests for the weight-search heuristics.
+//!
+//! The invariants that must hold for *every* instance and budget:
+//! searches never return worse-than-initial solutions, results stay
+//! within the weight bounds, DTR warm-started from STR lexicographically
+//! dominates it, and relaxed STR orderings hold.
+
+use dtr_core::reopt::changes_between;
+use dtr_core::{
+    AnnealSearch, DtrSearch, DualWeights, MemeticSearch, Objective, ReoptSearch, RobustEvaluator,
+    ScenarioCombine, Scheme, SearchParams, StrSearch,
+};
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::{LinkId, Topology, WeightVector};
+use dtr_routing::Evaluator;
+use dtr_traffic::{DemandSet, TrafficCfg};
+use proptest::prelude::*;
+
+fn instance(seed: u64, scale: f64) -> (Topology, DemandSet) {
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 10,
+        directed_links: 40,
+        seed: 1 + (seed % 5),
+    });
+    let demands =
+        DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() }).scaled(scale);
+    (topo, demands)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn str_weights_stay_in_bounds(seed in 0u64..500, scale in 1.0f64..6.0) {
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let res = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        for (lid, _) in topo.links() {
+            let w = res.weights.get(lid);
+            prop_assert!((params.min_weight..=params.max_weight).contains(&w));
+        }
+    }
+
+    #[test]
+    fn dtr_weights_stay_in_bounds(seed in 0u64..500, scale in 1.0f64..6.0) {
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        for (lid, _) in topo.links() {
+            for w in [res.weights.high.get(lid), res.weights.low.get(lid)] {
+                prop_assert!((params.min_weight..=params.max_weight).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn searches_never_regress_from_initial(seed in 0u64..500, scale in 1.0f64..6.0) {
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let w0 = WeightVector::uniform(&topo, 1);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let init = ev.eval_str(&w0).cost;
+
+        let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params)
+            .with_initial(w0.clone())
+            .run();
+        prop_assert!(s.best_cost <= init);
+
+        let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params)
+            .with_initial(DualWeights::replicated(w0))
+            .run();
+        prop_assert!(d.best_cost <= init);
+    }
+
+    #[test]
+    fn warm_started_dtr_dominates_str(seed in 0u64..500, scale in 2.0f64..6.0) {
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params)
+            .with_initial(DualWeights::replicated(s.weights.clone()))
+            .run();
+        prop_assert!(d.best_cost <= s.best_cost);
+    }
+
+    #[test]
+    fn reported_cost_matches_reevaluation(seed in 0u64..500, scale in 1.0f64..6.0) {
+        // The result's weights re-evaluated from scratch must reproduce
+        // the claimed best cost (guards against cache-corruption bugs in
+        // the incremental evaluation).
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        for objective in [Objective::LoadBased, Objective::sla_default()] {
+            let d = DtrSearch::new(&topo, &demands, objective, params).run();
+            let mut ev = Evaluator::new(&topo, &demands, objective);
+            prop_assert_eq!(ev.eval_dual(&d.weights).cost, d.best_cost);
+
+            let s = StrSearch::new(&topo, &demands, objective, params).run();
+            prop_assert_eq!(ev.eval_str(&s.weights).cost, s.best_cost);
+        }
+    }
+
+    #[test]
+    fn relaxed_ordering_holds(seed in 0u64..500, scale in 2.0f64..6.0) {
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params)
+            .with_relaxations(&[0.0, 0.05, 0.30])
+            .run();
+        // Larger ε admits supersets of candidates: Φ_L must be monotone
+        // non-increasing in ε, and ε = 0 can't beat the strict search's
+        // own Φ_L by more than floating-point noise on the same trace.
+        prop_assert!(s.relaxed[1].phi_l <= s.relaxed[0].phi_l + 1e-9);
+        prop_assert!(s.relaxed[2].phi_l <= s.relaxed[1].phi_l + 1e-9);
+    }
+
+    #[test]
+    fn every_strategy_beats_or_matches_uniform(seed in 0u64..200, scale in 2.0f64..5.0) {
+        // All four STR-space strategies start from (or seed their
+        // population with) the uniform setting, so none may end worse.
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let uniform = ev.eval_str(&WeightVector::uniform(&topo, 1)).cost;
+
+        let ga = dtr_core::GaSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        prop_assert!(ga.best_cost <= uniform);
+        let mem = MemeticSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+        prop_assert!(mem.best_cost <= uniform);
+        let sa = AnnealSearch::new(&topo, &demands, Objective::LoadBased, params, Scheme::Str)
+            .run();
+        prop_assert!(sa.best_cost <= uniform);
+    }
+
+    #[test]
+    fn reopt_changes_never_exceed_budget(seed in 0u64..300, h in 0usize..12, scale in 1.0f64..5.0) {
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 7));
+        for scheme in [Scheme::Str, Scheme::Dtr] {
+            let res = ReoptSearch::new(
+                &topo,
+                &demands,
+                Objective::LoadBased,
+                params,
+                scheme,
+                incumbent.clone(),
+                h,
+            )
+            .run();
+            prop_assert!(res.changes_used <= h);
+            prop_assert_eq!(
+                res.changes_used,
+                changes_between(&res.weights, &incumbent, scheme)
+            );
+            // Reopt never regresses: the incumbent is in the search space.
+            let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+            let inc_cost = ev.eval_dual(&incumbent).cost;
+            prop_assert!(res.best_cost <= inc_cost);
+            if scheme == Scheme::Str {
+                prop_assert_eq!(&res.weights.high, &res.weights.low);
+            }
+        }
+    }
+
+    #[test]
+    fn robust_cost_components_are_ordered(seed in 0u64..200, w1 in 0u64..100, w2 in 0u64..100, beta in 0.0f64..1.0) {
+        // For any weights: intact ≤ average ≤ worst (component-wise) and
+        // the blend interpolates between intact and worst.
+        let (topo, demands) = instance(seed, 3.0);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(w1 ^ (w2 << 32));
+        let rand_vec = |rng: &mut rand::rngs::StdRng| {
+            WeightVector::from_vec(
+                (0..topo.link_count())
+                    .map(|_| rand::Rng::random_range(rng, 1u32..=30))
+                    .collect(),
+            )
+        };
+        let w = DualWeights { high: rand_vec(&mut rng), low: rand_vec(&mut rng) };
+        let mut ev = RobustEvaluator::new(&topo, &demands, ScenarioCombine::Blend { beta });
+        let c = ev.eval(&w);
+        prop_assert!(c.intact.primary <= c.worst.primary + 1e-9);
+        prop_assert!(c.intact.secondary <= c.worst.secondary + 1e-9);
+        prop_assert!(c.average.primary <= c.worst.primary + 1e-9);
+        prop_assert!(c.average.secondary <= c.worst.secondary + 1e-9);
+        prop_assert!(c.combined.primary >= c.intact.primary - 1e-9);
+        prop_assert!(c.combined.primary <= c.worst.primary + 1e-9);
+        prop_assert!(c.combined.secondary >= c.intact.secondary - 1e-9);
+        prop_assert!(c.combined.secondary <= c.worst.secondary + 1e-9);
+    }
+
+    #[test]
+    fn anneal_dtr_high_class_isolation(seed in 0u64..100, scale in 2.0f64..5.0) {
+        // The annealer's DTR fast path (cached high side on low-class
+        // moves) must agree with a from-scratch evaluation of its result.
+        let (topo, demands) = instance(seed, scale);
+        let params = SearchParams::tiny().with_seed(seed);
+        let res = AnnealSearch::new(&topo, &demands, Objective::LoadBased, params, Scheme::Dtr)
+            .run();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        prop_assert_eq!(ev.eval_dual(&res.weights).cost, res.best_cost);
+    }
+
+    #[test]
+    fn neighbor_moves_touch_at_most_two_links(seed in 0u64..100) {
+        // Structural check on Algorithm 2 through the public API: a
+        // single FindH acceptance changes ≤ 2 weight positions. We proxy
+        // this by running with n_iters = 1, k_iters = 0 and comparing to
+        // the initial weights.
+        let (topo, demands) = instance(seed, 3.0);
+        let mut params = SearchParams::tiny().with_seed(seed);
+        params.n_iters = 1;
+        params.k_iters = 0;
+        params.diversify_after = 1000; // never diversify
+        let w0 = WeightVector::uniform(&topo, 15);
+        let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params)
+            .with_initial(DualWeights::replicated(w0.clone()))
+            .run();
+        prop_assert!(d.weights.high.hamming(&w0) <= 2);
+        prop_assert!(d.weights.low.hamming(&w0) <= 2);
+        let _ = LinkId(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-link delay model for the SLA objective (paper Eq. 3).
+//!
+//! The average delay seen by high-priority traffic on link `l` is
+//!
+//! ```text
+//! D_l = (s / C_l) · (H_l / (C_l − H_l) + 1) + p_l
+//!     ≈ (s / C_l) · (Φ_H,l / C_l + 1) + p_l
+//! ```
+//!
+//! where `s` is the average packet size, `C_l` capacity, `H_l` the
+//! high-priority load and `p_l` propagation delay. Following the paper
+//! (and \[18\]), the M/M/1 occupancy term `H/(C−H)` is approximated by
+//! `Φ(H, C)/C`, which remains finite at and above saturation.
+//!
+//! Units: capacities and loads in Mbit/s, delays in seconds, packet size in
+//! bits. The paper does not state `s`; we use 1000-byte packets (8000
+//! bits), which with 500 Mbit/s links makes the transmission term 16 µs —
+//! small against 1.2–15 ms propagation delays except near overload,
+//! matching the paper's observation in §5.2.2.
+
+use crate::load::phi;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Eq. 3 delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayParams {
+    /// Average packet size in **bits** (default 8000 = 1000 bytes).
+    pub packet_size_bits: f64,
+}
+
+impl Default for DelayParams {
+    fn default() -> Self {
+        DelayParams {
+            packet_size_bits: 8000.0,
+        }
+    }
+}
+
+/// Average link delay in seconds for high-priority load `high_mbps` on a
+/// link of `capacity_mbps` with propagation delay `prop_delay_s`.
+#[inline]
+pub fn link_delay(
+    params: &DelayParams,
+    high_mbps: f64,
+    capacity_mbps: f64,
+    prop_delay_s: f64,
+) -> f64 {
+    debug_assert!(capacity_mbps > 0.0);
+    let service_s = params.packet_size_bits / (capacity_mbps * 1e6);
+    let occupancy = phi(high_mbps, capacity_mbps) / capacity_mbps;
+    service_s * (occupancy + 1.0) + prop_delay_s
+}
+
+/// The exact M/M/1 version of Eq. 3 (left-hand expression), defined only
+/// below saturation; used by tests and by the simulator cross-validation.
+#[inline]
+pub fn link_delay_mm1(
+    params: &DelayParams,
+    high_mbps: f64,
+    capacity_mbps: f64,
+    prop_delay_s: f64,
+) -> f64 {
+    debug_assert!(high_mbps < capacity_mbps, "M/M/1 delay undefined at/above saturation");
+    let service_s = params.packet_size_bits / (capacity_mbps * 1e6);
+    service_s * (high_mbps / (capacity_mbps - high_mbps) + 1.0) + prop_delay_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 500.0;
+    const P: f64 = 0.010; // 10 ms
+
+    #[test]
+    fn empty_link_is_propagation_plus_transmission() {
+        let p = DelayParams::default();
+        let d = link_delay(&p, 0.0, C, P);
+        let service = 8000.0 / (C * 1e6);
+        assert!((d - (P + service)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delay_grows_with_load() {
+        let p = DelayParams::default();
+        let mut prev = 0.0;
+        for i in 0..12 {
+            let d = link_delay(&p, C * i as f64 / 10.0, C, P);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn approximation_tracks_mm1_at_moderate_load() {
+        // At u = 1/3 the Φ approximation gives occupancy 1/3 versus the
+        // true 0.5; both are dominated by propagation delay.
+        let p = DelayParams::default();
+        let approx = link_delay(&p, C / 3.0, C, P);
+        let exact = link_delay_mm1(&p, C / 3.0, C, P);
+        assert!((approx - exact).abs() / exact < 0.01);
+    }
+
+    #[test]
+    fn overload_remains_finite_and_large() {
+        let p = DelayParams::default();
+        let d = link_delay(&p, 1.2 * C, C, P);
+        assert!(d.is_finite());
+        // Occupancy term: Φ(1.2C, C)/C = 5000·1.2 − 16318/3 ≈ 560.7 —
+        // service time inflates by ~560× ≈ 9 ms on top of propagation.
+        assert!(d > P + 5e-3, "got {d}");
+    }
+
+    #[test]
+    fn queueing_negligible_against_propagation_when_lightly_loaded() {
+        // The paper argues (§5.2.2) the queueing term is nearly
+        // insignificant vs propagation for lightly loaded links.
+        let p = DelayParams::default();
+        let d = link_delay(&p, 0.2 * C, C, 0.0012);
+        assert!((d - 0.0012) / 0.0012 < 0.02);
+    }
+}

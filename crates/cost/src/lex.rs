@@ -1,0 +1,146 @@
+//! Lexicographically ordered cost tuples `⟨x, y⟩` (paper §3.1).
+//!
+//! The paper's objectives give strict precedence to the high-priority
+//! class: `⟨x₁, y₁⟩ > ⟨x₂, y₂⟩` iff `x₁ > x₂`, or `x₁ = x₂` and `y₁ > y₂`.
+//! [`Lex2`] implements that as a *total* order over finite floats using
+//! `f64::total_cmp`; the search loops rely on `Ord`, so the invariant is
+//! that cost components are never NaN (all cost functions in this crate
+//! produce finite values for finite inputs, which tests enforce).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A two-component lexicographic cost `⟨primary, secondary⟩`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Lex2 {
+    /// Optimized first (high-priority class cost: `Φ_H` or `Λ`).
+    pub primary: f64,
+    /// Optimized second (low-priority class cost `Φ_L`).
+    pub secondary: f64,
+}
+
+impl Lex2 {
+    /// Builds a tuple; both components must be finite (checked in debug).
+    #[inline]
+    pub fn new(primary: f64, secondary: f64) -> Self {
+        debug_assert!(primary.is_finite(), "non-finite primary {primary}");
+        debug_assert!(secondary.is_finite(), "non-finite secondary {secondary}");
+        Lex2 { primary, secondary }
+    }
+
+    /// The lexicographic maximum representable tuple — a convenient
+    /// "worse than anything real" initial incumbent for minimization.
+    pub const MAX: Lex2 = Lex2 {
+        primary: f64::MAX,
+        secondary: f64::MAX,
+    };
+
+    /// True if `self` improves on (is strictly lexicographically smaller
+    /// than) `other`.
+    #[inline]
+    pub fn improves_on(&self, other: &Lex2) -> bool {
+        self < other
+    }
+
+    /// Relaxed comparison used by ε-relaxed STR (§3.3.2 / §5.3.1): `self`
+    /// is acceptable relative to a best-known `other` if its primary
+    /// component is within a factor `(1 + eps)` of `other`'s.
+    #[inline]
+    pub fn primary_within(&self, other: &Lex2, eps: f64) -> bool {
+        self.primary <= (1.0 + eps) * other.primary
+    }
+}
+
+impl PartialEq for Lex2 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Lex2 {}
+
+impl PartialOrd for Lex2 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Lex2 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.primary
+            .total_cmp(&other.primary)
+            .then_with(|| self.secondary.total_cmp(&other.secondary))
+    }
+}
+
+impl fmt::Display for Lex2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{:.6}, {:.6}⟩", self.primary, self.secondary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_dominates() {
+        assert!(Lex2::new(1.0, 100.0) < Lex2::new(2.0, 0.0));
+        assert!(Lex2::new(2.0, 0.0) > Lex2::new(1.0, 100.0));
+    }
+
+    #[test]
+    fn secondary_breaks_ties() {
+        assert!(Lex2::new(1.0, 1.0) < Lex2::new(1.0, 2.0));
+        assert_eq!(Lex2::new(1.0, 1.0), Lex2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn max_is_worst() {
+        assert!(Lex2::new(1e300, 1e300) < Lex2::MAX);
+        assert!(Lex2::new(0.0, 0.0).improves_on(&Lex2::MAX));
+    }
+
+    #[test]
+    fn within_eps_relaxation() {
+        let best = Lex2::new(100.0, 5.0);
+        assert!(Lex2::new(104.0, 1.0).primary_within(&best, 0.05));
+        assert!(!Lex2::new(106.0, 1.0).primary_within(&best, 0.05));
+        // ε = 0 degenerates to the strict rule.
+        assert!(Lex2::new(100.0, 9.0).primary_within(&best, 0.0));
+        assert!(!Lex2::new(100.1, 9.0).primary_within(&best, 0.0));
+    }
+
+    #[test]
+    fn order_is_total_and_transitive_on_samples() {
+        let xs = [
+            Lex2::new(0.0, 0.0),
+            Lex2::new(0.0, 1.0),
+            Lex2::new(1.0, -5.0),
+            Lex2::new(1.0, 0.0),
+            Lex2::new(2.0, -100.0),
+        ];
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for a in &xs {
+            for b in &xs {
+                // Total: exactly one of <, ==, > holds.
+                let lt = a < b;
+                let gt = a > b;
+                let eq = a == b;
+                assert_eq!(1, lt as u8 + gt as u8 + eq as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero_ordering() {
+        // total_cmp puts -0.0 < 0.0; our costs are non-negative so the only
+        // requirement is consistency, which Ord provides.
+        let a = Lex2::new(-0.0, 0.0);
+        let b = Lex2::new(0.0, 0.0);
+        assert!(a <= b);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dtr-cost — cost functions for dual-topology routing
+//!
+//! Pure numeric implementations of the paper's §3 problem formulation:
+//!
+//! - [`load`] — the **load-based** cost: the Fortz–Thorup piecewise-linear
+//!   approximation `Φ` of M/M/1 queueing cost (Eq. 1), applied per class
+//!   with the high-priority class seeing raw capacity and the low-priority
+//!   class seeing **residual** capacity `C̃_l = max(C_l − H_l, 0)`.
+//! - [`delay`] — the link delay model of Eq. 3 combining an M/M/1 queueing
+//!   term (approximated through `Φ`) with propagation delay.
+//! - [`sla`] — the **SLA-based** penalty `Λ` of Eq. 4: a fixed penalty `a`
+//!   plus a proportional term `b·(ξ − θ)` for every source-destination pair
+//!   whose average delay `ξ` exceeds the bound `θ`.
+//! - [`lex`] — lexicographic two-tuples `⟨x, y⟩` with the total order the
+//!   paper's objectives `A = ⟨Φ_H, Φ_L⟩` and `S = ⟨Λ, Φ_L⟩` minimize.
+//!
+//! Everything in this crate is deterministic, allocation-free and
+//! `f64`-pure; the routing engine (`dtr-routing`) supplies the link loads.
+
+pub mod delay;
+pub mod lex;
+pub mod load;
+pub mod objective;
+pub mod sla;
+
+pub use delay::{link_delay, DelayParams};
+pub use lex::Lex2;
+pub use load::{phi, phi_derivative, phi_segment, PHI_BREAKPOINTS, PHI_SLOPES};
+pub use objective::{Objective, SlaParams};
+pub use sla::{sla_penalty, DEFAULT_PENALTY_A, DEFAULT_PENALTY_B, DEFAULT_SLA_BOUND_S};

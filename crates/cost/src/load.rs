@@ -1,0 +1,189 @@
+//! The Fortz–Thorup piecewise-linear link cost `Φ` (paper Eq. 1).
+//!
+//! `Φ(load, capacity)` is the convex piecewise-linear function with slopes
+//! 1, 3, 10, 70, 500, 5000 over utilization intervals
+//! `[0, 1/3], [1/3, 2/3], [2/3, 9/10], [9/10, 1], [1, 11/10], [11/10, ∞)`.
+//! It approximates M/M/1 queueing cost while staying finite above
+//! capacity, which lets a local search walk through overloaded
+//! configurations instead of hitting infinities.
+//!
+//! We evaluate `Φ` in the numerically robust *max-of-affine* form
+//! `Φ(x, C) = max_i (aᵢ·x − bᵢ·C)`: convexity makes the maximum equal the
+//! active segment, and the form stays correct at `C = 0` — important
+//! because the low-priority class is charged against **residual** capacity
+//! `C̃ = max(C − H, 0)`, which is exactly zero on links saturated by
+//! high-priority traffic (then `Φ(x, 0) = 5000·x`).
+
+/// Segment slopes `aᵢ` of Eq. 1.
+pub const PHI_SLOPES: [f64; 6] = [1.0, 3.0, 10.0, 70.0, 500.0, 5000.0];
+
+/// Utilization breakpoints where the slope changes.
+pub const PHI_BREAKPOINTS: [f64; 5] = [1.0 / 3.0, 2.0 / 3.0, 9.0 / 10.0, 1.0, 11.0 / 10.0];
+
+/// Intercepts `bᵢ` of Eq. 1 (`Φ = aᵢ·x − bᵢ·C` on segment `i`).
+pub const PHI_INTERCEPTS: [f64; 6] = [
+    0.0,
+    2.0 / 3.0,
+    16.0 / 3.0,
+    178.0 / 3.0,
+    1468.0 / 3.0,
+    16318.0 / 3.0,
+];
+
+/// Evaluates `Φ(load, capacity)`.
+///
+/// `load` and `capacity` must be non-negative and in the same units
+/// (Mbit/s throughout this workspace). `capacity == 0` is legal and yields
+/// the steepest segment, `5000·load`.
+#[inline]
+pub fn phi(load: f64, capacity: f64) -> f64 {
+    debug_assert!(load >= 0.0, "negative load {load}");
+    debug_assert!(capacity >= 0.0, "negative capacity {capacity}");
+    let mut best = 0.0f64;
+    for i in 0..6 {
+        let v = PHI_SLOPES[i] * load - PHI_INTERCEPTS[i] * capacity;
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}
+
+/// Index of the segment of Eq. 1 active at `(load, capacity)`:
+/// 0 for utilization ≤ 1/3 through 5 for utilization ≥ 11/10.
+/// `capacity == 0` reports segment 5.
+#[inline]
+pub fn phi_segment(load: f64, capacity: f64) -> usize {
+    if capacity <= 0.0 {
+        return 5;
+    }
+    let u = load / capacity;
+    PHI_BREAKPOINTS.iter().position(|&b| u <= b).unwrap_or(5)
+}
+
+/// Right derivative `∂Φ/∂load` — the slope of the active segment. Used by
+/// the heuristics' link-ranking and by tests of convexity.
+#[inline]
+pub fn phi_derivative(load: f64, capacity: f64) -> f64 {
+    PHI_SLOPES[phi_segment(load, capacity)]
+}
+
+/// Residual capacity seen by the low-priority class on a link carrying
+/// `high` units of high-priority traffic: `C̃ = max(C − H, 0)` (§3).
+#[inline]
+pub fn residual_capacity(capacity: f64, high: f64) -> f64 {
+    (capacity - high).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 500.0;
+
+    /// Direct transcription of Eq. 1's six branches, used as an oracle.
+    fn phi_oracle(h: f64, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 5000.0 * h;
+        }
+        let u = h / c;
+        if u <= 1.0 / 3.0 {
+            h
+        } else if u <= 2.0 / 3.0 {
+            3.0 * h - 2.0 / 3.0 * c
+        } else if u <= 9.0 / 10.0 {
+            10.0 * h - 16.0 / 3.0 * c
+        } else if u <= 1.0 {
+            70.0 * h - 178.0 / 3.0 * c
+        } else if u <= 11.0 / 10.0 {
+            500.0 * h - 1468.0 / 3.0 * c
+        } else {
+            5000.0 * h - 16318.0 / 3.0 * c
+        }
+    }
+
+    #[test]
+    fn matches_eq1_oracle_on_grid() {
+        for i in 0..=260 {
+            let load = C * (i as f64) / 200.0; // utilizations 0..1.3
+            let got = phi(load, C);
+            let want = phi_oracle(load, C);
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "load={load}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_at_breakpoints() {
+        for &bp in &PHI_BREAKPOINTS {
+            let below = phi(C * (bp - 1e-9), C);
+            let above = phi(C * (bp + 1e-9), C);
+            // The gap can be at most (max slope)·Δload; anything larger
+            // would be a genuine jump.
+            let tol = 5000.0 * C * 2e-9 + 1e-9;
+            assert!((above - below).abs() <= tol, "discontinuity at u={bp}");
+        }
+    }
+
+    #[test]
+    fn zero_load_zero_cost() {
+        assert_eq!(phi(0.0, C), 0.0);
+        assert_eq!(phi(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_uses_steepest_slope() {
+        assert_eq!(phi(10.0, 0.0), 50_000.0);
+        assert_eq!(phi_segment(10.0, 0.0), 5);
+        assert_eq!(phi_derivative(10.0, 0.0), 5000.0);
+    }
+
+    #[test]
+    fn segments_classified_correctly() {
+        assert_eq!(phi_segment(0.2 * C, C), 0);
+        assert_eq!(phi_segment(0.5 * C, C), 1);
+        assert_eq!(phi_segment(0.8 * C, C), 2);
+        assert_eq!(phi_segment(0.95 * C, C), 3);
+        assert_eq!(phi_segment(1.05 * C, C), 4);
+        assert_eq!(phi_segment(1.5 * C, C), 5);
+    }
+
+    #[test]
+    fn unit_slope_below_one_third() {
+        // On the first segment Φ equals the load itself.
+        assert!((phi(100.0, C) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_triangle_example_value() {
+        // §3.3.1: 1/3 units of high-priority traffic on a unit-capacity
+        // link costs Φ_H = 1/3 (first segment boundary).
+        assert!((phi(1.0 / 3.0, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        // 2/3 units of low-priority traffic against residual capacity
+        // 1 − 1/3 = 2/3 ⇒ utilization 1 ⇒ Φ = 70·(2/3) − 178/3·(2/3) = 64/9...
+        let res = residual_capacity(1.0, 1.0 / 3.0);
+        let phi_l = phi(2.0 / 3.0, res);
+        assert!((phi_l - 64.0 / 9.0).abs() < 1e-9, "got {phi_l}");
+    }
+
+    #[test]
+    fn residual_capacity_clamps_at_zero() {
+        assert_eq!(residual_capacity(500.0, 200.0), 300.0);
+        assert_eq!(residual_capacity(500.0, 700.0), 0.0);
+        assert_eq!(residual_capacity(500.0, 500.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_load_and_antitone_in_capacity() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let v = phi(i as f64 * 7.0, C);
+            assert!(v >= prev);
+            prev = v;
+        }
+        // More capacity never increases cost.
+        assert!(phi(400.0, 600.0) <= phi(400.0, 500.0));
+    }
+}

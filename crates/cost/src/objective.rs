@@ -1,0 +1,99 @@
+//! Objective selection: the paper's two lexicographic cost functions.
+//!
+//! - `A = ⟨Φ_H, Φ_L⟩` — load-based (Eq. 2).
+//! - `S = ⟨Λ, Φ_L⟩` — SLA-based (Eq. 5).
+//!
+//! Both give strict precedence to the high-priority component; the
+//! evaluator in `dtr-routing` produces [`crate::Lex2`] values under either.
+
+use crate::delay::DelayParams;
+use crate::sla::{DEFAULT_PENALTY_A, DEFAULT_PENALTY_B, DEFAULT_SLA_BOUND_S};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SLA objective (Eq. 3–4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaParams {
+    /// Delay bound θ in seconds (default 25 ms).
+    pub bound_s: f64,
+    /// Constant penalty `a` per violation (default 100).
+    pub penalty_a: f64,
+    /// Proportional penalty `b` per millisecond of excess (default 1).
+    pub penalty_b: f64,
+    /// Link delay model parameters.
+    pub delay: DelayParams,
+}
+
+impl Default for SlaParams {
+    fn default() -> Self {
+        SlaParams {
+            bound_s: DEFAULT_SLA_BOUND_S,
+            penalty_a: DEFAULT_PENALTY_A,
+            penalty_b: DEFAULT_PENALTY_B,
+            delay: DelayParams::default(),
+        }
+    }
+}
+
+impl SlaParams {
+    /// The same SLA with its bound loosened to `(1 + eps)·θ` — the
+    /// relaxation the paper studies in §5.3.2.
+    pub fn relaxed(&self, eps: f64) -> Self {
+        SlaParams {
+            bound_s: self.bound_s * (1.0 + eps),
+            ..*self
+        }
+    }
+}
+
+/// Which of the paper's two objective families to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// `A = ⟨Φ_H, Φ_L⟩` (Eq. 2): both classes measured by the
+    /// load-based cost Φ.
+    LoadBased,
+    /// `S = ⟨Λ, Φ_L⟩` (Eq. 5): high priority measured by SLA penalties,
+    /// low priority by Φ against residual capacity.
+    SlaBased(SlaParams),
+}
+
+impl Objective {
+    /// Convenience constructor for the default SLA objective (θ = 25 ms,
+    /// a = 100, b = 1).
+    pub fn sla_default() -> Self {
+        Objective::SlaBased(SlaParams::default())
+    }
+
+    /// Short machine-readable name for CSV/labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::LoadBased => "load",
+            Objective::SlaBased(_) => "sla",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sla_params_match_paper() {
+        let p = SlaParams::default();
+        assert_eq!(p.bound_s, 0.025);
+        assert_eq!(p.penalty_a, 100.0);
+        assert_eq!(p.penalty_b, 1.0);
+    }
+
+    #[test]
+    fn relaxation_loosens_bound() {
+        let p = SlaParams::default().relaxed(0.2);
+        assert!((p.bound_s - 0.030).abs() < 1e-12);
+        assert_eq!(p.penalty_a, 100.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Objective::LoadBased.name(), "load");
+        assert_eq!(Objective::sla_default().name(), "sla");
+    }
+}

@@ -1,0 +1,69 @@
+//! The SLA violation penalty `Λ` (paper Eq. 4).
+//!
+//! For a source-destination pair with average end-to-end delay `ξ` and SLA
+//! bound `θ`:
+//!
+//! ```text
+//! Λ(ξ) = 0                    if ξ ≤ θ
+//!      = a + b · (ξ − θ)      otherwise
+//! ```
+//!
+//! The paper uses `a = 100` and `b = 1` "without loss of generality". We
+//! interpret the proportional term in **milliseconds** of excess delay so
+//! that `b = 1` is commensurate with `a = 100` (delays in this workspace
+//! are carried in seconds; a 1 s excess would otherwise contribute a
+//! penalty of 1 against the constant 100, making `b` irrelevant).
+
+
+/// Default constant penalty per violated SLA (`a` in Eq. 4).
+pub const DEFAULT_PENALTY_A: f64 = 100.0;
+/// Default proportional penalty per **millisecond** of excess delay
+/// (`b` in Eq. 4).
+pub const DEFAULT_PENALTY_B: f64 = 1.0;
+/// Default SLA delay bound θ = 25 ms (§5.1.1), in seconds.
+pub const DEFAULT_SLA_BOUND_S: f64 = 0.025;
+
+/// Penalty for one SD pair: `delay_s` and `bound_s` in seconds.
+#[inline]
+pub fn sla_penalty(delay_s: f64, bound_s: f64, a: f64, b: f64) -> f64 {
+    if delay_s <= bound_s {
+        0.0
+    } else {
+        a + b * (delay_s - bound_s) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_bound_is_free() {
+        assert_eq!(sla_penalty(0.020, 0.025, 100.0, 1.0), 0.0);
+        assert_eq!(sla_penalty(0.025, 0.025, 100.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn violation_pays_constant_plus_excess() {
+        // 30 ms against a 25 ms bound: 100 + 1·5 = 105.
+        let p = sla_penalty(0.030, 0.025, 100.0, 1.0);
+        assert!((p - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn penalty_is_monotone_in_delay() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let p = sla_penalty(i as f64 * 1e-3, DEFAULT_SLA_BOUND_S, 100.0, 1.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn jump_at_bound_equals_a() {
+        let eps = 1e-9;
+        let just_over = sla_penalty(DEFAULT_SLA_BOUND_S + eps, DEFAULT_SLA_BOUND_S, 100.0, 1.0);
+        assert!((just_over - 100.0).abs() < 1e-3);
+    }
+}

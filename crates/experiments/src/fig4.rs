@@ -1,0 +1,72 @@
+//! Figure 4: impact of the high-priority volume fraction `f` on `R_L`.
+//!
+//! 30-node random topology, load-based cost, `k = 10 %`, `f ∈ {20 %,
+//! 40 %}`. The paper's reading: more high-priority traffic widens DTR's
+//! advantage — STR's low class suffers more residual-capacity loss on the
+//! shared shortest paths, while DTR routes around it.
+
+use crate::report::{fmt, Table};
+use crate::runner::{demands_random_model, sweep_load, ExperimentCtx, PairOutcome, TopologyKind};
+use dtr_core::Objective;
+use serde::{Deserialize, Serialize};
+
+/// One `R_L`-vs-load curve for a fixed `f`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Curve {
+    /// High-priority volume fraction of this curve.
+    pub f: f64,
+    /// Sweep outcomes in increasing-load order.
+    pub points: Vec<PairOutcome>,
+}
+
+/// Runs both curves (`f = 20 %` and `f = 40 %`).
+pub fn run_all(ctx: &ExperimentCtx) -> Vec<Fig4Curve> {
+    [0.20, 0.40]
+        .into_iter()
+        .map(|f| {
+            let topo = TopologyKind::Random.build(ctx.seed);
+            let base = demands_random_model(&topo, f, 0.10, ctx.seed);
+            Fig4Curve {
+                f,
+                points: sweep_load(ctx, &topo, &base, Objective::LoadBased),
+            }
+        })
+        .collect()
+}
+
+/// Renders both curves side by side.
+pub fn table(curves: &[Fig4Curve]) -> Table {
+    let mut t = Table::new(
+        "Fig. 4 — impact of f on R_L (random topology, load-based, k=10%)",
+        &["f", "avg_util", "R_L", "R_H"],
+    );
+    for c in curves {
+        for p in &c.points {
+            t.row(vec![
+                fmt(c.f, 2),
+                fmt(p.avg_util, 3),
+                fmt(p.r_l, 2),
+                fmt(p.r_h, 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        let ctx = ExperimentCtx::smoke();
+        let curves = run_all(&ctx);
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].f, 0.20);
+        assert_eq!(curves[1].f, 0.40);
+        for c in &curves {
+            assert_eq!(c.points.len(), ctx.load_points);
+        }
+        assert!(table(&curves).rows.len() == 2 * ctx.load_points);
+    }
+}

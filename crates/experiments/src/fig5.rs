@@ -1,0 +1,81 @@
+//! Figure 5: impact of the high-priority SD-pair density `k` on `R_L`.
+//!
+//! 30-node random topology, `f = 30 %`, `k ∈ {10 %, 30 %}`; panel (a)
+//! load-based, panel (b) SLA-based. The paper's reading: the two
+//! objectives move in **opposite** directions — under the load-based cost
+//! denser high-priority pairs spread the high load and *shrink* DTR's
+//! advantage, while under the SLA cost they drag more low-priority pairs
+//! onto short-delay links and *grow* it.
+
+use crate::report::{fmt, Table};
+use crate::runner::{demands_random_model, sweep_load, ExperimentCtx, PairOutcome, TopologyKind};
+use dtr_core::Objective;
+use serde::{Deserialize, Serialize};
+
+/// One curve: fixed `k`, fixed objective.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Curve {
+    /// SD-pair density of this curve.
+    pub k: f64,
+    /// `"load"` or `"sla"`.
+    pub objective: String,
+    /// Sweep outcomes.
+    pub points: Vec<PairOutcome>,
+}
+
+/// Runs the four curves (two per panel).
+pub fn run_all(ctx: &ExperimentCtx) -> Vec<Fig5Curve> {
+    let mut out = Vec::with_capacity(4);
+    for objective in [Objective::LoadBased, Objective::sla_default()] {
+        for k in [0.10, 0.30] {
+            let topo = TopologyKind::Random.build(ctx.seed);
+            let base = demands_random_model(&topo, 0.30, k, ctx.seed);
+            out.push(Fig5Curve {
+                k,
+                objective: objective.name().to_string(),
+                points: sweep_load(ctx, &topo, &base, objective),
+            });
+        }
+    }
+    out
+}
+
+/// Renders all curves.
+pub fn table(curves: &[Fig5Curve]) -> Table {
+    let mut t = Table::new(
+        "Fig. 5 — impact of k on R_L (random topology, f=30%)",
+        &["objective", "k", "avg_util", "R_L", "R_H"],
+    );
+    for c in curves {
+        for p in &c.points {
+            t.row(vec![
+                c.objective.clone(),
+                fmt(c.k, 2),
+                fmt(p.avg_util, 3),
+                fmt(p.r_l, 2),
+                fmt(p.r_h, 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        let ctx = ExperimentCtx::smoke();
+        let curves = run_all(&ctx);
+        assert_eq!(curves.len(), 4);
+        let labels: Vec<(&str, f64)> = curves
+            .iter()
+            .map(|c| (c.objective.as_str(), c.k))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![("load", 0.10), ("load", 0.30), ("sla", 0.10), ("sla", 0.30)]
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 8: sink traffic pattern — Local vs Uniform client placement.
+//!
+//! 30-node power-law topology, 3 sinks at the highest-degree nodes,
+//! `f = 20 %`, `k = 10 %`; panel (a) load-based, panel (b) SLA-based.
+//! The paper's reading: with clients *local* to the sinks, high-priority
+//! paths stay short and affect few low-priority pairs, so `R_L ≈ 1`;
+//! with *uniform* clients DTR's advantage is large.
+
+use crate::report::{fmt, Table};
+use crate::runner::{sweep_load, ExperimentCtx, PairOutcome, TopologyKind};
+use dtr_core::Objective;
+use dtr_traffic::{DemandSet, HighPriModel, SinkPattern, TrafficCfg};
+use serde::{Deserialize, Serialize};
+
+/// One curve: a client-placement pattern under one objective.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Curve {
+    /// `"uniform"` or `"local"`.
+    pub pattern: String,
+    /// `"load"` or `"sla"`.
+    pub objective: String,
+    /// Sweep outcomes.
+    pub points: Vec<PairOutcome>,
+}
+
+/// Runs the four curves (2 patterns × 2 objectives).
+pub fn run_all(ctx: &ExperimentCtx) -> Vec<Fig8Curve> {
+    let mut out = Vec::with_capacity(4);
+    for objective in [Objective::LoadBased, Objective::sla_default()] {
+        for pattern in [SinkPattern::Uniform, SinkPattern::Local] {
+            let topo = TopologyKind::PowerLaw.build(ctx.seed);
+            let base = DemandSet::generate(
+                &topo,
+                &TrafficCfg {
+                    f: 0.20,
+                    k: 0.10,
+                    model: HighPriModel::Sink { sinks: 3, pattern },
+                    seed: ctx.seed,
+                },
+            );
+            out.push(Fig8Curve {
+                pattern: match pattern {
+                    SinkPattern::Uniform => "uniform".into(),
+                    SinkPattern::Local => "local".into(),
+                },
+                objective: objective.name().to_string(),
+                points: sweep_load(ctx, &topo, &base, objective),
+            });
+        }
+    }
+    out
+}
+
+/// Renders all curves.
+pub fn table(curves: &[Fig8Curve]) -> Table {
+    let mut t = Table::new(
+        "Fig. 8 — sink pattern, power-law topology (f=20%, k=10%, 3 sinks)",
+        &["objective", "pattern", "avg_util", "R_L", "R_H"],
+    );
+    for c in curves {
+        for p in &c.points {
+            t.row(vec![
+                c.objective.clone(),
+                c.pattern.clone(),
+                fmt(p.avg_util, 3),
+                fmt(p.r_l, 2),
+                fmt(p.r_h, 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        let ctx = ExperimentCtx::smoke();
+        let curves = run_all(&ctx);
+        assert_eq!(curves.len(), 4);
+        assert_eq!(curves[0].pattern, "uniform");
+        assert_eq!(curves[1].pattern, "local");
+        for c in &curves {
+            assert_eq!(c.points.len(), ctx.load_points);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Extension experiment: the control-plane price of DTR (§1's cost
+//! side), measured on the emulated MT-OSPF fabric.
+//!
+//! For each paper topology, a plain-OSPF (single-topology) and an
+//! RFC 4915 dual-topology network are booted, converged, subjected to
+//! one fail/restore cycle, and their [`dtr_mtr::OverheadReport`]s laid
+//! side by side. Weight *values* are irrelevant to control-plane cost
+//! (message counts are topology properties), so no search runs here —
+//! the point is the ×2 SPF/FIB/config and the ~×1.2 wire-byte factors
+//! that an operator weighs against Fig. 2's `R_L` gains.
+
+use crate::report::Table;
+use crate::runner::{ExperimentCtx, TopologyKind};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::WeightVector;
+use dtr_mtr::{measure_overhead, DeployMode, OverheadReport};
+use serde::{Deserialize, Serialize};
+
+/// One topology × mode measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadOutcome {
+    /// Topology family name.
+    pub topology: String,
+    /// `"ospf"` (single) or `"mt-ospf"` (dual).
+    pub mode: String,
+    /// The measured totals.
+    pub report: OverheadReport,
+}
+
+/// Measures all three paper topologies under both modes.
+pub fn run(ctx: &ExperimentCtx) -> Vec<OverheadOutcome> {
+    let mut out = Vec::new();
+    for kind in [TopologyKind::Isp, TopologyKind::Random, TopologyKind::PowerLaw] {
+        let topo = kind.build(ctx.seed);
+        // Any valid dual setting works; delay-proportional low weights
+        // make the two FIB sets genuinely different.
+        let weights = DualWeights {
+            high: WeightVector::uniform(&topo, 1),
+            low: WeightVector::delay_proportional(&topo, 30),
+        };
+        for (mode, name) in [
+            (DeployMode::SingleTopology, "ospf"),
+            (DeployMode::DualTopology, "mt-ospf"),
+        ] {
+            out.push(OverheadOutcome {
+                topology: kind.name().to_string(),
+                mode: name.to_string(),
+                report: measure_overhead(&topo, &weights, mode),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the comparison.
+pub fn table(outcomes: &[OverheadOutcome]) -> Table {
+    let mut t = Table::new(
+        "Control-plane overhead: plain OSPF vs RFC 4915 dual topology (boot + one fail/restore cycle)",
+        &[
+            "topology",
+            "mode",
+            "boot_msgs",
+            "boot_KB",
+            "boot_spf",
+            "fail_msgs",
+            "fail_KB",
+            "fail_spf",
+            "fib_entries",
+            "config_lines",
+        ],
+    );
+    for o in outcomes {
+        let r = &o.report;
+        t.row(vec![
+            o.topology.clone(),
+            o.mode.clone(),
+            r.boot_messages.to_string(),
+            format!("{:.1}", r.boot_bytes as f64 / 1024.0),
+            r.boot_spf_runs.to_string(),
+            r.failure_messages.to_string(),
+            format!("{:.1}", r.failure_bytes as f64 / 1024.0),
+            r.failure_spf_runs.to_string(),
+            r.fib_entries.to_string(),
+            r.config_lines.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_factors_hold_on_every_topology() {
+        let outcomes = run(&ExperimentCtx::smoke());
+        assert_eq!(outcomes.len(), 6);
+        for pair in outcomes.chunks(2) {
+            let (single, dual) = (&pair[0].report, &pair[1].report);
+            assert_eq!(pair[0].topology, pair[1].topology);
+            assert_eq!(dual.boot_spf_runs, 2 * single.boot_spf_runs);
+            assert_eq!(dual.config_lines, 2 * single.config_lines);
+            assert_eq!(dual.fib_entries, 2 * single.fib_entries);
+            assert_eq!(dual.boot_messages, single.boot_messages);
+            assert!(dual.boot_bytes > single.boot_bytes);
+            assert!(single.failure_spf_runs > 0, "fail/restore must reconverge");
+        }
+        let t = table(&outcomes);
+        assert_eq!(t.rows.len(), 6);
+    }
+}

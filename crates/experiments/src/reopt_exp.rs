@@ -1,0 +1,190 @@
+//! Extension experiment: how many weight changes does it take to recover
+//! from traffic drift? (Fortz & Thorup's "changing world" \[19\].)
+//!
+//! The drift experiment shows that weights frozen at yesterday's matrix
+//! degrade under today's; this one quantifies the operator's actual
+//! lever: *change-limited reoptimization*. Starting from weights
+//! optimized for the base matrix, the demand drifts (±50 % per-pair,
+//! volume-preserving), and [`dtr_core::ReoptSearch`] is allowed
+//! `h ∈ {1, 2, 4, 8, 16, 32}` weight changes to adapt. A full fresh
+//! re-optimization provides the reference floor.
+//!
+//! Expected shape: a handful of changes recovers most of the drift
+//! penalty — the cost-vs-churn curve is steeply concave — and DTR needs
+//! no more churn than STR despite having twice the weights.
+
+use crate::drift::perturb;
+use crate::report::{fmt, Table};
+use crate::runner::{demands_random_model, gamma_grid, ExperimentCtx, TopologyKind};
+use dtr_core::reopt::{changes_between, frontier};
+use dtr_core::{DtrSearch, Objective, Scheme, StrSearch};
+use dtr_graph::weights::DualWeights;
+use dtr_routing::Evaluator;
+use dtr_traffic::DemandSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Change budgets swept by the frontier.
+pub const BUDGETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Drift amplitude applied to the base matrix.
+pub const DRIFT: f64 = 0.5;
+
+/// One row of the cost-vs-churn curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReoptPoint {
+    /// `"str"` or `"dtr"`.
+    pub scheme: String,
+    /// `"frozen"`, `"h=<n>"` or `"full"`.
+    pub label: String,
+    /// Changes actually applied.
+    pub changes: usize,
+    /// `Φ_H` on the drifted matrix.
+    pub phi_h: f64,
+    /// `Φ_L` on the drifted matrix.
+    pub phi_l: f64,
+}
+
+/// Runs the study on the paper's random topology at moderate load.
+pub fn run(ctx: &ExperimentCtx) -> Vec<ReoptPoint> {
+    let topo = TopologyKind::Random.build(ctx.seed);
+    let base = demands_random_model(&topo, 0.30, 0.10, ctx.seed);
+    let gammas = gamma_grid(
+        &topo,
+        &base,
+        &ExperimentCtx {
+            load_points: 1,
+            load_range: (0.6, 0.6),
+            ..*ctx
+        },
+    );
+    let demands = base.scaled(gammas[0]);
+    let params = ctx.params.with_seed(ctx.seed);
+
+    // Optimize at the base matrix.
+    let str_base = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    let dtr_base = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+
+    // One deterministic drift draw.
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xc0ffee);
+    let drifted = DemandSet {
+        high: perturb(&demands.high, DRIFT, &mut rng),
+        low: perturb(&demands.low, DRIFT, &mut rng),
+    };
+
+    let mut out = Vec::new();
+    let cases = [
+        (Scheme::Str, DualWeights::replicated(str_base.weights)),
+        (Scheme::Dtr, dtr_base.weights),
+    ];
+    for (scheme, incumbent) in cases {
+        let mut ev = Evaluator::new(&topo, &drifted, Objective::LoadBased);
+
+        // Frozen: yesterday's weights against today's matrix.
+        let frozen = ev.eval_dual(&incumbent);
+        out.push(ReoptPoint {
+            scheme: scheme.name().to_string(),
+            label: "frozen".to_string(),
+            changes: 0,
+            phi_h: frozen.phi_h,
+            phi_l: frozen.phi_l,
+        });
+
+        // Change-limited frontier.
+        for res in frontier(
+            &topo,
+            &drifted,
+            Objective::LoadBased,
+            params,
+            scheme,
+            &incumbent,
+            &BUDGETS,
+        ) {
+            out.push(ReoptPoint {
+                scheme: scheme.name().to_string(),
+                label: format!("h={}", res.max_changes),
+                changes: res.changes_used,
+                phi_h: res.eval.phi_h,
+                phi_l: res.eval.phi_l,
+            });
+        }
+
+        // Full fresh re-optimization (unbounded churn).
+        let (full_eval, full_weights) = match scheme {
+            Scheme::Str => {
+                let r = StrSearch::new(&topo, &drifted, Objective::LoadBased, params).run();
+                (r.eval, DualWeights::replicated(r.weights))
+            }
+            Scheme::Dtr => {
+                let r = DtrSearch::new(&topo, &drifted, Objective::LoadBased, params).run();
+                (r.eval, r.weights)
+            }
+        };
+        out.push(ReoptPoint {
+            scheme: scheme.name().to_string(),
+            label: "full".to_string(),
+            changes: changes_between(&full_weights, &incumbent, scheme),
+            phi_h: full_eval.phi_h,
+            phi_l: full_eval.phi_l,
+        });
+    }
+    out
+}
+
+/// Renders the cost-vs-churn curves.
+pub fn table(points: &[ReoptPoint]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Change-limited reoptimization after ±{:.0}% drift (random topology, load-based, AD≈0.6)",
+            DRIFT * 100.0
+        ),
+        &["scheme", "budget", "changes", "phi_h", "phi_l"],
+    );
+    for p in points {
+        t.row(vec![
+            p.scheme.clone(),
+            p.label.clone(),
+            p.changes.to_string(),
+            fmt(p.phi_h, 1),
+            fmt(p.phi_l, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_recovers_toward_full_reopt() {
+        let mut ctx = ExperimentCtx::smoke();
+        ctx.params = dtr_core::SearchParams::tiny();
+        let pts = run(&ctx);
+        // 2 schemes × (frozen + |BUDGETS| + full).
+        assert_eq!(pts.len(), 2 * (2 + BUDGETS.len()));
+        for scheme in ["str", "dtr"] {
+            let series: Vec<&ReoptPoint> =
+                pts.iter().filter(|p| p.scheme == scheme).collect();
+            let frozen = series.first().unwrap();
+            assert_eq!(frozen.label, "frozen");
+            assert_eq!(frozen.changes, 0);
+            // Budgeted points are monotone non-increasing in Φ_H-then-Φ_L
+            // thanks to warm starting.
+            let budgeted = &series[1..=BUDGETS.len()];
+            for w in budgeted.windows(2) {
+                let a = dtr_cost::Lex2::new(w[0].phi_h, w[0].phi_l);
+                let b = dtr_cost::Lex2::new(w[1].phi_h, w[1].phi_l);
+                assert!(b <= a, "{scheme}: {} worse than {}", w[1].label, w[0].label);
+            }
+            // Every budgeted point is at least as good as frozen.
+            let f = dtr_cost::Lex2::new(frozen.phi_h, frozen.phi_l);
+            for p in budgeted {
+                assert!(dtr_cost::Lex2::new(p.phi_h, p.phi_l) <= f);
+            }
+        }
+        let t = table(&pts);
+        assert_eq!(t.rows.len(), pts.len());
+    }
+}

@@ -1,0 +1,85 @@
+//! Human-readable exports of topologies (DOT for visualization, CSV for
+//! spreadsheets / plotting scripts).
+
+use crate::topology::Topology;
+use crate::weights::WeightVector;
+use std::fmt::Write as _;
+
+/// Renders the topology in Graphviz DOT format. When `weights` is given,
+/// each directed link is labeled with its weight; otherwise with its
+/// propagation delay in milliseconds.
+pub fn to_dot(topo: &Topology, weights: Option<&WeightVector>) -> String {
+    let mut s = String::new();
+    s.push_str("digraph topology {\n");
+    for n in topo.nodes() {
+        let _ = writeln!(s, "  {} [label=\"{}\"];", n.index(), topo.node_name(n));
+    }
+    for (lid, l) in topo.links() {
+        let label = match weights {
+            Some(w) => format!("w={}", w.get(lid)),
+            None => format!("{:.1}ms", l.prop_delay * 1e3),
+        };
+        let _ = writeln!(
+            s,
+            "  {} -> {} [label=\"{}\"];",
+            l.src.index(),
+            l.dst.index(),
+            label
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the link table as CSV:
+/// `link_id,src,dst,capacity_mbps,prop_delay_ms`.
+pub fn to_csv(topo: &Topology) -> String {
+    let mut s = String::from("link_id,src,dst,capacity_mbps,prop_delay_ms\n");
+    for (lid, l) in topo.links() {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            lid.index(),
+            topo.node_name(l.src),
+            topo.node_name(l.dst),
+            l.capacity,
+            l.prop_delay * 1e3
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::triangle_topology;
+    use crate::weights::WeightVector;
+
+    #[test]
+    fn dot_contains_all_links_and_nodes() {
+        let t = triangle_topology(1.0);
+        let dot = to_dot(&t, None);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), 6);
+        assert!(dot.contains("\"A\""));
+        assert!(dot.contains("ms"));
+    }
+
+    #[test]
+    fn dot_with_weights_shows_weights() {
+        let t = triangle_topology(1.0);
+        let w = WeightVector::uniform(&t, 7);
+        let dot = to_dot(&t, Some(&w));
+        assert_eq!(dot.matches("w=7").count(), 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = triangle_topology(1.0);
+        let csv = to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].starts_with("link_id,"));
+        assert!(lines[1].contains("A"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Geography helpers for the ISP backbone topology.
+//!
+//! The paper assigns ISP-link propagation delays "between 8ms and 15ms ...
+//! based on the geographical locations of the corresponding nodes"
+//! (§5.1.1). We reproduce that by placing the backbone's points of
+//! presence at real North-American city coordinates, computing great-circle
+//! distances, and mapping them linearly onto the paper's 8–15 ms range.
+
+/// A point of presence: display name plus WGS-84 coordinates in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Latitude, degrees north.
+    pub lat: f64,
+    /// Longitude, degrees east (negative = west).
+    pub lon: f64,
+}
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Great-circle distance between two cities in kilometres (haversine).
+pub fn great_circle_km(a: &City, b: &City) -> f64 {
+    let (la1, lo1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (la2, lo2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dla = la2 - la1;
+    let dlo = lo2 - lo1;
+    let h = (dla / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlo / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Linearly rescales `x` from `[x_min, x_max]` to `[y_min, y_max]`,
+/// clamping to the target interval. Degenerate source intervals map to the
+/// midpoint of the target.
+pub fn rescale(x: f64, x_min: f64, x_max: f64, y_min: f64, y_max: f64) -> f64 {
+    if x_max - x_min <= f64::EPSILON {
+        return 0.5 * (y_min + y_max);
+    }
+    let t = ((x - x_min) / (x_max - x_min)).clamp(0.0, 1.0);
+    y_min + t * (y_max - y_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NYC: City = City {
+        name: "New York",
+        lat: 40.7128,
+        lon: -74.0060,
+    };
+    const LA: City = City {
+        name: "Los Angeles",
+        lat: 34.0522,
+        lon: -118.2437,
+    };
+
+    #[test]
+    fn nyc_la_distance_is_about_3940_km() {
+        let d = great_circle_km(&NYC, &LA);
+        assert!((d - 3940.0).abs() < 50.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        assert_eq!(great_circle_km(&NYC, &LA), great_circle_km(&LA, &NYC));
+        assert!(great_circle_km(&NYC, &NYC) < 1e-9);
+    }
+
+    #[test]
+    fn rescale_endpoints_and_clamp() {
+        assert_eq!(rescale(0.0, 0.0, 1.0, 8.0, 15.0), 8.0);
+        assert_eq!(rescale(1.0, 0.0, 1.0, 8.0, 15.0), 15.0);
+        assert_eq!(rescale(2.0, 0.0, 1.0, 8.0, 15.0), 15.0);
+        assert_eq!(rescale(0.5, 0.0, 1.0, 8.0, 16.0), 12.0);
+        // Degenerate interval → midpoint.
+        assert_eq!(rescale(3.0, 3.0, 3.0, 8.0, 15.0), 11.5);
+    }
+}

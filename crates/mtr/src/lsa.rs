@@ -1,0 +1,99 @@
+//! Router link-state advertisements with multi-topology metrics.
+
+use dtr_graph::{LinkId, NodeId, Weight};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one routing topology (RFC 4915 MT-ID).
+///
+/// The paper's dual-topology configuration uses exactly two: `DEFAULT`
+/// (MT-ID 0) routes the high-priority class, `LOW` (a non-zero MT-ID)
+/// routes the low-priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopologyId(pub u8);
+
+impl TopologyId {
+    /// MT-ID 0: the default topology (high-priority class).
+    pub const DEFAULT: TopologyId = TopologyId(0);
+    /// The second topology (low-priority class).
+    pub const LOW: TopologyId = TopologyId(1);
+
+    /// Index into per-topology arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Number of topologies in the dual configuration.
+pub const TOPOLOGY_COUNT: usize = 2;
+
+/// Per-topology metric of one advertised link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtMetric {
+    /// Which topology the metric belongs to.
+    pub topology: TopologyId,
+    /// The OSPF metric (link weight).
+    pub metric: Weight,
+}
+
+/// One link entry in a router LSA.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LsaLink {
+    /// The physical link id (stable across the network, like an OSPF
+    /// interface id).
+    pub link: LinkId,
+    /// Neighbor router at the far end.
+    pub to: NodeId,
+    /// Metrics, one per topology the link participates in.
+    pub metrics: [MtMetric; TOPOLOGY_COUNT],
+    /// Operational state; down links are advertised (so the failure
+    /// propagates) but excluded from SPF.
+    pub up: bool,
+}
+
+/// A router LSA: the origin's view of its own attached links.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterLsa {
+    /// Originating router.
+    pub origin: NodeId,
+    /// Sequence number; higher replaces lower (simplified OSPF
+    /// sequencing — no wrap handling needed at simulation scale).
+    pub seq: u64,
+    /// Outgoing links of `origin`.
+    pub links: Vec<LsaLink>,
+}
+
+impl RouterLsa {
+    /// True if this LSA supersedes `other` (same origin, higher seq).
+    pub fn supersedes(&self, other: &RouterLsa) -> bool {
+        debug_assert_eq!(self.origin, other.origin);
+        self.seq > other.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsa(seq: u64) -> RouterLsa {
+        RouterLsa {
+            origin: NodeId(3),
+            seq,
+            links: vec![],
+        }
+    }
+
+    #[test]
+    fn sequence_ordering() {
+        assert!(lsa(2).supersedes(&lsa(1)));
+        assert!(!lsa(1).supersedes(&lsa(1)));
+        assert!(!lsa(0).supersedes(&lsa(1)));
+    }
+
+    #[test]
+    fn topology_ids() {
+        assert_eq!(TopologyId::DEFAULT.idx(), 0);
+        assert_eq!(TopologyId::LOW.idx(), 1);
+        assert_ne!(TopologyId::DEFAULT, TopologyId::LOW);
+    }
+}

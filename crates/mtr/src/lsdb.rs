@@ -1,0 +1,98 @@
+//! The link-state database: one entry per originating router, newest
+//! sequence number wins.
+
+use crate::lsa::RouterLsa;
+use dtr_graph::NodeId;
+
+/// A router's collected view of every origin's LSA.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Lsdb {
+    /// Indexed by origin node id; `None` until first LSA arrives.
+    entries: Vec<Option<RouterLsa>>,
+}
+
+impl Lsdb {
+    /// An empty database sized for `n` routers.
+    pub fn new(n: usize) -> Self {
+        Lsdb {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Installs `lsa` if it is new or supersedes the stored copy.
+    /// Returns `true` when the database changed (the flooding trigger).
+    pub fn install(&mut self, lsa: RouterLsa) -> bool {
+        let slot = &mut self.entries[lsa.origin.index()];
+        match slot {
+            Some(existing) if !lsa.supersedes(existing) => false,
+            _ => {
+                *slot = Some(lsa);
+                true
+            }
+        }
+    }
+
+    /// The stored LSA of `origin`, if any.
+    pub fn get(&self, origin: NodeId) -> Option<&RouterLsa> {
+        self.entries[origin.index()].as_ref()
+    }
+
+    /// True once every router's LSA is present.
+    pub fn complete(&self) -> bool {
+        self.entries.iter().all(|e| e.is_some())
+    }
+
+    /// Iterates over stored LSAs.
+    pub fn iter(&self) -> impl Iterator<Item = &RouterLsa> {
+        self.entries.iter().filter_map(|e| e.as_ref())
+    }
+
+    /// Two databases are synchronized when they store identical LSAs —
+    /// the network-wide convergence criterion.
+    pub fn synchronized_with(&self, other: &Lsdb) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsa(origin: u32, seq: u64) -> RouterLsa {
+        RouterLsa {
+            origin: NodeId(origin),
+            seq,
+            links: vec![],
+        }
+    }
+
+    #[test]
+    fn install_newer_replaces() {
+        let mut db = Lsdb::new(4);
+        assert!(db.install(lsa(1, 1)));
+        assert!(!db.install(lsa(1, 1)), "same seq rejected");
+        assert!(db.install(lsa(1, 2)));
+        assert_eq!(db.get(NodeId(1)).unwrap().seq, 2);
+        assert!(!db.install(lsa(1, 1)), "stale rejected");
+    }
+
+    #[test]
+    fn completeness() {
+        let mut db = Lsdb::new(2);
+        assert!(!db.complete());
+        db.install(lsa(0, 1));
+        db.install(lsa(1, 1));
+        assert!(db.complete());
+        assert_eq!(db.iter().count(), 2);
+    }
+
+    #[test]
+    fn synchronization_check() {
+        let mut a = Lsdb::new(2);
+        let mut b = Lsdb::new(2);
+        a.install(lsa(0, 1));
+        assert!(!a.synchronized_with(&b));
+        b.install(lsa(0, 1));
+        assert!(a.synchronized_with(&b));
+    }
+}

@@ -1,0 +1,219 @@
+//! k-class evaluation with cascading residual capacities.
+
+use crate::demand::MultiDemand;
+use crate::lexk::LexK;
+use dtr_cost::phi;
+use dtr_graph::{Topology, WeightVector};
+use dtr_routing::{ClassLoads, LoadCalculator};
+
+/// Evaluation of one k-topology weight setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiEvaluation {
+    /// Per-class link loads, highest priority first.
+    pub loads: Vec<ClassLoads>,
+    /// Per-class total Φ against that class's residual capacity.
+    pub phis: Vec<f64>,
+    /// Per-class per-link Φ (for neighborhood ranking).
+    pub phi_per_link: Vec<Vec<f64>>,
+    /// The lexicographic objective `⟨Φ_0, …, Φ_{k−1}⟩`.
+    pub cost: LexK,
+}
+
+impl MultiEvaluation {
+    /// Residual capacity seen by class `i` on each link.
+    pub fn residuals(&self, topo: &Topology, class: usize) -> Vec<f64> {
+        topo.links()
+            .map(|(lid, link)| {
+                let higher: f64 = self.loads[..class].iter().map(|l| l[lid.index()]).sum();
+                (link.capacity - higher).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Total per-link load across classes.
+    pub fn total_loads(&self) -> Vec<f64> {
+        let n = self.loads[0].len();
+        let mut out = vec![0.0; n];
+        for class in &self.loads {
+            for (o, l) in out.iter_mut().zip(class) {
+                *o += l;
+            }
+        }
+        out
+    }
+
+    /// Average link utilization.
+    pub fn avg_utilization(&self, topo: &Topology) -> f64 {
+        dtr_routing::loads::avg_utilization(topo, &self.total_loads())
+    }
+}
+
+/// Evaluator bound to a topology and k-class demand set.
+pub struct MultiEvaluator<'a> {
+    topo: &'a Topology,
+    demands: &'a MultiDemand,
+    calc: LoadCalculator,
+}
+
+impl<'a> MultiEvaluator<'a> {
+    /// Binds the instance.
+    pub fn new(topo: &'a Topology, demands: &'a MultiDemand) -> Self {
+        MultiEvaluator {
+            topo,
+            demands,
+            calc: LoadCalculator::new(),
+        }
+    }
+
+    /// The bound topology.
+    pub fn topo(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.demands.class_count()
+    }
+
+    /// Routes class `i` on its weight vector.
+    pub fn class_loads(&mut self, class: usize, w: &WeightVector) -> ClassLoads {
+        self.calc
+            .class_loads(self.topo, w, &self.demands.classes[class])
+    }
+
+    /// Full evaluation of one weight vector per class (highest first).
+    pub fn eval(&mut self, weights: &[WeightVector]) -> MultiEvaluation {
+        assert_eq!(weights.len(), self.demands.class_count());
+        let loads: Vec<ClassLoads> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| self.class_loads(i, w))
+            .collect();
+        self.assemble(loads)
+    }
+
+    /// Computes Φ values from per-class loads (cascading residuals).
+    pub fn assemble(&self, loads: Vec<ClassLoads>) -> MultiEvaluation {
+        let m = self.topo.link_count();
+        let k = loads.len();
+        let mut phis = vec![0.0; k];
+        let mut phi_per_link = vec![vec![0.0; m]; k];
+        for (lid, link) in self.topo.links() {
+            let i = lid.index();
+            let mut used = 0.0;
+            for c in 0..k {
+                let residual = (link.capacity - used).max(0.0);
+                let p = phi(loads[c][i], residual);
+                phi_per_link[c][i] = p;
+                phis[c] += p;
+                used += loads[c][i];
+            }
+        }
+        let cost = LexK::new(phis.clone());
+        MultiEvaluation {
+            loads,
+            phis,
+            phi_per_link,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::MultiTrafficCfg;
+    use dtr_graph::gen::triangle_topology;
+    use dtr_traffic::TrafficMatrix;
+
+    /// 3 classes on the unit triangle, all A→C, 1/3 each.
+    fn stacked_triangle() -> (Topology, MultiDemand) {
+        let topo = triangle_topology(1.0);
+        let mk = |v: f64| {
+            let mut m = TrafficMatrix::zeros(3);
+            m.set(0, 2, v);
+            m
+        };
+        (
+            topo,
+            MultiDemand {
+                classes: vec![mk(1.0 / 3.0), mk(1.0 / 3.0), mk(1.0 / 3.0)],
+            },
+        )
+    }
+
+    #[test]
+    fn cascading_residuals_on_shared_path() {
+        let (topo, demands) = stacked_triangle();
+        let mut ev = MultiEvaluator::new(&topo, &demands);
+        let w = vec![WeightVector::uniform(&topo, 1); 3];
+        let e = ev.eval(&w);
+        // Class 0: Φ(1/3, 1) = 1/3. Class 1: Φ(1/3, 2/3) (util 0.5 →
+        // 3·1/3 − 2/3·2/3 = 5/9). Class 2: Φ(1/3, 1/3) (util 1 →
+        // 70/3 − 178/9 = 32/9).
+        assert!((e.phis[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((e.phis[1] - 5.0 / 9.0).abs() < 1e-9, "got {}", e.phis[1]);
+        assert!((e.phis[2] - 32.0 / 9.0).abs() < 1e-9, "got {}", e.phis[2]);
+        // Residual views agree.
+        let ac = topo.find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(2)).unwrap();
+        assert!((e.residuals(&topo, 2)[ac.index()] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(e.cost.len(), 3);
+    }
+
+    #[test]
+    fn higher_class_immune_to_lower_weights() {
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 3,
+        });
+        let demands = MultiDemand::generate(
+            &topo,
+            &MultiTrafficCfg {
+                fractions: vec![0.2, 0.2],
+                densities: vec![0.1, 0.2],
+                seed: 3,
+            },
+        );
+        let mut ev = MultiEvaluator::new(&topo, &demands);
+        let base = vec![WeightVector::uniform(&topo, 1); 3];
+        let mut tweaked = base.clone();
+        tweaked[2] = WeightVector::delay_proportional(&topo, 30);
+        let a = ev.eval(&base);
+        let b = ev.eval(&tweaked);
+        assert_eq!(a.phis[0], b.phis[0]);
+        assert_eq!(a.phis[1], b.phis[1]);
+        assert_ne!(a.phis[2], b.phis[2]);
+    }
+
+    #[test]
+    fn two_class_assemble_matches_dtr_routing() {
+        // k=2 must agree with the dtr-routing evaluator bit-for-bit.
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 4,
+        });
+        let demands = MultiDemand::generate(
+            &topo,
+            &MultiTrafficCfg {
+                fractions: vec![0.3],
+                densities: vec![0.1],
+                seed: 4,
+            },
+        )
+        .scaled(4.0);
+        let ds = demands.as_demand_set();
+        let wh = WeightVector::uniform(&topo, 1);
+        let wl = WeightVector::delay_proportional(&topo, 30);
+
+        let mut multi = MultiEvaluator::new(&topo, &demands);
+        let me = multi.eval(&[wh.clone(), wl.clone()]);
+
+        let mut two = dtr_routing::Evaluator::new(&topo, &ds, dtr_cost::Objective::LoadBased);
+        let te = two.eval_dual(&dtr_graph::weights::DualWeights { high: wh, low: wl });
+
+        assert_eq!(me.phis[0], te.phi_h);
+        assert_eq!(me.phis[1], te.phi_l);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dtr-multi — k-class strict-priority multi-topology routing
+//!
+//! The paper restricts itself to **two** topologies ("In our
+//! investigation, we limit ourselves to two topologies", §1) while the
+//! underlying MTR standard supports many. This crate generalizes the
+//! formulation and Algorithm 1 to `k` strictly ordered service classes:
+//!
+//! - **Queueing model**: class `i` is served only when classes `0..i`
+//!   are idle, so it sees the cascading residual capacity
+//!   `C̃_i = max(C − Σ_{j<i} load_j, 0)` — the k-level extension of §3's
+//!   residual rule.
+//! - **Objective**: the lexicographic k-tuple
+//!   `⟨Φ_0, Φ_1, …, Φ_{k−1}⟩` ([`LexK`]), each component the
+//!   Fortz–Thorup cost of its class against its residual capacity.
+//! - **Search** ([`MultiSearch`]): the natural extension of Algorithm 1 —
+//!   optimize class 0's weights first, then class 1's with class 0
+//!   frozen, …, then a joint refinement pass rotating `FindL`-style moves
+//!   across all classes. Priority isolation makes each stage's
+//!   subproblem independent of every lower class, exactly as in the
+//!   2-class case.
+//!
+//! With `k = 2` this reproduces the paper's DTR (cross-checked in
+//! `tests/`); with `k = 1` it degenerates to STR.
+
+pub mod demand;
+pub mod eval;
+pub mod lexk;
+pub mod search;
+
+pub use demand::{MultiDemand, MultiTrafficCfg};
+pub use eval::{MultiEvaluation, MultiEvaluator};
+pub use lexk::LexK;
+pub use search::{MultiResult, MultiSearch};

@@ -1,0 +1,519 @@
+//! Objective evaluation: weight settings → lexicographic costs.
+//!
+//! [`Evaluator`] binds a topology, a two-class demand set and one of the
+//! paper's objectives, and turns weight vectors into [`Evaluation`]s:
+//!
+//! - **Load-based** `A = ⟨Φ_H, Φ_L⟩` (Eq. 2): `Φ_H` charges high-priority
+//!   loads against raw capacity; `Φ_L` charges low-priority loads against
+//!   the **residual** capacity `C̃_l = max(C_l − H_l, 0)` left by priority
+//!   queueing.
+//! - **SLA-based** `S = ⟨Λ, Φ_L⟩` (Eq. 5): `Λ` sums Eq. 4 penalties over
+//!   all high-priority SD pairs, with flow-weighted average end-to-end
+//!   delays computed over the ECMP DAG under the Eq. 3 link-delay model.
+//!
+//! The per-class entry points (`high_loads` / `low_loads` / `assemble`)
+//! let the heuristics re-route only the class whose weights changed.
+
+use crate::loads::{avg_utilization, max_utilization, ClassLoads, LoadCalculator};
+use dtr_cost::{link_delay, phi, sla_penalty, Lex2, Objective, SlaParams};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
+use dtr_traffic::DemandSet;
+
+/// Per-SD-pair delay record of an SLA evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDelay {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Flow-weighted average end-to-end delay ξ(s,t), seconds.
+    pub delay_s: f64,
+    /// Eq. 4 penalty for this pair.
+    pub penalty: f64,
+}
+
+/// SLA-specific outputs (present when the objective is
+/// [`Objective::SlaBased`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaEvaluation {
+    /// Eq. 3 average delay per link, seconds.
+    pub link_delays: Vec<f64>,
+    /// One record per high-priority SD pair.
+    pub pair_delays: Vec<PairDelay>,
+    /// Total penalty `Λ = Σ Λ(s,t)`.
+    pub lambda: f64,
+    /// Number of pairs violating the SLA bound (Fig. 9(a)).
+    pub violations: usize,
+}
+
+/// The part of an evaluation that depends only on the high-priority
+/// weight vector; see [`Evaluator::eval_high_side`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighSide {
+    /// High-priority load per link.
+    pub loads: ClassLoads,
+    /// Per-link `Φ_H,l` against raw capacity.
+    pub phi_per_link: Vec<f64>,
+    /// `Φ_H = Σ_l Φ_H,l`.
+    pub phi: f64,
+    /// SLA outputs, if the objective is SLA-based.
+    pub sla: Option<SlaEvaluation>,
+}
+
+/// Everything the heuristics and experiments need to know about one
+/// weight setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// High-priority load per link.
+    pub high_loads: ClassLoads,
+    /// Low-priority load per link.
+    pub low_loads: ClassLoads,
+    /// Per-link Φ of the high class against raw capacity.
+    pub phi_h_per_link: Vec<f64>,
+    /// Per-link Φ of the low class against residual capacity.
+    pub phi_l_per_link: Vec<f64>,
+    /// `Φ_H = Σ_l Φ_H,l`.
+    pub phi_h: f64,
+    /// `Φ_L = Σ_l Φ_L,l`.
+    pub phi_l: f64,
+    /// SLA outputs, if the objective is SLA-based.
+    pub sla: Option<SlaEvaluation>,
+    /// The lexicographic objective value (`A` or `S`).
+    pub cost: Lex2,
+}
+
+impl Evaluation {
+    /// Per-link total load `H_l + L_l`.
+    pub fn total_loads(&self) -> Vec<f64> {
+        crate::loads::total_loads(&self.high_loads, &self.low_loads)
+    }
+
+    /// Average utilization over all links (the paper's `AD`).
+    pub fn avg_utilization(&self, topo: &Topology) -> f64 {
+        avg_utilization(topo, &self.total_loads())
+    }
+
+    /// Maximum link utilization.
+    pub fn max_utilization(&self, topo: &Topology) -> f64 {
+        max_utilization(topo, &self.total_loads())
+    }
+
+    /// Per-link utilization of the combined traffic (Fig. 3 histograms).
+    pub fn utilizations(&self, topo: &Topology) -> Vec<f64> {
+        let tl = self.total_loads();
+        topo.links()
+            .map(|(lid, l)| tl[lid.index()] / l.capacity)
+            .collect()
+    }
+
+    /// Per-link utilization of the high class only (Fig. 6).
+    pub fn high_utilizations(&self, topo: &Topology) -> Vec<f64> {
+        topo.links()
+            .map(|(lid, l)| self.high_loads[lid.index()] / l.capacity)
+            .collect()
+    }
+}
+
+/// Per-link ranking keys used by the heuristic neighborhoods
+/// (Algorithm 2 line 1): the lexicographic link cost `L_l`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRank {
+    /// `⟨Φ_H,l, Φ_L,l⟩` under the load objective,
+    /// `⟨D_l, Φ_L,l⟩` under the SLA objective — FindH's sort key.
+    pub high: Lex2,
+    /// `Φ_L,l` — FindL's sort key (low weights don't affect the high
+    /// class).
+    pub low: f64,
+}
+
+/// Evaluator bound to one problem instance.
+pub struct Evaluator<'a> {
+    topo: &'a Topology,
+    demands: &'a DemandSet,
+    objective: Objective,
+    calc: LoadCalculator,
+    ws: SpfWorkspace,
+    /// Destinations that receive high-priority traffic, precomputed.
+    high_dests: Vec<NodeId>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Binds `topo`, `demands` and `objective`.
+    pub fn new(topo: &'a Topology, demands: &'a DemandSet, objective: Objective) -> Self {
+        let high_dests = topo
+            .nodes()
+            .filter(|t| demands.high.demands_to(t.index()).next().is_some())
+            .collect();
+        Evaluator {
+            topo,
+            demands,
+            objective,
+            calc: LoadCalculator::new(),
+            ws: SpfWorkspace::new(),
+            high_dests,
+        }
+    }
+
+    /// The bound topology.
+    pub fn topo(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// The bound demand set.
+    pub fn demands(&self) -> &'a DemandSet {
+        self.demands
+    }
+
+    /// The bound objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Routes the high class on `wh` (one SPF per destination with
+    /// high-priority demand).
+    pub fn high_loads(&mut self, wh: &WeightVector) -> ClassLoads {
+        self.calc.class_loads(self.topo, wh, &self.demands.high)
+    }
+
+    /// Routes the low class on `wl`.
+    pub fn low_loads(&mut self, wl: &WeightVector) -> ClassLoads {
+        self.calc.class_loads(self.topo, wl, &self.demands.low)
+    }
+
+    /// Full dual-topology evaluation.
+    pub fn eval_dual(&mut self, w: &DualWeights) -> Evaluation {
+        let h = self.eval_high_side(&w.high);
+        let l = self.low_loads(&w.low);
+        self.finish(h, l)
+    }
+
+    /// Single-topology evaluation (both classes share `w`); one SPF pass
+    /// per destination covers both classes.
+    pub fn eval_str(&mut self, w: &WeightVector) -> Evaluation {
+        let (h, l) = self
+            .calc
+            .joint_loads(self.topo, w, &self.demands.high, &self.demands.low);
+        self.assemble(h, l, w)
+    }
+
+    /// Everything that depends **only** on the high-priority weight
+    /// vector: loads, per-link Φ against raw capacity, and (under the SLA
+    /// objective) link delays and per-pair penalties. `FindL` iterations
+    /// cache this and re-evaluate only the cheap low side.
+    pub fn eval_high_side(&mut self, wh: &WeightVector) -> HighSide {
+        let loads = self.high_loads(wh);
+        self.high_side_from_loads(loads, wh)
+    }
+
+    /// Builds a [`HighSide`] from precomputed high-class loads (which must
+    /// have been routed on `wh`).
+    pub fn high_side_from_loads(&mut self, loads: ClassLoads, wh: &WeightVector) -> HighSide {
+        let topo = self.topo;
+        let mut phi_per_link = vec![0.0; topo.link_count()];
+        let mut phi_sum = 0.0;
+        for (lid, link) in topo.links() {
+            let p = phi(loads[lid.index()], link.capacity);
+            phi_per_link[lid.index()] = p;
+            phi_sum += p;
+        }
+        let sla = match self.objective {
+            Objective::LoadBased => None,
+            Objective::SlaBased(params) => Some(self.eval_sla(&loads, wh, &params)),
+        };
+        HighSide {
+            loads,
+            phi_per_link,
+            phi: phi_sum,
+            sla,
+        }
+    }
+
+    /// Combines a (possibly cached) high side with fresh low-class loads.
+    /// Costs `O(|E|)` — this is the hot path of `FindL`.
+    pub fn finish(&self, high: HighSide, low_loads: ClassLoads) -> Evaluation {
+        let topo = self.topo;
+        let m = topo.link_count();
+        let mut phi_l_per_link = vec![0.0; m];
+        let mut phi_l = 0.0;
+        for (lid, link) in topo.links() {
+            let i = lid.index();
+            let residual = (link.capacity - high.loads[i]).max(0.0);
+            let pl = phi(low_loads[i], residual);
+            phi_l_per_link[i] = pl;
+            phi_l += pl;
+        }
+        let cost = match (&self.objective, &high.sla) {
+            (Objective::LoadBased, _) => Lex2::new(high.phi, phi_l),
+            (Objective::SlaBased(_), Some(sla)) => Lex2::new(sla.lambda, phi_l),
+            (Objective::SlaBased(_), None) => unreachable!("SLA high side always filled"),
+        };
+        Evaluation {
+            high_loads: high.loads,
+            low_loads,
+            phi_h_per_link: high.phi_per_link,
+            phi_l_per_link,
+            phi_h: high.phi,
+            phi_l,
+            sla: high.sla,
+            cost,
+        }
+    }
+
+    /// Assembles the cost structure from per-class loads. `high_weights`
+    /// must be the vector that produced `high_loads`; the SLA objective
+    /// re-walks its DAGs to compute per-pair delays.
+    pub fn assemble(
+        &mut self,
+        high_loads: ClassLoads,
+        low_loads: ClassLoads,
+        high_weights: &WeightVector,
+    ) -> Evaluation {
+        let high = self.high_side_from_loads(high_loads, high_weights);
+        self.finish(high, low_loads)
+    }
+
+    /// Computes Eq. 3 link delays and Eq. 4 pair penalties for the high
+    /// class routed on `wh`.
+    fn eval_sla(
+        &mut self,
+        high_loads: &[f64],
+        wh: &WeightVector,
+        params: &SlaParams,
+    ) -> SlaEvaluation {
+        let topo = self.topo;
+        let link_delays: Vec<f64> = topo
+            .links()
+            .map(|(lid, link)| {
+                link_delay(
+                    &params.delay,
+                    high_loads[lid.index()],
+                    link.capacity,
+                    link.prop_delay,
+                )
+            })
+            .collect();
+
+        let mut pair_delays = Vec::new();
+        let mut lambda = 0.0;
+        let mut violations = 0;
+        // ξ(v → t): expected delay over even ECMP splitting, computed by
+        // dynamic programming in increasing-distance order.
+        let mut xi = vec![0.0f64; topo.node_count()];
+        for &t in &self.high_dests.clone() {
+            let dag = ShortestPathDag::compute_with(topo, wh, t, None, &mut self.ws);
+            xi.fill(0.0);
+            // `dag.order` is decreasing distance; walk it backwards.
+            for &v in dag.order.iter().rev() {
+                let vi = v as usize;
+                if NodeId(v) == t || !dag.reachable(NodeId(v)) {
+                    continue;
+                }
+                let branches = &dag.ecmp_out[vi];
+                let mut acc = 0.0;
+                for &lid in branches {
+                    acc += link_delays[lid.index()] + xi[topo.link(lid).dst.index()];
+                }
+                xi[vi] = acc / branches.len() as f64;
+            }
+            for (s, _vol) in self.demands.high.demands_to(t.index()) {
+                let delay_s = xi[s];
+                let penalty =
+                    sla_penalty(delay_s, params.bound_s, params.penalty_a, params.penalty_b);
+                if penalty > 0.0 {
+                    violations += 1;
+                }
+                lambda += penalty;
+                pair_delays.push(PairDelay {
+                    src: s,
+                    dst: t.index(),
+                    delay_s,
+                    penalty,
+                });
+            }
+        }
+
+        SlaEvaluation {
+            link_delays,
+            pair_delays,
+            lambda,
+            violations,
+        }
+    }
+
+    /// Per-link ranking keys for the heuristic neighborhoods (Algorithm 2):
+    /// `L_l = ⟨Φ_H,l, Φ_L,l⟩` (load objective) or `⟨D_l, Φ_L,l⟩` (SLA).
+    pub fn link_ranks(&self, ev: &Evaluation) -> Vec<LinkRank> {
+        (0..self.topo.link_count())
+            .map(|i| {
+                let high = match (&self.objective, &ev.sla) {
+                    (Objective::LoadBased, _) => {
+                        Lex2::new(ev.phi_h_per_link[i], ev.phi_l_per_link[i])
+                    }
+                    (Objective::SlaBased(_), Some(sla)) => {
+                        Lex2::new(sla.link_delays[i], ev.phi_l_per_link[i])
+                    }
+                    (Objective::SlaBased(_), None) => {
+                        unreachable!("SLA objective always fills ev.sla")
+                    }
+                };
+                LinkRank {
+                    high,
+                    low: ev.phi_l_per_link[i],
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::triangle_topology;
+    use dtr_traffic::TrafficMatrix;
+
+    /// The paper's §3.3.1 instance: unit-capacity triangle, 1/3 high and
+    /// 2/3 low priority from A to C.
+    fn triangle_instance() -> (Topology, DemandSet) {
+        let topo = triangle_topology(1.0);
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0 / 3.0);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 2.0 / 3.0);
+        (topo, DemandSet { high, low })
+    }
+
+    #[test]
+    fn paper_triangle_str_costs() {
+        // Direct routing of both classes on A−C: Φ_H = 1/3, Φ_L = 64/9
+        // (§3.3.1's first numerical example).
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let w = WeightVector::uniform(&topo, 1);
+        let e = ev.eval_str(&w);
+        assert!((e.phi_h - 1.0 / 3.0).abs() < 1e-9, "phi_h={}", e.phi_h);
+        assert!((e.phi_l - 64.0 / 9.0).abs() < 1e-9, "phi_l={}", e.phi_l);
+        assert_eq!(e.cost, Lex2::new(e.phi_h, e.phi_l));
+    }
+
+    #[test]
+    fn paper_triangle_dtr_improves_low_cost() {
+        // DTR: keep high priority on A−C, route low priority via B.
+        // Low sees full unit capacity on A−B and B−C: Φ_L = 2·Φ(2/3, 1) =
+        // 2·(3·2/3 − 2/3) = 8/3 ≪ 64/9.
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        // Penalize the direct A→C link for low priority.
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let e = ev.eval_dual(&DualWeights { high: wh, low: wl });
+        assert!((e.phi_h - 1.0 / 3.0).abs() < 1e-9);
+        assert!((e.phi_l - 8.0 / 3.0).abs() < 1e-9, "phi_l={}", e.phi_l);
+    }
+
+    #[test]
+    fn residual_capacity_is_used_for_low_class() {
+        // Saturate a link with high priority: low priority on the same
+        // link must be charged at the steepest slope (residual = 0).
+        let (topo, _) = triangle_instance();
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0); // fills the unit link
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 0.1);
+        let demands = DemandSet { high, low };
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let w = WeightVector::uniform(&topo, 1);
+        let e = ev.eval_str(&w);
+        let ac = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        assert!((e.phi_l_per_link[ac.index()] - 500.0).abs() < 1e-9); // 5000·0.1
+    }
+
+    #[test]
+    fn str_equals_dual_with_replicated_weights() {
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let w = WeightVector::uniform(&topo, 1);
+        let a = ev.eval_str(&w);
+        let b = ev.eval_dual(&DualWeights::replicated(w));
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.high_loads, b.high_loads);
+        assert_eq!(a.low_loads, b.low_loads);
+    }
+
+    #[test]
+    fn sla_eval_counts_violations() {
+        // Unit-capacity triangle with 1 ms links: direct path delay well
+        // under a 25 ms bound → no violations; with a 1 µs bound → all
+        // pairs violate.
+        let (topo, demands) = triangle_instance();
+        let relaxed = Objective::SlaBased(SlaParams::default());
+        let mut ev = Evaluator::new(&topo, &demands, relaxed);
+        let w = WeightVector::uniform(&topo, 1);
+        let e = ev.eval_str(&w);
+        let sla = e.sla.as_ref().unwrap();
+        assert_eq!(sla.violations, 0);
+        assert_eq!(sla.lambda, 0.0);
+        assert_eq!(sla.pair_delays.len(), 1);
+        assert_eq!(e.cost, Lex2::new(0.0, e.phi_l));
+
+        let strict = Objective::SlaBased(SlaParams {
+            bound_s: 1e-6,
+            ..SlaParams::default()
+        });
+        let mut ev = Evaluator::new(&topo, &demands, strict);
+        let e = ev.eval_str(&w);
+        let sla = e.sla.as_ref().unwrap();
+        assert_eq!(sla.violations, 1);
+        assert!(sla.lambda >= 100.0);
+    }
+
+    #[test]
+    fn sla_pair_delay_matches_hand_computation() {
+        let (topo, demands) = triangle_instance();
+        let params = SlaParams::default();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::SlaBased(params));
+        let w = WeightVector::uniform(&topo, 1);
+        let e = ev.eval_str(&w);
+        let sla = e.sla.as_ref().unwrap();
+        // Direct A→C: one link. D = s/C(Φ/C + 1) + p with H=1/3, C=1 Mbps,
+        // s=8000 bits → s/C = 8 ms(!); Φ(1/3,1)=1/3 → D = 8ms·4/3 + 1ms.
+        let ac = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        let expect = 0.008 * (1.0 / 3.0 + 1.0) + 0.001;
+        assert!((sla.link_delays[ac.index()] - expect).abs() < 1e-12);
+        assert!((sla.pair_delays[0].delay_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_ranks_follow_objective() {
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let w = WeightVector::uniform(&topo, 1);
+        let e = ev.eval_str(&w);
+        let ranks = ev.link_ranks(&e);
+        let ac = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        // The loaded A→C link must rank highest.
+        let max = ranks
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.high.cmp(&b.1.high))
+            .unwrap()
+            .0;
+        assert_eq!(max, ac.index());
+        assert!(ranks[ac.index()].low > 0.0);
+    }
+
+    #[test]
+    fn utilization_reports() {
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let w = WeightVector::uniform(&topo, 1);
+        let e = ev.eval_str(&w);
+        // One unit of total traffic on one of six unit links.
+        assert!((e.max_utilization(&topo) - 1.0).abs() < 1e-12);
+        assert!((e.avg_utilization(&topo) - 1.0 / 6.0).abs() < 1e-12);
+        let hu = e.high_utilizations(&topo);
+        let ac = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        assert!((hu[ac.index()] - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

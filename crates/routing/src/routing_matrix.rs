@@ -1,0 +1,271 @@
+//! The routing matrix `A`: per-SD-pair, per-link ECMP fractions.
+//!
+//! Network tomography works with the linear system `y = A·x`, where `x`
+//! is the (unknown) traffic-matrix vector, `y` the measured per-link
+//! loads, and `A[p][l]` the fraction of pair `p`'s demand that crosses
+//! link `l` under the current routing. For destination-based ECMP
+//! forwarding, `A` is fully determined by the weight vector: each row is
+//! the unit-flow split of one pair down its shortest-path DAG.
+//!
+//! [`RoutingMatrix`] stores `A` sparsely in both row-major (per pair) and
+//! column-major (per link) form — the estimator needs both orientations.
+
+use crate::loads::ClassLoads;
+use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
+use dtr_traffic::TrafficMatrix;
+
+/// Sparse per-pair ECMP link fractions under one weight vector.
+#[derive(Debug, Clone)]
+pub struct RoutingMatrix {
+    n_links: usize,
+    /// SD pairs covered, in row order.
+    pairs: Vec<(usize, usize)>,
+    /// Row-major: `rows[p]` = `(link, fraction)` with fraction ∈ (0, 1].
+    rows: Vec<Vec<(u32, f64)>>,
+    /// Column-major: `cols[l]` = `(pair index, fraction)`.
+    cols: Vec<Vec<(u32, f64)>>,
+}
+
+impl RoutingMatrix {
+    /// Computes the routing matrix for every ordered pair `(s, t)`,
+    /// `s ≠ t`, under `weights`. One reverse-Dijkstra per destination plus
+    /// one DAG walk per pair.
+    pub fn compute(topo: &Topology, weights: &WeightVector) -> Self {
+        let n = topo.node_count();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|s| (0..n).filter(move |&t| t != s).map(move |t| (s, t)))
+            .collect();
+        Self::compute_for_pairs(topo, weights, &pairs)
+    }
+
+    /// Computes the routing matrix restricted to `pairs`.
+    pub fn compute_for_pairs(
+        topo: &Topology,
+        weights: &WeightVector,
+        pairs: &[(usize, usize)],
+    ) -> Self {
+        let n = topo.node_count();
+        let m = topo.link_count();
+        let mut ws = SpfWorkspace::new();
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); pairs.len()];
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+
+        // Group pair indices by destination so each DAG is built once.
+        let mut by_dest: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            assert!(s != t, "self-pairs have no routing row");
+            assert!(s < n && t < n, "pair ({s},{t}) outside the topology");
+            by_dest[t].push(i as u32);
+        }
+
+        let mut flow = vec![0.0f64; n];
+        for (t, members) in by_dest.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let dag =
+                ShortestPathDag::compute_with(topo, weights, NodeId(t as u32), None, &mut ws);
+            for &pi in members {
+                let (s, _) = pairs[pi as usize];
+                // Push one unit of flow from s down the DAG.
+                flow.fill(0.0);
+                flow[s] = 1.0;
+                let mut row: Vec<(u32, f64)> = Vec::new();
+                for &v in &dag.order {
+                    let vi = v as usize;
+                    let f = flow[vi];
+                    if f <= 0.0 || vi == t {
+                        continue;
+                    }
+                    let branches = &dag.ecmp_out[vi];
+                    if branches.is_empty() {
+                        continue; // unreachable (masked topologies only)
+                    }
+                    let share = f / branches.len() as f64;
+                    for &lid in branches {
+                        row.push((lid.0, share));
+                        flow[topo.link(lid).dst.index()] += share;
+                    }
+                }
+                // A node can be entered via several DAG branches; merge
+                // duplicate link entries.
+                row.sort_unstable_by_key(|&(l, _)| l);
+                row.dedup_by(|b, a| {
+                    if a.0 == b.0 {
+                        a.1 += b.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                for &(l, frac) in &row {
+                    cols[l as usize].push((pi, frac));
+                }
+                rows[pi as usize] = row;
+            }
+        }
+
+        RoutingMatrix {
+            n_links: m,
+            pairs: pairs.to_vec(),
+            rows,
+            cols,
+        }
+    }
+
+    /// The covered SD pairs, in row order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of links (columns).
+    pub fn link_count(&self) -> usize {
+        self.n_links
+    }
+
+    /// Row `p` as `(link, fraction)` pairs.
+    pub fn row(&self, p: usize) -> &[(u32, f64)] {
+        &self.rows[p]
+    }
+
+    /// Column `l` as `(pair index, fraction)` pairs.
+    pub fn col(&self, l: usize) -> &[(u32, f64)] {
+        &self.cols[l]
+    }
+
+    /// `y = A·x` for a volume vector aligned with [`Self::pairs`].
+    pub fn link_loads(&self, volumes: &[f64]) -> ClassLoads {
+        assert_eq!(volumes.len(), self.pairs.len());
+        let mut y = vec![0.0; self.n_links];
+        for (row, &v) in self.rows.iter().zip(volumes) {
+            if v == 0.0 {
+                continue;
+            }
+            for &(l, frac) in row {
+                y[l as usize] += frac * v;
+            }
+        }
+        y
+    }
+
+    /// Extracts the volume vector of `tm` aligned with [`Self::pairs`].
+    pub fn volumes_of(&self, tm: &TrafficMatrix) -> Vec<f64> {
+        self.pairs.iter().map(|&(s, t)| tm.get(s, t)).collect()
+    }
+
+    /// Builds a [`TrafficMatrix`] from a volume vector aligned with
+    /// [`Self::pairs`].
+    pub fn matrix_of(&self, volumes: &[f64], n_nodes: usize) -> TrafficMatrix {
+        assert_eq!(volumes.len(), self.pairs.len());
+        let mut m = TrafficMatrix::zeros(n_nodes);
+        for (&(s, t), &v) in self.pairs.iter().zip(volumes) {
+            if v > 0.0 {
+                m.set(s, t, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loads::LoadCalculator;
+    use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
+    use dtr_graph::topology::TopologyBuilder;
+    use dtr_traffic::{DemandSet, TrafficCfg};
+
+    fn diamond() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(4);
+        b.add_duplex(NodeId(0), NodeId(1), 500.0, 0.001);
+        b.add_duplex(NodeId(0), NodeId(2), 500.0, 0.001);
+        b.add_duplex(NodeId(1), NodeId(3), 500.0, 0.001);
+        b.add_duplex(NodeId(2), NodeId(3), 500.0, 0.001);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rows_are_unit_flows() {
+        // Every pair's fractions into its destination sum to 1.
+        let topo = random_topology(&RandomTopologyCfg::default());
+        let w = WeightVector::uniform(&topo, 1);
+        let rm = RoutingMatrix::compute(&topo, &w);
+        for (p, &(_, t)) in rm.pairs().iter().enumerate() {
+            let into_t: f64 = rm
+                .row(p)
+                .iter()
+                .filter(|&&(l, _)| topo.link(dtr_graph::LinkId(l)).dst.index() == t)
+                .map(|&(_, f)| f)
+                .sum();
+            assert!((into_t - 1.0).abs() < 1e-9, "pair {p} delivers {into_t}");
+        }
+    }
+
+    #[test]
+    fn ecmp_fractions_on_diamond() {
+        let topo = diamond();
+        let w = WeightVector::uniform(&topo, 1);
+        let rm = RoutingMatrix::compute_for_pairs(&topo, &w, &[(0, 3)]);
+        let row = rm.row(0);
+        assert_eq!(row.len(), 4, "two 2-hop ECMP paths");
+        for &(_, f) in row {
+            assert!((f - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn link_loads_match_load_calculator() {
+        // The key invariant: A·x reproduces the forwarding model exactly.
+        let topo = random_topology(&RandomTopologyCfg { nodes: 14, directed_links: 56, seed: 3 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() });
+        let mut w = WeightVector::uniform(&topo, 1);
+        // A non-trivial weight vector exercises multi-path splits.
+        for i in 0..topo.link_count() as u32 {
+            w.set(dtr_graph::LinkId(i), 1 + (i * 7 % 5));
+        }
+        let rm = RoutingMatrix::compute(&topo, &w);
+        let x = rm.volumes_of(&demands.low);
+        let y = rm.link_loads(&x);
+        let reference = LoadCalculator::new().class_loads(&topo, &w, &demands.low);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cols_are_transpose_of_rows() {
+        let topo = triangle_topology(1.0);
+        let w = WeightVector::uniform(&topo, 1);
+        let rm = RoutingMatrix::compute(&topo, &w);
+        for l in 0..rm.link_count() {
+            for &(p, f) in rm.col(l) {
+                let in_row = rm.row(p as usize).iter().any(|&(ll, ff)| {
+                    ll as usize == l && (ff - f).abs() < 1e-15
+                });
+                assert!(in_row, "col entry missing from row");
+            }
+        }
+    }
+
+    #[test]
+    fn volumes_roundtrip_through_matrix() {
+        let topo = triangle_topology(1.0);
+        let w = WeightVector::uniform(&topo, 1);
+        let rm = RoutingMatrix::compute(&topo, &w);
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(0, 2, 5.0);
+        tm.set(1, 0, 2.0);
+        let x = rm.volumes_of(&tm);
+        let back = rm.matrix_of(&x, 3);
+        assert_eq!(back, tm);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pairs")]
+    fn rejects_self_pairs() {
+        let topo = triangle_topology(1.0);
+        let w = WeightVector::uniform(&topo, 1);
+        let _ = RoutingMatrix::compute_for_pairs(&topo, &w, &[(1, 1)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Failure-scenario enumeration for robustness evaluation.
+//!
+//! IP backbones fail one fiber at a time far more often than they fail
+//! two (Nucci et al. \[5\]); the standard robustness model is therefore
+//! the set of *single duplex-pair* failures: both directions of one
+//! physical link go down, OSPF reroutes with unchanged weights, and the
+//! operator cares about the worst resulting load. [`FailureScenario`]
+//! captures one such cut as a link-up mask compatible with
+//! [`crate::LoadCalculator::class_loads_masked`]; cuts that would
+//! disconnect the network are excluded (they are a capacity-planning
+//! problem, not a weight-setting problem).
+
+use dtr_graph::{NodeId, Topology};
+
+/// One survivable failure: a link-up mask plus the canonical id of the
+/// failed duplex pair (the smaller of the two directed link ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureScenario {
+    /// Canonical failed-pair id (for reporting).
+    pub pair_id: u32,
+    /// `link_up[l] == false` for exactly the two directions of the pair.
+    pub link_up: Vec<bool>,
+}
+
+/// Enumerates every single duplex-pair failure that leaves the topology
+/// strongly connected. Panics if `topo` has a directed link without a
+/// reverse twin (the paper's topologies are all symmetric digraphs).
+pub fn survivable_duplex_failures(topo: &Topology) -> Vec<FailureScenario> {
+    let all_up = vec![true; topo.link_count()];
+    let mut out = Vec::new();
+    for (lid, _) in topo.links() {
+        let twin = topo
+            .reverse_link(lid)
+            .expect("failure scenarios require a symmetric digraph");
+        if twin.index() < lid.index() {
+            continue; // visit each duplex pair once
+        }
+        let mut up = all_up.clone();
+        up[lid.index()] = false;
+        up[twin.index()] = false;
+        if strongly_connected_under(topo, &up) {
+            out.push(FailureScenario {
+                pair_id: lid.0,
+                link_up: up,
+            });
+        }
+    }
+    out
+}
+
+/// True when the topology restricted to `up` links is strongly connected.
+pub fn strongly_connected_under(topo: &Topology, up: &[bool]) -> bool {
+    let n = topo.node_count();
+    if n == 0 {
+        return true;
+    }
+    let reach = |reverse: bool| -> usize {
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            let adj = if reverse { topo.in_links(v) } else { topo.out_links(v) };
+            for &lid in adj {
+                if !up[lid.index()] {
+                    continue;
+                }
+                let l = topo.link(lid);
+                let next = if reverse { l.src } else { l.dst };
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    count += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        count
+    };
+    reach(false) == n && reach(true) == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
+    use dtr_graph::topology::TopologyBuilder;
+
+    #[test]
+    fn triangle_every_pair_survivable() {
+        // Cutting one side of a triangle leaves a connected 2-path.
+        let topo = triangle_topology(1.0);
+        let s = survivable_duplex_failures(&topo);
+        assert_eq!(s.len(), 3);
+        for sc in &s {
+            assert_eq!(sc.link_up.iter().filter(|&&u| !u).count(), 2);
+            assert!(strongly_connected_under(&topo, &sc.link_up));
+        }
+    }
+
+    #[test]
+    fn bridge_links_are_excluded() {
+        // A "dumbbell": two triangles joined by one duplex bridge. The
+        // bridge cut disconnects; all six triangle cuts survive.
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(6);
+        for (x, y) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_duplex(NodeId(x), NodeId(y), 1.0, 0.001);
+        }
+        b.add_duplex(NodeId(2), NodeId(3), 1.0, 0.001);
+        let topo = b.build().unwrap();
+        let s = survivable_duplex_failures(&topo);
+        assert_eq!(s.len(), 6, "the bridge must be excluded");
+        let bridge = topo.find_link(NodeId(2), NodeId(3)).unwrap();
+        assert!(s.iter().all(|sc| sc.link_up[bridge.index()]));
+    }
+
+    #[test]
+    fn masks_differ_per_scenario_and_ids_are_canonical() {
+        let topo = random_topology(&RandomTopologyCfg::default());
+        let s = survivable_duplex_failures(&topo);
+        assert!(!s.is_empty());
+        let mut ids: Vec<u32> = s.iter().map(|sc| sc.pair_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), s.len(), "pair ids unique");
+        for sc in &s {
+            let lid = dtr_graph::LinkId(sc.pair_id);
+            let twin = topo.reverse_link(lid).unwrap();
+            assert!(lid.index() < twin.index(), "canonical id is the smaller");
+            assert!(!sc.link_up[lid.index()] && !sc.link_up[twin.index()]);
+        }
+    }
+
+    #[test]
+    fn full_mask_is_connected() {
+        let topo = random_topology(&RandomTopologyCfg::default());
+        assert!(strongly_connected_under(&topo, &vec![true; topo.link_count()]));
+    }
+}

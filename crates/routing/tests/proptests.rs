@@ -1,0 +1,267 @@
+//! Property tests for the routing engine.
+//!
+//! Core invariants, checked over random topologies, weights and demands:
+//!
+//! 1. **Flow conservation**: at every transit node, per-destination inflow
+//!    equals outflow; all offered demand is delivered.
+//! 2. **Load totality**: the sum of per-link loads equals the sum over SD
+//!    pairs of demand × path length (in links) — equivalently, loads are
+//!    consistent with a unit of traffic occupying one link per hop.
+//! 3. **STR/DTR consistency**: replicated dual weights reproduce STR.
+//! 4. **Cost sanity**: Φ values are finite and non-negative, the
+//!    lexicographic cost matches its components, and SLA pair delays are
+//!    bounded below by the shortest-path propagation delay.
+
+use dtr_cost::Objective;
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{NodeId, Topology, WeightVector, MAX_WEIGHT, MIN_WEIGHT};
+use dtr_routing::{Evaluator, LoadCalculator};
+use dtr_traffic::{DemandSet, TrafficCfg, TrafficMatrix};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn small_instance(seed: u64) -> (Topology, DemandSet) {
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 12,
+        directed_links: 48,
+        seed,
+    });
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed,
+            ..Default::default()
+        },
+    );
+    (topo, demands)
+}
+
+fn rand_weights(topo: &Topology, seed: u64) -> WeightVector {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    WeightVector::from_vec(
+        (0..topo.link_count())
+            .map(|_| rng.random_range(MIN_WEIGHT..=MAX_WEIGHT))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flow_is_conserved_per_destination(seed in 0u64..300, wseed in 0u64..300) {
+        let (topo, _) = small_instance(seed);
+        let weights = rand_weights(&topo, wseed);
+        // Single-destination demand: check node balance directly.
+        let t = NodeId((seed % 12) as u32);
+        let mut m = TrafficMatrix::zeros(12);
+        let mut offered = 0.0;
+        for s in 0..12usize {
+            if s != t.index() {
+                let v = 1.0 + (s as f64);
+                m.set(s, t.index(), v);
+                offered += v;
+            }
+        }
+        let loads = LoadCalculator::new().class_loads(&topo, &weights, &m);
+
+        // Inflow at destination equals total offered demand.
+        let into_t: f64 = topo.in_links(t).iter().map(|&l| loads[l.index()]).sum();
+        prop_assert!((into_t - offered).abs() < 1e-6 * offered.max(1.0));
+
+        // Transit balance: inflow + locally offered = outflow for v ≠ t.
+        for v in topo.nodes() {
+            if v == t { continue; }
+            let inflow: f64 = topo.in_links(v).iter().map(|&l| loads[l.index()]).sum();
+            let outflow: f64 = topo.out_links(v).iter().map(|&l| loads[l.index()]).sum();
+            let local = m.get(v.index(), t.index());
+            prop_assert!(
+                (inflow + local - outflow).abs() < 1e-6 * offered.max(1.0),
+                "node {v}: in {inflow} + local {local} != out {outflow}"
+            );
+        }
+    }
+
+    #[test]
+    fn loads_equal_demand_times_hops(seed in 0u64..300, wseed in 0u64..300) {
+        let (topo, demands) = small_instance(seed);
+        let weights = rand_weights(&topo, wseed);
+        let loads = LoadCalculator::new().class_loads(&topo, &weights, &demands.low);
+        let total_load: f64 = loads.iter().sum();
+
+        // Expected: Σ demand(s,t) · E[hops(s,t)], where E[hops] is the
+        // expected hop count over even ECMP splitting. Compute it with an
+        // independent DP over the DAG.
+        let mut expect = 0.0;
+        for t in topo.nodes() {
+            let dag = dtr_graph::ShortestPathDag::compute(&topo, &weights, t);
+            let mut hops = vec![0.0f64; topo.node_count()];
+            for &v in dag.order.iter().rev() {
+                let vi = v as usize;
+                if NodeId(v) == t { continue; }
+                let branches = &dag.ecmp_out[vi];
+                if branches.is_empty() { continue; }
+                let mut acc = 0.0;
+                for &lid in branches {
+                    acc += 1.0 + hops[topo.link(lid).dst.index()];
+                }
+                hops[vi] = acc / branches.len() as f64;
+            }
+            for (s, v) in demands.low.demands_to(t.index()) {
+                expect += v * hops[s];
+            }
+        }
+        prop_assert!(
+            (total_load - expect).abs() < 1e-6 * expect.max(1.0),
+            "loads {total_load} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn replicated_dual_equals_str(seed in 0u64..200, wseed in 0u64..200) {
+        let (topo, demands) = small_instance(seed);
+        let w = rand_weights(&topo, wseed);
+        for objective in [Objective::LoadBased, Objective::sla_default()] {
+            let mut ev = Evaluator::new(&topo, &demands, objective);
+            let a = ev.eval_str(&w);
+            let b = ev.eval_dual(&DualWeights::replicated(w.clone()));
+            prop_assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn costs_are_finite_and_consistent(seed in 0u64..200, w1 in 0u64..200, w2 in 0u64..200) {
+        let (topo, demands) = small_instance(seed);
+        let dual = DualWeights {
+            high: rand_weights(&topo, w1),
+            low: rand_weights(&topo, w2),
+        };
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let e = ev.eval_dual(&dual);
+        prop_assert!(e.phi_h.is_finite() && e.phi_h >= 0.0);
+        prop_assert!(e.phi_l.is_finite() && e.phi_l >= 0.0);
+        prop_assert!((e.phi_h - e.phi_h_per_link.iter().sum::<f64>()).abs() < 1e-6);
+        prop_assert!((e.phi_l - e.phi_l_per_link.iter().sum::<f64>()).abs() < 1e-6);
+        prop_assert_eq!(e.cost, dtr_cost::Lex2::new(e.phi_h, e.phi_l));
+    }
+
+    #[test]
+    fn sla_delays_bounded_by_propagation(seed in 0u64..100, w1 in 0u64..100) {
+        let (topo, demands) = small_instance(seed);
+        let wh = rand_weights(&topo, w1);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::sla_default());
+        let e = ev.eval_dual(&DualWeights::replicated(wh.clone()));
+        let sla = e.sla.as_ref().unwrap();
+        // Each pair's delay is at least the minimum single-link
+        // propagation delay (paths have ≥ 1 hop).
+        let min_prop = topo.links().map(|(_, l)| l.prop_delay).fold(f64::MAX, f64::min);
+        for pd in &sla.pair_delays {
+            prop_assert!(pd.delay_s >= min_prop);
+            prop_assert!(pd.delay_s.is_finite());
+            if pd.penalty > 0.0 {
+                prop_assert!(pd.delay_s > 0.025);
+            }
+        }
+        // Violations counter matches penalty records.
+        let v = sla.pair_delays.iter().filter(|p| p.penalty > 0.0).count();
+        prop_assert_eq!(v, sla.violations);
+    }
+
+    #[test]
+    fn high_class_cost_independent_of_low_weights(seed in 0u64..100, w1 in 0u64..100, w2 in 0u64..100, w3 in 0u64..100) {
+        // Priority queueing isolation: Φ_H must not change when only the
+        // low-priority weight vector changes.
+        let (topo, demands) = small_instance(seed);
+        let wh = rand_weights(&topo, w1);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let a = ev.eval_dual(&DualWeights { high: wh.clone(), low: rand_weights(&topo, w2) });
+        let b = ev.eval_dual(&DualWeights { high: wh, low: rand_weights(&topo, w3) });
+        prop_assert_eq!(a.phi_h, b.phi_h);
+        prop_assert_eq!(a.high_loads, b.high_loads);
+    }
+
+    #[test]
+    fn routing_matrix_reproduces_forwarding_model(seed in 0u64..150, wseed in 0u64..150) {
+        // `A·x` from the routing matrix must equal the LoadCalculator's
+        // per-link loads for every weight setting and demand matrix.
+        let (topo, demands) = small_instance(seed);
+        let w = rand_weights(&topo, wseed);
+        let rm = dtr_routing::RoutingMatrix::compute(&topo, &w);
+        let x = rm.volumes_of(&demands.low);
+        let y = rm.link_loads(&x);
+        let reference = LoadCalculator::new().class_loads(&topo, &w, &demands.low);
+        for (a, b) in y.iter().zip(&reference) {
+            prop_assert!((a - b).abs() < 1e-6 * b.max(1.0), "{a} vs {b}");
+        }
+        // Every row is a unit flow: fractions into the destination sum to 1.
+        for (p, &(_, t)) in rm.pairs().iter().enumerate() {
+            let into_t: f64 = rm.row(p).iter()
+                .filter(|&&(l, _)| topo.link(dtr_graph::LinkId(l)).dst.index() == t)
+                .map(|&(_, f)| f)
+                .sum();
+            prop_assert!((into_t - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gravity_prior_fits_any_feasible_marginals(seed in 0u64..300) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = rng.random_range(3usize..10);
+        let out: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..50.0)).collect();
+        // Build `in` totals with the same grand total.
+        let mut in_: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..50.0)).collect();
+        let scale = out.iter().sum::<f64>() / in_.iter().sum::<f64>();
+        for v in in_.iter_mut() { *v *= scale; }
+        // A zero-diagonal matrix with these marginals exists only when no
+        // node dominates: out[s] + in[s] ≤ T for all s (else IPF yields a
+        // best-effort compromise — see the unit tests). Keep a margin so
+        // 100 IPF rounds reach the tolerance.
+        let total: f64 = out.iter().sum();
+        prop_assume!((0..n).all(|s| out[s] + in_[s] < 0.9 * total));
+        let g = dtr_routing::gravity_prior(&out, &in_);
+        for s in 0..n {
+            prop_assert!((g.row_total(s) - out[s]).abs() < 1e-4 * out[s].max(1.0));
+            prop_assert!((g.col_total(s) - in_[s]).abs() < 1e-4 * in_[s].max(1.0));
+            prop_assert_eq!(g.get(s, s), 0.0);
+        }
+    }
+
+    #[test]
+    fn tomogravity_satisfies_measurements(seed in 0u64..60, wseed in 0u64..60) {
+        // Whatever the prior, MART must drive the link residual to ~0
+        // when the measurements are consistent (generated by a real
+        // matrix), and the fitted matrix must carry the measured volume.
+        let (topo, demands) = small_instance(seed);
+        let w = rand_weights(&topo, wseed);
+        let rm = dtr_routing::RoutingMatrix::compute(&topo, &w);
+        let truth = &demands.high;
+        let y = LoadCalculator::new().class_loads(&topo, &w, truth);
+        let out: Vec<f64> = (0..truth.len()).map(|s| truth.row_total(s)).collect();
+        let in_: Vec<f64> = (0..truth.len()).map(|t| truth.col_total(t)).collect();
+        let prior = dtr_routing::gravity_prior(&out, &in_);
+        // MART converges geometrically but the rate depends on how the
+        // link constraints couple; give it room and ask for ≲1% errors.
+        let cfg = dtr_routing::TomoCfg { max_iters: 1000, tol: 1e-6 };
+        let fit = dtr_routing::tomogravity(&prior, &rm, &y, &cfg);
+        prop_assert!(fit.residual < 1e-2, "residual {}", fit.residual);
+        let refit = rm.link_loads(&rm.volumes_of(&fit.matrix));
+        for (a, b) in refit.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-2 * b.max(1.0));
+        }
+    }
+
+    #[test]
+    fn failure_scenarios_are_survivable_and_canonical(seed in 0u64..200) {
+        let (topo, _) = small_instance(seed);
+        let scenarios = dtr_routing::survivable_duplex_failures(&topo);
+        for sc in &scenarios {
+            prop_assert!(dtr_routing::strongly_connected_under(&topo, &sc.link_up));
+            let down = sc.link_up.iter().filter(|&&u| !u).count();
+            prop_assert_eq!(down, 2, "exactly one duplex pair fails");
+            let lid = dtr_graph::LinkId(sc.pair_id);
+            let twin = topo.reverse_link(lid).unwrap();
+            prop_assert!(lid.index() < twin.index());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The event queue: a time-ordered heap with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulator events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A flow source emits its next packet (and reschedules itself).
+    FlowArrival {
+        /// Index into the simulation's flow table.
+        flow: usize,
+    },
+    /// A packet arrives at a node (after propagation) and must be
+    /// forwarded or delivered.
+    NodeArrival {
+        /// Index into the in-flight packet arena.
+        packet: usize,
+        /// The node the packet just reached.
+        node: u32,
+    },
+    /// A link finishes transmitting its current packet.
+    TxComplete {
+        /// The transmitting link.
+        link: u32,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduled {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Monotone sequence number: equal-time events fire in scheduling
+    /// order, making runs reproducible.
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute `time` (seconds).
+    pub fn push(&mut self, time: f64, event: Event) {
+        debug_assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::TxComplete { link: 3 });
+        q.push(1.0, Event::TxComplete { link: 1 });
+        q.push(2.0, Event::TxComplete { link: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|s| s.time)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(1.0, Event::TxComplete { link: i });
+        }
+        let links: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|s| match s.event {
+                Event::TxComplete { link } => link,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(links, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, Event::FlowArrival { flow: 0 });
+        q.push(2.0, Event::FlowArrival { flow: 1 });
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

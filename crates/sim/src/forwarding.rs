@@ -1,0 +1,74 @@
+//! Per-class ECMP forwarding state.
+//!
+//! Mirrors what MT-OSPF routers install: for each traffic class
+//! (topology) and destination, every node's set of equal-cost next-hop
+//! links. Packets pick uniformly among branches, which reproduces the
+//! evaluator's even splitting in expectation.
+
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology};
+use crate::stats::TrafficClass;
+
+/// ECMP branch tables for both classes.
+#[derive(Debug, Clone)]
+pub struct ForwardingState {
+    /// `branches[class][dest][node]` = candidate out-links.
+    branches: [Vec<Vec<Vec<LinkId>>>; 2],
+}
+
+impl ForwardingState {
+    /// Builds the tables from a dual weight setting.
+    pub fn new(topo: &Topology, weights: &DualWeights) -> Self {
+        let build = |w| -> Vec<Vec<Vec<LinkId>>> {
+            topo.nodes()
+                .map(|dest| {
+                    let dag = ShortestPathDag::compute(topo, w, dest);
+                    dag.ecmp_out
+                })
+                .collect()
+        };
+        ForwardingState {
+            branches: [build(&weights.high), build(&weights.low)],
+        }
+    }
+
+    /// The ECMP branches for `class` traffic at `node` towards `dest`.
+    /// Empty exactly when `node == dest`.
+    #[inline]
+    pub fn branches(&self, class: TrafficClass, dest: NodeId, node: NodeId) -> &[LinkId] {
+        &self.branches[class.idx()][dest.index()][node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::triangle_topology;
+    use dtr_graph::WeightVector;
+
+    #[test]
+    fn classes_can_diverge() {
+        let topo = triangle_topology(1.0);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        // Push low-priority A→C traffic through B.
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let fwd = ForwardingState::new(&topo, &DualWeights { high: wh, low: wl });
+
+        let high = fwd.branches(TrafficClass::High, NodeId(2), NodeId(0));
+        assert_eq!(high.len(), 1);
+        assert_eq!(topo.link(high[0]).dst, NodeId(2), "high goes direct");
+
+        let low = fwd.branches(TrafficClass::Low, NodeId(2), NodeId(0));
+        assert_eq!(low.len(), 1);
+        assert_eq!(topo.link(low[0]).dst, NodeId(1), "low detours via B");
+    }
+
+    #[test]
+    fn destination_has_no_branches() {
+        let topo = triangle_topology(1.0);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let fwd = ForwardingState::new(&topo, &w);
+        assert!(fwd.branches(TrafficClass::High, NodeId(1), NodeId(1)).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # dtr-sim — discrete-event two-priority queueing simulator
+//!
+//! The paper's evaluation is **analytic**: link costs come from the
+//! Fortz–Thorup Φ function and delays from the M/M/1-based Eq. 3, both
+//! driven by ECMP link loads. This crate provides the packet-level
+//! discrete-event simulator those formulas abstract, so the reproduction
+//! can *check its own modeling assumptions*:
+//!
+//! - each link is a non-preemptive **two-priority** queue (§3: "the
+//!   high-priority queue is always served first") with infinite buffers;
+//! - packets of each class arrive as Poisson streams per SD pair with
+//!   exponential (M/M/1) or deterministic sizes;
+//! - forwarding follows the per-class ECMP shortest-path DAGs, choosing
+//!   uniformly among equal-cost branches per packet — the stochastic
+//!   counterpart of the evaluator's even splitting.
+//!
+//! What it verifies (see `tests/`): single-link M/M/1 mean delay, the
+//! non-preemptive priority-queue wait formulas, priority isolation (high
+//! class unaffected by low-class load), flow conservation, and the
+//! accuracy envelope of the paper's Eq. 3 approximation.
+//!
+//! [`Simulation`] is deterministic given its seed.
+
+pub mod engine;
+pub mod event;
+pub mod forwarding;
+pub mod queueing;
+pub mod stats;
+
+pub use engine::{EcmpMode, Scheduler, SimConfig, SimReport, Simulation};
+pub use event::{Event, EventQueue};
+pub use forwarding::ForwardingState;
+pub use queueing::{
+    cobham, mm1_sojourn, paper_high_sojourn, residual_approx_error, residual_low_sojourn,
+    ClassDelays, PriorityLink,
+};
+pub use stats::{ClassStats, LinkStats, PairKey, TrafficClass};

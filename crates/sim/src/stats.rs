@@ -1,0 +1,125 @@
+//! Measurement accumulators.
+
+use serde::{Deserialize, Serialize};
+
+/// The two service classes (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Served first at every link.
+    High,
+    /// Sees only residual capacity.
+    Low,
+}
+
+impl TrafficClass {
+    /// Index for two-element per-class arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            TrafficClass::High => 0,
+            TrafficClass::Low => 1,
+        }
+    }
+}
+
+/// Mean/min/max accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Acc {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Acc {
+    /// Adds a sample.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// The sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Per-class link measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Sojourn time at the link: queueing wait + transmission (the
+    /// quantity Eq. 3 models before adding propagation).
+    pub sojourn: Acc,
+    /// Queueing wait only.
+    pub wait: Acc,
+    /// Bits transmitted (for throughput/utilization accounting).
+    pub bits: f64,
+}
+
+/// Both classes' measurements for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Indexed by [`TrafficClass::idx`].
+    pub per_class: [ClassStats; 2],
+    /// Total busy time of the transmitter (seconds).
+    pub busy_s: f64,
+}
+
+impl LinkStats {
+    /// Measured utilization over a window of `duration_s`.
+    pub fn utilization(&self, duration_s: f64) -> f64 {
+        self.busy_s / duration_s
+    }
+}
+
+/// Key for per-pair end-to-end accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PairKey {
+    /// Traffic class of the flow.
+    pub class: TrafficClass,
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_mean_and_max() {
+        let mut a = Acc::default();
+        assert_eq!(a.mean(), 0.0);
+        a.add(1.0);
+        a.add(3.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.max, 3.0);
+        assert_eq!(a.count, 2);
+    }
+
+    #[test]
+    fn class_indices() {
+        assert_eq!(TrafficClass::High.idx(), 0);
+        assert_eq!(TrafficClass::Low.idx(), 1);
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let s = LinkStats {
+            busy_s: 2.5,
+            ..Default::default()
+        };
+        assert_eq!(s.utilization(10.0), 0.25);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the discrete-event simulator: conservation laws
+//! and agreement with the analytic model across random instances.
+
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::WeightVector;
+use dtr_sim::{SimConfig, Simulation, TrafficClass};
+use dtr_traffic::{DemandSet, TrafficCfg, TrafficMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn packet_conservation_holds(seed in 0u64..200, scale in 0.5f64..3.0) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 5 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() })
+            .scaled(scale);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let cfg = SimConfig { warmup_s: 0.0, duration_s: 0.2, seed, ..Default::default() };
+        let r = Simulation::new(&topo, &demands, &w, cfg).run();
+        prop_assert_eq!(r.generated, r.delivered + r.inflight_at_end);
+        prop_assert!(r.generated > 0);
+    }
+
+    #[test]
+    fn utilization_within_unit_interval_per_link(seed in 0u64..100) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 6 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() })
+            .scaled(2.0);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let cfg = SimConfig { warmup_s: 0.05, duration_s: 0.3, seed, ..Default::default() };
+        let r = Simulation::new(&topo, &demands, &w, cfg).run();
+        for (lid, _) in topo.links() {
+            let u = r.utilization(lid);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "util {u}");
+        }
+    }
+
+    #[test]
+    fn delays_bounded_below_by_path_propagation(seed in 0u64..50) {
+        // Every measured pair delay must exceed the shortest possible
+        // propagation+transmission along ANY path: use the 1-hop bound.
+        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 7 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() });
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let cfg = SimConfig { warmup_s: 0.05, duration_s: 0.3, seed, ..Default::default() };
+        let r = Simulation::new(&topo, &demands, &w, cfg).run();
+        let min_prop = topo.links().map(|(_, l)| l.prop_delay).fold(f64::MAX, f64::min);
+        for (key, acc) in &r.pair_delays {
+            if acc.count > 0 {
+                prop_assert!(acc.mean() >= min_prop, "pair {key:?} mean {}", acc.mean());
+            }
+        }
+    }
+
+    #[test]
+    fn class_throughput_tracks_offered_load(seed in 0u64..50) {
+        // On an uncongested single link the delivered bits must match the
+        // offered volume within statistical noise.
+        let mut b = dtr_graph::TopologyBuilder::new();
+        b.add_nodes(2);
+        b.add_duplex(dtr_graph::NodeId(0), dtr_graph::NodeId(1), 100.0, 0.001);
+        let topo = b.build().unwrap();
+        let mut high = TrafficMatrix::zeros(2);
+        high.set(0, 1, 20.0);
+        let mut low = TrafficMatrix::zeros(2);
+        low.set(0, 1, 30.0);
+        let demands = DemandSet { high, low };
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let cfg = SimConfig { warmup_s: 0.5, duration_s: 4.0, seed, ..Default::default() };
+        let r = Simulation::new(&topo, &demands, &w, cfg).run();
+        let link = topo.find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(1)).unwrap();
+        let th = r.throughput_mbps(link, TrafficClass::High);
+        let tl = r.throughput_mbps(link, TrafficClass::Low);
+        prop_assert!((th - 20.0).abs() < 2.0, "high throughput {th}");
+        prop_assert!((tl - 30.0).abs() < 2.5, "low throughput {tl}");
+    }
+
+    #[test]
+    fn cobham_is_monotone_and_prioritized(cap in 5.0f64..50.0, h in 0.0f64..20.0, l in 0.0f64..20.0, bump in 0.1f64..5.0) {
+        // For any stable operating point: the high class waits no longer
+        // than the low class, and adding load to either class never
+        // shortens anyone's wait.
+        use dtr_sim::{cobham, PriorityLink};
+        prop_assume!(h + l < 0.95 * cap);
+        let link = PriorityLink { capacity_mbps: cap, mean_packet_bits: 8000.0, deterministic: false };
+        let (wh, wl) = cobham(&link, h, l);
+        prop_assert!(wh.wait_s <= wl.wait_s + 1e-15);
+        prop_assert!(wh.wait_s.is_finite() && wl.wait_s.is_finite());
+
+        let (wh2, wl2) = cobham(&link, h + bump, l);
+        prop_assert!(wh2.wait_s >= wh.wait_s - 1e-15);
+        prop_assert!(wl2.wait_s >= wl.wait_s - 1e-15 || !wl2.wait_s.is_finite());
+        let (wh3, wl3) = cobham(&link, h, l + bump);
+        // Low-class load raises both waits (residual work grows) but
+        // raises the low class far more.
+        prop_assert!(wh3.wait_s >= wh.wait_s - 1e-15);
+        prop_assert!(wl3.wait_s >= wl.wait_s - 1e-15 || !wl3.wait_s.is_finite());
+    }
+
+    #[test]
+    fn residual_surrogate_never_overestimates(cap in 5.0f64..50.0, h in 0.0f64..20.0, l in 0.0f64..20.0) {
+        // The paper's low-class model (M/M/1 over residual capacity) is
+        // exact at ρ_H = 0 and an underestimate otherwise — for every
+        // stable operating point.
+        use dtr_sim::{cobham, residual_low_sojourn, PriorityLink};
+        prop_assume!(h + l < 0.95 * cap);
+        let link = PriorityLink { capacity_mbps: cap, mean_packet_bits: 8000.0, deterministic: false };
+        let exact = cobham(&link, h, l).1.sojourn_s;
+        let approx = residual_low_sojourn(&link, h, l);
+        prop_assert!(approx <= exact + 1e-12, "approx {approx} > exact {exact}");
+    }
+
+    #[test]
+    fn ecmp_modes_conserve_packets(seed in 0u64..60) {
+        use dtr_sim::EcmpMode;
+        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 9 });
+        let demands = DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() })
+            .scaled(1.5);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        for ecmp in [EcmpMode::PerPacket, EcmpMode::PerFlow] {
+            let cfg = SimConfig { warmup_s: 0.0, duration_s: 0.2, seed, ecmp, ..Default::default() };
+            let r = Simulation::new(&topo, &demands, &w, cfg).run();
+            prop_assert_eq!(r.generated, r.delivered + r.inflight_at_end);
+        }
+    }
+}

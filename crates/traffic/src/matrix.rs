@@ -1,0 +1,166 @@
+//! Dense traffic matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `n × n` traffic matrix; entry `(s, t)` is the offered volume
+/// from node `s` to node `t` in Mbit/s. Diagonal entries are always zero
+/// (`r(s, s) = 0`, §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero `n × n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        TrafficMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension (number of nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Demand from `s` to `t` (node indices).
+    #[inline]
+    pub fn get(&self, s: usize, t: usize) -> f64 {
+        self.data[s * self.n + t]
+    }
+
+    /// Sets the demand from `s` to `t`.
+    ///
+    /// # Panics
+    /// If `s == t` and `v != 0` (self-traffic is not representable), or if
+    /// `v` is negative/non-finite.
+    #[inline]
+    pub fn set(&mut self, s: usize, t: usize, v: f64) {
+        assert!(v.is_finite() && v >= 0.0, "demand must be finite and ≥ 0");
+        assert!(s != t || v == 0.0, "self-traffic r(s,s) must be zero");
+        self.data[s * self.n + t] = v;
+    }
+
+    /// Adds `v` to the demand from `s` to `t` (same constraints as
+    /// [`TrafficMatrix::set`]).
+    #[inline]
+    pub fn add(&mut self, s: usize, t: usize, v: f64) {
+        let cur = self.get(s, t);
+        self.set(s, t, cur + v);
+    }
+
+    /// Total volume `Σ_{s,t} r(s, t)`.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Total volume originating at node `s` (row sum).
+    pub fn row_total(&self, s: usize) -> f64 {
+        self.data[s * self.n..(s + 1) * self.n].iter().sum()
+    }
+
+    /// Total volume destined to node `t` (column sum).
+    pub fn col_total(&self, t: usize) -> f64 {
+        (0..self.n).map(|s| self.get(s, t)).sum()
+    }
+
+    /// All `(s, t)` pairs with strictly positive demand, row-major order.
+    pub fn positive_pairs(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        for s in 0..self.n {
+            for t in 0..self.n {
+                if self.get(s, t) > 0.0 {
+                    v.push((s, t));
+                }
+            }
+        }
+        v
+    }
+
+    /// A copy scaled by `gamma ≥ 0`.
+    pub fn scaled(&self, gamma: f64) -> TrafficMatrix {
+        assert!(gamma.is_finite() && gamma >= 0.0);
+        TrafficMatrix {
+            n: self.n,
+            data: self.data.iter().map(|&x| x * gamma).collect(),
+        }
+    }
+
+    /// Iterates over `(s, t, volume)` for positive entries grouped by
+    /// destination `t` — the access pattern of per-destination ECMP load
+    /// accumulation.
+    pub fn demands_to(&self, t: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        (0..self.n).filter_map(move |s| {
+            let v = self.get(s, t);
+            (v > 0.0).then_some((s, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = TrafficMatrix::zeros(4);
+        assert_eq!(m.total(), 0.0);
+        m.set(0, 1, 10.0);
+        m.set(2, 3, 5.0);
+        assert_eq!(m.get(0, 1), 10.0);
+        assert_eq!(m.total(), 15.0);
+        assert_eq!(m.row_total(0), 10.0);
+        assert_eq!(m.col_total(3), 5.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.add(0, 2, 1.0);
+        m.add(0, 2, 2.0);
+        assert_eq!(m.get(0, 2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn rejects_diagonal() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 1, -1.0);
+    }
+
+    #[test]
+    fn positive_pairs_and_demands_to() {
+        let mut m = TrafficMatrix::zeros(3);
+        m.set(0, 2, 1.0);
+        m.set(1, 2, 2.0);
+        m.set(2, 0, 3.0);
+        assert_eq!(m.positive_pairs(), vec![(0, 2), (1, 2), (2, 0)]);
+        let to2: Vec<_> = m.demands_to(2).collect();
+        assert_eq!(to2, vec![(0, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn scaled_is_elementwise() {
+        let mut m = TrafficMatrix::zeros(2);
+        m.set(0, 1, 4.0);
+        let s = m.scaled(0.25);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 1), 4.0, "original untouched");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for traffic generation: volume coupling, densities,
+//! and matrix invariants across the whole parameter space.
+
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_traffic::{DemandSet, HighPriModel, SinkPattern, TrafficCfg, TrafficMatrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn high_fraction_matches_f(
+        f in 0.05f64..0.6,
+        k in 0.05f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 15, directed_links: 60, seed: 1 });
+        let d = DemandSet::generate(&topo, &TrafficCfg { f, k, seed, model: HighPriModel::Random });
+        prop_assert!((d.high_fraction() - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrices_have_no_self_traffic_and_nonnegative(
+        f in 0.1f64..0.5, seed in 0u64..500,
+    ) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 2 });
+        let d = DemandSet::generate(&topo, &TrafficCfg { f, k: 0.2, seed, model: HighPriModel::Random });
+        for m in [&d.high, &d.low] {
+            for s in 0..m.len() {
+                prop_assert_eq!(m.get(s, s), 0.0);
+                for t in 0..m.len() {
+                    prop_assert!(m.get(s, t) >= 0.0);
+                    prop_assert!(m.get(s, t).is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_model_fraction_holds_for_both_patterns(
+        f in 0.1f64..0.5,
+        seed in 0u64..200,
+        local in any::<bool>(),
+    ) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 15, directed_links: 60, seed: 3 });
+        let pattern = if local { SinkPattern::Local } else { SinkPattern::Uniform };
+        let d = DemandSet::generate(
+            &topo,
+            &TrafficCfg { f, k: 0.1, seed, model: HighPriModel::Sink { sinks: 3, pattern } },
+        );
+        prop_assert!((d.high_fraction() - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear(gamma in 0.0f64..10.0, seed in 0u64..100) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 4 });
+        let d = DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() });
+        let s = d.scaled(gamma);
+        prop_assert!((s.total_volume() - gamma * d.total_volume()).abs()
+            < 1e-9 * d.total_volume().max(1.0));
+    }
+
+    #[test]
+    fn matrix_row_and_col_totals_consistent(seed in 0u64..200) {
+        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 5 });
+        let d = DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() });
+        let m: &TrafficMatrix = &d.low;
+        let by_rows: f64 = (0..m.len()).map(|s| m.row_total(s)).sum();
+        let by_cols: f64 = (0..m.len()).map(|t| m.col_total(t)).sum();
+        prop_assert!((by_rows - by_cols).abs() < 1e-6);
+        prop_assert!((by_rows - m.total()).abs() < 1e-6);
+    }
+}

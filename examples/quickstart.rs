@@ -1,0 +1,61 @@
+//! Quickstart: optimize dual-topology weights for a small network and
+//! compare against single-topology routing.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dtr::core::{DtrSearch, Objective, SearchParams, StrSearch};
+use dtr::graph::gen::{random_topology, RandomTopologyCfg};
+use dtr::traffic::{DemandSet, TrafficCfg};
+
+fn main() {
+    // 1. A 30-node / 150-link random backbone, 500 Mbit/s links
+    //    (the paper's §5.1.1 "random topology").
+    let topo = random_topology(&RandomTopologyCfg::default());
+    println!(
+        "topology: {} nodes, {} directed links",
+        topo.node_count(),
+        topo.link_count()
+    );
+
+    // 2. Two-class traffic: gravity-model low priority plus 10% of SD
+    //    pairs carrying high-priority traffic at 30% of total volume,
+    //    scaled to a moderately loaded network.
+    let demands = DemandSet::generate(&topo, &TrafficCfg::default()).scaled(6.0);
+    println!(
+        "traffic: {:.0} Mbit/s total, {:.0}% high priority over {} SD pairs",
+        demands.total_volume(),
+        100.0 * demands.high_fraction(),
+        demands.high_pair_count()
+    );
+
+    // 3. Optimize. STR = one weight per link shared by both classes;
+    //    DTR = one weight per link per class (Algorithm 1).
+    let params = SearchParams::experiment();
+    println!("\nsearching STR weights ({} iterations)...", params.str_iters());
+    let str_res = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    println!(
+        "searching DTR weights (N={}, K={})...",
+        params.n_iters, params.k_iters
+    );
+    let dtr_res = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+
+    // 4. Compare: high-priority cost is preserved, low-priority cost
+    //    collapses — the paper's headline result.
+    let (sh, sl) = (str_res.eval.phi_h, str_res.eval.phi_l);
+    let (dh, dl) = (dtr_res.eval.phi_h, dtr_res.eval.phi_l);
+    println!("\n              Φ_H (high)      Φ_L (low)");
+    println!("  STR      {sh:>12.1}  {sl:>14.1}");
+    println!("  DTR      {dh:>12.1}  {dl:>14.1}");
+    println!("  ratio    {:>12.3}  {:>14.2}", sh / dh, sl / dl);
+    println!(
+        "\naverage link utilization: {:.2}",
+        str_res.eval.avg_utilization(&topo)
+    );
+    println!(
+        "high-priority routing differs on {} of {} links",
+        dtr_res.weights.high.hamming(&dtr_res.weights.low),
+        topo.link_count()
+    );
+}

@@ -1,0 +1,109 @@
+//! Cross-crate integration: the full generate → optimize → evaluate
+//! pipeline on the paper's instances.
+
+use dtr::core::{DtrSearch, DualWeights, Objective, SearchParams, StrSearch};
+use dtr::cost::Lex2;
+use dtr::graph::gen::{isp_topology, triangle_topology};
+use dtr::routing::Evaluator;
+use dtr::traffic::{DemandSet, TrafficCfg, TrafficMatrix};
+
+/// §3.3.1's instance: the fully worked example of the paper.
+fn triangle_instance() -> (dtr::graph::Topology, DemandSet) {
+    let topo = triangle_topology(1.0);
+    let mut high = TrafficMatrix::zeros(3);
+    high.set(0, 2, 1.0 / 3.0);
+    let mut low = TrafficMatrix::zeros(3);
+    low.set(0, 2, 2.0 / 3.0);
+    (topo, DemandSet { high, low })
+}
+
+#[test]
+fn triangle_dtr_dominates_str_exactly_as_paper() {
+    let (topo, demands) = triangle_instance();
+    let params = SearchParams::quick().with_seed(1);
+    let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+
+    // STR lexicographic optimum: direct routing, ⟨1/3, 64/9⟩.
+    assert!((s.best_cost.primary - 1.0 / 3.0).abs() < 1e-12);
+    assert!((s.best_cost.secondary - 64.0 / 9.0).abs() < 1e-12);
+    let _ = Lex2::new(0.0, 0.0);
+    // DTR: identical Φ_H, Φ_L down to the ECMP-split optimum 11/9.
+    assert!((d.eval.phi_h - 1.0 / 3.0).abs() < 1e-9);
+    assert!(d.eval.phi_l < 64.0 / 9.0 / 4.0, "phi_l={}", d.eval.phi_l);
+    assert!(d.best_cost < s.best_cost);
+}
+
+#[test]
+fn isp_instance_end_to_end_load_objective() {
+    let topo = isp_topology();
+    let demands =
+        DemandSet::generate(&topo, &TrafficCfg { seed: 2, ..Default::default() }).scaled(5.0);
+    let params = SearchParams::quick().with_seed(2);
+    let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+
+    // R_H ≈ 1 (both optimize the same high-priority subproblem).
+    let r_h = s.eval.phi_h / d.eval.phi_h;
+    assert!((0.8..=1.25).contains(&r_h), "R_H = {r_h}");
+    // DTR's low class never does worse in any meaningful way.
+    assert!(d.eval.phi_l <= s.eval.phi_l * 1.05, "R_L < 1 badly violated");
+
+    // Re-evaluating returned weights reproduces the reported costs.
+    let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+    assert_eq!(ev.eval_str(&s.weights).cost, s.best_cost);
+    assert_eq!(ev.eval_dual(&d.weights).cost, d.best_cost);
+}
+
+#[test]
+fn isp_instance_end_to_end_sla_objective() {
+    let topo = isp_topology();
+    let demands =
+        DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() }).scaled(5.0);
+    let params = SearchParams::quick().with_seed(3);
+    let s = StrSearch::new(&topo, &demands, Objective::sla_default(), params).run();
+    let d = DtrSearch::new(&topo, &demands, Objective::sla_default(), params).run();
+    let ssla = s.eval.sla.as_ref().unwrap();
+    let dsla = d.eval.sla.as_ref().unwrap();
+    // Fig. 9(a): both schemes satisfy the same number of SLAs.
+    assert_eq!(ssla.violations, dsla.violations);
+    // Every high-priority pair got a delay measurement.
+    assert_eq!(ssla.pair_delays.len(), demands.high_pair_count());
+}
+
+#[test]
+fn dtr_beats_str_at_moderate_load_on_random_topology() {
+    // The headline claim at one operating point: R_L > 2 with R_H ≈ 1.
+    use dtr::graph::gen::{random_topology, RandomTopologyCfg};
+    let topo = random_topology(&RandomTopologyCfg::default());
+    let demands =
+        DemandSet::generate(&topo, &TrafficCfg { seed: 1, ..Default::default() }).scaled(6.0);
+    let params = SearchParams::quick().with_seed(1);
+    let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params)
+        .with_initial(DualWeights::replicated(s.weights.clone()))
+        .run();
+    let r_h = s.eval.phi_h / d.eval.phi_h;
+    let r_l = s.eval.phi_l / d.eval.phi_l;
+    assert!((0.95..=1.05).contains(&r_h), "R_H = {r_h}");
+    assert!(r_l > 2.0, "R_L = {r_l} (expected well above 1 at AD≈0.56)");
+}
+
+#[test]
+fn relaxed_str_narrows_but_does_not_close_the_gap() {
+    use dtr::graph::gen::{random_topology, RandomTopologyCfg};
+    let topo = random_topology(&RandomTopologyCfg::default());
+    let demands =
+        DemandSet::generate(&topo, &TrafficCfg { seed: 4, ..Default::default() }).scaled(6.0);
+    let params = SearchParams::quick().with_seed(4);
+    let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params)
+        .with_relaxations(&[0.05, 0.30])
+        .run();
+    let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+    let r_l = s.eval.phi_l / d.eval.phi_l;
+    let r_l_30 = s.relaxed[1].phi_l / d.eval.phi_l;
+    // Table 1's shape: relaxation helps (R_L,30% ≤ R_L)...
+    assert!(r_l_30 <= r_l + 1e-9);
+    // ...but DTR stays ahead at moderate load.
+    assert!(r_l_30 > 1.0, "R_L,30% = {r_l_30}");
+}
