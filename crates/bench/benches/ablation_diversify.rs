@@ -18,7 +18,10 @@ fn bench_diversify(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_diversify");
     g.sample_size(10);
-    for (label, gs) in [("paper_g", (0.05, 0.05, 0.03)), ("no_diversification", (0.0, 0.0, 0.0))] {
+    for (label, gs) in [
+        ("paper_g", (0.05, 0.05, 0.03)),
+        ("no_diversification", (0.0, 0.0, 0.0)),
+    ] {
         let mut params = SearchParams::tiny();
         (params.g1, params.g2, params.g3) = gs;
         let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();

@@ -27,8 +27,14 @@ fn bench_strategy(c: &mut Criterion) {
     let ls = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
     let ga = GaSearch::new(&topo, &demands, Objective::LoadBased, params).run();
     let mem = MemeticSearch::new(&topo, &demands, Objective::LoadBased, params).run();
-    let sa = AnnealSearch::new(&topo, &demands, Objective::LoadBased, params, AnnealMode::Str)
-        .run();
+    let sa = AnnealSearch::new(
+        &topo,
+        &demands,
+        Objective::LoadBased,
+        params,
+        AnnealMode::Str,
+    )
+    .run();
     println!(
         "[ablation_search_strategy] local search: ⟨{:.1}, {:.1}⟩ in {} evals",
         ls.best_cost.primary, ls.best_cost.secondary, ls.trace.evaluations
@@ -52,9 +58,13 @@ fn bench_strategy(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_search_strategy");
     g.sample_size(10);
-    g.bench_with_input(BenchmarkId::from_parameter("local_search"), &params, |b, p| {
-        b.iter(|| black_box(StrSearch::new(&topo, &demands, Objective::LoadBased, *p).run()))
-    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("local_search"),
+        &params,
+        |b, p| {
+            b.iter(|| black_box(StrSearch::new(&topo, &demands, Objective::LoadBased, *p).run()))
+        },
+    );
     g.bench_with_input(BenchmarkId::from_parameter("genetic"), &params, |b, p| {
         b.iter(|| black_box(GaSearch::new(&topo, &demands, Objective::LoadBased, *p).run()))
     });
@@ -64,8 +74,7 @@ fn bench_strategy(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::from_parameter("annealing"), &params, |b, p| {
         b.iter(|| {
             black_box(
-                AnnealSearch::new(&topo, &demands, Objective::LoadBased, *p, AnnealMode::Str)
-                    .run(),
+                AnnealSearch::new(&topo, &demands, Objective::LoadBased, *p, AnnealMode::Str).run(),
             )
         })
     });

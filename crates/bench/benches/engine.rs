@@ -1,0 +1,226 @@
+//! Evaluation-engine benchmark: `Full` vs `Incremental` backends on the
+//! weight-search hot path (single-weight-change neighbor batches), plus
+//! an end-to-end seeded `DtrSearch` comparison.
+//!
+//! Backends are driven directly (not through `BatchEvaluator`) so the
+//! LRU cache cannot absorb the repeated iterations the harness runs —
+//! the numbers below are pure backend cost per candidate.
+//!
+//! Emits `BENCH_engine.json` at the repository root so the perf
+//! trajectory is tracked from this PR on. Schema:
+//! `{ "benches": [ { id, mean_s } … ],
+//!    "speedups": [ { topology, *_s_per_candidate, speedup } … ],
+//!    "search": { full_s, incremental_s, speedup, same_incumbent } }`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::{DtrSearch, Objective, SearchParams};
+use dtr_engine::{make_backend, BackendKind};
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::{waxman_topology, LinkId, Topology, WaxmanCfg, WeightVector};
+use dtr_traffic::{DemandSet, TrafficCfg};
+use std::time::Instant;
+
+/// Paper-scale and larger generated topologies (the acceptance gate is
+/// the ≥ 50-node instance).
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        (
+            "random_50n_200l",
+            random_topology(&RandomTopologyCfg {
+                nodes: 50,
+                directed_links: 200,
+                seed: 7,
+            }),
+        ),
+        (
+            "waxman_100n_400l",
+            waxman_topology(&WaxmanCfg {
+                nodes: 100,
+                directed_links: 400,
+                beta: 0.6,
+                seed: 7,
+            }),
+        ),
+    ]
+}
+
+/// Single-weight-change neighbor models, matching the two searches:
+/// `step` nudges one link by ±1..=3 (Algorithm 2's `max_step`, the
+/// DTR `FindH`/`FindL` shape per changed link), `redraw` re-assigns one
+/// link a uniform weight in 1..=30 (the `StrSearch` move). Redraws make
+/// larger jumps and affect more destinations, so they are the engine's
+/// worst case.
+fn neighbors(topo: &Topology, base: &WeightVector, count: usize, model: &str) -> Vec<WeightVector> {
+    let mut out = Vec::with_capacity(count);
+    let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+    for _ in 0..count {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let lid = LinkId(((lcg >> 33) % topo.link_count() as u64) as u32);
+        let mut cand = base.clone();
+        match model {
+            "step" => {
+                let step = 1 + ((lcg >> 17) % 3) as i64;
+                let sign = if (lcg >> 5) & 1 == 0 { 1 } else { -1 };
+                cand.nudge(lid, sign * step, 1, 30);
+                if cand.get(lid) == base.get(lid) {
+                    // Clamped into a no-op at a weight bound; flip it.
+                    cand.nudge(lid, -sign * step, 1, 30);
+                }
+            }
+            _ => {
+                let w = 1 + ((lcg >> 17) % 30) as u32;
+                // Guarantee a real delta.
+                cand.set(lid, if w == base.get(lid) { (w % 30) + 1 } else { w });
+            }
+        }
+        out.push(cand);
+    }
+    out
+}
+
+#[derive(Clone)]
+struct Speedup {
+    topology: String,
+    model: String,
+    full_s: f64,
+    incremental_s: f64,
+}
+
+fn bench_backends(c: &mut Criterion, speedups: &mut Vec<Speedup>) {
+    for (name, topo) in topologies() {
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
+        let base = WeightVector::delay_proportional(&topo, 30);
+        for model in ["step", "redraw"] {
+            let cands = neighbors(&topo, &base, 32, model);
+            let per_iter_cands = cands.len() as f64;
+
+            let mut pair = [0.0f64; 2];
+            for (slot, kind) in [(0usize, BackendKind::Full), (1, BackendKind::Incremental)] {
+                let mut backend =
+                    make_backend(kind, &topo, vec![&demands.high, &demands.low], base.clone());
+                let label = match kind {
+                    BackendKind::Full => "full",
+                    BackendKind::Incremental => "incremental",
+                };
+                c.bench_function(format!("engine/{label}/{model}/{name}"), |b| {
+                    b.iter(|| backend.eval_batch(&cands, false))
+                });
+                let m = c
+                    .measurements
+                    .last()
+                    .expect("bench_function records a measurement");
+                pair[slot] = m.mean_s / per_iter_cands;
+            }
+            speedups.push(Speedup {
+                topology: name.to_string(),
+                model: model.to_string(),
+                full_s: pair[0],
+                incremental_s: pair[1],
+            });
+        }
+    }
+}
+
+/// End-to-end seeded search under both backends: wall-clock and
+/// incumbent equality (the engine's correctness contract).
+fn search_comparison() -> (f64, f64, bool) {
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 50,
+        directed_links: 200,
+        seed: 3,
+    });
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .scaled(3.0);
+    let run = |kind: BackendKind| {
+        let start = Instant::now();
+        let res = DtrSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            SearchParams::quick().with_seed(5).with_backend(kind),
+        )
+        .run();
+        (start.elapsed().as_secs_f64(), res)
+    };
+    let (full_s, full_res) = run(BackendKind::Full);
+    let (incr_s, incr_res) = run(BackendKind::Incremental);
+    let same = full_res.best_cost == incr_res.best_cost && full_res.weights == incr_res.weights;
+    println!(
+        "dtr_search_50n: full {full_s:.2}s, incremental {incr_s:.2}s ({:.1}x), same incumbent: {same}",
+        full_s / incr_s.max(1e-12)
+    );
+    (full_s, incr_s, same)
+}
+
+fn write_json(
+    measurements: &[criterion::Measurement],
+    speedups: &[Speedup],
+    search: (f64, f64, bool),
+) {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"mean_s\": {:?} }}{}\n",
+            m.id,
+            m.mean_s,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    for (i, s) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"move_model\": \"{}\", \"full_s_per_candidate\": {:?}, \"incremental_s_per_candidate\": {:?}, \"speedup\": {:.2} }}{}\n",
+            s.topology,
+            s.model,
+            s.full_s,
+            s.incremental_s,
+            s.full_s / s.incremental_s.max(1e-12),
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    let (full_s, incr_s, same) = search;
+    out.push_str(&format!(
+        "  ],\n  \"search\": {{ \"scenario\": \"dtr_quick_50n_seed5\", \"full_s\": {full_s:.3}, \"incremental_s\": {incr_s:.3}, \"speedup\": {:.2}, \"same_incumbent\": {same} }}\n}}\n",
+        full_s / incr_s.max(1e-12)
+    ));
+    // benches/ lives two levels below the repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, out).expect("write BENCH_engine.json");
+    println!("[wrote] BENCH_engine.json");
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut speedups = Vec::new();
+    bench_backends(c, &mut speedups);
+    for s in &speedups {
+        println!(
+            "speedup {} [{}]: {:.1}x (full {:.1} µs/cand, incremental {:.1} µs/cand)",
+            s.topology,
+            s.model,
+            s.full_s / s.incremental_s.max(1e-12),
+            s.full_s * 1e6,
+            s.incremental_s * 1e6
+        );
+    }
+    let search = search_comparison();
+    assert!(search.2, "backends must agree on the seeded incumbent");
+    write_json(&c.measurements, &speedups, search);
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

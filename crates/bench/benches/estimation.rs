@@ -23,8 +23,12 @@ fn bench_estimation(c: &mut Criterion) {
 
     let rm = RoutingMatrix::compute(&topo, &w);
     let measured = LoadCalculator::new().class_loads(&topo, &w, &demands.high);
-    let out: Vec<f64> = (0..demands.high.len()).map(|s| demands.high.row_total(s)).collect();
-    let in_: Vec<f64> = (0..demands.high.len()).map(|t| demands.high.col_total(t)).collect();
+    let out: Vec<f64> = (0..demands.high.len())
+        .map(|s| demands.high.row_total(s))
+        .collect();
+    let in_: Vec<f64> = (0..demands.high.len())
+        .map(|t| demands.high.col_total(t))
+        .collect();
     let prior = gravity_prior(&out, &in_);
     c.bench_function("tomogravity_mart_30n", |b| {
         b.iter(|| black_box(tomogravity(&prior, &rm, &measured, &TomoCfg::default())))

@@ -25,7 +25,9 @@ fn bench_figures(c: &mut Criterion) {
 
     g.bench_function("fig9_sla_sweep", |b| b.iter(|| black_box(fig9::run(&ctx))));
 
-    g.bench_function("triangle_report", |b| b.iter(|| black_box(triangle::run(&ctx))));
+    g.bench_function("triangle_report", |b| {
+        b.iter(|| black_box(triangle::run(&ctx)))
+    });
 
     g.finish();
 }

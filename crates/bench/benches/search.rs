@@ -17,14 +17,10 @@ fn bench_search(c: &mut Criterion) {
     let params = SearchParams::tiny();
 
     g.bench_function("str/random30/load", |b| {
-        b.iter(|| {
-            black_box(StrSearch::new(&topo, &demands, Objective::LoadBased, params).run())
-        })
+        b.iter(|| black_box(StrSearch::new(&topo, &demands, Objective::LoadBased, params).run()))
     });
     g.bench_function("dtr/random30/load", |b| {
-        b.iter(|| {
-            black_box(DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run())
-        })
+        b.iter(|| black_box(DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run()))
     });
     g.bench_function("dtr/random30/sla", |b| {
         b.iter(|| {
@@ -35,9 +31,7 @@ fn bench_search(c: &mut Criterion) {
     let isp = paper_isp();
     let isp_demands = DemandSet::generate(&isp, &TrafficCfg::default()).scaled(3.0);
     g.bench_function("dtr/isp16/load", |b| {
-        b.iter(|| {
-            black_box(DtrSearch::new(&isp, &isp_demands, Objective::LoadBased, params).run())
-        })
+        b.iter(|| black_box(DtrSearch::new(&isp, &isp_demands, Objective::LoadBased, params).run()))
     });
 
     g.finish();

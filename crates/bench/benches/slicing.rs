@@ -24,8 +24,7 @@ fn bench_slicing(c: &mut Criterion) {
     let mut g = c.benchmark_group("slicing");
     g.sample_size(10);
     for slices in [1usize, 2, 4, 8] {
-        let r = SlicedSearch::new(&topo, &demands, params, slices, dtr.weights.high.clone())
-            .run();
+        let r = SlicedSearch::new(&topo, &demands, params, slices, dtr.weights.high.clone()).run();
         println!(
             "[slicing] S={slices}: Φ_L = {:.1} ({:.2}× bound)",
             r.cost.secondary,
@@ -34,8 +33,7 @@ fn bench_slicing(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(slices), &slices, |b, &s| {
             b.iter(|| {
                 black_box(
-                    SlicedSearch::new(&topo, &demands, params, s, dtr.weights.high.clone())
-                        .run(),
+                    SlicedSearch::new(&topo, &demands, params, s, dtr.weights.high.clone()).run(),
                 )
             })
         });

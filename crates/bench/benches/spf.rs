@@ -3,13 +3,18 @@
 //! the ceiling on search iterations per second.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dtr_graph::gen::{isp_topology, power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg};
+use dtr_graph::gen::{
+    isp_topology, power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg,
+};
 use dtr_graph::{NodeId, ShortestPathDag, SpfTree, SpfWorkspace, Topology, WeightVector};
 use std::hint::black_box;
 
 fn topologies() -> Vec<(&'static str, Topology)> {
     vec![
-        ("random_30n_150l", random_topology(&RandomTopologyCfg::default())),
+        (
+            "random_30n_150l",
+            random_topology(&RandomTopologyCfg::default()),
+        ),
         (
             "powerlaw_30n_162l",
             power_law_topology(&PowerLawTopologyCfg::default()),
@@ -24,9 +29,7 @@ fn bench_spf(c: &mut Criterion) {
         let w = WeightVector::delay_proportional(&topo, 30);
         let mut ws = SpfWorkspace::new();
         g.bench_with_input(BenchmarkId::new("dag_single_dest", name), &topo, |b, t| {
-            b.iter(|| {
-                ShortestPathDag::compute_with(t, &w, NodeId(0), None, &mut ws)
-            })
+            b.iter(|| ShortestPathDag::compute_with(t, &w, NodeId(0), None, &mut ws))
         });
         g.bench_with_input(BenchmarkId::new("dag_all_dests", name), &topo, |b, t| {
             b.iter(|| {

@@ -22,7 +22,10 @@ fn main() {
 
     println!("=== Fig. 3 ===");
     for (i, panel) in fig3::run_all(&ctx).into_iter().enumerate() {
-        emit(&format!("fig3_{}", (b'a' + i as u8) as char), &fig3::table(&panel));
+        emit(
+            &format!("fig3_{}", (b'a' + i as u8) as char),
+            &fig3::table(&panel),
+        );
     }
 
     println!("=== Fig. 4 ===");
@@ -45,7 +48,10 @@ fn main() {
 
     println!("=== Table 1 ===");
     for block in table1::run(&ctx) {
-        emit(&format!("table1_{}", block.topology.name()), &table1::table(&block));
+        emit(
+            &format!("table1_{}", block.topology.name()),
+            &table1::table(&block),
+        );
     }
 
     println!("=== Optimality gaps (extension) ===");

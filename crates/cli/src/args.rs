@@ -59,7 +59,9 @@ impl Args {
         };
         while let Some(tok) = it.next() {
             if let Some(flag) = tok.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
                 args.flags.insert(flag.to_string(), value);
             } else {
                 args.positional.push(tok);

@@ -97,6 +97,16 @@ fn parse_budget(args: &Args) -> Result<SearchParams, CliError> {
         }
     };
     params.seed = args.get_or("seed", params.seed)?;
+    params.backend = match args.get("backend").unwrap_or("incremental") {
+        "incremental" | "incr" => dtr_engine::BackendKind::Incremental,
+        "full" => dtr_engine::BackendKind::Full,
+        other => {
+            return Err(CliError::UnknownVariant {
+                what: "backend",
+                value: other.to_string(),
+            })
+        }
+    };
     Ok(params)
 }
 
@@ -155,7 +165,11 @@ USAGE:
   dtrctl optimize --topo topo.json --traffic tm.json
          [--scheme str|dtr|ga|memetic|anneal-str|anneal-dtr]
          [--objective load|sla] [--sla-bound-ms 25]
-         [--budget tiny|quick|experiment|paper] [--seed S] --out weights.json
+         [--budget tiny|quick|experiment|paper] [--seed S]
+         [--backend incremental|full] --out weights.json
+         (--backend selects the candidate-evaluation engine for the
+          dtr/str hot loops: incremental dynamic-SPF repair (default)
+          or full per-candidate recomputation — identical results)
   dtrctl evaluate --topo topo.json --traffic tm.json --weights weights.json
          [--objective load|sla]
   dtrctl simulate --topo topo.json --traffic tm.json --weights weights.json
@@ -318,7 +332,11 @@ fn cmd_optimize(args: &Args) -> Result<(), CliError> {
             DualWeights::replicated(r.weights)
         }
         "anneal-str" | "anneal-dtr" => {
-            let mode = if scheme == "anneal-str" { Scheme::Str } else { Scheme::Dtr };
+            let mode = if scheme == "anneal-str" {
+                Scheme::Str
+            } else {
+                Scheme::Dtr
+            };
             let r = AnnealSearch::new(&topo, &demands, objective, params, mode).run();
             println!(
                 "annealing ({}): cost {} after {} evaluations ({} uphill moves)",
@@ -404,7 +422,11 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
                 n += acc.count;
             }
         }
-        if n == 0 { 0.0 } else { sum / n as f64 }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
     };
     println!(
         "mean end-to-end delay: high {:.2} ms, low {:.2} ms",
@@ -495,7 +517,9 @@ fn cmd_bound(args: &Args) -> Result<(), CliError> {
 /// `estimate`: tomogravity estimation of both class matrices from the
 /// link loads they would produce under the measurement weights.
 fn cmd_estimate(args: &Args) -> Result<(), CliError> {
-    use dtr_routing::{gravity_prior, l1_error, tomogravity, LoadCalculator, RoutingMatrix, TomoCfg};
+    use dtr_routing::{
+        gravity_prior, l1_error, tomogravity, LoadCalculator, RoutingMatrix, TomoCfg,
+    };
     let topo: Topology = load(args.require("topo")?)?;
     let truth: DemandSet = load(args.require("traffic")?)?;
     let measure_w = match args.get("weights") {
@@ -635,8 +659,7 @@ mod tests {
             "simulate --topo {topo_p} --traffic {tm_p} --weights {w_p} --duration 0.1 --warmup 0.05"
         )))
         .unwrap();
-        run(&args(&format!("deploy --topo {topo_p} --weights {w_p}")))
-            .unwrap();
+        run(&args(&format!("deploy --topo {topo_p} --weights {w_p}"))).unwrap();
         run(&args(&format!("bound --topo {topo_p} --traffic {tm_p}"))).unwrap();
 
         for p in [topo_p, tm_p, w_p] {
@@ -734,7 +757,13 @@ mod tests {
             Err(CliError::UnknownCommand(_))
         ));
         let e = run(&args("topo hypercube")).unwrap_err();
-        assert!(matches!(e, CliError::UnknownVariant { what: "topology kind", .. }));
+        assert!(matches!(
+            e,
+            CliError::UnknownVariant {
+                what: "topology kind",
+                ..
+            }
+        ));
     }
 
     #[test]

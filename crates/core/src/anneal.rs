@@ -139,7 +139,10 @@ impl<'a> AnnealSearch<'a> {
             anneal.final_temp_frac > 0.0 && anneal.final_temp_frac < 1.0,
             "final temperature fraction must be in (0,1)"
         );
-        assert!(anneal.primary_emphasis >= 1.0, "primary emphasis must be ≥ 1");
+        assert!(
+            anneal.primary_emphasis >= 1.0,
+            "primary emphasis must be ≥ 1"
+        );
         assert!(anneal.calibration_samples >= 1, "need calibration samples");
         self.anneal = anneal;
         self
@@ -189,7 +192,11 @@ impl<'a> AnnealSearch<'a> {
 
     /// Evaluates a dual setting, exploiting the per-class split in DTR
     /// mode when only one class's vector changed relative to `prev`.
-    fn evaluate(&mut self, w: &DualWeights, prev: Option<(&DualWeights, &Evaluation)>) -> Evaluation {
+    fn evaluate(
+        &mut self,
+        w: &DualWeights,
+        prev: Option<(&DualWeights, &Evaluation)>,
+    ) -> Evaluation {
         if let (AnnealMode::Dtr, Some((pw, pe))) = (self.mode, prev) {
             if w.high == pw.high {
                 // Only the low class moved: reuse the cached high side.
@@ -320,8 +327,16 @@ mod tests {
             AnnealMode::Str,
         )
         .run();
-        assert!((res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9, "phi_h={}", res.eval.phi_h);
-        assert!((res.eval.phi_l - 64.0 / 9.0).abs() < 1e-9, "phi_l={}", res.eval.phi_l);
+        assert!(
+            (res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9,
+            "phi_h={}",
+            res.eval.phi_h
+        );
+        assert!(
+            (res.eval.phi_l - 64.0 / 9.0).abs() < 1e-9,
+            "phi_l={}",
+            res.eval.phi_l
+        );
         // STR mode keeps the replicas in lock-step.
         assert_eq!(res.weights.high, res.weights.low);
     }
@@ -341,27 +356,50 @@ mod tests {
         )
         .run();
         assert!((dtr.eval.phi_h - 1.0 / 3.0).abs() < 1e-9);
-        assert!(dtr.eval.phi_l < 64.0 / 9.0 - 1e-9, "phi_l={}", dtr.eval.phi_l);
+        assert!(
+            dtr.eval.phi_l < 64.0 / 9.0 - 1e-9,
+            "phi_l={}",
+            dtr.eval.phi_l
+        );
     }
 
     #[test]
     fn respects_eval_budget() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 2 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 2, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 2,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let params = SearchParams::tiny().with_seed(2);
         for mode in [AnnealMode::Str, AnnealMode::Dtr] {
-            let res =
-                AnnealSearch::new(&topo, &demands, Objective::LoadBased, params, mode).run();
+            let res = AnnealSearch::new(&topo, &demands, Objective::LoadBased, params, mode).run();
             assert!(res.trace.evaluations <= params.dtr_eval_budget());
         }
     }
 
     #[test]
     fn never_worse_than_uniform_start() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 7 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 7, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 7,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
         let uniform = ev.eval_str(&WeightVector::uniform(&topo, 1)).cost;
         let res = AnnealSearch::new(
@@ -415,9 +453,19 @@ mod tests {
 
     #[test]
     fn works_under_sla_objective() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 3 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 3,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let res = AnnealSearch::new(
             &topo,
             &demands,
@@ -440,6 +488,9 @@ mod tests {
             SearchParams::tiny(),
             AnnealMode::Str,
         )
-        .with_anneal_params(AnnealParams { primary_emphasis: 0.5, ..Default::default() });
+        .with_anneal_params(AnnealParams {
+            primary_emphasis: 0.5,
+            ..Default::default()
+        });
     }
 }

@@ -2,21 +2,29 @@
 //!
 //! An iterated local search over the dual weight vector `W = {W^H, W^L}`
 //! in three routines (see the crate docs). The expensive step is candidate
-//! evaluation; per-class caching keeps it minimal:
+//! evaluation; it is delegated to the `dtr-engine`
+//! [`BatchEvaluator`], which combines three layers of reuse:
 //!
 //! - a `FindH` candidate re-routes **only the high class** (`W^L` and the
-//!   cached low-class loads are untouched);
-//! - a `FindL` candidate re-routes **only the low class** and reuses the
-//!   entire cached high side — including the SLA per-pair delays, which
-//!   depend only on `W^H`.
+//!   cached low-class loads are untouched), and vice versa for `FindL` —
+//!   the paper's per-class split;
+//! - under the (default) incremental backend, re-routing a class repairs
+//!   only the destinations whose shortest-path DAG the move's one-or-two
+//!   weight deltas actually affect (dynamic Dijkstra);
+//! - an LRU cache keyed by weight-vector hash short-circuits revisited
+//!   candidates entirely.
+//!
+//! Backend choice never changes results — both produce bit-identical
+//! evaluations — so seeded runs are reproducible across backends.
 
 use crate::neighborhood::{perturb_weights, NeighborhoodSampler, RankTable};
 use crate::params::SearchParams;
 use crate::telemetry::{Phase, SearchTrace};
 use dtr_cost::{Lex2, Objective};
+use dtr_engine::BatchEvaluator;
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{Topology, WeightVector};
-use dtr_routing::{ClassLoads, Evaluation, Evaluator, HighSide};
+use dtr_routing::{ClassLoads, Evaluation, HighSide};
 use dtr_traffic::DemandSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,10 +51,14 @@ struct State {
 }
 
 impl State {
-    fn build(ev: &mut Evaluator<'_>, w: DualWeights) -> State {
-        let high = ev.eval_high_side(&w.high);
-        let low_loads = ev.low_loads(&w.low);
-        let eval = ev.finish(high.clone(), low_loads.clone());
+    /// Evaluates `w` through the engine and rebases both class backends
+    /// onto it, so subsequent candidate deltas are small.
+    fn build(engine: &mut BatchEvaluator<'_>, w: DualWeights) -> State {
+        engine.rebase_high(&w.high);
+        engine.rebase_low(&w.low);
+        let high = engine.eval_high(&w.high);
+        let low_loads = engine.eval_low(&w.low);
+        let eval = engine.evaluator().finish(high.clone(), low_loads.clone());
         State {
             w,
             high,
@@ -58,7 +70,7 @@ impl State {
 
 /// Algorithm 1, bound to one problem instance.
 pub struct DtrSearch<'a> {
-    evaluator: Evaluator<'a>,
+    engine: BatchEvaluator<'a>,
     params: SearchParams,
     initial: DualWeights,
 }
@@ -75,7 +87,7 @@ impl<'a> DtrSearch<'a> {
         params.validate();
         let initial = DualWeights::replicated(WeightVector::uniform(topo, 1));
         DtrSearch {
-            evaluator: Evaluator::new(topo, demands, objective),
+            engine: BatchEvaluator::new(topo, demands, objective, params.backend),
             params,
             initial,
         }
@@ -84,8 +96,8 @@ impl<'a> DtrSearch<'a> {
     /// Overrides the initial weight setting `W0` (e.g. to warm-start from
     /// an STR solution).
     pub fn with_initial(mut self, w0: DualWeights) -> Self {
-        assert_eq!(w0.high.len(), self.evaluator.topo().link_count());
-        assert_eq!(w0.low.len(), self.evaluator.topo().link_count());
+        assert_eq!(w0.high.len(), self.engine.topo().link_count());
+        assert_eq!(w0.low.len(), self.engine.topo().link_count());
         self.initial = w0;
         self
     }
@@ -94,11 +106,10 @@ impl<'a> DtrSearch<'a> {
     pub fn run(mut self) -> DtrResult {
         let params = self.params;
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let sampler =
-            NeighborhoodSampler::new(self.evaluator.topo().link_count(), &params);
+        let sampler = NeighborhoodSampler::new(self.engine.topo().link_count(), &params);
         let mut trace = SearchTrace::default();
 
-        let mut state = State::build(&mut self.evaluator, self.initial.clone());
+        let mut state = State::build(&mut self.engine, self.initial.clone());
         let mut best_w = state.w.clone();
         let mut best_cost = state.eval.cost;
         trace.improved(0, Phase::OptimizeHigh, best_cost);
@@ -118,7 +129,7 @@ impl<'a> DtrSearch<'a> {
             }
             if stall >= params.diversify_after {
                 perturb_weights(&mut state.w.high, params.g1, &params, &mut rng);
-                state = State::build(&mut self.evaluator, state.w);
+                state = State::build(&mut self.engine, state.w);
                 trace.diversifications += 1;
                 stall = 0;
             }
@@ -128,7 +139,7 @@ impl<'a> DtrSearch<'a> {
         // Primary cost is now constant, so lexicographic comparison
         // reduces to Φ_L.
         state.w.high = best_w.high.clone();
-        state = State::build(&mut self.evaluator, state.w);
+        state = State::build(&mut self.engine, state.w);
         if state.eval.cost < best_cost {
             // W^L drifted only via diversification; refresh incumbents.
             best_cost = state.eval.cost;
@@ -148,14 +159,14 @@ impl<'a> DtrSearch<'a> {
             }
             if stall >= params.diversify_after {
                 perturb_weights(&mut state.w.low, params.g2, &params, &mut rng);
-                state = State::build(&mut self.evaluator, state.w);
+                state = State::build(&mut self.engine, state.w);
                 trace.diversifications += 1;
                 stall = 0;
             }
         }
 
         // --- Routine 3: joint refinement around W* (lines 25–38). ---
-        state = State::build(&mut self.evaluator, best_w.clone());
+        state = State::build(&mut self.engine, best_w.clone());
         let mut stall = 0usize;
         for _ in 0..params.k_iters {
             trace.iterations += 1;
@@ -175,13 +186,13 @@ impl<'a> DtrSearch<'a> {
                 let mut w = best_w.clone();
                 perturb_weights(&mut w.high, params.g3, &params, &mut rng);
                 perturb_weights(&mut w.low, params.g3, &params, &mut rng);
-                state = State::build(&mut self.evaluator, w);
+                state = State::build(&mut self.engine, w);
                 trace.diversifications += 1;
                 stall = 0;
             }
         }
 
-        let eval = self.evaluator.eval_dual(&best_w);
+        let eval = self.engine.evaluator().eval_dual(&best_w);
         debug_assert_eq!(eval.cost, best_cost);
         DtrResult {
             weights: best_w,
@@ -201,21 +212,28 @@ impl<'a> DtrSearch<'a> {
         rng: &mut StdRng,
         trace: &mut SearchTrace,
     ) -> bool {
-        let ranks = self.evaluator.link_ranks(&state.eval);
+        let ranks = self.engine.evaluator().link_ranks(&state.eval);
         let keys: Vec<Lex2> = ranks.iter().map(|r| r.high).collect();
         let table = RankTable::new(&keys);
         let moves = sampler.moves(&table, &self.params, rng);
 
+        // Materialize the non-degenerate candidates, then evaluate them
+        // as one engine batch (incremental repair or cache hit each).
+        let cands: Vec<WeightVector> = moves
+            .into_iter()
+            .filter_map(|mv| {
+                let mut wh = state.w.high.clone();
+                mv.apply(&mut wh, &self.params);
+                (wh != state.w.high).then_some(wh) // drop clamped no-ops
+            })
+            .collect();
+        let highs = self.engine.eval_high_batch(&cands);
+
         let mut best: Option<(Evaluation, HighSide, WeightVector)> = None;
-        for mv in moves {
-            let mut wh = state.w.high.clone();
-            mv.apply(&mut wh, &self.params);
-            if wh == state.w.high {
-                continue; // clamped into a no-op
-            }
-            let high = self.evaluator.eval_high_side(&wh);
+        for (wh, high) in cands.into_iter().zip(highs) {
             let eval = self
-                .evaluator
+                .engine
+                .evaluator()
                 .finish(high.clone(), state.low_loads.clone());
             trace.evaluations += 1;
             if best.as_ref().is_none_or(|(b, _, _)| eval.cost < b.cost) {
@@ -227,6 +245,7 @@ impl<'a> DtrSearch<'a> {
                 state.w.high = wh;
                 state.high = high;
                 state.eval = eval;
+                self.engine.rebase_high(&state.w.high);
                 trace.moves_accepted += 1;
                 true
             }
@@ -244,21 +263,26 @@ impl<'a> DtrSearch<'a> {
         rng: &mut StdRng,
         trace: &mut SearchTrace,
     ) -> bool {
-        let ranks = self.evaluator.link_ranks(&state.eval);
+        let ranks = self.engine.evaluator().link_ranks(&state.eval);
         let keys: Vec<f64> = ranks.iter().map(|r| r.low).collect();
         let table = RankTable::new(&keys);
         let moves = sampler.moves(&table, &self.params, rng);
 
+        let cands: Vec<WeightVector> = moves
+            .into_iter()
+            .filter_map(|mv| {
+                let mut wl = state.w.low.clone();
+                mv.apply(&mut wl, &self.params);
+                (wl != state.w.low).then_some(wl)
+            })
+            .collect();
+        let loads = self.engine.eval_low_batch(&cands);
+
         let mut best: Option<(Evaluation, ClassLoads, WeightVector)> = None;
-        for mv in moves {
-            let mut wl = state.w.low.clone();
-            mv.apply(&mut wl, &self.params);
-            if wl == state.w.low {
-                continue;
-            }
-            let low_loads = self.evaluator.low_loads(&wl);
+        for (wl, low_loads) in cands.into_iter().zip(loads) {
             let eval = self
-                .evaluator
+                .engine
+                .evaluator()
                 .finish(state.high.clone(), low_loads.clone());
             trace.evaluations += 1;
             if best.as_ref().is_none_or(|(b, _, _)| eval.cost < b.cost) {
@@ -270,6 +294,7 @@ impl<'a> DtrSearch<'a> {
                 state.w.low = wl;
                 state.low_loads = low_loads;
                 state.eval = eval;
+                self.engine.rebase_low(&state.w.low);
                 trace.moves_accepted += 1;
                 true
             }
@@ -282,6 +307,7 @@ impl<'a> DtrSearch<'a> {
 mod tests {
     use super::*;
     use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
+    use dtr_routing::Evaluator;
     use dtr_traffic::{TrafficCfg, TrafficMatrix};
 
     fn triangle_instance() -> (Topology, DemandSet) {
@@ -308,7 +334,11 @@ mod tests {
             SearchParams::quick().with_seed(3),
         );
         let res = search.run();
-        assert!((res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9, "phi_h={}", res.eval.phi_h);
+        assert!(
+            (res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9,
+            "phi_h={}",
+            res.eval.phi_h
+        );
         assert!(
             (res.eval.phi_l - 11.0 / 9.0).abs() < 1e-9,
             "phi_l={} (expected the ECMP-split optimum 11/9)",
@@ -318,9 +348,19 @@ mod tests {
 
     #[test]
     fn search_never_returns_worse_than_initial() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 4 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 4, ..Default::default() })
-            .scaled(3.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 4,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 4,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
         let w0 = DualWeights::replicated(WeightVector::uniform(&topo, 1));
         let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
         let initial_cost = ev.eval_dual(&w0).cost;
@@ -333,8 +373,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 5 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 5, ..Default::default() });
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 5,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let run = |seed| {
             DtrSearch::new(
                 &topo,
@@ -353,9 +403,19 @@ mod tests {
 
     #[test]
     fn works_under_sla_objective() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 6 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 6, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 6,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 6,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let res = DtrSearch::new(
             &topo,
             &demands,
@@ -371,8 +431,7 @@ mod tests {
     #[test]
     fn trace_counts_are_consistent() {
         let (topo, demands) = triangle_instance();
-        let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, SearchParams::tiny())
-            .run();
+        let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, SearchParams::tiny()).run();
         let p = SearchParams::tiny();
         assert_eq!(res.trace.iterations, 2 * p.n_iters + p.k_iters);
         assert!(res.trace.evaluations <= p.dtr_eval_budget());
@@ -386,7 +445,11 @@ mod tests {
         let (topo, demands) = triangle_instance();
         let mut w0 = DualWeights::replicated(WeightVector::uniform(&topo, 1));
         // Start from the known optimum; the search must keep it.
-        w0.low.set(topo.find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(2)).unwrap(), 30);
+        w0.low.set(
+            topo.find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(2))
+                .unwrap(),
+            30,
+        );
         let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
         let w0_cost = ev.eval_dual(&w0).cost;
         let res = DtrSearch::new(&topo, &demands, Objective::LoadBased, SearchParams::tiny())

@@ -223,9 +223,19 @@ mod tests {
 
     #[test]
     fn ga_respects_eval_budget_and_improves() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 2 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 2, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 2,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let params = SearchParams::tiny().with_seed(2);
         let res = GaSearch::new(&topo, &demands, Objective::LoadBased, params).run();
         assert!(res.trace.evaluations <= params.dtr_eval_budget());
@@ -239,8 +249,18 @@ mod tests {
 
     #[test]
     fn ga_is_deterministic_in_seed() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 3 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() });
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 8,
+            directed_links: 32,
+            seed: 3,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let run = || {
             GaSearch::new(
                 &topo,
@@ -263,12 +283,10 @@ mod tests {
             high: TrafficMatrix::zeros(3),
             low: TrafficMatrix::zeros(3),
         };
-        let _ = GaSearch::new(
-            &topo,
-            &demands,
-            Objective::LoadBased,
-            SearchParams::tiny(),
-        )
-        .with_ga_params(GaParams { population: 1, ..Default::default() });
+        let _ = GaSearch::new(&topo, &demands, Objective::LoadBased, SearchParams::tiny())
+            .with_ga_params(GaParams {
+                population: 1,
+                ..Default::default()
+            });
     }
 }

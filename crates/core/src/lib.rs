@@ -62,8 +62,8 @@ pub mod telemetry;
 pub use anneal::{AnnealMode, AnnealParams, AnnealResult, AnnealSearch};
 pub use dtr::{DtrResult, DtrSearch};
 pub use ga::{GaParams, GaResult, GaSearch};
-pub use memetic::{MemeticParams, MemeticResult, MemeticSearch};
 pub use joint::{joint_cost, JointCostExplorer, TriangleVerdict};
+pub use memetic::{MemeticParams, MemeticResult, MemeticSearch};
 pub use neighborhood::{NeighborhoodSampler, RankTable};
 pub use params::SearchParams;
 pub use reopt::{ReoptResult, ReoptSearch};
@@ -78,6 +78,7 @@ pub use telemetry::SearchTrace;
 // Re-export the types a downstream user needs to drive a search without
 // depending on every substrate crate explicitly.
 pub use dtr_cost::{Lex2, Objective, SlaParams};
+pub use dtr_engine::{BackendKind, BatchEvaluator, EvalBackend};
 pub use dtr_graph::weights::DualWeights;
 pub use dtr_graph::{Topology, WeightVector};
 pub use dtr_routing::{Evaluation, Evaluator};

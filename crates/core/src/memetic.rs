@@ -42,7 +42,10 @@ impl Default for MemeticParams {
         MemeticParams {
             // A smaller population than the pure GA: part of the budget
             // goes to the hill-climbs.
-            ga: GaParams { population: 20, ..GaParams::default() },
+            ga: GaParams {
+                population: 20,
+                ..GaParams::default()
+            },
             local_steps: 8,
         }
     }
@@ -273,9 +276,19 @@ mod tests {
 
     #[test]
     fn respects_eval_budget() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 5 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 5, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 5,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let params = SearchParams::tiny().with_seed(5);
         let res = MemeticSearch::new(&topo, &demands, Objective::LoadBased, params).run();
         assert!(res.trace.evaluations <= params.dtr_eval_budget());
@@ -284,9 +297,19 @@ mod tests {
 
     #[test]
     fn never_worse_than_uniform_seed() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 6 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 6, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 6,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 6,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
         let uniform_cost = ev.eval_str(&WeightVector::uniform(&topo, 1)).cost;
         let res = MemeticSearch::new(
@@ -301,8 +324,18 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 4 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 4, ..Default::default() });
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 8,
+            directed_links: 32,
+            seed: 4,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 4,
+                ..Default::default()
+            },
+        );
         let run = || {
             MemeticSearch::new(
                 &topo,
@@ -322,16 +355,29 @@ mod tests {
     fn hill_climb_reverts_non_improving_probes() {
         // With zero local steps the memetic search degenerates to the GA;
         // with steps it must never return something worse.
-        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 9 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 9, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 8,
+            directed_links: 32,
+            seed: 9,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let base = MemeticSearch::new(
             &topo,
             &demands,
             Objective::LoadBased,
             SearchParams::tiny().with_seed(2),
         )
-        .with_memetic_params(MemeticParams { local_steps: 0, ..Default::default() })
+        .with_memetic_params(MemeticParams {
+            local_steps: 0,
+            ..Default::default()
+        })
         .run();
         let refined = MemeticSearch::new(
             &topo,
@@ -354,7 +400,10 @@ mod tests {
         let (topo, demands) = triangle_instance();
         let _ = MemeticSearch::new(&topo, &demands, Objective::LoadBased, SearchParams::tiny())
             .with_memetic_params(MemeticParams {
-                ga: GaParams { population: 1, ..Default::default() },
+                ga: GaParams {
+                    population: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             });
     }

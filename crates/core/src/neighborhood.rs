@@ -114,11 +114,7 @@ impl NeighborhoodSampler {
         for v in cdf.iter_mut() {
             *v /= acc;
         }
-        NeighborhoodSampler {
-            cdf,
-            link_count,
-            m,
-        }
+        NeighborhoodSampler { cdf, link_count, m }
     }
 
     /// Effective set size `m` (may be smaller than requested on tiny
@@ -224,7 +220,10 @@ mod tests {
         let mid = draws.iter().filter(|&&k| k == 50).count() as f64 / draws.len() as f64;
         // P(1)/P(50) = 50^1.5 ≈ 354 — require a big observed gap.
         assert!(ones > 0.2, "P(k=1) observed {ones}");
-        assert!(ones > 20.0 * mid.max(1e-4), "tail not heavy: {ones} vs {mid}");
+        assert!(
+            ones > 20.0 * mid.max(1e-4),
+            "tail not heavy: {ones} vs {mid}"
+        );
         // Every k in range must be reachable.
         assert!(draws.iter().all(|&k| (1..=146).contains(&k)));
     }
@@ -294,7 +293,12 @@ mod tests {
     fn move_apply_clamps() {
         let params = SearchParams::tiny();
         let mut w = WeightVector::from_vec(vec![29, 2, 15, 15]);
-        WeightMove { raise: LinkId(0), lower: LinkId(1), step: 3 }.apply(&mut w, &params);
+        WeightMove {
+            raise: LinkId(0),
+            lower: LinkId(1),
+            step: 3,
+        }
+        .apply(&mut w, &params);
         assert_eq!(w.get(LinkId(0)), 30);
         assert_eq!(w.get(LinkId(1)), 1);
     }

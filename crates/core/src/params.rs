@@ -1,5 +1,6 @@
 //! Search-budget and tuning parameters (paper §5.1.3).
 
+use dtr_engine::BackendKind;
 use dtr_graph::{Weight, MAX_WEIGHT, MIN_WEIGHT};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,12 @@ pub struct SearchParams {
     pub max_step: u32,
     /// RNG seed for the search (generation seeds live in `TrafficCfg`).
     pub seed: u64,
+    /// Candidate-evaluation backend for the `DtrSearch`/`StrSearch` hot
+    /// loops. Both backends produce bit-identical evaluations (enforced
+    /// by `dtr-engine`'s equivalence proptests), so this only changes
+    /// wall-clock time; `Incremental` repairs only the destinations a
+    /// move's one-or-two weight deltas affect and is the default.
+    pub backend: BackendKind,
 }
 
 impl SearchParams {
@@ -100,12 +107,18 @@ impl SearchParams {
             max_weight: MAX_WEIGHT,
             max_step: 3,
             seed: 1,
+            backend: BackendKind::Incremental,
         }
     }
 
     /// Copy with a different seed.
     pub fn with_seed(self, seed: u64) -> Self {
         SearchParams { seed, ..self }
+    }
+
+    /// Copy with a different evaluation backend.
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        SearchParams { backend, ..self }
     }
 
     /// Total evaluation budget of the DTR search (for fair STR
@@ -130,9 +143,15 @@ impl SearchParams {
         assert!(self.max_step >= 1, "need a positive step");
         assert!(self.tau >= 0.0, "negative heavy-tail exponent");
         for g in [self.g1, self.g2, self.g3] {
-            assert!((0.0..=1.0).contains(&g), "perturbation fraction {g} outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&g),
+                "perturbation fraction {g} outside [0,1]"
+            );
         }
-        assert!(self.diversify_after >= 1, "diversification interval must be ≥ 1");
+        assert!(
+            self.diversify_after >= 1,
+            "diversification interval must be ≥ 1"
+        );
     }
 }
 
@@ -180,8 +199,7 @@ mod tests {
     fn presets_are_ordered_by_budget() {
         assert!(SearchParams::tiny().dtr_eval_budget() < SearchParams::quick().dtr_eval_budget());
         assert!(
-            SearchParams::quick().dtr_eval_budget()
-                < SearchParams::experiment().dtr_eval_budget()
+            SearchParams::quick().dtr_eval_budget() < SearchParams::experiment().dtr_eval_budget()
         );
         assert!(
             SearchParams::experiment().dtr_eval_budget() < SearchParams::paper().dtr_eval_budget()

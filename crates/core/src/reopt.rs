@@ -227,14 +227,22 @@ impl<'a> ReoptSearch<'a> {
             // May re-value this already-changed position (or revert it).
             let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
             if v == old {
-                v = if v == self.params.max_weight { self.params.min_weight } else { v + 1 };
+                v = if v == self.params.max_weight {
+                    self.params.min_weight
+                } else {
+                    v + 1
+                };
             }
             v
         } else {
             // Budget available: any new value works.
             let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
             if v == old {
-                v = if v == self.params.max_weight { self.params.min_weight } else { v + 1 };
+                v = if v == self.params.max_weight {
+                    self.params.min_weight
+                } else {
+                    v + 1
+                };
             }
             v
         };
@@ -377,12 +385,28 @@ mod tests {
     }
 
     fn drifted_instance() -> (Topology, DemandSet, DemandSet) {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 10, directed_links: 40, seed: 8 });
-        let base = DemandSet::generate(&topo, &TrafficCfg { seed: 8, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 8,
+        });
+        let base = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 8,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         // A crude drift: swap emphasis onto a different seed's pattern.
-        let drifted = DemandSet::generate(&topo, &TrafficCfg { seed: 9, ..Default::default() })
-            .scaled(4.0);
+        let drifted = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         (topo, base, drifted)
     }
 
@@ -500,8 +524,10 @@ mod tests {
         let (topo, demands) = triangle_instance();
         let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
         let mut far = incumbent.clone();
-        far.high.set(topo.find_link(NodeId(0), NodeId(1)).unwrap(), 7);
-        far.low.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 9);
+        far.high
+            .set(topo.find_link(NodeId(0), NodeId(1)).unwrap(), 7);
+        far.low
+            .set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 9);
         let search = ReoptSearch::new(
             &topo,
             &demands,
@@ -521,8 +547,10 @@ mod tests {
         let (topo, demands) = triangle_instance();
         let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
         let mut far = incumbent.clone();
-        far.high.set(topo.find_link(NodeId(0), NodeId(1)).unwrap(), 7);
-        far.low.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 9);
+        far.high
+            .set(topo.find_link(NodeId(0), NodeId(1)).unwrap(), 7);
+        far.low
+            .set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 9);
         let _ = ReoptSearch::new(
             &topo,
             &demands,

@@ -258,7 +258,10 @@ impl<'a> RobustSearch<'a> {
     pub fn with_initial(mut self, w0: DualWeights) -> Self {
         assert_eq!(w0.high.len(), self.evaluator.topo.link_count());
         if self.mode == Scheme::Str {
-            assert_eq!(w0.high, w0.low, "STR warm starts must have replicated vectors");
+            assert_eq!(
+                w0.high, w0.low,
+                "STR warm starts must have replicated vectors"
+            );
         }
         self.initial = Some(w0);
         self
@@ -274,10 +277,9 @@ impl<'a> RobustSearch<'a> {
         let mut trace = SearchTrace::default();
         let n_links = self.evaluator.topo.link_count();
 
-        let mut cur_w = self
-            .initial
-            .clone()
-            .unwrap_or_else(|| DualWeights::replicated(WeightVector::uniform(self.evaluator.topo, 1)));
+        let mut cur_w = self.initial.clone().unwrap_or_else(|| {
+            DualWeights::replicated(WeightVector::uniform(self.evaluator.topo, 1))
+        });
         if let Some(cap) = self.scenario_cap {
             self.evaluator.cap_to_worst(&cur_w, cap);
         }
@@ -302,7 +304,11 @@ impl<'a> RobustSearch<'a> {
                 let old = target.get(lid);
                 let mut v = rng.random_range(params.min_weight..=params.max_weight);
                 if v == old {
-                    v = if v == params.max_weight { params.min_weight } else { v + 1 };
+                    v = if v == params.max_weight {
+                        params.min_weight
+                    } else {
+                        v + 1
+                    };
                 }
                 let mut cand_w = cur_w.clone();
                 match self.mode {
@@ -341,12 +347,7 @@ impl<'a> RobustSearch<'a> {
             }
 
             if stall >= params.diversify_after {
-                crate::neighborhood::perturb_weights(
-                    &mut cur_w.high,
-                    params.g1,
-                    &params,
-                    &mut rng,
-                );
+                crate::neighborhood::perturb_weights(&mut cur_w.high, params.g1, &params, &mut rng);
                 if self.mode == RobustMode::Str {
                     cur_w.low = cur_w.high.clone();
                 } else {
@@ -393,9 +394,19 @@ mod tests {
     }
 
     fn small_instance() -> (Topology, DemandSet) {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 8, directed_links: 32, seed: 11 });
-        let demands =
-            DemandSet::generate(&topo, &TrafficCfg { seed: 11, ..Default::default() }).scaled(3.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 8,
+            directed_links: 32,
+            seed: 11,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 11,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
         (topo, demands)
     }
 

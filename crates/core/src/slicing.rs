@@ -246,8 +246,14 @@ mod tests {
             directed_links: 48,
             seed: 6,
         });
-        let demands =
-            DemandSet::generate(&topo, &TrafficCfg { seed: 6, ..Default::default() }).scaled(4.0);
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 6,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         (topo, demands)
     }
 
@@ -258,15 +264,11 @@ mod tests {
         let (topo, demands) = instance();
         let params = SearchParams::quick().with_seed(6);
         let dtr = crate::DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
-        let sliced = SlicedSearch::new(
-            &topo,
-            &demands,
-            params,
-            1,
-            dtr.weights.high.clone(),
-        )
-        .run();
-        assert!((sliced.cost.primary - dtr.eval.phi_h).abs() < 1e-9, "same high side");
+        let sliced = SlicedSearch::new(&topo, &demands, params, 1, dtr.weights.high.clone()).run();
+        assert!(
+            (sliced.cost.primary - dtr.eval.phi_h).abs() < 1e-9,
+            "same high side"
+        );
         assert!(sliced.cost.secondary <= dtr.eval.phi_l * 1.5);
     }
 

@@ -24,8 +24,9 @@ use crate::neighborhood::perturb_weights;
 use crate::params::SearchParams;
 use crate::telemetry::{Phase, SearchTrace};
 use dtr_cost::{Lex2, Objective};
+use dtr_engine::BatchEvaluator;
 use dtr_graph::{LinkId, Topology, WeightVector};
-use dtr_routing::{Evaluation, Evaluator};
+use dtr_routing::Evaluation;
 use dtr_traffic::DemandSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,9 +86,7 @@ impl ParetoFront {
         }
         self.entries
             .retain(|&(h, l, _)| !(phi_h <= h && phi_l <= l));
-        let pos = self
-            .entries
-            .partition_point(|&(h, _, _)| h < phi_h);
+        let pos = self.entries.partition_point(|&(h, _, _)| h < phi_h);
         self.entries.insert(pos, (phi_h, phi_l, w.clone()));
     }
 
@@ -108,7 +107,7 @@ impl ParetoFront {
 
 /// The Fortz–Thorup-style single-weight-change search.
 pub struct StrSearch<'a> {
-    evaluator: Evaluator<'a>,
+    engine: BatchEvaluator<'a>,
     params: SearchParams,
     initial: WeightVector,
     relax_eps: Vec<f64>,
@@ -125,7 +124,7 @@ impl<'a> StrSearch<'a> {
         params.validate();
         let initial = WeightVector::uniform(topo, 1);
         StrSearch {
-            evaluator: Evaluator::new(topo, demands, objective),
+            engine: BatchEvaluator::new(topo, demands, objective, params.backend),
             params,
             initial,
             relax_eps: Vec::new(),
@@ -134,7 +133,7 @@ impl<'a> StrSearch<'a> {
 
     /// Overrides the initial weights.
     pub fn with_initial(mut self, w0: WeightVector) -> Self {
-        assert_eq!(w0.len(), self.evaluator.topo().link_count());
+        assert_eq!(w0.len(), self.engine.topo().link_count());
         self.initial = w0;
         self
     }
@@ -154,10 +153,11 @@ impl<'a> StrSearch<'a> {
         let params = self.params;
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut trace = SearchTrace::default();
-        let n_links = self.evaluator.topo().link_count();
+        let n_links = self.engine.topo().link_count();
 
         let mut cur_w = self.initial.clone();
-        let mut cur = self.evaluator.eval_str(&cur_w);
+        self.engine.rebase_joint(&cur_w);
+        let mut cur = self.engine.eval_joint(&cur_w);
         trace.evaluations += 1;
 
         let mut best_w = cur_w.clone();
@@ -166,50 +166,51 @@ impl<'a> StrSearch<'a> {
 
         // Relaxed tracking state: the smallest Φ_H seen over all
         // evaluated candidates, and the Pareto front of (Φ_H, Φ_L).
-        let eps_max = self
-            .relax_eps
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let eps_max = self.relax_eps.iter().cloned().fold(0.0f64, f64::max);
         let track_front = !self.relax_eps.is_empty();
         let mut best_phi_h = cur.phi_h;
         let mut front = ParetoFront::default();
-        let track = |w: &WeightVector,
-                     e: &Evaluation,
-                     best_phi_h: &mut f64,
-                     front: &mut ParetoFront| {
-            if !track_front {
-                return;
-            }
-            if e.phi_h < *best_phi_h {
-                *best_phi_h = e.phi_h;
-                front.prune((1.0 + eps_max) * *best_phi_h);
-            }
-            front.offer(e.phi_h, e.phi_l, w, (1.0 + eps_max) * *best_phi_h);
-        };
+        let track =
+            |w: &WeightVector, e: &Evaluation, best_phi_h: &mut f64, front: &mut ParetoFront| {
+                if !track_front {
+                    return;
+                }
+                if e.phi_h < *best_phi_h {
+                    *best_phi_h = e.phi_h;
+                    front.prune((1.0 + eps_max) * *best_phi_h);
+                }
+                front.offer(e.phi_h, e.phi_l, w, (1.0 + eps_max) * *best_phi_h);
+            };
         track(&cur_w, &cur, &mut best_phi_h, &mut front);
 
         let mut stall = 0usize;
         for _ in 0..params.str_iters() {
             trace.iterations += 1;
 
-            // m single-weight-change candidates; keep the best.
+            // m single-weight-change candidates, evaluated as one
+            // engine batch (incremental repair or cache hit each);
+            // keep the best.
+            let cands: Vec<WeightVector> = (0..params.neighbors)
+                .map(|_| {
+                    let lid = LinkId(rng.random_range(0..n_links as u32));
+                    let old = cur_w.get(lid);
+                    let mut w = rng.random_range(params.min_weight..=params.max_weight);
+                    if w == old {
+                        // Force a change; wrap within the range.
+                        w = if w == params.max_weight {
+                            params.min_weight
+                        } else {
+                            w + 1
+                        };
+                    }
+                    let mut cand_w = cur_w.clone();
+                    cand_w.set(lid, w);
+                    cand_w
+                })
+                .collect();
+            let evals = self.engine.eval_joint_batch(&cands);
             let mut best_cand: Option<(Evaluation, WeightVector)> = None;
-            for _ in 0..params.neighbors {
-                let lid = LinkId(rng.random_range(0..n_links as u32));
-                let old = cur_w.get(lid);
-                let mut w = rng.random_range(params.min_weight..=params.max_weight);
-                if w == old {
-                    // Force a change; wrap within the range.
-                    w = if w == params.max_weight {
-                        params.min_weight
-                    } else {
-                        w + 1
-                    };
-                }
-                let mut cand_w = cur_w.clone();
-                cand_w.set(lid, w);
-                let e = self.evaluator.eval_str(&cand_w);
+            for (cand_w, e) in cands.into_iter().zip(evals) {
                 trace.evaluations += 1;
                 track(&cand_w, &e, &mut best_phi_h, &mut front);
                 if best_cand.as_ref().is_none_or(|(b, _)| e.cost < b.cost) {
@@ -221,6 +222,7 @@ impl<'a> StrSearch<'a> {
                 Some((e, w)) if e.cost < cur.cost => {
                     cur = e;
                     cur_w = w;
+                    self.engine.rebase_joint(&cur_w);
                     trace.moves_accepted += 1;
                     if cur.cost < best_cost {
                         best_cost = cur.cost;
@@ -236,7 +238,8 @@ impl<'a> StrSearch<'a> {
 
             if stall >= params.diversify_after {
                 perturb_weights(&mut cur_w, params.g1, &params, &mut rng);
-                cur = self.evaluator.eval_str(&cur_w);
+                self.engine.rebase_joint(&cur_w);
+                cur = self.engine.eval_joint(&cur_w);
                 trace.evaluations += 1;
                 track(&cur_w, &cur, &mut best_phi_h, &mut front);
                 trace.diversifications += 1;
@@ -244,7 +247,7 @@ impl<'a> StrSearch<'a> {
             }
         }
 
-        let eval = self.evaluator.eval_str(&best_w);
+        let eval = self.engine.eval_joint(&best_w);
         debug_assert_eq!(eval.cost, best_cost);
 
         // Answer the relaxed queries against the *final* Φ*_H. The strict
@@ -252,21 +255,19 @@ impl<'a> StrSearch<'a> {
         let relaxed: Vec<RelaxedBest> = self
             .relax_eps
             .iter()
-            .map(|&eps| {
-                match front.best_within((1.0 + eps) * best_phi_h) {
-                    Some((phi_h, phi_l, w)) => RelaxedBest {
-                        eps,
-                        weights: Some(w.clone()),
-                        phi_h: *phi_h,
-                        phi_l: *phi_l,
-                    },
-                    None => RelaxedBest {
-                        eps,
-                        weights: Some(best_w.clone()),
-                        phi_h: eval.phi_h,
-                        phi_l: eval.phi_l,
-                    },
-                }
+            .map(|&eps| match front.best_within((1.0 + eps) * best_phi_h) {
+                Some((phi_h, phi_l, w)) => RelaxedBest {
+                    eps,
+                    weights: Some(w.clone()),
+                    phi_h: *phi_h,
+                    phi_l: *phi_l,
+                },
+                None => RelaxedBest {
+                    eps,
+                    weights: Some(best_w.clone()),
+                    phi_h: eval.phi_h,
+                    phi_l: eval.phi_l,
+                },
             })
             .collect();
 
@@ -285,6 +286,7 @@ mod tests {
     use super::*;
     use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
     use dtr_graph::NodeId;
+    use dtr_routing::Evaluator;
     use dtr_traffic::{TrafficCfg, TrafficMatrix};
 
     fn triangle_instance() -> (Topology, DemandSet) {
@@ -309,15 +311,33 @@ mod tests {
             SearchParams::quick().with_seed(2),
         )
         .run();
-        assert!((res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9, "phi_h={}", res.eval.phi_h);
-        assert!((res.eval.phi_l - 64.0 / 9.0).abs() < 1e-9, "phi_l={}", res.eval.phi_l);
+        assert!(
+            (res.eval.phi_h - 1.0 / 3.0).abs() < 1e-9,
+            "phi_h={}",
+            res.eval.phi_h
+        );
+        assert!(
+            (res.eval.phi_l - 64.0 / 9.0).abs() < 1e-9,
+            "phi_l={}",
+            res.eval.phi_l
+        );
     }
 
     #[test]
     fn never_worse_than_initial() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 9 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 9, ..Default::default() })
-            .scaled(3.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 9,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
         let w0 = WeightVector::uniform(&topo, 1);
         let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
         let init_cost = ev.eval_str(&w0).cost;
@@ -353,9 +373,19 @@ mod tests {
 
     #[test]
     fn relaxed_solutions_monotone_in_eps() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 3 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 3,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let res = StrSearch::new(&topo, &demands, Objective::LoadBased, SearchParams::quick())
             .with_relaxations(&[0.05, 0.30])
             .run();
@@ -367,9 +397,19 @@ mod tests {
 
     #[test]
     fn sla_objective_runs_and_counts_violations() {
-        let topo = random_topology(&RandomTopologyCfg { nodes: 12, directed_links: 48, seed: 8 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 8, ..Default::default() })
-            .scaled(4.0);
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed: 8,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 8,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let res = StrSearch::new(
             &topo,
             &demands,

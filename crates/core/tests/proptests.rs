@@ -22,8 +22,14 @@ fn instance(seed: u64, scale: f64) -> (Topology, DemandSet) {
         directed_links: 40,
         seed: 1 + (seed % 5),
     });
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed, ..Default::default() }).scaled(scale);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed,
+            ..Default::default()
+        },
+    )
+    .scaled(scale);
     (topo, demands)
 }
 

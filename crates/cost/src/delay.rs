@@ -60,7 +60,10 @@ pub fn link_delay_mm1(
     capacity_mbps: f64,
     prop_delay_s: f64,
 ) -> f64 {
-    debug_assert!(high_mbps < capacity_mbps, "M/M/1 delay undefined at/above saturation");
+    debug_assert!(
+        high_mbps < capacity_mbps,
+        "M/M/1 delay undefined at/above saturation"
+    );
     let service_s = params.packet_size_bits / (capacity_mbps * 1e6);
     service_s * (high_mbps / (capacity_mbps - high_mbps) + 1.0) + prop_delay_s
 }

@@ -14,7 +14,6 @@
 //! are carried in seconds; a 1 s excess would otherwise contribute a
 //! penalty of 1 against the constant 100, making `b` irrelevant).
 
-
 /// Default constant penalty per violated SLA (`a` in Eq. 4).
 pub const DEFAULT_PENALTY_A: f64 = 100.0;
 /// Default proportional penalty per **millisecond** of excess delay

@@ -1,0 +1,218 @@
+//! The [`EvalBackend`] trait and its two implementations.
+//!
+//! A backend is bound to one (or, for single-topology routing, two)
+//! traffic matrices and answers one question: *what loads does candidate
+//! weight vector `w` produce?* — always relative to a **base** weight
+//! vector that tracks the search's current solution.
+//!
+//! - [`FullBackend`] recomputes every destination's reverse-Dijkstra and
+//!   load push per candidate, exactly like
+//!   [`dtr_routing::LoadCalculator`]; batches fan out across cores with
+//!   rayon (each candidate is independent).
+//! - [`IncrementalBackend`] maintains per-destination DAGs and load
+//!   contributions at the base and repairs only the destinations a
+//!   candidate's one-or-two weight deltas can affect (see
+//!   [`crate::dynspf`]). Candidates whose delta count exceeds
+//!   [`IncrementalBackend::MAX_DELTAS`] (diversification jumps) fall
+//!   back to a full per-candidate evaluation.
+//!
+//! Both produce bit-identical loads for identical inputs; the engine's
+//! equivalence proptests enforce this.
+
+use crate::state::{CandidateEval, FlowState};
+use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
+use dtr_routing::{push_demand_down_dag, ClassLoads};
+use dtr_traffic::TrafficMatrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which evaluation backend a search should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Recompute all shortest paths per candidate.
+    Full,
+    /// Dynamic-SPF repair of only the affected destinations.
+    #[default]
+    Incremental,
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "full" => Ok(BackendKind::Full),
+            "incremental" | "incr" => Ok(BackendKind::Incremental),
+            other => Err(format!("unknown backend {other:?} (full|incremental)")),
+        }
+    }
+}
+
+/// Per-class candidate evaluation behind a common interface.
+pub trait EvalBackend {
+    /// Evaluates a batch of candidates against the current base,
+    /// returning per-candidate [`CandidateEval`]s in input order.
+    /// `want_dags` asks for per-destination DAGs of each candidate (the
+    /// SLA walk needs them); backends may return an empty DAG list when
+    /// `false` or when providing them would require extra work that the
+    /// caller can redo more cheaply ([`FullBackend`] does this).
+    fn eval_batch(&mut self, cands: &[WeightVector], want_dags: bool) -> Vec<CandidateEval>;
+
+    /// Moves the base weight vector (the search accepted a move or
+    /// diversified).
+    fn rebase(&mut self, new_base: &WeightVector);
+
+    /// The current base.
+    fn base(&self) -> &WeightVector;
+
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+}
+
+/// Full recomputation per candidate, parallel over the batch.
+pub struct FullBackend<'a> {
+    topo: &'a Topology,
+    matrices: Vec<&'a TrafficMatrix>,
+    base: WeightVector,
+}
+
+impl<'a> FullBackend<'a> {
+    /// Binds `matrices` routed on `base`.
+    pub fn new(topo: &'a Topology, matrices: Vec<&'a TrafficMatrix>, base: WeightVector) -> Self {
+        FullBackend {
+            topo,
+            matrices,
+            base,
+        }
+    }
+
+    /// One full evaluation: the exact `LoadCalculator::accumulate` walk.
+    fn eval_one(&self, w: &WeightVector, want_dags: bool) -> CandidateEval {
+        full_candidate_eval(self.topo, &self.matrices, w, want_dags)
+    }
+}
+
+/// Shared full-evaluation walk (also the fallback path of the
+/// incremental backend): identical iteration order and arithmetic to
+/// [`dtr_routing::LoadCalculator::accumulate`].
+pub fn full_candidate_eval(
+    topo: &Topology,
+    matrices: &[&TrafficMatrix],
+    w: &WeightVector,
+    want_dags: bool,
+) -> CandidateEval {
+    let mut ws = SpfWorkspace::new();
+    let mut node_flow: Vec<f64> = Vec::new();
+    let mut loads: Vec<ClassLoads> = matrices
+        .iter()
+        .map(|_| vec![0.0; topo.link_count()])
+        .collect();
+    let mut dags: Vec<(NodeId, Arc<ShortestPathDag>)> = Vec::new();
+    for t in topo.nodes() {
+        let any = matrices
+            .iter()
+            .any(|m| m.demands_to(t.index()).next().is_some());
+        if !any {
+            continue;
+        }
+        let dag = ShortestPathDag::compute_with(topo, w, t, None, &mut ws);
+        for (m, out) in matrices.iter().zip(loads.iter_mut()) {
+            if m.demands_to(t.index()).next().is_none() {
+                continue;
+            }
+            push_demand_down_dag(topo, &dag, m, t, &mut node_flow, out);
+        }
+        if want_dags {
+            dags.push((t, Arc::new(dag)));
+        }
+    }
+    CandidateEval { loads, dags }
+}
+
+impl<'a> EvalBackend for FullBackend<'a> {
+    fn eval_batch(&mut self, cands: &[WeightVector], want_dags: bool) -> Vec<CandidateEval> {
+        cands
+            .par_iter()
+            .map(|w| self.eval_one(w, want_dags))
+            .collect()
+    }
+
+    fn rebase(&mut self, new_base: &WeightVector) {
+        self.base = new_base.clone();
+    }
+
+    fn base(&self) -> &WeightVector {
+        &self.base
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Full
+    }
+}
+
+/// Dynamic-SPF incremental evaluation.
+pub struct IncrementalBackend<'a> {
+    state: FlowState<'a>,
+    topo: &'a Topology,
+    matrices: Vec<&'a TrafficMatrix>,
+}
+
+impl<'a> IncrementalBackend<'a> {
+    /// Largest per-candidate delta the repair path handles; beyond this
+    /// (diversification perturbs ~5% of all links) a full evaluation is
+    /// both simpler and faster. Neighborhood moves touch ≤ 2 links.
+    pub const MAX_DELTAS: usize = 8;
+
+    /// Binds `matrices` routed on `base` and builds the initial DAGs.
+    pub fn new(topo: &'a Topology, matrices: Vec<&'a TrafficMatrix>, base: WeightVector) -> Self {
+        IncrementalBackend {
+            state: FlowState::new(topo, matrices.clone(), base),
+            topo,
+            matrices,
+        }
+    }
+}
+
+impl<'a> EvalBackend for IncrementalBackend<'a> {
+    fn eval_batch(&mut self, cands: &[WeightVector], want_dags: bool) -> Vec<CandidateEval> {
+        // Repairs share the mutable scratch, so the batch runs
+        // sequentially; each candidate only touches its few affected
+        // destinations, which is the whole point. (The Full backend is
+        // the parallel-throughput option for huge batches.)
+        cands
+            .iter()
+            .map(
+                |w| match self.state.eval_candidate(w, Self::MAX_DELTAS, want_dags) {
+                    Some(ev) => ev,
+                    // Diversification-sized jump: full evaluation.
+                    None => full_candidate_eval(self.topo, &self.matrices, w, want_dags),
+                },
+            )
+            .collect()
+    }
+
+    fn rebase(&mut self, new_base: &WeightVector) {
+        self.state.rebase(new_base, Self::MAX_DELTAS);
+    }
+
+    fn base(&self) -> &WeightVector {
+        self.state.base()
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Incremental
+    }
+}
+
+/// Constructs a backend of `kind`.
+pub fn make_backend<'a>(
+    kind: BackendKind,
+    topo: &'a Topology,
+    matrices: Vec<&'a TrafficMatrix>,
+    base: WeightVector,
+) -> Box<dyn EvalBackend + 'a> {
+    match kind {
+        BackendKind::Full => Box::new(FullBackend::new(topo, matrices, base)),
+        BackendKind::Incremental => Box::new(IncrementalBackend::new(topo, matrices, base)),
+    }
+}

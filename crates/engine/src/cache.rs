@@ -1,0 +1,147 @@
+//! A small LRU evaluation cache keyed by weight-vector hash.
+//!
+//! The weight search revisits candidate settings constantly — clamped
+//! moves regenerate the incumbent, diversification restarts return to
+//! the neighborhood of the best solution, and routine 3 re-evaluates
+//! refinement candidates around `W*`. Caching per-class results keyed by
+//! the full weight vector short-circuits all of that.
+//!
+//! Keys are FNV-1a hashes of the weight slice; the stored entry keeps a
+//! copy of the weights and verifies equality on hit, so hash collisions
+//! degrade to misses instead of wrong results (which would silently
+//! corrupt the search).
+
+use dtr_graph::WeightVector;
+
+/// FNV-1a over the raw weight words.
+pub fn weight_hash(w: &WeightVector) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in w.as_slice() {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Entry<V> {
+    key: WeightVector,
+    value: V,
+    /// Monotonic recency stamp.
+    stamp: u64,
+}
+
+/// Least-recently-used map from weight vectors to evaluation results.
+pub struct LruCache<V> {
+    map: std::collections::HashMap<u64, Entry<V>>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: std::collections::HashMap::with_capacity(capacity.min(1024)),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `w`, refreshing its recency on hit.
+    pub fn get(&mut self, w: &WeightVector) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        let h = weight_hash(w);
+        match self.map.get_mut(&h) {
+            Some(e) if &e.key == w => {
+                e.stamp = self.tick;
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `w → value`, evicting the least-recently-used entry when
+    /// full. A hash collision overwrites the colliding entry (rare, and
+    /// correctness is preserved by the equality check in [`Self::get`]).
+    pub fn put(&mut self, w: &WeightVector, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let h = weight_hash(w);
+        if self.map.len() >= self.capacity && !self.map.contains_key(&h) {
+            if let Some((&evict, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) {
+                self.map.remove(&evict);
+            }
+        }
+        self.map.insert(
+            h,
+            Entry {
+                key: w.clone(),
+                value,
+                stamp: self.tick,
+            },
+        );
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wv(v: Vec<u32>) -> WeightVector {
+        WeightVector::from_vec(v)
+    }
+
+    #[test]
+    fn hit_miss_and_eviction() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        let a = wv(vec![1, 2, 3]);
+        let b = wv(vec![4, 5, 6]);
+        let d = wv(vec![7, 8, 9]);
+        assert_eq!(c.get(&a), None);
+        c.put(&a, 10);
+        c.put(&b, 20);
+        assert_eq!(c.get(&a), Some(10));
+        c.put(&d, 30); // evicts b (least recently used)
+        assert_eq!(c.get(&b), None);
+        assert_eq!(c.get(&a), Some(10));
+        assert_eq!(c.get(&d), Some(30));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c: LruCache<u32> = LruCache::new(0);
+        let a = wv(vec![1]);
+        c.put(&a, 1);
+        assert_eq!(c.get(&a), None);
+    }
+
+    #[test]
+    fn distinct_vectors_distinct_hashes_usually() {
+        let a = weight_hash(&wv(vec![1, 2, 3]));
+        let b = weight_hash(&wv(vec![3, 2, 1]));
+        assert_ne!(a, b);
+    }
+}

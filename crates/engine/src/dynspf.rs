@@ -1,0 +1,526 @@
+//! Dynamic maintenance of per-destination ECMP shortest-path DAGs under
+//! single-link weight changes (Ramalingam–Reps-style dynamic Dijkstra).
+//!
+//! The weight search's neighborhood moves perturb one or two link
+//! weights, so most destinations' DAGs are untouched and the affected
+//! ones change only in a small region. This module provides:
+//!
+//! - [`delta_affects_dag`] — an O(1) test of whether a single-weight
+//!   delta can change a given destination's DAG at all (the filter that
+//!   lets the engine skip most destinations outright);
+//! - [`apply_weight_delta`] — in-place repair of a
+//!   [`ShortestPathDag`] after one weight change, touching only the
+//!   affected region.
+//!
+//! # Exactness
+//!
+//! Distances are integers, so the repaired `dist` is exactly what a
+//! fresh reverse-Dijkstra would produce. The repaired `ecmp_out` entries
+//! are rebuilt by the same out-link scan (in out-link order) the full
+//! computation uses, and `order` is re-sorted with the same stable sort
+//! over the same keys — so the repaired DAG is **structurally identical**
+//! to a freshly computed one, not merely equivalent. Downstream load
+//! pushes therefore produce bit-identical floating-point results.
+//!
+//! # Algorithm
+//!
+//! For a weight *increase* on link `l = (u, v)`: if `l` is not on the
+//! DAG (not tight), nothing changes. Otherwise every node whose every
+//! shortest path might lengthen is a DAG-ancestor of `u`; that ancestor
+//! set `S` is found by a reverse BFS over tight links, its distances are
+//! invalidated, and a Dijkstra restricted to `S` re-settles them from
+//! the boundary (out-links leaving `S`).
+//!
+//! For a *decrease*: the only new candidate path enters through `l`, so
+//! a Dijkstra seeded with `dist'(u) = w' + dist(v)` propagates strictly
+//! improving distances upstream.
+//!
+//! In both cases, `ecmp_out` is rebuilt exactly for the nodes whose own
+//! distance changed plus their in-neighbors (tightness of a link `(p,
+//! x)` depends only on `dist(p)`, `dist(x)` and its weight).
+
+use dtr_graph::spf::{Dist, UNREACHABLE};
+use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable scratch for DAG repairs (no allocation on the hot path after
+/// the first use).
+#[derive(Debug, Default, Clone)]
+pub struct DynSpfScratch {
+    heap: BinaryHeap<Reverse<(Dist, u32)>>,
+    /// Membership bitmap for the affected set; entries listed in
+    /// `touched` are reset after every repair.
+    in_set: Vec<bool>,
+    touched: Vec<u32>,
+    /// BFS/iteration worklist.
+    stack: Vec<u32>,
+    /// Nodes whose `ecmp_out` must be rebuilt.
+    recompute: Vec<u32>,
+    recompute_flag: Vec<bool>,
+}
+
+impl DynSpfScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.heap.clear();
+        self.stack.clear();
+        self.recompute.clear();
+        if self.in_set.len() < n {
+            self.in_set.resize(n, false);
+            self.recompute_flag.resize(n, false);
+        }
+        for &v in &self.touched {
+            self.in_set[v as usize] = false;
+        }
+        self.touched.clear();
+    }
+
+    fn mark_set(&mut self, v: u32) {
+        if !self.in_set[v as usize] {
+            self.in_set[v as usize] = true;
+            self.touched.push(v);
+        }
+    }
+
+    fn mark_recompute(&mut self, v: u32) {
+        if !self.recompute_flag[v as usize] {
+            self.recompute_flag[v as usize] = true;
+            self.recompute.push(v);
+        }
+    }
+}
+
+/// O(1) test: can changing `link`'s weight from `old_w` to `new_w` alter
+/// `dag` (distances **or** ECMP membership)? `false` guarantees the DAG
+/// is unaffected; `true` means the repair must run (it may still turn
+/// out to be a no-op for equal-distance corner cases).
+#[inline]
+pub fn delta_affects_dag(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    link: LinkId,
+    old_w: Weight,
+    new_w: Weight,
+) -> bool {
+    if old_w == new_w {
+        return false;
+    }
+    let l = topo.link(link);
+    let du = dag.dist[l.src.index()];
+    let dv = dag.dist[l.dst.index()];
+    if dv == UNREACHABLE {
+        // The link leads nowhere useful; its weight is irrelevant.
+        return false;
+    }
+    if new_w > old_w {
+        // An increase matters only if the link is currently tight.
+        du != UNREACHABLE && du == dv + old_w as Dist
+    } else {
+        // A decrease matters if the new candidate path through the link
+        // ties or beats the current distance.
+        du == UNREACHABLE || dv + new_w as Dist <= du
+    }
+}
+
+/// If the delta's **entire** effect on `dag` is replacing the ECMP
+/// branch list of the link's tail node `u` (all distances unchanged),
+/// writes the new branch list into `branches` and returns `Some(u)`;
+/// otherwise returns `None` and the caller must run the full repair.
+///
+/// This is the dominant case with small integer weights, where ECMP
+/// ties abound: a tight link's weight rises but the tail keeps its
+/// distance through a sibling branch, or a decrease exactly ties the
+/// current distance. The caller can then reuse the cached DAG with a
+/// one-node override (see
+/// `dtr_routing::push_demand_down_dag_with`) instead of cloning and
+/// repairing it.
+///
+/// `weights` must hold the new weight vector values (as in
+/// [`apply_weight_delta`]); the caller must already have established
+/// that the delta affects the DAG ([`delta_affects_dag`]).
+pub fn fast_rebranch(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    weights: &[Weight],
+    link: LinkId,
+    old_w: Weight,
+    new_w: Weight,
+    branches: &mut Vec<LinkId>,
+) -> Option<NodeId> {
+    let l = topo.link(link);
+    let (u, v) = (l.src, l.dst);
+    let du = dag.dist[u.index()];
+    let dv = dag.dist[v.index()];
+    if dv == UNREACHABLE || du == UNREACHABLE {
+        return None;
+    }
+    let distance_preserved = if new_w > old_w {
+        // Tight-link increase: `u` must keep its distance via a sibling.
+        debug_assert!(du == dv + old_w as Dist);
+        has_alternate_tight_branch(topo, dag, weights, u, link)
+    } else {
+        // Decrease: only the exact-tie case leaves distances alone.
+        dv + new_w as Dist == du
+    };
+    if !distance_preserved {
+        return None;
+    }
+    branches.clear();
+    collect_tight_branches(topo, dag, weights, u, branches);
+    Some(u)
+}
+
+/// Does `u` reach its current distance through some tight out-link
+/// other than `exclude`? (The keeps-distance predicate of the
+/// fast-rebranch / fast-repair increase paths.)
+fn has_alternate_tight_branch(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    weights: &[Weight],
+    u: NodeId,
+    exclude: LinkId,
+) -> bool {
+    let du = dag.dist[u.index()];
+    topo.out_links(u).iter().any(|&lid| {
+        if lid == exclude {
+            return false;
+        }
+        let l = topo.link(lid);
+        let dy = dag.dist[l.dst.index()];
+        dy != UNREACHABLE && du == dy + weights[lid.index()] as Dist
+    })
+}
+
+/// Appends `u`'s tight out-links to `branches` — the **single** scan
+/// (same order, same predicate) behind both [`rebuild_ecmp`] and
+/// [`fast_rebranch`]; the engine's bit-identical contract depends on
+/// these never drifting apart.
+fn collect_tight_branches(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    weights: &[Weight],
+    u: NodeId,
+    branches: &mut Vec<LinkId>,
+) {
+    let du = dag.dist[u.index()];
+    for &lid in topo.out_links(u) {
+        let link = topo.link(lid);
+        let dy = dag.dist[link.dst.index()];
+        if dy != UNREACHABLE && du == dy + weights[lid.index()] as Dist {
+            branches.push(lid);
+        }
+    }
+}
+
+/// Repairs `dag` in place after the weight of `link` changed from
+/// `old_w` to `new_w`. `weights` must hold the **new** weight vector
+/// values (i.e. `weights[link] == new_w`, all other entries as the DAG's
+/// previous weights). Returns `true` if any distance changed (callers
+/// then know load pushes must be redone even for equal-cost-only
+/// membership changes, which also return `true`).
+pub fn apply_weight_delta(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    link: LinkId,
+    old_w: Weight,
+    new_w: Weight,
+    scratch: &mut DynSpfScratch,
+) -> bool {
+    debug_assert_eq!(weights[link.index()], new_w);
+    if old_w == new_w {
+        return false;
+    }
+    let n = topo.node_count();
+    scratch.reset(n);
+
+    let (u, v) = {
+        let l = topo.link(link);
+        (l.src, l.dst)
+    };
+    let dv = dag.dist[v.index()];
+    let du = dag.dist[u.index()];
+
+    if dv == UNREACHABLE {
+        return false;
+    }
+
+    let dists_changed = if new_w > old_w {
+        let was_tight = du != UNREACHABLE && du == dv + old_w as Dist;
+        if !was_tight {
+            return false;
+        }
+        // Fast path: if `u` keeps its distance through another tight
+        // out-link, no distance changes anywhere — the link merely
+        // leaves the DAG at `u` (common with small integer weights,
+        // where ECMP ties abound).
+        if has_alternate_tight_branch(topo, dag, weights, u, link) {
+            rebuild_ecmp(topo, dag, weights, u);
+            return true;
+        }
+        repair_increase(topo, dag, weights, u, scratch)
+    } else {
+        let cand = dv + new_w as Dist;
+        if du != UNREACHABLE && cand > du {
+            return false;
+        }
+        if du != UNREACHABLE && cand == du {
+            // Distances unchanged; the link merely joins the DAG at `u`.
+            rebuild_ecmp(topo, dag, weights, u);
+            return true;
+        }
+        repair_decrease(topo, dag, weights, u, cand, scratch)
+    };
+
+    // Rebuild ECMP membership for every node whose distance changed and
+    // for their in-neighbors (whose tight-link sets reference those
+    // distances), plus `u` itself (the changed link's tail).
+    scratch.mark_recompute(u.0);
+    let changed: Vec<u32> = scratch.touched.clone();
+    for &x in &changed {
+        scratch.mark_recompute(x);
+        for &lid in topo.in_links(NodeId(x)) {
+            scratch.mark_recompute(topo.link(lid).src.0);
+        }
+    }
+    let recompute = std::mem::take(&mut scratch.recompute);
+    for &x in &recompute {
+        scratch.recompute_flag[x as usize] = false;
+        rebuild_ecmp(topo, dag, weights, NodeId(x));
+    }
+    scratch.recompute = recompute;
+    scratch.recompute.clear();
+
+    if dists_changed {
+        // Same stable sort over the same keys as the full computation;
+        // start from the identity permutation so equal-distance ties
+        // land in the same order a fresh compute produces.
+        for (i, x) in dag.order.iter_mut().enumerate() {
+            *x = i as u32;
+        }
+        dag.order.sort_by_key(|&x| Reverse(dag.dist[x as usize]));
+    }
+    true
+}
+
+/// Rebuilds `ecmp_out[x]` by the same out-link scan the full SPF uses.
+fn rebuild_ecmp(topo: &Topology, dag: &mut ShortestPathDag, weights: &[Weight], x: NodeId) {
+    let xi = x.index();
+    let mut branches = std::mem::take(&mut dag.ecmp_out[xi]);
+    branches.clear();
+    if dag.dist[xi] != UNREACHABLE && x != dag.dest {
+        collect_tight_branches(topo, dag, weights, x, &mut branches);
+    }
+    dag.ecmp_out[xi] = branches;
+}
+
+/// Weight increase on a tight link out of `u`: invalidate the ancestor
+/// set of `u` and re-settle it from its boundary. Marks every node whose
+/// distance is invalidated in `scratch.touched` (superset of actually
+/// changed nodes — all get their ECMP rebuilt). Returns whether any
+/// final distance differs.
+fn repair_increase(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    u: NodeId,
+    scratch: &mut DynSpfScratch,
+) -> bool {
+    // Ancestor set S = nodes with a DAG path to u (including u): reverse
+    // BFS over tight in-links. Tightness is judged on the pre-change
+    // distances; the changed link itself points *out of* u and is never
+    // traversed upward.
+    scratch.mark_set(u.0);
+    scratch.stack.push(u.0);
+    while let Some(x) = scratch.stack.pop() {
+        let dx = dag.dist[x as usize];
+        for &lid in topo.in_links(NodeId(x)) {
+            let p = topo.link(lid).src;
+            if scratch.in_set[p.index()] {
+                continue;
+            }
+            let dp = dag.dist[p.index()];
+            if dp != UNREACHABLE && dx != UNREACHABLE && dp == dx + weights[lid.index()] as Dist {
+                scratch.mark_set(p.0);
+                scratch.stack.push(p.0);
+            }
+        }
+    }
+
+    // Snapshot old distances of S, then invalidate.
+    let old: Vec<(u32, Dist)> = scratch
+        .touched
+        .iter()
+        .map(|&x| (x, dag.dist[x as usize]))
+        .collect();
+    for &(x, _) in &old {
+        dag.dist[x as usize] = UNREACHABLE;
+    }
+
+    // Seed the heap from the boundary: for x ∈ S, any out-link to a node
+    // outside S (whose distance is still valid) offers a path.
+    for &(x, _) in &old {
+        for &lid in topo.out_links(NodeId(x)) {
+            let y = topo.link(lid).dst;
+            if scratch.in_set[y.index()] {
+                continue;
+            }
+            let dy = dag.dist[y.index()];
+            if dy == UNREACHABLE {
+                continue;
+            }
+            let cand = dy + weights[lid.index()] as Dist;
+            if cand < dag.dist[x as usize] {
+                dag.dist[x as usize] = cand;
+                scratch.heap.push(Reverse((cand, x)));
+            }
+        }
+    }
+
+    // Dijkstra restricted to S.
+    while let Some(Reverse((d, x))) = scratch.heap.pop() {
+        if d > dag.dist[x as usize] {
+            continue;
+        }
+        for &lid in topo.in_links(NodeId(x)) {
+            let p = topo.link(lid).src;
+            if !scratch.in_set[p.index()] {
+                continue;
+            }
+            let cand = d + weights[lid.index()] as Dist;
+            if cand < dag.dist[p.index()] {
+                dag.dist[p.index()] = cand;
+                scratch.heap.push(Reverse((cand, p.0)));
+            }
+        }
+    }
+
+    old.iter().any(|&(x, d)| dag.dist[x as usize] != d)
+}
+
+/// Weight decrease: propagate the strictly improving candidate
+/// `dist'(u) = cand` upstream. Marks improved nodes in
+/// `scratch.touched`. Returns whether anything improved (always true
+/// when called — the caller pre-checks `cand < dist(u)`).
+fn repair_decrease(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    u: NodeId,
+    cand: Dist,
+    scratch: &mut DynSpfScratch,
+) -> bool {
+    debug_assert!(dag.dist[u.index()] == UNREACHABLE || cand < dag.dist[u.index()]);
+    dag.dist[u.index()] = cand;
+    scratch.mark_set(u.0);
+    scratch.heap.push(Reverse((cand, u.0)));
+    while let Some(Reverse((d, x))) = scratch.heap.pop() {
+        if d > dag.dist[x as usize] {
+            continue;
+        }
+        for &lid in topo.in_links(NodeId(x)) {
+            let p = topo.link(lid).src;
+            let nd = d + weights[lid.index()] as Dist;
+            if nd < dag.dist[p.index()] {
+                dag.dist[p.index()] = nd;
+                scratch.mark_set(p.0);
+                scratch.heap.push(Reverse((nd, p.0)));
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::{TopologyBuilder, WeightVector};
+
+    fn diamond() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(4);
+        b.add_duplex(NodeId(0), NodeId(1), 500.0, 0.001);
+        b.add_duplex(NodeId(0), NodeId(2), 500.0, 0.001);
+        b.add_duplex(NodeId(1), NodeId(3), 500.0, 0.001);
+        b.add_duplex(NodeId(2), NodeId(3), 500.0, 0.001);
+        b.build().unwrap()
+    }
+
+    /// Structural equality against a fresh computation.
+    fn assert_matches_fresh(topo: &Topology, dag: &ShortestPathDag, w: &WeightVector) {
+        let fresh = ShortestPathDag::compute(topo, w, dag.dest);
+        assert_eq!(dag.dist, fresh.dist, "dist mismatch");
+        assert_eq!(dag.ecmp_out, fresh.ecmp_out, "ecmp mismatch");
+        assert_eq!(dag.order, fresh.order, "order mismatch");
+    }
+
+    #[test]
+    fn increase_and_decrease_roundtrip() {
+        let topo = diamond();
+        let mut w = WeightVector::uniform(&topo, 1);
+        let dest = NodeId(3);
+        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let mut scratch = DynSpfScratch::new();
+
+        let l01 = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        // Increase 0→1 from 1 to 5: path via 2 only.
+        w.set(l01, 5);
+        apply_weight_delta(&topo, &mut dag, w.as_slice(), l01, 1, 5, &mut scratch);
+        assert_matches_fresh(&topo, &dag, &w);
+        assert_eq!(dag.ecmp_out[0].len(), 1);
+
+        // Decrease back to 1: ECMP split returns.
+        w.set(l01, 1);
+        apply_weight_delta(&topo, &mut dag, w.as_slice(), l01, 5, 1, &mut scratch);
+        assert_matches_fresh(&topo, &dag, &w);
+        assert_eq!(dag.ecmp_out[0].len(), 2);
+    }
+
+    #[test]
+    fn unaffected_deltas_are_detected() {
+        let topo = diamond();
+        let w = WeightVector::uniform(&topo, 1);
+        let dag = ShortestPathDag::compute(&topo, &w, NodeId(3));
+        // The reverse link 3→0-side weights never matter for paths *to* 3
+        // from 0 unless tight; check a non-tight increase is filtered.
+        let l31 = topo.find_link(NodeId(3), NodeId(1)).unwrap();
+        assert!(!delta_affects_dag(&topo, &dag, l31, 1, 9));
+        // A tight link increase is flagged.
+        let l13 = topo.find_link(NodeId(1), NodeId(3)).unwrap();
+        assert!(delta_affects_dag(&topo, &dag, l13, 1, 2));
+        // A decrease creating a tie is flagged (ECMP membership change).
+        let l02 = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        assert!(!delta_affects_dag(&topo, &dag, l02, 1, 1));
+    }
+
+    #[test]
+    fn randomized_repairs_match_fresh() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 14,
+            directed_links: 56,
+            seed: 11,
+        });
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut w = WeightVector::uniform(&topo, 5);
+        let dest = NodeId(0);
+        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let mut scratch = DynSpfScratch::new();
+        for _ in 0..500 {
+            let lid = LinkId(rng.random_range(0..topo.link_count() as u32));
+            let old = w.get(lid);
+            let new = rng.random_range(1u32..=10);
+            w.set(lid, new);
+            if delta_affects_dag(&topo, &dag, lid, old, new) {
+                apply_weight_delta(&topo, &mut dag, w.as_slice(), lid, old, new, &mut scratch);
+            }
+            assert_matches_fresh(&topo, &dag, &w);
+        }
+    }
+}

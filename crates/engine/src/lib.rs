@@ -1,0 +1,432 @@
+//! # dtr-engine — incremental-SPF batch evaluation for the weight search
+//!
+//! The DTR/STR weight searches (`dtr-core`) evaluate candidate weight
+//! vectors by the hundreds of thousands (`N = 300 000`, `K = 800 000` in
+//! the paper), and every candidate differs from the current solution in
+//! only one or two link weights. The seed implementation nevertheless
+//! paid a full reverse-Dijkstra per destination per candidate. This
+//! crate is the engine that removes that cost:
+//!
+//! - [`dynspf`] — Ramalingam–Reps-style dynamic maintenance of the
+//!   per-destination ECMP shortest-path DAGs: an O(1) per-destination
+//!   filter ([`dynspf::delta_affects_dag`]) plus an affected-region-only
+//!   repair ([`dynspf::apply_weight_delta`]);
+//! - [`state`] — per-destination load contributions with an exact-order
+//!   fold, so patched loads are **bit-identical** to full evaluation;
+//! - [`backend`] — the [`EvalBackend`] trait with [`FullBackend`]
+//!   (recompute everything, rayon-parallel across the batch) and
+//!   [`IncrementalBackend`] (repair only affected destinations)
+//!   implementations;
+//! - [`cache`] — an LRU evaluation cache keyed by weight-vector hash,
+//!   short-circuiting revisited candidates entirely;
+//! - [`BatchEvaluator`] — the facade `dtr-core` drives: per-class batch
+//!   evaluation returning the same [`HighSide`] / [`ClassLoads`] /
+//!   [`Evaluation`] structures the routing evaluator produces.
+//!
+//! ## Equivalence contract
+//!
+//! Both backends produce bit-identical `Evaluation`s for identical
+//! inputs (enforced by proptests in `tests/proptests.rs`), so backend
+//! choice changes wall-clock time, never search trajectories. See
+//! `DESIGN.md` for why this holds and when the incremental backend
+//! internally falls back to full evaluation (diversification jumps that
+//! perturb ~5% of all weights).
+
+pub mod backend;
+pub mod cache;
+pub mod dynspf;
+pub mod state;
+
+pub use backend::{
+    full_candidate_eval, make_backend, BackendKind, EvalBackend, FullBackend, IncrementalBackend,
+};
+pub use cache::{weight_hash, LruCache};
+pub use dynspf::{apply_weight_delta, delta_affects_dag, DynSpfScratch};
+pub use state::{CandidateEval, DestState, FlowState};
+
+use dtr_cost::Objective;
+use dtr_graph::{NodeId, ShortestPathDag, Topology, WeightVector};
+use dtr_routing::{sla_evaluation, ClassLoads, Evaluation, Evaluator, HighSide};
+use dtr_traffic::DemandSet;
+use std::sync::Arc;
+
+/// Default LRU capacity per class cache.
+const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+/// The batch candidate evaluator the searches drive.
+///
+/// Owns one backend per routed side — high class, low class, and the
+/// joint (single-topology) pairing — plus per-class LRU caches and the
+/// underlying [`Evaluator`] used to assemble costs. Backends track a
+/// *base* weight vector (the search's current solution); move the base
+/// with [`Self::rebase_high`] / [`Self::rebase_low`] /
+/// [`Self::rebase_joint`] whenever the search accepts a move, so the
+/// incremental backend's repairs stay small.
+pub struct BatchEvaluator<'a> {
+    evaluator: Evaluator<'a>,
+    kind: BackendKind,
+    topo: &'a Topology,
+    demands: &'a DemandSet,
+    high: LazyBackend<'a>,
+    low: LazyBackend<'a>,
+    joint: LazyBackend<'a>,
+    high_cache: LruCache<HighSide>,
+    low_cache: LruCache<ClassLoads>,
+    joint_cache: LruCache<Evaluation>,
+}
+
+/// A backend constructed on first use. `DtrSearch` never touches the
+/// joint backend and `StrSearch` never touches the per-class ones;
+/// building eagerly would pay a full SPF sweep per unused side at every
+/// search construction (experiments build searches in tight loops).
+struct LazyBackend<'a> {
+    kind: BackendKind,
+    topo: &'a Topology,
+    matrices: Vec<&'a dtr_traffic::TrafficMatrix>,
+    /// Base tracked while the backend doesn't exist yet.
+    base: WeightVector,
+    backend: Option<Box<dyn EvalBackend + 'a>>,
+}
+
+impl<'a> LazyBackend<'a> {
+    fn new(
+        kind: BackendKind,
+        topo: &'a Topology,
+        matrices: Vec<&'a dtr_traffic::TrafficMatrix>,
+        base: WeightVector,
+    ) -> Self {
+        LazyBackend {
+            kind,
+            topo,
+            matrices,
+            base,
+            backend: None,
+        }
+    }
+
+    fn get(&mut self) -> &mut (dyn EvalBackend + 'a) {
+        if self.backend.is_none() {
+            self.backend = Some(make_backend(
+                self.kind,
+                self.topo,
+                self.matrices.clone(),
+                self.base.clone(),
+            ));
+        }
+        self.backend.as_mut().unwrap().as_mut()
+    }
+
+    fn rebase(&mut self, w: &WeightVector) {
+        match &mut self.backend {
+            Some(b) => b.rebase(w),
+            None => self.base = w.clone(),
+        }
+    }
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// Binds the problem instance and builds backends of `kind`, all
+    /// based at uniform weight 1 (rebase before use if starting
+    /// elsewhere).
+    pub fn new(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        objective: Objective,
+        kind: BackendKind,
+    ) -> Self {
+        let w0 = WeightVector::uniform(topo, 1);
+        BatchEvaluator {
+            evaluator: Evaluator::new(topo, demands, objective),
+            kind,
+            topo,
+            demands,
+            high: LazyBackend::new(kind, topo, vec![&demands.high], w0.clone()),
+            low: LazyBackend::new(kind, topo, vec![&demands.low], w0.clone()),
+            joint: LazyBackend::new(kind, topo, vec![&demands.high, &demands.low], w0),
+            high_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+            low_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+            joint_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// The backend kind in use.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The underlying cost evaluator (for `finish`, `link_ranks`,
+    /// `eval_dual`, …).
+    pub fn evaluator(&mut self) -> &mut Evaluator<'a> {
+        &mut self.evaluator
+    }
+
+    /// The bound topology.
+    pub fn topo(&self) -> &'a Topology {
+        self.topo
+    }
+
+    /// The bound demand set.
+    pub fn demands(&self) -> &'a DemandSet {
+        self.demands
+    }
+
+    /// Whether the SLA walk should reuse backend-provided DAGs. Both
+    /// backends can supply them (the full backend computes every DAG for
+    /// its load push anyway), which saves the `HighSide` assembly from
+    /// re-running one Dijkstra per high destination per candidate.
+    fn want_dags(&self) -> bool {
+        matches!(self.evaluator.objective(), Objective::SlaBased(_))
+    }
+
+    /// Assembles a [`HighSide`] from candidate loads, reusing candidate
+    /// DAGs for the SLA walk when the backend provided them.
+    fn make_high_side(
+        &mut self,
+        loads: ClassLoads,
+        wh: &WeightVector,
+        dags: &[(NodeId, Arc<ShortestPathDag>)],
+    ) -> HighSide {
+        match self.evaluator.objective() {
+            Objective::SlaBased(params) if !dags.is_empty() => {
+                let mut by_node: Vec<Option<&Arc<ShortestPathDag>>> =
+                    vec![None; self.topo.node_count()];
+                for (t, dag) in dags {
+                    by_node[t.index()] = Some(dag);
+                }
+                let sla = sla_evaluation(
+                    self.topo,
+                    &self.demands.high,
+                    self.evaluator.high_dests(),
+                    &loads,
+                    &params,
+                    |t| {
+                        by_node[t.index()]
+                            .expect("backend DAGs cover every high destination")
+                            .clone()
+                    },
+                );
+                self.evaluator.high_side_with_sla(loads, Some(sla))
+            }
+            _ => self.evaluator.high_side_from_loads(loads, wh),
+        }
+    }
+
+    /// Evaluates one high-class candidate.
+    pub fn eval_high(&mut self, wh: &WeightVector) -> HighSide {
+        self.eval_high_batch(std::slice::from_ref(wh))
+            .pop()
+            .unwrap()
+    }
+
+    /// Evaluates a batch of high-class candidates (cache first, then the
+    /// backend for the misses), preserving order.
+    pub fn eval_high_batch(&mut self, cands: &[WeightVector]) -> Vec<HighSide> {
+        let want_dags = self.want_dags();
+        let mut out: Vec<Option<HighSide>> = cands.iter().map(|w| self.high_cache.get(w)).collect();
+        let misses: Vec<usize> = (0..cands.len()).filter(|&i| out[i].is_none()).collect();
+        if !misses.is_empty() {
+            let (uniq, alias) = dedupe(cands, &misses);
+            let miss_cands: Vec<WeightVector> = uniq.iter().map(|&i| cands[i].clone()).collect();
+            let evals = self.high.get().eval_batch(&miss_cands, want_dags);
+            let mut values: Vec<HighSide> = Vec::with_capacity(uniq.len());
+            for (&i, mut ev) in uniq.iter().zip(evals) {
+                let loads = ev.loads.swap_remove(0);
+                let hs = self.make_high_side(loads, &cands[i], &ev.dags);
+                self.high_cache.put(&cands[i], hs.clone());
+                values.push(hs);
+            }
+            for (k, &i) in misses.iter().enumerate() {
+                out[i] = Some(values[alias[k]].clone());
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Evaluates one low-class candidate.
+    pub fn eval_low(&mut self, wl: &WeightVector) -> ClassLoads {
+        self.eval_low_batch(std::slice::from_ref(wl)).pop().unwrap()
+    }
+
+    /// Evaluates a batch of low-class candidates.
+    pub fn eval_low_batch(&mut self, cands: &[WeightVector]) -> Vec<ClassLoads> {
+        let mut out: Vec<Option<ClassLoads>> =
+            cands.iter().map(|w| self.low_cache.get(w)).collect();
+        let misses: Vec<usize> = (0..cands.len()).filter(|&i| out[i].is_none()).collect();
+        if !misses.is_empty() {
+            let (uniq, alias) = dedupe(cands, &misses);
+            let miss_cands: Vec<WeightVector> = uniq.iter().map(|&i| cands[i].clone()).collect();
+            let evals = self.low.get().eval_batch(&miss_cands, false);
+            let mut values: Vec<ClassLoads> = Vec::with_capacity(uniq.len());
+            for (&i, mut ev) in uniq.iter().zip(evals) {
+                let loads = ev.loads.swap_remove(0);
+                self.low_cache.put(&cands[i], loads.clone());
+                values.push(loads);
+            }
+            for (k, &i) in misses.iter().enumerate() {
+                out[i] = Some(values[alias[k]].clone());
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Evaluates one joint (single-topology) candidate.
+    pub fn eval_joint(&mut self, w: &WeightVector) -> Evaluation {
+        self.eval_joint_batch(std::slice::from_ref(w))
+            .pop()
+            .unwrap()
+    }
+
+    /// Evaluates a batch of joint candidates: both classes ride `w`, and
+    /// the returned [`Evaluation`] matches `Evaluator::eval_str(w)`
+    /// bit-for-bit.
+    pub fn eval_joint_batch(&mut self, cands: &[WeightVector]) -> Vec<Evaluation> {
+        let want_dags = self.want_dags();
+        let mut out: Vec<Option<Evaluation>> =
+            cands.iter().map(|w| self.joint_cache.get(w)).collect();
+        let misses: Vec<usize> = (0..cands.len()).filter(|&i| out[i].is_none()).collect();
+        if !misses.is_empty() {
+            let (uniq, alias) = dedupe(cands, &misses);
+            let miss_cands: Vec<WeightVector> = uniq.iter().map(|&i| cands[i].clone()).collect();
+            let evals = self.joint.get().eval_batch(&miss_cands, want_dags);
+            let mut values: Vec<Evaluation> = Vec::with_capacity(uniq.len());
+            for (&i, mut ev) in uniq.iter().zip(evals) {
+                let low_loads = ev.loads.swap_remove(1);
+                let high_loads = ev.loads.swap_remove(0);
+                let high = self.make_high_side(high_loads, &cands[i], &ev.dags);
+                let evaluation = self.evaluator.finish(high, low_loads);
+                self.joint_cache.put(&cands[i], evaluation.clone());
+                values.push(evaluation);
+            }
+            for (k, &i) in misses.iter().enumerate() {
+                out[i] = Some(values[alias[k]].clone());
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Moves the high-class base (the search accepted a move).
+    pub fn rebase_high(&mut self, wh: &WeightVector) {
+        self.high.rebase(wh);
+    }
+
+    /// Moves the low-class base.
+    pub fn rebase_low(&mut self, wl: &WeightVector) {
+        self.low.rebase(wl);
+    }
+
+    /// Moves the joint base.
+    pub fn rebase_joint(&mut self, w: &WeightVector) {
+        self.joint.rebase(w);
+    }
+
+    /// `(hits, misses)` summed over the three class caches.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let (h1, m1) = self.high_cache.stats();
+        let (h2, m2) = self.low_cache.stats();
+        let (h3, m3) = self.joint_cache.stats();
+        (h1 + h2 + h3, m1 + m2 + m3)
+    }
+}
+
+/// Deduplicates cache misses within one batch: the neighborhood sampler
+/// can draw identical candidates twice in an iteration, and evaluating
+/// them once is free coverage. Returns the first-occurrence indices
+/// (into `cands`) and, per miss, the position of its representative in
+/// that unique list. Quadratic in the miss count, which is bounded by
+/// the neighborhood size (≤ a few dozen).
+fn dedupe(cands: &[WeightVector], misses: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut uniq: Vec<usize> = Vec::with_capacity(misses.len());
+    let mut alias: Vec<usize> = Vec::with_capacity(misses.len());
+    for &i in misses {
+        match uniq.iter().position(|&j| cands[j] == cands[i]) {
+            Some(p) => alias.push(p),
+            None => {
+                alias.push(uniq.len());
+                uniq.push(i);
+            }
+        }
+    }
+    (uniq, alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+    use dtr_traffic::TrafficCfg;
+
+    fn instance(seed: u64) -> (Topology, DemandSet) {
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
+        (topo, demands)
+    }
+
+    #[test]
+    fn backends_agree_on_joint_eval() {
+        let (topo, demands) = instance(4);
+        let w = WeightVector::uniform(&topo, 2);
+        for objective in [Objective::LoadBased, Objective::sla_default()] {
+            let mut full = BatchEvaluator::new(&topo, &demands, objective, BackendKind::Full);
+            let mut incr =
+                BatchEvaluator::new(&topo, &demands, objective, BackendKind::Incremental);
+            let a = full.eval_joint(&w);
+            let b = incr.eval_joint(&w);
+            assert_eq!(a, b);
+            // And against the plain evaluator.
+            let mut ev = Evaluator::new(&topo, &demands, objective);
+            assert_eq!(ev.eval_str(&w), a);
+        }
+    }
+
+    #[test]
+    fn cache_short_circuits_repeats() {
+        let (topo, demands) = instance(6);
+        let w = WeightVector::uniform(&topo, 1);
+        let mut engine = BatchEvaluator::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            BackendKind::Incremental,
+        );
+        let a = engine.eval_low(&w);
+        let b = engine.eval_low(&w);
+        assert_eq!(a, b);
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn high_batch_matches_evaluator() {
+        let (topo, demands) = instance(9);
+        let mut engine = BatchEvaluator::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            BackendKind::Incremental,
+        );
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let mut cands = Vec::new();
+        for i in 0..5u32 {
+            let mut w = WeightVector::uniform(&topo, 1);
+            w.set(dtr_graph::LinkId(i), 5 + i);
+            cands.push(w);
+        }
+        let batch = engine.eval_high_batch(&cands);
+        for (w, hs) in cands.iter().zip(&batch) {
+            let reference = ev.eval_high_side(w);
+            assert_eq!(&reference, hs);
+        }
+    }
+}

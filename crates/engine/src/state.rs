@@ -1,0 +1,493 @@
+//! Per-class incremental flow state: one dynamically maintained ECMP DAG
+//! and per-matrix load contribution per destination, plus the exact-order
+//! fold that rebuilds aggregate class loads bit-identically to
+//! [`dtr_routing::LoadCalculator`].
+//!
+//! # Why a fold instead of a running aggregate
+//!
+//! Patching an aggregate load vector (`agg += new − old`) would be
+//! cheapest, but floating-point addition is not associative, so patched
+//! aggregates drift (bit-wise) from what a full evaluation produces —
+//! and the engine's contract is **bit-identical** results under both
+//! backends. The full calculator accumulates destination contributions
+//! in ascending destination order; summing the cached per-destination
+//! contribution vectors in that same order reproduces the identical
+//! floating-point operation sequence per link, while still skipping the
+//! expensive part (Dijkstra + DAG push) for unaffected destinations.
+//! The fold is `O(dests · links)` of pure adds — vectorizable and an
+//! order of magnitude cheaper than the SPF work it replaces.
+
+use crate::dynspf::{apply_weight_delta, delta_affects_dag, fast_rebranch, DynSpfScratch};
+use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, Weight, WeightVector};
+use dtr_routing::{push_demand_down_dag, push_demand_down_dag_with, ClassLoads};
+use dtr_traffic::TrafficMatrix;
+use std::sync::Arc;
+
+/// A single weight change `(link, new_weight)`.
+pub type WeightDelta = (LinkId, Weight);
+
+/// Per-destination cached state.
+#[derive(Debug, Clone)]
+pub struct DestState {
+    /// The destination node.
+    pub dest: NodeId,
+    /// The ECMP DAG towards `dest` under the current base weights.
+    /// `Arc` so unaffected candidates can share it without copying.
+    pub dag: Arc<ShortestPathDag>,
+    /// Per-matrix load contribution of this destination (empty vec for
+    /// matrices with no demand towards `dest`).
+    pub contrib: Vec<ClassLoads>,
+}
+
+/// The incremental evaluation state of one routed class (or of two
+/// classes sharing a weight vector, for single-topology routing).
+pub struct FlowState<'a> {
+    topo: &'a Topology,
+    /// The traffic matrices routed on this weight vector (1 for a DTR
+    /// class, 2 for STR joint evaluation).
+    matrices: Vec<&'a TrafficMatrix>,
+    /// The base weight vector the cached DAGs reflect.
+    base: WeightVector,
+    /// Cached per-destination state, ascending destination order, only
+    /// destinations with demand in at least one matrix.
+    dests: Vec<DestState>,
+    /// Scratch for DAG repairs.
+    scratch: DynSpfScratch,
+    /// Scratch weight slice for sequenced delta application.
+    work_weights: Vec<Weight>,
+    /// Scratch per-node flow buffer for load pushes.
+    node_flow: Vec<f64>,
+    /// Scratch branch list for single-node ECMP overrides.
+    branch_buf: Vec<LinkId>,
+}
+
+/// The outcome of evaluating one candidate against the base state:
+/// per-matrix aggregate loads plus (shared or repaired) per-destination
+/// DAGs for consumers that need them (the SLA walk).
+pub struct CandidateEval {
+    /// Aggregate loads per bound matrix, bit-identical to a full
+    /// evaluation of the candidate weights.
+    pub loads: Vec<ClassLoads>,
+    /// `(dest, dag)` for every destination in the state, ascending;
+    /// unaffected destinations share the base `Arc`.
+    pub dags: Vec<(NodeId, Arc<ShortestPathDag>)>,
+}
+
+impl<'a> FlowState<'a> {
+    /// Builds the full state for `matrices` routed on `base`.
+    pub fn new(topo: &'a Topology, matrices: Vec<&'a TrafficMatrix>, base: WeightVector) -> Self {
+        assert!(!matrices.is_empty());
+        assert_eq!(base.len(), topo.link_count());
+        let mut state = FlowState {
+            topo,
+            matrices,
+            base,
+            dests: Vec::new(),
+            scratch: DynSpfScratch::new(),
+            work_weights: Vec::new(),
+            node_flow: Vec::new(),
+            branch_buf: Vec::new(),
+        };
+        state.rebuild_all();
+        state
+    }
+
+    /// The base weight vector.
+    pub fn base(&self) -> &WeightVector {
+        &self.base
+    }
+
+    /// The cached destination states (ascending destination order).
+    pub fn dests(&self) -> &[DestState] {
+        &self.dests
+    }
+
+    /// Full rebuild of every destination state from `self.base`.
+    fn rebuild_all(&mut self) {
+        let topo = self.topo;
+        let mut ws = dtr_graph::SpfWorkspace::new();
+        self.dests.clear();
+        for t in topo.nodes() {
+            let any = self
+                .matrices
+                .iter()
+                .any(|m| m.demands_to(t.index()).next().is_some());
+            if !any {
+                continue;
+            }
+            let dag = ShortestPathDag::compute_with(topo, &self.base, t, None, &mut ws);
+            let contrib = Self::contributions(topo, &self.matrices, &dag, t, &mut self.node_flow);
+            self.dests.push(DestState {
+                dest: t,
+                dag: Arc::new(dag),
+                contrib,
+            });
+        }
+    }
+
+    /// Per-matrix contribution vectors of one destination's DAG.
+    fn contributions(
+        topo: &Topology,
+        matrices: &[&TrafficMatrix],
+        dag: &ShortestPathDag,
+        t: NodeId,
+        node_flow: &mut Vec<f64>,
+    ) -> Vec<ClassLoads> {
+        matrices
+            .iter()
+            .map(|m| {
+                if m.demands_to(t.index()).next().is_none() {
+                    Vec::new()
+                } else {
+                    let mut out = vec![0.0; topo.link_count()];
+                    push_demand_down_dag(topo, dag, m, t, node_flow, &mut out);
+                    out
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregates per-destination contributions in ascending destination
+    /// order — the same per-link addition sequence the full calculator
+    /// executes. `overrides` supplies replacement states for affected
+    /// destinations (parallel to `self.dests`, `None` = use cached).
+    fn fold(&self, overrides: &[Option<DestState>]) -> Vec<ClassLoads> {
+        let m = self.topo.link_count();
+        let mut out: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
+        for (i, ds) in self.dests.iter().enumerate() {
+            let state = overrides.get(i).and_then(|o| o.as_ref()).unwrap_or(ds);
+            for (j, contrib) in state.contrib.iter().enumerate() {
+                if contrib.is_empty() {
+                    continue;
+                }
+                let agg = &mut out[j];
+                for (a, c) in agg.iter_mut().zip(contrib) {
+                    *a += c;
+                }
+            }
+        }
+        out
+    }
+
+    /// The diff between `cand` and the base, as ordered deltas.
+    pub fn diff(&self, cand: &WeightVector) -> Vec<WeightDelta> {
+        let mut deltas = Vec::new();
+        for i in 0..self.base.len() {
+            let lid = LinkId(i as u32);
+            if cand.get(lid) != self.base.get(lid) {
+                deltas.push((lid, cand.get(lid)));
+            }
+        }
+        deltas
+    }
+
+    /// Evaluates `cand` against the base **without committing**.
+    /// Returns `None` when the delta count exceeds `max_deltas` — the
+    /// caller should fall back to a full evaluation (diversification
+    /// jumps perturb ~5% of all weights, where repairing link-by-link
+    /// would cost more than recomputing).
+    ///
+    /// The hot path is allocation-light: destinations an affecting delta
+    /// touches are repaired on one reused scratch DAG (`clone_from`
+    /// recycles its buffers) and their demand is pushed **directly into
+    /// the fold accumulator** — the identical per-link add sequence the
+    /// full calculator executes, so results stay bit-identical.
+    /// Unaffected destinations contribute their cached vectors instead
+    /// of an SPF run. Per-destination DAGs are materialized only when
+    /// `want_dags` is set (the SLA walk needs them).
+    pub fn eval_candidate(
+        &mut self,
+        cand: &WeightVector,
+        max_deltas: usize,
+        want_dags: bool,
+    ) -> Option<CandidateEval> {
+        let deltas = self.diff(cand);
+        if deltas.len() > max_deltas {
+            return None;
+        }
+        let topo = self.topo;
+        let m = topo.link_count();
+
+        // Weight stages: stage k = base with deltas[0..k] applied.
+        // Checking/applying delta k against a DAG that reflects stage k
+        // needs exactly stage k's old value and stage k+1's slice (the
+        // deltas touch distinct links, so stage k's old value for link k
+        // is the base value).
+        self.work_weights.clear();
+        self.work_weights.extend_from_slice(self.base.as_slice());
+        let mut stages: Vec<Vec<Weight>> = Vec::with_capacity(deltas.len());
+        for &(lid, new_w) in &deltas {
+            self.work_weights[lid.index()] = new_w;
+            stages.push(self.work_weights.clone());
+        }
+        debug_assert!(stages.is_empty() || stages.last().unwrap() == cand.as_slice());
+
+        let mut loads: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
+        let mut dags: Vec<(NodeId, Arc<ShortestPathDag>)> = Vec::new();
+        let mut scratch_dag: Option<ShortestPathDag> = None;
+
+        for ds in &self.dests {
+            // Find the first delta that affects this destination. All
+            // checks up to that point run against the still-valid cached
+            // DAG.
+            let mut first_hit = None;
+            for (k, &(lid, new_w)) in deltas.iter().enumerate() {
+                if delta_affects_dag(topo, &ds.dag, lid, self.base.get(lid), new_w) {
+                    first_hit = Some(k);
+                    break;
+                }
+            }
+
+            // Fast path: exactly one delta can affect this destination
+            // (the first hit is the last delta) and its entire effect is
+            // an ECMP-membership change at the link's tail — push down
+            // the *cached* DAG with a one-node branch override, no copy.
+            // Tightness under the final weights is unchanged for the
+            // non-affecting deltas, so the final slice is valid here.
+            if first_hit.is_some_and(|k| k + 1 == deltas.len()) {
+                let (lid, new_w) = deltas[deltas.len() - 1];
+                if let Some(u) = fast_rebranch(
+                    topo,
+                    &ds.dag,
+                    cand.as_slice(),
+                    lid,
+                    self.base.get(lid),
+                    new_w,
+                    &mut self.branch_buf,
+                ) {
+                    for (j, mm) in self.matrices.iter().enumerate() {
+                        if mm.demands_to(ds.dest.index()).next().is_none() {
+                            continue;
+                        }
+                        push_demand_down_dag_with(
+                            topo,
+                            &ds.dag,
+                            mm,
+                            ds.dest,
+                            &mut self.node_flow,
+                            &mut loads[j],
+                            Some((u.0, &self.branch_buf)),
+                        );
+                    }
+                    if want_dags {
+                        let mut patched = ds.dag.as_ref().clone();
+                        patched.ecmp_out[u.index()] = self.branch_buf.clone();
+                        dags.push((ds.dest, Arc::new(patched)));
+                    }
+                    continue;
+                }
+            }
+
+            // General path: clone into the reusable scratch DAG and
+            // apply the delta sequence.
+            let mut repaired = false;
+            if let Some(k0) = first_hit {
+                for (k, &(lid, new_w)) in deltas.iter().enumerate().skip(k0) {
+                    let old_w = self.base.get(lid);
+                    let current: &ShortestPathDag = if repaired {
+                        scratch_dag.as_ref().unwrap()
+                    } else {
+                        &ds.dag
+                    };
+                    if !delta_affects_dag(topo, current, lid, old_w, new_w) {
+                        continue;
+                    }
+                    if !repaired {
+                        match &mut scratch_dag {
+                            Some(buf) => buf.clone_from(&ds.dag),
+                            None => scratch_dag = Some(ds.dag.as_ref().clone()),
+                        }
+                        repaired = true;
+                    }
+                    apply_weight_delta(
+                        topo,
+                        scratch_dag.as_mut().unwrap(),
+                        &stages[k],
+                        lid,
+                        old_w,
+                        new_w,
+                        &mut self.scratch,
+                    );
+                }
+            }
+
+            if repaired {
+                // Push demand straight into the accumulators — the same
+                // add sequence the full calculator performs at this
+                // destination's position.
+                let dag = scratch_dag.as_ref().unwrap();
+                for (j, mm) in self.matrices.iter().enumerate() {
+                    if mm.demands_to(ds.dest.index()).next().is_none() {
+                        continue;
+                    }
+                    push_demand_down_dag(
+                        topo,
+                        dag,
+                        mm,
+                        ds.dest,
+                        &mut self.node_flow,
+                        &mut loads[j],
+                    );
+                }
+                if want_dags {
+                    dags.push((ds.dest, Arc::new(dag.clone())));
+                }
+            } else {
+                for (j, contrib) in ds.contrib.iter().enumerate() {
+                    if contrib.is_empty() {
+                        continue;
+                    }
+                    let agg = &mut loads[j];
+                    for (a, c) in agg.iter_mut().zip(contrib) {
+                        *a += c;
+                    }
+                }
+                if want_dags {
+                    dags.push((ds.dest, ds.dag.clone()));
+                }
+            }
+        }
+
+        Some(CandidateEval { loads, dags })
+    }
+
+    /// Moves the base to `new_base`, repairing cached destination states
+    /// incrementally when the delta is small and rebuilding from scratch
+    /// otherwise.
+    pub fn rebase(&mut self, new_base: &WeightVector, max_deltas: usize) {
+        let deltas = self.diff(new_base);
+        if deltas.is_empty() {
+            return;
+        }
+        if deltas.len() > max_deltas {
+            self.base = new_base.clone();
+            self.rebuild_all();
+            return;
+        }
+        self.work_weights.clear();
+        self.work_weights.extend_from_slice(self.base.as_slice());
+        let mut dirty = vec![false; self.dests.len()];
+        for &(lid, new_w) in &deltas {
+            let old_w = self.work_weights[lid.index()];
+            self.work_weights[lid.index()] = new_w;
+            for (i, ds) in self.dests.iter_mut().enumerate() {
+                if !delta_affects_dag(self.topo, &ds.dag, lid, old_w, new_w) {
+                    continue;
+                }
+                apply_weight_delta(
+                    self.topo,
+                    Arc::make_mut(&mut ds.dag),
+                    &self.work_weights,
+                    lid,
+                    old_w,
+                    new_w,
+                    &mut self.scratch,
+                );
+                dirty[i] = true;
+            }
+        }
+        self.base = new_base.clone();
+        for (i, ds) in self.dests.iter_mut().enumerate() {
+            if dirty[i] {
+                ds.contrib = Self::contributions(
+                    self.topo,
+                    &self.matrices,
+                    &ds.dag,
+                    ds.dest,
+                    &mut self.node_flow,
+                );
+            }
+        }
+    }
+
+    /// Aggregate loads at the current base (exact fold, no repairs).
+    pub fn base_loads(&self) -> Vec<ClassLoads> {
+        self.fold(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+    use dtr_routing::LoadCalculator;
+    use dtr_traffic::{DemandSet, TrafficCfg};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(seed: u64) -> (Topology, DemandSet) {
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 12,
+            directed_links: 48,
+            seed,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed,
+                ..Default::default()
+            },
+        );
+        (topo, demands)
+    }
+
+    #[test]
+    fn base_fold_matches_full_calculator_bitwise() {
+        let (topo, demands) = instance(3);
+        let w = WeightVector::uniform(&topo, 7);
+        let state = FlowState::new(&topo, vec![&demands.high], w.clone());
+        let full = LoadCalculator::new().class_loads(&topo, &w, &demands.high);
+        assert_eq!(state.base_loads()[0], full);
+    }
+
+    #[test]
+    fn joint_fold_matches_joint_loads_bitwise() {
+        let (topo, demands) = instance(5);
+        let w = WeightVector::uniform(&topo, 3);
+        let state = FlowState::new(&topo, vec![&demands.high, &demands.low], w.clone());
+        let (fh, fl) = LoadCalculator::new().joint_loads(&topo, &w, &demands.high, &demands.low);
+        let loads = state.base_loads();
+        assert_eq!(loads[0], fh);
+        assert_eq!(loads[1], fl);
+    }
+
+    #[test]
+    fn candidate_evals_match_full_bitwise() {
+        let (topo, demands) = instance(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let w = WeightVector::uniform(&topo, 5);
+        let mut state = FlowState::new(&topo, vec![&demands.low], w.clone());
+        let mut calc = LoadCalculator::new();
+        for _ in 0..200 {
+            let mut cand = w.clone();
+            for _ in 0..rng.random_range(1usize..=2) {
+                let lid = LinkId(rng.random_range(0..topo.link_count() as u32));
+                cand.set(lid, rng.random_range(1u32..=30));
+            }
+            let ev = state.eval_candidate(&cand, 4, false).unwrap();
+            let full = calc.class_loads(&topo, &cand, &demands.low);
+            assert_eq!(ev.loads[0], full);
+        }
+    }
+
+    #[test]
+    fn rebase_walks_match_full() {
+        let (topo, demands) = instance(2);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut w = WeightVector::uniform(&topo, 9);
+        let mut state = FlowState::new(&topo, vec![&demands.high], w.clone());
+        let mut calc = LoadCalculator::new();
+        for step in 0..100 {
+            let mut next = w.clone();
+            let count = if step % 10 == 0 { 12 } else { 2 }; // force both paths
+            for _ in 0..count {
+                let lid = LinkId(rng.random_range(0..topo.link_count() as u32));
+                next.set(lid, rng.random_range(1u32..=30));
+            }
+            state.rebase(&next, 4);
+            w = next;
+            let full = calc.class_loads(&topo, &w, &demands.high);
+            assert_eq!(state.base_loads()[0], full, "step {step}");
+        }
+    }
+}

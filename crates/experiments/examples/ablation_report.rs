@@ -24,7 +24,10 @@ fn main() {
         });
         println!("tau={tau}: mean cost ⟨{h:.0}, {l:.0}⟩");
     }
-    for (label, g) in [("paper_g", (0.05, 0.05, 0.03)), ("no_diversification", (0.0, 0.0, 0.0))] {
+    for (label, g) in [
+        ("paper_g", (0.05, 0.05, 0.03)),
+        ("no_diversification", (0.0, 0.0, 0.0)),
+    ] {
         let (h, l) = mean(&|s| {
             let mut p = SearchParams::experiment().with_seed(s);
             (p.g1, p.g2, p.g3) = g;

@@ -171,13 +171,20 @@ mod tests {
                 let a = dtr_cost::Lex2::new(w[0].1, w[0].2);
                 let b = dtr_cost::Lex2::new(w[1].1, w[1].2);
                 assert!(b <= a, "{}: cost rose along the curve", c.strategy);
-                assert!(w[1].0 >= w[0].0, "{}: evaluations went backwards", c.strategy);
+                assert!(
+                    w[1].0 >= w[0].0,
+                    "{}: evaluations went backwards",
+                    c.strategy
+                );
             }
             assert!(c.evals_to_last_improvement() <= c.total_evaluations);
         }
         // DTR's Φ_L floor undercuts every STR strategy on this instance.
         let dtr = curves.iter().find(|c| c.strategy == "dtr").unwrap();
-        let ls = curves.iter().find(|c| c.strategy == "local-search").unwrap();
+        let ls = curves
+            .iter()
+            .find(|c| c.strategy == "local-search")
+            .unwrap();
         assert!(dtr.final_cost().1 <= ls.final_cost().1 * 1.5);
 
         assert_eq!(table(&curves).rows.len(), 6);

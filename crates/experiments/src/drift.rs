@@ -147,7 +147,10 @@ mod tests {
         // At zero drift the ratio is the optimized one; under drift it
         // may decay but DTR should stay ahead at moderate drift.
         assert!(pts[0].r_l > 1.0, "{pts:?}");
-        assert!(pts[1].r_l > 1.0, "expected advantage at ±20% drift: {pts:?}");
+        assert!(
+            pts[1].r_l > 1.0,
+            "expected advantage at ±20% drift: {pts:?}"
+        );
         for p in &pts {
             assert!(p.str_phi_l > 0.0 && p.dtr_phi_l > 0.0);
         }

@@ -25,7 +25,9 @@ use crate::runner::{demands_random_model, gamma_grid, ExperimentCtx, TopologyKin
 use dtr_core::{DtrSearch, Objective, StrSearch};
 use dtr_graph::weights::DualWeights;
 use dtr_graph::WeightVector;
-use dtr_routing::{gravity_prior, l1_error, tomogravity, Evaluator, LoadCalculator, RoutingMatrix, TomoCfg};
+use dtr_routing::{
+    gravity_prior, l1_error, tomogravity, Evaluator, LoadCalculator, RoutingMatrix, TomoCfg,
+};
 use dtr_traffic::{DemandSet, TrafficMatrix};
 use serde::{Deserialize, Serialize};
 
@@ -144,7 +146,13 @@ pub fn run(ctx: &ExperimentCtx) -> EstimationStudy {
 pub fn quality_table(study: &EstimationStudy) -> Table {
     let mut t = Table::new(
         "Tomogravity estimation quality (random topology, uniform measurement weights)",
-        &["class", "prior_l1_error", "estimate_l1_error", "link_residual", "mart_epochs"],
+        &[
+            "class",
+            "prior_l1_error",
+            "estimate_l1_error",
+            "link_residual",
+            "mart_epochs",
+        ],
     );
     for (name, q) in [("high", &study.high), ("low", &study.low)] {
         t.row(vec![

@@ -58,7 +58,11 @@ pub fn run_panel(
 pub fn run_all(ctx: &ExperimentCtx, cfg: &Fig2Cfg) -> Vec<Fig2Panel> {
     let mut panels = Vec::with_capacity(6);
     for objective in [Objective::LoadBased, Objective::sla_default()] {
-        for kind in [TopologyKind::Random, TopologyKind::PowerLaw, TopologyKind::Isp] {
+        for kind in [
+            TopologyKind::Random,
+            TopologyKind::PowerLaw,
+            TopologyKind::Isp,
+        ] {
             panels.push(run_panel(ctx, kind, objective, cfg));
         }
     }
@@ -73,7 +77,15 @@ pub fn table(panel: &Fig2Panel) -> Table {
             panel.topology.name(),
             panel.objective
         ),
-        &["avg_util", "R_H", "R_L", "str_primary", "dtr_primary", "str_phi_l", "dtr_phi_l"],
+        &[
+            "avg_util",
+            "R_H",
+            "R_L",
+            "str_primary",
+            "dtr_primary",
+            "str_phi_l",
+            "dtr_phi_l",
+        ],
     );
     for p in &panel.points {
         t.row(vec![
@@ -96,7 +108,12 @@ mod tests {
     #[test]
     fn smoke_panel_runs_and_renders() {
         let ctx = ExperimentCtx::smoke();
-        let panel = run_panel(&ctx, TopologyKind::Isp, Objective::LoadBased, &Fig2Cfg::default());
+        let panel = run_panel(
+            &ctx,
+            TopologyKind::Isp,
+            Objective::LoadBased,
+            &Fig2Cfg::default(),
+        );
         assert_eq!(panel.points.len(), 2);
         // Load increases across the sweep.
         assert!(panel.points[0].avg_util < panel.points[1].avg_util);
@@ -108,7 +125,12 @@ mod tests {
     #[test]
     fn ratios_are_positive() {
         let ctx = ExperimentCtx::smoke();
-        let panel = run_panel(&ctx, TopologyKind::Isp, Objective::sla_default(), &Fig2Cfg::default());
+        let panel = run_panel(
+            &ctx,
+            TopologyKind::Isp,
+            Objective::sla_default(),
+            &Fig2Cfg::default(),
+        );
         for p in &panel.points {
             assert!(p.r_h > 0.0 && p.r_h.is_finite());
             assert!(p.r_l > 0.0 && p.r_l.is_finite());

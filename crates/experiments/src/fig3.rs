@@ -85,9 +85,27 @@ pub fn run_panel(
 /// Runs all three panels.
 pub fn run_all(ctx: &ExperimentCtx) -> Vec<Fig3Panel> {
     vec![
-        run_panel(ctx, 0.10, Objective::LoadBased, "(a) k=10%, load-based", 0.65),
-        run_panel(ctx, 0.10, Objective::sla_default(), "(b) k=10%, SLA-based", 0.65),
-        run_panel(ctx, 0.30, Objective::sla_default(), "(c) k=30%, SLA-based", 0.65),
+        run_panel(
+            ctx,
+            0.10,
+            Objective::LoadBased,
+            "(a) k=10%, load-based",
+            0.65,
+        ),
+        run_panel(
+            ctx,
+            0.10,
+            Objective::sla_default(),
+            "(b) k=10%, SLA-based",
+            0.65,
+        ),
+        run_panel(
+            ctx,
+            0.30,
+            Objective::sla_default(),
+            "(c) k=30%, SLA-based",
+            0.65,
+        ),
     ]
 }
 

@@ -69,10 +69,7 @@ mod tests {
         let ctx = ExperimentCtx::smoke();
         let curves = run_all(&ctx);
         assert_eq!(curves.len(), 4);
-        let labels: Vec<(&str, f64)> = curves
-            .iter()
-            .map(|c| (c.objective.as_str(), c.k))
-            .collect();
+        let labels: Vec<(&str, f64)> = curves.iter().map(|c| (c.objective.as_str(), c.k)).collect();
         assert_eq!(
             labels,
             vec![("load", 0.10), ("load", 0.30), ("sla", 0.10), ("sla", 0.30)]

@@ -41,9 +41,7 @@ pub fn run(ctx: &ExperimentCtx) -> Fig7Data {
         ctx.params.with_seed(ctx.seed),
     );
     let delays: Vec<f64> = topo.links().map(|(_, l)| l.prop_delay * 1e3).collect();
-    let pack = |utils: Vec<f64>| -> Vec<(f64, f64)> {
-        delays.iter().cloned().zip(utils).collect()
-    };
+    let pack = |utils: Vec<f64>| -> Vec<(f64, f64)> { delays.iter().cloned().zip(utils).collect() };
     Fig7Data {
         str_points: pack(s.eval.utilizations(&topo)),
         dtr_points: pack(d.eval.utilizations(&topo)),
@@ -70,7 +68,10 @@ pub fn tercile_means(points: &[(f64, f64)]) -> (f64, f64) {
     sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let third = sorted.len() / 3;
     let mean = |s: &[(f64, f64)]| s.iter().map(|p| p.1).sum::<f64>() / s.len().max(1) as f64;
-    (mean(&sorted[..third]), mean(&sorted[sorted.len() - third..]))
+    (
+        mean(&sorted[..third]),
+        mean(&sorted[sorted.len() - third..]),
+    )
 }
 
 #[cfg(test)]
@@ -89,7 +90,14 @@ mod tests {
 
     #[test]
     fn tercile_means_ordering() {
-        let pts = vec![(1.0, 0.9), (2.0, 0.8), (3.0, 0.3), (4.0, 0.2), (5.0, 0.1), (6.0, 0.05)];
+        let pts = vec![
+            (1.0, 0.9),
+            (2.0, 0.8),
+            (3.0, 0.3),
+            (4.0, 0.2),
+            (5.0, 0.1),
+            (6.0, 0.05),
+        ];
         let (short, long) = tercile_means(&pts);
         assert!(short > long);
     }

@@ -64,10 +64,7 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<Fig9Point> {
             bound_ms: *bound_ms,
             violations: (sv.violations, dv.violations),
             phi_l: (s.eval.phi_l, d.eval.phi_l),
-            max_util: (
-                s.eval.max_utilization(&topo),
-                d.eval.max_utilization(&topo),
-            ),
+            max_util: (s.eval.max_utilization(&topo), d.eval.max_utilization(&topo)),
             avg_util: o.avg_util,
         }
     })

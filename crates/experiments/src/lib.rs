@@ -38,7 +38,6 @@
 pub mod convergence;
 pub mod drift;
 pub mod estimation;
-pub mod multiclass;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -47,6 +46,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod multiclass;
 pub mod optimality;
 pub mod overhead_exp;
 pub mod reopt_exp;

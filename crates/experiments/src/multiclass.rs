@@ -41,11 +41,7 @@ pub struct KOutcome {
 /// Single-topology baseline for a k-class workload: one shared weight
 /// vector, same lexicographic objective, single-weight-change local
 /// search at the same candidate budget as the staged MTR search.
-fn str_baseline(
-    topo: &Topology,
-    demands: &MultiDemand,
-    params: SearchParams,
-) -> Vec<f64> {
+fn str_baseline(topo: &Topology, demands: &MultiDemand, params: SearchParams) -> Vec<f64> {
     let k = demands.class_count();
     let mut ev = MultiEvaluator::new(topo, demands);
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5f5f);
@@ -66,7 +62,11 @@ fn str_baseline(
             let old = cur_w.get(lid);
             let mut v = rng.random_range(params.min_weight..=params.max_weight);
             if v == old {
-                v = if v == params.max_weight { params.min_weight } else { v + 1 };
+                v = if v == params.max_weight {
+                    params.min_weight
+                } else {
+                    v + 1
+                };
             }
             let mut w = cur_w.clone();
             w.set(lid, v);

@@ -88,8 +88,7 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<OptimalityPoint> {
         let slice_low_ratios = SLICE_COUNTS
             .iter()
             .map(|&n| {
-                let r = SlicedSearch::new(&topo, &demands, params, n, d.weights.high.clone())
-                    .run();
+                let r = SlicedSearch::new(&topo, &demands, params, n, d.weights.high.clone()).run();
                 r.cost.secondary / dtr_ref.cost.max(1e-9)
             })
             .collect();

@@ -30,7 +30,11 @@ pub struct OverheadOutcome {
 /// Measures all three paper topologies under both modes.
 pub fn run(ctx: &ExperimentCtx) -> Vec<OverheadOutcome> {
     let mut out = Vec::new();
-    for kind in [TopologyKind::Isp, TopologyKind::Random, TopologyKind::PowerLaw] {
+    for kind in [
+        TopologyKind::Isp,
+        TopologyKind::Random,
+        TopologyKind::PowerLaw,
+    ] {
         let topo = kind.build(ctx.seed);
         // Any valid dual setting works; delay-proportional low weights
         // make the two FIB sets genuinely different.

@@ -165,8 +165,7 @@ mod tests {
         // 2 schemes × (frozen + |BUDGETS| + full).
         assert_eq!(pts.len(), 2 * (2 + BUDGETS.len()));
         for scheme in ["str", "dtr"] {
-            let series: Vec<&ReoptPoint> =
-                pts.iter().filter(|p| p.scheme == scheme).collect();
+            let series: Vec<&ReoptPoint> = pts.iter().filter(|p| p.scheme == scheme).collect();
             let frozen = series.first().unwrap();
             assert_eq!(frozen.label, "frozen");
             assert_eq!(frozen.changes, 0);

@@ -131,7 +131,11 @@ fn survives(topo: &Topology, up: &[bool]) -> bool {
         seen[0] = true;
         let mut n = 1;
         while let Some(v) = stack.pop() {
-            let adj = if reverse { topo.in_links(v) } else { topo.out_links(v) };
+            let adj = if reverse {
+                topo.in_links(v)
+            } else {
+                topo.out_links(v)
+            };
             for &lid in adj {
                 if !up[lid.index()] {
                     continue;
@@ -250,6 +254,9 @@ mod tests {
         }
         let w = dtr_graph::WeightVector::uniform(&topo, 1);
         let loads = LoadCalculator::new().class_loads_masked(&topo, &w, &up, &m);
-        assert!(loads.iter().all(|&x| x == 0.0), "demand to a cut node is dropped");
+        assert!(
+            loads.iter().all(|&x| x == 0.0),
+            "demand to a cut node is dropped"
+        );
     }
 }

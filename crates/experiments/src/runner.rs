@@ -158,8 +158,7 @@ pub fn outcome_of(topo: &Topology, str_res: &StrResult, dtr_res: &DtrResult) -> 
     let str_primary = str_res.eval.cost.primary;
     let dtr_primary = dtr_res.eval.cost.primary;
     PairOutcome {
-        avg_util: 0.5
-            * (str_res.eval.avg_utilization(topo) + dtr_res.eval.avg_utilization(topo)),
+        avg_util: 0.5 * (str_res.eval.avg_utilization(topo) + dtr_res.eval.avg_utilization(topo)),
         r_h: cost_ratio(str_primary, dtr_primary),
         r_l: cost_ratio(str_res.eval.phi_l, dtr_res.eval.phi_l),
         str_cost: (str_primary, str_res.eval.phi_l),
@@ -201,20 +200,19 @@ where
     let n = inputs.len();
     let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = parking_lot::Mutex::new(&mut out);
-    crossbeam::thread::scope(|s| {
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|s| {
         for _ in 0..ctx.threads.max(1).min(n.max(1)) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let o = job(i, &inputs[i]);
-                slots.lock()[i] = Some(o);
+                slots.lock().expect("experiment worker panicked")[i] = Some(o);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     out.into_iter().map(|o| o.expect("job completed")).collect()
 }
 
@@ -299,12 +297,7 @@ mod tests {
     fn run_pair_smoke() {
         let topo = paper_isp();
         let demands = demands_random_model(&topo, 0.3, 0.1, 1).scaled(5.0);
-        let (s, d, o) = run_pair(
-            &topo,
-            &demands,
-            Objective::LoadBased,
-            SearchParams::tiny(),
-        );
+        let (s, d, o) = run_pair(&topo, &demands, Objective::LoadBased, SearchParams::tiny());
         assert!(o.avg_util > 0.0);
         assert!(o.r_h > 0.0 && o.r_l > 0.0);
         assert_eq!(o.str_cost.0, s.eval.phi_h);

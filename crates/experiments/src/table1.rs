@@ -44,43 +44,45 @@ pub struct Table1Block {
 
 /// Runs the full table (three blocks).
 pub fn run(ctx: &ExperimentCtx) -> Vec<Table1Block> {
-    [TopologyKind::Random, TopologyKind::PowerLaw, TopologyKind::Isp]
-        .into_iter()
-        .map(|kind| {
-            let topo = kind.build(ctx.seed);
-            let base = demands_random_model(&topo, 0.30, 0.10, ctx.seed);
-            let gammas = gamma_grid(&topo, &base, ctx);
-            let points = parallel_map(ctx, gammas, |i, gamma| {
-                let demands = base.scaled(*gamma);
-                let params = ctx.params.with_seed(ctx.seed.wrapping_add(97 * i as u64));
-                let str_res = StrSearch::new(&topo, &demands, Objective::LoadBased, params)
-                    .with_relaxations(&EPSILONS)
-                    .run();
-                let dtr_res =
-                    DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
-                let dtr_phi_l = dtr_res.eval.phi_l;
-                let r5 = &str_res.relaxed[0];
-                let r30 = &str_res.relaxed[1];
-                Table1Point {
-                    avg_util: 0.5
-                        * (str_res.eval.avg_utilization(&topo)
-                            + dtr_res.eval.avg_utilization(&topo)),
-                    r_l: cost_ratio(str_res.eval.phi_l, dtr_phi_l),
-                    r_l_5: cost_ratio(r5.phi_l, dtr_phi_l),
-                    r_l_30: cost_ratio(r30.phi_l, dtr_phi_l),
-                    h_degradation_30: if str_res.eval.phi_h > 0.0 {
-                        r30.phi_h / str_res.eval.phi_h
-                    } else {
-                        1.0
-                    },
-                }
-            });
-            Table1Block {
-                topology: kind,
-                points,
+    [
+        TopologyKind::Random,
+        TopologyKind::PowerLaw,
+        TopologyKind::Isp,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let topo = kind.build(ctx.seed);
+        let base = demands_random_model(&topo, 0.30, 0.10, ctx.seed);
+        let gammas = gamma_grid(&topo, &base, ctx);
+        let points = parallel_map(ctx, gammas, |i, gamma| {
+            let demands = base.scaled(*gamma);
+            let params = ctx.params.with_seed(ctx.seed.wrapping_add(97 * i as u64));
+            let str_res = StrSearch::new(&topo, &demands, Objective::LoadBased, params)
+                .with_relaxations(&EPSILONS)
+                .run();
+            let dtr_res = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
+            let dtr_phi_l = dtr_res.eval.phi_l;
+            let r5 = &str_res.relaxed[0];
+            let r30 = &str_res.relaxed[1];
+            Table1Point {
+                avg_util: 0.5
+                    * (str_res.eval.avg_utilization(&topo) + dtr_res.eval.avg_utilization(&topo)),
+                r_l: cost_ratio(str_res.eval.phi_l, dtr_phi_l),
+                r_l_5: cost_ratio(r5.phi_l, dtr_phi_l),
+                r_l_30: cost_ratio(r30.phi_l, dtr_phi_l),
+                h_degradation_30: if str_res.eval.phi_h > 0.0 {
+                    r30.phi_h / str_res.eval.phi_h
+                } else {
+                    1.0
+                },
             }
-        })
-        .collect()
+        });
+        Table1Block {
+            topology: kind,
+            points,
+        }
+    })
+    .collect()
 }
 
 /// Renders one block in the paper's row layout (RL rows over AD columns).

@@ -65,7 +65,10 @@ pub fn waxman_topology(cfg: &WaxmanCfg) -> Topology {
     );
     assert!(cfg.beta > 0.0 && cfg.beta <= 1.0, "β must be in (0,1]");
     let pairs = cfg.directed_links / 2;
-    assert!(pairs >= n, "need at least {n} duplex pairs for connectivity");
+    assert!(
+        pairs >= n,
+        "need at least {n} duplex pairs for connectivity"
+    );
     assert!(pairs <= n * (n - 1) / 2, "more links than a full mesh");
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -178,7 +181,12 @@ pub fn hierarchical_topology(cfg: &HierarchicalCfg) -> Topology {
     for i in 0..c {
         let j = (i + 1) % c;
         let d = delay(&mut rng);
-        b.add_duplex(NodeId(i as u32), NodeId(j as u32), cfg.core_capacity_mbps, d);
+        b.add_duplex(
+            NodeId(i as u32),
+            NodeId(j as u32),
+            cfg.core_capacity_mbps,
+            d,
+        );
         adjacent.insert((i.min(j), i.max(j)));
     }
     // Random chords.
@@ -193,7 +201,12 @@ pub fn hierarchical_topology(cfg: &HierarchicalCfg) -> Topology {
             continue;
         }
         let d = delay(&mut rng);
-        b.add_duplex(NodeId(x as u32), NodeId(y as u32), cfg.core_capacity_mbps, d);
+        b.add_duplex(
+            NodeId(x as u32),
+            NodeId(y as u32),
+            cfg.core_capacity_mbps,
+            d,
+        );
         adjacent.insert((x.min(y), x.max(y)));
         placed += 1;
     }
@@ -254,7 +267,10 @@ impl Default for GridCfg {
 /// Generates a rows×cols grid (or torus) with duplex links. Node
 /// `(r, c)` has index `r·cols + c`.
 pub fn grid_topology(cfg: &GridCfg) -> Topology {
-    assert!(cfg.rows >= 2 && cfg.cols >= 2, "grid needs both dimensions ≥ 2");
+    assert!(
+        cfg.rows >= 2 && cfg.cols >= 2,
+        "grid needs both dimensions ≥ 2"
+    );
     assert!(cfg.delay_s >= 0.0);
     if cfg.torus {
         assert!(
@@ -302,9 +318,12 @@ mod tests {
         // With a small β the sampled (non-backbone) links must be much
         // shorter on average than uniform pairs would be. Delay is a
         // proxy for length, so compare mean delay against the mid-band.
-        let t = waxman_topology(&WaxmanCfg { beta: 0.1, directed_links: 180, ..Default::default() });
-        let mean: f64 =
-            t.links().map(|(_, l)| l.prop_delay).sum::<f64>() / t.link_count() as f64;
+        let t = waxman_topology(&WaxmanCfg {
+            beta: 0.1,
+            directed_links: 180,
+            ..Default::default()
+        });
+        let mean: f64 = t.links().map(|(_, l)| l.prop_delay).sum::<f64>() / t.link_count() as f64;
         let mid = 0.5 * (SYNTH_DELAY_MIN_S + SYNTH_DELAY_MAX_S);
         assert!(mean < mid, "mean delay {mean} not short-biased");
     }
@@ -316,9 +335,18 @@ mod tests {
                 .map(|(_, l)| (l.src, l.dst, l.prop_delay.to_bits()))
                 .collect::<Vec<_>>()
         };
-        let a = waxman_topology(&WaxmanCfg { seed: 4, ..Default::default() });
-        let b = waxman_topology(&WaxmanCfg { seed: 4, ..Default::default() });
-        let c = waxman_topology(&WaxmanCfg { seed: 5, ..Default::default() });
+        let a = waxman_topology(&WaxmanCfg {
+            seed: 4,
+            ..Default::default()
+        });
+        let b = waxman_topology(&WaxmanCfg {
+            seed: 4,
+            ..Default::default()
+        });
+        let c = waxman_topology(&WaxmanCfg {
+            seed: 5,
+            ..Default::default()
+        });
         assert_eq!(key(&a), key(&b));
         assert_ne!(key(&a), key(&c));
     }
@@ -389,7 +417,12 @@ mod tests {
 
     #[test]
     fn torus_is_four_regular() {
-        let t = grid_topology(&GridCfg { rows: 4, cols: 5, torus: true, delay_s: 0.001 });
+        let t = grid_topology(&GridCfg {
+            rows: 4,
+            cols: 5,
+            torus: true,
+            delay_s: 0.001,
+        });
         for v in t.nodes() {
             assert_eq!(t.degree(v), 8, "4 duplex neighbors = degree 8");
         }
@@ -399,12 +432,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "≥ 3")]
     fn torus_rejects_two_wide() {
-        grid_topology(&GridCfg { rows: 2, cols: 5, torus: true, delay_s: 0.001 });
+        grid_topology(&GridCfg {
+            rows: 2,
+            cols: 5,
+            torus: true,
+            delay_s: 0.001,
+        });
     }
 
     #[test]
     #[should_panic(expected = "β must be in")]
     fn waxman_rejects_bad_beta() {
-        waxman_topology(&WaxmanCfg { beta: 0.0, ..Default::default() });
+        waxman_topology(&WaxmanCfg {
+            beta: 0.0,
+            ..Default::default()
+        });
     }
 }

@@ -304,11 +304,7 @@ impl SpfTree {
 
 /// Reference Bellman–Ford implementation, used only by tests and debug
 /// assertions as an oracle for Dijkstra.
-pub fn bellman_ford_to_dest(
-    topo: &Topology,
-    weights: &WeightVector,
-    dest: NodeId,
-) -> Vec<Dist> {
+pub fn bellman_ford_to_dest(topo: &Topology, weights: &WeightVector, dest: NodeId) -> Vec<Dist> {
     let n = topo.node_count();
     let mut dist = vec![UNREACHABLE; n];
     dist[dest.index()] = 0;
@@ -371,7 +367,11 @@ mod tests {
         assert_eq!(dag.dist_from(NodeId(1)), 1);
         assert_eq!(dag.dist_from(NodeId(3)), 0);
         assert_eq!(dag.ecmp_out[0].len(), 2, "source splits over both paths");
-        assert_eq!(dag.ecmp_out[3].len(), 0, "destination has no out-links in DAG");
+        assert_eq!(
+            dag.ecmp_out[3].len(),
+            0,
+            "destination has no out-links in DAG"
+        );
         assert_eq!(dag.path_count(&t, NodeId(0)), 2);
     }
 

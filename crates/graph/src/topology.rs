@@ -410,7 +410,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(TopologyBuilder::new().build().unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            TopologyBuilder::new().build().unwrap_err(),
+            TopologyError::Empty
+        );
     }
 
     #[test]
@@ -428,7 +431,10 @@ mod tests {
         b.add_link(NodeId(0), NodeId(1), 1.0, 0.0);
         b.add_link(NodeId(1), NodeId(0), 1.0, 0.0);
         b.add_link(NodeId(0), NodeId(1), 2.0, 0.0);
-        assert_eq!(b.build().unwrap_err(), TopologyError::ParallelLink { link: 2 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::ParallelLink { link: 2 }
+        );
     }
 
     #[test]
@@ -436,7 +442,10 @@ mod tests {
         let mut b = TopologyBuilder::new();
         b.add_nodes(2);
         b.add_link(NodeId(0), NodeId(5), 1.0, 0.0);
-        assert_eq!(b.build().unwrap_err(), TopologyError::DanglingLink { link: 0 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::DanglingLink { link: 0 }
+        );
     }
 
     #[test]
@@ -453,7 +462,10 @@ mod tests {
         b.add_nodes(2);
         b.add_link(NodeId(0), NodeId(1), 1.0, -1.0);
         b.add_link(NodeId(1), NodeId(0), 1.0, 0.0);
-        assert_eq!(b.build().unwrap_err(), TopologyError::NegativeDelay { link: 0 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::NegativeDelay { link: 0 }
+        );
     }
 
     #[test]

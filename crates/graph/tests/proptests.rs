@@ -7,9 +7,7 @@
 use dtr_graph::families::{
     grid_topology, hierarchical_topology, waxman_topology, GridCfg, HierarchicalCfg, WaxmanCfg,
 };
-use dtr_graph::gen::{
-    power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg,
-};
+use dtr_graph::gen::{power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg};
 use dtr_graph::spf::{bellman_ford_to_dest, ShortestPathDag, SpfTree};
 use dtr_graph::{NodeId, Topology, WeightVector, MAX_WEIGHT, MIN_WEIGHT};
 use proptest::prelude::*;
@@ -27,13 +25,11 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                 seed,
             })
         }),
-        (6usize..=14, 1u64..1000).prop_map(|(n, seed)| power_law_topology(
-            &PowerLawTopologyCfg {
-                nodes: n,
-                attachments: 2,
-                seed,
-            }
-        )),
+        (6usize..=14, 1u64..1000).prop_map(|(n, seed)| power_law_topology(&PowerLawTopologyCfg {
+            nodes: n,
+            attachments: 2,
+            seed,
+        })),
         (6usize..=14, 1u64..1000).prop_map(|(n, seed)| {
             let pairs = n + n / 2;
             waxman_topology(&WaxmanCfg {

@@ -88,7 +88,10 @@ mod tests {
         // Count stanza lines precisely (the banner mentions "routers"
         // and "interfaces" too).
         let routers = cfg.lines().filter(|l| l.starts_with("router ")).count();
-        let interfaces = cfg.lines().filter(|l| l.starts_with("  interface ")).count();
+        let interfaces = cfg
+            .lines()
+            .filter(|l| l.starts_with("  interface "))
+            .count();
         assert_eq!(routers, 3);
         assert_eq!(interfaces, 6);
         assert_eq!(extra_config_lines(&topo), 6);

@@ -157,8 +157,7 @@ impl<'a> MtrNetwork<'a> {
         while let Some(m) = self.inflight.pop_front() {
             delivered += 1;
             self.stats.lsa_messages += 1;
-            self.stats.lsa_bytes +=
-                crate::overhead::lsa_wire_bytes(&m.lsa, self.mode.topologies());
+            self.stats.lsa_bytes += crate::overhead::lsa_wire_bytes(&m.lsa, self.mode.topologies());
             let router = &mut self.routers[m.to.index()];
             if router.lsdb.install(m.lsa.clone()) {
                 self.flood(m.to, m.from, &m.lsa);

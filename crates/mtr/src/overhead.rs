@@ -40,9 +40,7 @@ pub const MT_METRIC_BYTES: u64 = 4;
 pub fn lsa_wire_bytes(lsa: &RouterLsa, topologies: usize) -> u64 {
     assert!(topologies >= 1);
     let links = lsa.links.len() as u64;
-    LSA_HEADER_BYTES
-        + links * LINK_ENTRY_BYTES
-        + links * MT_METRIC_BYTES * (topologies as u64 - 1)
+    LSA_HEADER_BYTES + links * LINK_ENTRY_BYTES + links * MT_METRIC_BYTES * (topologies as u64 - 1)
 }
 
 /// Control-plane cost totals of one deployment lifecycle.

@@ -24,7 +24,11 @@ fn strongly_connected(topo: &Topology, up: &[bool]) -> bool {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = queue.pop() {
-            let adj = if reverse { topo.in_links(v) } else { topo.out_links(v) };
+            let adj = if reverse {
+                topo.in_links(v)
+            } else {
+                topo.out_links(v)
+            };
             for &lid in adj {
                 if !up[lid.index()] {
                     continue;

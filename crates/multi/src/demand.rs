@@ -97,7 +97,11 @@ impl MultiDemand {
     /// A two-class view for cross-checking against `dtr-core` (only
     /// valid when `class_count() == 2`).
     pub fn as_demand_set(&self) -> dtr_traffic::DemandSet {
-        assert_eq!(self.classes.len(), 2, "as_demand_set needs exactly 2 classes");
+        assert_eq!(
+            self.classes.len(),
+            2,
+            "as_demand_set needs exactly 2 classes"
+        );
         dtr_traffic::DemandSet {
             high: self.classes[0].clone(),
             low: self.classes[1].clone(),

@@ -155,7 +155,9 @@ mod tests {
         assert!((e.phis[1] - 5.0 / 9.0).abs() < 1e-9, "got {}", e.phis[1]);
         assert!((e.phis[2] - 32.0 / 9.0).abs() < 1e-9, "got {}", e.phis[2]);
         // Residual views agree.
-        let ac = topo.find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(2)).unwrap();
+        let ac = topo
+            .find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(2))
+            .unwrap();
         assert!((e.residuals(&topo, 2)[ac.index()] - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(e.cost.len(), 3);
     }

@@ -13,8 +13,8 @@ use crate::demand::MultiDemand;
 use crate::eval::{MultiEvaluation, MultiEvaluator};
 use crate::lexk::LexK;
 use dtr_core::neighborhood::{perturb_weights, NeighborhoodSampler, RankTable};
-use dtr_core::{SearchParams, SearchTrace};
 use dtr_core::telemetry::Phase;
+use dtr_core::{SearchParams, SearchTrace};
 use dtr_graph::{Topology, WeightVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,14 +68,8 @@ impl<'a> MultiSearch<'a> {
             let mut stall = 0usize;
             for _ in 0..params.n_iters {
                 trace.iterations += 1;
-                let moved = self.step_class(
-                    c,
-                    &sampler,
-                    &mut weights,
-                    &mut eval,
-                    &mut rng,
-                    &mut trace,
-                );
+                let moved =
+                    self.step_class(c, &sampler, &mut weights, &mut eval, &mut rng, &mut trace);
                 if moved && eval.cost < best.0 {
                     best = (eval.cost.clone(), weights.clone());
                     trace.improved(trace.iterations, Phase::OptimizeHigh, two_view(&eval.cost));
@@ -100,8 +94,7 @@ impl<'a> MultiSearch<'a> {
         for it in 0..params.k_iters {
             trace.iterations += 1;
             let c = it % k;
-            let moved =
-                self.step_class(c, &sampler, &mut weights, &mut eval, &mut rng, &mut trace);
+            let moved = self.step_class(c, &sampler, &mut weights, &mut eval, &mut rng, &mut trace);
             if moved && eval.cost < best.0 {
                 best = (eval.cost.clone(), weights.clone());
                 trace.improved(trace.iterations, Phase::Refine, two_view(&eval.cost));
@@ -158,10 +151,7 @@ impl<'a> MultiSearch<'a> {
             loads[c] = self.evaluator.class_loads(c, &w);
             let cand = self.evaluator.assemble(loads);
             trace.evaluations += 1;
-            if best_cand
-                .as_ref()
-                .is_none_or(|(b, _)| cand.cost < b.cost)
-            {
+            if best_cand.as_ref().is_none_or(|(b, _)| cand.cost < b.cost) {
                 best_cand = Some((cand, w));
             }
         }
@@ -240,10 +230,7 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let (topo, demands) = instance(1, 7);
-        let run = || {
-            MultiSearch::new(&topo, &demands, SearchParams::tiny().with_seed(11))
-                .run()
-        };
+        let run = || MultiSearch::new(&topo, &demands, SearchParams::tiny().with_seed(11)).run();
         let (a, b) = (run(), run());
         assert_eq!(a.best_cost, b.best_cost);
         assert_eq!(a.weights, b.weights);
@@ -289,8 +276,7 @@ mod tests {
         let r3 = MultiSearch::new(&topo, &demands3, params).run();
         let r2 = MultiSearch::new(&topo, &demands2, params).run();
         // Class 0 sees the identical subproblem in both runs.
-        let rel = (r3.best_cost.get(0) - r2.best_cost.get(0)).abs()
-            / r2.best_cost.get(0).max(1.0);
+        let rel = (r3.best_cost.get(0) - r2.best_cost.get(0)).abs() / r2.best_cost.get(0).max(1.0);
         assert!(rel < 0.30, "class-0 outcomes diverged by {rel}");
     }
 }

@@ -209,24 +209,11 @@ impl<'a> Evaluator<'a> {
     /// Builds a [`HighSide`] from precomputed high-class loads (which must
     /// have been routed on `wh`).
     pub fn high_side_from_loads(&mut self, loads: ClassLoads, wh: &WeightVector) -> HighSide {
-        let topo = self.topo;
-        let mut phi_per_link = vec![0.0; topo.link_count()];
-        let mut phi_sum = 0.0;
-        for (lid, link) in topo.links() {
-            let p = phi(loads[lid.index()], link.capacity);
-            phi_per_link[lid.index()] = p;
-            phi_sum += p;
-        }
         let sla = match self.objective {
             Objective::LoadBased => None,
             Objective::SlaBased(params) => Some(self.eval_sla(&loads, wh, &params)),
         };
-        HighSide {
-            loads,
-            phi_per_link,
-            phi: phi_sum,
-            sla,
-        }
+        self.high_side_with_sla(loads, sla)
     }
 
     /// Combines a (possibly cached) high side with fresh low-class loads.
@@ -273,6 +260,41 @@ impl<'a> Evaluator<'a> {
         self.finish(high, low_loads)
     }
 
+    /// Destinations that receive high-priority traffic, in ascending node
+    /// order — the iteration order of every SLA walk.
+    pub fn high_dests(&self) -> &[NodeId] {
+        &self.high_dests
+    }
+
+    /// Builds a [`HighSide`] from precomputed high-class loads and an
+    /// **externally computed** SLA evaluation (or `None` under the load
+    /// objective). This is the entry point for callers that maintain
+    /// their own shortest-path DAGs (the `dtr-engine` incremental
+    /// backend) and therefore evaluate the SLA walk without re-running
+    /// Dijkstra; the per-link Φ loop is identical to
+    /// [`Self::high_side_from_loads`].
+    pub fn high_side_with_sla(&self, loads: ClassLoads, sla: Option<SlaEvaluation>) -> HighSide {
+        let topo = self.topo;
+        let mut phi_per_link = vec![0.0; topo.link_count()];
+        let mut phi_sum = 0.0;
+        for (lid, link) in topo.links() {
+            let p = phi(loads[lid.index()], link.capacity);
+            phi_per_link[lid.index()] = p;
+            phi_sum += p;
+        }
+        debug_assert_eq!(
+            matches!(self.objective, Objective::SlaBased(_)),
+            sla.is_some(),
+            "SLA evaluation must be present exactly under the SLA objective"
+        );
+        HighSide {
+            loads,
+            phi_per_link,
+            phi: phi_sum,
+            sla,
+        }
+    }
+
     /// Computes Eq. 3 link delays and Eq. 4 pair penalties for the high
     /// class routed on `wh`.
     fn eval_sla(
@@ -282,63 +304,15 @@ impl<'a> Evaluator<'a> {
         params: &SlaParams,
     ) -> SlaEvaluation {
         let topo = self.topo;
-        let link_delays: Vec<f64> = topo
-            .links()
-            .map(|(lid, link)| {
-                link_delay(
-                    &params.delay,
-                    high_loads[lid.index()],
-                    link.capacity,
-                    link.prop_delay,
-                )
-            })
-            .collect();
-
-        let mut pair_delays = Vec::new();
-        let mut lambda = 0.0;
-        let mut violations = 0;
-        // ξ(v → t): expected delay over even ECMP splitting, computed by
-        // dynamic programming in increasing-distance order.
-        let mut xi = vec![0.0f64; topo.node_count()];
-        for &t in &self.high_dests.clone() {
-            let dag = ShortestPathDag::compute_with(topo, wh, t, None, &mut self.ws);
-            xi.fill(0.0);
-            // `dag.order` is decreasing distance; walk it backwards.
-            for &v in dag.order.iter().rev() {
-                let vi = v as usize;
-                if NodeId(v) == t || !dag.reachable(NodeId(v)) {
-                    continue;
-                }
-                let branches = &dag.ecmp_out[vi];
-                let mut acc = 0.0;
-                for &lid in branches {
-                    acc += link_delays[lid.index()] + xi[topo.link(lid).dst.index()];
-                }
-                xi[vi] = acc / branches.len() as f64;
-            }
-            for (s, _vol) in self.demands.high.demands_to(t.index()) {
-                let delay_s = xi[s];
-                let penalty =
-                    sla_penalty(delay_s, params.bound_s, params.penalty_a, params.penalty_b);
-                if penalty > 0.0 {
-                    violations += 1;
-                }
-                lambda += penalty;
-                pair_delays.push(PairDelay {
-                    src: s,
-                    dst: t.index(),
-                    delay_s,
-                    penalty,
-                });
-            }
-        }
-
-        SlaEvaluation {
-            link_delays,
-            pair_delays,
-            lambda,
-            violations,
-        }
+        let ws = &mut self.ws;
+        sla_evaluation(
+            topo,
+            &self.demands.high,
+            &self.high_dests,
+            high_loads,
+            params,
+            |t| ShortestPathDag::compute_with(topo, wh, t, None, ws),
+        )
     }
 
     /// Per-link ranking keys for the heuristic neighborhoods (Algorithm 2):
@@ -363,6 +337,89 @@ impl<'a> Evaluator<'a> {
                 }
             })
             .collect()
+    }
+}
+
+/// The SLA walk (Eq. 3 link delays + Eq. 4 pair penalties), generic over
+/// where the per-destination shortest-path DAGs come from.
+///
+/// [`Evaluator`] computes DAGs on the fly with one reverse-Dijkstra per
+/// destination; the `dtr-engine` incremental backend hands in DAGs it
+/// maintains dynamically. Both paths execute the identical arithmetic in
+/// the identical order (destinations ascending, `dag.order` reversed for
+/// the ξ dynamic program), so results are bit-identical.
+///
+/// `dests` must be the destinations with high-priority demand in
+/// ascending node order (see [`Evaluator::high_dests`]); `dag_for` is
+/// called once per destination, in that order.
+pub fn sla_evaluation<D, F>(
+    topo: &Topology,
+    high: &dtr_traffic::TrafficMatrix,
+    dests: &[NodeId],
+    high_loads: &[f64],
+    params: &SlaParams,
+    mut dag_for: F,
+) -> SlaEvaluation
+where
+    D: std::borrow::Borrow<ShortestPathDag>,
+    F: FnMut(NodeId) -> D,
+{
+    let link_delays: Vec<f64> = topo
+        .links()
+        .map(|(lid, link)| {
+            link_delay(
+                &params.delay,
+                high_loads[lid.index()],
+                link.capacity,
+                link.prop_delay,
+            )
+        })
+        .collect();
+
+    let mut pair_delays = Vec::new();
+    let mut lambda = 0.0;
+    let mut violations = 0;
+    // ξ(v → t): expected delay over even ECMP splitting, computed by
+    // dynamic programming in increasing-distance order.
+    let mut xi = vec![0.0f64; topo.node_count()];
+    for &t in dests {
+        let dag = dag_for(t);
+        let dag = dag.borrow();
+        xi.fill(0.0);
+        // `dag.order` is decreasing distance; walk it backwards.
+        for &v in dag.order.iter().rev() {
+            let vi = v as usize;
+            if NodeId(v) == t || !dag.reachable(NodeId(v)) {
+                continue;
+            }
+            let branches = &dag.ecmp_out[vi];
+            let mut acc = 0.0;
+            for &lid in branches {
+                acc += link_delays[lid.index()] + xi[topo.link(lid).dst.index()];
+            }
+            xi[vi] = acc / branches.len() as f64;
+        }
+        for (s, _vol) in high.demands_to(t.index()) {
+            let delay_s = xi[s];
+            let penalty = sla_penalty(delay_s, params.bound_s, params.penalty_a, params.penalty_b);
+            if penalty > 0.0 {
+                violations += 1;
+            }
+            lambda += penalty;
+            pair_delays.push(PairDelay {
+                src: s,
+                dst: t.index(),
+                delay_s,
+                penalty,
+            });
+        }
+    }
+
+    SlaEvaluation {
+        link_delays,
+        pair_delays,
+        lambda,
+        violations,
     }
 }
 

@@ -25,8 +25,10 @@ pub mod routing_matrix;
 pub mod scenarios;
 
 pub use estimate::{gravity_prior, l1_error, tomogravity, EstimateResult, TomoCfg};
-pub use eval::{Evaluation, Evaluator, HighSide, LinkRank, PairDelay, SlaEvaluation};
-pub use loads::{ClassLoads, LoadCalculator};
+pub use eval::{
+    sla_evaluation, Evaluation, Evaluator, HighSide, LinkRank, PairDelay, SlaEvaluation,
+};
+pub use loads::{push_demand_down_dag, push_demand_down_dag_with, ClassLoads, LoadCalculator};
 pub use lower_bound::{dual_lower_bound, frank_wolfe, DualLowerBound, FwParams, FwResult};
 pub use routing_matrix::RoutingMatrix;
 pub use scenarios::{strongly_connected_under, survivable_duplex_failures, FailureScenario};

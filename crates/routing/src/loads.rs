@@ -115,31 +115,73 @@ impl LoadCalculator {
         t: NodeId,
         out: &mut ClassLoads,
     ) {
-        let flow = &mut self.node_flow;
-        flow.fill(0.0);
-        for (s, v) in m.demands_to(t.index()) {
-            flow[s] += v;
+        push_demand_down_dag(topo, dag, m, t, &mut self.node_flow, out);
+    }
+}
+
+/// Pushes all of `m`'s demand towards `t` down `dag`, **adding** into
+/// `out` (indexed by link id). `flow` is caller-provided scratch of at
+/// least `node_count` entries; its prior contents are overwritten.
+///
+/// This is the single forwarding-model primitive shared by
+/// [`LoadCalculator`] and the incremental evaluation engine
+/// (`dtr-engine`), so both produce bit-identical loads for identical
+/// DAGs.
+pub fn push_demand_down_dag(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    m: &TrafficMatrix,
+    t: NodeId,
+    flow: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    push_demand_down_dag_with(topo, dag, m, t, flow, out, None)
+}
+
+/// Like [`push_demand_down_dag`], but with one node's ECMP branch list
+/// optionally **overridden** (`Some((node, branches))` replaces
+/// `dag.ecmp_out[node]` for this walk only). The incremental engine
+/// uses this for the common weight deltas whose entire effect is an
+/// ECMP-membership change at a single node: the walk runs on the cached
+/// DAG without copying it, and because the shares are computed by the
+/// identical expressions, the result is bit-identical to pushing down a
+/// repaired DAG.
+pub fn push_demand_down_dag_with(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    m: &TrafficMatrix,
+    t: NodeId,
+    flow: &mut Vec<f64>,
+    out: &mut [f64],
+    override_branches: Option<(u32, &[dtr_graph::LinkId])>,
+) {
+    flow.resize(topo.node_count(), 0.0);
+    flow.fill(0.0);
+    for (s, v) in m.demands_to(t.index()) {
+        flow[s] += v;
+    }
+    // Decreasing-distance order guarantees every contributor to a
+    // node's flow is processed before the node itself.
+    for &v in &dag.order {
+        let vi = v as usize;
+        let f = flow[vi];
+        if f <= 0.0 || NodeId(v) == t {
+            continue;
         }
-        // Decreasing-distance order guarantees every contributor to a
-        // node's flow is processed before the node itself.
-        for &v in &dag.order {
-            let vi = v as usize;
-            let f = flow[vi];
-            if f <= 0.0 || NodeId(v) == t {
-                continue;
-            }
-            let branches = &dag.ecmp_out[vi];
-            if branches.is_empty() {
-                // Unreachable under a link mask: the demand is dropped
-                // (validated topologies are strongly connected, so this
-                // only happens in failure scenarios).
-                continue;
-            }
-            let share = f / branches.len() as f64;
-            for &lid in branches {
-                out[lid.index()] += share;
-                flow[topo.link(lid).dst.index()] += share;
-            }
+        let branches: &[dtr_graph::LinkId] = match override_branches {
+            Some((ov, b)) if ov == v => b,
+            _ => &dag.ecmp_out[vi],
+        };
+        if branches.is_empty() {
+            // Unreachable under a link mask: the demand is dropped
+            // (validated topologies are strongly connected, so this
+            // only happens in failure scenarios).
+            continue;
+        }
+        let share = f / branches.len() as f64;
+        for &lid in branches {
+            out[lid.index()] += share;
+            flow[topo.link(lid).dst.index()] += share;
         }
     }
 }

@@ -255,7 +255,11 @@ mod tests {
         let fw = frank_wolfe(&topo, &m, &caps, &FwParams::default());
         let direct = phi(1.0, 1.0); // 70−178/3 ≈ 10.67
         let detour = 2.0 * phi(1.0, 1.0);
-        assert!(fw.cost < direct.min(detour), "fw {} direct {direct}", fw.cost);
+        assert!(
+            fw.cost < direct.min(detour),
+            "fw {} direct {direct}",
+            fw.cost
+        );
         // Flow conservation: total load equals demand × mean path length
         // ∈ [1, 2].
         let total: f64 = fw.loads.iter().sum();
@@ -269,8 +273,14 @@ mod tests {
             directed_links: 48,
             seed: 3,
         });
-        let demands =
-            DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() }).scaled(4.0);
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let caps: Vec<f64> = topo.links().map(|(_, l)| l.capacity).collect();
         let fw = frank_wolfe(&topo, &demands.high, &caps, &FwParams::default());
         // Compare against a handful of SPF routings.
@@ -296,20 +306,32 @@ mod tests {
             directed_links: 40,
             seed: 4,
         });
-        let demands =
-            DemandSet::generate(&topo, &TrafficCfg { seed: 4, ..Default::default() }).scaled(5.0);
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 4,
+                ..Default::default()
+            },
+        )
+        .scaled(5.0);
         let caps: Vec<f64> = topo.links().map(|(_, l)| l.capacity).collect();
         let short = frank_wolfe(
             &topo,
             &demands.low,
             &caps,
-            &FwParams { max_iters: 2, ..Default::default() },
+            &FwParams {
+                max_iters: 2,
+                ..Default::default()
+            },
         );
         let long = frank_wolfe(
             &topo,
             &demands.low,
             &caps,
-            &FwParams { max_iters: 50, ..Default::default() },
+            &FwParams {
+                max_iters: 50,
+                ..Default::default()
+            },
         );
         assert!(long.cost <= short.cost + 1e-9);
     }
@@ -321,8 +343,14 @@ mod tests {
             directed_links: 40,
             seed: 5,
         });
-        let demands =
-            DemandSet::generate(&topo, &TrafficCfg { seed: 5, ..Default::default() }).scaled(4.0);
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .scaled(4.0);
         let bound = dual_lower_bound(&topo, &demands, &FwParams::default());
         // Any STR evaluation dominates the bound on the primary
         // component.

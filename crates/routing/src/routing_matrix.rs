@@ -63,8 +63,7 @@ impl RoutingMatrix {
             if members.is_empty() {
                 continue;
             }
-            let dag =
-                ShortestPathDag::compute_with(topo, weights, NodeId(t as u32), None, &mut ws);
+            let dag = ShortestPathDag::compute_with(topo, weights, NodeId(t as u32), None, &mut ws);
             for &pi in members {
                 let (s, _) = pairs[pi as usize];
                 // Push one unit of flow from s down the DAG.
@@ -217,8 +216,18 @@ mod tests {
     #[test]
     fn link_loads_match_load_calculator() {
         // The key invariant: A·x reproduces the forwarding model exactly.
-        let topo = random_topology(&RandomTopologyCfg { nodes: 14, directed_links: 56, seed: 3 });
-        let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() });
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 14,
+            directed_links: 56,
+            seed: 3,
+        });
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let mut w = WeightVector::uniform(&topo, 1);
         // A non-trivial weight vector exercises multi-path splits.
         for i in 0..topo.link_count() as u32 {
@@ -240,9 +249,10 @@ mod tests {
         let rm = RoutingMatrix::compute(&topo, &w);
         for l in 0..rm.link_count() {
             for &(p, f) in rm.col(l) {
-                let in_row = rm.row(p as usize).iter().any(|&(ll, ff)| {
-                    ll as usize == l && (ff - f).abs() < 1e-15
-                });
+                let in_row = rm
+                    .row(p as usize)
+                    .iter()
+                    .any(|&(ll, ff)| ll as usize == l && (ff - f).abs() < 1e-15);
                 assert!(in_row, "col entry missing from row");
             }
         }

@@ -60,7 +60,11 @@ pub fn strongly_connected_under(topo: &Topology, up: &[bool]) -> bool {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            let adj = if reverse { topo.in_links(v) } else { topo.out_links(v) };
+            let adj = if reverse {
+                topo.in_links(v)
+            } else {
+                topo.out_links(v)
+            };
             for &lid in adj {
                 if !up[lid.index()] {
                     continue;
@@ -133,6 +137,9 @@ mod tests {
     #[test]
     fn full_mask_is_connected() {
         let topo = random_topology(&RandomTopologyCfg::default());
-        assert!(strongly_connected_under(&topo, &vec![true; topo.link_count()]));
+        assert!(strongly_connected_under(
+            &topo,
+            &vec![true; topo.link_count()]
+        ));
     }
 }

@@ -1,0 +1,282 @@
+//! Minimal API-compatible shim for the parts of `criterion` this
+//! workspace uses: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated to a target batch
+//! duration, then timed over `sample_size` batches; the mean, minimum and
+//! maximum per-iteration wall-clock times are printed in criterion's
+//! familiar `time: [low mean high]` shape. No statistics beyond that —
+//! the workspace's perf gates compare means across backends measured in
+//! the same process, which this supports fine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (group name provides the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// One measured result, exposed so benches can post-process timings
+/// (e.g. to emit a JSON perf log).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Iterations per sample batch.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target_batch: Duration,
+    /// All measurements taken through this driver, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_batch: Duration::from_millis(25),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+/// The timing loop handle passed to bench closures.
+pub struct Bencher<'m> {
+    measurement: &'m mut Option<(f64, f64, f64, u64)>,
+    sample_size: usize,
+    target_batch: Duration,
+}
+
+impl<'m> Bencher<'m> {
+    /// Times `routine`, recording per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill the target batch time?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_batch / 4 || iters >= 1 << 30 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = self.target_batch.as_secs_f64();
+                iters = ((target / per_iter.max(1e-12)).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let s = start.elapsed().as_secs_f64() / iters as f64;
+            sum += s;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        *self.measurement = Some((sum / self.sample_size as f64, min, max, iters));
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        let m = run_one(&id, self.sample_size, self.target_batch, f);
+        self.measurements.push(m);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    target_batch: Duration,
+    mut f: F,
+) -> Measurement {
+    let mut slot = None;
+    let mut b = Bencher {
+        measurement: &mut slot,
+        sample_size,
+        target_batch,
+    };
+    f(&mut b);
+    let (mean_s, min_s, max_s, iters) = slot.unwrap_or((0.0, 0.0, 0.0, 0));
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_time(min_s),
+        fmt_time(mean_s),
+        fmt_time(max_s)
+    );
+    Measurement {
+        id: id.to_string(),
+        mean_s,
+        min_s,
+        max_s,
+        iters_per_sample: iters,
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` as `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let m = run_one(
+            &full,
+            self.sample_size.unwrap_or(self.parent.sample_size),
+            self.parent.target_batch,
+            f,
+        );
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input as `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (all work already happened eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements.len(), 1);
+        assert!(c.measurements[0].mean_s > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("f", "p"), &3u64, |b, &n| b.iter(|| n * 2));
+            g.finish();
+        }
+        assert_eq!(c.measurements[0].id, "grp/f/p");
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal API-compatible shim for the parts of `rayon` this workspace
+//! uses: `par_iter()` on slices / `Vec`s with `map(...).collect::<Vec<_>>()`,
+//! and `current_num_threads`.
+//!
+//! Work is split into one contiguous chunk per available core and run on
+//! `std::thread::scope` threads; results are concatenated in input order,
+//! so `collect` is deterministic and order-preserving exactly like rayon's
+//! indexed parallel iterators. Small inputs (or single-core machines) run
+//! sequentially to avoid spawn overhead.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over a slice — the primitive everything
+/// here reduces to.
+pub fn par_map_slice<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: impl Fn(&'a T) -> R + Sync,
+) -> Vec<R> {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out
+}
+
+/// `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator over borrowed items.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+    /// Parallel iterator over `&Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// Parallel iterator over owned items.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Shared combinator surface of the shim's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item;
+
+    /// Maps every element through `f` in parallel, preserving order.
+    fn map<R, F>(self, f: F) -> ParMapped<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+}
+
+/// Borrowed-items parallel iterator (`par_iter()`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn map<R, F>(self, f: F) -> ParMapped<R>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMapped {
+            results: par_map_slice(self.items, f),
+        }
+    }
+}
+
+/// Owned-items parallel iterator (`into_par_iter()`).
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn map<R, F>(self, f: F) -> ParMapped<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let taken = self.items;
+        let threads = current_num_threads().min(taken.len());
+        if threads <= 1 || taken.len() < 2 {
+            return ParMapped {
+                results: taken.into_iter().map(f).collect(),
+            };
+        }
+        let chunk = taken.len().div_ceil(threads);
+        let mut results: Vec<R> = Vec::new();
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut rest = taken;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(chunk));
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(|| c.into_iter().map(&f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        ParMapped { results }
+    }
+}
+
+/// The (already-computed) result of a parallel `map`; `collect` just
+/// repackages. Keeping evaluation eager keeps the shim tiny while
+/// preserving rayon's call shapes.
+pub struct ParMapped<R> {
+    results: Vec<R>,
+}
+
+impl<R> ParMapped<R> {
+    /// Collects into a container (only `Vec<R>` is supported).
+    pub fn collect<C: FromParMapped<R>>(self) -> C {
+        C::from_results(self.results)
+    }
+}
+
+/// Containers `ParMapped::collect` can produce.
+pub trait FromParMapped<R> {
+    /// Builds the container from in-order results.
+    fn from_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParMapped<R> for Vec<R> {
+    fn from_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_values() {
+        let xs: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let ys: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(ys.len(), 100);
+        assert_eq!(ys[0], 1);
+        assert_eq!(ys[99], 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

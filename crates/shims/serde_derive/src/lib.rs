@@ -1,0 +1,388 @@
+//! Derive macros for the mini-serde shim: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build container
+//! has no `syn`/`quote`). The parser supports the shapes this workspace
+//! actually derives:
+//!
+//! - structs with named fields,
+//! - tuple structs (arity 1 serialized transparently, like serde
+//!   newtypes),
+//! - unit structs,
+//! - enums with unit, tuple and struct variants (externally tagged, as in
+//!   serde's default representation).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type
+//! fails with a clear compile error rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(A, B, …);` with the arity.
+    TupleStruct(usize),
+    /// `struct S { a: A, … }` with field names.
+    NamedStruct(Vec<String>),
+    /// `enum E { … }` with per-variant shapes.
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parses the item, panicking (compile error) on unsupported shapes.
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => (name, Shape::UnitStruct),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[…]`, including doc comments) and
+/// visibility (`pub`, `pub(crate)`, …).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body `a: A, b: B, …`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected ':' after field, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Skips a type up to a top-level `,` (angle-bracket depth aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Arity of a tuple body `A, B, …` (top-level commas + 1).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+/// The variant list of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant `= expr`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(tok) = tokens.get(i) {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => named_to_value(fields, "self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = named_to_value(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Rust")
+}
+
+/// `Value::Map` construction for named fields accessed via `prefix`
+/// (either `self.` for structs or `` for destructured variant bindings).
+fn named_to_value(fields: &[String], prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", items.join(", "))
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if s.len() != {n} {{ return Err(::serde::DeError::expected(\"{n}-tuple\", \"{name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                named_from_value(fields)
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let s = inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                     if s.len() != {n} {{ return Err(::serde::DeError::expected(\"{n}-tuple\", \"{name}::{vn}\")); }}\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => Some(format!(
+                            "\"{vn}\" => {{\n\
+                                 let m = inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 return Ok({name}::{vn} {{ {} }});\n\
+                             }}",
+                            named_from_value(fields)
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(m) = v.as_map() {{\n\
+                     if m.len() == 1 {{\n\
+                         let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                         match tag.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"variant of {name}\", v.kind()))",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated invalid Rust")
+}
+
+/// Field initializers `a: from_value(field(m, "a"))?, …` for named shapes.
+fn named_from_value(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\"))?,"))
+        .collect::<Vec<String>>()
+        .join("\n")
+}

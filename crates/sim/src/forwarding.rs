@@ -5,9 +5,9 @@
 //! links. Packets pick uniformly among branches, which reproduces the
 //! evaluator's even splitting in expectation.
 
+use crate::stats::TrafficClass;
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology};
-use crate::stats::TrafficClass;
 
 /// ECMP branch tables for both classes.
 #[derive(Debug, Clone)]
@@ -69,6 +69,8 @@ mod tests {
         let topo = triangle_topology(1.0);
         let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
         let fwd = ForwardingState::new(&topo, &w);
-        assert!(fwd.branches(TrafficClass::High, NodeId(1), NodeId(1)).is_empty());
+        assert!(fwd
+            .branches(TrafficClass::High, NodeId(1), NodeId(1))
+            .is_empty());
     }
 }

@@ -201,7 +201,10 @@ mod tests {
     #[test]
     fn deterministic_service_halves_residual_work() {
         let exp = link_10mbps();
-        let det = PriorityLink { deterministic: true, ..exp };
+        let det = PriorityLink {
+            deterministic: true,
+            ..exp
+        };
         let (he, _) = cobham(&exp, 3.0, 3.0);
         let (hd, _) = cobham(&det, 3.0, 3.0);
         assert!((hd.wait_s - he.wait_s / 2.0).abs() < 1e-12);
@@ -297,7 +300,15 @@ mod tests {
         let sl = report.link_stats[lid.index()].per_class[TrafficClass::Low.idx()]
             .wait
             .mean();
-        assert!((sh - th.wait_s).abs() / th.wait_s < 0.10, "W_H sim {sh} vs {}", th.wait_s);
-        assert!((sl - tl.wait_s).abs() / tl.wait_s < 0.10, "W_L sim {sl} vs {}", tl.wait_s);
+        assert!(
+            (sh - th.wait_s).abs() / th.wait_s < 0.10,
+            "W_H sim {sh} vs {}",
+            th.wait_s
+        );
+        assert!(
+            (sl - tl.wait_s).abs() / tl.wait_s < 0.10,
+            "W_L sim {sl} vs {}",
+            tl.wait_s
+        );
     }
 }

@@ -63,7 +63,10 @@ fn draw_volume(cfg: &GravityCfg, rng: &mut StdRng) -> f64 {
 pub fn gravity_matrix(n: usize, cfg: &GravityCfg, seed: u64) -> TrafficMatrix {
     assert!(n >= 2, "gravity model needs at least two nodes");
     let psum: f64 = cfg.volume_levels.iter().map(|&(_, _, p)| p).sum();
-    assert!((psum - 1.0).abs() < 1e-9, "mixture probabilities must sum to 1");
+    assert!(
+        (psum - 1.0).abs() < 1e-9,
+        "mixture probabilities must sum to 1"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let masses: Vec<f64> = (0..n)

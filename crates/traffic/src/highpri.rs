@@ -227,7 +227,11 @@ mod tests {
 
     #[test]
     fn local_clients_are_closer_than_uniform_on_average() {
-        let topo = power_law_topology(&PowerLawTopologyCfg { nodes: 40, attachments: 2, seed: 2 });
+        let topo = power_law_topology(&PowerLawTopologyCfg {
+            nodes: 40,
+            attachments: 2,
+            seed: 2,
+        });
         let l = low(40);
         let sinks: Vec<NodeId> = topo.nodes_by_degree_desc()[..3].to_vec();
         let hops = hops_to_nearest_sink(&topo, &sinks);
@@ -237,7 +241,11 @@ mod tests {
             let mut cnt = 0.0;
             for (s, t) in pairs {
                 // The client is whichever endpoint is not a sink.
-                let client = if sinks.iter().any(|x| x.index() == s) { t } else { s };
+                let client = if sinks.iter().any(|x| x.index() == s) {
+                    t
+                } else {
+                    s
+                };
                 acc += hops[client] as f64;
                 cnt += 1.0;
             }
@@ -247,9 +255,24 @@ mod tests {
         let mut local_sum = 0.0;
         let mut uniform_sum = 0.0;
         for seed in 0..8 {
-            local_sum += mean_hops(&sink_highpri(&topo, &l, 0.3, 0.1, 3, SinkPattern::Local, seed));
-            uniform_sum +=
-                mean_hops(&sink_highpri(&topo, &l, 0.3, 0.1, 3, SinkPattern::Uniform, seed));
+            local_sum += mean_hops(&sink_highpri(
+                &topo,
+                &l,
+                0.3,
+                0.1,
+                3,
+                SinkPattern::Local,
+                seed,
+            ));
+            uniform_sum += mean_hops(&sink_highpri(
+                &topo,
+                &l,
+                0.3,
+                0.1,
+                3,
+                SinkPattern::Uniform,
+                seed,
+            ));
         }
         assert!(
             local_sum < uniform_sum,

@@ -73,7 +73,9 @@ impl DemandSet {
         assert!(cfg.k > 0.0 && cfg.k <= 1.0, "k must be in (0,1]");
         let low = gravity_matrix(topo.node_count(), &GravityCfg::default(), cfg.seed);
         let high = match cfg.model {
-            HighPriModel::Random => random_highpri(&low, cfg.f, cfg.k, cfg.seed ^ 0x9e3779b97f4a7c15),
+            HighPriModel::Random => {
+                random_highpri(&low, cfg.f, cfg.k, cfg.seed ^ 0x9e3779b97f4a7c15)
+            }
             HighPriModel::Sink { sinks, pattern } => sink_highpri(
                 topo,
                 &low,
@@ -152,9 +154,27 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let t = topo();
-        let a = DemandSet::generate(&t, &TrafficCfg { seed: 5, ..Default::default() });
-        let b = DemandSet::generate(&t, &TrafficCfg { seed: 5, ..Default::default() });
-        let c = DemandSet::generate(&t, &TrafficCfg { seed: 6, ..Default::default() });
+        let a = DemandSet::generate(
+            &t,
+            &TrafficCfg {
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let b = DemandSet::generate(
+            &t,
+            &TrafficCfg {
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let c = DemandSet::generate(
+            &t,
+            &TrafficCfg {
+                seed: 6,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -180,6 +200,12 @@ mod tests {
     #[should_panic(expected = "f must be in (0,1)")]
     fn rejects_bad_f() {
         let t = topo();
-        DemandSet::generate(&t, &TrafficCfg { f: 1.0, ..Default::default() });
+        DemandSet::generate(
+            &t,
+            &TrafficCfg {
+                f: 1.0,
+                ..Default::default()
+            },
+        );
     }
 }

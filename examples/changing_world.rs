@@ -20,9 +20,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let topo = random_topology(&RandomTopologyCfg { nodes: 16, directed_links: 64, seed: 5 });
-    let yesterday = DemandSet::generate(&topo, &TrafficCfg { seed: 5, ..Default::default() })
-        .scaled(7.0);
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 16,
+        directed_links: 64,
+        seed: 5,
+    });
+    let yesterday = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .scaled(7.0);
 
     // Yesterday's optimum.
     let params = SearchParams::quick().with_seed(5);
@@ -47,7 +57,10 @@ fn main() {
 
     // Change-limited recovery.
     println!("\n  h   changes        Φ_H          Φ_L");
-    println!("  0         0  {:>10.1}  {:>11.1}   (frozen)", frozen.phi_h, frozen.phi_l);
+    println!(
+        "  0         0  {:>10.1}  {:>11.1}   (frozen)",
+        frozen.phi_h, frozen.phi_l
+    );
     for res in frontier(
         &topo,
         &today,

@@ -20,11 +20,20 @@ use dtr::traffic::{DemandSet, TrafficCfg};
 
 fn main() {
     let topo = isp_topology();
-    let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() })
-        .scaled(4.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .scaled(4.0);
 
     // Optimize a dual-topology weight setting.
-    println!("optimizing DTR weights for the {}-node backbone...", topo.node_count());
+    println!(
+        "optimizing DTR weights for the {}-node backbone...",
+        topo.node_count()
+    );
     let res = DtrSearch::new(
         &topo,
         &demands,

@@ -33,7 +33,10 @@ fn main() {
     // 3. Optimize. STR = one weight per link shared by both classes;
     //    DTR = one weight per link per class (Algorithm 1).
     let params = SearchParams::experiment();
-    println!("\nsearching STR weights ({} iterations)...", params.str_iters());
+    println!(
+        "\nsearching STR weights ({} iterations)...",
+        params.str_iters()
+    );
     let str_res = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
     println!(
         "searching DTR weights (N={}, K={})...",

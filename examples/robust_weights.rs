@@ -11,9 +11,7 @@
 //! cargo run --release --example robust_weights
 //! ```
 
-use dtr::core::{
-    DtrSearch, Objective, RobustSearch, ScenarioCombine, Scheme, SearchParams,
-};
+use dtr::core::{DtrSearch, Objective, RobustSearch, ScenarioCombine, Scheme, SearchParams};
 use dtr::cost::phi;
 use dtr::graph::gen::{random_topology, RandomTopologyCfg};
 use dtr::graph::weights::DualWeights;
@@ -21,9 +19,19 @@ use dtr::routing::{survivable_duplex_failures, LoadCalculator};
 use dtr::traffic::{DemandSet, TrafficCfg};
 
 fn main() {
-    let topo = random_topology(&RandomTopologyCfg { nodes: 16, directed_links: 64, seed: 3 });
-    let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() })
-        .scaled(5.0);
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 16,
+        directed_links: 64,
+        seed: 3,
+    });
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .scaled(5.0);
     println!(
         "topology: {} nodes / {} links; {} survivable single cuts",
         topo.node_count(),
@@ -64,9 +72,7 @@ fn main() {
             let h = calc.class_loads_masked(&topo, &weights.high, up, &demands.high);
             let l = calc.class_loads_masked(&topo, &weights.low, up, &demands.low);
             topo.links()
-                .map(|(lid, link)| {
-                    phi(l[lid.index()], (link.capacity - h[lid.index()]).max(0.0))
-                })
+                .map(|(lid, link)| phi(l[lid.index()], (link.capacity - h[lid.index()]).max(0.0)))
                 .sum()
         };
         let intact = cost(&mut calc, &all_up);

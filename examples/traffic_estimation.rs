@@ -44,9 +44,19 @@ fn estimate(
 }
 
 fn main() {
-    let topo = random_topology(&RandomTopologyCfg { nodes: 16, directed_links: 64, seed: 7 });
-    let truth = DemandSet::generate(&topo, &TrafficCfg { seed: 7, ..Default::default() })
-        .scaled(7.0);
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 16,
+        directed_links: 64,
+        seed: 7,
+    });
+    let truth = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .scaled(7.0);
 
     // The measurement epoch runs on the operator's current weights.
     let measure_w = WeightVector::uniform(&topo, 1);

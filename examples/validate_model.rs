@@ -13,8 +13,8 @@
 //! cargo run --release --example validate_model
 //! ```
 
-use dtr::cost::{link_delay, DelayParams};
 use dtr::core::{DualWeights, Objective};
+use dtr::cost::{link_delay, DelayParams};
 use dtr::graph::gen::{random_topology, RandomTopologyCfg};
 use dtr::graph::WeightVector;
 use dtr::routing::Evaluator;
@@ -27,8 +27,14 @@ fn main() {
         directed_links: 48,
         seed: 5,
     });
-    let demands = DemandSet::generate(&topo, &TrafficCfg { seed: 5, ..Default::default() })
-        .scaled(2.2);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .scaled(2.2);
     let weights = DualWeights::replicated(WeightVector::delay_proportional(&topo, 30));
 
     // Analytic side.
@@ -37,7 +43,16 @@ fn main() {
 
     // Simulated side (2 simulated seconds after 0.5 s warmup).
     println!("simulating 2.5 s of packet traffic...");
-    let report = Simulation::new(&topo, &demands, &weights, SimConfig { seed: 5, ..Default::default() }).run();
+    let report = Simulation::new(
+        &topo,
+        &demands,
+        &weights,
+        SimConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .run();
     println!(
         "  {} packets generated, {} delivered, {} in flight at cutoff",
         report.generated, report.delivered, report.inflight_at_end
@@ -48,8 +63,8 @@ fn main() {
     let mut worst_util_err: f64 = 0.0;
     println!("\n link  analytic_util  simulated_util   eq3_delay  sim_sojourn+prop");
     for (lid, link) in topo.links() {
-        let au = (analytic.high_loads[lid.index()] + analytic.low_loads[lid.index()])
-            / link.capacity;
+        let au =
+            (analytic.high_loads[lid.index()] + analytic.low_loads[lid.index()]) / link.capacity;
         let su = report.utilization(lid);
         worst_util_err = worst_util_err.max((au - su).abs());
         // Eq. 3 delay vs simulated high-class sojourn + propagation.

@@ -18,7 +18,11 @@ use dtr::traffic::{DemandSet, TrafficCfg};
 
 fn main() {
     let topo = isp_topology();
-    println!("backbone: {} PoPs, {} links", topo.node_count(), topo.link_count());
+    println!(
+        "backbone: {} PoPs, {} links",
+        topo.node_count(),
+        topo.link_count()
+    );
     for n in topo.nodes().take(3) {
         println!("  e.g. {}", topo.node_name(n));
     }
@@ -48,9 +52,18 @@ fn main() {
     let ssla = s.eval.sla.as_ref().unwrap();
     let dsla = d.eval.sla.as_ref().unwrap();
     println!("\n                          STR        DTR");
-    println!("  SLA violations     {:>8}  {:>9}", ssla.violations, dsla.violations);
-    println!("  SLA penalty Λ      {:>8.1}  {:>9.1}", ssla.lambda, dsla.lambda);
-    println!("  data-class Φ_L     {:>8.1}  {:>9.1}", s.eval.phi_l, d.eval.phi_l);
+    println!(
+        "  SLA violations     {:>8}  {:>9}",
+        ssla.violations, dsla.violations
+    );
+    println!(
+        "  SLA penalty Λ      {:>8.1}  {:>9.1}",
+        ssla.lambda, dsla.lambda
+    );
+    println!(
+        "  data-class Φ_L     {:>8.1}  {:>9.1}",
+        s.eval.phi_l, d.eval.phi_l
+    );
     println!(
         "  max link util      {:>8.2}  {:>9.2}",
         s.eval.max_utilization(&topo),
@@ -67,7 +80,11 @@ fn main() {
             topo.node_name(NodeId(p.src as u32)),
             topo.node_name(NodeId(p.dst as u32)),
             p.delay_s * 1e3,
-            if p.penalty > 0.0 { "  ← SLA MISS" } else { "" }
+            if p.penalty > 0.0 {
+                "  ← SLA MISS"
+            } else {
+                ""
+            }
         );
     }
 }

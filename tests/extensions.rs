@@ -24,8 +24,14 @@ fn instance() -> (dtr::graph::Topology, DemandSet) {
         directed_links: 48,
         seed: 33,
     });
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 33, ..Default::default() }).scaled(4.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 33,
+            ..Default::default()
+        },
+    )
+    .scaled(4.0);
     (topo, demands)
 }
 
@@ -41,7 +47,10 @@ fn estimated_matrices_drive_a_usable_optimization() {
         let y = LoadCalculator::new().class_loads(&topo, &measure_w, m);
         let out: Vec<f64> = (0..m.len()).map(|s| m.row_total(s)).collect();
         let in_: Vec<f64> = (0..m.len()).map(|t| m.col_total(t)).collect();
-        let cfg = TomoCfg { max_iters: 1000, tol: 1e-6 };
+        let cfg = TomoCfg {
+            max_iters: 1000,
+            tol: 1e-6,
+        };
         let fit = tomogravity(&gravity_prior(&out, &in_), &rm, &y, &cfg);
         assert!(fit.residual < 2e-2, "link residual {}", fit.residual);
         fit.matrix
@@ -76,8 +85,14 @@ fn reoptimized_weights_deploy_and_forward() {
     let (topo, demands) = instance();
     let params = SearchParams::tiny().with_seed(7);
     let base = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
-    let drifted =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 34, ..Default::default() }).scaled(4.0);
+    let drifted = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 34,
+            ..Default::default()
+        },
+    )
+    .scaled(4.0);
 
     let results = frontier(
         &topo,
@@ -184,6 +199,9 @@ fn per_flow_ecmp_preserves_totals_but_skews_links() {
             (a - b).abs()
         })
         .fold(0.0f64, f64::max);
-    assert!(max_diff > 1.0, "per-flow hashing changed nothing: {max_diff}");
+    assert!(
+        max_diff > 1.0,
+        "per-flow hashing changed nothing: {max_diff}"
+    );
     let _ = LinkId(0);
 }

@@ -16,8 +16,14 @@ fn fibs_match_evaluator_dags_for_optimized_weights() {
         directed_links: 56,
         seed: 8,
     });
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 8, ..Default::default() }).scaled(4.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 8,
+            ..Default::default()
+        },
+    )
+    .scaled(4.0);
     // Optimize real weights so the FIB comparison covers non-trivial,
     // class-divergent routing.
     let res = DtrSearch::new(
@@ -62,8 +68,14 @@ fn forwarded_paths_are_shortest_under_class_weights() {
         directed_links: 48,
         seed: 9,
     });
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 9, ..Default::default() }).scaled(4.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 9,
+            ..Default::default()
+        },
+    )
+    .scaled(4.0);
     let res = DtrSearch::new(
         &topo,
         &demands,
@@ -102,9 +114,8 @@ fn failure_then_restore_returns_to_original_fibs() {
         directed_links: 40,
         seed: 10,
     });
-    let w = dtr::core::DualWeights::replicated(dtr::graph::WeightVector::delay_proportional(
-        &topo, 30,
-    ));
+    let w =
+        dtr::core::DualWeights::replicated(dtr::graph::WeightVector::delay_proportional(&topo, 30));
     let mut net = MtrNetwork::new(&topo, w);
     net.converge();
     let orig: Vec<Vec<dtr::graph::LinkId>> = topo

@@ -37,8 +37,14 @@ fn triangle_dtr_dominates_str_exactly_as_paper() {
 #[test]
 fn isp_instance_end_to_end_load_objective() {
     let topo = isp_topology();
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 2, ..Default::default() }).scaled(5.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .scaled(5.0);
     let params = SearchParams::quick().with_seed(2);
     let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
     let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
@@ -47,7 +53,10 @@ fn isp_instance_end_to_end_load_objective() {
     let r_h = s.eval.phi_h / d.eval.phi_h;
     assert!((0.8..=1.25).contains(&r_h), "R_H = {r_h}");
     // DTR's low class never does worse in any meaningful way.
-    assert!(d.eval.phi_l <= s.eval.phi_l * 1.05, "R_L < 1 badly violated");
+    assert!(
+        d.eval.phi_l <= s.eval.phi_l * 1.05,
+        "R_L < 1 badly violated"
+    );
 
     // Re-evaluating returned weights reproduces the reported costs.
     let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
@@ -58,8 +67,14 @@ fn isp_instance_end_to_end_load_objective() {
 #[test]
 fn isp_instance_end_to_end_sla_objective() {
     let topo = isp_topology();
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 3, ..Default::default() }).scaled(5.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .scaled(5.0);
     let params = SearchParams::quick().with_seed(3);
     let s = StrSearch::new(&topo, &demands, Objective::sla_default(), params).run();
     let d = DtrSearch::new(&topo, &demands, Objective::sla_default(), params).run();
@@ -76,8 +91,14 @@ fn dtr_beats_str_at_moderate_load_on_random_topology() {
     // The headline claim at one operating point: R_L > 2 with R_H ≈ 1.
     use dtr::graph::gen::{random_topology, RandomTopologyCfg};
     let topo = random_topology(&RandomTopologyCfg::default());
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 1, ..Default::default() }).scaled(6.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .scaled(6.0);
     let params = SearchParams::quick().with_seed(1);
     let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params).run();
     let d = DtrSearch::new(&topo, &demands, Objective::LoadBased, params)
@@ -93,8 +114,14 @@ fn dtr_beats_str_at_moderate_load_on_random_topology() {
 fn relaxed_str_narrows_but_does_not_close_the_gap() {
     use dtr::graph::gen::{random_topology, RandomTopologyCfg};
     let topo = random_topology(&RandomTopologyCfg::default());
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 4, ..Default::default() }).scaled(6.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 4,
+            ..Default::default()
+        },
+    )
+    .scaled(6.0);
     let params = SearchParams::quick().with_seed(4);
     let s = StrSearch::new(&topo, &demands, Objective::LoadBased, params)
         .with_relaxations(&[0.05, 0.30])

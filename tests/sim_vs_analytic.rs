@@ -16,8 +16,14 @@ fn instance() -> (dtr::graph::Topology, DemandSet, DualWeights) {
         directed_links: 48,
         seed: 21,
     });
-    let demands =
-        DemandSet::generate(&topo, &TrafficCfg { seed: 21, ..Default::default() }).scaled(2.0);
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 21,
+            ..Default::default()
+        },
+    )
+    .scaled(2.0);
     let mut wl = WeightVector::delay_proportional(&topo, 30);
     // Make the low topology genuinely different.
     wl.set(dtr::graph::LinkId(0), 30);
@@ -48,8 +54,8 @@ fn simulated_utilization_matches_analytic_loads() {
     .run();
 
     for (lid, link) in topo.links() {
-        let au = (analytic.high_loads[lid.index()] + analytic.low_loads[lid.index()])
-            / link.capacity;
+        let au =
+            (analytic.high_loads[lid.index()] + analytic.low_loads[lid.index()]) / link.capacity;
         let su = report.utilization(lid);
         assert!(
             (au - su).abs() < 0.04,
