@@ -3,6 +3,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// Flags that act as bare boolean switches when no value follows
+/// (`--robust` alone means `--robust true`).
+const SWITCH_FLAGS: &[&str] = &["robust"];
+
 /// Parsed command line: a subcommand, positional words and `--flag value`
 /// options.
 #[derive(Debug, Clone, Default)]
@@ -59,9 +63,16 @@ impl Args {
         };
         while let Some(tok) = it.next() {
             if let Some(flag) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+                // Known switches may appear bare: `--robust --backend
+                // full` reads as `robust = true`. Every other flag still
+                // requires a value, so a forgotten one (`--out` at the
+                // end of a line) stays a hard error instead of silently
+                // becoming the string "true".
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                    _ if SWITCH_FLAGS.contains(&flag) => "true".to_string(),
+                    _ => return Err(ArgError::MissingValue(tok.clone())),
+                };
                 args.flags.insert(flag.to_string(), value);
             } else {
                 args.positional.push(tok);
@@ -112,10 +123,30 @@ mod tests {
     }
 
     #[test]
+    fn known_switches_read_as_boolean() {
+        let a = parse("optimize --robust --backend full").unwrap();
+        assert_eq!(a.get("robust"), Some("true"));
+        assert!(a.get_or("robust", false).unwrap());
+        assert_eq!(a.get("backend"), Some("full"));
+        // Trailing bare switch.
+        let b = parse("optimize --robust").unwrap();
+        assert!(b.get_or("robust", false).unwrap());
+        // Negative numbers are values, not flags.
+        let c = parse("x --delta -3").unwrap();
+        assert_eq!(c.get("delta"), Some("-3"));
+    }
+
+    #[test]
     fn missing_value_is_an_error() {
+        // Non-switch flags still require a value — a forgotten one must
+        // not silently become the string "true".
         assert_eq!(
             parse("topo --nodes").unwrap_err(),
             ArgError::MissingValue("--nodes".into())
+        );
+        assert_eq!(
+            parse("optimize --robust --out").unwrap_err(),
+            ArgError::MissingValue("--out".into())
         );
     }
 

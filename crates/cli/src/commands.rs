@@ -166,10 +166,15 @@ USAGE:
          [--scheme str|dtr|ga|memetic|anneal-str|anneal-dtr]
          [--objective load|sla] [--sla-bound-ms 25]
          [--budget tiny|quick|experiment|paper] [--seed S]
-         [--backend incremental|full] --out weights.json
+         [--backend incremental|full]
+         [--robust [--beta 0.5] [--cap N] [--weights warmstart.json]]
+         --out weights.json       (--robust supports --objective load only)
          (--backend selects the candidate-evaluation engine for the
           dtr/str hot loops: incremental dynamic-SPF repair (default)
-          or full per-candidate recomputation — identical results)
+          or full per-candidate recomputation — identical results;
+          --robust optimizes against all single duplex-pair failures,
+          sweeping scenarios through the same engine; it supports
+          --scheme str|dtr only)
   dtrctl evaluate --topo topo.json --traffic tm.json --weights weights.json
          [--objective load|sla]
   dtrctl simulate --topo topo.json --traffic tm.json --weights weights.json
@@ -185,8 +190,12 @@ USAGE:
          --changes H [--scheme str|dtr] [--budget ...] --out weights.json
          (change-limited reoptimization after traffic drift)
   dtrctl robust --topo topo.json --traffic tm.json [--weights warmstart.json]
-         [--scheme str|dtr] [--beta 0.5] [--budget ...] --out weights.json
-         (failure-aware optimization over all single duplex-pair cuts)
+         [--scheme str|dtr] [--beta 0.5] [--cap N] [--budget ...]
+         [--backend incremental|full] --out weights.json
+         (failure-aware optimization over all single duplex-pair cuts;
+          alias of `optimize --robust`. --cap optimizes against only the
+          N worst scenarios of the initial solution — an approximation;
+          the dropped pairs are reported)
 
 All artifacts are JSON; see the repository README for the full workflow."
 }
@@ -290,6 +299,13 @@ fn cmd_traffic(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_optimize(args: &Args) -> Result<(), CliError> {
+    if args.get_or("robust", false)? {
+        // `optimize --robust` is the failure-aware search: same knobs as
+        // the `robust` subcommand (`--beta`, `--cap`, `--backend`, str or
+        // dtr `--scheme`), kept under `optimize` so backend selection and
+        // budgets read uniformly across nominal and robust runs.
+        return cmd_robust(args);
+    }
     let topo: Topology = load(args.require("topo")?)?;
     let demands: DemandSet = load(args.require("traffic")?)?;
     let params = parse_budget(args)?;
@@ -591,6 +607,15 @@ fn cmd_reopt(args: &Args) -> Result<(), CliError> {
 
 /// `robust`: failure-aware optimization over all single duplex-pair cuts.
 fn cmd_robust(args: &Args) -> Result<(), CliError> {
+    // Only the load-based objective is supported: a post-failure SLA
+    // evaluation would need per-scenario delay DAGs (see the robust
+    // module docs). Reject rather than silently ignore the flag.
+    if let Objective::SlaBased(_) = parse_objective(args)? {
+        return Err(CliError::UnknownVariant {
+            what: "objective for robust optimization (only \"load\" is supported)",
+            value: "sla".to_string(),
+        });
+    }
     let topo: Topology = load(args.require("topo")?)?;
     let demands: DemandSet = load(args.require("traffic")?)?;
     let params = parse_budget(args)?;
@@ -603,18 +628,40 @@ fn cmd_robust(args: &Args) -> Result<(), CliError> {
         params,
         scheme,
     );
+    if let Some(cap) = args.get("cap") {
+        let n: usize =
+            cap.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| CliError::UnknownVariant {
+                    what: "scenario cap (need a positive count)",
+                    value: cap.to_string(),
+                })?;
+        search = search.with_scenario_cap(n);
+    }
     if let Some(p) = args.get("weights") {
         search = search.with_initial(load(p)?);
     }
     let res = search.run();
     println!(
-        "robust ({}, β={beta}, {} scenarios): intact {}, worst {}, combined {}",
+        "robust ({}, β={beta}, {} scenarios, {} backend): intact {}, worst {}, combined {}",
         scheme.name(),
         res.scenarios_used,
+        match params.backend {
+            dtr_engine::BackendKind::Full => "full",
+            dtr_engine::BackendKind::Incremental => "incremental",
+        },
         res.cost.intact,
         res.cost.worst,
         res.cost.combined
     );
+    if !res.trace.dropped_scenarios.is_empty() {
+        println!(
+            "  scenario cap dropped {} pairs from the optimization set: {:?}",
+            res.trace.dropped_scenarios.len(),
+            res.trace.dropped_scenarios
+        );
+    }
     save(args.require("out")?, &res.weights)
 }
 
@@ -708,6 +755,40 @@ mod tests {
         )))
         .unwrap();
         for p in [topo_p, tm_p, w_p, est_p, w2_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn optimize_robust_backends_agree() {
+        let topo_p = tmp("t4.json");
+        let tm_p = tmp("m4.json");
+        let wi_p = tmp("w4i.json");
+        let wf_p = tmp("w4f.json");
+
+        run(&args(&format!(
+            "topo random --nodes 8 --links 32 --seed 9 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --scale 3 --seed 9 --out {tm_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "optimize --robust --topo {topo_p} --traffic {tm_p} --scheme dtr \
+             --budget tiny --seed 4 --backend incremental --out {wi_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "optimize --robust --topo {topo_p} --traffic {tm_p} --scheme dtr \
+             --budget tiny --seed 4 --backend full --out {wf_p}"
+        )))
+        .unwrap();
+        let a: DualWeights = load(&wi_p).unwrap();
+        let b: DualWeights = load(&wf_p).unwrap();
+        assert_eq!(a, b, "robust incumbents must not depend on the backend");
+
+        for p in [topo_p, tm_p, wi_p, wf_p] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -25,15 +25,24 @@
 //! The search itself is the same single-weight-change local search as the
 //! STR baseline, over either one shared vector ([`RobustMode::Str`]) or
 //! the dual vector ([`RobustMode::Dtr`]). Candidate evaluation costs
-//! `1 + |scenarios|` routing evaluations, so robust runs are roughly two
-//! orders of magnitude more expensive per iteration than nominal runs on
-//! the paper's topologies; scale the iteration budget down by the same
-//! factor for a fair comparison. [`RobustSearch::with_scenario_cap`]
-//! trades fidelity for speed by optimizing against only the `cap` worst
-//! scenarios of the *initial* solution — beware that this is a real
-//! approximation: a move can improve every capped scenario while
-//! degrading an uncapped one, and the search will not notice. Prefer the
-//! full set whenever affordable.
+//! `1 + |scenarios|` routing evaluations; evaluation is driven through
+//! `dtr-engine`'s [`dtr_engine::BatchEvaluator`], whose **failure-sweep
+//! backend** ([`SearchParams::backend`] `= Incremental`, the default)
+//! evaluates all scenarios of one candidate against a single intact SPF
+//! state — a failed duplex pair is two link-mask deltas repaired and
+//! reverted in place — instead of recomputing `|scenarios|` full routing
+//! evaluations. Both backends produce bit-identical costs (enforced by
+//! the engine's equivalence proptests), so backend choice never changes
+//! the incumbent, only wall-clock time.
+//!
+//! [`RobustSearch::with_scenario_cap`] trades fidelity for speed by
+//! optimizing against only the `cap` worst scenarios of the *initial*
+//! solution — beware that this is a real approximation: a move can
+//! improve every capped scenario while degrading an uncapped one, and
+//! the search will not notice. The dropped pair ids are recorded in
+//! [`SearchTrace::dropped_scenarios`] so the blind spots are at least
+//! observable. With the incremental sweep backend the full set is
+//! affordable far more often; prefer it whenever it is.
 //!
 //! Only the load-based objective is supported: a post-failure SLA
 //! evaluation would need per-scenario delay DAGs, and §5's robustness
@@ -42,10 +51,11 @@
 use crate::params::SearchParams;
 use crate::scheme::Scheme;
 use crate::telemetry::{Phase, SearchTrace};
-use dtr_cost::{phi, Lex2};
+use dtr_cost::{phi, Lex2, Objective};
+use dtr_engine::{BackendKind, BatchEvaluator};
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{LinkId, Topology, WeightVector};
-use dtr_routing::{survivable_duplex_failures, FailureScenario, LoadCalculator};
+use dtr_routing::{survivable_duplex_failures, FailureScenario};
 use dtr_traffic::DemandSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,29 +110,43 @@ pub struct RobustResult {
 
 /// Evaluates weight settings against a failure-scenario set.
 ///
-/// This is intentionally independent of [`dtr_routing::Evaluator`]: the
-/// robust cost needs masked loads per scenario, which the nominal
-/// evaluator does not model.
+/// Evaluation is driven through [`BatchEvaluator`]: the intact loads
+/// come from the nominal candidate path and the per-scenario loads from
+/// the failure-sweep path ([`BatchEvaluator::sweep_high`] /
+/// [`BatchEvaluator::sweep_low`]), both bit-identical to
+/// `LoadCalculator::class_loads_masked` full evaluation regardless of
+/// backend. Cost assembly stays here: the robust cost needs masked
+/// loads folded per scenario, which the nominal
+/// [`dtr_routing::Evaluator`] does not model.
 pub struct RobustEvaluator<'a> {
     topo: &'a Topology,
-    demands: &'a DemandSet,
     scenarios: Vec<FailureScenario>,
     combine: ScenarioCombine,
-    calc: LoadCalculator,
+    engine: BatchEvaluator<'a>,
 }
 
 impl<'a> RobustEvaluator<'a> {
-    /// Binds the instance and enumerates all survivable duplex failures.
+    /// Binds the instance and enumerates all survivable duplex failures,
+    /// evaluating through the default (incremental) backend.
     pub fn new(topo: &'a Topology, demands: &'a DemandSet, combine: ScenarioCombine) -> Self {
+        Self::with_backend(topo, demands, combine, BackendKind::default())
+    }
+
+    /// [`Self::new`] with an explicit evaluation backend.
+    pub fn with_backend(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        combine: ScenarioCombine,
+        backend: BackendKind,
+    ) -> Self {
         if let ScenarioCombine::Blend { beta } = combine {
             assert!((0.0..=1.0).contains(&beta), "β must be in [0,1]");
         }
         RobustEvaluator {
             topo,
-            demands,
             scenarios: survivable_duplex_failures(topo),
             combine,
-            calc: LoadCalculator::new(),
+            engine: BatchEvaluator::new(topo, demands, Objective::LoadBased, backend),
         }
     }
 
@@ -131,22 +155,35 @@ impl<'a> RobustEvaluator<'a> {
         self.scenarios.len()
     }
 
+    /// Pair ids of the scenarios currently evaluated (ascending).
+    pub fn pair_ids(&self) -> Vec<u32> {
+        self.scenarios.iter().map(|s| s.pair_id).collect()
+    }
+
+    /// Moves the engine's base onto `w` (the search accepted a move or
+    /// diversified), keeping the incremental backend's repairs small.
+    pub fn rebase(&mut self, w: &DualWeights) {
+        self.engine.rebase_high(&w.high);
+        self.engine.rebase_low(&w.low);
+    }
+
     /// Restricts the scenario set to the `cap` scenarios with the worst
     /// low-priority cost under `w` (plus ties broken by pair id). Returns
     /// the retained pair ids.
     pub fn cap_to_worst(&mut self, w: &DualWeights, cap: usize) -> Vec<u32> {
         if cap >= self.scenarios.len() {
-            return self.scenarios.iter().map(|s| s.pair_id).collect();
+            return self.pair_ids();
         }
-        let scenarios = std::mem::take(&mut self.scenarios);
-        let mut scored: Vec<(f64, usize)> = Vec::with_capacity(scenarios.len());
-        for (i, sc) in scenarios.iter().enumerate() {
-            let cost = self.masked_cost(w, &sc.link_up);
-            scored.push((cost.secondary, i));
-        }
+        let costs = self.scenario_costs(w);
+        let mut scored: Vec<(f64, usize)> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.secondary, i))
+            .collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut keep: Vec<usize> = scored[..cap].iter().map(|&(_, i)| i).collect();
         keep.sort_unstable();
+        let scenarios = std::mem::take(&mut self.scenarios);
         let mut kept = Vec::with_capacity(cap);
         let mut next = Vec::with_capacity(cap);
         for i in keep {
@@ -157,44 +194,35 @@ impl<'a> RobustEvaluator<'a> {
         kept
     }
 
-    fn masked_cost(&mut self, w: &DualWeights, up: &[bool]) -> Lex2 {
-        let h = self
-            .calc
-            .class_loads_masked(self.topo, &w.high, up, &self.demands.high);
-        let l = self
-            .calc
-            .class_loads_masked(self.topo, &w.low, up, &self.demands.low);
-        let mut phi_h = 0.0;
-        let mut phi_l = 0.0;
-        for (lid, link) in self.topo.links() {
-            let i = lid.index();
-            phi_h += phi(h[i], link.capacity);
-            phi_l += phi(l[i], (link.capacity - h[i]).max(0.0));
-        }
-        Lex2::new(phi_h, phi_l)
+    /// Per-scenario costs of `w`, in scenario order: one class sweep per
+    /// side, folded link-wise into `⟨Φ_H, Φ_L⟩` with the low class
+    /// charged against the post-failure residual capacity.
+    fn scenario_costs(&mut self, w: &DualWeights) -> Vec<Lex2> {
+        let h = self.engine.sweep_high(&w.high, &self.scenarios);
+        let l = self.engine.sweep_low(&w.low, &self.scenarios);
+        h.iter()
+            .zip(&l)
+            .map(|(h, l)| cost_from_loads(self.topo, h, l))
+            .collect()
     }
 
     /// Full robust evaluation of one setting.
     pub fn eval(&mut self, w: &DualWeights) -> RobustCost {
-        let all_up = vec![true; self.topo.link_count()];
-        let intact = self.masked_cost(w, &all_up);
+        let h = self.engine.high_loads(&w.high);
+        let l = self.engine.low_loads(&w.low);
+        let intact = cost_from_loads(self.topo, &h, &l);
 
         let mut worst_h = intact.primary;
         let mut worst_l = intact.secondary;
         let mut sum_h = intact.primary;
         let mut sum_l = intact.secondary;
-        // Borrow dance: scenarios are moved out and back so `masked_cost`
-        // can take `&mut self`.
-        let scenarios = std::mem::take(&mut self.scenarios);
-        for sc in &scenarios {
-            let c = self.masked_cost(w, &sc.link_up);
+        for c in self.scenario_costs(w) {
             worst_h = worst_h.max(c.primary);
             worst_l = worst_l.max(c.secondary);
             sum_h += c.primary;
             sum_l += c.secondary;
         }
-        let count = (scenarios.len() + 1) as f64;
-        self.scenarios = scenarios;
+        let count = (self.scenarios.len() + 1) as f64;
 
         let worst = Lex2::new(worst_h, worst_l);
         let average = Lex2::new(sum_h / count, sum_l / count);
@@ -215,6 +243,21 @@ impl<'a> RobustEvaluator<'a> {
     }
 }
 
+/// `⟨Φ_H, Φ_L⟩` of one scenario's class loads, with the low class
+/// charged against the residual capacity the high class leaves (§3's
+/// priority-queueing model) — the same link iteration order for every
+/// scenario and backend, so costs are bit-identical whenever loads are.
+fn cost_from_loads(topo: &Topology, h: &[f64], l: &[f64]) -> Lex2 {
+    let mut phi_h = 0.0;
+    let mut phi_l = 0.0;
+    for (lid, link) in topo.links() {
+        let i = lid.index();
+        phi_h += phi(h[i], link.capacity);
+        phi_l += phi(l[i], (link.capacity - h[i]).max(0.0));
+    }
+    Lex2::new(phi_h, phi_l)
+}
+
 /// The failure-aware local search.
 pub struct RobustSearch<'a> {
     evaluator: RobustEvaluator<'a>,
@@ -225,7 +268,8 @@ pub struct RobustSearch<'a> {
 }
 
 impl<'a> RobustSearch<'a> {
-    /// Prepares a robust search with the full scenario set.
+    /// Prepares a robust search with the full scenario set, evaluating
+    /// through [`SearchParams::backend`].
     pub fn new(
         topo: &'a Topology,
         demands: &'a DemandSet,
@@ -235,7 +279,7 @@ impl<'a> RobustSearch<'a> {
     ) -> Self {
         params.validate();
         RobustSearch {
-            evaluator: RobustEvaluator::new(topo, demands, combine),
+            evaluator: RobustEvaluator::with_backend(topo, demands, combine, params.backend),
             params,
             mode,
             scenario_cap: None,
@@ -280,8 +324,11 @@ impl<'a> RobustSearch<'a> {
         let mut cur_w = self.initial.clone().unwrap_or_else(|| {
             DualWeights::replicated(WeightVector::uniform(self.evaluator.topo, 1))
         });
+        self.evaluator.rebase(&cur_w);
         if let Some(cap) = self.scenario_cap {
-            self.evaluator.cap_to_worst(&cur_w, cap);
+            let before = self.evaluator.pair_ids();
+            let kept = self.evaluator.cap_to_worst(&cur_w, cap);
+            trace.dropped_scenarios = before.into_iter().filter(|id| !kept.contains(id)).collect();
         }
         let mut cur = self.evaluator.eval(&cur_w);
         trace.evaluations += 1;
@@ -333,6 +380,7 @@ impl<'a> RobustSearch<'a> {
                 Some((c, w)) if c.combined < cur.combined => {
                     cur = c;
                     cur_w = w;
+                    self.evaluator.rebase(&cur_w);
                     trace.moves_accepted += 1;
                     if cur.combined < best.combined {
                         best = cur;
@@ -358,6 +406,7 @@ impl<'a> RobustSearch<'a> {
                         &mut rng,
                     );
                 }
+                self.evaluator.rebase(&cur_w);
                 cur = self.evaluator.eval(&cur_w);
                 trace.evaluations += 1;
                 trace.diversifications += 1;

@@ -37,7 +37,7 @@ pub struct Improvement {
 }
 
 /// Counters and the improvement log of one search run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SearchTrace {
     /// Total iterations executed (across routines).
     pub iterations: usize,
@@ -49,6 +49,12 @@ pub struct SearchTrace {
     pub moves_accepted: usize,
     /// Every incumbent improvement, in order.
     pub improvements: Vec<Improvement>,
+    /// Failure-scenario pair ids a robust-search scenario cap **dropped**
+    /// from the optimization set (ascending; empty when no cap was
+    /// active). The cap is a real approximation — a move can improve
+    /// every retained scenario while degrading a dropped one — so the
+    /// blind spots are recorded here rather than discarded silently.
+    pub dropped_scenarios: Vec<u32>,
 }
 
 impl SearchTrace {

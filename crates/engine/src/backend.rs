@@ -21,7 +21,7 @@
 
 use crate::state::{CandidateEval, FlowState};
 use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
-use dtr_routing::{push_demand_down_dag, ClassLoads};
+use dtr_routing::{push_demand_down_dag, ClassLoads, FailureScenario};
 use dtr_traffic::TrafficMatrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -57,6 +57,19 @@ pub trait EvalBackend {
     /// `false` or when providing them would require extra work that the
     /// caller can redo more cheaply ([`FullBackend`] does this).
     fn eval_batch(&mut self, cands: &[WeightVector], want_dags: bool) -> Vec<CandidateEval>;
+
+    /// Evaluates `cand` under every failure scenario's link-up mask,
+    /// returning one [`CandidateEval`] per scenario in input order.
+    /// Loads are bit-identical to
+    /// [`dtr_routing::LoadCalculator::class_loads_masked`] of `cand` on
+    /// each mask; the `dags` lists are empty (post-failure evaluation is
+    /// load-only — see `dtr-core`'s robust module). The base is
+    /// unchanged when the call returns.
+    fn eval_scenarios(
+        &mut self,
+        cand: &WeightVector,
+        scenarios: &[FailureScenario],
+    ) -> Vec<CandidateEval>;
 
     /// Moves the base weight vector (the search accepted a move or
     /// diversified).
@@ -101,6 +114,20 @@ pub fn full_candidate_eval(
     w: &WeightVector,
     want_dags: bool,
 ) -> CandidateEval {
+    full_candidate_eval_masked(topo, matrices, w, None, want_dags)
+}
+
+/// [`full_candidate_eval`] with down links masked out (`link_up[l] ==
+/// false` removes link `l`) — identical iteration order and arithmetic
+/// to [`dtr_routing::LoadCalculator::class_loads_masked`]. The full
+/// backend's per-scenario path.
+pub fn full_candidate_eval_masked(
+    topo: &Topology,
+    matrices: &[&TrafficMatrix],
+    w: &WeightVector,
+    link_up: Option<&[bool]>,
+    want_dags: bool,
+) -> CandidateEval {
     let mut ws = SpfWorkspace::new();
     let mut node_flow: Vec<f64> = Vec::new();
     let mut loads: Vec<ClassLoads> = matrices
@@ -115,7 +142,7 @@ pub fn full_candidate_eval(
         if !any {
             continue;
         }
-        let dag = ShortestPathDag::compute_with(topo, w, t, None, &mut ws);
+        let dag = ShortestPathDag::compute_with(topo, w, t, link_up, &mut ws);
         for (m, out) in matrices.iter().zip(loads.iter_mut()) {
             if m.demands_to(t.index()).next().is_none() {
                 continue;
@@ -134,6 +161,27 @@ impl<'a> EvalBackend for FullBackend<'a> {
         cands
             .par_iter()
             .map(|w| self.eval_one(w, want_dags))
+            .collect()
+    }
+
+    fn eval_scenarios(
+        &mut self,
+        cand: &WeightVector,
+        scenarios: &[FailureScenario],
+    ) -> Vec<CandidateEval> {
+        // Scenarios are independent full evaluations; fan out like a
+        // candidate batch.
+        scenarios
+            .par_iter()
+            .map(|sc| {
+                full_candidate_eval_masked(
+                    self.topo,
+                    &self.matrices,
+                    cand,
+                    Some(&sc.link_up),
+                    false,
+                )
+            })
             .collect()
     }
 
@@ -189,6 +237,28 @@ impl<'a> EvalBackend for IncrementalBackend<'a> {
                 },
             )
             .collect()
+    }
+
+    fn eval_scenarios(
+        &mut self,
+        cand: &WeightVector,
+        scenarios: &[FailureScenario],
+    ) -> Vec<CandidateEval> {
+        // Move the state onto the candidate (a 1–2 link repair on the
+        // search's hot path), sweep every scenario against that one
+        // intact state, then move back. Rebases are exact, so the
+        // round trip leaves the base state structurally identical.
+        let saved = self.state.base().clone();
+        self.state.rebase(cand, Self::MAX_DELTAS);
+        let out = scenarios
+            .iter()
+            .map(|sc| CandidateEval {
+                loads: self.state.eval_mask(&sc.link_up),
+                dags: Vec::new(),
+            })
+            .collect();
+        self.state.rebase(&saved, Self::MAX_DELTAS);
+        out
     }
 
     fn rebase(&mut self, new_base: &WeightVector) {

@@ -10,7 +10,15 @@
 //!   lets the engine skip most destinations outright);
 //! - [`apply_weight_delta`] — in-place repair of a
 //!   [`ShortestPathDag`] after one weight change, touching only the
-//!   affected region.
+//!   affected region;
+//! - [`link_down_affects_dag`] / [`apply_link_down`] /
+//!   [`apply_link_up`] — the same affected-region machinery for
+//!   **link-up-mask deltas**: removing a link from the topology (a
+//!   failed duplex pair is two such removals) behaves like a weight
+//!   increase to ∞ on a tight link, and restoring it behaves like a
+//!   decrease from ∞. The failure-sweep backend uses apply + revert
+//!   pairs of these to evaluate every single-pair failure scenario of a
+//!   candidate against one intact SPF state.
 //!
 //! # Exactness
 //!
@@ -162,7 +170,7 @@ pub fn fast_rebranch(
     let distance_preserved = if new_w > old_w {
         // Tight-link increase: `u` must keep its distance via a sibling.
         debug_assert!(du == dv + old_w as Dist);
-        has_alternate_tight_branch(topo, dag, weights, u, link)
+        has_alternate_tight_branch(topo, dag, weights, None, u, link)
     } else {
         // Decrease: only the exact-tie case leaves distances alone.
         dv + new_w as Dist == du
@@ -171,23 +179,30 @@ pub fn fast_rebranch(
         return None;
     }
     branches.clear();
-    collect_tight_branches(topo, dag, weights, u, branches);
+    collect_tight_branches(topo, dag, weights, None, u, branches);
     Some(u)
 }
 
-/// Does `u` reach its current distance through some tight out-link
+/// Is `lid` usable under the (optional) link-up mask?
+#[inline]
+fn link_usable(link_up: Option<&[bool]>, lid: LinkId) -> bool {
+    link_up.is_none_or(|up| up[lid.index()])
+}
+
+/// Does `u` reach its current distance through some tight up out-link
 /// other than `exclude`? (The keeps-distance predicate of the
 /// fast-rebranch / fast-repair increase paths.)
 fn has_alternate_tight_branch(
     topo: &Topology,
     dag: &ShortestPathDag,
     weights: &[Weight],
+    link_up: Option<&[bool]>,
     u: NodeId,
     exclude: LinkId,
 ) -> bool {
     let du = dag.dist[u.index()];
     topo.out_links(u).iter().any(|&lid| {
-        if lid == exclude {
+        if lid == exclude || !link_usable(link_up, lid) {
             return false;
         }
         let l = topo.link(lid);
@@ -196,19 +211,24 @@ fn has_alternate_tight_branch(
     })
 }
 
-/// Appends `u`'s tight out-links to `branches` — the **single** scan
+/// Appends `u`'s tight up out-links to `branches` — the **single** scan
 /// (same order, same predicate) behind both [`rebuild_ecmp`] and
-/// [`fast_rebranch`]; the engine's bit-identical contract depends on
-/// these never drifting apart.
+/// [`fast_rebranch`], and the masked counterpart of the scan
+/// `ShortestPathDag::compute_with` runs; the engine's bit-identical
+/// contract depends on these never drifting apart.
 fn collect_tight_branches(
     topo: &Topology,
     dag: &ShortestPathDag,
     weights: &[Weight],
+    link_up: Option<&[bool]>,
     u: NodeId,
     branches: &mut Vec<LinkId>,
 ) {
     let du = dag.dist[u.index()];
     for &lid in topo.out_links(u) {
+        if !link_usable(link_up, lid) {
+            continue;
+        }
         let link = topo.link(lid);
         let dy = dag.dist[link.dst.index()];
         if dy != UNREACHABLE && du == dy + weights[lid.index()] as Dist {
@@ -259,11 +279,11 @@ pub fn apply_weight_delta(
         // out-link, no distance changes anywhere — the link merely
         // leaves the DAG at `u` (common with small integer weights,
         // where ECMP ties abound).
-        if has_alternate_tight_branch(topo, dag, weights, u, link) {
-            rebuild_ecmp(topo, dag, weights, u);
+        if has_alternate_tight_branch(topo, dag, weights, None, u, link) {
+            rebuild_ecmp(topo, dag, weights, None, u);
             return true;
         }
-        repair_increase(topo, dag, weights, u, scratch)
+        repair_increase(topo, dag, weights, None, u, scratch)
     } else {
         let cand = dv + new_w as Dist;
         if du != UNREACHABLE && cand > du {
@@ -271,15 +291,131 @@ pub fn apply_weight_delta(
         }
         if du != UNREACHABLE && cand == du {
             // Distances unchanged; the link merely joins the DAG at `u`.
-            rebuild_ecmp(topo, dag, weights, u);
+            rebuild_ecmp(topo, dag, weights, None, u);
             return true;
         }
-        repair_decrease(topo, dag, weights, u, cand, scratch)
+        repair_decrease(topo, dag, weights, None, u, cand, scratch)
     };
 
-    // Rebuild ECMP membership for every node whose distance changed and
-    // for their in-neighbors (whose tight-link sets reference those
-    // distances), plus `u` itself (the changed link's tail).
+    finish_repair(topo, dag, weights, None, u, dists_changed, scratch)
+}
+
+/// Returns true iff **removing** `link` can alter `dag`: a removal
+/// matters exactly when the link is currently tight (on the DAG).
+/// `weights` holds the link's weight (masks never change weights).
+/// Restorations have a different condition (`dist(v) + w ≤ dist(u)`,
+/// tie *or* improvement) — [`apply_link_up`] checks it itself, so there
+/// is no separate filter to misuse.
+#[inline]
+pub fn link_down_affects_dag(
+    topo: &Topology,
+    dag: &ShortestPathDag,
+    weights: &[Weight],
+    link: LinkId,
+) -> bool {
+    let l = topo.link(link);
+    let du = dag.dist[l.src.index()];
+    let dv = dag.dist[l.dst.index()];
+    du != UNREACHABLE && dv != UNREACHABLE && du == dv + weights[link.index()] as Dist
+}
+
+/// Repairs `dag` in place after `link` went **down**. `link_up` must be
+/// the post-change mask (`link_up[link] == false`, and every other
+/// already-down link `false` as well); `weights` is unchanged by masking.
+/// Returns `true` if the DAG changed at all. Semantically this is
+/// [`apply_weight_delta`] with `new_w = ∞`: a removal of a non-tight
+/// link is a no-op, a removal of a tight link invalidates the
+/// DAG-ancestors of its tail and re-settles them from the boundary.
+pub fn apply_link_down(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    link_up: &[bool],
+    link: LinkId,
+    scratch: &mut DynSpfScratch,
+) -> bool {
+    debug_assert!(!link_up[link.index()]);
+    let n = topo.node_count();
+    let (u, v) = {
+        let l = topo.link(link);
+        (l.src, l.dst)
+    };
+    let du = dag.dist[u.index()];
+    let dv = dag.dist[v.index()];
+    if dv == UNREACHABLE || du == UNREACHABLE || du != dv + weights[link.index()] as Dist {
+        // Not tight: the link is on no shortest path, so removing it
+        // changes neither distances nor ECMP membership.
+        return false;
+    }
+    scratch.reset(n);
+    // Fast path: `u` keeps its distance through a sibling branch — the
+    // link merely leaves the DAG at `u`. (The down link itself is
+    // excluded by the mask.)
+    if has_alternate_tight_branch(topo, dag, weights, Some(link_up), u, link) {
+        rebuild_ecmp(topo, dag, weights, Some(link_up), u);
+        return true;
+    }
+    let dists_changed = repair_increase(topo, dag, weights, Some(link_up), u, scratch);
+    finish_repair(topo, dag, weights, Some(link_up), u, dists_changed, scratch)
+}
+
+/// Repairs `dag` in place after `link` came back **up**. `link_up` must
+/// be the post-change mask (`link_up[link] == true`). Returns `true` if
+/// the DAG changed. Semantically [`apply_weight_delta`] with
+/// `old_w = ∞`: the only new candidate paths enter through the restored
+/// link, so a seeded decrease-repair propagates any improvement
+/// upstream. Applying [`apply_link_down`] and then `apply_link_up` for
+/// the same link (under matching staged masks) restores the DAG to a
+/// structure identical to a fresh computation — the failure sweep's
+/// revert step.
+pub fn apply_link_up(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    link_up: &[bool],
+    link: LinkId,
+    scratch: &mut DynSpfScratch,
+) -> bool {
+    debug_assert!(link_up[link.index()]);
+    let n = topo.node_count();
+    let (u, v) = {
+        let l = topo.link(link);
+        (l.src, l.dst)
+    };
+    let dv = dag.dist[v.index()];
+    if dv == UNREACHABLE {
+        // The link still leads nowhere useful.
+        return false;
+    }
+    let du = dag.dist[u.index()];
+    let cand = dv + weights[link.index()] as Dist;
+    if du != UNREACHABLE && cand > du {
+        return false;
+    }
+    scratch.reset(n);
+    if du != UNREACHABLE && cand == du {
+        // Distances unchanged; the link merely joins the DAG at `u`.
+        rebuild_ecmp(topo, dag, weights, Some(link_up), u);
+        return true;
+    }
+    let dists_changed = repair_decrease(topo, dag, weights, Some(link_up), u, cand, scratch);
+    finish_repair(topo, dag, weights, Some(link_up), u, dists_changed, scratch)
+}
+
+/// Shared repair tail: rebuild ECMP membership for every node whose
+/// distance changed and for their in-neighbors (whose tight-link sets
+/// reference those distances), plus `u` itself (the changed link's
+/// tail); then re-sort `order` if any distance changed. Always returns
+/// `true` (the repair ran).
+fn finish_repair(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    link_up: Option<&[bool]>,
+    u: NodeId,
+    dists_changed: bool,
+    scratch: &mut DynSpfScratch,
+) -> bool {
     scratch.mark_recompute(u.0);
     let changed: Vec<u32> = scratch.touched.clone();
     for &x in &changed {
@@ -291,7 +427,7 @@ pub fn apply_weight_delta(
     let recompute = std::mem::take(&mut scratch.recompute);
     for &x in &recompute {
         scratch.recompute_flag[x as usize] = false;
-        rebuild_ecmp(topo, dag, weights, NodeId(x));
+        rebuild_ecmp(topo, dag, weights, link_up, NodeId(x));
     }
     scratch.recompute = recompute;
     scratch.recompute.clear();
@@ -308,13 +444,20 @@ pub fn apply_weight_delta(
     true
 }
 
-/// Rebuilds `ecmp_out[x]` by the same out-link scan the full SPF uses.
-fn rebuild_ecmp(topo: &Topology, dag: &mut ShortestPathDag, weights: &[Weight], x: NodeId) {
+/// Rebuilds `ecmp_out[x]` by the same (optionally masked) out-link scan
+/// the full SPF uses.
+fn rebuild_ecmp(
+    topo: &Topology,
+    dag: &mut ShortestPathDag,
+    weights: &[Weight],
+    link_up: Option<&[bool]>,
+    x: NodeId,
+) {
     let xi = x.index();
     let mut branches = std::mem::take(&mut dag.ecmp_out[xi]);
     branches.clear();
     if dag.dist[xi] != UNREACHABLE && x != dag.dest {
-        collect_tight_branches(topo, dag, weights, x, &mut branches);
+        collect_tight_branches(topo, dag, weights, link_up, x, &mut branches);
     }
     dag.ecmp_out[xi] = branches;
 }
@@ -328,18 +471,24 @@ fn repair_increase(
     topo: &Topology,
     dag: &mut ShortestPathDag,
     weights: &[Weight],
+    link_up: Option<&[bool]>,
     u: NodeId,
     scratch: &mut DynSpfScratch,
 ) -> bool {
     // Ancestor set S = nodes with a DAG path to u (including u): reverse
-    // BFS over tight in-links. Tightness is judged on the pre-change
+    // BFS over tight up in-links. Tightness is judged on the pre-change
     // distances; the changed link itself points *out of* u and is never
-    // traversed upward.
+    // traversed upward. Down links are skipped — after earlier repairs
+    // a removed link's endpoints can still satisfy the tightness
+    // arithmetic without the link being on any path.
     scratch.mark_set(u.0);
     scratch.stack.push(u.0);
     while let Some(x) = scratch.stack.pop() {
         let dx = dag.dist[x as usize];
         for &lid in topo.in_links(NodeId(x)) {
+            if !link_usable(link_up, lid) {
+                continue;
+            }
             let p = topo.link(lid).src;
             if scratch.in_set[p.index()] {
                 continue;
@@ -362,10 +511,13 @@ fn repair_increase(
         dag.dist[x as usize] = UNREACHABLE;
     }
 
-    // Seed the heap from the boundary: for x ∈ S, any out-link to a node
-    // outside S (whose distance is still valid) offers a path.
+    // Seed the heap from the boundary: for x ∈ S, any up out-link to a
+    // node outside S (whose distance is still valid) offers a path.
     for &(x, _) in &old {
         for &lid in topo.out_links(NodeId(x)) {
+            if !link_usable(link_up, lid) {
+                continue;
+            }
             let y = topo.link(lid).dst;
             if scratch.in_set[y.index()] {
                 continue;
@@ -382,12 +534,17 @@ fn repair_increase(
         }
     }
 
-    // Dijkstra restricted to S.
+    // Dijkstra restricted to S. Nodes never re-settled stay
+    // UNREACHABLE — exactly what a fresh masked computation produces
+    // when a mask disconnects part of the graph from the destination.
     while let Some(Reverse((d, x))) = scratch.heap.pop() {
         if d > dag.dist[x as usize] {
             continue;
         }
         for &lid in topo.in_links(NodeId(x)) {
+            if !link_usable(link_up, lid) {
+                continue;
+            }
             let p = topo.link(lid).src;
             if !scratch.in_set[p.index()] {
                 continue;
@@ -411,6 +568,7 @@ fn repair_decrease(
     topo: &Topology,
     dag: &mut ShortestPathDag,
     weights: &[Weight],
+    link_up: Option<&[bool]>,
     u: NodeId,
     cand: Dist,
     scratch: &mut DynSpfScratch,
@@ -424,6 +582,9 @@ fn repair_decrease(
             continue;
         }
         for &lid in topo.in_links(NodeId(x)) {
+            if !link_usable(link_up, lid) {
+                continue;
+            }
             let p = topo.link(lid).src;
             let nd = d + weights[lid.index()] as Dist;
             if nd < dag.dist[p.index()] {
@@ -496,6 +657,130 @@ mod tests {
         // A decrease creating a tie is flagged (ECMP membership change).
         let l02 = topo.find_link(NodeId(0), NodeId(2)).unwrap();
         assert!(!delta_affects_dag(&topo, &dag, l02, 1, 1));
+    }
+
+    /// Structural equality against a fresh masked computation.
+    fn assert_matches_fresh_masked(
+        topo: &Topology,
+        dag: &ShortestPathDag,
+        w: &WeightVector,
+        up: &[bool],
+    ) {
+        let mut ws = dtr_graph::SpfWorkspace::new();
+        let fresh = ShortestPathDag::compute_with(topo, w, dag.dest, Some(up), &mut ws);
+        assert_eq!(dag.dist, fresh.dist, "masked dist mismatch");
+        assert_eq!(dag.ecmp_out, fresh.ecmp_out, "masked ecmp mismatch");
+        assert_eq!(dag.order, fresh.order, "masked order mismatch");
+    }
+
+    #[test]
+    fn duplex_down_then_up_roundtrips() {
+        let topo = diamond();
+        let w = WeightVector::uniform(&topo, 1);
+        let dest = NodeId(3);
+        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let original = dag.clone();
+        let mut scratch = DynSpfScratch::new();
+
+        // Fail duplex 0↔1: apply the two directed removals staged.
+        let a = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        let b = topo.find_link(NodeId(1), NodeId(0)).unwrap();
+        let mut up = vec![true; topo.link_count()];
+        up[a.index()] = false;
+        if link_down_affects_dag(&topo, &dag, w.as_slice(), a) {
+            apply_link_down(&topo, &mut dag, w.as_slice(), &up, a, &mut scratch);
+        }
+        up[b.index()] = false;
+        if link_down_affects_dag(&topo, &dag, w.as_slice(), b) {
+            apply_link_down(&topo, &mut dag, w.as_slice(), &up, b, &mut scratch);
+        }
+        assert_matches_fresh_masked(&topo, &dag, &w, &up);
+        // Node 0 lost its ECMP split towards 3.
+        assert_eq!(dag.ecmp_out[0].len(), 1);
+
+        // Revert in reverse order under staged masks.
+        up[b.index()] = true;
+        apply_link_up(&topo, &mut dag, w.as_slice(), &up, b, &mut scratch);
+        up[a.index()] = true;
+        apply_link_up(&topo, &mut dag, w.as_slice(), &up, a, &mut scratch);
+        assert_eq!(dag.dist, original.dist);
+        assert_eq!(dag.ecmp_out, original.ecmp_out);
+        assert_eq!(dag.order, original.order);
+    }
+
+    #[test]
+    fn isolating_removal_marks_unreachable_and_recovers() {
+        // A 2-node duplex: cutting it makes node 1 unreachable from 0.
+        let mut b = dtr_graph::TopologyBuilder::new();
+        b.add_nodes(2);
+        b.add_duplex(NodeId(0), NodeId(1), 1.0, 0.001);
+        let topo = b.build().unwrap();
+        let w = WeightVector::uniform(&topo, 1);
+        let dest = NodeId(1);
+        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let original = dag.clone();
+        let mut scratch = DynSpfScratch::new();
+        let l01 = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l10 = topo.find_link(NodeId(1), NodeId(0)).unwrap();
+        let mut up = vec![true; topo.link_count()];
+        up[l01.index()] = false;
+        if link_down_affects_dag(&topo, &dag, w.as_slice(), l01) {
+            apply_link_down(&topo, &mut dag, w.as_slice(), &up, l01, &mut scratch);
+        }
+        up[l10.index()] = false;
+        if link_down_affects_dag(&topo, &dag, w.as_slice(), l10) {
+            apply_link_down(&topo, &mut dag, w.as_slice(), &up, l10, &mut scratch);
+        }
+        assert_eq!(dag.dist[0], UNREACHABLE);
+        assert_matches_fresh_masked(&topo, &dag, &w, &up);
+        up[l10.index()] = true;
+        apply_link_up(&topo, &mut dag, w.as_slice(), &up, l10, &mut scratch);
+        up[l01.index()] = true;
+        apply_link_up(&topo, &mut dag, w.as_slice(), &up, l01, &mut scratch);
+        assert_eq!(dag.dist, original.dist);
+        assert_eq!(dag.ecmp_out, original.ecmp_out);
+        assert_eq!(dag.order, original.order);
+    }
+
+    #[test]
+    fn randomized_duplex_mask_roundtrips_match_fresh() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 14,
+            directed_links: 56,
+            seed: 21,
+        });
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut w = WeightVector::uniform(&topo, 3);
+        for (lid, _) in topo.links() {
+            w.set(lid, rng.random_range(1u32..=8));
+        }
+        let mut scratch = DynSpfScratch::new();
+        for dest_seed in 0..4u32 {
+            let dest = NodeId(dest_seed * 3 % topo.node_count() as u32);
+            let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+            let original = dag.clone();
+            for _ in 0..60 {
+                let a = LinkId(rng.random_range(0..topo.link_count() as u32));
+                let b = topo.reverse_link(a).unwrap();
+                let mut up = vec![true; topo.link_count()];
+                for l in [a, b] {
+                    up[l.index()] = false;
+                    if link_down_affects_dag(&topo, &dag, w.as_slice(), l) {
+                        apply_link_down(&topo, &mut dag, w.as_slice(), &up, l, &mut scratch);
+                    }
+                }
+                assert_matches_fresh_masked(&topo, &dag, &w, &up);
+                for l in [b, a] {
+                    up[l.index()] = true;
+                    apply_link_up(&topo, &mut dag, w.as_slice(), &up, l, &mut scratch);
+                }
+                assert_eq!(dag.dist, original.dist);
+                assert_eq!(dag.ecmp_out, original.ecmp_out);
+                assert_eq!(dag.order, original.order);
+            }
+        }
     }
 
     #[test]

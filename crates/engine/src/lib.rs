@@ -38,15 +38,19 @@ pub mod dynspf;
 pub mod state;
 
 pub use backend::{
-    full_candidate_eval, make_backend, BackendKind, EvalBackend, FullBackend, IncrementalBackend,
+    full_candidate_eval, full_candidate_eval_masked, make_backend, BackendKind, EvalBackend,
+    FullBackend, IncrementalBackend,
 };
 pub use cache::{weight_hash, LruCache};
-pub use dynspf::{apply_weight_delta, delta_affects_dag, DynSpfScratch};
+pub use dynspf::{
+    apply_link_down, apply_link_up, apply_weight_delta, delta_affects_dag, link_down_affects_dag,
+    DynSpfScratch,
+};
 pub use state::{CandidateEval, DestState, FlowState};
 
 use dtr_cost::Objective;
 use dtr_graph::{NodeId, ShortestPathDag, Topology, WeightVector};
-use dtr_routing::{sla_evaluation, ClassLoads, Evaluation, Evaluator, HighSide};
+use dtr_routing::{sla_evaluation, ClassLoads, Evaluation, Evaluator, FailureScenario, HighSide};
 use dtr_traffic::DemandSet;
 use std::sync::Arc;
 
@@ -302,6 +306,66 @@ impl<'a> BatchEvaluator<'a> {
             }
         }
         out.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Raw per-link loads of the high class under `wh` — no cost
+    /// assembly, bit-identical to
+    /// [`dtr_routing::LoadCalculator::class_loads`]. The robust search's
+    /// intact-evaluation path (it folds loads into per-scenario costs
+    /// itself, so the nominal `HighSide` machinery does not apply).
+    pub fn high_loads(&mut self, wh: &WeightVector) -> ClassLoads {
+        let mut ev = self
+            .high
+            .get()
+            .eval_batch(std::slice::from_ref(wh), false)
+            .pop()
+            .unwrap();
+        ev.loads.swap_remove(0)
+    }
+
+    /// Raw per-link loads of the low class under `wl`.
+    pub fn low_loads(&mut self, wl: &WeightVector) -> ClassLoads {
+        let mut ev = self
+            .low
+            .get()
+            .eval_batch(std::slice::from_ref(wl), false)
+            .pop()
+            .unwrap();
+        ev.loads.swap_remove(0)
+    }
+
+    /// High-class loads of `wh` under every failure scenario, in input
+    /// order — each entry bit-identical to
+    /// [`dtr_routing::LoadCalculator::class_loads_masked`] on that
+    /// scenario's mask. Uncached: the robust search never revisits a
+    /// (candidate, scenario) pair within one run, so a sweep cache
+    /// would only pay on the incumbent re-evaluations, which the caller
+    /// already avoids.
+    pub fn sweep_high(
+        &mut self,
+        wh: &WeightVector,
+        scenarios: &[FailureScenario],
+    ) -> Vec<ClassLoads> {
+        self.high
+            .get()
+            .eval_scenarios(wh, scenarios)
+            .into_iter()
+            .map(|mut ev| ev.loads.swap_remove(0))
+            .collect()
+    }
+
+    /// Low-class loads of `wl` under every failure scenario.
+    pub fn sweep_low(
+        &mut self,
+        wl: &WeightVector,
+        scenarios: &[FailureScenario],
+    ) -> Vec<ClassLoads> {
+        self.low
+            .get()
+            .eval_scenarios(wl, scenarios)
+            .into_iter()
+            .map(|mut ev| ev.loads.swap_remove(0))
+            .collect()
     }
 
     /// Moves the high-class base (the search accepted a move).

@@ -17,7 +17,10 @@
 //! The fold is `O(dests · links)` of pure adds — vectorizable and an
 //! order of magnitude cheaper than the SPF work it replaces.
 
-use crate::dynspf::{apply_weight_delta, delta_affects_dag, fast_rebranch, DynSpfScratch};
+use crate::dynspf::{
+    apply_link_down, apply_link_up, apply_weight_delta, delta_affects_dag, fast_rebranch,
+    link_down_affects_dag, DynSpfScratch,
+};
 use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, Weight, WeightVector};
 use dtr_routing::{push_demand_down_dag, push_demand_down_dag_with, ClassLoads};
 use dtr_traffic::TrafficMatrix;
@@ -59,6 +62,11 @@ pub struct FlowState<'a> {
     node_flow: Vec<f64>,
     /// Scratch branch list for single-node ECMP overrides.
     branch_buf: Vec<LinkId>,
+    /// Scratch staged link-up mask for failure sweeps; invariantly
+    /// all-true between calls (each sweep's revert loop restores it).
+    mask_buf: Vec<bool>,
+    /// Scratch down-link list for failure sweeps.
+    downs_buf: Vec<LinkId>,
 }
 
 /// The outcome of evaluating one candidate against the base state:
@@ -87,6 +95,8 @@ impl<'a> FlowState<'a> {
             work_weights: Vec::new(),
             node_flow: Vec::new(),
             branch_buf: Vec::new(),
+            mask_buf: Vec::new(),
+            downs_buf: Vec::new(),
         };
         state.rebuild_all();
         state
@@ -333,15 +343,7 @@ impl<'a> FlowState<'a> {
                     dags.push((ds.dest, Arc::new(dag.clone())));
                 }
             } else {
-                for (j, contrib) in ds.contrib.iter().enumerate() {
-                    if contrib.is_empty() {
-                        continue;
-                    }
-                    let agg = &mut loads[j];
-                    for (a, c) in agg.iter_mut().zip(contrib) {
-                        *a += c;
-                    }
-                }
+                add_contributions(&mut loads, ds);
                 if want_dags {
                     dags.push((ds.dest, ds.dag.clone()));
                 }
@@ -403,6 +405,111 @@ impl<'a> FlowState<'a> {
     /// Aggregate loads at the current base (exact fold, no repairs).
     pub fn base_loads(&self) -> Vec<ClassLoads> {
         self.fold(&[])
+    }
+
+    /// Evaluates the **base** weights under a link-up mask
+    /// (`link_up[l] == false` removes link `l`), bit-identical to
+    /// [`dtr_routing::LoadCalculator::class_loads_masked`] of the base
+    /// on that mask.
+    ///
+    /// This is the failure-sweep hot path: for a single duplex-pair
+    /// failure, a down link matters to a destination only if it is
+    /// *tight* on that destination's intact DAG, so most destinations
+    /// contribute their cached vectors untouched. Affected destinations
+    /// have the down links **applied** to their cached DAG in place
+    /// (staged masks, one [`apply_link_down`] per tight link), their
+    /// demand pushed straight into the fold accumulators, and the DAG
+    /// **reverted** with the matching [`apply_link_up`] sequence —
+    /// repairs are exact on integer distances, so the restored state is
+    /// structurally identical to the cached one and the next scenario
+    /// starts from the same intact state.
+    pub fn eval_mask(&mut self, link_up: &[bool]) -> Vec<ClassLoads> {
+        let topo = self.topo;
+        let m = topo.link_count();
+        assert_eq!(link_up.len(), m);
+        self.downs_buf.clear();
+        self.downs_buf
+            .extend((0..m).filter(|&i| !link_up[i]).map(|i| LinkId(i as u32)));
+        let mut loads: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
+        if self.downs_buf.is_empty() {
+            for ds in &self.dests {
+                add_contributions(&mut loads, ds);
+            }
+            return loads;
+        }
+        // Staged working mask: entry `k` of the down list is cleared
+        // just before delta `k` is considered, so every repair sees
+        // exactly the links available in its intermediate state. The
+        // buffer is invariantly all-true between calls — each
+        // destination's revert loop restores every entry it cleared.
+        if self.mask_buf.len() != m {
+            self.mask_buf.clear();
+            self.mask_buf.resize(m, true);
+        }
+        debug_assert!(self.mask_buf.iter().all(|&u| u));
+        let weights = self.base.as_slice();
+        for di in 0..self.dests.len() {
+            // Find the first down link that is tight on the cached DAG.
+            // Removals of non-tight links are no-ops, so every check up
+            // to that point is valid against the intact state.
+            let first = {
+                let dag = &self.dests[di].dag;
+                self.downs_buf
+                    .iter()
+                    .position(|&l| link_down_affects_dag(topo, dag, weights, l))
+            };
+            let Some(k0) = first else {
+                add_contributions(&mut loads, &self.dests[di]);
+                continue;
+            };
+            let ds = &mut self.dests[di];
+            let dag = Arc::make_mut(&mut ds.dag);
+            // Deltas before the first hit are no-op removals, but their
+            // links must still be masked before any repair runs — a
+            // repair may otherwise route the affected region through a
+            // link the scenario removed.
+            for &l in &self.downs_buf[..k0] {
+                self.mask_buf[l.index()] = false;
+            }
+            for &l in &self.downs_buf[k0..] {
+                self.mask_buf[l.index()] = false;
+                if link_down_affects_dag(topo, dag, weights, l) {
+                    apply_link_down(topo, dag, weights, &self.mask_buf, l, &mut self.scratch);
+                }
+            }
+            // Push demand straight into the accumulators — the same add
+            // sequence the full masked calculator performs at this
+            // destination's position.
+            for (j, mm) in self.matrices.iter().enumerate() {
+                if mm.demands_to(ds.dest.index()).next().is_none() {
+                    continue;
+                }
+                push_demand_down_dag(topo, dag, mm, ds.dest, &mut self.node_flow, &mut loads[j]);
+            }
+            // Revert: restore the links in reverse order under the
+            // matching staged masks. `apply_link_up` detects no-ops
+            // itself, so no-op removals need no bookkeeping.
+            for &l in self.downs_buf.iter().rev() {
+                self.mask_buf[l.index()] = true;
+                apply_link_up(topo, dag, weights, &self.mask_buf, l, &mut self.scratch);
+            }
+        }
+        loads
+    }
+}
+
+/// Adds `ds`'s cached per-matrix contributions into `loads` — the exact
+/// per-link add sequence the full calculator executes at `ds`'s position
+/// (each link receives at most one add per destination per matrix).
+fn add_contributions(loads: &mut [ClassLoads], ds: &DestState) {
+    for (j, contrib) in ds.contrib.iter().enumerate() {
+        if contrib.is_empty() {
+            continue;
+        }
+        let agg = &mut loads[j];
+        for (a, c) in agg.iter_mut().zip(contrib) {
+            *a += c;
+        }
     }
 }
 
@@ -468,6 +575,35 @@ mod tests {
             let full = calc.class_loads(&topo, &cand, &demands.low);
             assert_eq!(ev.loads[0], full);
         }
+    }
+
+    #[test]
+    fn eval_mask_matches_masked_calculator_bitwise() {
+        let (topo, demands) = instance(7);
+        let w = WeightVector::uniform(&topo, 4);
+        let mut state = FlowState::new(&topo, vec![&demands.high, &demands.low], w.clone());
+        let mut calc = LoadCalculator::new();
+        let scenarios = dtr_routing::survivable_duplex_failures(&topo);
+        assert!(!scenarios.is_empty());
+        for sc in &scenarios {
+            let loads = state.eval_mask(&sc.link_up);
+            let fh = calc.class_loads_masked(&topo, &w, &sc.link_up, &demands.high);
+            let fl = calc.class_loads_masked(&topo, &w, &sc.link_up, &demands.low);
+            assert_eq!(loads[0], fh, "pair {}", sc.pair_id);
+            assert_eq!(loads[1], fl, "pair {}", sc.pair_id);
+        }
+        // The apply/revert sweep left the intact state untouched.
+        let full = LoadCalculator::new().class_loads(&topo, &w, &demands.high);
+        assert_eq!(state.base_loads()[0], full);
+    }
+
+    #[test]
+    fn eval_mask_all_up_is_base_fold() {
+        let (topo, demands) = instance(4);
+        let w = WeightVector::uniform(&topo, 2);
+        let mut state = FlowState::new(&topo, vec![&demands.low], w);
+        let up = vec![true; topo.link_count()];
+        assert_eq!(state.eval_mask(&up), state.base_loads());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Equivalence property tests for the failure-sweep backend.
+//!
+//! The sweep's contract extends the engine's: for any topology, demand
+//! set, candidate weight setting and survivable single-duplex-pair
+//! failure scenario, both backends' `eval_scenarios` return loads
+//! **bit-identical** to [`LoadCalculator::class_loads_masked`] full
+//! evaluation of the candidate on the scenario's link-up mask — and the
+//! sweep leaves the incremental backend's base state untouched, so
+//! sweeps stay exact across rebases. Equality below is `PartialEq` over
+//! `Vec<f64>`, which compares every load exactly (no tolerances).
+
+use dtr_cost::Objective;
+use dtr_engine::{make_backend, BackendKind, BatchEvaluator};
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::{LinkId, Topology, WeightVector, MAX_WEIGHT, MIN_WEIGHT};
+use dtr_routing::{survivable_duplex_failures, LoadCalculator};
+use dtr_traffic::{DemandSet, TrafficCfg};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn instance(seed: u64, nodes: usize) -> (Topology, DemandSet) {
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes,
+        directed_links: nodes * 4,
+        seed,
+    });
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed,
+            ..Default::default()
+        },
+    )
+    .scaled(3.0);
+    (topo, demands)
+}
+
+fn rand_weights(topo: &Topology, seed: u64) -> WeightVector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightVector::from_vec(
+        (0..topo.link_count())
+            .map(|_| rng.random_range(MIN_WEIGHT..=MAX_WEIGHT))
+            .collect(),
+    )
+}
+
+/// A candidate differing from `base` by `deltas` weight changes (the
+/// robust search's neighborhood-move shape).
+fn neighbor(topo: &Topology, base: &WeightVector, deltas: usize, seed: u64) -> WeightVector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = base.clone();
+    for _ in 0..deltas {
+        let lid = LinkId(rng.random_range(0..topo.link_count() as u32));
+        w.set(lid, rng.random_range(MIN_WEIGHT..=MAX_WEIGHT));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Both backends' failure sweeps are bit-identical to the masked
+    /// full calculator on every survivable scenario, for candidates at
+    /// neighborhood distance from the base.
+    #[test]
+    fn sweep_matches_masked_calculator(seed in 0u64..400, wseed in 0u64..400, deltas in 0usize..=2) {
+        let (topo, demands) = instance(seed, 12);
+        let scenarios = survivable_duplex_failures(&topo);
+        prop_assume!(!scenarios.is_empty());
+        let base = rand_weights(&topo, wseed);
+        let cand = neighbor(&topo, &base, deltas, seed ^ (wseed << 1));
+
+        let mut calc = LoadCalculator::new();
+        for kind in [BackendKind::Full, BackendKind::Incremental] {
+            let mut backend = make_backend(kind, &topo, vec![&demands.high], base.clone());
+            let evs = backend.eval_scenarios(&cand, &scenarios);
+            prop_assert_eq!(evs.len(), scenarios.len());
+            for (sc, ev) in scenarios.iter().zip(&evs) {
+                let full = calc.class_loads_masked(&topo, &cand, &sc.link_up, &demands.high);
+                prop_assert_eq!(&ev.loads[0], &full);
+            }
+            // The sweep must not disturb the base: nominal evaluation of
+            // the base afterwards still matches the plain calculator.
+            let mut nominal = backend.eval_batch(std::slice::from_ref(&base), false);
+            let loads = nominal.pop().unwrap().loads.swap_remove(0);
+            prop_assert_eq!(loads, calc.class_loads(&topo, &base, &demands.high));
+        }
+    }
+
+    /// Sweeps stay exact after the backend rebases (accepted moves and
+    /// diversification jumps both exercise the repair and rebuild
+    /// rebase paths).
+    #[test]
+    fn sweep_matches_after_rebase(seed in 0u64..300, wseed in 0u64..300, jump in 0u8..2) {
+        let big_jump = jump == 1;
+        let (topo, demands) = instance(seed, 10);
+        let scenarios = survivable_duplex_failures(&topo);
+        prop_assume!(!scenarios.is_empty());
+        let w0 = rand_weights(&topo, wseed);
+        // Small rebases repair in place; large ones rebuild from scratch.
+        let w1 = neighbor(&topo, &w0, if big_jump { 12 } else { 2 }, seed.wrapping_mul(17) ^ wseed);
+        let cand = neighbor(&topo, &w1, 1, seed.wrapping_mul(29) ^ wseed);
+
+        let mut calc = LoadCalculator::new();
+        for kind in [BackendKind::Full, BackendKind::Incremental] {
+            let mut backend = make_backend(kind, &topo, vec![&demands.low], w0.clone());
+            backend.rebase(&w1);
+            let evs = backend.eval_scenarios(&cand, &scenarios);
+            for (sc, ev) in scenarios.iter().zip(&evs) {
+                let full = calc.class_loads_masked(&topo, &cand, &sc.link_up, &demands.low);
+                prop_assert_eq!(&ev.loads[0], &full);
+            }
+        }
+    }
+
+    /// The `BatchEvaluator` facade the robust search drives: per-class
+    /// sweeps agree bitwise across backends and with the masked
+    /// calculator, under both objectives (sweeps are load-only, so the
+    /// objective must not leak into them).
+    #[test]
+    fn facade_sweeps_agree_across_backends(seed in 0u64..300, wseed in 0u64..300) {
+        let (topo, demands) = instance(seed, 10);
+        let scenarios = survivable_duplex_failures(&topo);
+        prop_assume!(!scenarios.is_empty());
+        let base = rand_weights(&topo, wseed);
+        let cand = neighbor(&topo, &base, 2, seed.rotate_left(7) ^ wseed);
+
+        let mut calc = LoadCalculator::new();
+        for objective in [Objective::LoadBased, Objective::sla_default()] {
+            let mut full = BatchEvaluator::new(&topo, &demands, objective, BackendKind::Full);
+            let mut incr = BatchEvaluator::new(&topo, &demands, objective, BackendKind::Incremental);
+            full.rebase_high(&base);
+            full.rebase_low(&base);
+            incr.rebase_high(&base);
+            incr.rebase_low(&base);
+
+            let fh = full.sweep_high(&cand, &scenarios);
+            let ih = incr.sweep_high(&cand, &scenarios);
+            let fl = full.sweep_low(&cand, &scenarios);
+            let il = incr.sweep_low(&cand, &scenarios);
+            prop_assert_eq!(&fh, &ih);
+            prop_assert_eq!(&fl, &il);
+            for (i, sc) in scenarios.iter().enumerate() {
+                let h = calc.class_loads_masked(&topo, &cand, &sc.link_up, &demands.high);
+                let l = calc.class_loads_masked(&topo, &cand, &sc.link_up, &demands.low);
+                prop_assert_eq!(&fh[i], &h);
+                prop_assert_eq!(&fl[i], &l);
+            }
+        }
+    }
+}

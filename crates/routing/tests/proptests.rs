@@ -259,9 +259,40 @@ proptest! {
             prop_assert!(dtr_routing::strongly_connected_under(&topo, &sc.link_up));
             let down = sc.link_up.iter().filter(|&&u| !u).count();
             prop_assert_eq!(down, 2, "exactly one duplex pair fails");
+            // The two down links are exactly the canonical pair and its
+            // reverse twin — never two unrelated directed links.
             let lid = dtr_graph::LinkId(sc.pair_id);
             let twin = topo.reverse_link(lid).unwrap();
             prop_assert!(lid.index() < twin.index());
+            prop_assert!(!sc.link_up[lid.index()]);
+            prop_assert!(!sc.link_up[twin.index()]);
+        }
+    }
+
+    #[test]
+    fn failure_scenario_set_is_complete(seed in 0u64..120) {
+        // Every duplex pair is either in the survivable set or its cut
+        // genuinely disconnects the topology — the enumeration drops
+        // nothing else.
+        let (topo, _) = small_instance(seed);
+        let scenarios = dtr_routing::survivable_duplex_failures(&topo);
+        let included: std::collections::HashSet<u32> =
+            scenarios.iter().map(|sc| sc.pair_id).collect();
+        for (lid, _) in topo.links() {
+            let twin = topo.reverse_link(lid).unwrap();
+            if twin.index() < lid.index() {
+                continue; // canonical direction only
+            }
+            let mut up = vec![true; topo.link_count()];
+            up[lid.index()] = false;
+            up[twin.index()] = false;
+            let survivable = dtr_routing::strongly_connected_under(&topo, &up);
+            prop_assert_eq!(
+                included.contains(&lid.0),
+                survivable,
+                "pair {} must be included iff its cut keeps the topology strongly connected",
+                lid.0
+            );
         }
     }
 }
