@@ -26,6 +26,15 @@ pub enum ArgError {
     MissingCommand,
     /// A `--flag` with no following value.
     MissingValue(String),
+    /// A boolean switch written as `--switch=value`. Switches carry no
+    /// value — `--robust=false` would otherwise read as "robust
+    /// requested" — so the form is rejected outright.
+    SwitchWithValue {
+        /// The switch name (with `--`).
+        flag: String,
+        /// The rejected `=value` part.
+        value: String,
+    },
     /// A flag's value failed to parse.
     BadValue {
         /// The flag name.
@@ -42,6 +51,12 @@ impl fmt::Display for ArgError {
         match self {
             ArgError::MissingCommand => write!(f, "no subcommand given (try `dtrctl help`)"),
             ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::SwitchWithValue { flag, value } => write!(
+                f,
+                "{flag} is a boolean switch and takes no value: drop \
+                 `={value}` — the switch's presence alone means true, \
+                 its absence means false"
+            ),
             ArgError::BadValue { flag, value } => {
                 write!(f, "could not parse value {value:?} for {flag}")
             }
@@ -63,6 +78,20 @@ impl Args {
         };
         while let Some(tok) = it.next() {
             if let Some(flag) = tok.strip_prefix("--") {
+                // `--flag=value` assigns inline. Boolean switches are the
+                // exception: `--robust=false` must not silently read as
+                // "robust requested", so the `=` form is a hard error on
+                // them.
+                if let Some((name, value)) = flag.split_once('=') {
+                    if SWITCH_FLAGS.contains(&name) {
+                        return Err(ArgError::SwitchWithValue {
+                            flag: format!("--{name}"),
+                            value: value.to_string(),
+                        });
+                    }
+                    args.flags.insert(name.to_string(), value.to_string());
+                    continue;
+                }
                 // Known switches may appear bare: `--robust --backend
                 // full` reads as `robust = true`. Every other flag still
                 // requires a value, so a forgotten one (`--out` at the
@@ -134,6 +163,36 @@ mod tests {
         // Negative numbers are values, not flags.
         let c = parse("x --delta -3").unwrap();
         assert_eq!(c.get("delta"), Some("-3"));
+    }
+
+    #[test]
+    fn switch_with_eq_value_is_rejected_with_a_clear_error() {
+        // `--robust=false` must not silently mean true (or anything).
+        for spec in [
+            "optimize --robust=false",
+            "optimize --robust=true --backend full",
+            "optimize --topo t.json --robust=0",
+        ] {
+            let e = parse(spec).unwrap_err();
+            assert!(
+                matches!(&e, ArgError::SwitchWithValue { flag, .. } if flag == "--robust"),
+                "{spec}: {e:?}"
+            );
+            let msg = e.to_string();
+            assert!(msg.contains("--robust"), "{msg}");
+            assert!(msg.contains("takes no value"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn eq_form_assigns_non_switch_flags() {
+        let a = parse("topo random --nodes=30 --seed=7 --out=topo.json").unwrap();
+        assert_eq!(a.get_or("nodes", 0usize).unwrap(), 30);
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get("out"), Some("topo.json"));
+        // An empty value stays an (empty) value, not a switch.
+        let b = parse("x --name=").unwrap();
+        assert_eq!(b.get("name"), Some(""));
     }
 
     #[test]

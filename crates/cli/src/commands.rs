@@ -2,8 +2,9 @@
 
 use crate::args::{ArgError, Args};
 use dtr_core::{
-    AnnealSearch, DtrSearch, DualWeights, GaSearch, MemeticSearch, Objective, ReoptSearch,
-    RobustSearch, ScenarioCombine, Scheme, SearchParams, SlaParams, StrSearch,
+    parse_portfolio, AnnealSearch, DtrSearch, DualWeights, GaSearch, MemeticSearch, Objective,
+    PortfolioMode, PortfolioParams, PortfolioResult, PortfolioSearch, ReoptSearch, RobustSearch,
+    ScenarioCombine, Scheme, SearchParams, SlaParams, StrSearch, StrategyKind,
 };
 use dtr_graph::families::{
     grid_topology, hierarchical_topology, waxman_topology, GridCfg, HierarchicalCfg, WaxmanCfg,
@@ -110,6 +111,69 @@ fn parse_budget(args: &Args) -> Result<SearchParams, CliError> {
     Ok(params)
 }
 
+/// Whether an optimize/robust invocation requests the parallel portfolio
+/// orchestrator (any of its knobs present).
+fn wants_portfolio(args: &Args) -> bool {
+    args.get("workers").is_some()
+        || args.get("portfolio").is_some()
+        || args.get("restarts").is_some()
+        || args.get("prune-margin").is_some()
+}
+
+fn parse_portfolio_cfg(args: &Args) -> Result<PortfolioParams, CliError> {
+    let strategies = match args.get("portfolio") {
+        Some(spec) => parse_portfolio(spec).map_err(|_| CliError::UnknownVariant {
+            what: "portfolio spec (comma-separated descent|anneal|ga|memetic)",
+            value: spec.to_string(),
+        })?,
+        None => StrategyKind::ALL.to_vec(),
+    };
+    let restarts = args.get_or("restarts", 1usize)?;
+    if restarts == 0 {
+        return Err(CliError::UnknownVariant {
+            what: "restart count (need ≥ 1)",
+            value: "0".to_string(),
+        });
+    }
+    let prune_margin: f64 = args.get_or("prune-margin", f64::INFINITY)?;
+    if prune_margin.is_nan() || prune_margin < 0.0 {
+        return Err(CliError::UnknownVariant {
+            what: "prune margin (need a non-negative fraction)",
+            value: args.get("prune-margin").unwrap_or_default().to_string(),
+        });
+    }
+    Ok(PortfolioParams {
+        strategies,
+        restarts,
+        workers: args.get_or("workers", 0usize)?,
+        prune_margin,
+    })
+}
+
+/// Prints the per-arm summary of a finished portfolio run.
+fn print_portfolio(res: &PortfolioResult, elapsed_s: f64) {
+    for t in &res.tasks {
+        println!(
+            "  arm {:>2} wave {} {:<8} cost {} ({} evaluations)",
+            t.task,
+            t.wave,
+            t.strategy.name(),
+            t.cost,
+            t.evaluations
+        );
+    }
+    for (si, wave) in &res.pruned {
+        println!("  pruned strategy #{si} after wave {wave}");
+    }
+    println!(
+        "portfolio: best cost {} from {} arms on {} workers in {:.2}s",
+        res.cost,
+        res.tasks.len(),
+        res.workers,
+        elapsed_s
+    );
+}
+
 fn parse_objective(args: &Args) -> Result<Objective, CliError> {
     match args.get("objective").unwrap_or("load") {
         "load" => Ok(Objective::LoadBased),
@@ -167,6 +231,8 @@ USAGE:
          [--objective load|sla] [--sla-bound-ms 25]
          [--budget tiny|quick|experiment|paper] [--seed S]
          [--backend incremental|full]
+         [--workers N] [--portfolio descent,anneal,ga,memetic]
+         [--restarts R] [--prune-margin F]
          [--robust [--beta 0.5] [--cap N] [--weights warmstart.json]]
          --out weights.json       (--robust supports --objective load only)
          (--backend selects the candidate-evaluation engine for the
@@ -174,7 +240,18 @@ USAGE:
           or full per-candidate recomputation — identical results;
           --robust optimizes against all single duplex-pair failures,
           sweeping scenarios through the same engine; it supports
-          --scheme str|dtr only)
+          --scheme str|dtr only.
+          --workers/--portfolio/--restarts switch on the parallel
+          portfolio orchestrator: restarts×|portfolio| independent arms
+          with derived seeds fan out over N worker threads (0 = all
+          cores), each arm owning its own engine state; arms share a
+          live incumbent bound and reduce deterministically, so the
+          result depends only on --seed and the spec, never on N.
+          --prune-margin F drops arms worse than the incumbent by more
+          than fraction F at restart barriers. With the orchestrator,
+          --scheme selects the routing scheme (str|dtr) only; in
+          --robust runs non-descent arms warm-start a failure-aware
+          descent from their nominal optimum)
   dtrctl evaluate --topo topo.json --traffic tm.json --weights weights.json
          [--objective load|sla]
   dtrctl simulate --topo topo.json --traffic tm.json --weights weights.json
@@ -191,7 +268,8 @@ USAGE:
          (change-limited reoptimization after traffic drift)
   dtrctl robust --topo topo.json --traffic tm.json [--weights warmstart.json]
          [--scheme str|dtr] [--beta 0.5] [--cap N] [--budget ...]
-         [--backend incremental|full] --out weights.json
+         [--backend incremental|full]
+         [--workers N] [--portfolio ...] [--restarts R] --out weights.json
          (failure-aware optimization over all single duplex-pair cuts;
           alias of `optimize --robust`. --cap optimizes against only the
           N worst scenarios of the initial solution — an approximation;
@@ -306,11 +384,46 @@ fn cmd_optimize(args: &Args) -> Result<(), CliError> {
         // budgets read uniformly across nominal and robust runs.
         return cmd_robust(args);
     }
+    // Validate orchestrator flags before touching the filesystem so a
+    // typo'd spec fails fast.
+    let portfolio = if wants_portfolio(args) {
+        // Portfolio arms cover the strategy axis themselves, so --scheme
+        // only selects the routing scheme here.
+        let routing = match args.get("scheme").unwrap_or("dtr") {
+            "dtr" => Scheme::Dtr,
+            "str" => Scheme::Str,
+            other => {
+                return Err(CliError::UnknownVariant {
+                    what: "portfolio routing scheme (str|dtr)",
+                    value: other.to_string(),
+                })
+            }
+        };
+        Some((routing, parse_portfolio_cfg(args)?))
+    } else {
+        None
+    };
+
     let topo: Topology = load(args.require("topo")?)?;
     let demands: DemandSet = load(args.require("traffic")?)?;
     let params = parse_budget(args)?;
     let objective = parse_objective(args)?;
     let scheme = args.get("scheme").unwrap_or("dtr");
+
+    if let Some((routing, cfg)) = portfolio {
+        let start = std::time::Instant::now();
+        let res = PortfolioSearch::new(
+            &topo,
+            &demands,
+            objective,
+            params,
+            PortfolioMode::Nominal(routing),
+            cfg,
+        )
+        .run();
+        print_portfolio(&res, start.elapsed().as_secs_f64());
+        return save(args.require("out")?, &res.weights);
+    }
 
     let weights: DualWeights = match scheme {
         "dtr" => {
@@ -621,6 +734,48 @@ fn cmd_robust(args: &Args) -> Result<(), CliError> {
     let params = parse_budget(args)?;
     let scheme = parse_scheme(args)?;
     let beta: f64 = args.get_or("beta", 0.5)?;
+    let cap: Option<usize> =
+        match args.get("cap") {
+            None => None,
+            Some(cap) => Some(cap.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                CliError::UnknownVariant {
+                    what: "scenario cap (need a positive count)",
+                    value: cap.to_string(),
+                }
+            })?),
+        };
+
+    if wants_portfolio(args) {
+        let cfg = parse_portfolio_cfg(args)?;
+        let mut search = PortfolioSearch::new(
+            &topo,
+            &demands,
+            Objective::LoadBased,
+            params,
+            PortfolioMode::Robust {
+                combine: ScenarioCombine::Blend { beta },
+                cap,
+                scheme,
+            },
+            cfg,
+        );
+        if let Some(p) = args.get("weights") {
+            search = search.with_initial(load(p)?);
+        }
+        let start = std::time::Instant::now();
+        let res = search.run();
+        print_portfolio(&res, start.elapsed().as_secs_f64());
+        let rc = res.robust.expect("robust portfolio reports a robust cost");
+        println!(
+            "robust portfolio ({}, β={beta}): intact {}, worst {}, combined {}",
+            scheme.name(),
+            rc.intact,
+            rc.worst,
+            rc.combined
+        );
+        return save(args.require("out")?, &res.weights);
+    }
+
     let mut search = RobustSearch::new(
         &topo,
         &demands,
@@ -628,15 +783,7 @@ fn cmd_robust(args: &Args) -> Result<(), CliError> {
         params,
         scheme,
     );
-    if let Some(cap) = args.get("cap") {
-        let n: usize =
-            cap.parse()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| CliError::UnknownVariant {
-                    what: "scenario cap (need a positive count)",
-                    value: cap.to_string(),
-                })?;
+    if let Some(n) = cap {
         search = search.with_scenario_cap(n);
     }
     if let Some(p) = args.get("weights") {
@@ -790,6 +937,102 @@ mod tests {
 
         for p in [topo_p, tm_p, wi_p, wf_p] {
             let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn portfolio_optimize_is_worker_count_invariant() {
+        let topo_p = tmp("t5.json");
+        let tm_p = tmp("m5.json");
+        let w1_p = tmp("w5a.json");
+        let w4_p = tmp("w5b.json");
+        run(&args(&format!(
+            "topo random --nodes 8 --links 32 --seed 12 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --scale 3 --seed 12 --out {tm_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "optimize --topo {topo_p} --traffic {tm_p} --budget tiny --seed 5 \
+             --workers 1 --portfolio descent,anneal,ga,memetic --out {w1_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "optimize --topo {topo_p} --traffic {tm_p} --budget tiny --seed 5 \
+             --workers 4 --portfolio descent,anneal,ga,memetic --out {w4_p}"
+        )))
+        .unwrap();
+        let a = std::fs::read(&w1_p).unwrap();
+        let b = std::fs::read(&w4_p).unwrap();
+        assert_eq!(a, b, "worker count changed the saved incumbent");
+
+        // Robust portfolio mode also runs end to end.
+        run(&args(&format!(
+            "optimize --robust --topo {topo_p} --traffic {tm_p} --budget tiny \
+             --seed 5 --workers 2 --restarts 1 --out {w4_p}"
+        )))
+        .unwrap();
+        let w: DualWeights = load(&w4_p).unwrap();
+        assert_eq!(w.high.len(), 32);
+
+        for p in [topo_p, tm_p, w1_p, w4_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn portfolio_rejects_bad_specs() {
+        let e = run(&args(
+            "optimize --topo t.json --traffic m.json --workers 2 --portfolio tabu --out w.json",
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            CliError::UnknownVariant {
+                what: "portfolio spec (comma-separated descent|anneal|ga|memetic)",
+                ..
+            }
+        ));
+        let e = run(&args(
+            "optimize --topo t.json --traffic m.json --workers 2 --scheme ga --out w.json",
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            CliError::UnknownVariant {
+                what: "portfolio routing scheme (str|dtr)",
+                ..
+            }
+        ));
+        let e = run(&args(
+            "optimize --topo t.json --traffic m.json --restarts 0 --out w.json",
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            CliError::UnknownVariant {
+                what: "restart count (need ≥ 1)",
+                ..
+            }
+        ));
+        for bad in ["-0.5", "nan"] {
+            let e = run(&args(&format!(
+                "optimize --topo t.json --traffic m.json --workers 2 \
+                 --prune-margin {bad} --out w.json"
+            )))
+            .unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    CliError::UnknownVariant {
+                        what: "prune margin (need a non-negative fraction)",
+                        ..
+                    }
+                ),
+                "prune-margin {bad}: {e:?}"
+            );
         }
     }
 

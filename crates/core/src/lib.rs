@@ -38,6 +38,11 @@
 //! - [`ReoptSearch`] — change-limited reoptimization after traffic drift
 //!   (the "changing world" problem, \[19\]);
 //! - [`SlicedSearch`] — traffic-matrix slicing (\[6\]).
+//! - [`PortfolioSearch`] — the parallel multi-start orchestrator: N
+//!   workers over rayon, each running one strategy arm
+//!   (descent/anneal/GA/memetic) with a derived seed and its own engine
+//!   state, sharing a [`SharedBound`] incumbent bound, reduced
+//!   deterministically so `--workers N` never changes the result.
 //!
 //! The evaluation budget is controlled by [`SearchParams`]; the paper's
 //! full budget (`N = 300 000`, `K = 800 000`) is available as
@@ -52,6 +57,7 @@ pub mod joint;
 pub mod memetic;
 pub mod neighborhood;
 pub mod params;
+pub mod portfolio;
 pub mod reopt;
 pub mod robust;
 pub mod scheme;
@@ -65,7 +71,11 @@ pub use ga::{GaParams, GaResult, GaSearch};
 pub use joint::{joint_cost, JointCostExplorer, TriangleVerdict};
 pub use memetic::{MemeticParams, MemeticResult, MemeticSearch};
 pub use neighborhood::{NeighborhoodSampler, RankTable};
-pub use params::SearchParams;
+pub use params::{derive_stream_seed, SearchParams};
+pub use portfolio::{
+    parse_portfolio, PortfolioMode, PortfolioParams, PortfolioResult, PortfolioSearch,
+    StrategyKind, TaskOutcome,
+};
 pub use reopt::{ReoptResult, ReoptSearch};
 pub use robust::{
     RobustCost, RobustEvaluator, RobustMode, RobustResult, RobustSearch, ScenarioCombine,
@@ -78,7 +88,7 @@ pub use telemetry::SearchTrace;
 // Re-export the types a downstream user needs to drive a search without
 // depending on every substrate crate explicitly.
 pub use dtr_cost::{Lex2, Objective, SlaParams};
-pub use dtr_engine::{BackendKind, BatchEvaluator, EvalBackend};
+pub use dtr_engine::{BackendKind, BatchEvaluator, EvalBackend, SharedBound};
 pub use dtr_graph::weights::DualWeights;
 pub use dtr_graph::{Topology, WeightVector};
 pub use dtr_routing::{Evaluation, Evaluator};

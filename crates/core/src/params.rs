@@ -116,6 +116,13 @@ impl SearchParams {
         SearchParams { seed, ..self }
     }
 
+    /// Copy with the seed replaced by the derived seed of worker/task
+    /// `stream` (see [`derive_stream_seed`]) — how the portfolio
+    /// orchestrator decorrelates its arms from one base seed.
+    pub fn with_stream(self, stream: u64) -> Self {
+        self.with_seed(derive_stream_seed(self.seed, stream))
+    }
+
     /// Copy with a different evaluation backend.
     pub fn with_backend(self, backend: BackendKind) -> Self {
         SearchParams { backend, ..self }
@@ -161,6 +168,19 @@ impl Default for SearchParams {
     }
 }
 
+/// Derives a decorrelated RNG seed for portfolio worker/task `stream`
+/// from a base seed: the SplitMix64 finalizer over `base` advanced by
+/// `stream + 1` golden-ratio increments. Nearby `(base, stream)` pairs
+/// map to statistically independent streams, the map is injective in
+/// `stream` for a fixed base, and — crucially for reproducibility — it
+/// depends only on the pair, never on thread scheduling.
+pub fn derive_stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +213,24 @@ mod tests {
         let mut p = SearchParams::tiny();
         p.max_weight = p.min_weight;
         p.validate();
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_deterministic() {
+        let base = 7u64;
+        let seeds: Vec<u64> = (0..64).map(|s| derive_stream_seed(base, s)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            assert_eq!(*a, derive_stream_seed(base, i as u64));
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Stream 0 is not the identity: arms never reuse the base stream.
+        assert_ne!(derive_stream_seed(base, 0), base);
+        assert_eq!(
+            SearchParams::tiny().with_seed(base).with_stream(3).seed,
+            derive_stream_seed(base, 3)
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A lock-free shared incumbent bound for portfolio searches.
+//!
+//! When several searches attack the same instance in parallel (the
+//! `dtr-core` portfolio orchestrator), each worker owns its private
+//! engine state, but all of them share one [`SharedBound`]: a monotone
+//! upper bound on the best primary cost any worker has achieved so far.
+//! Workers publish every incumbent improvement with [`SharedBound::observe`]
+//! and read the bound at their own checkpoints with
+//! [`SharedBound::primary`] / [`SharedBound::dominates`].
+//!
+//! ## Why a single `AtomicU64` works
+//!
+//! Costs in this workspace are non-negative finite `f64`s (`Φ ≥ 0`,
+//! `Λ ≥ 0`). For non-negative finite IEEE-754 doubles the raw bit
+//! pattern orders exactly like the value, so `AtomicU64::fetch_min` over
+//! `f64::to_bits` implements a wait-free monotone minimum — no lock, no
+//! compare-and-swap loop. Only the *primary* (high-priority) component
+//! is tracked: a full lexicographic pair cannot be packed into one
+//! atomic word without losing precision, and the primary component is
+//! what the orchestrator's pruning heuristics key on. Exact
+//! lexicographic comparison always happens at the orchestrator's
+//! deterministic reduction points, from worker results, never from this
+//! bound.
+//!
+//! ## Determinism contract
+//!
+//! Reads of the bound are racy by design: what a worker sees depends on
+//! thread scheduling. Consumers in this workspace therefore use in-flight
+//! reads for **telemetry only** (e.g.
+//! `SearchTrace::dominated_checkpoints`) and make all result-affecting
+//! decisions at barriers where the bound's value is fully determined
+//! (every contributing worker has finished). See the portfolio module in
+//! `dtr-core` and `DESIGN.md` for the full argument.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone, wait-free upper bound on the best primary cost achieved
+/// by any worker of a parallel search portfolio.
+#[derive(Debug)]
+pub struct SharedBound {
+    /// Bit pattern of the smallest observed non-negative primary cost.
+    bits: AtomicU64,
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedBound {
+    /// A fresh bound at `f64::MAX` (worse than any real cost).
+    pub fn new() -> Self {
+        SharedBound {
+            bits: AtomicU64::new(f64::MAX.to_bits()),
+        }
+    }
+
+    /// Publishes an incumbent's primary cost. Negative inputs are
+    /// clamped to `0.0` (costs are non-negative; the clamp keeps the
+    /// bit-ordering trick sound even for `-0.0`), non-finite inputs are
+    /// ignored.
+    pub fn observe(&self, primary: f64) {
+        if !primary.is_finite() {
+            debug_assert!(false, "non-finite primary cost {primary}");
+            return;
+        }
+        // `<= 0.0` also catches -0.0, whose sign bit would break the
+        // bits-order-like-values trick.
+        let clamped = if primary <= 0.0 { 0.0 } else { primary };
+        self.bits.fetch_min(clamped.to_bits(), Ordering::AcqRel);
+    }
+
+    /// The current bound: the smallest primary cost observed so far, or
+    /// `f64::MAX` if nothing was published yet. Monotone non-increasing
+    /// over time.
+    pub fn primary(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Whether some worker's incumbent is strictly better than
+    /// `primary`. Racy (see the module docs): may lag behind the true
+    /// global best, never runs ahead of it.
+    pub fn dominates(&self, primary: f64) -> bool {
+        self.primary() < primary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_max_and_decreases_monotonically() {
+        let b = SharedBound::new();
+        assert_eq!(b.primary(), f64::MAX);
+        b.observe(10.0);
+        assert_eq!(b.primary(), 10.0);
+        b.observe(25.0); // worse: ignored
+        assert_eq!(b.primary(), 10.0);
+        b.observe(3.5);
+        assert_eq!(b.primary(), 3.5);
+        assert!(b.dominates(4.0));
+        assert!(!b.dominates(3.5)); // strict
+    }
+
+    #[test]
+    fn clamps_negative_zero_and_negatives() {
+        let b = SharedBound::new();
+        b.observe(-0.0);
+        assert_eq!(b.primary(), 0.0);
+        let b2 = SharedBound::new();
+        b2.observe(1.0);
+        b2.observe(-5.0); // clamped to the floor
+        assert_eq!(b2.primary(), 0.0);
+    }
+
+    #[test]
+    fn bit_ordering_matches_value_ordering_on_samples() {
+        let xs = [0.0, 1e-300, 1e-9, 0.5, 1.0, 1.5, 1e9, f64::MAX];
+        for w in xs.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn concurrent_observes_keep_the_minimum() {
+        let b = Arc::new(SharedBound::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        b.observe(1.0 + ((i * 7 + t * 13) % 100) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.primary(), 1.0);
+    }
+}

@@ -19,6 +19,9 @@
 //!   implementations;
 //! - [`cache`] — an LRU evaluation cache keyed by weight-vector hash,
 //!   short-circuiting revisited candidates entirely;
+//! - [`bound`] — the wait-free shared incumbent bound that parallel
+//!   portfolio workers publish improvements to (`dtr-core`'s
+//!   orchestrator);
 //! - [`BatchEvaluator`] — the facade `dtr-core` drives: per-class batch
 //!   evaluation returning the same [`HighSide`] / [`ClassLoads`] /
 //!   [`Evaluation`] structures the routing evaluator produces.
@@ -33,6 +36,7 @@
 //! perturb ~5% of all weights).
 
 pub mod backend;
+pub mod bound;
 pub mod cache;
 pub mod dynspf;
 pub mod state;
@@ -41,6 +45,7 @@ pub use backend::{
     full_candidate_eval, full_candidate_eval_masked, make_backend, BackendKind, EvalBackend,
     FullBackend, IncrementalBackend,
 };
+pub use bound::SharedBound;
 pub use cache::{weight_hash, LruCache};
 pub use dynspf::{
     apply_link_down, apply_link_up, apply_weight_delta, delta_affects_dag, link_down_affects_dag,

@@ -1,0 +1,140 @@
+//! Experiment runner binary: `cargo run -p dtr-experiments -- [--smoke] [NAMES…]`.
+//!
+//! Runs the requested experiment harnesses (default: `fig2 fig3 table1`)
+//! and prints their rendered tables. Two budgets:
+//!
+//! - `--smoke` (CI's `experiments-smoke` job): [`ExperimentCtx::smoke`] —
+//!   tiny search budget, ISP-sized instances where a choice exists, two
+//!   load points. Finishes in seconds and *asserts* basic result-shape
+//!   invariants (finite ratios, non-empty sweeps), so the experiments
+//!   crate cannot silently rot while CI only compiles it.
+//! - default: [`ExperimentCtx::default`] — the budget the committed
+//!   figures were produced with (minutes to hours; not run in CI).
+//!
+//! Exit status: `0` on success, `2` on a usage error. Invariant
+//! violations panic, which is exactly what a CI gate wants.
+
+use dtr_core::Objective;
+use dtr_experiments::{fig2, fig3, table1, ExperimentCtx, TopologyKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dtr-experiments [--smoke] [fig2|fig3|table1 …]\n\
+         (no names = run all three; --smoke uses the tiny CI budget)"
+    );
+    std::process::exit(2);
+}
+
+/// The smoke invariants shared by every ratio-producing experiment: the
+/// §5.2 conventions guarantee ratios are finite, positive, and saturated
+/// into [1e-3, 1e3].
+fn assert_ratio(label: &str, r: f64) {
+    assert!(
+        r.is_finite() && (1e-3..=1e3).contains(&r),
+        "{label}: ratio {r} outside the saturated range"
+    );
+}
+
+fn run_fig2(ctx: &ExperimentCtx, smoke: bool) {
+    let cfg = fig2::Fig2Cfg::default();
+    let panels = if smoke {
+        // One representative panel: the deterministic ISP topology under
+        // the load-based objective.
+        vec![fig2::run_panel(
+            ctx,
+            TopologyKind::Isp,
+            Objective::LoadBased,
+            &cfg,
+        )]
+    } else {
+        fig2::run_all(ctx, &cfg)
+    };
+    for panel in &panels {
+        assert!(!panel.points.is_empty(), "fig2 panel swept no load points");
+        for p in &panel.points {
+            assert_ratio("fig2 R_H", p.r_h);
+            assert_ratio("fig2 R_L", p.r_l);
+        }
+        println!("{}", fig2::table(panel).render());
+    }
+}
+
+fn run_fig3(ctx: &ExperimentCtx, smoke: bool) {
+    let panels = if smoke {
+        vec![fig3::run_panel(
+            ctx,
+            0.10,
+            Objective::LoadBased,
+            "(a) k=10%, load-based",
+            0.65,
+        )]
+    } else {
+        fig3::run_all(ctx)
+    };
+    for panel in &panels {
+        assert!(!panel.bins.is_empty(), "fig3 histogram is empty");
+        let str_links: usize = panel.bins.iter().map(|b| b.1).sum();
+        let dtr_links: usize = panel.bins.iter().map(|b| b.2).sum();
+        assert_eq!(
+            str_links, dtr_links,
+            "fig3 histograms must cover the same link set"
+        );
+        assert!(str_links > 0, "fig3 counted no links");
+        println!("{}", fig3::table(panel).render());
+    }
+}
+
+fn run_table1(ctx: &ExperimentCtx) {
+    let blocks = table1::run(ctx);
+    assert_eq!(blocks.len(), 3, "table1 covers three topology families");
+    for block in &blocks {
+        assert!(!block.points.is_empty(), "table1 block swept no points");
+        for p in &block.points {
+            assert_ratio("table1 R_L", p.r_l);
+            assert_ratio("table1 R_L,5%", p.r_l_5);
+            assert_ratio("table1 R_L,30%", p.r_l_30);
+            // Relaxation can only help the low class (monotone in ε).
+            assert!(
+                p.r_l_30 <= p.r_l_5 + 1e-9,
+                "table1: ε=30% ratio {} worse than ε=5% ratio {}",
+                p.r_l_30,
+                p.r_l_5
+            );
+        }
+        println!("{}", table1::table(block).render());
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = vec!["fig2".into(), "fig3".into(), "table1".into()];
+    }
+    let ctx = if smoke {
+        ExperimentCtx::smoke()
+    } else {
+        ExperimentCtx::default()
+    };
+    for name in &names {
+        println!(
+            "=== {name} ({} budget) ===",
+            if smoke { "smoke" } else { "full" }
+        );
+        match name.as_str() {
+            "fig2" => run_fig2(&ctx, smoke),
+            "fig3" => run_fig3(&ctx, smoke),
+            "table1" => run_table1(&ctx),
+            _ => usage(),
+        }
+    }
+    println!("experiments OK: {}", names.join(", "));
+}
