@@ -5,7 +5,7 @@ use std::fmt;
 
 /// Flags that act as bare boolean switches when no value follows
 /// (`--robust` alone means `--robust true`).
-const SWITCH_FLAGS: &[&str] = &["robust"];
+const SWITCH_FLAGS: &[&str] = &["robust", "smoke"];
 
 /// Parsed command line: a subcommand, positional words and `--flag value`
 /// options.

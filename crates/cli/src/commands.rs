@@ -6,6 +6,10 @@ use dtr_core::{
     PortfolioMode, PortfolioParams, PortfolioResult, PortfolioSearch, ReoptSearch, RobustSearch,
     ScenarioCombine, Scheme, SearchParams, SlaParams, StrSearch, StrategyKind,
 };
+use dtr_graph::datacenter::{
+    fat_tree_topology, jellyfish_topology, vl2_topology, xpander_topology, FatTreeCfg,
+    JellyfishCfg, Vl2Cfg, XpanderCfg,
+};
 use dtr_graph::families::{
     grid_topology, hierarchical_topology, waxman_topology, GridCfg, HierarchicalCfg, WaxmanCfg,
 };
@@ -85,18 +89,10 @@ fn save<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
 
 fn parse_budget(args: &Args) -> Result<SearchParams, CliError> {
     let budget = args.get("budget").unwrap_or("experiment");
-    let mut params = match budget {
-        "tiny" => SearchParams::tiny(),
-        "quick" => SearchParams::quick(),
-        "experiment" => SearchParams::experiment(),
-        "paper" => SearchParams::paper(),
-        other => {
-            return Err(CliError::UnknownVariant {
-                what: "budget",
-                value: other.to_string(),
-            })
-        }
-    };
+    let mut params = SearchParams::preset(budget).ok_or_else(|| CliError::UnknownVariant {
+        what: "budget",
+        value: budget.to_string(),
+    })?;
     params.seed = args.get_or("seed", params.seed)?;
     params.backend = match args.get("backend").unwrap_or("incremental") {
         "incremental" | "incr" => dtr_engine::BackendKind::Incremental,
@@ -205,6 +201,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "estimate" => cmd_estimate(args),
         "reopt" => cmd_reopt(args),
         "robust" => cmd_robust(args),
+        "suite" => cmd_suite(args),
         "help" | "--help" | "-h" => {
             println!("{}", help_text());
             Ok(())
@@ -218,10 +215,13 @@ pub fn help_text() -> &'static str {
     "dtrctl — dual-topology routing toolkit
 
 USAGE:
-  dtrctl topo <random|powerlaw|isp|waxman|hierarchical|grid>
+  dtrctl topo <random|powerlaw|isp|waxman|hierarchical|grid
+               |fattree|vl2|jellyfish|xpander>
          [--nodes N] [--links L] [--seed S] [--beta 0.6]
          [--core 6] [--chords 3] [--edge-per-core 4]
          [--rows 5] [--cols 6] [--torus true]
+         [--pods 4] [--da 4] [--di 4]
+         [--switches 20] [--degree 4] [--lifts 2]
          [--out topo.json] [--dot topo.dot]
   dtrctl traffic --topo topo.json [--f 0.3] [--k 0.1] [--seed S]
          [--model random|sink-uniform|sink-local] [--sinks 3] [--scale G]
@@ -274,6 +274,14 @@ USAGE:
           alias of `optimize --robust`. --cap optimizes against only the
           N worst scenarios of the initial solution — an approximation;
           the dropped pairs are reported)
+  dtrctl suite [--corpus corpus] [--out suite-out] [--smoke] [--only NAME]
+         (runs the scenario corpus end-to-end: per instance an STR
+          baseline and a DTR search at identical budgets plus the
+          manifest's failure-policy robustness evaluation; writes one
+          JSON report per instance and summary.json into --out. --smoke
+          restricts to the tiny smoke-tagged instances and asserts
+          result shapes — the CI gate. --only filters instances by
+          name substring)
 
 All artifacts are JSON; see the repository README for the full workflow."
 }
@@ -315,6 +323,23 @@ fn cmd_topo(args: &Args) -> Result<(), CliError> {
             cols: args.get_or("cols", 6usize)?,
             torus: args.get_or("torus", false)?,
             ..Default::default()
+        }),
+        "fattree" => fat_tree_topology(&FatTreeCfg {
+            pods: args.get_or("pods", 4usize)?,
+        }),
+        "vl2" => vl2_topology(&Vl2Cfg {
+            da: args.get_or("da", 4usize)?,
+            di: args.get_or("di", 4usize)?,
+        }),
+        "jellyfish" => jellyfish_topology(&JellyfishCfg {
+            switches: args.get_or("switches", 20usize)?,
+            degree: args.get_or("degree", 4usize)?,
+            seed,
+        }),
+        "xpander" => xpander_topology(&XpanderCfg {
+            degree: args.get_or("degree", 4usize)?,
+            lifts: args.get_or("lifts", 2usize)?,
+            seed,
         }),
         other => {
             return Err(CliError::UnknownVariant {
@@ -812,6 +837,69 @@ fn cmd_robust(args: &Args) -> Result<(), CliError> {
     save(args.require("out")?, &res.weights)
 }
 
+/// `suite`: the scenario-corpus runner (see `dtr-scenario`).
+fn cmd_suite(args: &Args) -> Result<(), CliError> {
+    use dtr_scenario::{load_corpus, run_suite, select, SuiteCfg};
+
+    let corpus_dir = args.get("corpus").unwrap_or("corpus");
+    let out_dir = Path::new(args.get("out").unwrap_or("suite-out"));
+    let cfg = SuiteCfg {
+        smoke: args.get_or("smoke", false)?,
+        only: args.get("only").map(str::to_string),
+    };
+    let specs = load_corpus(Path::new(corpus_dir))
+        .map_err(|e| CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    if select(&specs, &cfg).is_empty() {
+        return Err(CliError::UnknownVariant {
+            what: "suite selection (no corpus instance matches --smoke/--only)",
+            value: cfg.only.unwrap_or_else(|| "--smoke".to_string()),
+        });
+    }
+    println!(
+        "suite: {} manifests in {corpus_dir}{}",
+        specs.len(),
+        if cfg.smoke { " (smoke mode)" } else { "" }
+    );
+    let (reports, summary) = run_suite(&specs, &cfg);
+    std::fs::create_dir_all(out_dir)?;
+    for r in &reports {
+        let path = out_dir.join(format!("{}.json", r.name));
+        std::fs::write(&path, serde_json::to_string_pretty(r)?)?;
+        let robust = match &r.robust {
+            Some(rb) => format!(
+                ", robust over {} scenarios: R_H^worst {:.2}",
+                rb.scenarios, rb.r_h_worst
+            ),
+            None => String::new(),
+        };
+        println!(
+            "  {:<24} {:>3}n/{:<4}l  R_H {:>7.2}  R_L {:>7.2}  {}{robust}",
+            r.name,
+            r.nodes,
+            r.links,
+            r.r_h,
+            r.r_l,
+            if r.dtr_high_win {
+                "dtr-high-ok"
+            } else {
+                "DTR HIGH LOSS"
+            },
+        );
+    }
+    let summary_path = out_dir.join("summary.json");
+    std::fs::write(&summary_path, serde_json::to_string_pretty(&summary)?)?;
+    println!(
+        "suite: {} instances in {:.1}s — geomean R_H {:.2}, R_L {:.2}, dtr high-class wins on all: {} [wrote {}]",
+        summary.names.len(),
+        summary.elapsed_s,
+        summary.geomean_r_h,
+        summary.geomean_r_l,
+        summary.all_dtr_high_wins,
+        summary_path.display()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,6 +1131,10 @@ mod tests {
             "topo hierarchical --core 4 --chords 1 --edge-per-core 2",
             "topo grid --rows 3 --cols 4",
             "topo grid --rows 3 --cols 4 --torus true",
+            "topo fattree --pods 4",
+            "topo vl2 --da 4 --di 6",
+            "topo jellyfish --switches 12 --degree 3 --seed 2",
+            "topo xpander --degree 3 --lifts 2 --seed 2",
         ] {
             run(&args(spec)).unwrap();
         }
@@ -1072,6 +1164,52 @@ mod tests {
         for p in [topo_p, tm_p, w_p] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn suite_smoke_runs_a_corpus_directory() {
+        let dir = std::path::PathBuf::from(tmp("corpus"));
+        let out = std::path::PathBuf::from(tmp("suite-out"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("mini.json"),
+            r#"{
+                "name": "mini",
+                "smoke": true,
+                "topology": { "Random": { "nodes": 8, "links": 32, "seed": 3 } },
+                "traffic": { "family": "Gravity", "scale": 3.0, "seed": 3 },
+                "failures": "AllSingleDuplex",
+                "search": { "budget": "tiny", "seed": 5 }
+            }"#,
+        )
+        .unwrap();
+        run(&args(&format!(
+            "suite --corpus {} --out {} --smoke",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap();
+        // A filter matching nothing is a clean error, not a panic.
+        let e = run(&args(&format!(
+            "suite --corpus {} --out {} --only zzz",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(e, CliError::UnknownVariant { .. }));
+        assert!(out.join("mini.json").is_file());
+        let summary = std::fs::read_to_string(out.join("summary.json")).unwrap();
+        assert!(summary.contains("\"mini\""), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn suite_rejects_missing_corpus() {
+        let e = run(&args("suite --corpus /nonexistent-dtr-corpus")).unwrap_err();
+        assert!(matches!(e, CliError::Io(_)));
     }
 
     #[test]

@@ -111,6 +111,21 @@ impl SearchParams {
         }
     }
 
+    /// Looks up a budget preset by its manifest/CLI name
+    /// (`tiny|quick|experiment|paper`); `None` for unknown names. The
+    /// single source of truth for every textual budget knob — `dtrctl
+    /// --budget` and the scenario-corpus `search.budget` field both
+    /// resolve through here.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "quick" => Some(Self::quick()),
+            "experiment" => Some(Self::experiment()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+
     /// Copy with a different seed.
     pub fn with_seed(self, seed: u64) -> Self {
         SearchParams { seed, ..self }
@@ -231,6 +246,18 @@ mod tests {
             SearchParams::tiny().with_seed(base).with_stream(3).seed,
             derive_stream_seed(base, 3)
         );
+    }
+
+    #[test]
+    fn preset_lookup_matches_constructors() {
+        assert_eq!(SearchParams::preset("tiny"), Some(SearchParams::tiny()));
+        assert_eq!(SearchParams::preset("quick"), Some(SearchParams::quick()));
+        assert_eq!(
+            SearchParams::preset("experiment"),
+            Some(SearchParams::experiment())
+        );
+        assert_eq!(SearchParams::preset("paper"), Some(SearchParams::paper()));
+        assert_eq!(SearchParams::preset("huge"), None);
     }
 
     #[test]

@@ -122,22 +122,10 @@ pub struct PairOutcome {
     pub dtr_cost: (f64, f64),
 }
 
-/// The paper's cost ratio `R = cost(STR)/cost(DTR)` with two guards:
-///
-/// - `0/0` (both schemes meet every SLA, `Λ = 0`) is defined as 1 —
-///   equal performance;
-/// - a zero on one side only (a finite-budget artifact where one search
-///   found a violation-free solution and the other just missed) is
-///   **saturated** into `[10⁻³, 10³]` so a single knife-edge point cannot
-///   dominate a table. Raw costs are always reported alongside ratios.
-pub fn cost_ratio(str_cost: f64, dtr_cost: f64) -> f64 {
-    const EPS: f64 = 1e-9;
-    if str_cost <= EPS && dtr_cost <= EPS {
-        1.0
-    } else {
-        ((str_cost + EPS) / (dtr_cost + EPS)).clamp(1e-3, 1e3)
-    }
-}
+// The §5.2 saturated cost-ratio convention is shared with the scenario
+// corpus (`dtr-scenario`), so suite reports and paper figures read the
+// same way; re-exported here for the figure harnesses.
+pub use dtr_scenario::cost_ratio;
 
 /// Runs the STR baseline and an independent DTR search (Algorithm 1 from
 /// uniform `W0`, as in the paper) on one instance.

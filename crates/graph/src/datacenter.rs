@@ -1,0 +1,457 @@
+//! Datacenter and expander topology families.
+//!
+//! The paper's instances are ISP-shaped; the scenario corpus also wants
+//! the structured fabrics that dominate datacenter networking and the
+//! random expanders proposed as their replacement:
+//!
+//! - [`fat_tree_topology`] — the k-ary fat-tree of Al-Fares et al.
+//!   (switch layer only: `(k/2)²` core, `k²/2` aggregation + edge
+//!   switches in `k` pods);
+//! - [`vl2_topology`] — the VL2 Clos of Greenberg et al.: a complete
+//!   bipartite intermediate/aggregation core with dual-homed ToRs and a
+//!   fatter core tier;
+//! - [`jellyfish_topology`] — the random `r`-regular graph of Singla et
+//!   al., built by the incremental free-port construction with edge
+//!   swaps;
+//! - [`xpander_topology`] — the 2-lift expander of Valadarsky et al.:
+//!   repeated random lifts of the complete graph `K_{r+1}`.
+//!
+//! All generators emit duplex links and are deterministic in their
+//! configuration (fat-tree and VL2 are fully structural and take no
+//! seed). Propagation delays use a uniform short fabric delay — path
+//! *hops*, not geography, dominate latency inside a datacenter.
+
+use crate::gen::DEFAULT_CAPACITY_MBPS;
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Uniform per-hop propagation delay of the fabric links (seconds):
+/// 50 µs, the order of an intra-building optical run plus switching.
+pub const FABRIC_DELAY_S: f64 = 50e-6;
+
+/// Parameters for [`fat_tree_topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTreeCfg {
+    /// Number of pods `k` (even, ≥ 2). The fabric has `(k/2)²` core
+    /// switches and `k/2` aggregation + `k/2` edge switches per pod.
+    pub pods: usize,
+}
+
+impl Default for FatTreeCfg {
+    fn default() -> Self {
+        FatTreeCfg { pods: 4 }
+    }
+}
+
+/// Generates the switch fabric of a `k`-ary fat-tree.
+///
+/// Node layout: core switches `0..(k/2)²`, then per pod `p` the
+/// aggregation switches followed by the edge switches. Aggregation
+/// switch `a` of every pod uplinks to core switches
+/// `a·k/2 .. (a+1)·k/2`; each edge switch links to every aggregation
+/// switch of its pod. Totals: `5k²/4` nodes and `k³` directed links.
+pub fn fat_tree_topology(cfg: &FatTreeCfg) -> Topology {
+    let k = cfg.pods;
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree needs even k ≥ 2");
+    let half = k / 2;
+    let cores = half * half;
+    let mut b = TopologyBuilder::new();
+    b.add_nodes(cores + k * k);
+    let agg = |pod: usize, a: usize| NodeId((cores + pod * k + a) as u32);
+    let edge = |pod: usize, e: usize| NodeId((cores + pod * k + half + e) as u32);
+
+    for pod in 0..k {
+        for a in 0..half {
+            for c in 0..half {
+                b.add_duplex(
+                    agg(pod, a),
+                    NodeId((a * half + c) as u32),
+                    DEFAULT_CAPACITY_MBPS,
+                    FABRIC_DELAY_S,
+                );
+            }
+            for e in 0..half {
+                b.add_duplex(
+                    agg(pod, a),
+                    edge(pod, e),
+                    DEFAULT_CAPACITY_MBPS,
+                    FABRIC_DELAY_S,
+                );
+            }
+        }
+    }
+    b.build().expect("fat-tree must validate")
+}
+
+/// Parameters for [`vl2_topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vl2Cfg {
+    /// Aggregation-switch port count `d_a` (multiple of 4): `d_a/2`
+    /// ports up to intermediates, `d_a/2` down to ToRs.
+    pub da: usize,
+    /// Intermediate-switch port count `d_i` (even): the fabric has
+    /// `d_a/2` intermediates, `d_i` aggregation switches and
+    /// `d_a·d_i/4` ToRs.
+    pub di: usize,
+}
+
+impl Default for Vl2Cfg {
+    fn default() -> Self {
+        Vl2Cfg { da: 4, di: 4 }
+    }
+}
+
+/// Generates a VL2 Clos fabric.
+///
+/// Node layout: intermediates `0..d_a/2`, aggregation switches next,
+/// ToRs last. Every aggregation switch links to every intermediate
+/// (complete bipartite core, 10× fabric capacity); aggregation
+/// switches are paired `(0,1), (2,3), …` and each ToR dual-homes onto
+/// one pair, round-robin.
+pub fn vl2_topology(cfg: &Vl2Cfg) -> Topology {
+    let (da, di) = (cfg.da, cfg.di);
+    assert!(
+        da >= 4 && da.is_multiple_of(4),
+        "VL2 needs d_a ≥ 4, multiple of 4"
+    );
+    assert!(di >= 2 && di.is_multiple_of(2), "VL2 needs even d_i ≥ 2");
+    let n_int = da / 2;
+    let n_agg = di;
+    let n_tor = da * di / 4;
+    let mut b = TopologyBuilder::new();
+    b.add_nodes(n_int + n_agg + n_tor);
+    let int = |i: usize| NodeId(i as u32);
+    let agg = |a: usize| NodeId((n_int + a) as u32);
+    let tor = |t: usize| NodeId((n_int + n_agg + t) as u32);
+
+    for a in 0..n_agg {
+        for i in 0..n_int {
+            b.add_duplex(agg(a), int(i), 10.0 * DEFAULT_CAPACITY_MBPS, FABRIC_DELAY_S);
+        }
+    }
+    for t in 0..n_tor {
+        let pair = t % (n_agg / 2);
+        b.add_duplex(tor(t), agg(2 * pair), DEFAULT_CAPACITY_MBPS, FABRIC_DELAY_S);
+        b.add_duplex(
+            tor(t),
+            agg(2 * pair + 1),
+            DEFAULT_CAPACITY_MBPS,
+            FABRIC_DELAY_S,
+        );
+    }
+    b.build().expect("VL2 must validate")
+}
+
+/// Parameters for [`jellyfish_topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JellyfishCfg {
+    /// Number of switches.
+    pub switches: usize,
+    /// Network degree `r` of every switch (`r < switches`,
+    /// `r·switches` even).
+    pub degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for JellyfishCfg {
+    fn default() -> Self {
+        JellyfishCfg {
+            switches: 20,
+            degree: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a Jellyfish random regular graph: repeatedly joins two
+/// random non-adjacent switches with free ports; when the remaining
+/// free ports cannot be paired directly, an existing edge is broken and
+/// re-wired through a free-port switch (the paper's incremental
+/// construction). Strong connectivity is re-drawn with a perturbed seed
+/// in the (rare, `r ≥ 3`) disconnected case.
+pub fn jellyfish_topology(cfg: &JellyfishCfg) -> Topology {
+    let (n, r) = (cfg.switches, cfg.degree);
+    assert!(n >= 3, "need at least 3 switches");
+    assert!(r >= 2 && r < n, "need 2 ≤ degree < switches");
+    assert!((n * r).is_multiple_of(2), "degree·switches must be even");
+
+    for attempt in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(attempt.wrapping_mul(0x9e37)));
+        if let Some(topo) = try_jellyfish(n, r, &mut rng) {
+            return topo;
+        }
+    }
+    panic!("jellyfish generation failed to connect after 64 attempts (raise degree?)");
+}
+
+/// One Jellyfish draw; `None` if the result is not strongly connected.
+fn try_jellyfish(n: usize, r: usize, rng: &mut StdRng) -> Option<Topology> {
+    let mut free: Vec<usize> = vec![r; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let linked = |adj: &[Vec<usize>], x: usize, y: usize| adj[x].contains(&y);
+
+    loop {
+        // Candidate pairs among switches with free ports.
+        let open: Vec<usize> = (0..n).filter(|&v| free[v] > 0).collect();
+        if open.is_empty() {
+            break;
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, &x) in open.iter().enumerate() {
+            for &y in &open[i + 1..] {
+                if !linked(&adj, x, y) {
+                    pairs.push((x, y));
+                }
+            }
+        }
+        if let Some(&(x, y)) = pairs.choose(rng) {
+            adj[x].push(y);
+            adj[y].push(x);
+            free[x] -= 1;
+            free[y] -= 1;
+            continue;
+        }
+        // Stuck: every open pair is already adjacent (or one switch has
+        // ≥ 2 free ports left). Break a random edge (u, v) disjoint from
+        // an open switch x and rewire as x–u, x–v.
+        let &x = open.choose(rng)?;
+        if free[x] < 2 {
+            return None; // a single dangling port: reject this draw
+        }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for u in 0..n {
+            for &v in &adj[u] {
+                if u < v && u != x && v != x && !linked(&adj, x, u) && !linked(&adj, x, v) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let &(u, v) = edges.choose(rng)?;
+        adj[u].retain(|&w| w != v);
+        adj[v].retain(|&w| w != u);
+        for (a, bb) in [(x, u), (x, v)] {
+            adj[a].push(bb);
+            adj[bb].push(a);
+        }
+        free[x] -= 2;
+    }
+
+    let mut b = TopologyBuilder::new();
+    b.add_nodes(n);
+    for (u, neighbors) in adj.iter().enumerate() {
+        for &v in neighbors {
+            if u < v {
+                b.add_duplex(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    DEFAULT_CAPACITY_MBPS,
+                    FABRIC_DELAY_S,
+                );
+            }
+        }
+    }
+    b.build().ok()
+}
+
+/// Parameters for [`xpander_topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XpanderCfg {
+    /// Network degree `r`; the lift base is the complete graph
+    /// `K_{r+1}`.
+    pub degree: usize,
+    /// Number of random 2-lifts; the fabric has `(r+1)·2^lifts`
+    /// switches.
+    pub lifts: usize,
+    /// RNG seed (lift matchings).
+    pub seed: u64,
+}
+
+impl Default for XpanderCfg {
+    fn default() -> Self {
+        XpanderCfg {
+            degree: 4,
+            lifts: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates an Xpander: starts from `K_{r+1}` and applies `lifts`
+/// random 2-lifts. Each lift duplicates every switch and replaces every
+/// edge `(u, v)` with either the parallel pair `{(u₀,v₀), (u₁,v₁)}` or
+/// the crossed pair `{(u₀,v₁), (u₁,v₀)}`, coin-flipped per edge, so the
+/// result stays `r`-regular. Disconnected draws (possible when every
+/// lift coin lands parallel) are re-drawn with a perturbed seed.
+pub fn xpander_topology(cfg: &XpanderCfg) -> Topology {
+    let r = cfg.degree;
+    assert!(r >= 2, "need degree ≥ 2");
+    assert!(
+        cfg.lifts <= 16,
+        "more than 2^16 lift copies is unreasonable"
+    );
+
+    for attempt in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(attempt.wrapping_mul(0x7f4a)));
+        // Edge list of K_{r+1}.
+        let mut nodes = r + 1;
+        let mut edges: Vec<(usize, usize)> = (0..nodes)
+            .flat_map(|u| ((u + 1)..nodes).map(move |v| (u, v)))
+            .collect();
+        for _ in 0..cfg.lifts {
+            let mut lifted = Vec::with_capacity(2 * edges.len());
+            for &(u, v) in &edges {
+                // Copies of node w are w and w + nodes.
+                if rng.random_bool(0.5) {
+                    lifted.push((u, v));
+                    lifted.push((u + nodes, v + nodes));
+                } else {
+                    lifted.push((u, v + nodes));
+                    lifted.push((u + nodes, v));
+                }
+            }
+            nodes *= 2;
+            edges = lifted;
+        }
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(nodes);
+        for &(u, v) in &edges {
+            b.add_duplex(
+                NodeId(u as u32),
+                NodeId(v as u32),
+                DEFAULT_CAPACITY_MBPS,
+                FABRIC_DELAY_S,
+            );
+        }
+        if let Ok(topo) = b.build() {
+            return topo;
+        }
+    }
+    panic!("xpander generation failed to connect after 64 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_counts() {
+        let t = fat_tree_topology(&FatTreeCfg { pods: 4 });
+        assert_eq!(t.node_count(), 20); // 4 core + 16 pod switches
+        assert_eq!(t.link_count(), 64); // k³ directed links
+                                        // Core switches have degree k (duplex ⇒ 2k), edge switches k/2.
+        for v in 0..4 {
+            assert_eq!(t.degree(NodeId(v)), 8);
+        }
+    }
+
+    #[test]
+    fn fat_tree_is_layered() {
+        // No core–edge or intra-tier links: every link joins adjacent
+        // tiers.
+        let k = 4;
+        let cores = (k / 2) * (k / 2);
+        let tier = |v: NodeId| -> usize {
+            if v.index() < cores {
+                0 // core
+            } else if (v.index() - cores) % k < k / 2 {
+                1 // aggregation
+            } else {
+                2 // edge
+            }
+        };
+        let t = fat_tree_topology(&FatTreeCfg { pods: k });
+        for (_, l) in t.links() {
+            let (a, b) = (tier(l.src), tier(l.dst));
+            assert_eq!(
+                a.abs_diff(b),
+                1,
+                "link {:?}→{:?} skips a tier",
+                l.src,
+                l.dst
+            );
+        }
+    }
+
+    #[test]
+    fn vl2_counts_and_fat_core() {
+        let t = vl2_topology(&Vl2Cfg { da: 4, di: 4 });
+        assert_eq!(t.node_count(), 2 + 4 + 4);
+        assert_eq!(t.link_count(), 2 * (4 * 2 + 4 * 2));
+        let fat = t
+            .links()
+            .filter(|(_, l)| l.capacity > DEFAULT_CAPACITY_MBPS)
+            .count();
+        assert_eq!(fat, 2 * 4 * 2, "exactly the agg–intermediate core is fat");
+    }
+
+    #[test]
+    fn vl2_tors_are_dual_homed() {
+        let cfg = Vl2Cfg { da: 8, di: 6 };
+        let t = vl2_topology(&cfg);
+        let first_tor = cfg.da / 2 + cfg.di;
+        for v in t.nodes().skip(first_tor) {
+            assert_eq!(t.degree(v), 4, "2 duplex uplinks = degree 4");
+        }
+    }
+
+    #[test]
+    fn jellyfish_is_regular_and_deterministic() {
+        let cfg = JellyfishCfg::default();
+        let t = jellyfish_topology(&cfg);
+        assert_eq!(t.node_count(), 20);
+        assert_eq!(t.link_count(), 20 * 4); // n·r directed links
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 2 * cfg.degree);
+        }
+        let key = |t: &Topology| t.links().map(|(_, l)| (l.src, l.dst)).collect::<Vec<_>>();
+        assert_eq!(key(&t), key(&jellyfish_topology(&cfg)));
+        assert_ne!(
+            key(&t),
+            key(&jellyfish_topology(&JellyfishCfg { seed: 2, ..cfg }))
+        );
+    }
+
+    #[test]
+    fn xpander_size_and_regularity() {
+        let cfg = XpanderCfg {
+            degree: 4,
+            lifts: 2,
+            seed: 3,
+        };
+        let t = xpander_topology(&cfg);
+        assert_eq!(t.node_count(), 5 * 4); // (r+1)·2^lifts
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 2 * cfg.degree);
+        }
+    }
+
+    #[test]
+    fn xpander_zero_lifts_is_complete_graph() {
+        let t = xpander_topology(&XpanderCfg {
+            degree: 3,
+            lifts: 0,
+            seed: 1,
+        });
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.link_count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn fat_tree_rejects_odd_k() {
+        fat_tree_topology(&FatTreeCfg { pods: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn jellyfish_rejects_odd_port_total() {
+        jellyfish_topology(&JellyfishCfg {
+            switches: 5,
+            degree: 3,
+            seed: 1,
+        });
+    }
+}

@@ -29,6 +29,7 @@
 //! which requires `|V|` Dijkstra runs, so the graph layout and the SPF inner
 //! loop dominate end-to-end runtime.
 
+pub mod datacenter;
 pub mod export;
 pub mod families;
 pub mod gen;
@@ -37,6 +38,10 @@ pub mod spf;
 pub mod topology;
 pub mod weights;
 
+pub use datacenter::{
+    fat_tree_topology, jellyfish_topology, vl2_topology, xpander_topology, FatTreeCfg,
+    JellyfishCfg, Vl2Cfg, XpanderCfg,
+};
 pub use families::{
     grid_topology, hierarchical_topology, waxman_topology, GridCfg, HierarchicalCfg, WaxmanCfg,
 };

@@ -31,4 +31,6 @@ pub use eval::{
 pub use loads::{push_demand_down_dag, push_demand_down_dag_with, ClassLoads, LoadCalculator};
 pub use lower_bound::{dual_lower_bound, frank_wolfe, DualLowerBound, FwParams, FwResult};
 pub use routing_matrix::RoutingMatrix;
-pub use scenarios::{strongly_connected_under, survivable_duplex_failures, FailureScenario};
+pub use scenarios::{
+    strongly_connected_under, survivable_duplex_failures, FailurePolicy, FailureScenario,
+};

@@ -11,6 +11,42 @@
 //! problem, not a weight-setting problem).
 
 use dtr_graph::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A declarative failure-scenario policy, as stored by scenario
+/// manifests: which failure set a robustness evaluation (or
+/// failure-aware search) should consider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Nominal-only: no failure scenarios.
+    #[default]
+    None,
+    /// Every survivable single duplex-pair failure
+    /// ([`survivable_duplex_failures`]).
+    AllSingleDuplex,
+    /// Only the `k` scenarios worst for a reference weight setting (the
+    /// capped approximation of `dtr-core`'s robust evaluator — cheaper,
+    /// but blind to the dropped pairs).
+    WorstK {
+        /// How many worst scenarios to keep.
+        k: usize,
+    },
+}
+
+impl FailurePolicy {
+    /// True when no failure scenarios are requested.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FailurePolicy::None)
+    }
+
+    /// The scenario cap, if this policy is capped.
+    pub fn cap(&self) -> Option<usize> {
+        match *self {
+            FailurePolicy::WorstK { k } => Some(k),
+            _ => None,
+        }
+    }
+}
 
 /// One survivable failure: a link-up mask plus the canonical id of the
 /// failed duplex pair (the smaller of the two directed link ids).

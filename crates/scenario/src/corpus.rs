@@ -1,0 +1,146 @@
+//! Corpus loading: a directory of `*.json` [`ScenarioSpec`] manifests.
+//!
+//! The checked-in corpus lives in `corpus/` at the repository root; one
+//! file per instance, loaded in file-name order so suite output is
+//! stable regardless of directory-entry order.
+
+use crate::spec::ScenarioSpec;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors from corpus loading.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// Filesystem problems (directory listing, file reads).
+    Io(PathBuf, std::io::Error),
+    /// A manifest failed to parse.
+    Json(PathBuf, serde_json::Error),
+    /// A manifest parsed but is semantically invalid.
+    Invalid {
+        /// The offending file.
+        path: PathBuf,
+        /// Human-readable reason from [`ScenarioSpec::validate`].
+        reason: String,
+    },
+    /// Two manifests share one instance name.
+    DuplicateName(String),
+    /// The corpus directory contains no manifests.
+    Empty(PathBuf),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            ScenarioError::Json(p, e) => write!(f, "{}: invalid manifest: {e}", p.display()),
+            ScenarioError::Invalid { path, reason } => {
+                write!(f, "{}: {reason}", path.display())
+            }
+            ScenarioError::DuplicateName(n) => {
+                write!(f, "duplicate scenario name {n:?} in corpus")
+            }
+            ScenarioError::Empty(p) => {
+                write!(f, "{}: no *.json scenario manifests found", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Loads and validates one manifest file.
+pub fn load_spec(path: &Path) -> Result<ScenarioSpec, ScenarioError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ScenarioError::Io(path.to_path_buf(), e))?;
+    let spec: ScenarioSpec =
+        serde_json::from_str(&text).map_err(|e| ScenarioError::Json(path.to_path_buf(), e))?;
+    spec.validate().map_err(|reason| ScenarioError::Invalid {
+        path: path.to_path_buf(),
+        reason,
+    })?;
+    Ok(spec)
+}
+
+/// Loads every `*.json` manifest in `dir` (file-name order), validating
+/// each and rejecting duplicate instance names and empty corpora.
+pub fn load_corpus(dir: &Path) -> Result<Vec<ScenarioSpec>, ScenarioError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| ScenarioError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| ScenarioError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    if paths.is_empty() {
+        return Err(ScenarioError::Empty(dir.to_path_buf()));
+    }
+    let mut specs = Vec::with_capacity(paths.len());
+    let mut names = std::collections::HashSet::new();
+    for path in &paths {
+        let spec = load_spec(path)?;
+        if !names.insert(spec.name.clone()) {
+            return Err(ScenarioError::DuplicateName(spec.name));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dtr-corpus-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    const GOOD: &str = r#"{
+        "name": "NAME",
+        "topology": "Isp",
+        "traffic": { "family": "Gravity" }
+    }"#;
+
+    #[test]
+    fn loads_sorted_and_validated() {
+        let d = tmp_dir("ok");
+        std::fs::write(d.join("b.json"), GOOD.replace("NAME", "bravo")).unwrap();
+        std::fs::write(d.join("a.json"), GOOD.replace("NAME", "alpha")).unwrap();
+        std::fs::write(d.join("ignore.txt"), "not a manifest").unwrap();
+        let specs = load_corpus(&d).unwrap();
+        assert_eq!(
+            specs.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["alpha", "bravo"]
+        );
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicates_empties_and_bad_json() {
+        let d = tmp_dir("dup");
+        std::fs::write(d.join("a.json"), GOOD.replace("NAME", "same")).unwrap();
+        std::fs::write(d.join("b.json"), GOOD.replace("NAME", "same")).unwrap();
+        assert!(matches!(
+            load_corpus(&d),
+            Err(ScenarioError::DuplicateName(n)) if n == "same"
+        ));
+        std::fs::remove_dir_all(&d).unwrap();
+
+        let d = tmp_dir("empty");
+        assert!(matches!(load_corpus(&d), Err(ScenarioError::Empty(_))));
+
+        std::fs::write(d.join("bad.json"), "{ not json").unwrap();
+        assert!(matches!(load_corpus(&d), Err(ScenarioError::Json(..))));
+        std::fs::write(d.join("bad.json"), GOOD.replace("NAME", "has space")).unwrap();
+        assert!(matches!(
+            load_corpus(&d),
+            Err(ScenarioError::Invalid { .. })
+        ));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,0 +1,516 @@
+//! The suite runner: every corpus instance end-to-end.
+//!
+//! Per instance, the runner reproduces the paper's core comparison on
+//! that instance's topology/traffic/failure regime:
+//!
+//! 1. **Baseline** — the single-topology STR search (one weight vector
+//!    serves both classes);
+//! 2. **DTR** — the dual-topology search at the *identical* evaluation
+//!    budget, **warm-started from the baseline incumbent** (replicated
+//!    into both vectors). This is the operational upgrade path — an
+//!    operator adopting dual-topology routing starts from the weights
+//!    already deployed — and it makes the comparison a lower bound:
+//!    the DTR search only accepts lexicographic improvements from its
+//!    initial point, so its high-priority class can never end worse
+//!    than the baseline's, and everything `R_L` reports is pure gain
+//!    from the second topology;
+//! 3. optionally, both schemes through the portfolio orchestrator
+//!    (`search.portfolio = true` in the manifest);
+//! 4. if the instance's failure policy requests it, a robustness
+//!    evaluation of both incumbents over the policy's scenario set
+//!    (driven by `dtr-core`'s failure-sweep `RobustEvaluator`, i.e. the
+//!    `BatchEvaluator` incremental path).
+//!
+//! Reports are plain serializable structs; `dtrctl suite` writes one
+//! JSON file per instance plus `summary.json`. The paper's qualitative
+//! claim — DTR never sacrifices the high-priority class and massively
+//! improves the low class — shows up as `r_h ≥ 1` (within noise) and
+//! `r_l ≫ 1`; [`SuiteSummary::all_dtr_high_wins`] aggregates the former
+//! across the corpus.
+
+use crate::spec::ScenarioSpec;
+use dtr_core::{
+    DtrSearch, Objective, PortfolioMode, PortfolioParams, PortfolioSearch, RobustCost,
+    RobustEvaluator, ScenarioCombine, Scheme, StrSearch, StrategyKind,
+};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{Topology, WeightVector};
+use dtr_routing::{Evaluator, FailurePolicy};
+use dtr_traffic::DemandSet;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The paper's cost ratio `R = cost(STR)/cost(DTR)` with two guards:
+///
+/// - `0/0` (both schemes meet the objective exactly) is defined as 1 —
+///   equal performance;
+/// - a zero on one side only (a finite-budget artifact where one search
+///   found a violation-free solution and the other just missed) is
+///   **saturated** into `[10⁻³, 10³]` so a single knife-edge point
+///   cannot dominate a table. Raw costs are always reported alongside
+///   ratios.
+pub fn cost_ratio(str_cost: f64, dtr_cost: f64) -> f64 {
+    const EPS: f64 = 1e-9;
+    if str_cost <= EPS && dtr_cost <= EPS {
+        1.0
+    } else {
+        ((str_cost + EPS) / (dtr_cost + EPS)).clamp(1e-3, 1e3)
+    }
+}
+
+/// How the suite should run.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteCfg {
+    /// CI mode: only `smoke: true` instances, everything at the `tiny`
+    /// budget, result-shape assertions on.
+    pub smoke: bool,
+    /// Run only instances whose name contains this substring.
+    pub only: Option<String>,
+}
+
+/// One scheme's outcome on one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeReport {
+    /// `Φ_H` of the incumbent.
+    pub phi_h: f64,
+    /// `Φ_L` of the incumbent.
+    pub phi_l: f64,
+    /// Average link utilization.
+    pub avg_util: f64,
+    /// Maximum link utilization.
+    pub max_util: f64,
+    /// Candidate evaluations spent.
+    pub evaluations: usize,
+    /// Wall-clock seconds of the search.
+    pub elapsed_s: f64,
+}
+
+/// Robustness outcome over the instance's failure policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustReport {
+    /// Scenarios evaluated (after any `WorstK` cap).
+    pub scenarios: usize,
+    /// Blend β used for the combined cost.
+    pub beta: f64,
+    /// DTR incumbent's robust cost breakdown.
+    pub dtr: RobustCost,
+    /// STR incumbent's robust cost breakdown.
+    pub baseline: RobustCost,
+    /// Worst-case high-class ratio `max_s Φ_H^s(STR) / max_s Φ_H^s(DTR)`.
+    pub r_h_worst: f64,
+    /// Worst-case low-class ratio.
+    pub r_l_worst: f64,
+}
+
+/// One instance's full report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Instance name (the manifest's).
+    pub name: String,
+    /// Topology family name.
+    pub topology: String,
+    /// Traffic family name.
+    pub traffic: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Directed link count.
+    pub links: usize,
+    /// Total offered volume (both classes, Mbit/s).
+    pub total_demand: f64,
+    /// Achieved high-priority volume fraction.
+    pub high_fraction: f64,
+    /// Budget preset the searches ran at.
+    pub budget: String,
+    /// Whether the portfolio orchestrator ran the searches.
+    pub portfolio: bool,
+    /// Single-topology baseline outcome.
+    pub baseline: SchemeReport,
+    /// DTR outcome.
+    pub dtr: SchemeReport,
+    /// Nominal high-class ratio `R_H = Φ_H(STR)/Φ_H(DTR)`.
+    pub r_h: f64,
+    /// Nominal low-class ratio `R_L`.
+    pub r_l: f64,
+    /// The paper's qualitative claim on this instance: DTR's high class
+    /// is no worse than the baseline's (within 1e-9 relative).
+    pub dtr_high_win: bool,
+    /// Robustness outcome, when the failure policy requests one.
+    pub robust: Option<RobustReport>,
+}
+
+/// Aggregate over one suite run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteSummary {
+    /// Instances executed, in order.
+    pub names: Vec<String>,
+    /// Whether the run was a smoke run.
+    pub smoke: bool,
+    /// [`InstanceReport::dtr_high_win`] across every instance.
+    pub all_dtr_high_wins: bool,
+    /// Geometric mean of the nominal `R_H` ratios.
+    pub geomean_r_h: f64,
+    /// Geometric mean of the nominal `R_L` ratios.
+    pub geomean_r_l: f64,
+    /// Total wall-clock seconds.
+    pub elapsed_s: f64,
+}
+
+/// Runs one scheme (plain search or portfolio) and reports it.
+fn run_scheme(
+    topo: &Topology,
+    demands: &DemandSet,
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    initial: Option<&DualWeights>,
+    smoke: bool,
+) -> (DualWeights, SchemeReport) {
+    let search = spec.search();
+    let params = search.params(smoke);
+    let objective = Objective::LoadBased;
+    let start = Instant::now();
+    let (weights, evaluations) = if search.portfolio() {
+        let mut folio = PortfolioSearch::new(
+            topo,
+            demands,
+            objective,
+            params,
+            PortfolioMode::Nominal(scheme),
+            PortfolioParams {
+                strategies: StrategyKind::ALL.to_vec(),
+                restarts: 1,
+                workers: 0,
+                prune_margin: f64::INFINITY,
+            },
+        );
+        if let Some(w0) = initial {
+            // Warm-starts the descent arms; the deterministic reduction
+            // takes the best arm, so the result is never worse than w0.
+            folio = folio.with_initial(w0.clone());
+        }
+        let res = folio.run();
+        let evals = res.tasks.iter().map(|t| t.evaluations).sum();
+        (res.weights, evals)
+    } else {
+        match scheme {
+            Scheme::Dtr => {
+                let mut s = DtrSearch::new(topo, demands, objective, params);
+                if let Some(w0) = initial {
+                    s = s.with_initial(w0.clone());
+                }
+                let res = s.run();
+                (res.weights, res.trace.evaluations)
+            }
+            Scheme::Str => {
+                let res = StrSearch::new(topo, demands, objective, params).run();
+                (DualWeights::replicated(res.weights), res.trace.evaluations)
+            }
+        }
+    };
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let eval = Evaluator::new(topo, demands, objective).eval_dual(&weights);
+    let report = SchemeReport {
+        phi_h: eval.phi_h,
+        phi_l: eval.phi_l,
+        avg_util: eval.avg_utilization(topo),
+        max_util: eval.max_utilization(topo),
+        evaluations,
+        elapsed_s,
+    };
+    (weights, report)
+}
+
+/// Executes one instance end-to-end.
+pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
+    let topo = spec.topology.build();
+    let demands = spec.traffic.build(&topo);
+    let search = spec.search();
+
+    let (str_weights, baseline) = run_scheme(&topo, &demands, spec, Scheme::Str, None, smoke);
+    // DTR warm-starts from the baseline incumbent (see module docs):
+    // the comparison reads "what does the second topology buy on top of
+    // the single-topology optimum", and the lexicographic search
+    // guarantees the high class never regresses from that start.
+    let (dtr_weights, dtr) = run_scheme(
+        &topo,
+        &demands,
+        spec,
+        Scheme::Dtr,
+        Some(&str_weights),
+        smoke,
+    );
+
+    let robust = match spec.failures() {
+        FailurePolicy::None => None,
+        policy => {
+            let beta = search.beta();
+            let mut rev = RobustEvaluator::new(&topo, &demands, ScenarioCombine::Blend { beta });
+            if let Some(k) = policy.cap() {
+                // Cap against a scheme-neutral reference (uniform
+                // weights) so both incumbents face the same scenarios.
+                let reference = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+                rev.cap_to_worst(&reference, k);
+            }
+            let rc_dtr = rev.eval(&dtr_weights);
+            let rc_str = rev.eval(&str_weights);
+            Some(RobustReport {
+                scenarios: rev.scenario_count(),
+                beta,
+                dtr: rc_dtr,
+                baseline: rc_str,
+                r_h_worst: cost_ratio(rc_str.worst.primary, rc_dtr.worst.primary),
+                r_l_worst: cost_ratio(rc_str.worst.secondary, rc_dtr.worst.secondary),
+            })
+        }
+    };
+
+    InstanceReport {
+        name: spec.name.clone(),
+        topology: spec.topology.family_name().to_string(),
+        traffic: spec.traffic.family.name().to_string(),
+        nodes: topo.node_count(),
+        links: topo.link_count(),
+        total_demand: demands.total_volume(),
+        high_fraction: demands.high_fraction(),
+        budget: if smoke {
+            "tiny".to_string()
+        } else {
+            search.budget().to_string()
+        },
+        portfolio: search.portfolio(),
+        r_h: cost_ratio(baseline.phi_h, dtr.phi_h),
+        r_l: cost_ratio(baseline.phi_l, dtr.phi_l),
+        dtr_high_win: dtr.phi_h <= baseline.phi_h * (1.0 + 1e-9),
+        baseline,
+        dtr,
+        robust,
+    }
+}
+
+/// The result-shape invariants a smoke run asserts — CI's guard against
+/// the suite silently rotting. Panics with the violated invariant.
+pub fn assert_report_shape(r: &InstanceReport) {
+    assert!(
+        r.nodes >= 3 && r.links >= 6,
+        "{}: degenerate instance",
+        r.name
+    );
+    assert!(
+        r.total_demand.is_finite() && r.total_demand > 0.0,
+        "{}: no offered traffic",
+        r.name
+    );
+    assert!(
+        r.high_fraction > 0.0 && r.high_fraction < 1.0,
+        "{}: high fraction {} outside (0,1)",
+        r.name,
+        r.high_fraction
+    );
+    for (scheme, s) in [("baseline", &r.baseline), ("dtr", &r.dtr)] {
+        assert!(
+            s.phi_h.is_finite() && s.phi_h >= 0.0 && s.phi_l.is_finite() && s.phi_l >= 0.0,
+            "{}/{scheme}: non-finite cost",
+            r.name
+        );
+        assert!(
+            s.avg_util > 0.0 && s.avg_util.is_finite(),
+            "{}/{scheme}: utilization {} not positive",
+            r.name,
+            s.avg_util
+        );
+        assert!(s.evaluations > 0, "{}/{scheme}: search did not run", r.name);
+    }
+    for (label, ratio) in [("r_h", r.r_h), ("r_l", r.r_l)] {
+        assert!(
+            (1e-3..=1e3).contains(&ratio),
+            "{}: {label} = {ratio} outside the saturated range",
+            r.name
+        );
+    }
+    if let Some(rb) = &r.robust {
+        assert!(
+            rb.scenarios > 0,
+            "{}: failure policy selected no scenarios",
+            r.name
+        );
+        for (scheme, c) in [("baseline", &rb.baseline), ("dtr", &rb.dtr)] {
+            assert!(
+                c.worst.primary >= c.intact.primary - 1e-9,
+                "{}/{scheme}: worst-case better than intact",
+                r.name
+            );
+            assert!(
+                c.combined.primary.is_finite() && c.combined.secondary.is_finite(),
+                "{}/{scheme}: non-finite robust cost",
+                r.name
+            );
+        }
+    }
+}
+
+/// The corpus instances `cfg` selects, in corpus order — exposed so
+/// callers can report an empty selection (a `--only` typo, or `--smoke`
+/// on a corpus with no smoke instances) as a friendly error before
+/// running anything.
+pub fn select<'a>(specs: &'a [ScenarioSpec], cfg: &SuiteCfg) -> Vec<&'a ScenarioSpec> {
+    specs
+        .iter()
+        .filter(|s| !cfg.smoke || s.is_smoke())
+        .filter(|s| {
+            cfg.only
+                .as_deref()
+                .is_none_or(|needle| s.name.contains(needle))
+        })
+        .collect()
+}
+
+/// Runs the whole corpus under `cfg`; returns per-instance reports (in
+/// corpus order) and the aggregate summary.
+///
+/// # Panics
+/// If `cfg` selects no instances — check with [`select`] first when the
+/// selection comes from user input.
+pub fn run_suite(specs: &[ScenarioSpec], cfg: &SuiteCfg) -> (Vec<InstanceReport>, SuiteSummary) {
+    let start = Instant::now();
+    let selected = select(specs, cfg);
+    assert!(
+        !selected.is_empty(),
+        "no corpus instances selected (smoke = {}, only = {:?})",
+        cfg.smoke,
+        cfg.only
+    );
+
+    let mut reports = Vec::with_capacity(selected.len());
+    for spec in &selected {
+        let report = run_instance(spec, cfg.smoke);
+        if cfg.smoke {
+            assert_report_shape(&report);
+        }
+        reports.push(report);
+    }
+
+    let geomean = |f: fn(&InstanceReport) -> f64| -> f64 {
+        (reports.iter().map(|r| f(r).ln()).sum::<f64>() / reports.len() as f64).exp()
+    };
+    let summary = SuiteSummary {
+        names: reports.iter().map(|r| r.name.clone()).collect(),
+        smoke: cfg.smoke,
+        all_dtr_high_wins: reports.iter().all(|r| r.dtr_high_win),
+        geomean_r_h: geomean(|r| r.r_h),
+        geomean_r_l: geomean(|r| r.r_l),
+        elapsed_s: start.elapsed().as_secs_f64(),
+    };
+    (reports, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SearchSpec, TopologySpec, TrafficSpec};
+    use dtr_traffic::TrafficFamily;
+
+    fn spec(name: &str, smoke: bool) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            description: None,
+            smoke: Some(smoke),
+            topology: TopologySpec::Random {
+                nodes: 8,
+                links: 32,
+                seed: 3,
+            },
+            traffic: TrafficSpec {
+                family: TrafficFamily::Gravity,
+                f: None,
+                k: Some(0.2),
+                model: None,
+                scale: Some(3.0),
+                seed: Some(3),
+            },
+            failures: Some(dtr_routing::FailurePolicy::AllSingleDuplex),
+            search: Some(SearchSpec {
+                budget: Some("tiny".into()),
+                seed: Some(5),
+                beta: None,
+                portfolio: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        assert_eq!(cost_ratio(0.0, 0.0), 1.0);
+        assert!((cost_ratio(10.0, 5.0) - 2.0).abs() < 1e-6);
+        assert_eq!(cost_ratio(10.0, 0.0), 1e3, "saturates, not infinite");
+        assert_eq!(cost_ratio(0.0, 10.0), 1e-3);
+    }
+
+    #[test]
+    fn instance_runs_end_to_end_with_robustness() {
+        let r = run_instance(&spec("mini", true), true);
+        assert_report_shape(&r);
+        assert_eq!(r.name, "mini");
+        assert_eq!(r.topology, "random");
+        assert_eq!(r.nodes, 8);
+        let rb = r.robust.expect("AllSingleDuplex policy must evaluate");
+        assert!(rb.scenarios > 0);
+        assert_eq!(rb.beta, 0.5);
+    }
+
+    #[test]
+    fn worstk_policy_caps_the_scenario_set() {
+        let mut s = spec("capped", true);
+        s.failures = Some(dtr_routing::FailurePolicy::WorstK { k: 3 });
+        let r = run_instance(&s, true);
+        assert_eq!(r.robust.unwrap().scenarios, 3);
+    }
+
+    #[test]
+    fn suite_smoke_filters_and_summarizes() {
+        let specs = vec![spec("one", true), spec("two", false)];
+        let (reports, summary) = run_suite(
+            &specs,
+            &SuiteCfg {
+                smoke: true,
+                only: None,
+            },
+        );
+        assert_eq!(reports.len(), 1, "smoke selects only smoke instances");
+        assert_eq!(summary.names, vec!["one"]);
+        assert!(summary.smoke);
+        assert!(summary.geomean_r_h > 0.0 && summary.geomean_r_l > 0.0);
+        // The filter narrows further.
+        let (reports, _) = run_suite(
+            &specs,
+            &SuiteCfg {
+                smoke: false,
+                only: Some("two".into()),
+            },
+        );
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "two");
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let r = run_instance(&spec("json", true), true);
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: InstanceReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn portfolio_mode_runs() {
+        let mut s = spec("folio", true);
+        s.failures = None;
+        s.search = Some(SearchSpec {
+            budget: Some("tiny".into()),
+            seed: Some(2),
+            beta: None,
+            portfolio: Some(true),
+        });
+        let r = run_instance(&s, true);
+        assert_report_shape(&r);
+        assert!(r.portfolio);
+        assert!(r.dtr.evaluations > 0);
+    }
+}

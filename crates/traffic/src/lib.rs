@@ -20,10 +20,15 @@
 //! supports uniform scaling, which is how the experiments sweep network
 //! load.
 
+pub mod families;
 pub mod gravity;
 pub mod highpri;
 pub mod matrix;
 
+pub use families::{
+    family_demands, hotspot_matrix, skewed_gravity_matrix, stride_matrix, FamilyTrafficCfg,
+    HotspotCfg, SkewedGravityCfg, StrideCfg, TrafficFamily,
+};
 pub use gravity::{gravity_matrix, GravityCfg};
 pub use highpri::{random_highpri, sink_highpri, HighPriModel, SinkPattern};
 pub use matrix::TrafficMatrix;
