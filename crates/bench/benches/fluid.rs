@@ -1,0 +1,156 @@
+//! Simulation-backend benchmark: analytic evaluator vs fluid backend vs
+//! budgeted packet DES on 50- and 100-node instances — the cost of each
+//! rung on the validation ladder, and the fluid backend's correctness
+//! contract (bit-identical loads to the evaluator).
+//!
+//! Emits `BENCH_sim.json` at the repository root, gated by
+//! `bench_baselines.json`. Schema:
+//! `{ "benches": [ { id, mean_s } … ],
+//!    "speedups": [ { topology, move_model, fluid_s, des_s, speedup,
+//!                    same_incumbent } … ] }`
+//!
+//! The gated `speedup` rows are fluid-vs-DES: both run on the same
+//! machine, so the ratio transfers across hardware. `same_incumbent`
+//! records whether the fluid loads matched the analytic evaluator's
+//! bit-for-bit — a fast backend that routes differently is a bug, not a
+//! win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::Objective;
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{waxman_topology, Topology, WaxmanCfg, WeightVector};
+use dtr_routing::Evaluator;
+use dtr_sim::{DesBackend, FluidSim, SimBackend};
+use dtr_traffic::{DemandSet, TrafficCfg};
+
+/// Packet budget for the DES rung. Small enough to bench, large enough
+/// that per-link loads are meaningful on a 400-link instance.
+const DES_PACKETS: u64 = 30_000;
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        (
+            "random_50n_200l",
+            random_topology(&RandomTopologyCfg {
+                nodes: 50,
+                directed_links: 200,
+                seed: 7,
+            }),
+        ),
+        (
+            "waxman_100n_400l",
+            waxman_topology(&WaxmanCfg {
+                nodes: 100,
+                directed_links: 400,
+                beta: 0.6,
+                seed: 7,
+            }),
+        ),
+    ]
+}
+
+struct SpeedupRow {
+    topology: String,
+    fluid_s: f64,
+    des_s: f64,
+    loads_identical: bool,
+}
+
+fn bench_backends(c: &mut Criterion) -> Vec<SpeedupRow> {
+    let mut rows = Vec::new();
+    for (name, topo) in topologies() {
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
+        // A genuinely dual setting so both classes route differently.
+        let weights = DualWeights {
+            high: WeightVector::uniform(&topo, 1),
+            low: WeightVector::delay_proportional(&topo, 30),
+        };
+
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        c.bench_function(format!("sim/analytic/{name}"), |b| {
+            b.iter(|| ev.eval_dual(&weights))
+        });
+        let analytic_s = c.measurements.last().unwrap().mean_s;
+
+        let fluid = FluidSim::new();
+        c.bench_function(format!("sim/fluid/{name}"), |b| {
+            b.iter(|| fluid.run(&topo, &demands, &weights))
+        });
+        let fluid_s = c.measurements.last().unwrap().mean_s;
+
+        let des = DesBackend::budgeted(&demands, DES_PACKETS, 7);
+        c.bench_function(format!("sim/des{}k/{name}", DES_PACKETS / 1000), |b| {
+            b.iter(|| des.run(&topo, &demands, &weights))
+        });
+        let des_s = c.measurements.last().unwrap().mean_s;
+
+        // Correctness contract: the fluid loads ARE the analytic loads.
+        let analytic = ev.eval_dual(&weights);
+        let fr = fluid.run(&topo, &demands, &weights);
+        let loads_identical =
+            analytic.high_loads == fr.class_loads[0] && analytic.low_loads == fr.class_loads[1];
+
+        println!(
+            "{name}: analytic {:.2} ms, fluid {:.2} ms, des({DES_PACKETS} pkts) {:.1} ms — \
+             fluid/des speedup {:.0}x, loads identical: {loads_identical}",
+            analytic_s * 1e3,
+            fluid_s * 1e3,
+            des_s * 1e3,
+            des_s / fluid_s.max(1e-12),
+        );
+        rows.push(SpeedupRow {
+            topology: name.to_string(),
+            fluid_s,
+            des_s,
+            loads_identical,
+        });
+    }
+    rows
+}
+
+fn write_json(measurements: &[criterion::Measurement], rows: &[SpeedupRow]) {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"mean_s\": {:?} }}{}\n",
+            m.id,
+            m.mean_s,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"move_model\": \"fluid_vs_des\", \
+             \"fluid_s\": {:?}, \"des_s\": {:?}, \"speedup\": {:.2}, \
+             \"same_incumbent\": {} }}{}\n",
+            r.topology,
+            r.fluid_s,
+            r.des_s,
+            r.des_s / r.fluid_s.max(1e-12),
+            r.loads_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // benches/ lives two levels below the repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, out).expect("write BENCH_sim.json");
+    println!("[wrote] BENCH_sim.json");
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let rows = bench_backends(c);
+    write_json(&c.measurements, &rows);
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

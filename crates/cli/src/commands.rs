@@ -42,6 +42,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// JSON (de)serialization.
     Json(serde_json::Error),
+    /// A differential-validation gate failed (`dtrctl validate`).
+    Gate(String),
 }
 
 impl fmt::Display for CliError {
@@ -54,6 +56,7 @@ impl fmt::Display for CliError {
             CliError::UnknownVariant { what, value } => write!(f, "unknown {what} {value:?}"),
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::Json(e) => write!(f, "json: {e}"),
+            CliError::Gate(msg) => write!(f, "validation gate failed: {msg}"),
         }
     }
 }
@@ -202,6 +205,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "reopt" => cmd_reopt(args),
         "robust" => cmd_robust(args),
         "suite" => cmd_suite(args),
+        "validate" => cmd_validate(args),
         "help" | "--help" | "-h" => {
             println!("{}", help_text());
             Ok(())
@@ -274,14 +278,26 @@ USAGE:
           alias of `optimize --robust`. --cap optimizes against only the
           N worst scenarios of the initial solution — an approximation;
           the dropped pairs are reported)
-  dtrctl suite [--corpus corpus] [--out suite-out] [--smoke] [--only NAME]
+  dtrctl suite [--corpus corpus] [--out suite-out] [--smoke] [--only A,B]
          (runs the scenario corpus end-to-end: per instance an STR
           baseline and a DTR search at identical budgets plus the
           manifest's failure-policy robustness evaluation; writes one
           JSON report per instance and summary.json into --out. --smoke
           restricts to the tiny smoke-tagged instances and asserts
-          result shapes — the CI gate. --only filters instances by
-          name substring)
+          result shapes — the CI gate. --only takes a comma-separated
+          list of name substrings; an instance runs if it matches any)
+  dtrctl validate [--corpus corpus] [--out validate-out] [--smoke]
+         [--only A,B] [--des-packets N]
+         (corpus-scale sim-vs-analytic differential validation: per
+          instance, reruns the suite searches and pushes both incumbents
+          through (a) the analytic evaluator, (b) the deterministic
+          fluid backend and (c) a budgeted packet DES seeded from the
+          manifest seed; writes one agreement report per instance plus
+          validation_summary.json. Fluid loads must match the analytic
+          loads to 1e-9; DES loads/delays must sit inside the documented
+          accuracy envelope; priority-isolation violations must be zero.
+          Exits non-zero when any gate fails. --des-packets overrides
+          the per-run packet budget; --smoke/--only select as in suite)
 
 All artifacts are JSON; see the repository README for the full workflow."
 }
@@ -900,6 +916,103 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `validate`: corpus-scale sim-vs-analytic differential validation
+/// (see `dtr-scenario::validate`).
+fn cmd_validate(args: &Args) -> Result<(), CliError> {
+    use dtr_scenario::{assert_validation_shape, load_corpus, run_validation, select, ValidateCfg};
+
+    let corpus_dir = args.get("corpus").unwrap_or("corpus");
+    let out_dir = Path::new(args.get("out").unwrap_or("validate-out"));
+    let cfg = ValidateCfg {
+        smoke: args.get_or("smoke", false)?,
+        only: args.get("only").map(str::to_string),
+        des_packets: args.get_or("des-packets", 0u64)?,
+    };
+    let specs = load_corpus(Path::new(corpus_dir))
+        .map_err(|e| CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    if select(&specs, &cfg.suite_cfg()).is_empty() {
+        return Err(CliError::UnknownVariant {
+            what: "validate selection (no corpus instance matches --smoke/--only)",
+            value: cfg.only.clone().unwrap_or_else(|| "--smoke".to_string()),
+        });
+    }
+    println!(
+        "validate: {} manifests in {corpus_dir}{} (DES budget {} packets/run)",
+        specs.len(),
+        if cfg.smoke { " (smoke mode)" } else { "" },
+        cfg.packets()
+    );
+    let start = std::time::Instant::now();
+    let (reports, summary) = run_validation(&specs, &cfg);
+    std::fs::create_dir_all(out_dir)?;
+    for r in &reports {
+        if cfg.smoke {
+            assert_validation_shape(r);
+        }
+        let path = out_dir.join(format!("{}.json", r.name));
+        std::fs::write(&path, serde_json::to_string_pretty(r)?)?;
+        for s in r.schemes() {
+            let delay_err = [s.high.mean_delay_rel_err, s.low.mean_delay_rel_err]
+                .iter()
+                .flatten()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            println!(
+                "  {:<24} {:<8} fluid {:>8.1e}  des-load {:>6.3}  des-delay {:>6.3}  \
+                 iso {}  util {:.2}{}",
+                r.name,
+                s.scheme,
+                s.high.fluid_load_rel_err.max(s.low.fluid_load_rel_err),
+                s.high.des_load_rel_err.max(s.low.des_load_rel_err),
+                delay_err,
+                s.isolation_violations,
+                s.max_util,
+                if s.saturated_links > 0 {
+                    format!(" ({} saturated)", s.saturated_links)
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+    let summary_path = out_dir.join("validation_summary.json");
+    std::fs::write(&summary_path, serde_json::to_string_pretty(&summary)?)?;
+    println!(
+        "validate: {} instances in {:.1}s — fluid err {:.1e} (tol {:.0e}), des load err {:.3} \
+         on {} stable schemes (≤ {}; {:.3} incl. saturated, telemetry), des delay err {:.3} \
+         stable (≤ {}) / {:.3} all (≤ {}), isolation violations {} [wrote {}]",
+        summary.names.len(),
+        start.elapsed().as_secs_f64(),
+        summary.max_fluid_load_rel_err,
+        summary.envelope.fluid_load_tol,
+        summary.max_stable_des_load_rel_err,
+        summary.stable_schemes,
+        summary.envelope.des_load,
+        summary.max_des_load_rel_err,
+        summary.max_stable_mean_delay_rel_err,
+        summary.envelope.des_delay,
+        summary.max_mean_delay_rel_err,
+        summary.envelope.des_delay_saturated,
+        summary.isolation_violations,
+        summary_path.display()
+    );
+    if !summary.all_ok() {
+        let mut failed = Vec::new();
+        if !summary.fluid_ok {
+            failed.push("fluid-vs-analytic load tolerance");
+        }
+        if !summary.des_ok {
+            failed.push("DES accuracy envelope");
+        }
+        if !summary.isolation_ok {
+            failed.push("priority isolation");
+        }
+        return Err(CliError::Gate(failed.join(", ")));
+    }
+    println!("validate: all gates green");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1210,6 +1323,94 @@ mod tests {
     fn suite_rejects_missing_corpus() {
         let e = run(&args("suite --corpus /nonexistent-dtr-corpus")).unwrap_err();
         assert!(matches!(e, CliError::Io(_)));
+    }
+
+    /// Writes a two-instance corpus into a fresh temp directory.
+    fn tiny_corpus(tag: &str) -> std::path::PathBuf {
+        let dir = std::path::PathBuf::from(tmp(tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, seed) in [("alpha-one", 3), ("beta-two", 4)] {
+            std::fs::write(
+                dir.join(format!("{name}.json")),
+                format!(
+                    r#"{{
+                        "name": "{name}",
+                        "smoke": true,
+                        "topology": {{ "Random": {{ "nodes": 8, "links": 32, "seed": {seed} }} }},
+                        "traffic": {{ "family": "Gravity", "scale": 3.0, "seed": {seed} }},
+                        "search": {{ "budget": "tiny", "seed": {seed} }}
+                    }}"#
+                ),
+            )
+            .unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn suite_only_accepts_a_comma_separated_list() {
+        let dir = tiny_corpus("corpus-only");
+        let out = std::path::PathBuf::from(tmp("suite-only-out"));
+        let _ = std::fs::remove_dir_all(&out);
+        // Both names listed → both instances run.
+        run(&args(&format!(
+            "suite --corpus {} --out {} --only alpha-one,beta-two",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap();
+        assert!(out.join("alpha-one.json").is_file());
+        assert!(out.join("beta-two.json").is_file());
+        // One name (with a harmless trailing comma) → one instance.
+        let _ = std::fs::remove_dir_all(&out);
+        run(&args(&format!(
+            "suite --corpus {} --out {} --only beta,",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap();
+        assert!(!out.join("alpha-one.json").exists());
+        assert!(out.join("beta-two.json").is_file());
+        // A list matching nothing is a clean error.
+        let e = run(&args(&format!(
+            "suite --corpus {} --out {} --only zzz,yyy",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(e, CliError::UnknownVariant { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn validate_smoke_runs_and_writes_summary() {
+        let dir = tiny_corpus("corpus-validate");
+        let out = std::path::PathBuf::from(tmp("validate-out"));
+        let _ = std::fs::remove_dir_all(&out);
+        // The validate command reuses the suite's comma-list filter.
+        run(&args(&format!(
+            "validate --corpus {} --out {} --smoke --only alpha,zzz --des-packets 30000",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap();
+        assert!(out.join("alpha-one.json").is_file());
+        assert!(!out.join("beta-two.json").exists());
+        let summary = std::fs::read_to_string(out.join("validation_summary.json")).unwrap();
+        assert!(summary.contains("\"fluid_ok\": true"), "{summary}");
+        assert!(summary.contains("\"isolation_ok\": true"), "{summary}");
+        // A filter matching nothing is a clean error, not a panic.
+        let e = run(&args(&format!(
+            "validate --corpus {} --out {} --only zzz",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(e, CliError::UnknownVariant { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
     }
 
     #[test]

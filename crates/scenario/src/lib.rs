@@ -26,10 +26,16 @@
 pub mod corpus;
 pub mod spec;
 pub mod suite;
+pub mod validate;
 
 pub use corpus::{load_corpus, load_spec, ScenarioError};
 pub use spec::{ScenarioSpec, SearchSpec, TopologySpec, TrafficSpec};
 pub use suite::{
-    cost_ratio, run_instance, run_suite, select, InstanceReport, RobustReport, SchemeReport,
-    SuiteCfg, SuiteSummary,
+    cost_ratio, run_instance, run_instance_full, run_suite, search_incumbents, select,
+    InstanceReport, InstanceRun, RobustReport, SchemeReport, SearchedInstance, SuiteCfg,
+    SuiteSummary,
+};
+pub use validate::{
+    assert_validation_shape, run_validation, summarize, validate_instance, ClassAgreement,
+    EnvelopeSpec, SchemeValidation, ValidateCfg, ValidationReport, ValidationSummary,
 };

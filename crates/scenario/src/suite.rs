@@ -64,8 +64,26 @@ pub struct SuiteCfg {
     /// CI mode: only `smoke: true` instances, everything at the `tiny`
     /// budget, result-shape assertions on.
     pub smoke: bool,
-    /// Run only instances whose name contains this substring.
+    /// Run only instances whose name contains one of these
+    /// comma-separated substrings (`--only isp,fattree4-stride`).
     pub only: Option<String>,
+}
+
+impl SuiteCfg {
+    /// Whether the `--only` filter admits `name`: no filter admits
+    /// everything; otherwise the name must contain at least one of the
+    /// comma-separated needles (empty needles are ignored, so a
+    /// trailing comma is harmless).
+    pub fn admits(&self, name: &str) -> bool {
+        match self.only.as_deref() {
+            None => true,
+            Some(list) => list
+                .split(',')
+                .map(str::trim)
+                .filter(|needle| !needle.is_empty())
+                .any(|needle| name.contains(needle)),
+        }
+    }
 }
 
 /// One scheme's outcome on one instance.
@@ -219,12 +237,53 @@ fn run_scheme(
     (weights, report)
 }
 
+/// One instance's outcome **with the incumbent weight settings** — what
+/// the differential-validation harness consumes (it replays both
+/// incumbents through the simulation backends).
+#[derive(Debug, Clone)]
+pub struct InstanceRun {
+    /// The serializable report.
+    pub report: InstanceReport,
+    /// The STR baseline incumbent, replicated into both vectors.
+    pub str_weights: DualWeights,
+    /// The DTR incumbent (warm-started from the baseline).
+    pub dtr_weights: DualWeights,
+}
+
 /// Executes one instance end-to-end.
 pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
+    run_instance_full(spec, smoke).report
+}
+
+/// The search front half of one instance: the built topology and
+/// demands plus both schemes' incumbents, **without** the
+/// failure-policy robustness sweep. This is what the differential-
+/// validation harness consumes — it replays the incumbents through the
+/// simulation backends and has no use for the (comparatively costly)
+/// scenario sweep the full suite report includes.
+pub struct SearchedInstance {
+    /// The instance's topology.
+    pub topo: Topology,
+    /// The instance's two-class demand set.
+    pub demands: DemandSet,
+    /// STR baseline incumbent (replicated) and its report.
+    pub str_weights: DualWeights,
+    /// Baseline scheme report.
+    pub baseline: SchemeReport,
+    /// DTR incumbent (warm-started from the baseline) and its report.
+    pub dtr_weights: DualWeights,
+    /// DTR scheme report.
+    pub dtr: SchemeReport,
+    /// The effective budget-preset name the searches ran at.
+    pub budget: String,
+}
+
+/// Builds one instance and runs both scheme searches (no robustness
+/// sweep — see [`SearchedInstance`]).
+pub fn search_incumbents(spec: &ScenarioSpec, smoke: bool) -> SearchedInstance {
     let topo = spec.topology.build();
     let demands = spec.traffic.build(&topo);
     let search = spec.search();
-
     let (str_weights, baseline) = run_scheme(&topo, &demands, spec, Scheme::Str, None, smoke);
     // DTR warm-starts from the baseline incumbent (see module docs):
     // the comparison reads "what does the second topology buy on top of
@@ -238,6 +297,34 @@ pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
         Some(&str_weights),
         smoke,
     );
+    SearchedInstance {
+        topo,
+        demands,
+        str_weights,
+        baseline,
+        dtr_weights,
+        dtr,
+        budget: if smoke {
+            "tiny".to_string()
+        } else {
+            search.budget().to_string()
+        },
+    }
+}
+
+/// Executes one instance end-to-end, returning the report **and** both
+/// incumbent weight settings.
+pub fn run_instance_full(spec: &ScenarioSpec, smoke: bool) -> InstanceRun {
+    let search = spec.search();
+    let SearchedInstance {
+        topo,
+        demands,
+        str_weights,
+        baseline,
+        dtr_weights,
+        dtr,
+        budget,
+    } = search_incumbents(spec, smoke);
 
     let robust = match spec.failures() {
         FailurePolicy::None => None,
@@ -263,7 +350,7 @@ pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
         }
     };
 
-    InstanceReport {
+    let report = InstanceReport {
         name: spec.name.clone(),
         topology: spec.topology.family_name().to_string(),
         traffic: spec.traffic.family.name().to_string(),
@@ -271,11 +358,7 @@ pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
         links: topo.link_count(),
         total_demand: demands.total_volume(),
         high_fraction: demands.high_fraction(),
-        budget: if smoke {
-            "tiny".to_string()
-        } else {
-            search.budget().to_string()
-        },
+        budget,
         portfolio: search.portfolio(),
         r_h: cost_ratio(baseline.phi_h, dtr.phi_h),
         r_l: cost_ratio(baseline.phi_l, dtr.phi_l),
@@ -283,6 +366,11 @@ pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
         baseline,
         dtr,
         robust,
+    };
+    InstanceRun {
+        report,
+        str_weights,
+        dtr_weights,
     }
 }
 
@@ -355,11 +443,7 @@ pub fn select<'a>(specs: &'a [ScenarioSpec], cfg: &SuiteCfg) -> Vec<&'a Scenario
     specs
         .iter()
         .filter(|s| !cfg.smoke || s.is_smoke())
-        .filter(|s| {
-            cfg.only
-                .as_deref()
-                .is_none_or(|needle| s.name.contains(needle))
-        })
+        .filter(|s| cfg.admits(&s.name))
         .collect()
 }
 

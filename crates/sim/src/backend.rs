@@ -1,0 +1,210 @@
+//! The [`SimBackend`] abstraction: one contract, two simulators.
+//!
+//! Both the packet-level discrete-event engine ([`crate::Simulation`],
+//! wrapped by [`DesBackend`]) and the deterministic flow-level fluid
+//! model ([`crate::FluidSim`]) answer the same question — *given a
+//! topology, a two-class demand set and a dual weight setting, what are
+//! the per-class link loads and end-to-end delays?* — so they share one
+//! trait and one report shape. The differential-validation harness
+//! (`dtr-scenario`) runs the analytic evaluator, the fluid backend and a
+//! budgeted DES side by side and gates their agreement.
+//!
+//! [`BackendReport`] deliberately uses sorted maps ([`BTreeMap`]) for
+//! the per-pair delays: aggregations iterate in a fixed order, so
+//! downstream reports are byte-identical across runs — a property the
+//! validation harness tests for.
+
+use crate::engine::{SimConfig, Simulation};
+use crate::stats::{PairKey, TrafficClass};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::Topology;
+use dtr_traffic::{DemandSet, TrafficMatrix};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A simulation backend: routes `demands` on `weights` over `topo` and
+/// reports per-class link loads, per-link queueing waits and per-pair
+/// end-to-end delays in one common shape.
+pub trait SimBackend {
+    /// Machine-readable backend name (`"fluid"`, `"des"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the backend to completion.
+    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport;
+}
+
+/// What every backend reports. Loads are in Mbit/s, times in seconds,
+/// all link vectors indexed by `LinkId`, class arrays by
+/// [`TrafficClass::idx`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReport {
+    /// The producing backend's [`SimBackend::name`].
+    pub backend: &'static str,
+    /// Per-class per-link carried load (Mbit/s). For the fluid backend
+    /// these are exact expected arrival rates; for the DES, measured
+    /// throughput over the measurement window.
+    pub class_loads: [Vec<f64>; 2],
+    /// Per-class per-link mean queueing wait (seconds). Fluid: the
+    /// closed-form non-preemptive priority wait (infinite when the
+    /// class is unstable at that link). DES: the sample mean (0 when no
+    /// packet of the class was served there).
+    pub link_wait_s: [Vec<f64>; 2],
+    /// DES wait-sample counts per class per link (`u64::MAX` for the
+    /// fluid backend, whose waits are exact rather than sampled). Lets
+    /// consumers require statistical significance before comparing.
+    pub link_wait_samples: [Vec<u64>; 2],
+    /// Mean end-to-end delay per (class, src, dst) pair, seconds.
+    /// Sorted map so aggregation order is deterministic.
+    pub pair_delays: BTreeMap<PairKey, f64>,
+    /// Pairs whose expected forwarding path crosses a near-saturated
+    /// link (total utilization ≥ the fluid backend's `hot_util`
+    /// threshold). Finite-horizon measurements of such pairs are not
+    /// steady-state; differential comparisons exclude them. Always
+    /// empty for the DES backend (it measures, it doesn't predict).
+    pub hot_pairs: BTreeSet<PairKey>,
+    /// Packets generated (0 for the fluid backend).
+    pub packets: u64,
+}
+
+impl BackendReport {
+    /// Flow-weighted mean end-to-end delay of one class over the pairs
+    /// this report measured with a finite delay, weighted by the
+    /// demand-set volume. `None` when no pair of the class qualifies.
+    pub fn mean_class_delay(&self, class: TrafficClass, demands: &DemandSet) -> Option<f64> {
+        let m: &TrafficMatrix = match class {
+            TrafficClass::High => &demands.high,
+            TrafficClass::Low => &demands.low,
+        };
+        let mut sum = 0.0;
+        let mut vol = 0.0;
+        // Iterate the sorted map (not the matrix) so the accumulation
+        // order is fixed regardless of how the matrix stores pairs.
+        for (key, &d) in &self.pair_delays {
+            if key.class != class || !d.is_finite() {
+                continue;
+            }
+            let v = m.get(key.src as usize, key.dst as usize);
+            if v > 0.0 {
+                sum += d * v;
+                vol += v;
+            }
+        }
+        (vol > 0.0).then_some(sum / vol)
+    }
+
+    /// Total carried volume of one class (Mbit/s), summed over links.
+    pub fn total_class_load(&self, class: TrafficClass) -> f64 {
+        self.class_loads[class.idx()].iter().sum()
+    }
+}
+
+/// The packet-level discrete-event engine behind the [`SimBackend`]
+/// contract. Wraps a [`SimConfig`]; each [`SimBackend::run`] call builds
+/// and runs one [`Simulation`] and condenses its [`crate::SimReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct DesBackend {
+    /// The engine configuration (seed, window, scheduler, ECMP mode).
+    pub cfg: SimConfig,
+}
+
+impl DesBackend {
+    /// A DES backend whose measurement window is sized so the run
+    /// generates roughly `packets` packets: `duration = packets /
+    /// total_pps`, with a 10% warmup prepended. This is the budgeted
+    /// mode the validation harness uses — cost is bounded by the packet
+    /// budget, not by the instance's absolute traffic volume.
+    pub fn budgeted(demands: &DemandSet, packets: u64, seed: u64) -> Self {
+        let cfg = SimConfig::default();
+        let total_pps = demands.total_volume() * 1e6 / cfg.mean_packet_bits;
+        assert!(total_pps > 0.0, "budgeted DES needs positive demand");
+        let duration_s = packets as f64 / total_pps;
+        DesBackend {
+            cfg: SimConfig {
+                warmup_s: 0.1 * duration_s,
+                duration_s,
+                seed,
+                ..cfg
+            },
+        }
+    }
+}
+
+impl SimBackend for DesBackend {
+    fn name(&self) -> &'static str {
+        "des"
+    }
+
+    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport {
+        let report = Simulation::new(topo, demands, weights, self.cfg).run();
+        let m = topo.link_count();
+        let mut class_loads = [vec![0.0; m], vec![0.0; m]];
+        let mut link_wait_s = [vec![0.0; m], vec![0.0; m]];
+        let mut link_wait_samples = [vec![0u64; m], vec![0u64; m]];
+        for i in 0..m {
+            for class in [TrafficClass::High, TrafficClass::Low] {
+                let c = class.idx();
+                let cs = &report.link_stats[i].per_class[c];
+                class_loads[c][i] = cs.bits / report.duration_s / 1e6;
+                link_wait_s[c][i] = cs.wait.mean();
+                link_wait_samples[c][i] = cs.wait.count;
+            }
+        }
+        let pair_delays = report
+            .pair_delays
+            .iter()
+            .filter(|(_, acc)| acc.count > 0)
+            .map(|(k, acc)| (*k, acc.mean()))
+            .collect();
+        BackendReport {
+            backend: self.name(),
+            class_loads,
+            link_wait_s,
+            link_wait_samples,
+            pair_delays,
+            hot_pairs: BTreeSet::new(),
+            packets: report.generated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::{NodeId, TopologyBuilder, WeightVector};
+
+    fn two_node_instance() -> (Topology, DemandSet, DualWeights) {
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(2);
+        b.add_duplex(NodeId(0), NodeId(1), 10.0, 0.001);
+        let topo = b.build().unwrap();
+        let mut high = TrafficMatrix::zeros(2);
+        high.set(0, 1, 2.0);
+        let mut low = TrafficMatrix::zeros(2);
+        low.set(0, 1, 3.0);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        (topo, DemandSet { high, low }, w)
+    }
+
+    #[test]
+    fn des_backend_reports_loads_and_delays() {
+        let (topo, demands, w) = two_node_instance();
+        let des = DesBackend::budgeted(&demands, 20_000, 1);
+        let r = des.run(&topo, &demands, &w);
+        assert_eq!(r.backend, "des");
+        assert!(r.packets > 10_000);
+        let link = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        assert!((r.class_loads[0][link.index()] - 2.0).abs() < 0.3);
+        assert!((r.class_loads[1][link.index()] - 3.0).abs() < 0.4);
+        let dh = r.mean_class_delay(TrafficClass::High, &demands).unwrap();
+        // ≥ propagation + transmission.
+        assert!(dh > 0.001, "high delay {dh}");
+        assert!(r.mean_class_delay(TrafficClass::Low, &demands).unwrap() >= dh * 0.5);
+    }
+
+    #[test]
+    fn budgeted_window_scales_inversely_with_volume() {
+        let (_, demands, _) = two_node_instance();
+        let a = DesBackend::budgeted(&demands, 10_000, 1);
+        let b = DesBackend::budgeted(&demands.clone().scaled(2.0), 10_000, 1);
+        assert!((a.cfg.duration_s / b.cfg.duration_s - 2.0).abs() < 1e-9);
+    }
+}

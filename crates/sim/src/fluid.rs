@@ -1,0 +1,380 @@
+//! The deterministic flow-level fluid backend.
+//!
+//! Where the discrete-event engine pushes individual packets through
+//! event queues, [`FluidSim`] pushes per-class *arrival rates* down the
+//! same per-destination ECMP DAGs and closes the loop with the exact
+//! non-preemptive priority-queue formulas from [`crate::queueing`]:
+//!
+//! 1. **Loads** — each class's demand is routed exactly like the
+//!    analytic evaluator routes it: one shortest-path DAG per
+//!    destination, even splitting over equal-cost branches, implemented
+//!    by the *same* primitive (`dtr_routing::push_demand_down_dag`) on
+//!    DAGs from the *same* [`ForwardingState`] the DES forwards on.
+//!    Identical DAGs + identical arithmetic ⇒ the loads are
+//!    bit-identical to `Evaluator::eval_dual`'s — the structural
+//!    agreement the validation harness asserts at 1e-9.
+//! 2. **Per-link delays** — Cobham's closed-form mean waits for the
+//!    two-priority M/M/1 (or M/D/1) link at those loads; no event loop,
+//!    no sampling noise, unstable links report infinity.
+//! 3. **End-to-end delays** — a dynamic program over each destination
+//!    DAG: ξ(v→t) averages branch sojourn + propagation + downstream ξ
+//!    over the ECMP branches, mirroring the evaluator's SLA walk but
+//!    with the exact priority-queue sojourns instead of the paper's
+//!    Eq. 3 surrogate.
+//!
+//! The whole computation is `O(dests · (SPF + links))` — orders of
+//! magnitude faster than a statistically meaningful DES run, and exactly
+//! reproducible (no RNG anywhere).
+
+use crate::backend::{BackendReport, SimBackend};
+use crate::forwarding::ForwardingState;
+use crate::queueing::{cobham, PriorityLink};
+use crate::stats::{PairKey, TrafficClass};
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{NodeId, Topology};
+use dtr_routing::push_demand_down_dag;
+use dtr_traffic::{DemandSet, TrafficMatrix};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fluid-model parameters — the packet-size model the closed-form link
+/// delays assume (loads don't depend on it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidCfg {
+    /// Mean packet size in bits (default 8000, matching [`crate::SimConfig`]).
+    pub mean_packet_bits: f64,
+    /// `false` → exponential sizes (M/M/1), `true` → constant (M/D/1).
+    pub deterministic_size: bool,
+    /// Total-utilization threshold above which a link is considered
+    /// **near-saturated**: pairs whose expected path crosses one are
+    /// flagged in [`BackendReport::hot_pairs`], because closed-form
+    /// steady-state delays there diverge while any finite-horizon
+    /// measurement stays finite — the two are incomparable by
+    /// construction. Default 0.95.
+    pub hot_util: f64,
+}
+
+impl Default for FluidCfg {
+    fn default() -> Self {
+        FluidCfg {
+            mean_packet_bits: 8000.0,
+            deterministic_size: false,
+            hot_util: 0.95,
+        }
+    }
+}
+
+/// The fluid backend. Stateless between runs; construct once and reuse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FluidSim {
+    /// Packet-size model for the closed-form delays.
+    pub cfg: FluidCfg,
+}
+
+impl FluidSim {
+    /// A fluid backend with the default packet-size model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes one class's demand down its DAGs, accumulating loads in
+    /// ascending-destination order — the same iteration order and the
+    /// same pushing primitive as `dtr_routing::LoadCalculator`, so the
+    /// floating-point sums are bit-identical.
+    fn class_loads(
+        &self,
+        topo: &Topology,
+        fwd: &ForwardingState,
+        class: TrafficClass,
+        m: &TrafficMatrix,
+        flow: &mut Vec<f64>,
+    ) -> Vec<f64> {
+        let mut loads = vec![0.0; topo.link_count()];
+        for t in topo.nodes() {
+            if m.demands_to(t.index()).next().is_none() {
+                continue;
+            }
+            push_demand_down_dag(topo, fwd.dag(class, t), m, t, flow, &mut loads);
+        }
+        loads
+    }
+}
+
+impl SimBackend for FluidSim {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport {
+        let m = topo.link_count();
+        let fwd = ForwardingState::new(topo, weights);
+        let mut flow = Vec::new();
+        let high_loads = self.class_loads(topo, &fwd, TrafficClass::High, &demands.high, &mut flow);
+        let low_loads = self.class_loads(topo, &fwd, TrafficClass::Low, &demands.low, &mut flow);
+
+        // Closed-form per-link waits and sojourns at those loads, plus
+        // the near-saturation flags for the hot-pair scan.
+        let mut wait = [vec![0.0; m], vec![0.0; m]];
+        let mut sojourn = [vec![0.0; m], vec![0.0; m]];
+        let mut link_hot = vec![false; m];
+        for (lid, link) in topo.links() {
+            let i = lid.index();
+            let pl = PriorityLink {
+                capacity_mbps: link.capacity,
+                mean_packet_bits: self.cfg.mean_packet_bits,
+                deterministic: self.cfg.deterministic_size,
+            };
+            let (dh, dl) = cobham(&pl, high_loads[i], low_loads[i]);
+            wait[0][i] = dh.wait_s;
+            wait[1][i] = dl.wait_s;
+            sojourn[0][i] = dh.sojourn_s;
+            sojourn[1][i] = dl.sojourn_s;
+            link_hot[i] = (high_loads[i] + low_loads[i]) / link.capacity >= self.cfg.hot_util;
+        }
+
+        // End-to-end expected delays: ξ dynamic program per destination
+        // DAG, exactly the evaluator's SLA walk shape but with the
+        // class's priority-queue sojourn at every link. A parallel
+        // boolean DP marks nodes whose flow can touch a near-saturated
+        // link on the way to `t`.
+        let mut pair_delays = BTreeMap::new();
+        let mut hot_pairs = BTreeSet::new();
+        let mut xi = vec![0.0f64; topo.node_count()];
+        let mut hot = vec![false; topo.node_count()];
+        for (class, matrix) in [
+            (TrafficClass::High, &demands.high),
+            (TrafficClass::Low, &demands.low),
+        ] {
+            let c = class.idx();
+            for t in topo.nodes() {
+                if matrix.demands_to(t.index()).next().is_none() {
+                    continue;
+                }
+                let dag = fwd.dag(class, t);
+                xi.fill(0.0);
+                hot.fill(false);
+                // A source that cannot reach `t` has no delay, not a
+                // zero delay: report infinity so undeliverable pairs
+                // are excluded from means exactly like saturated ones.
+                for v in topo.nodes() {
+                    if v != t && !dag.reachable(v) {
+                        xi[v.index()] = f64::INFINITY;
+                    }
+                }
+                for &v in dag.order.iter().rev() {
+                    let vi = v as usize;
+                    if NodeId(v) == t || !dag.reachable(NodeId(v)) {
+                        continue;
+                    }
+                    let branches = &dag.ecmp_out[vi];
+                    let mut acc = 0.0;
+                    for &lid in branches {
+                        let link = topo.link(lid);
+                        acc += sojourn[c][lid.index()] + link.prop_delay + xi[link.dst.index()];
+                        hot[vi] |= link_hot[lid.index()] || hot[link.dst.index()];
+                    }
+                    xi[vi] = acc / branches.len() as f64;
+                }
+                for (s, _vol) in matrix.demands_to(t.index()) {
+                    let key = PairKey {
+                        class,
+                        src: s as u32,
+                        dst: t.index() as u32,
+                    };
+                    pair_delays.insert(key, xi[s]);
+                    if hot[s] {
+                        hot_pairs.insert(key);
+                    }
+                }
+            }
+        }
+
+        BackendReport {
+            backend: self.name(),
+            class_loads: [high_loads, low_loads],
+            link_wait_s: wait,
+            // Exact, not sampled: report saturation so significance
+            // filters never discard fluid predictions.
+            link_wait_samples: [vec![u64::MAX; m], vec![u64::MAX; m]],
+            pair_delays,
+            hot_pairs,
+            packets: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queueing::cobham;
+    use dtr_graph::{NodeId, TopologyBuilder, WeightVector};
+
+    fn two_node(capacity: f64, prop: f64) -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(2);
+        b.add_duplex(NodeId(0), NodeId(1), capacity, prop);
+        b.build().unwrap()
+    }
+
+    fn demands(h: f64, l: f64, n: usize) -> DemandSet {
+        let mut high = TrafficMatrix::zeros(n);
+        if h > 0.0 {
+            high.set(0, n - 1, h);
+        }
+        let mut low = TrafficMatrix::zeros(n);
+        if l > 0.0 {
+            low.set(0, n - 1, l);
+        }
+        DemandSet { high, low }
+    }
+
+    #[test]
+    fn single_link_matches_cobham_exactly() {
+        let topo = two_node(10.0, 0.002);
+        let d = demands(3.0, 4.0, 2);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let r = FluidSim::new().run(&topo, &d, &w);
+        let link = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(r.class_loads[0][link.index()], 3.0);
+        assert_eq!(r.class_loads[1][link.index()], 4.0);
+        let pl = PriorityLink {
+            capacity_mbps: 10.0,
+            mean_packet_bits: 8000.0,
+            deterministic: false,
+        };
+        let (dh, dl) = cobham(&pl, 3.0, 4.0);
+        let key = |class| PairKey {
+            class,
+            src: 0,
+            dst: 1,
+        };
+        // End-to-end = sojourn + propagation, exactly.
+        assert!((r.pair_delays[&key(TrafficClass::High)] - (dh.sojourn_s + 0.002)).abs() < 1e-15);
+        assert!((r.pair_delays[&key(TrafficClass::Low)] - (dl.sojourn_s + 0.002)).abs() < 1e-15);
+        assert_eq!(r.packets, 0);
+    }
+
+    #[test]
+    fn diamond_splits_evenly_and_averages_delay() {
+        // 0 —(via 1 or 2)— 3 with equal weights: each branch carries
+        // half, and the pair delay is the branch average.
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(4);
+        b.add_duplex(NodeId(0), NodeId(1), 10.0, 0.001);
+        b.add_duplex(NodeId(0), NodeId(2), 10.0, 0.001);
+        b.add_duplex(NodeId(1), NodeId(3), 10.0, 0.001);
+        b.add_duplex(NodeId(2), NodeId(3), 10.0, 0.001);
+        let topo = b.build().unwrap();
+        let d = demands(4.0, 0.0, 4);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let r = FluidSim::new().run(&topo, &d, &w);
+        for (a, z) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+            let l = topo.find_link(NodeId(a), NodeId(z)).unwrap();
+            assert!((r.class_loads[0][l.index()] - 2.0).abs() < 1e-12);
+        }
+        let pl = PriorityLink {
+            capacity_mbps: 10.0,
+            mean_packet_bits: 8000.0,
+            deterministic: false,
+        };
+        let (dh, _) = cobham(&pl, 2.0, 0.0);
+        let key = PairKey {
+            class: TrafficClass::High,
+            src: 0,
+            dst: 3,
+        };
+        // Two identical hops on every branch.
+        assert!((r.pair_delays[&key] - 2.0 * (dh.sojourn_s + 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_saturated_paths_are_flagged_hot() {
+        let topo = two_node(10.0, 0.0);
+        // ρ = 0.97: stable, but past the 0.95 hot threshold.
+        let d = demands(3.0, 6.7, 2);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let r = FluidSim::new().run(&topo, &d, &w);
+        assert_eq!(r.hot_pairs.len(), 2, "both classes cross the hot link");
+        // Everything cools down below the threshold.
+        let cool = FluidSim::new().run(&topo, &demands(3.0, 3.0, 2), &w);
+        assert!(cool.hot_pairs.is_empty());
+    }
+
+    #[test]
+    fn unstable_link_reports_infinite_delay() {
+        let topo = two_node(10.0, 0.0);
+        let d = demands(4.0, 8.0, 2); // ρ = 1.2: low class unstable
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let r = FluidSim::new().run(&topo, &d, &w);
+        let key = PairKey {
+            class: TrafficClass::Low,
+            src: 0,
+            dst: 1,
+        };
+        assert!(r.pair_delays[&key].is_infinite());
+        // The high class stays finite (ρ_H = 0.4).
+        let kh = PairKey {
+            class: TrafficClass::High,
+            src: 0,
+            dst: 1,
+        };
+        assert!(r.pair_delays[&kh].is_finite());
+        // Flow-weighted mean skips the infinite pair.
+        assert!(r.mean_class_delay(TrafficClass::Low, &d).is_none());
+    }
+
+    #[test]
+    fn unreachable_pair_reports_infinite_delay_not_zero() {
+        // Two disconnected islands (0–1 and 2–3) with demand across
+        // them: the pair must report ∞, and the class mean must not be
+        // dragged toward zero by an undeliverable pair. The builder
+        // rejects disconnected graphs, but `Topology` deserializes
+        // unvalidated — a hand-edited topo.json reaches the backends
+        // exactly like this.
+        let json = r#"{
+            "node_count": 4,
+            "links": [
+                { "src": 0, "dst": 1, "capacity": 10.0, "prop_delay": 0.001 },
+                { "src": 1, "dst": 0, "capacity": 10.0, "prop_delay": 0.001 },
+                { "src": 2, "dst": 3, "capacity": 10.0, "prop_delay": 0.001 },
+                { "src": 3, "dst": 2, "capacity": 10.0, "prop_delay": 0.001 }
+            ],
+            "out_links": [[0], [1], [2], [3]],
+            "in_links": [[1], [0], [3], [2]],
+            "names": ["n0", "n1", "n2", "n3"]
+        }"#;
+        let topo: Topology = serde_json::from_str(json).unwrap();
+        let mut high = TrafficMatrix::zeros(4);
+        high.set(0, 3, 2.0); // crosses the gap
+        high.set(2, 3, 2.0); // deliverable
+        let d = DemandSet {
+            high,
+            low: TrafficMatrix::zeros(4),
+        };
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let r = FluidSim::new().run(&topo, &d, &w);
+        let cross = PairKey {
+            class: TrafficClass::High,
+            src: 0,
+            dst: 3,
+        };
+        assert!(r.pair_delays[&cross].is_infinite());
+        // The mean covers only the deliverable pair.
+        let local = PairKey {
+            class: TrafficClass::High,
+            src: 2,
+            dst: 3,
+        };
+        let mean = r.mean_class_delay(TrafficClass::High, &d).unwrap();
+        assert_eq!(mean, r.pair_delays[&local]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let topo = two_node(10.0, 0.001);
+        let d = demands(3.0, 3.0, 2);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let a = FluidSim::new().run(&topo, &d, &w);
+        let b = FluidSim::new().run(&topo, &d, &w);
+        assert_eq!(a, b);
+    }
+}

@@ -9,26 +9,29 @@ use crate::stats::TrafficClass;
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology};
 
-/// ECMP branch tables for both classes.
+/// Per-class, per-destination shortest-path DAGs.
+///
+/// The full [`ShortestPathDag`] is retained (not just the branch lists):
+/// the discrete-event engine only reads `ecmp_out`, but the fluid
+/// backend ([`crate::FluidSim`]) also needs `order` for its
+/// decreasing-distance load pushing and delay dynamic program — sharing
+/// one structure guarantees both backends route on identical DAGs.
 #[derive(Debug, Clone)]
 pub struct ForwardingState {
-    /// `branches[class][dest][node]` = candidate out-links.
-    branches: [Vec<Vec<Vec<LinkId>>>; 2],
+    /// `dags[class][dest]` = the ECMP DAG towards `dest`.
+    dags: [Vec<ShortestPathDag>; 2],
 }
 
 impl ForwardingState {
     /// Builds the tables from a dual weight setting.
     pub fn new(topo: &Topology, weights: &DualWeights) -> Self {
-        let build = |w| -> Vec<Vec<Vec<LinkId>>> {
+        let build = |w| -> Vec<ShortestPathDag> {
             topo.nodes()
-                .map(|dest| {
-                    let dag = ShortestPathDag::compute(topo, w, dest);
-                    dag.ecmp_out
-                })
+                .map(|dest| ShortestPathDag::compute(topo, w, dest))
                 .collect()
         };
         ForwardingState {
-            branches: [build(&weights.high), build(&weights.low)],
+            dags: [build(&weights.high), build(&weights.low)],
         }
     }
 
@@ -36,7 +39,13 @@ impl ForwardingState {
     /// Empty exactly when `node == dest`.
     #[inline]
     pub fn branches(&self, class: TrafficClass, dest: NodeId, node: NodeId) -> &[LinkId] {
-        &self.branches[class.idx()][dest.index()][node.index()]
+        &self.dags[class.idx()][dest.index()].ecmp_out[node.index()]
+    }
+
+    /// The full shortest-path DAG of `class` traffic towards `dest`.
+    #[inline]
+    pub fn dag(&self, class: TrafficClass, dest: NodeId) -> &ShortestPathDag {
+        &self.dags[class.idx()][dest.index()]
     }
 }
 

@@ -19,16 +19,35 @@
 //! class unaffected by low-class load), flow conservation, and the
 //! accuracy envelope of the paper's Eq. 3 approximation.
 //!
+//! Two backends answer the same question behind the [`SimBackend`]
+//! trait:
+//!
+//! - [`DesBackend`] — the packet-level discrete-event engine above
+//!   ([`Simulation`]), statistically exact but O(packets);
+//! - [`FluidSim`] — a deterministic flow-level fluid model: per-class
+//!   arrival rates pushed down the same per-destination ECMP DAGs, with
+//!   closed-form priority-queue delays ([`queueing`]) instead of an
+//!   event loop. Orders of magnitude faster, bit-identical loads to the
+//!   analytic evaluator, exactly reproducible.
+//!
+//! The corpus-scale differential-validation harness (`dtr-scenario`,
+//! `dtrctl validate`) runs analytic evaluator, fluid and budgeted DES
+//! side by side on every corpus instance and gates their agreement.
+//!
 //! [`Simulation`] is deterministic given its seed.
 
+pub mod backend;
 pub mod engine;
 pub mod event;
+pub mod fluid;
 pub mod forwarding;
 pub mod queueing;
 pub mod stats;
 
+pub use backend::{BackendReport, DesBackend, SimBackend};
 pub use engine::{EcmpMode, Scheduler, SimConfig, SimReport, Simulation};
 pub use event::{Event, EventQueue};
+pub use fluid::{FluidCfg, FluidSim};
 pub use forwarding::ForwardingState;
 pub use queueing::{
     cobham, mm1_sojourn, paper_high_sojourn, residual_approx_error, residual_low_sojourn,

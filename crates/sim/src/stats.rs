@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The two service classes (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TrafficClass {
     /// Served first at every link.
     High,
@@ -82,8 +82,10 @@ impl LinkStats {
     }
 }
 
-/// Key for per-pair end-to-end accumulators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Key for per-pair end-to-end accumulators. `Ord` so backend reports
+/// can keep pairs in sorted maps — aggregations then sum in a fixed
+/// order, which keeps validation reports byte-identical across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PairKey {
     /// Traffic class of the flow.
     pub class: TrafficClass,

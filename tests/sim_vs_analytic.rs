@@ -2,12 +2,17 @@
 //! load model, and the priority-queueing assumption (§3) must hold in
 //! the packet world: the high class is isolated from low-class routing
 //! *and* low-class volume.
+//!
+//! These single-instance claims are generalized to every corpus regime
+//! by `dtrctl validate` (see `dtr-scenario::validate` and the
+//! `validate-smoke` CI job); the tests here remain as the fast, zero-
+//! search sanity layer.
 
 use dtr::core::{DualWeights, Objective};
 use dtr::graph::gen::{random_topology, RandomTopologyCfg};
 use dtr::graph::WeightVector;
 use dtr::routing::Evaluator;
-use dtr::sim::{SimConfig, Simulation, TrafficClass};
+use dtr::sim::{FluidSim, SimBackend, SimConfig, Simulation, TrafficClass};
 use dtr::traffic::{DemandSet, TrafficCfg};
 
 fn instance() -> (dtr::graph::Topology, DemandSet, DualWeights) {
@@ -94,6 +99,55 @@ fn per_class_throughput_matches_class_loads() {
             (al - sl).abs() < 0.05 * al.max(20.0),
             "link {lid} low: analytic {al:.1} vs sim {sl:.1} Mbit/s"
         );
+    }
+}
+
+#[test]
+fn fluid_backend_is_bit_identical_to_analytic_loads() {
+    // The structural-agreement contract `dtrctl validate` gates at
+    // 1e-9: the fluid backend's loads ARE the evaluator's loads — same
+    // DAGs, same pushing primitive, same accumulation order.
+    let (topo, demands, weights) = instance();
+    let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+    let analytic = ev.eval_dual(&weights);
+    let fluid = FluidSim::new().run(&topo, &demands, &weights);
+    for (lid, _) in topo.links() {
+        assert_eq!(
+            analytic.high_loads[lid.index()],
+            fluid.class_loads[0][lid.index()],
+            "high link {lid}"
+        );
+        assert_eq!(
+            analytic.low_loads[lid.index()],
+            fluid.class_loads[1][lid.index()],
+            "low link {lid}"
+        );
+    }
+    // And the closed-form delays respect strict priority on every
+    // link both classes use.
+    for (lid, _) in topo.links() {
+        let i = lid.index();
+        if fluid.class_loads[0][i] > 0.0 && fluid.class_loads[1][i] > 0.0 {
+            assert!(
+                fluid.link_wait_s[0][i] <= fluid.link_wait_s[1][i],
+                "link {lid}: high waits longer than low"
+            );
+        }
+    }
+}
+
+#[test]
+fn des_mean_delays_track_fluid_predictions() {
+    // The per-class delay envelope, instance-scale: a budgeted DES run
+    // must land near the fluid closed-form means. (The corpus-scale
+    // version with the documented envelope lives in `dtrctl validate`.)
+    let (topo, demands, weights) = instance();
+    let fluid = FluidSim::new().run(&topo, &demands, &weights);
+    let des = dtr::sim::DesBackend::budgeted(&demands, 150_000, 21).run(&topo, &demands, &weights);
+    for class in [TrafficClass::High, TrafficClass::Low] {
+        let f = fluid.mean_class_delay(class, &demands).unwrap();
+        let d = des.mean_class_delay(class, &demands).unwrap();
+        assert!((d - f).abs() / f < 0.25, "{class:?}: des {d} vs fluid {f}");
     }
 }
 
