@@ -1,0 +1,190 @@
+//! Daemon replay benchmark: sustained event throughput and tail latency
+//! of `dtrd` under churn, plus the gain-vs-churn accounting.
+//!
+//! For each instance a seed-deterministic 100-event churn trace (Poisson
+//! flaps, gravity-drift demand walks, what-if probes) is replayed through
+//! the daemon with a precomputed incumbent, so the timed section is pure
+//! event processing — no cold boot search. The replay runs twice and the
+//! reply streams must be byte-identical (the determinism contract); the
+//! final incumbent must stay within the 1.05× bar of a cold batch
+//! re-optimization of the end-state network (`batch_ok`).
+//!
+//! Emits `BENCH_daemon.json` at the repository root. Schema:
+//! `{ "benches":  [ { id: "daemon/event_mean/<topo>"|"daemon/event_p99/<topo>",
+//!                    mean_s } … ],
+//!    "daemon":   [ { topology, events, events_per_sec, p50_event_s,
+//!                    p99_event_s, accepted, declined, no_improvement,
+//!                    total_gain, total_churn_messages, gain_per_churn,
+//!                    batch_ratio, batch_ok, deterministic } … ],
+//!    "speedups": [ { topology, move_model: "batch_headroom", speedup,
+//!                    same_incumbent } … ] }`
+//!
+//! The `speedups` rows gate quality, not speed: `speedup` is
+//! `1.05 / batch_ratio`, so a floor of 1.0 in `bench_baselines.json`
+//! enforces the acceptance bar, and `same_incumbent` records the
+//! byte-identity of the two replays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtr_core::{DtrSearch, Objective, SearchParams};
+use dtr_daemon::{replay_trace, DaemonCfg, ReplayReport, TimingSummary};
+use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::Topology;
+use dtr_scenario::{generate_churn, ChurnCfg};
+use dtr_traffic::{DemandSet, TrafficCfg};
+
+/// The replay instances: the small smoke-scale network and the 50-node
+/// acceptance instance shared with the engine/robust benches.
+fn topologies() -> Vec<(&'static str, Topology, usize)> {
+    vec![
+        (
+            "random_8n_32l",
+            random_topology(&RandomTopologyCfg {
+                nodes: 8,
+                directed_links: 32,
+                seed: 4,
+            }),
+            100,
+        ),
+        (
+            "random_50n_200l",
+            random_topology(&RandomTopologyCfg {
+                nodes: 50,
+                directed_links: 200,
+                seed: 7,
+            }),
+            60,
+        ),
+    ]
+}
+
+struct Row {
+    topology: String,
+    timing: TimingSummary,
+    report: ReplayReport,
+    deterministic: bool,
+}
+
+fn bench_daemon(_c: &mut Criterion) {
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, topo, events) in topologies() {
+        let demands = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .scaled(3.0);
+        let trace = generate_churn(
+            name,
+            &topo,
+            &demands,
+            &ChurnCfg {
+                events,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let cfg = DaemonCfg {
+            params: SearchParams::tiny().with_seed(7),
+            ..Default::default()
+        };
+        // Boot incumbent outside the timed replay: the bench measures
+        // sustained event processing, not the cold batch search.
+        let initial = DtrSearch::new(&topo, &demands, Objective::LoadBased, cfg.params)
+            .run()
+            .weights;
+
+        let out = replay_trace(&trace, cfg, Some(initial.clone()));
+        let again = replay_trace(&trace, cfg, Some(initial));
+        let deterministic = out.lines == again.lines && out.report == again.report;
+        assert!(deterministic, "{name}: replay is not deterministic");
+        assert!(
+            out.report.batch_ok,
+            "{name}: final incumbent is {:.4}× the cold batch solution",
+            out.report.batch_ratio
+        );
+
+        let timing = TimingSummary::from_samples(&out.per_event_s);
+        println!(
+            "daemon {name}: {} events, {:.0}/sec, p50 {:.2} ms, p99 {:.2} ms, \
+             {} accepted ({:.4} gain / {} LSA msgs), batch ratio {:.4}",
+            timing.events,
+            timing.events_per_sec,
+            timing.p50_event_s * 1e3,
+            timing.p99_event_s * 1e3,
+            out.report.accepted,
+            out.report.total_gain,
+            out.report.total_churn_messages,
+            out.report.batch_ratio
+        );
+        rows.push(Row {
+            topology: name.to_string(),
+            timing,
+            report: out.report,
+            deterministic,
+        });
+    }
+    write_json(&rows);
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"daemon/event_mean/{}\", \"mean_s\": {:.9} }},\n",
+            r.topology,
+            r.timing.total_s / r.timing.events.max(1) as f64
+        ));
+        out.push_str(&format!(
+            "    {{ \"id\": \"daemon/event_p99/{}\", \"mean_s\": {:.9} }}{}\n",
+            r.topology,
+            r.timing.p99_event_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"daemon\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"events\": {}, \"events_per_sec\": {:.2}, \
+             \"p50_event_s\": {:.6}, \"p99_event_s\": {:.6}, \"accepted\": {}, \
+             \"declined\": {}, \"no_improvement\": {}, \"total_gain\": {:.6}, \
+             \"total_churn_messages\": {}, \"gain_per_churn\": {:.6}, \
+             \"batch_ratio\": {:.6}, \"batch_ok\": {}, \"deterministic\": {} }}{}\n",
+            r.topology,
+            r.timing.events,
+            r.timing.events_per_sec,
+            r.timing.p50_event_s,
+            r.timing.p99_event_s,
+            r.report.accepted,
+            r.report.declined,
+            r.report.no_improvement,
+            r.report.total_gain,
+            r.report.total_churn_messages,
+            r.report.gain_per_churn,
+            r.report.batch_ratio,
+            r.report.batch_ok,
+            r.deterministic,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"move_model\": \"batch_headroom\", \
+             \"speedup\": {:.4}, \"same_incumbent\": {} }}{}\n",
+            r.topology,
+            1.05 / r.report.batch_ratio,
+            r.deterministic && r.report.batch_ok,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // benches/ lives two levels below the repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_daemon.json");
+    std::fs::write(path, out).expect("write BENCH_daemon.json");
+    println!("[wrote] BENCH_daemon.json");
+}
+
+criterion_group!(benches, bench_daemon);
+criterion_main!(benches);

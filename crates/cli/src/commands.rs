@@ -91,7 +91,11 @@ fn save<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
 }
 
 fn parse_budget(args: &Args) -> Result<SearchParams, CliError> {
-    let budget = args.get("budget").unwrap_or("experiment");
+    parse_budget_with(args, "experiment")
+}
+
+fn parse_budget_with(args: &Args, default: &str) -> Result<SearchParams, CliError> {
+    let budget = args.get("budget").unwrap_or(default);
     let mut params = SearchParams::preset(budget).ok_or_else(|| CliError::UnknownVariant {
         what: "budget",
         value: budget.to_string(),
@@ -206,6 +210,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "robust" => cmd_robust(args),
         "suite" => cmd_suite(args),
         "validate" => cmd_validate(args),
+        "churn" => cmd_churn(args),
+        "replay" => cmd_replay(args),
         "help" | "--help" | "-h" => {
             println!("{}", help_text());
             Ok(())
@@ -298,6 +304,25 @@ USAGE:
           accuracy envelope; priority-isolation violations must be zero.
           Exits non-zero when any gate fails. --des-packets overrides
           the per-run packet budget; --smoke/--only select as in suite)
+
+  dtrctl churn --topo topo.json --traffic tm.json [--events 100] [--seed S]
+         [--flap-rate 0.3] [--repair-rate 1.0] [--demand-rate 1.0]
+         [--whatif-rate 0.2] [--drift 0.08] [--name NAME] --out trace.json
+         (seed-deterministic churn trace: Poisson link flaps under the
+          single-failure regime, gravity-drift demand walks and what-if
+          probes, self-contained with topology and base demands)
+  dtrctl replay [--trace trace.json] [--out replay-out]
+         [--budget tiny|quick|experiment|paper] [--seed S]
+         [--backend incremental|full] [--changes H]
+         [--min-gain-per-churn F] [--weights initial.json] [--smoke]
+         (drives the dtrd reoptimization daemon through a churn trace
+          end to end over the line protocol; writes events.jsonl (one
+          reply per event), report.json (deterministic summary incl.
+          gain-vs-churn accounting and the final-incumbent-vs-cold-batch
+          ratio) and timing.json (p50/p99 latency, events/sec — never
+          compared). --smoke replays twice, asserts byte-identical
+          replies and report shape, and gates on the batch ratio; the
+          trace defaults to traces/smoke.json — the CI gate)
 
 All artifacts are JSON; see the repository README for the full workflow."
 }
@@ -1013,6 +1038,183 @@ fn cmd_validate(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `churn`: seed-deterministic churn-trace generation (Poisson link
+/// flaps, gravity-drift demand walks, what-if probes; see
+/// `dtr-scenario::churn`).
+fn cmd_churn(args: &Args) -> Result<(), CliError> {
+    use dtr_scenario::{generate_churn, ChurnAction, ChurnCfg};
+
+    let topo: Topology = load(args.require("topo")?)?;
+    let base: DemandSet = load(args.require("traffic")?)?;
+    let defaults = ChurnCfg::default();
+    let cfg = ChurnCfg {
+        events: args.get_or("events", 100usize)?,
+        seed: args.get_or("seed", 1u64)?,
+        flap_rate: args.get_or("flap-rate", defaults.flap_rate)?,
+        repair_rate: args.get_or("repair-rate", defaults.repair_rate)?,
+        demand_rate: args.get_or("demand-rate", defaults.demand_rate)?,
+        whatif_rate: args.get_or("whatif-rate", defaults.whatif_rate)?,
+        drift_sigma: args.get_or("drift", defaults.drift_sigma)?,
+    };
+    let name = args.get("name").unwrap_or("churn");
+    let trace = generate_churn(name, &topo, &base, &cfg);
+    let count =
+        |pred: fn(&ChurnAction) -> bool| trace.events.iter().filter(|e| pred(&e.action)).count();
+    println!(
+        "churn {name}: {} events on {}n/{}l (seed {}) — {} flaps, {} repairs, {} demand walks, {} what-ifs",
+        trace.events.len(),
+        trace.topo.node_count(),
+        trace.topo.link_count(),
+        cfg.seed,
+        count(|a| matches!(a, ChurnAction::LinkDown { .. })),
+        count(|a| matches!(a, ChurnAction::LinkUp { .. })),
+        count(|a| matches!(a, ChurnAction::Demand { .. })),
+        count(|a| matches!(a, ChurnAction::WhatIfLinkDown { .. })),
+    );
+    save(args.require("out")?, &trace)
+}
+
+/// Smoke-mode shape asserts over a replay report. Violations are gate
+/// failures (exit non-zero), not panics, so CI surfaces them cleanly.
+fn assert_replay_shape(r: &dtr_daemon::ReplayReport, events: usize) -> Result<(), CliError> {
+    let mut failed = Vec::new();
+    if r.events != events {
+        failed.push(format!("report covers {} of {events} events", r.events));
+    }
+    let handled = r.accepted + r.declined + r.refused + r.no_improvement + r.noop + r.whatif;
+    if handled != events as u64 {
+        failed.push(format!("action counts sum to {handled}, not {events}"));
+    }
+    for (label, v) in [
+        ("final Φ_H", r.final_cost.phi_h),
+        ("final Φ_L", r.final_cost.phi_l),
+        ("batch Φ_H", r.batch_cost.phi_h),
+        ("batch Φ_L", r.batch_cost.phi_l),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            failed.push(format!("{label} is {v}"));
+        }
+    }
+    if r.accepted > 0 && r.total_churn_messages == 0 {
+        failed.push("accepted reconfigurations with zero churn messages".to_string());
+    }
+    if !r.batch_ok {
+        failed.push(format!(
+            "final incumbent is {:.4}× the cold batch solution (bar 1.05)",
+            r.batch_ratio
+        ));
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Gate(failed.join("; ")))
+    }
+}
+
+/// `replay`: drive the `dtrd` daemon through a churn trace end to end
+/// (see `dtr-daemon`).
+fn cmd_replay(args: &Args) -> Result<(), CliError> {
+    use dtr_daemon::{replay_trace, DaemonCfg, TimingSummary};
+    use dtr_scenario::ChurnTrace;
+
+    let smoke = args.get_or("smoke", false)?;
+    let trace_path = match args.get("trace") {
+        Some(p) => p,
+        // The checked-in CI smoke trace.
+        None if smoke => "traces/smoke.json",
+        None => return Err(CliError::Args(ArgError::MissingFlag("--trace".into()))),
+    };
+    let trace: ChurnTrace = load(trace_path)?;
+    let defaults = DaemonCfg::default();
+    let cfg = DaemonCfg {
+        // Daemons answer per event, so the budget defaults to the
+        // smallest preset rather than `optimize`'s batch default.
+        params: parse_budget_with(args, "tiny")?,
+        changes_per_event: args.get_or("changes", defaults.changes_per_event)?,
+        min_gain_per_churn: args.get_or("min-gain-per-churn", defaults.min_gain_per_churn)?,
+    };
+    let initial: Option<DualWeights> = match args.get("weights") {
+        Some(p) => Some(load(p)?),
+        None => None,
+    };
+    println!(
+        "replay {}: {} events on {}n/{}l (budget {}, h={}, min-gain-per-churn {})",
+        trace.name,
+        trace.events.len(),
+        trace.topo.node_count(),
+        trace.topo.link_count(),
+        args.get("budget").unwrap_or("tiny"),
+        cfg.changes_per_event,
+        cfg.min_gain_per_churn,
+    );
+    let out = replay_trace(&trace, cfg, initial.clone());
+
+    // Artifacts are written before any smoke gate runs so a failing
+    // gate still leaves the per-event replies on disk for upload.
+    let out_dir = Path::new(args.get("out").unwrap_or("replay-out"));
+    std::fs::create_dir_all(out_dir)?;
+    let mut events_jsonl = out.lines.join("\n");
+    events_jsonl.push('\n');
+    std::fs::write(out_dir.join("events.jsonl"), events_jsonl)?;
+    std::fs::write(
+        out_dir.join("report.json"),
+        serde_json::to_string_pretty(&out.report)?,
+    )?;
+    let timing = TimingSummary::from_samples(&out.per_event_s);
+    std::fs::write(
+        out_dir.join("timing.json"),
+        serde_json::to_string_pretty(&timing)?,
+    )?;
+    let r = &out.report;
+    println!(
+        "  actions: {} accepted, {} declined, {} refused, {} no-improvement, {} noop, {} what-if",
+        r.accepted, r.declined, r.refused, r.no_improvement, r.noop, r.whatif
+    );
+    println!(
+        "  gain {:.4} over {} LSA messages ({:.6}/msg); final (Φ_H {:.4}, Φ_L {:.4}) vs batch \
+         (Φ_H {:.4}, Φ_L {:.4}) — ratio {:.4} ({})",
+        r.total_gain,
+        r.total_churn_messages,
+        r.gain_per_churn,
+        r.final_cost.phi_h,
+        r.final_cost.phi_l,
+        r.batch_cost.phi_h,
+        r.batch_cost.phi_l,
+        r.batch_ratio,
+        if r.batch_ok { "ok" } else { "OVER 1.05 BAR" },
+    );
+    println!(
+        "  timing: {:.0} events/sec, p50 {:.2} ms, p99 {:.2} ms [wrote {}]",
+        timing.events_per_sec,
+        timing.p50_event_s * 1e3,
+        timing.p99_event_s * 1e3,
+        out_dir.display()
+    );
+    if smoke {
+        // Determinism gate: a second replay must be byte-identical.
+        let again = replay_trace(&trace, cfg, initial);
+        if again.lines != out.lines {
+            let at = out
+                .lines
+                .iter()
+                .zip(&again.lines)
+                .position(|(a, b)| a != b)
+                .unwrap_or(out.lines.len());
+            return Err(CliError::Gate(format!(
+                "replay is not deterministic: replies diverge at event {at}"
+            )));
+        }
+        if again.report != out.report {
+            return Err(CliError::Gate(
+                "replay is not deterministic: summary reports differ".to_string(),
+            ));
+        }
+        assert_replay_shape(&out.report, trace.events.len())?;
+        println!("replay: smoke gates green (byte-identical double run, shapes, batch ratio)");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1235,6 +1437,89 @@ mod tests {
                 "prune-margin {bad}: {e:?}"
             );
         }
+    }
+
+    #[test]
+    fn churn_replay_workflow_and_smoke_gate() {
+        let topo_p = tmp("t6.json");
+        let tm_p = tmp("m6.json");
+        let trace_p = tmp("trace6.json");
+        let out_d = tmp("replay6");
+
+        run(&args(&format!(
+            "topo random --nodes 8 --links 32 --seed 6 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --scale 3 --seed 6 --out {tm_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "churn --topo {topo_p} --traffic {tm_p} --events 16 --seed 9 \
+             --name wf --out {trace_p}"
+        )))
+        .unwrap();
+        let trace: dtr_scenario::ChurnTrace = load(&trace_p).unwrap();
+        assert_eq!(trace.events.len(), 16);
+
+        // --smoke replays twice and gates on byte-identity + shapes.
+        run(&args(&format!(
+            "replay --trace {trace_p} --smoke --budget tiny --out {out_d}"
+        )))
+        .unwrap();
+        let report: dtr_daemon::ReplayReport = load(&format!("{out_d}/report.json")).unwrap();
+        assert_eq!(report.events, 16);
+        assert!(report.batch_ok, "ratio {}", report.batch_ratio);
+        let events = std::fs::read_to_string(format!("{out_d}/events.jsonl")).unwrap();
+        assert_eq!(events.lines().count(), 16);
+        let timing: dtr_daemon::TimingSummary = load(&format!("{out_d}/timing.json")).unwrap();
+        assert_eq!(timing.events, 16);
+        assert!(timing.p99_event_s >= timing.p50_event_s);
+
+        // A second replay of the same trace writes identical deterministic
+        // artifacts (reports and reply lines, not timings).
+        let out2_d = tmp("replay6b");
+        run(&args(&format!(
+            "replay --trace {trace_p} --budget tiny --out {out2_d}"
+        )))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(format!("{out_d}/events.jsonl")).unwrap(),
+            std::fs::read(format!("{out2_d}/events.jsonl")).unwrap()
+        );
+        assert_eq!(
+            std::fs::read(format!("{out_d}/report.json")).unwrap(),
+            std::fs::read(format!("{out2_d}/report.json")).unwrap()
+        );
+
+        // Without --trace and --smoke the flag is required.
+        assert!(matches!(
+            run(&args("replay --budget tiny")).unwrap_err(),
+            CliError::Args(ArgError::MissingFlag(_))
+        ));
+
+        for p in [topo_p, tm_p, trace_p] {
+            let _ = std::fs::remove_file(p);
+        }
+        for d in [out_d, out2_d] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn replay_smoke_runs_the_checked_in_trace() {
+        // CI runs `dtrctl replay --smoke` from the repo root; tests run
+        // with cwd = crates/cli, so point at the same file explicitly.
+        let trace_p = format!("{}/../../traces/smoke.json", env!("CARGO_MANIFEST_DIR"));
+        let out_d = tmp("replay-smoke");
+        run(&args(&format!(
+            "replay --trace {trace_p} --smoke --out {out_d}"
+        )))
+        .unwrap();
+        let report: dtr_daemon::ReplayReport = load(&format!("{out_d}/report.json")).unwrap();
+        assert_eq!(report.name, "smoke");
+        assert!(report.batch_ok);
+        let _ = std::fs::remove_dir_all(out_d);
     }
 
     #[test]

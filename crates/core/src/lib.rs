@@ -76,7 +76,7 @@ pub use portfolio::{
     parse_portfolio, PortfolioMode, PortfolioParams, PortfolioResult, PortfolioSearch,
     StrategyKind, TaskOutcome,
 };
-pub use reopt::{ReoptResult, ReoptSearch};
+pub use reopt::{ReoptResult, ReoptSearch, ReoptSession};
 pub use robust::{
     RobustCost, RobustEvaluator, RobustMode, RobustResult, RobustSearch, ScenarioCombine,
 };

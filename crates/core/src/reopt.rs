@@ -16,14 +16,21 @@
 //! weight back to its incumbent value release budget. [`frontier`] sweeps
 //! `h` with warm starts to trace the cost-vs-churn curve an operator
 //! actually navigates.
+//!
+//! [`ReoptSession`] wraps the same kernel in a long-lived warm-start API
+//! for callers that track a network over time (the `dtrd` daemon): it
+//! owns the incumbent, derives a decorrelated seed per step, and supports
+//! evaluation under a link-failure mask so re-optimization can run while
+//! part of the topology is down.
 
-use crate::params::SearchParams;
+use crate::params::{derive_stream_seed, SearchParams};
 use crate::scheme::Scheme;
 use crate::telemetry::{Phase, SearchTrace};
 use dtr_cost::{Lex2, Objective};
+use dtr_engine::BatchEvaluator;
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{LinkId, Topology};
-use dtr_routing::{Evaluation, Evaluator};
+use dtr_routing::{Evaluation, Evaluator, FailureScenario};
 use dtr_traffic::DemandSet;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -48,152 +55,16 @@ pub struct ReoptResult {
     pub trace: SearchTrace,
 }
 
-/// The change-limited local search.
-pub struct ReoptSearch<'a> {
-    evaluator: Evaluator<'a>,
+/// The proposal kernel shared by [`ReoptSearch`] and [`ReoptSession`]:
+/// every move stays inside the Hamming ball of radius `max_changes`
+/// around the incumbent, with reverts releasing budget.
+struct ChangeProposer {
     params: SearchParams,
     scheme: Scheme,
-    incumbent: DualWeights,
     max_changes: usize,
-    start: Option<DualWeights>,
 }
 
-impl<'a> ReoptSearch<'a> {
-    /// Prepares a reoptimization of `incumbent` against `demands`
-    /// (typically a drifted matrix), allowing at most `max_changes`
-    /// weight changes. Under [`Scheme::Str`] the incumbent must have
-    /// replicated vectors.
-    pub fn new(
-        topo: &'a Topology,
-        demands: &'a DemandSet,
-        objective: Objective,
-        params: SearchParams,
-        scheme: Scheme,
-        incumbent: DualWeights,
-        max_changes: usize,
-    ) -> Self {
-        params.validate();
-        assert_eq!(incumbent.high.len(), topo.link_count());
-        assert_eq!(incumbent.low.len(), topo.link_count());
-        if scheme == Scheme::Str {
-            assert_eq!(
-                incumbent.high, incumbent.low,
-                "STR incumbents must have replicated vectors"
-            );
-        }
-        ReoptSearch {
-            evaluator: Evaluator::new(topo, demands, objective),
-            params,
-            scheme,
-            incumbent,
-            max_changes,
-            start: None,
-        }
-    }
-
-    /// Warm-starts from `w` instead of the incumbent itself. `w` must be
-    /// within the change budget (used by [`frontier`] to chain runs).
-    pub fn with_start(mut self, w: DualWeights) -> Self {
-        assert!(
-            changes_between(&w, &self.incumbent, self.scheme) <= self.max_changes,
-            "warm start exceeds the change budget"
-        );
-        self.start = Some(w);
-        self
-    }
-
-    fn eval(&mut self, w: &DualWeights) -> Evaluation {
-        match self.scheme {
-            Scheme::Str => self.evaluator.eval_str(&w.high),
-            Scheme::Dtr => self.evaluator.eval_dual(w),
-        }
-    }
-
-    /// Runs the constrained search for [`SearchParams::str_iters`]
-    /// iterations of `m` candidates each.
-    pub fn run(mut self) -> ReoptResult {
-        let params = self.params;
-        let scheme = self.scheme;
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut trace = SearchTrace::default();
-        let n_links = self.evaluator.topo().link_count();
-        let incumbent = self.incumbent.clone();
-
-        let mut cur_w = self.start.clone().unwrap_or_else(|| incumbent.clone());
-        let mut cur = self.eval(&cur_w.clone());
-        trace.evaluations += 1;
-        let mut best_w = cur_w.clone();
-        let mut best_cost = cur.cost;
-        let mut best_eval = cur.clone();
-        trace.improved(0, Phase::Str, best_cost);
-
-        if self.max_changes == 0 {
-            // Nothing may move; the incumbent (or start) is the answer.
-            return ReoptResult {
-                changes_used: changes_between(&best_w, &incumbent, scheme),
-                weights: best_w,
-                eval: best_eval,
-                best_cost,
-                max_changes: 0,
-                trace,
-            };
-        }
-
-        let mut stall = 0usize;
-        for _ in 0..params.str_iters() {
-            trace.iterations += 1;
-
-            let mut best_cand: Option<(Evaluation, DualWeights)> = None;
-            for _ in 0..params.neighbors {
-                let Some(cand_w) = self.propose(&cur_w, &incumbent, &mut rng) else {
-                    continue;
-                };
-                let e = self.eval(&cand_w);
-                trace.evaluations += 1;
-                if best_cand.as_ref().is_none_or(|(b, _)| e.cost < b.cost) {
-                    best_cand = Some((e, cand_w));
-                }
-            }
-
-            match best_cand {
-                Some((e, w)) if e.cost < cur.cost => {
-                    cur = e;
-                    cur_w = w;
-                    trace.moves_accepted += 1;
-                    if cur.cost < best_cost {
-                        best_cost = cur.cost;
-                        best_w = cur_w.clone();
-                        best_eval = cur.clone();
-                        trace.improved(trace.iterations, Phase::Str, best_cost);
-                        stall = 0;
-                    } else {
-                        stall += 1;
-                    }
-                }
-                _ => stall += 1,
-            }
-
-            if stall >= params.diversify_after {
-                // Restart inside the feasible ball: incumbent weights with
-                // a random subset of ≤ h positions re-randomized.
-                cur_w = self.random_feasible(&incumbent, n_links, &mut rng);
-                cur = self.eval(&cur_w.clone());
-                trace.evaluations += 1;
-                trace.diversifications += 1;
-                stall = 0;
-            }
-        }
-
-        ReoptResult {
-            changes_used: changes_between(&best_w, &incumbent, scheme),
-            weights: best_w,
-            eval: best_eval,
-            best_cost,
-            max_changes: self.max_changes,
-            trace,
-        }
-    }
-
+impl ChangeProposer {
     /// Proposes one feasible single-weight change, or `None` when the
     /// randomly chosen position cannot move without breaking the budget.
     fn propose(
@@ -223,19 +94,10 @@ impl<'a> ReoptSearch<'a> {
             // Budget exhausted and this position is pristine: the only
             // legal moves elsewhere are reverts, so propose one instead.
             return self.propose_revert(cur, incumbent, rng);
-        } else if at_budget && position_changed {
-            // May re-value this already-changed position (or revert it).
-            let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
-            if v == old {
-                v = if v == self.params.max_weight {
-                    self.params.min_weight
-                } else {
-                    v + 1
-                };
-            }
-            v
         } else {
-            // Budget available: any new value works.
+            // Either budget is available (any new value works) or this
+            // position already counts against the budget (re-valuing it
+            // is free).
             let mut v = rng.random_range(self.params.min_weight..=self.params.max_weight);
             if v == old {
                 v = if v == self.params.max_weight {
@@ -322,6 +184,174 @@ impl<'a> ReoptSearch<'a> {
     }
 }
 
+/// The shared descent loop: [`SearchParams::str_iters`] iterations of
+/// `neighbors` candidates each, with diversification restarts inside
+/// the feasible ball. Generic over the evaluation function so the same
+/// loop serves full-topology ([`ReoptSearch::run`]) and masked
+/// ([`ReoptSession::step_masked`]) evaluation.
+fn constrained_descent<E>(
+    mut eval: E,
+    proposer: &ChangeProposer,
+    incumbent: &DualWeights,
+    start: Option<DualWeights>,
+    n_links: usize,
+) -> ReoptResult
+where
+    E: FnMut(&DualWeights) -> Evaluation,
+{
+    let params = proposer.params;
+    let scheme = proposer.scheme;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut trace = SearchTrace::default();
+
+    let mut cur_w = start.unwrap_or_else(|| incumbent.clone());
+    let mut cur = eval(&cur_w);
+    trace.evaluations += 1;
+    let mut best_w = cur_w.clone();
+    let mut best_cost = cur.cost;
+    let mut best_eval = cur.clone();
+    trace.improved(0, Phase::Str, best_cost);
+
+    if proposer.max_changes == 0 {
+        // Nothing may move; the incumbent (or start) is the answer.
+        return ReoptResult {
+            changes_used: changes_between(&best_w, incumbent, scheme),
+            weights: best_w,
+            eval: best_eval,
+            best_cost,
+            max_changes: 0,
+            trace,
+        };
+    }
+
+    let mut stall = 0usize;
+    for _ in 0..params.str_iters() {
+        trace.iterations += 1;
+
+        let mut best_cand: Option<(Evaluation, DualWeights)> = None;
+        for _ in 0..params.neighbors {
+            let Some(cand_w) = proposer.propose(&cur_w, incumbent, &mut rng) else {
+                continue;
+            };
+            let e = eval(&cand_w);
+            trace.evaluations += 1;
+            if best_cand.as_ref().is_none_or(|(b, _)| e.cost < b.cost) {
+                best_cand = Some((e, cand_w));
+            }
+        }
+
+        match best_cand {
+            Some((e, w)) if e.cost < cur.cost => {
+                cur = e;
+                cur_w = w;
+                trace.moves_accepted += 1;
+                if cur.cost < best_cost {
+                    best_cost = cur.cost;
+                    best_w = cur_w.clone();
+                    best_eval = cur.clone();
+                    trace.improved(trace.iterations, Phase::Str, best_cost);
+                    stall = 0;
+                } else {
+                    stall += 1;
+                }
+            }
+            _ => stall += 1,
+        }
+
+        if stall >= params.diversify_after {
+            // Restart inside the feasible ball: incumbent weights with
+            // a random subset of ≤ h positions re-randomized.
+            cur_w = proposer.random_feasible(incumbent, n_links, &mut rng);
+            cur = eval(&cur_w);
+            trace.evaluations += 1;
+            trace.diversifications += 1;
+            stall = 0;
+        }
+    }
+
+    ReoptResult {
+        changes_used: changes_between(&best_w, incumbent, scheme),
+        weights: best_w,
+        eval: best_eval,
+        best_cost,
+        max_changes: proposer.max_changes,
+        trace,
+    }
+}
+
+/// The change-limited local search.
+pub struct ReoptSearch<'a> {
+    evaluator: Evaluator<'a>,
+    params: SearchParams,
+    scheme: Scheme,
+    incumbent: DualWeights,
+    max_changes: usize,
+    start: Option<DualWeights>,
+}
+
+impl<'a> ReoptSearch<'a> {
+    /// Prepares a reoptimization of `incumbent` against `demands`
+    /// (typically a drifted matrix), allowing at most `max_changes`
+    /// weight changes. Under [`Scheme::Str`] the incumbent must have
+    /// replicated vectors.
+    pub fn new(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        objective: Objective,
+        params: SearchParams,
+        scheme: Scheme,
+        incumbent: DualWeights,
+        max_changes: usize,
+    ) -> Self {
+        params.validate();
+        assert_eq!(incumbent.high.len(), topo.link_count());
+        assert_eq!(incumbent.low.len(), topo.link_count());
+        if scheme == Scheme::Str {
+            assert_eq!(
+                incumbent.high, incumbent.low,
+                "STR incumbents must have replicated vectors"
+            );
+        }
+        ReoptSearch {
+            evaluator: Evaluator::new(topo, demands, objective),
+            params,
+            scheme,
+            incumbent,
+            max_changes,
+            start: None,
+        }
+    }
+
+    /// Warm-starts from `w` instead of the incumbent itself. `w` must be
+    /// within the change budget (used by [`frontier`] to chain runs).
+    pub fn with_start(mut self, w: DualWeights) -> Self {
+        assert!(
+            changes_between(&w, &self.incumbent, self.scheme) <= self.max_changes,
+            "warm start exceeds the change budget"
+        );
+        self.start = Some(w);
+        self
+    }
+
+    /// Runs the constrained search for [`SearchParams::str_iters`]
+    /// iterations of `m` candidates each.
+    pub fn run(self) -> ReoptResult {
+        let proposer = ChangeProposer {
+            params: self.params,
+            scheme: self.scheme,
+            max_changes: self.max_changes,
+        };
+        let n_links = self.evaluator.topo().link_count();
+        let scheme = self.scheme;
+        let mut evaluator = self.evaluator;
+        let eval = |w: &DualWeights| match scheme {
+            Scheme::Str => evaluator.eval_str(&w.high),
+            Scheme::Dtr => evaluator.eval_dual(w),
+        };
+        constrained_descent(eval, &proposer, &self.incumbent, self.start, n_links)
+    }
+}
+
 /// Number of configuration changes between two settings under a scheme:
 /// per-link for STR (the vectors are replicas), per-link-per-class for
 /// DTR.
@@ -368,11 +398,204 @@ pub fn frontier(
     out
 }
 
+/// A long-lived warm-start reoptimization session.
+///
+/// Where [`ReoptSearch`] is a one-shot run, a session owns the incumbent
+/// weights across a *sequence* of reoptimizations — the shape a live
+/// network has: demand drifts, links fail and recover, and each event
+/// asks "can ≤ `h` weight changes improve the current setting?". The
+/// session guarantees:
+///
+/// - **Warm start:** every [`step`](Self::step) starts from the current
+///   incumbent, so its result is never worse than leaving the weights
+///   alone (the incumbent's own evaluation seeds the best-so-far).
+/// - **Seed decorrelation:** step `k` runs with
+///   [`derive_stream_seed`]`(params.seed, k)`, so consecutive steps
+///   explore independently while the whole sequence stays a pure
+///   function of the base seed — replaying the same event sequence
+///   reproduces the same results bit for bit.
+/// - **Explicit adoption:** the session only moves its incumbent when
+///   the caller [`accept`](Self::accept)s a result, mirroring an
+///   operator who may decline a reconfiguration (e.g. because its
+///   control-plane churn outweighs the gain).
+///
+/// [`step_masked`](Self::step_masked) evaluates candidates under a
+/// link-failure mask via [`BatchEvaluator`] sweeps, so the session can
+/// re-optimize a network that currently has links down. Snapshot /
+/// restore is supported by persisting the incumbent and
+/// [`steps`](Self::steps), then [`resume_at`](Self::resume_at).
+pub struct ReoptSession {
+    objective: Objective,
+    params: SearchParams,
+    scheme: Scheme,
+    incumbent: DualWeights,
+    steps: u64,
+}
+
+impl ReoptSession {
+    /// Opens a session around `incumbent`. Under [`Scheme::Str`] the
+    /// incumbent must have replicated vectors.
+    pub fn new(
+        incumbent: DualWeights,
+        objective: Objective,
+        params: SearchParams,
+        scheme: Scheme,
+    ) -> Self {
+        params.validate();
+        assert_eq!(incumbent.high.len(), incumbent.low.len());
+        if scheme == Scheme::Str {
+            assert_eq!(
+                incumbent.high, incumbent.low,
+                "STR incumbents must have replicated vectors"
+            );
+        }
+        ReoptSession {
+            objective,
+            params,
+            scheme,
+            incumbent,
+            steps: 0,
+        }
+    }
+
+    /// The current incumbent setting.
+    pub fn incumbent(&self) -> &DualWeights {
+        &self.incumbent
+    }
+
+    /// The session's routing scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// How many reoptimization steps have run (the seed-stream position).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Restores the seed-stream position after a snapshot/restore
+    /// round-trip, so a restored session continues exactly where the
+    /// original would have.
+    pub fn resume_at(&mut self, steps: u64) {
+        self.steps = steps;
+    }
+
+    /// Adopts `weights` as the new incumbent (the caller deployed a
+    /// result). Panics if the vectors do not match the incumbent's size
+    /// or break the STR replica invariant.
+    pub fn accept(&mut self, weights: DualWeights) {
+        assert_eq!(weights.high.len(), self.incumbent.high.len());
+        assert_eq!(weights.low.len(), self.incumbent.low.len());
+        if self.scheme == Scheme::Str {
+            assert_eq!(
+                weights.high, weights.low,
+                "STR incumbents must have replicated vectors"
+            );
+        }
+        self.incumbent = weights;
+    }
+
+    /// Derives this step's params (decorrelated seed) and advances the
+    /// stream position.
+    fn next_params(&mut self) -> SearchParams {
+        let p = self
+            .params
+            .with_seed(derive_stream_seed(self.params.seed, self.steps));
+        self.steps += 1;
+        p
+    }
+
+    /// One warm-started reoptimization of the incumbent against
+    /// `demands`, allowing at most `max_changes` weight changes. The
+    /// incumbent is *not* moved — call [`accept`](Self::accept) to
+    /// deploy the result.
+    pub fn step(
+        &mut self,
+        topo: &Topology,
+        demands: &DemandSet,
+        max_changes: usize,
+    ) -> ReoptResult {
+        assert_eq!(self.incumbent.high.len(), topo.link_count());
+        let params = self.next_params();
+        ReoptSearch::new(
+            topo,
+            demands,
+            self.objective,
+            params,
+            self.scheme,
+            self.incumbent.clone(),
+            max_changes,
+        )
+        .run()
+    }
+
+    /// Like [`step`](Self::step) but evaluating every candidate under a
+    /// link-failure mask (`link_up[l] == false` removes link `l`), so
+    /// the search optimizes for the network as it currently stands.
+    /// The caller must ensure the surviving topology is still strongly
+    /// connected — demand towards unreachable destinations would be
+    /// dropped silently otherwise.
+    ///
+    /// Masked evaluation goes through [`BatchEvaluator`] scenario
+    /// sweeps (the engine's `apply_link_down`/`apply_link_up` mask
+    /// deltas under [`BackendKind::Incremental`]), which only support
+    /// the load-based objective; panics under [`Objective::SlaBased`].
+    /// An all-up mask delegates to [`step`](Self::step).
+    ///
+    /// [`BackendKind::Incremental`]: dtr_engine::BackendKind::Incremental
+    pub fn step_masked(
+        &mut self,
+        topo: &Topology,
+        demands: &DemandSet,
+        link_up: &[bool],
+        max_changes: usize,
+    ) -> ReoptResult {
+        assert_eq!(self.incumbent.high.len(), topo.link_count());
+        assert_eq!(link_up.len(), topo.link_count());
+        if link_up.iter().all(|&u| u) {
+            return self.step(topo, demands, max_changes);
+        }
+        assert!(
+            matches!(self.objective, Objective::LoadBased),
+            "masked reoptimization supports Objective::LoadBased only"
+        );
+        let params = self.next_params();
+        let scheme = self.scheme;
+        // A synthetic one-scenario sweep; pair_id is reporting-only.
+        let scenario = FailureScenario {
+            pair_id: u32::MAX,
+            link_up: link_up.to_vec(),
+        };
+        let scen = std::slice::from_ref(&scenario);
+        let mut batch = BatchEvaluator::new(topo, demands, self.objective, params.backend);
+        let proposer = ChangeProposer {
+            params,
+            scheme,
+            max_changes,
+        };
+        let eval = |w: &DualWeights| {
+            let hl = batch.sweep_high(&w.high, scen).pop().expect("one scenario");
+            let wl = match scheme {
+                Scheme::Str => &w.high,
+                Scheme::Dtr => &w.low,
+            };
+            let ll = batch.sweep_low(wl, scen).pop().expect("one scenario");
+            let ev = batch.evaluator();
+            let high = ev.high_side_from_loads(hl, &w.high);
+            ev.finish(high, ll)
+        };
+        constrained_descent(eval, &proposer, &self.incumbent, None, topo.link_count())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dtr::DtrSearch;
+    use dtr_engine::BackendKind;
     use dtr_graph::gen::{random_topology, triangle_topology, RandomTopologyCfg};
     use dtr_graph::{NodeId, WeightVector};
+    use dtr_routing::survivable_duplex_failures;
     use dtr_traffic::{TrafficCfg, TrafficMatrix};
 
     fn triangle_instance() -> (Topology, DemandSet) {
@@ -600,5 +823,145 @@ mod tests {
         assert_eq!(a.best_cost, b.best_cost);
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.changes_used, b.changes_used);
+    }
+
+    fn session(incumbent: DualWeights, seed: u64) -> ReoptSession {
+        ReoptSession::new(
+            incumbent,
+            Objective::LoadBased,
+            SearchParams::tiny().with_seed(seed),
+            Scheme::Dtr,
+        )
+    }
+
+    #[test]
+    fn session_step_never_worse_than_incumbent() {
+        // The incumbent's own evaluation seeds the best-so-far, so a
+        // step can never report a worse setting than doing nothing.
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let inc_cost = Evaluator::new(&topo, &drifted, Objective::LoadBased)
+            .eval_dual(&incumbent)
+            .cost;
+        let mut s = session(incumbent, 11);
+        let res = s.step(&topo, &drifted, 4);
+        assert!(res.best_cost <= inc_cost);
+        // The session does not adopt results on its own.
+        assert_eq!(
+            s.incumbent().high.as_slice(),
+            &vec![1; topo.link_count()][..]
+        );
+    }
+
+    #[test]
+    fn session_warm_equals_or_beats_cold_on_perturbed_instance() {
+        // Optimize the base matrix, then perturb the demands: a session
+        // warm-started from the base optimum must do at least as well
+        // as a cold session starting from uniform weights, under the
+        // same per-step budget and seeds.
+        let (topo, base, drifted) = drifted_instance();
+        let params = SearchParams::tiny().with_seed(3);
+        let tuned = DtrSearch::new(&topo, &base, Objective::LoadBased, params).run();
+
+        let mut warm = session(tuned.weights.clone(), 21);
+        let mut cold = session(DualWeights::replicated(WeightVector::uniform(&topo, 1)), 21);
+        let h = 6;
+        let warm_res = warm.step(&topo, &drifted, h);
+        let cold_res = cold.step(&topo, &drifted, h);
+        assert!(
+            warm_res.best_cost <= cold_res.best_cost,
+            "warm {:?} must not lose to cold {:?}",
+            warm_res.best_cost,
+            cold_res.best_cost
+        );
+    }
+
+    #[test]
+    fn session_chained_steps_are_monotone() {
+        // accept() then re-step on the same demands: the new start is
+        // the previous best, so the chain is monotone non-increasing.
+        let (topo, _, drifted) = drifted_instance();
+        let mut s = session(DualWeights::replicated(WeightVector::uniform(&topo, 1)), 13);
+        let mut prev = s.step(&topo, &drifted, 4);
+        for _ in 0..3 {
+            s.accept(prev.weights.clone());
+            let next = s.step(&topo, &drifted, 4);
+            assert!(next.best_cost <= prev.best_cost);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn session_stream_is_deterministic_and_resumable() {
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let mut a = session(incumbent.clone(), 17);
+        let a1 = a.step(&topo, &drifted, 4);
+        a.accept(a1.weights.clone());
+        let a2 = a.step(&topo, &drifted, 4);
+
+        // A restored session (incumbent + stream position) continues
+        // bit-identically.
+        let mut b = session(a1.weights.clone(), 17);
+        b.resume_at(1);
+        let b2 = b.step(&topo, &drifted, 4);
+        assert_eq!(a2.weights, b2.weights);
+        assert_eq!(a2.best_cost, b2.best_cost);
+
+        // Consecutive steps use decorrelated seeds, not the same one:
+        // a fresh session at position 0 with the same incumbent should
+        // generally explore differently than position 1 did.
+        let mut c = session(a1.weights, 17);
+        let c1 = c.step(&topo, &drifted, 4);
+        assert!(c1.best_cost <= a2.best_cost || c1.weights != a2.weights);
+    }
+
+    #[test]
+    fn session_masked_backends_agree() {
+        let (topo, _, drifted) = drifted_instance();
+        let mask = survivable_duplex_failures(&topo)[0].link_up.clone();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let run = |kind: BackendKind| {
+            let mut s = ReoptSession::new(
+                incumbent.clone(),
+                Objective::LoadBased,
+                SearchParams::tiny().with_seed(19).with_backend(kind),
+                Scheme::Dtr,
+            );
+            s.step_masked(&topo, &drifted, &mask, 4)
+        };
+        let full = run(BackendKind::Full);
+        let inc = run(BackendKind::Incremental);
+        assert_eq!(full.weights, inc.weights);
+        assert_eq!(full.best_cost, inc.best_cost);
+        assert_eq!(full.eval.high_loads, inc.eval.high_loads);
+        assert_eq!(full.eval.low_loads, inc.eval.low_loads);
+    }
+
+    #[test]
+    fn session_masked_leaves_failed_links_unloaded() {
+        let (topo, _, drifted) = drifted_instance();
+        let mask = survivable_duplex_failures(&topo)[0].link_up.clone();
+        let mut s = session(DualWeights::replicated(WeightVector::uniform(&topo, 1)), 23);
+        let res = s.step_masked(&topo, &drifted, &mask, 4);
+        for (l, &up) in mask.iter().enumerate() {
+            if !up {
+                assert_eq!(res.eval.high_loads[l], 0.0);
+                assert_eq!(res.eval.low_loads[l], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn session_masked_all_up_matches_step() {
+        let (topo, _, drifted) = drifted_instance();
+        let incumbent = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let mask = vec![true; topo.link_count()];
+        let mut a = session(incumbent.clone(), 29);
+        let mut b = session(incumbent, 29);
+        let ra = a.step_masked(&topo, &drifted, &mask, 4);
+        let rb = b.step(&topo, &drifted, 4);
+        assert_eq!(ra.weights, rb.weights);
+        assert_eq!(ra.best_cost, rb.best_cost);
     }
 }

@@ -1,0 +1,465 @@
+//! The deterministic event loop: one network, one incumbent, one
+//! decision per event.
+//!
+//! [`Daemon`] owns a [`Topology`], the current [`DemandSet`], a
+//! per-directed-link operational mask, and a [`ReoptSession`] holding
+//! the incumbent DTR weights. Each state-changing request (demand
+//! update, link down/up) triggers one warm-started, change-limited
+//! reoptimization under the current failure mask; a candidate that
+//! improves the incumbent is then *priced* through the `dtr-mtr`
+//! control-plane emulation, and deployed only when its
+//! gain-per-LSA-message clears [`DaemonCfg::min_gain_per_churn`].
+//!
+//! Everything is single-threaded and a pure function of the event
+//! sequence: replaying the same requests yields byte-identical reply
+//! lines (see `DESIGN.md` for the full determinism contract).
+
+use crate::event::{
+    CostPair, EventAction, EventReport, Reply, Request, Snapshot, StatusReport, WhatIfReport,
+};
+use dtr_core::reopt::changes_between;
+use dtr_core::{ReoptSession, Scheme, SearchParams};
+use dtr_cost::Objective;
+use dtr_graph::weights::DualWeights;
+use dtr_graph::{LinkId, Topology};
+use dtr_mtr::deployment_cost;
+use dtr_routing::{strongly_connected_under, Evaluation, Evaluator, LoadCalculator};
+use dtr_traffic::DemandSet;
+
+/// Daemon configuration. The objective is fixed to
+/// [`Objective::LoadBased`] — masked evaluation (re-optimizing while
+/// links are down) is only defined for the load objective.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonCfg {
+    /// Search parameters for the per-event reoptimization (`seed`
+    /// anchors the whole reply stream; `backend` picks the evaluation
+    /// backend).
+    pub params: SearchParams,
+    /// Change budget `h` of each per-event reoptimization.
+    pub changes_per_event: usize,
+    /// Minimum `(Φ_H + Φ_L)` gain per flooded LSA message a candidate
+    /// must offer to be deployed. `0.0` accepts every improvement.
+    pub min_gain_per_churn: f64,
+}
+
+impl Default for DaemonCfg {
+    fn default() -> Self {
+        DaemonCfg {
+            params: SearchParams::tiny(),
+            changes_per_event: 4,
+            min_gain_per_churn: 0.0,
+        }
+    }
+}
+
+/// The long-running reoptimization daemon (see module docs).
+pub struct Daemon {
+    topo: Topology,
+    demands: DemandSet,
+    link_up: Vec<bool>,
+    session: ReoptSession,
+    cfg: DaemonCfg,
+    seq: u64,
+    accepted: u64,
+    declined: u64,
+    refused: u64,
+    total_gain: f64,
+    total_churn_messages: u64,
+    shutdown: bool,
+}
+
+impl Daemon {
+    /// Boots a daemon around `topo`/`demands`. When `incumbent` is
+    /// `None`, a cold batch DTR search under `cfg.params` produces the
+    /// initial setting — pass a precomputed incumbent to skip that
+    /// (replay benchmarks do).
+    pub fn new(
+        topo: Topology,
+        demands: DemandSet,
+        incumbent: Option<DualWeights>,
+        cfg: DaemonCfg,
+    ) -> Self {
+        cfg.params.validate();
+        let incumbent = incumbent.unwrap_or_else(|| {
+            dtr_core::DtrSearch::new(&topo, &demands, Objective::LoadBased, cfg.params)
+                .run()
+                .weights
+        });
+        assert_eq!(incumbent.high.len(), topo.link_count());
+        let link_up = vec![true; topo.link_count()];
+        let session = ReoptSession::new(incumbent, Objective::LoadBased, cfg.params, Scheme::Dtr);
+        Daemon {
+            topo,
+            demands,
+            link_up,
+            session,
+            cfg,
+            seq: 0,
+            accepted: 0,
+            declined: 0,
+            refused: 0,
+            total_gain: 0.0,
+            total_churn_messages: 0,
+            shutdown: false,
+        }
+    }
+
+    /// The current incumbent weights.
+    pub fn incumbent(&self) -> &DualWeights {
+        self.session.incumbent()
+    }
+
+    /// The managed topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The demand set currently in force.
+    pub fn demands(&self) -> &DemandSet {
+        &self.demands
+    }
+
+    /// Per-directed-link operational state.
+    pub fn link_up(&self) -> &[bool] {
+        &self.link_up
+    }
+
+    /// True once a [`Request::Shutdown`] was processed.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Cost of arbitrary `weights` on the current demands under the
+    /// current failure mask.
+    pub fn cost_of(&self, weights: &DualWeights) -> CostPair {
+        assert_eq!(weights.high.len(), self.topo.link_count());
+        let eval = self.eval_under_mask(weights);
+        CostPair {
+            phi_h: eval.phi_h,
+            phi_l: eval.phi_l,
+        }
+    }
+
+    fn links_down(&self) -> usize {
+        self.link_up.iter().filter(|&&u| !u).count()
+    }
+
+    /// Evaluates `w` on the current demands under the current mask.
+    fn eval_under_mask(&self, w: &DualWeights) -> Evaluation {
+        let mut ev = Evaluator::new(&self.topo, &self.demands, Objective::LoadBased);
+        if self.links_down() == 0 {
+            ev.eval_dual(w)
+        } else {
+            let mut calc = LoadCalculator::new();
+            let hl =
+                calc.class_loads_masked(&self.topo, &w.high, &self.link_up, &self.demands.high);
+            let ll = calc.class_loads_masked(&self.topo, &w.low, &self.link_up, &self.demands.low);
+            ev.assemble(hl, ll, &w.high)
+        }
+    }
+
+    fn pair(&self, link: u32) -> Result<(LinkId, LinkId), String> {
+        if link as usize >= self.topo.link_count() {
+            return Err(format!(
+                "link {link} out of range (topology has {} directed links)",
+                self.topo.link_count()
+            ));
+        }
+        let lid = LinkId(link);
+        let twin = self
+            .topo
+            .reverse_link(lid)
+            .ok_or_else(|| format!("link {link} has no reverse direction"))?;
+        Ok((lid, twin))
+    }
+
+    /// One warm-started reoptimization under the current state, with
+    /// churn-gated adoption. This is the daemon's core decision.
+    fn reoptimize(&mut self, event: String) -> EventReport {
+        let before_eval = self.eval_under_mask(self.session.incumbent());
+        let before = CostPair {
+            phi_h: before_eval.phi_h,
+            phi_l: before_eval.phi_l,
+        };
+        let res = self.session.step_masked(
+            &self.topo,
+            &self.demands,
+            &self.link_up,
+            self.cfg.changes_per_event,
+        );
+        let reopt = CostPair {
+            phi_h: res.eval.phi_h,
+            phi_l: res.eval.phi_l,
+        };
+        let improves = res.best_cost < before_eval.cost && res.changes_used > 0;
+        let (action, cost_after, changes, gain, churn, gain_per_churn) = if improves {
+            let gain = (before.phi_h - reopt.phi_h) + (before.phi_l - reopt.phi_l);
+            let churn = deployment_cost(&self.topo, self.session.incumbent(), &res.weights);
+            let gpc = gain / churn.lsa_messages.max(1) as f64;
+            if gpc >= self.cfg.min_gain_per_churn {
+                self.session.accept(res.weights.clone());
+                self.accepted += 1;
+                self.total_gain += gain;
+                self.total_churn_messages += churn.lsa_messages;
+                (
+                    EventAction::Accepted,
+                    reopt,
+                    res.changes_used,
+                    gain,
+                    Some(churn),
+                    gpc,
+                )
+            } else {
+                self.declined += 1;
+                (
+                    EventAction::Declined,
+                    before,
+                    res.changes_used,
+                    gain,
+                    Some(churn),
+                    gpc,
+                )
+            }
+        } else {
+            (EventAction::NoImprovement, before, 0, 0.0, None, 0.0)
+        };
+        EventReport {
+            seq: self.seq,
+            event,
+            action,
+            links_down: self.links_down(),
+            cost_before: before,
+            reopt_cost: reopt,
+            cost_after,
+            changes,
+            gain,
+            churn,
+            gain_per_churn,
+        }
+    }
+
+    /// A report for an event that changed nothing (no search consumed).
+    fn no_change(&self, event: String, action: EventAction) -> EventReport {
+        let eval = self.eval_under_mask(self.session.incumbent());
+        let cost = CostPair {
+            phi_h: eval.phi_h,
+            phi_l: eval.phi_l,
+        };
+        EventReport {
+            seq: self.seq,
+            event,
+            action,
+            links_down: self.links_down(),
+            cost_before: cost,
+            reopt_cost: cost,
+            cost_after: cost,
+            changes: 0,
+            gain: 0.0,
+            churn: None,
+            gain_per_churn: 0.0,
+        }
+    }
+
+    /// Processes one request and produces its reply.
+    ///
+    /// Events and probes (demand updates, link events, what-ifs, and
+    /// malformed lines) advance the sequence number; management
+    /// requests (`Status`, `Snapshot`, `Restore`, `Shutdown`) do not —
+    /// that keeps a snapshot/restore round-trip byte-identical to a
+    /// straight-through run of the same event stream.
+    pub fn handle(&mut self, req: Request) -> Reply {
+        if matches!(
+            req,
+            Request::DemandUpdate { .. }
+                | Request::LinkDown { .. }
+                | Request::LinkUp { .. }
+                | Request::WhatIfLinkDown { .. }
+                | Request::WhatIfWeights { .. }
+        ) {
+            self.seq += 1;
+        }
+        match req {
+            Request::DemandUpdate { demands } => {
+                if demands.high.len() != self.topo.node_count()
+                    || demands.low.len() != self.topo.node_count()
+                {
+                    return Reply::Error {
+                        message: format!(
+                            "demand matrices must be {n}x{n}",
+                            n = self.topo.node_count()
+                        ),
+                    };
+                }
+                self.demands = demands;
+                Reply::Event(self.reoptimize("demand_update".to_string()))
+            }
+            Request::LinkDown { link } => {
+                let label = format!("link_down({link})");
+                let (lid, twin) = match self.pair(link) {
+                    Ok(p) => p,
+                    Err(message) => return Reply::Error { message },
+                };
+                if !self.link_up[lid.index()] {
+                    return Reply::Event(self.no_change(label, EventAction::NoOp));
+                }
+                let mut mask = self.link_up.clone();
+                mask[lid.index()] = false;
+                mask[twin.index()] = false;
+                if !strongly_connected_under(&self.topo, &mask) {
+                    self.refused += 1;
+                    return Reply::Event(self.no_change(label, EventAction::Refused));
+                }
+                self.link_up = mask;
+                Reply::Event(self.reoptimize(label))
+            }
+            Request::LinkUp { link } => {
+                let label = format!("link_up({link})");
+                let (lid, twin) = match self.pair(link) {
+                    Ok(p) => p,
+                    Err(message) => return Reply::Error { message },
+                };
+                if self.link_up[lid.index()] {
+                    return Reply::Event(self.no_change(label, EventAction::NoOp));
+                }
+                self.link_up[lid.index()] = true;
+                self.link_up[twin.index()] = true;
+                Reply::Event(self.reoptimize(label))
+            }
+            Request::WhatIfLinkDown { link } => {
+                let query = format!("whatif_link_down({link})");
+                let (lid, twin) = match self.pair(link) {
+                    Ok(p) => p,
+                    Err(message) => return Reply::Error { message },
+                };
+                let mut mask = self.link_up.clone();
+                mask[lid.index()] = false;
+                mask[twin.index()] = false;
+                let feasible = strongly_connected_under(&self.topo, &mask);
+                let cost = feasible.then(|| {
+                    let saved = std::mem::replace(&mut self.link_up, mask);
+                    let eval = self.eval_under_mask(self.session.incumbent());
+                    self.link_up = saved;
+                    CostPair {
+                        phi_h: eval.phi_h,
+                        phi_l: eval.phi_l,
+                    }
+                });
+                Reply::WhatIf(WhatIfReport {
+                    seq: self.seq,
+                    query,
+                    feasible,
+                    cost,
+                    changes: None,
+                    churn: None,
+                })
+            }
+            Request::WhatIfWeights { weights } => {
+                if weights.high.len() != self.topo.link_count()
+                    || weights.low.len() != self.topo.link_count()
+                {
+                    return Reply::Error {
+                        message: format!(
+                            "weight vectors must have {} entries",
+                            self.topo.link_count()
+                        ),
+                    };
+                }
+                let eval = self.eval_under_mask(&weights);
+                let changes = changes_between(&weights, self.session.incumbent(), Scheme::Dtr);
+                let churn = deployment_cost(&self.topo, self.session.incumbent(), &weights);
+                Reply::WhatIf(WhatIfReport {
+                    seq: self.seq,
+                    query: "whatif_weights".to_string(),
+                    feasible: true,
+                    cost: Some(CostPair {
+                        phi_h: eval.phi_h,
+                        phi_l: eval.phi_l,
+                    }),
+                    changes: Some(changes),
+                    churn: Some(churn),
+                })
+            }
+            Request::Status => {
+                let eval = self.eval_under_mask(self.session.incumbent());
+                Reply::Status(StatusReport {
+                    seq: self.seq,
+                    nodes: self.topo.node_count(),
+                    links: self.topo.link_count(),
+                    links_down: self.links_down(),
+                    cost: CostPair {
+                        phi_h: eval.phi_h,
+                        phi_l: eval.phi_l,
+                    },
+                    accepted: self.accepted,
+                    declined: self.declined,
+                    refused: self.refused,
+                    total_gain: self.total_gain,
+                    total_churn_messages: self.total_churn_messages,
+                    steps: self.session.steps(),
+                })
+            }
+            Request::Snapshot => Reply::Snapshot(Snapshot {
+                seq: self.seq,
+                steps: self.session.steps(),
+                accepted: self.accepted,
+                declined: self.declined,
+                refused: self.refused,
+                total_gain: self.total_gain,
+                total_churn_messages: self.total_churn_messages,
+                link_up: self.link_up.clone(),
+                demands: self.demands.clone(),
+                incumbent: self.session.incumbent().clone(),
+                topo: self.topo.clone(),
+            }),
+            Request::Restore { snapshot } => {
+                if snapshot.link_up.len() != snapshot.topo.link_count()
+                    || snapshot.incumbent.high.len() != snapshot.topo.link_count()
+                    || snapshot.demands.high.len() != snapshot.topo.node_count()
+                {
+                    return Reply::Error {
+                        message: "snapshot is internally inconsistent".to_string(),
+                    };
+                }
+                let mut session = ReoptSession::new(
+                    snapshot.incumbent,
+                    Objective::LoadBased,
+                    self.cfg.params,
+                    Scheme::Dtr,
+                );
+                session.resume_at(snapshot.steps);
+                self.topo = snapshot.topo;
+                self.demands = snapshot.demands;
+                self.link_up = snapshot.link_up;
+                self.session = session;
+                self.seq = snapshot.seq;
+                self.accepted = snapshot.accepted;
+                self.declined = snapshot.declined;
+                self.refused = snapshot.refused;
+                self.total_gain = snapshot.total_gain;
+                self.total_churn_messages = snapshot.total_churn_messages;
+                Reply::Restored { seq: self.seq }
+            }
+            Request::Shutdown => {
+                self.shutdown = true;
+                Reply::Bye { seq: self.seq }
+            }
+        }
+    }
+
+    /// Parses one protocol line, handles it, and serializes the reply.
+    /// Malformed JSON yields an `Error` reply (and still advances the
+    /// sequence number, so a replayed stream with a bad line stays
+    /// aligned).
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let reply = match serde_json::from_str::<Request>(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => {
+                self.seq += 1;
+                Reply::Error {
+                    message: format!("bad request: {e}"),
+                }
+            }
+        };
+        serde_json::to_string(&reply).expect("replies always serialize")
+    }
+}

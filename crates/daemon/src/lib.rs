@@ -1,0 +1,43 @@
+//! # dtr-daemon — the long-running reoptimization service (`dtrd`)
+//!
+//! The paper's dual-topology weights are meant to be *operated*: a live
+//! network's demands and link states drift continuously (Magnien et
+//! al., PAPERS.md), and re-running a batch search from scratch on every
+//! change is neither fast enough nor operationally acceptable — each
+//! deployed weight change floods LSAs and triggers network-wide SPF
+//! reruns. `dtrd` closes that loop:
+//!
+//! - it holds a network + current DTR incumbent in memory and processes
+//!   an ordered event stream (demand updates, link down/up, what-if
+//!   probes) over line-delimited JSON, on stdin/stdout or a unix
+//!   socket ([`serve_stdio`], [`serve_unix`]);
+//! - each topology or demand event triggers an **incremental
+//!   reoptimization** warm-started from the incumbent
+//!   ([`dtr_core::ReoptSession`], evaluating through the engine's mask
+//!   deltas while links are down) under a configurable per-event change
+//!   budget;
+//! - every improving candidate is **priced** through the `dtr-mtr`
+//!   control-plane emulation ([`dtr_mtr::deployment_cost`]) and only
+//!   deployed when its gain-per-LSA-message clears
+//!   [`DaemonCfg::min_gain_per_churn`];
+//! - the event loop is single-threaded and deterministic: the reply
+//!   stream is a byte-exact function of the event sequence, which
+//!   [`replay_trace`] and the CI smoke gate verify by replaying
+//!   [`dtr_scenario::ChurnTrace`]s twice.
+//!
+//! See `crates/daemon/DESIGN.md` for the protocol, determinism
+//! contract, budget policy and churn-cost gating in full.
+
+pub mod daemon;
+pub mod event;
+pub mod replay;
+pub mod server;
+
+pub use daemon::{Daemon, DaemonCfg};
+pub use event::{
+    CostPair, EventAction, EventReport, Reply, Request, Snapshot, StatusReport, WhatIfReport,
+};
+pub use replay::{replay_trace, ReplayOutcome, ReplayReport, TimingSummary};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{serve, serve_stdio};

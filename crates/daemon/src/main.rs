@@ -1,0 +1,114 @@
+//! `dtrd` — the reoptimization daemon binary.
+//!
+//! ```text
+//! dtrd --topo topo.json --traffic traffic.json \
+//!      [--weights weights.json] [--budget tiny|quick|experiment|paper] \
+//!      [--seed N] [--backend full|incremental] [--changes H] \
+//!      [--min-gain-per-churn F] [--socket PATH]
+//! ```
+//!
+//! Serves the line-delimited JSON protocol on stdin/stdout, or on a
+//! unix socket when `--socket` is given. The argument parser is
+//! deliberately tiny — `dtrctl` (in `dtr-cli`) is the full-featured
+//! front end and drives the same daemon in-process.
+
+use dtr_daemon::{serve_stdio, Daemon, DaemonCfg};
+use dtr_engine::BackendKind;
+use dtr_graph::weights::DualWeights;
+use dtr_graph::Topology;
+use dtr_traffic::DemandSet;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dtrd --topo FILE --traffic FILE [--weights FILE] \
+[--budget NAME] [--seed N] [--backend full|incremental] [--changes H] \
+[--min-gain-per-churn F] [--socket PATH]";
+
+fn parse_args() -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let Some(flag) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        let (key, value) = match flag.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| format!("flag --{flag} needs a value"))?;
+                (flag.to_string(), v)
+            }
+        };
+        out.insert(key, value);
+    }
+    Ok(out)
+}
+
+fn load_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let topo: Topology = load_json(args.get("topo").ok_or("missing --topo")?)?;
+    let demands: DemandSet = load_json(args.get("traffic").ok_or("missing --traffic")?)?;
+    let weights: Option<DualWeights> = match args.get("weights") {
+        Some(p) => Some(load_json(p)?),
+        None => None,
+    };
+
+    let budget = args.get("budget").map(String::as_str).unwrap_or("tiny");
+    let mut params = dtr_core::SearchParams::preset(budget)
+        .ok_or_else(|| format!("unknown budget '{budget}'"))?;
+    if let Some(seed) = args.get("seed") {
+        params = params.with_seed(seed.parse().map_err(|_| "bad --seed")?);
+    }
+    if let Some(backend) = args.get("backend") {
+        params = params.with_backend(match backend.as_str() {
+            "full" => BackendKind::Full,
+            "incremental" => BackendKind::Incremental,
+            other => return Err(format!("unknown backend '{other}'")),
+        });
+    }
+    let cfg = DaemonCfg {
+        params,
+        changes_per_event: match args.get("changes") {
+            Some(v) => v.parse().map_err(|_| "bad --changes")?,
+            None => DaemonCfg::default().changes_per_event,
+        },
+        min_gain_per_churn: match args.get("min-gain-per-churn") {
+            Some(v) => v.parse().map_err(|_| "bad --min-gain-per-churn")?,
+            None => 0.0,
+        },
+    };
+
+    let mut daemon = Daemon::new(topo, demands, weights, cfg);
+    match args.get("socket") {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                dtr_daemon::serve_unix(&mut daemon, std::path::Path::new(path))
+                    .map_err(|e| format!("socket {path}: {e}"))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("--socket requires a unix platform".to_string())
+            }
+        }
+        None => serve_stdio(&mut daemon).map_err(|e| format!("stdio: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dtrd: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

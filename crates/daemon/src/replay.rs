@@ -1,0 +1,220 @@
+//! Trace replay: drive a [`Daemon`] through a [`ChurnTrace`]
+//! end-to-end, through the same line protocol a live client would use.
+//!
+//! The outcome separates what must be deterministic from what cannot
+//! be: `lines` (one reply per event) and `report` are pure functions of
+//! the trace and configuration — the CI smoke gate replays twice and
+//! asserts byte equality — while `per_event_s` carries wall-clock
+//! timings for the bench harness and is never compared.
+
+use crate::daemon::{Daemon, DaemonCfg};
+use crate::event::{CostPair, EventAction, Reply, Request};
+use dtr_core::{DtrSearch, ReoptSession, Scheme};
+use dtr_cost::Objective;
+use dtr_graph::weights::DualWeights;
+use dtr_graph::WeightVector;
+use dtr_scenario::ChurnTrace;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Deterministic replay summary (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Trace name.
+    pub name: String,
+    /// Events replayed.
+    pub events: usize,
+    /// Nodes in the trace's network.
+    pub nodes: usize,
+    /// Directed links in the trace's network.
+    pub links: usize,
+    /// Reoptimizations accepted.
+    pub accepted: u64,
+    /// Reoptimizations declined on churn grounds.
+    pub declined: u64,
+    /// Events refused (would disconnect).
+    pub refused: u64,
+    /// Events where the search found nothing better.
+    pub no_improvement: u64,
+    /// Events that changed nothing (e.g. duplicate failures).
+    pub noop: u64,
+    /// What-if probes answered.
+    pub whatif: u64,
+    /// Directed links still down after the last event.
+    pub final_links_down: usize,
+    /// Incumbent cost under the end-state network.
+    pub final_cost: CostPair,
+    /// Cost of a cold batch re-optimization of the end-state network.
+    pub batch_cost: CostPair,
+    /// `(Φ_H + Φ_L)` ratio of final incumbent over the batch solution.
+    pub batch_ratio: f64,
+    /// `batch_ratio ≤ 1.05` — the acceptance bar.
+    pub batch_ok: bool,
+    /// Summed `(Φ_H + Φ_L)` gain of accepted reconfigurations.
+    pub total_gain: f64,
+    /// Summed LSA messages of accepted reconfigurations.
+    pub total_churn_messages: u64,
+    /// `total_gain / total_churn_messages` (0 when nothing deployed).
+    pub gain_per_churn: f64,
+}
+
+/// Wall-clock latency summary over per-event replay timings. Written to
+/// `timing.json` by `dtrctl replay` and into `BENCH_daemon.json` by the
+/// bench harness; never part of the deterministic report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingSummary {
+    /// Events measured.
+    pub events: usize,
+    /// Total wall-clock seconds across all events.
+    pub total_s: f64,
+    /// Sustained throughput, events per second.
+    pub events_per_sec: f64,
+    /// Median per-event latency (seconds).
+    pub p50_event_s: f64,
+    /// 99th-percentile per-event latency (seconds, nearest-rank).
+    pub p99_event_s: f64,
+    /// Worst single event (seconds).
+    pub max_event_s: f64,
+}
+
+impl TimingSummary {
+    /// Summarizes raw per-event latencies (e.g. [`ReplayOutcome::per_event_s`]).
+    pub fn from_samples(samples: &[f64]) -> TimingSummary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let nearest_rank = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let total_s: f64 = samples.iter().sum();
+        TimingSummary {
+            events: samples.len(),
+            total_s,
+            events_per_sec: if total_s > 0.0 {
+                samples.len() as f64 / total_s
+            } else {
+                0.0
+            },
+            p50_event_s: nearest_rank(0.50),
+            p99_event_s: nearest_rank(0.99),
+            max_event_s: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Everything one replay produces.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// One serialized reply line per trace event (deterministic).
+    pub lines: Vec<String>,
+    /// Wall-clock seconds per event (not deterministic, never compared).
+    pub per_event_s: Vec<f64>,
+    /// Deterministic summary.
+    pub report: ReplayReport,
+}
+
+/// Replays `trace` through a fresh daemon under `cfg`. `initial` seeds
+/// the incumbent; `None` runs a cold batch search first (the daemon's
+/// normal boot). The final incumbent is compared against a cold batch
+/// re-optimization of the end-state network under the same budget.
+pub fn replay_trace(
+    trace: &ChurnTrace,
+    cfg: DaemonCfg,
+    initial: Option<DualWeights>,
+) -> ReplayOutcome {
+    trace.validate();
+    let mut daemon = Daemon::new(trace.topo.clone(), trace.base.clone(), initial, cfg);
+    let mut lines = Vec::with_capacity(trace.events.len());
+    let mut per_event_s = Vec::with_capacity(trace.events.len());
+    let mut accepted = 0u64;
+    let mut declined = 0u64;
+    let mut refused = 0u64;
+    let mut no_improvement = 0u64;
+    let mut noop = 0u64;
+    let mut whatif = 0u64;
+    let mut total_gain = 0.0f64;
+    let mut total_churn_messages = 0u64;
+
+    for event in &trace.events {
+        let req = Request::from_churn(&event.action);
+        let line = serde_json::to_string(&req).expect("requests always serialize");
+        let t0 = Instant::now();
+        let reply_line = daemon.handle_line(&line);
+        per_event_s.push(t0.elapsed().as_secs_f64());
+        match serde_json::from_str::<Reply>(&reply_line).expect("replies always parse") {
+            Reply::Event(r) => match r.action {
+                EventAction::Accepted => {
+                    accepted += 1;
+                    total_gain += r.gain;
+                    total_churn_messages += r.churn.map_or(0, |c| c.lsa_messages);
+                }
+                EventAction::Declined => declined += 1,
+                EventAction::NoImprovement => no_improvement += 1,
+                EventAction::Refused => refused += 1,
+                EventAction::NoOp => noop += 1,
+            },
+            Reply::WhatIf(_) => whatif += 1,
+            other => panic!("unexpected reply to a trace event: {other:?}"),
+        }
+        lines.push(reply_line);
+    }
+
+    // Compare the warm incumbent against a cold batch re-optimization of
+    // the network as it stands after the last event.
+    let final_cost = daemon.cost_of(daemon.incumbent());
+    let batch_weights = if daemon.link_up().iter().all(|&u| u) {
+        DtrSearch::new(
+            daemon.topo(),
+            daemon.demands(),
+            Objective::LoadBased,
+            cfg.params,
+        )
+        .run()
+        .weights
+    } else {
+        // Links still down (hand-written trace): cold masked search from
+        // uniform weights with an effectively unlimited change budget.
+        let uniform = DualWeights::replicated(WeightVector::uniform(daemon.topo(), 1));
+        let mut s = ReoptSession::new(uniform, Objective::LoadBased, cfg.params, Scheme::Dtr);
+        let h = 2 * daemon.topo().link_count();
+        s.step_masked(daemon.topo(), daemon.demands(), daemon.link_up(), h)
+            .weights
+    };
+    let batch_cost = daemon.cost_of(&batch_weights);
+    let num = final_cost.phi_h + final_cost.phi_l;
+    let den = batch_cost.phi_h + batch_cost.phi_l;
+    let batch_ratio = if den > 0.0 { num / den } else { 1.0 };
+
+    let report = ReplayReport {
+        name: trace.name.clone(),
+        events: trace.events.len(),
+        nodes: trace.topo.node_count(),
+        links: trace.topo.link_count(),
+        accepted,
+        declined,
+        refused,
+        no_improvement,
+        noop,
+        whatif,
+        final_links_down: daemon.link_up().iter().filter(|&&u| !u).count(),
+        final_cost,
+        batch_cost,
+        batch_ratio,
+        batch_ok: batch_ratio <= 1.05,
+        total_gain,
+        total_churn_messages,
+        gain_per_churn: if total_churn_messages > 0 {
+            total_gain / total_churn_messages as f64
+        } else {
+            0.0
+        },
+    };
+    ReplayOutcome {
+        lines,
+        per_event_s,
+        report,
+    }
+}

@@ -1,0 +1,57 @@
+//! Transport: line-delimited JSON over stdio or a unix socket.
+//!
+//! Both transports feed the same [`Daemon::handle_line`] loop, so the
+//! wire behavior is identical; the replay driver calls `handle_line`
+//! directly and therefore exercises exactly what a live client sees.
+
+use crate::daemon::Daemon;
+use std::io::{self, BufRead, Write};
+
+/// Serves `daemon` over any line-based reader/writer pair until EOF or
+/// a `Shutdown` request. Empty lines are ignored; every other line gets
+/// exactly one reply line, flushed immediately.
+pub fn serve<R: BufRead, W: Write>(
+    daemon: &mut Daemon,
+    input: R,
+    output: &mut W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = daemon.handle_line(&line);
+        writeln!(output, "{reply}")?;
+        output.flush()?;
+        if daemon.is_shutdown() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves `daemon` on stdin/stdout (the default transport).
+pub fn serve_stdio(daemon: &mut Daemon) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    serve(daemon, stdin.lock(), &mut stdout)
+}
+
+/// Serves `daemon` on a unix domain socket, one client at a time (the
+/// event loop is single-threaded by design — concurrency would break
+/// the determinism contract). The socket file is created fresh and
+/// removed on shutdown.
+#[cfg(unix)]
+pub fn serve_unix(daemon: &mut Daemon, path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    while !daemon.is_shutdown() {
+        let (stream, _) = listener.accept()?;
+        let mut writer = stream.try_clone()?;
+        let reader = io::BufReader::new(stream);
+        serve(daemon, reader, &mut writer)?;
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

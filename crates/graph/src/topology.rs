@@ -116,7 +116,7 @@ impl std::error::Error for TopologyError {}
 /// - capacities are positive, delays non-negative,
 /// - the directed graph is strongly connected (every traffic-matrix entry
 ///   is routable).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
     node_count: usize,
     links: Vec<Link>,

@@ -212,6 +212,36 @@ impl<'a> MtrNetwork<'a> {
         }
     }
 
+    /// Like [`reconfigure`](Self::reconfigure) but touching only the
+    /// routers whose own interface metrics actually differ — the way an
+    /// operator deploys an `h`-change reoptimization: routers with
+    /// unchanged configs originate nothing. Returns how many routers
+    /// re-originated.
+    pub fn reconfigure_changed(&mut self, weights: DualWeights) -> usize {
+        assert_eq!(weights.high.len(), self.topo.link_count());
+        if self.mode == DeployMode::SingleTopology {
+            assert_eq!(
+                weights.high, weights.low,
+                "single-topology deployment carries one weight per link"
+            );
+        }
+        let changed: Vec<NodeId> = self
+            .topo
+            .nodes()
+            .filter(|&n| {
+                self.topo.out_links(n).iter().any(|&lid| {
+                    self.weights.high.get(lid) != weights.high.get(lid)
+                        || self.weights.low.get(lid) != weights.low.get(lid)
+                })
+            })
+            .collect();
+        self.weights = weights;
+        for &n in &changed {
+            self.originate(n);
+        }
+        changed.len()
+    }
+
     /// The FIB of `router` for `topology`.
     pub fn fib(&self, router: NodeId, topology: TopologyId) -> &Fib {
         &self.routers[router.index()].fibs[topology.idx()]
@@ -355,6 +385,61 @@ mod tests {
         net.converge();
         assert_eq!(net.stats.spf_runs, 12);
         assert!(net.databases_synchronized());
+    }
+
+    #[test]
+    fn partial_reconfiguration_touches_only_changed_routers() {
+        let (topo, w) = dual_triangle();
+        let mut net = MtrNetwork::new(&topo, w.clone());
+        net.converge();
+        let before = net.stats;
+
+        // Change one low-class metric: only that link's source router
+        // re-reads its config.
+        let lid = topo.find_link(NodeId(1), NodeId(2)).unwrap();
+        let mut w2 = w.clone();
+        w2.low.set(lid, 17);
+        let touched = net.reconfigure_changed(w2.clone());
+        assert_eq!(touched, 1);
+        net.converge();
+        assert!(net.databases_synchronized());
+        let partial_msgs = net.stats.lsa_messages - before.lsa_messages;
+
+        // A full reconfigure of the same delta floods every router.
+        let mut full = MtrNetwork::new(&topo, w);
+        full.converge();
+        let full_before = full.stats;
+        full.reconfigure(w2);
+        full.converge();
+        let full_msgs = full.stats.lsa_messages - full_before.lsa_messages;
+        assert!(
+            partial_msgs < full_msgs,
+            "partial ({partial_msgs}) must flood less than full ({full_msgs})"
+        );
+
+        // Both end up with identical forwarding.
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s == d {
+                    continue;
+                }
+                for t in [TopologyId::DEFAULT, TopologyId::LOW] {
+                    assert_eq!(net.forward_path(t, s, d), full.forward_path(t, s, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_reconfiguration_is_free() {
+        let (topo, w) = dual_triangle();
+        let mut net = MtrNetwork::new(&topo, w.clone());
+        net.converge();
+        let before = net.stats;
+        assert_eq!(net.reconfigure_changed(w), 0);
+        net.converge();
+        assert_eq!(net.stats.lsa_messages, before.lsa_messages);
+        assert_eq!(net.stats.originations, before.originations);
     }
 
     #[test]

@@ -113,6 +113,85 @@ pub fn measure(topo: &Topology, weights: &DualWeights, mode: DeployMode) -> Over
     }
 }
 
+/// Per-delivered-LSA processing latency in the coarse convergence model
+/// of [`deployment_cost`] (seconds).
+pub const LSA_PROCESSING_S: f64 = 1e-3;
+/// Per-SPF-execution latency in the coarse convergence model of
+/// [`deployment_cost`] (seconds).
+pub const SPF_COMPUTE_S: f64 = 5e-3;
+
+/// The control-plane price of deploying one weight change, as measured
+/// by [`deployment_cost`]. This is the "churn" side of the paper's §1
+/// trade-off, in the units an operator budgets: flooded messages and
+/// bytes, SPF reruns, and a coarse convergence-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Metric statements that differ between old and new configuration
+    /// (per link per topology — what `h`-change reoptimization budgets).
+    pub changed_metrics: usize,
+    /// Routers that had to re-read their config and re-originate.
+    pub routers_reconfigured: usize,
+    /// LSA messages flooded until the network went quiet again.
+    pub lsa_messages: u64,
+    /// Wire bytes of those messages (RFC 4915 format model).
+    pub lsa_bytes: u64,
+    /// SPF executions triggered across all routers.
+    pub spf_runs: u64,
+    /// Coarse convergence-time estimate: per-router LSA processing plus
+    /// per-router SPF compute ([`LSA_PROCESSING_S`], [`SPF_COMPUTE_S`]).
+    pub convergence_s: f64,
+}
+
+impl ChurnReport {
+    /// The zero-cost report (deploying an identical configuration).
+    pub fn zero() -> Self {
+        ChurnReport {
+            changed_metrics: 0,
+            routers_reconfigured: 0,
+            lsa_messages: 0,
+            lsa_bytes: 0,
+            spf_runs: 0,
+            convergence_s: 0.0,
+        }
+    }
+}
+
+/// Prices the deployment of `new` over the running configuration `old`
+/// on `topo` (dual-topology mode): boots a converged network on `old`,
+/// applies the delta through [`MtrNetwork::reconfigure_changed`], and
+/// returns the flood/SPF/convergence cost of getting back to
+/// quiescence. Identical configurations cost exactly
+/// [`ChurnReport::zero`].
+///
+/// The emulation runs on the intact topology — churn is priced as if
+/// all links were up, which keeps the cost of a given weight delta
+/// independent of unrelated concurrent failures.
+pub fn deployment_cost(topo: &Topology, old: &DualWeights, new: &DualWeights) -> ChurnReport {
+    assert_eq!(old.high.len(), topo.link_count());
+    assert_eq!(new.high.len(), topo.link_count());
+    let changed_metrics = old.high.hamming(&new.high) + old.low.hamming(&new.low);
+    if changed_metrics == 0 {
+        return ChurnReport::zero();
+    }
+    let mut net = MtrNetwork::new(topo, old.clone());
+    net.converge();
+    let before = net.stats;
+    let routers_reconfigured = net.reconfigure_changed(new.clone());
+    net.converge();
+    let (lsa_messages, lsa_bytes, spf_runs) = delta(net.stats, before);
+    let n = topo.node_count() as f64;
+    let convergence_s =
+        (lsa_messages as f64 / n) * LSA_PROCESSING_S + (spf_runs as f64 / n) * SPF_COMPUTE_S;
+    ChurnReport {
+        changed_metrics,
+        routers_reconfigured,
+        lsa_messages,
+        lsa_bytes,
+        spf_runs,
+        convergence_s,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +243,55 @@ mod tests {
         // ratio sits strictly between 1 and 4/3.
         assert!(dual.boot_bytes > single.boot_bytes);
         assert!(dual.boot_bytes < single.boot_bytes * 4 / 3 + 1);
+    }
+
+    #[test]
+    fn deployment_cost_of_identical_config_is_zero() {
+        let topo = isp_topology();
+        let w = dual_weights(&topo);
+        assert_eq!(deployment_cost(&topo, &w, &w), ChurnReport::zero());
+    }
+
+    #[test]
+    fn deployment_cost_scales_with_change_footprint() {
+        let topo = isp_topology();
+        let old = dual_weights(&topo);
+
+        // One changed metric: one router re-originates.
+        let mut one = old.clone();
+        one.low.set(dtr_graph::LinkId(2), 9);
+        let small = deployment_cost(&topo, &old, &one);
+        assert_eq!(small.changed_metrics, 1);
+        assert_eq!(small.routers_reconfigured, 1);
+        assert!(small.lsa_messages > 0);
+        assert!(small.lsa_bytes > small.lsa_messages); // every LSA has a header
+        assert!(small.spf_runs > 0);
+        assert!(small.convergence_s > 0.0);
+
+        // A network-wide change touches every router and floods more.
+        let all = DualWeights {
+            high: WeightVector::delay_proportional(&topo, 30),
+            low: WeightVector::delay_proportional(&topo, 29),
+        };
+        let big = deployment_cost(&topo, &old, &all);
+        assert!(big.changed_metrics > small.changed_metrics);
+        assert_eq!(big.routers_reconfigured, topo.node_count());
+        assert!(big.lsa_messages > small.lsa_messages);
+        assert!(big.convergence_s >= small.convergence_s);
+    }
+
+    #[test]
+    fn deployment_cost_is_deterministic_and_serializable() {
+        let topo = triangle_topology(1.0);
+        let old = dual_weights(&topo);
+        let mut new = old.clone();
+        new.high.set(dtr_graph::LinkId(1), 5);
+        let a = deployment_cost(&topo, &old, &new);
+        let b = deployment_cost(&topo, &old, &new);
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ChurnReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Seed-deterministic churn traces: the event streams a live network
+//! actually sees.
+//!
+//! Magnien et al. (PAPERS.md) observe that IP-level routing topologies
+//! churn continuously at the timescales that matter for traffic
+//! engineering — links flap and repair while demand drifts around its
+//! gravity pattern. [`generate_churn`] reproduces that regime as a
+//! reproducible artifact: a marked point process with competing
+//! exponential clocks for link flaps, repairs, demand drift and what-if
+//! probes, entirely determined by `(topology, base demand, seed)`.
+//!
+//! Modeling choices, kept deliberately simple:
+//!
+//! - **Single-failure regime.** At most one duplex pair is down at a
+//!   time, drawn uniformly from the survivable cuts
+//!   ([`dtr_routing::survivable_duplex_failures`]) so the network stays
+//!   strongly connected throughout — the same failure model the paper's
+//!   robustness analysis uses.
+//! - **Gravity-drift demand walks.** Each node carries log-space send
+//!   and receive multipliers doing a clamped random walk; a demand
+//!   event rescales every base entry by `exp(out[s] + in[t])`. Drift is
+//!   smooth and per-node-correlated, like real gravity-model traffic,
+//!   and never creates demand on pairs the base matrix left empty.
+//! - **Quiescent tail.** Every trace ends with all links up (the last
+//!   slot is reserved for the repair when needed), so a replay's final
+//!   state can be compared against a batch optimization of the intact
+//!   end-state network.
+
+use dtr_graph::Topology;
+use dtr_routing::survivable_duplex_failures;
+use dtr_traffic::{DemandSet, TrafficMatrix};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the churn point process. All rates are events per
+/// second of simulated time; zero disables that event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnCfg {
+    /// Total number of events to emit.
+    pub events: usize,
+    /// Base seed; the trace is a pure function of it (plus topology and
+    /// base demand).
+    pub seed: u64,
+    /// Rate of duplex-pair failures (only while all links are up).
+    pub flap_rate: f64,
+    /// Rate of repair while a pair is down.
+    pub repair_rate: f64,
+    /// Rate of demand-drift updates.
+    pub demand_rate: f64,
+    /// Rate of what-if link-failure probes.
+    pub whatif_rate: f64,
+    /// Per-event standard step of the log-space gravity walk.
+    pub drift_sigma: f64,
+}
+
+impl Default for ChurnCfg {
+    fn default() -> Self {
+        ChurnCfg {
+            events: 100,
+            seed: 0,
+            flap_rate: 0.3,
+            repair_rate: 1.0,
+            demand_rate: 1.0,
+            whatif_rate: 0.2,
+            drift_sigma: 0.08,
+        }
+    }
+}
+
+/// One event's payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnAction {
+    /// The demand matrices drifted to a new snapshot.
+    Demand {
+        /// The full new two-class demand set.
+        demands: DemandSet,
+    },
+    /// The duplex pair containing directed link `link` failed.
+    LinkDown {
+        /// Canonical pair id (a directed link index).
+        link: u32,
+    },
+    /// The duplex pair containing directed link `link` repaired.
+    LinkUp {
+        /// Canonical pair id (a directed link index).
+        link: u32,
+    },
+    /// A non-mutating probe: "what would failing this pair cost?"
+    WhatIfLinkDown {
+        /// Canonical pair id (a directed link index).
+        link: u32,
+    },
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Simulated arrival time in seconds (strictly non-decreasing).
+    pub at_s: f64,
+    /// What happened.
+    pub action: ChurnAction,
+}
+
+/// A self-contained replayable trace: the instance plus its event
+/// stream. Serializes to one JSON document so a checked-in trace needs
+/// no side files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    /// Human-readable trace name.
+    pub name: String,
+    /// The seed the trace was generated with.
+    pub seed: u64,
+    /// The network the events apply to.
+    pub topo: Topology,
+    /// The demand set in force before the first `Demand` event.
+    pub base: DemandSet,
+    /// The ordered event stream.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnTrace {
+    /// The demand set in force after the last event.
+    pub fn final_demands(&self) -> &DemandSet {
+        self.events
+            .iter()
+            .rev()
+            .find_map(|e| match &e.action {
+                ChurnAction::Demand { demands } => Some(demands),
+                _ => None,
+            })
+            .unwrap_or(&self.base)
+    }
+
+    /// The set of directed links still down after the last event
+    /// (empty for generated traces, which end quiescent).
+    pub fn final_mask(&self) -> Vec<bool> {
+        let mut up = vec![true; self.topo.link_count()];
+        for e in &self.events {
+            match e.action {
+                ChurnAction::LinkDown { link } => set_pair(&self.topo, &mut up, link, false),
+                ChurnAction::LinkUp { link } => set_pair(&self.topo, &mut up, link, true),
+                _ => {}
+            }
+        }
+        up
+    }
+
+    /// Structural sanity: sizes match, timestamps are non-decreasing,
+    /// link ids are valid. Panics on violation.
+    pub fn validate(&self) {
+        assert_eq!(self.base.high.len(), self.topo.node_count());
+        let mut prev = 0.0f64;
+        for e in &self.events {
+            assert!(e.at_s >= prev, "timestamps must be non-decreasing");
+            prev = e.at_s;
+            match &e.action {
+                ChurnAction::Demand { demands } => {
+                    assert_eq!(demands.high.len(), self.topo.node_count());
+                }
+                ChurnAction::LinkDown { link }
+                | ChurnAction::LinkUp { link }
+                | ChurnAction::WhatIfLinkDown { link } => {
+                    assert!((*link as usize) < self.topo.link_count());
+                }
+            }
+        }
+    }
+}
+
+fn set_pair(topo: &Topology, up: &mut [bool], link: u32, value: bool) {
+    let lid = dtr_graph::LinkId(link);
+    let twin = topo.reverse_link(lid).expect("symmetric digraph");
+    up[lid.index()] = value;
+    up[twin.index()] = value;
+}
+
+/// Draws an exponential inter-arrival time with the given total rate.
+fn exp_draw(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+/// Generates a churn trace of exactly `cfg.events` events on `topo`
+/// with `base` as the initial demand. Deterministic in
+/// `(topo, base, cfg)`; the trace always ends with all links up.
+pub fn generate_churn(name: &str, topo: &Topology, base: &DemandSet, cfg: &ChurnCfg) -> ChurnTrace {
+    assert_eq!(base.high.len(), topo.node_count());
+    assert!(
+        cfg.flap_rate >= 0.0
+            && cfg.repair_rate >= 0.0
+            && cfg.demand_rate >= 0.0
+            && cfg.whatif_rate >= 0.0
+            && cfg.drift_sigma >= 0.0,
+        "rates must be non-negative"
+    );
+    // Decorrelate from other consumers of the same base seed.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127);
+    let survivable = survivable_duplex_failures(topo);
+    let n = topo.node_count();
+    let mut out_m = vec![0.0f64; n];
+    let mut in_m = vec![0.0f64; n];
+    let mut down: Option<u32> = None;
+    let mut t = 0.0f64;
+    let mut events: Vec<ChurnEvent> = Vec::with_capacity(cfg.events);
+
+    while events.len() < cfg.events {
+        let remaining = cfg.events - events.len();
+        if down.is_some() && remaining == 1 {
+            // Reserve the last slot for the repair: traces end quiescent.
+            let link = down.take().unwrap();
+            t += exp_draw(&mut rng, cfg.repair_rate.max(1e-9));
+            events.push(ChurnEvent {
+                at_s: t,
+                action: ChurnAction::LinkUp { link },
+            });
+            continue;
+        }
+        // Competing exponential clocks; flaps need a free slot for their
+        // matching repair and a survivable cut to draw from.
+        let flap = if down.is_none() && remaining >= 2 && !survivable.is_empty() {
+            cfg.flap_rate
+        } else {
+            0.0
+        };
+        let repair = if down.is_some() { cfg.repair_rate } else { 0.0 };
+        let total = flap + repair + cfg.demand_rate + cfg.whatif_rate;
+        assert!(total > 0.0, "at least one event rate must be positive");
+        t += exp_draw(&mut rng, total);
+
+        let pick: f64 = rng.random_range(0.0..total);
+        let action = if pick < flap {
+            let link = survivable.choose(&mut rng).expect("non-empty").pair_id;
+            down = Some(link);
+            ChurnAction::LinkDown { link }
+        } else if pick < flap + repair {
+            let link = down.take().expect("repair clock only runs while down");
+            ChurnAction::LinkUp { link }
+        } else if pick < flap + repair + cfg.demand_rate {
+            // One clamped log-space step of the gravity walk, then a
+            // full snapshot of the drifted matrices.
+            for m in out_m.iter_mut().chain(in_m.iter_mut()) {
+                let step: f64 = rng.random_range(-1.0..1.0);
+                *m = (*m + cfg.drift_sigma * step).clamp(-0.5, 0.5);
+            }
+            ChurnAction::Demand {
+                demands: drifted(base, &out_m, &in_m),
+            }
+        } else {
+            let link = match survivable.choose(&mut rng) {
+                Some(s) => s.pair_id,
+                // Degenerate topology with no survivable cut: probe pair 0.
+                None => 0,
+            };
+            ChurnAction::WhatIfLinkDown { link }
+        };
+        events.push(ChurnEvent { at_s: t, action });
+    }
+
+    let trace = ChurnTrace {
+        name: name.to_string(),
+        seed: cfg.seed,
+        topo: topo.clone(),
+        base: base.clone(),
+        events,
+    };
+    trace.validate();
+    trace
+}
+
+/// Rescales every positive base entry by `exp(out[s] + in[t])`.
+fn drifted(base: &DemandSet, out_m: &[f64], in_m: &[f64]) -> DemandSet {
+    let n = out_m.len();
+    let mut high = TrafficMatrix::zeros(n);
+    let mut low = TrafficMatrix::zeros(n);
+    for (s, om) in out_m.iter().enumerate() {
+        for (t, im) in in_m.iter().enumerate() {
+            let f = (om + im).exp();
+            let h = base.high.get(s, t);
+            if h > 0.0 {
+                high.set(s, t, h * f);
+            }
+            let l = base.low.get(s, t);
+            if l > 0.0 {
+                low.set(s, t, l * f);
+            }
+        }
+    }
+    DemandSet { high, low }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+    use dtr_traffic::TrafficCfg;
+
+    fn instance() -> (Topology, DemandSet) {
+        let topo = random_topology(&RandomTopologyCfg {
+            nodes: 8,
+            directed_links: 32,
+            seed: 4,
+        });
+        let base = DemandSet::generate(
+            &topo,
+            &TrafficCfg {
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        (topo, base)
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_exact_length() {
+        let (topo, base) = instance();
+        let cfg = ChurnCfg {
+            events: 40,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = generate_churn("t", &topo, &base, &cfg);
+        let b = generate_churn("t", &topo, &base, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 40);
+        let c = generate_churn("t", &topo, &base, &ChurnCfg { seed: 10, ..cfg });
+        assert_ne!(a.events, c.events, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn traces_end_quiescent_and_stay_single_failure() {
+        let (topo, base) = instance();
+        for seed in 0..6u64 {
+            let cfg = ChurnCfg {
+                events: 25,
+                seed,
+                flap_rate: 2.0, // stress the failure clock
+                ..Default::default()
+            };
+            let trace = generate_churn("t", &topo, &base, &cfg);
+            let mut down: Option<u32> = None;
+            for e in &trace.events {
+                match e.action {
+                    ChurnAction::LinkDown { link } => {
+                        assert!(down.is_none(), "at most one pair down at a time");
+                        down = Some(link);
+                    }
+                    ChurnAction::LinkUp { link } => {
+                        assert_eq!(down.take(), Some(link), "repairs match the open failure");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(down.is_none(), "trace must end with all links up");
+            assert!(trace.final_mask().iter().all(|&u| u));
+        }
+    }
+
+    #[test]
+    fn demand_drift_preserves_support_and_positivity() {
+        let (topo, base) = instance();
+        let trace = generate_churn(
+            "t",
+            &topo,
+            &base,
+            &ChurnCfg {
+                events: 30,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let n = topo.node_count();
+        let mut saw_demand = false;
+        for e in &trace.events {
+            if let ChurnAction::Demand { demands } = &e.action {
+                saw_demand = true;
+                for s in 0..n {
+                    for t in 0..n {
+                        for (d, b) in [
+                            (demands.high.get(s, t), base.high.get(s, t)),
+                            (demands.low.get(s, t), base.low.get(s, t)),
+                        ] {
+                            assert_eq!(d > 0.0, b > 0.0, "support must be preserved");
+                            if b > 0.0 {
+                                // Multipliers are clamped to e^±1.
+                                assert!(d / b > 0.3 && d / b < 3.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_demand, "default rates should produce demand events");
+        assert_eq!(trace.final_demands().high.len(), n);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_exact() {
+        let (topo, base) = instance();
+        let trace = generate_churn(
+            "roundtrip",
+            &topo,
+            &base,
+            &ChurnCfg {
+                events: 12,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: ChurnTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

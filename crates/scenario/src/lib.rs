@@ -23,11 +23,13 @@
 //! with `dtr-experiments`, so corpus reports and paper figures read the
 //! same way: `R > 1` means DTR beats the baseline.
 
+pub mod churn;
 pub mod corpus;
 pub mod spec;
 pub mod suite;
 pub mod validate;
 
+pub use churn::{generate_churn, ChurnAction, ChurnCfg, ChurnEvent, ChurnTrace};
 pub use corpus::{load_corpus, load_spec, ScenarioError};
 pub use spec::{ScenarioSpec, SearchSpec, TopologySpec, TrafficSpec};
 pub use suite::{
