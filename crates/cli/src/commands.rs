@@ -319,9 +319,10 @@ USAGE:
           end to end over the line protocol; writes events.jsonl (one
           reply per event), report.json (deterministic summary incl.
           gain-vs-churn accounting and the final-incumbent-vs-cold-batch
-          ratio) and timing.json (p50/p99 latency, events/sec — never
-          compared). --smoke replays twice, asserts byte-identical
-          replies and report shape, and gates on the batch ratio; the
+          ratio) and timing.json (p50/p99 latency, events/sec). --smoke
+          replays twice and asserts events.jsonl and report.json are
+          byte-identical — timing.json is wall-clock and explicitly
+          outside the gate — plus report shape and the batch ratio; the
           trace defaults to traces/smoke.json — the CI gate)
 
 All artifacts are JSON; see the repository README for the full workflow."
@@ -1111,6 +1112,62 @@ fn assert_replay_shape(r: &dtr_daemon::ReplayReport, events: usize) -> Result<()
     }
 }
 
+/// The replay artifacts covered by the `--smoke` double-replay
+/// byte-identity gate. `timing.json` is deliberately NOT in this list:
+/// it records wall-clock latencies (p50/p99, events/sec) that
+/// legitimately differ between two runs of the same trace, so gating on
+/// it would make the determinism check flaky by construction.
+const REPLAY_GATED_FILES: [&str; 2] = ["events.jsonl", "report.json"];
+
+/// Serializes the gated replay artifacts, in [`REPLAY_GATED_FILES`]
+/// order. The written files and the determinism gate both come from
+/// this one serialization, so what the gate compares is byte-for-byte
+/// what lands on disk.
+fn replay_gated_artifacts(
+    out: &dtr_daemon::ReplayOutcome,
+) -> Result<Vec<(&'static str, String)>, CliError> {
+    let mut events_jsonl = out.lines.join("\n");
+    events_jsonl.push('\n');
+    Ok(vec![
+        (REPLAY_GATED_FILES[0], events_jsonl),
+        (
+            REPLAY_GATED_FILES[1],
+            serde_json::to_string_pretty(&out.report)?,
+        ),
+    ])
+}
+
+/// The double-replay determinism gate: every gated artifact must be
+/// byte-identical between two replays of the same trace. Timing data
+/// never enters the comparison (see [`REPLAY_GATED_FILES`]).
+fn check_replay_determinism(
+    first: &dtr_daemon::ReplayOutcome,
+    second: &dtr_daemon::ReplayOutcome,
+) -> Result<(), CliError> {
+    for ((name, a), (_, b)) in replay_gated_artifacts(first)?
+        .into_iter()
+        .zip(replay_gated_artifacts(second)?)
+    {
+        if a != b {
+            let detail = if name == "events.jsonl" {
+                let at = first
+                    .lines
+                    .iter()
+                    .zip(&second.lines)
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(first.lines.len());
+                format!("replies diverge at event {at}")
+            } else {
+                "summary reports differ".to_string()
+            };
+            return Err(CliError::Gate(format!(
+                "replay is not deterministic: {name}: {detail}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// `replay`: drive the `dtrd` daemon through a churn trace end to end
 /// (see `dtr-daemon`).
 fn cmd_replay(args: &Args) -> Result<(), CliError> {
@@ -1153,13 +1210,9 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     // gate still leaves the per-event replies on disk for upload.
     let out_dir = Path::new(args.get("out").unwrap_or("replay-out"));
     std::fs::create_dir_all(out_dir)?;
-    let mut events_jsonl = out.lines.join("\n");
-    events_jsonl.push('\n');
-    std::fs::write(out_dir.join("events.jsonl"), events_jsonl)?;
-    std::fs::write(
-        out_dir.join("report.json"),
-        serde_json::to_string_pretty(&out.report)?,
-    )?;
+    for (name, bytes) in replay_gated_artifacts(&out)? {
+        std::fs::write(out_dir.join(name), bytes)?;
+    }
     let timing = TimingSummary::from_samples(&out.per_event_s);
     std::fs::write(
         out_dir.join("timing.json"),
@@ -1191,24 +1244,10 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         out_dir.display()
     );
     if smoke {
-        // Determinism gate: a second replay must be byte-identical.
+        // Determinism gate: a second replay must reproduce the gated
+        // artifacts byte for byte (timing.json is excluded — wall clock).
         let again = replay_trace(&trace, cfg, initial);
-        if again.lines != out.lines {
-            let at = out
-                .lines
-                .iter()
-                .zip(&again.lines)
-                .position(|(a, b)| a != b)
-                .unwrap_or(out.lines.len());
-            return Err(CliError::Gate(format!(
-                "replay is not deterministic: replies diverge at event {at}"
-            )));
-        }
-        if again.report != out.report {
-            return Err(CliError::Gate(
-                "replay is not deterministic: summary reports differ".to_string(),
-            ));
-        }
+        check_replay_determinism(&out, &again)?;
         assert_replay_shape(&out.report, trace.events.len())?;
         println!("replay: smoke gates green (byte-identical double run, shapes, batch ratio)");
     }
@@ -1504,6 +1543,54 @@ mod tests {
         for d in [out_d, out2_d] {
             let _ = std::fs::remove_dir_all(d);
         }
+    }
+
+    #[test]
+    fn replay_determinism_gate_excludes_timing() {
+        use dtr_daemon::{replay_trace, DaemonCfg};
+        let trace_p = format!("{}/../../traces/smoke.json", env!("CARGO_MANIFEST_DIR"));
+        let trace: dtr_scenario::ChurnTrace = load(&trace_p).unwrap();
+        let cfg = DaemonCfg {
+            params: dtr_core::SearchParams::preset("tiny").unwrap(),
+            ..Default::default()
+        };
+        let out = replay_trace(&trace, cfg, None);
+
+        // Inject a timing difference an order of magnitude beyond run-to-
+        // run noise: the gate must not care, because timing.json is
+        // wall-clock and outside REPLAY_GATED_FILES.
+        let twin = dtr_daemon::ReplayOutcome {
+            lines: out.lines.clone(),
+            per_event_s: out.per_event_s.iter().map(|s| s * 100.0 + 1.0).collect(),
+            report: out.report.clone(),
+        };
+        check_replay_determinism(&out, &twin).unwrap();
+
+        // A report difference trips the gate and names report.json.
+        let mut bad_report = dtr_daemon::ReplayOutcome {
+            lines: out.lines.clone(),
+            per_event_s: out.per_event_s.clone(),
+            report: out.report.clone(),
+        };
+        bad_report.report.accepted += 1;
+        let err = check_replay_determinism(&out, &bad_report).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Gate(m) if m.contains("report.json")),
+            "{err:?}"
+        );
+
+        // A reply difference trips the gate with the diverging event.
+        let mut bad_lines = dtr_daemon::ReplayOutcome {
+            lines: out.lines.clone(),
+            per_event_s: out.per_event_s.clone(),
+            report: out.report.clone(),
+        };
+        bad_lines.lines[1].push('x');
+        let err = check_replay_determinism(&out, &bad_lines).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Gate(m) if m.contains("events.jsonl") && m.contains("event 1")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -58,11 +58,13 @@ impl SharedBound {
 
     /// Publishes an incumbent's primary cost. Negative inputs are
     /// clamped to `0.0` (costs are non-negative; the clamp keeps the
-    /// bit-ordering trick sound even for `-0.0`), non-finite inputs are
-    /// ignored.
+    /// bit-ordering trick sound even for `-0.0`), non-finite inputs
+    /// (NaN, ±∞) are ignored — every value that leaves this boundary
+    /// check lands in the non-negative finite domain where IEEE-754
+    /// bit patterns order exactly like values, so `fetch_min` below
+    /// stays a true minimum no matter what a worker feeds in.
     pub fn observe(&self, primary: f64) {
         if !primary.is_finite() {
-            debug_assert!(false, "non-finite primary cost {primary}");
             return;
         }
         // `<= 0.0` also catches -0.0, whose sign bit would break the

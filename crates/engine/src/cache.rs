@@ -42,8 +42,13 @@ pub struct LruCache<V> {
 impl<V: Clone> LruCache<V> {
     /// A cache holding at most `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> Self {
+        // Pre-size the map for the full requested capacity so caches
+        // above 1024 entries don't rehash-grow on the search hot path;
+        // the 2^16 ceiling only bounds the up-front allocation against
+        // absurd requests — `capacity` itself stays fully honored by
+        // the eviction logic in `put`.
         LruCache {
-            map: std::collections::HashMap::with_capacity(capacity.min(1024)),
+            map: std::collections::HashMap::with_capacity(capacity.min(1 << 16)),
             capacity,
             tick: 0,
             hits: 0,
@@ -136,6 +141,26 @@ mod tests {
         let a = wv(vec![1]);
         c.put(&a, 1);
         assert_eq!(c.get(&a), None);
+    }
+
+    #[test]
+    fn large_capacity_is_honored_with_lru_eviction_order() {
+        // Regression: the constructor used to clamp its size hint at
+        // 1024; make sure a larger cache actually retains more than
+        // 1024 entries and still evicts in LRU order past that point.
+        let cap = 1500usize;
+        let mut c: LruCache<u32> = LruCache::new(cap);
+        for i in 0..cap as u32 {
+            c.put(&wv(vec![i, i + 1]), i);
+        }
+        // Full, nothing evicted yet: the very first entry is present.
+        assert_eq!(c.get(&wv(vec![0, 1])), Some(0));
+        // Refresh entry 1 so entry 2 becomes the least recently used.
+        assert_eq!(c.get(&wv(vec![1, 2])), Some(1));
+        c.put(&wv(vec![9999, 10000]), 9999);
+        assert_eq!(c.get(&wv(vec![2, 3])), None, "LRU entry must go first");
+        assert_eq!(c.get(&wv(vec![1, 2])), Some(1), "refreshed entry survives");
+        assert_eq!(c.get(&wv(vec![9999, 10000])), Some(9999));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Dynamic maintenance of per-destination ECMP shortest-path DAGs under
-//! single-link weight changes (Ramalingam–Reps-style dynamic Dijkstra).
+//! single-link weight changes (Ramalingam–Reps-style dynamic Dijkstra),
+//! operating on the flat arena storage of [`crate::flat`].
 //!
 //! The weight search's neighborhood moves perturb one or two link
 //! weights, so most destinations' DAGs are untouched and the affected
@@ -8,9 +9,8 @@
 //! - [`delta_affects_dag`] — an O(1) test of whether a single-weight
 //!   delta can change a given destination's DAG at all (the filter that
 //!   lets the engine skip most destinations outright);
-//! - [`apply_weight_delta`] — in-place repair of a
-//!   [`ShortestPathDag`] after one weight change, touching only the
-//!   affected region;
+//! - [`apply_weight_delta`] — in-place repair of a [`FlatDag`] after
+//!   one weight change, touching only the affected region;
 //! - [`link_down_affects_dag`] / [`apply_link_down`] /
 //!   [`apply_link_up`] — the same affected-region machinery for
 //!   **link-up-mask deltas**: removing a link from the topology (a
@@ -23,12 +23,13 @@
 //! # Exactness
 //!
 //! Distances are integers, so the repaired `dist` is exactly what a
-//! fresh reverse-Dijkstra would produce. The repaired `ecmp_out` entries
+//! fresh reverse-Dijkstra would produce. The repaired ECMP arena slots
 //! are rebuilt by the same out-link scan (in out-link order) the full
 //! computation uses, and `order` is re-sorted with the same stable sort
-//! over the same keys — so the repaired DAG is **structurally identical**
-//! to a freshly computed one, not merely equivalent. Downstream load
-//! pushes therefore produce bit-identical floating-point results.
+//! over the same keys — so the repaired DAG is **structurally
+//! identical** to a freshly computed one, not merely equivalent.
+//! Downstream load pushes therefore produce bit-identical
+//! floating-point results.
 //!
 //! # Algorithm
 //!
@@ -43,12 +44,13 @@
 //! a Dijkstra seeded with `dist'(u) = w' + dist(v)` propagates strictly
 //! improving distances upstream.
 //!
-//! In both cases, `ecmp_out` is rebuilt exactly for the nodes whose own
+//! In both cases, ECMP is rebuilt exactly for the nodes whose own
 //! distance changed plus their in-neighbors (tightness of a link `(p,
 //! x)` depends only on `dist(p)`, `dist(x)` and its weight).
 
+use crate::flat::{FlatDag, FlatTopo, LinkMask};
 use dtr_graph::spf::{Dist, UNREACHABLE};
-use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, Weight};
+use dtr_graph::Weight;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -63,9 +65,11 @@ pub struct DynSpfScratch {
     touched: Vec<u32>,
     /// BFS/iteration worklist.
     stack: Vec<u32>,
-    /// Nodes whose `ecmp_out` must be rebuilt.
+    /// Nodes whose ECMP slot must be rebuilt.
     recompute: Vec<u32>,
     recompute_flag: Vec<bool>,
+    /// `(node, old_dist)` snapshot of the invalidated ancestor set.
+    old_dist: Vec<(u32, Dist)>,
 }
 
 impl DynSpfScratch {
@@ -78,6 +82,7 @@ impl DynSpfScratch {
         self.heap.clear();
         self.stack.clear();
         self.recompute.clear();
+        self.old_dist.clear();
         if self.in_set.len() < n {
             self.in_set.resize(n, false);
             self.recompute_flag.resize(n, false);
@@ -109,18 +114,17 @@ impl DynSpfScratch {
 /// out to be a no-op for equal-distance corner cases).
 #[inline]
 pub fn delta_affects_dag(
-    topo: &Topology,
-    dag: &ShortestPathDag,
-    link: LinkId,
+    ft: &FlatTopo,
+    dag: &FlatDag,
+    link: u32,
     old_w: Weight,
     new_w: Weight,
 ) -> bool {
     if old_w == new_w {
         return false;
     }
-    let l = topo.link(link);
-    let du = dag.dist[l.src.index()];
-    let dv = dag.dist[l.dst.index()];
+    let du = dag.dist[ft.src(link) as usize];
+    let dv = dag.dist[ft.dst(link) as usize];
     if dv == UNREACHABLE {
         // The link leads nowhere useful; its weight is irrelevant.
         return false;
@@ -144,33 +148,31 @@ pub fn delta_affects_dag(
 /// ties abound: a tight link's weight rises but the tail keeps its
 /// distance through a sibling branch, or a decrease exactly ties the
 /// current distance. The caller can then reuse the cached DAG with a
-/// one-node override (see
-/// `dtr_routing::push_demand_down_dag_with`) instead of cloning and
-/// repairing it.
+/// one-node override (see [`crate::flat::push_demand_flat`]) instead of
+/// cloning and repairing it.
 ///
 /// `weights` must hold the new weight vector values (as in
 /// [`apply_weight_delta`]); the caller must already have established
 /// that the delta affects the DAG ([`delta_affects_dag`]).
 pub fn fast_rebranch(
-    topo: &Topology,
-    dag: &ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &FlatDag,
     weights: &[Weight],
-    link: LinkId,
+    link: u32,
     old_w: Weight,
     new_w: Weight,
-    branches: &mut Vec<LinkId>,
-) -> Option<NodeId> {
-    let l = topo.link(link);
-    let (u, v) = (l.src, l.dst);
-    let du = dag.dist[u.index()];
-    let dv = dag.dist[v.index()];
+    branches: &mut Vec<u32>,
+) -> Option<u32> {
+    let (u, v) = (ft.src(link), ft.dst(link));
+    let du = dag.dist[u as usize];
+    let dv = dag.dist[v as usize];
     if dv == UNREACHABLE || du == UNREACHABLE {
         return None;
     }
     let distance_preserved = if new_w > old_w {
         // Tight-link increase: `u` must keep its distance via a sibling.
         debug_assert!(du == dv + old_w as Dist);
-        has_alternate_tight_branch(topo, dag, weights, None, u, link)
+        has_alternate_tight_branch(ft, &dag.dist, weights, None, u, link)
     } else {
         // Decrease: only the exact-tie case leaves distances alone.
         dv + new_w as Dist == du
@@ -179,60 +181,60 @@ pub fn fast_rebranch(
         return None;
     }
     branches.clear();
-    collect_tight_branches(topo, dag, weights, None, u, branches);
+    scan_tight_branches(ft, &dag.dist, weights, None, u, |lid| branches.push(lid));
     Some(u)
 }
 
 /// Is `lid` usable under the (optional) link-up mask?
 #[inline]
-fn link_usable(link_up: Option<&[bool]>, lid: LinkId) -> bool {
-    link_up.is_none_or(|up| up[lid.index()])
+fn link_usable(mask: Option<&LinkMask>, lid: u32) -> bool {
+    mask.is_none_or(|mk| mk.is_up(lid))
 }
 
 /// Does `u` reach its current distance through some tight up out-link
 /// other than `exclude`? (The keeps-distance predicate of the
 /// fast-rebranch / fast-repair increase paths.)
 fn has_alternate_tight_branch(
-    topo: &Topology,
-    dag: &ShortestPathDag,
+    ft: &FlatTopo,
+    dist: &[Dist],
     weights: &[Weight],
-    link_up: Option<&[bool]>,
-    u: NodeId,
-    exclude: LinkId,
+    mask: Option<&LinkMask>,
+    u: u32,
+    exclude: u32,
 ) -> bool {
-    let du = dag.dist[u.index()];
-    topo.out_links(u).iter().any(|&lid| {
-        if lid == exclude || !link_usable(link_up, lid) {
+    let du = dist[u as usize];
+    ft.out_links(u).iter().any(|&lid| {
+        if lid == exclude || !link_usable(mask, lid) {
             return false;
         }
-        let l = topo.link(lid);
-        let dy = dag.dist[l.dst.index()];
-        dy != UNREACHABLE && du == dy + weights[lid.index()] as Dist
+        let dy = dist[ft.dst(lid) as usize];
+        dy != UNREACHABLE && du == dy + weights[lid as usize] as Dist
     })
 }
 
-/// Appends `u`'s tight up out-links to `branches` — the **single** scan
-/// (same order, same predicate) behind both [`rebuild_ecmp`] and
+/// Feeds `u`'s tight up out-links to `sink` — the **single** scan (same
+/// order, same predicate) behind both [`rebuild_ecmp`] and
 /// [`fast_rebranch`], and the masked counterpart of the scan
-/// `ShortestPathDag::compute_with` runs; the engine's bit-identical
-/// contract depends on these never drifting apart.
-fn collect_tight_branches(
-    topo: &Topology,
-    dag: &ShortestPathDag,
+/// [`FlatDag::compute_into`] / `ShortestPathDag::compute_with` run; the
+/// engine's bit-identical contract depends on these never drifting
+/// apart.
+#[inline]
+fn scan_tight_branches(
+    ft: &FlatTopo,
+    dist: &[Dist],
     weights: &[Weight],
-    link_up: Option<&[bool]>,
-    u: NodeId,
-    branches: &mut Vec<LinkId>,
+    mask: Option<&LinkMask>,
+    u: u32,
+    mut sink: impl FnMut(u32),
 ) {
-    let du = dag.dist[u.index()];
-    for &lid in topo.out_links(u) {
-        if !link_usable(link_up, lid) {
+    let du = dist[u as usize];
+    for &lid in ft.out_links(u) {
+        if !link_usable(mask, lid) {
             continue;
         }
-        let link = topo.link(lid);
-        let dy = dag.dist[link.dst.index()];
-        if dy != UNREACHABLE && du == dy + weights[lid.index()] as Dist {
-            branches.push(lid);
+        let dy = dist[ft.dst(lid) as usize];
+        if dy != UNREACHABLE && du == dy + weights[lid as usize] as Dist {
+            sink(lid);
         }
     }
 }
@@ -244,27 +246,24 @@ fn collect_tight_branches(
 /// then know load pushes must be redone even for equal-cost-only
 /// membership changes, which also return `true`).
 pub fn apply_weight_delta(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link: LinkId,
+    link: u32,
     old_w: Weight,
     new_w: Weight,
     scratch: &mut DynSpfScratch,
 ) -> bool {
-    debug_assert_eq!(weights[link.index()], new_w);
+    debug_assert_eq!(weights[link as usize], new_w);
     if old_w == new_w {
         return false;
     }
-    let n = topo.node_count();
+    let n = ft.node_count();
     scratch.reset(n);
 
-    let (u, v) = {
-        let l = topo.link(link);
-        (l.src, l.dst)
-    };
-    let dv = dag.dist[v.index()];
-    let du = dag.dist[u.index()];
+    let (u, v) = (ft.src(link), ft.dst(link));
+    let dv = dag.dist[v as usize];
+    let du = dag.dist[u as usize];
 
     if dv == UNREACHABLE {
         return false;
@@ -279,11 +278,11 @@ pub fn apply_weight_delta(
         // out-link, no distance changes anywhere — the link merely
         // leaves the DAG at `u` (common with small integer weights,
         // where ECMP ties abound).
-        if has_alternate_tight_branch(topo, dag, weights, None, u, link) {
-            rebuild_ecmp(topo, dag, weights, None, u);
+        if has_alternate_tight_branch(ft, &dag.dist, weights, None, u, link) {
+            rebuild_ecmp(ft, dag, weights, None, u);
             return true;
         }
-        repair_increase(topo, dag, weights, None, u, scratch)
+        repair_increase(ft, dag, weights, None, u, scratch)
     } else {
         let cand = dv + new_w as Dist;
         if du != UNREACHABLE && cand > du {
@@ -291,13 +290,13 @@ pub fn apply_weight_delta(
         }
         if du != UNREACHABLE && cand == du {
             // Distances unchanged; the link merely joins the DAG at `u`.
-            rebuild_ecmp(topo, dag, weights, None, u);
+            rebuild_ecmp(ft, dag, weights, None, u);
             return true;
         }
-        repair_decrease(topo, dag, weights, None, u, cand, scratch)
+        repair_decrease(ft, dag, weights, None, u, cand, scratch)
     };
 
-    finish_repair(topo, dag, weights, None, u, dists_changed, scratch)
+    finish_repair(ft, dag, weights, None, u, dists_changed, scratch)
 }
 
 /// Returns true iff **removing** `link` can alter `dag`: a removal
@@ -307,42 +306,33 @@ pub fn apply_weight_delta(
 /// tie *or* improvement) — [`apply_link_up`] checks it itself, so there
 /// is no separate filter to misuse.
 #[inline]
-pub fn link_down_affects_dag(
-    topo: &Topology,
-    dag: &ShortestPathDag,
-    weights: &[Weight],
-    link: LinkId,
-) -> bool {
-    let l = topo.link(link);
-    let du = dag.dist[l.src.index()];
-    let dv = dag.dist[l.dst.index()];
-    du != UNREACHABLE && dv != UNREACHABLE && du == dv + weights[link.index()] as Dist
+pub fn link_down_affects_dag(ft: &FlatTopo, dag: &FlatDag, weights: &[Weight], link: u32) -> bool {
+    let du = dag.dist[ft.src(link) as usize];
+    let dv = dag.dist[ft.dst(link) as usize];
+    du != UNREACHABLE && dv != UNREACHABLE && du == dv + weights[link as usize] as Dist
 }
 
-/// Repairs `dag` in place after `link` went **down**. `link_up` must be
-/// the post-change mask (`link_up[link] == false`, and every other
-/// already-down link `false` as well); `weights` is unchanged by masking.
-/// Returns `true` if the DAG changed at all. Semantically this is
-/// [`apply_weight_delta`] with `new_w = ∞`: a removal of a non-tight
+/// Repairs `dag` in place after `link` went **down**. `mask` must be
+/// the post-change link-up mask (`mask.is_up(link) == false`, and every
+/// other already-down link down as well); `weights` is unchanged by
+/// masking. Returns `true` if the DAG changed at all. Semantically this
+/// is [`apply_weight_delta`] with `new_w = ∞`: a removal of a non-tight
 /// link is a no-op, a removal of a tight link invalidates the
 /// DAG-ancestors of its tail and re-settles them from the boundary.
 pub fn apply_link_down(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link_up: &[bool],
-    link: LinkId,
+    mask: &LinkMask,
+    link: u32,
     scratch: &mut DynSpfScratch,
 ) -> bool {
-    debug_assert!(!link_up[link.index()]);
-    let n = topo.node_count();
-    let (u, v) = {
-        let l = topo.link(link);
-        (l.src, l.dst)
-    };
-    let du = dag.dist[u.index()];
-    let dv = dag.dist[v.index()];
-    if dv == UNREACHABLE || du == UNREACHABLE || du != dv + weights[link.index()] as Dist {
+    debug_assert!(!mask.is_up(link));
+    let n = ft.node_count();
+    let (u, v) = (ft.src(link), ft.dst(link));
+    let du = dag.dist[u as usize];
+    let dv = dag.dist[v as usize];
+    if dv == UNREACHABLE || du == UNREACHABLE || du != dv + weights[link as usize] as Dist {
         // Not tight: the link is on no shortest path, so removing it
         // changes neither distances nor ECMP membership.
         return false;
@@ -351,17 +341,17 @@ pub fn apply_link_down(
     // Fast path: `u` keeps its distance through a sibling branch — the
     // link merely leaves the DAG at `u`. (The down link itself is
     // excluded by the mask.)
-    if has_alternate_tight_branch(topo, dag, weights, Some(link_up), u, link) {
-        rebuild_ecmp(topo, dag, weights, Some(link_up), u);
+    if has_alternate_tight_branch(ft, &dag.dist, weights, Some(mask), u, link) {
+        rebuild_ecmp(ft, dag, weights, Some(mask), u);
         return true;
     }
-    let dists_changed = repair_increase(topo, dag, weights, Some(link_up), u, scratch);
-    finish_repair(topo, dag, weights, Some(link_up), u, dists_changed, scratch)
+    let dists_changed = repair_increase(ft, dag, weights, Some(mask), u, scratch);
+    finish_repair(ft, dag, weights, Some(mask), u, dists_changed, scratch)
 }
 
-/// Repairs `dag` in place after `link` came back **up**. `link_up` must
-/// be the post-change mask (`link_up[link] == true`). Returns `true` if
-/// the DAG changed. Semantically [`apply_weight_delta`] with
+/// Repairs `dag` in place after `link` came back **up**. `mask` must be
+/// the post-change link-up mask (`mask.is_up(link) == true`). Returns
+/// `true` if the DAG changed. Semantically [`apply_weight_delta`] with
 /// `old_w = ∞`: the only new candidate paths enter through the restored
 /// link, so a seeded decrease-repair propagates any improvement
 /// upstream. Applying [`apply_link_down`] and then `apply_link_up` for
@@ -369,37 +359,34 @@ pub fn apply_link_down(
 /// structure identical to a fresh computation — the failure sweep's
 /// revert step.
 pub fn apply_link_up(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link_up: &[bool],
-    link: LinkId,
+    mask: &LinkMask,
+    link: u32,
     scratch: &mut DynSpfScratch,
 ) -> bool {
-    debug_assert!(link_up[link.index()]);
-    let n = topo.node_count();
-    let (u, v) = {
-        let l = topo.link(link);
-        (l.src, l.dst)
-    };
-    let dv = dag.dist[v.index()];
+    debug_assert!(mask.is_up(link));
+    let n = ft.node_count();
+    let (u, v) = (ft.src(link), ft.dst(link));
+    let dv = dag.dist[v as usize];
     if dv == UNREACHABLE {
         // The link still leads nowhere useful.
         return false;
     }
-    let du = dag.dist[u.index()];
-    let cand = dv + weights[link.index()] as Dist;
+    let du = dag.dist[u as usize];
+    let cand = dv + weights[link as usize] as Dist;
     if du != UNREACHABLE && cand > du {
         return false;
     }
     scratch.reset(n);
     if du != UNREACHABLE && cand == du {
         // Distances unchanged; the link merely joins the DAG at `u`.
-        rebuild_ecmp(topo, dag, weights, Some(link_up), u);
+        rebuild_ecmp(ft, dag, weights, Some(mask), u);
         return true;
     }
-    let dists_changed = repair_decrease(topo, dag, weights, Some(link_up), u, cand, scratch);
-    finish_repair(topo, dag, weights, Some(link_up), u, dists_changed, scratch)
+    let dists_changed = repair_decrease(ft, dag, weights, Some(mask), u, cand, scratch);
+    finish_repair(ft, dag, weights, Some(mask), u, dists_changed, scratch)
 }
 
 /// Shared repair tail: rebuild ECMP membership for every node whose
@@ -408,26 +395,26 @@ pub fn apply_link_up(
 /// tail); then re-sort `order` if any distance changed. Always returns
 /// `true` (the repair ran).
 fn finish_repair(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link_up: Option<&[bool]>,
-    u: NodeId,
+    mask: Option<&LinkMask>,
+    u: u32,
     dists_changed: bool,
     scratch: &mut DynSpfScratch,
 ) -> bool {
-    scratch.mark_recompute(u.0);
-    let changed: Vec<u32> = scratch.touched.clone();
-    for &x in &changed {
+    scratch.mark_recompute(u);
+    for i in 0..scratch.touched.len() {
+        let x = scratch.touched[i];
         scratch.mark_recompute(x);
-        for &lid in topo.in_links(NodeId(x)) {
-            scratch.mark_recompute(topo.link(lid).src.0);
+        for &lid in ft.in_links(x) {
+            scratch.mark_recompute(ft.src(lid));
         }
     }
     let recompute = std::mem::take(&mut scratch.recompute);
     for &x in &recompute {
         scratch.recompute_flag[x as usize] = false;
-        rebuild_ecmp(topo, dag, weights, link_up, NodeId(x));
+        rebuild_ecmp(ft, dag, weights, mask, x);
     }
     scratch.recompute = recompute;
     scratch.recompute.clear();
@@ -444,22 +431,32 @@ fn finish_repair(
     true
 }
 
-/// Rebuilds `ecmp_out[x]` by the same (optionally masked) out-link scan
-/// the full SPF uses.
+/// Rebuilds node `x`'s ECMP arena slot by the same (optionally masked)
+/// out-link scan the full SPF uses.
 fn rebuild_ecmp(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link_up: Option<&[bool]>,
-    x: NodeId,
+    mask: Option<&LinkMask>,
+    x: u32,
 ) {
-    let xi = x.index();
-    let mut branches = std::mem::take(&mut dag.ecmp_out[xi]);
-    branches.clear();
-    if dag.dist[xi] != UNREACHABLE && x != dag.dest {
-        collect_tight_branches(topo, dag, weights, link_up, x, &mut branches);
+    let FlatDag {
+        dest,
+        dist,
+        ecmp,
+        ecmp_len,
+        ..
+    } = dag;
+    let xi = x as usize;
+    let mut len = 0usize;
+    if dist[xi] != UNREACHABLE && x != *dest {
+        let slot = ft.ecmp_slot(x);
+        scan_tight_branches(ft, dist, weights, mask, x, |lid| {
+            ecmp[slot + len] = lid;
+            len += 1;
+        });
     }
-    dag.ecmp_out[xi] = branches;
+    ecmp_len[xi] = len as u32;
 }
 
 /// Weight increase on a tight link out of `u`: invalidate the ancestor
@@ -468,11 +465,11 @@ fn rebuild_ecmp(
 /// changed nodes — all get their ECMP rebuilt). Returns whether any
 /// final distance differs.
 fn repair_increase(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link_up: Option<&[bool]>,
-    u: NodeId,
+    mask: Option<&LinkMask>,
+    u: u32,
     scratch: &mut DynSpfScratch,
 ) -> bool {
     // Ancestor set S = nodes with a DAG path to u (including u): reverse
@@ -481,52 +478,53 @@ fn repair_increase(
     // traversed upward. Down links are skipped — after earlier repairs
     // a removed link's endpoints can still satisfy the tightness
     // arithmetic without the link being on any path.
-    scratch.mark_set(u.0);
-    scratch.stack.push(u.0);
+    scratch.mark_set(u);
+    scratch.stack.push(u);
     while let Some(x) = scratch.stack.pop() {
         let dx = dag.dist[x as usize];
-        for &lid in topo.in_links(NodeId(x)) {
-            if !link_usable(link_up, lid) {
+        for &lid in ft.in_links(x) {
+            if !link_usable(mask, lid) {
                 continue;
             }
-            let p = topo.link(lid).src;
-            if scratch.in_set[p.index()] {
+            let p = ft.src(lid);
+            if scratch.in_set[p as usize] {
                 continue;
             }
-            let dp = dag.dist[p.index()];
-            if dp != UNREACHABLE && dx != UNREACHABLE && dp == dx + weights[lid.index()] as Dist {
-                scratch.mark_set(p.0);
-                scratch.stack.push(p.0);
+            let dp = dag.dist[p as usize];
+            if dp != UNREACHABLE && dx != UNREACHABLE && dp == dx + weights[lid as usize] as Dist {
+                scratch.mark_set(p);
+                scratch.stack.push(p);
             }
         }
     }
 
     // Snapshot old distances of S, then invalidate.
-    let old: Vec<(u32, Dist)> = scratch
-        .touched
-        .iter()
-        .map(|&x| (x, dag.dist[x as usize]))
-        .collect();
-    for &(x, _) in &old {
+    scratch.old_dist.clear();
+    scratch
+        .old_dist
+        .extend(scratch.touched.iter().map(|&x| (x, dag.dist[x as usize])));
+    for i in 0..scratch.old_dist.len() {
+        let (x, _) = scratch.old_dist[i];
         dag.dist[x as usize] = UNREACHABLE;
     }
 
     // Seed the heap from the boundary: for x ∈ S, any up out-link to a
     // node outside S (whose distance is still valid) offers a path.
-    for &(x, _) in &old {
-        for &lid in topo.out_links(NodeId(x)) {
-            if !link_usable(link_up, lid) {
+    for i in 0..scratch.old_dist.len() {
+        let (x, _) = scratch.old_dist[i];
+        for &lid in ft.out_links(x) {
+            if !link_usable(mask, lid) {
                 continue;
             }
-            let y = topo.link(lid).dst;
-            if scratch.in_set[y.index()] {
+            let y = ft.dst(lid);
+            if scratch.in_set[y as usize] {
                 continue;
             }
-            let dy = dag.dist[y.index()];
+            let dy = dag.dist[y as usize];
             if dy == UNREACHABLE {
                 continue;
             }
-            let cand = dy + weights[lid.index()] as Dist;
+            let cand = dy + weights[lid as usize] as Dist;
             if cand < dag.dist[x as usize] {
                 dag.dist[x as usize] = cand;
                 scratch.heap.push(Reverse((cand, x)));
@@ -541,23 +539,26 @@ fn repair_increase(
         if d > dag.dist[x as usize] {
             continue;
         }
-        for &lid in topo.in_links(NodeId(x)) {
-            if !link_usable(link_up, lid) {
+        for &lid in ft.in_links(x) {
+            if !link_usable(mask, lid) {
                 continue;
             }
-            let p = topo.link(lid).src;
-            if !scratch.in_set[p.index()] {
+            let p = ft.src(lid);
+            if !scratch.in_set[p as usize] {
                 continue;
             }
-            let cand = d + weights[lid.index()] as Dist;
-            if cand < dag.dist[p.index()] {
-                dag.dist[p.index()] = cand;
-                scratch.heap.push(Reverse((cand, p.0)));
+            let cand = d + weights[lid as usize] as Dist;
+            if cand < dag.dist[p as usize] {
+                dag.dist[p as usize] = cand;
+                scratch.heap.push(Reverse((cand, p)));
             }
         }
     }
 
-    old.iter().any(|&(x, d)| dag.dist[x as usize] != d)
+    scratch
+        .old_dist
+        .iter()
+        .any(|&(x, d)| dag.dist[x as usize] != d)
 }
 
 /// Weight decrease: propagate the strictly improving candidate
@@ -565,32 +566,32 @@ fn repair_increase(
 /// `scratch.touched`. Returns whether anything improved (always true
 /// when called — the caller pre-checks `cand < dist(u)`).
 fn repair_decrease(
-    topo: &Topology,
-    dag: &mut ShortestPathDag,
+    ft: &FlatTopo,
+    dag: &mut FlatDag,
     weights: &[Weight],
-    link_up: Option<&[bool]>,
-    u: NodeId,
+    mask: Option<&LinkMask>,
+    u: u32,
     cand: Dist,
     scratch: &mut DynSpfScratch,
 ) -> bool {
-    debug_assert!(dag.dist[u.index()] == UNREACHABLE || cand < dag.dist[u.index()]);
-    dag.dist[u.index()] = cand;
-    scratch.mark_set(u.0);
-    scratch.heap.push(Reverse((cand, u.0)));
+    debug_assert!(dag.dist[u as usize] == UNREACHABLE || cand < dag.dist[u as usize]);
+    dag.dist[u as usize] = cand;
+    scratch.mark_set(u);
+    scratch.heap.push(Reverse((cand, u)));
     while let Some(Reverse((d, x))) = scratch.heap.pop() {
         if d > dag.dist[x as usize] {
             continue;
         }
-        for &lid in topo.in_links(NodeId(x)) {
-            if !link_usable(link_up, lid) {
+        for &lid in ft.in_links(x) {
+            if !link_usable(mask, lid) {
                 continue;
             }
-            let p = topo.link(lid).src;
-            let nd = d + weights[lid.index()] as Dist;
-            if nd < dag.dist[p.index()] {
-                dag.dist[p.index()] = nd;
-                scratch.mark_set(p.0);
-                scratch.heap.push(Reverse((nd, p.0)));
+            let p = ft.src(lid);
+            let nd = d + weights[lid as usize] as Dist;
+            if nd < dag.dist[p as usize] {
+                dag.dist[p as usize] = nd;
+                scratch.mark_set(p);
+                scratch.heap.push(Reverse((nd, p)));
             }
         }
     }
@@ -600,7 +601,8 @@ fn repair_decrease(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtr_graph::{TopologyBuilder, WeightVector};
+    use crate::flat::FlatSpfWorkspace;
+    use dtr_graph::{NodeId, ShortestPathDag, Topology, TopologyBuilder, WeightVector};
 
     fn diamond() -> Topology {
         let mut b = TopologyBuilder::new();
@@ -612,134 +614,147 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn flat_compute(ft: &FlatTopo, w: &WeightVector, dest: u32) -> FlatDag {
+        let mut ws = FlatSpfWorkspace::new();
+        let mut dag = FlatDag::empty(ft);
+        dag.compute_into(ft, w.as_slice(), dest, None, &mut ws);
+        dag
+    }
+
     /// Structural equality against a fresh computation.
-    fn assert_matches_fresh(topo: &Topology, dag: &ShortestPathDag, w: &WeightVector) {
-        let fresh = ShortestPathDag::compute(topo, w, dag.dest);
-        assert_eq!(dag.dist, fresh.dist, "dist mismatch");
-        assert_eq!(dag.ecmp_out, fresh.ecmp_out, "ecmp mismatch");
-        assert_eq!(dag.order, fresh.order, "order mismatch");
+    fn assert_matches_fresh(topo: &Topology, ft: &FlatTopo, dag: &FlatDag, w: &WeightVector) {
+        let fresh = ShortestPathDag::compute(topo, w, NodeId(dag.dest));
+        let got = dag.to_dag(ft);
+        assert_eq!(got.dist, fresh.dist, "dist mismatch");
+        assert_eq!(got.ecmp_out, fresh.ecmp_out, "ecmp mismatch");
+        assert_eq!(got.order, fresh.order, "order mismatch");
     }
 
     #[test]
     fn increase_and_decrease_roundtrip() {
         let topo = diamond();
+        let ft = FlatTopo::new(&topo);
         let mut w = WeightVector::uniform(&topo, 1);
-        let dest = NodeId(3);
-        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let mut dag = flat_compute(&ft, &w, 3);
         let mut scratch = DynSpfScratch::new();
 
         let l01 = topo.find_link(NodeId(0), NodeId(1)).unwrap();
         // Increase 0→1 from 1 to 5: path via 2 only.
         w.set(l01, 5);
-        apply_weight_delta(&topo, &mut dag, w.as_slice(), l01, 1, 5, &mut scratch);
-        assert_matches_fresh(&topo, &dag, &w);
-        assert_eq!(dag.ecmp_out[0].len(), 1);
+        apply_weight_delta(&ft, &mut dag, w.as_slice(), l01.0, 1, 5, &mut scratch);
+        assert_matches_fresh(&topo, &ft, &dag, &w);
+        assert_eq!(dag.ecmp_len[0], 1);
 
         // Decrease back to 1: ECMP split returns.
         w.set(l01, 1);
-        apply_weight_delta(&topo, &mut dag, w.as_slice(), l01, 5, 1, &mut scratch);
-        assert_matches_fresh(&topo, &dag, &w);
-        assert_eq!(dag.ecmp_out[0].len(), 2);
+        apply_weight_delta(&ft, &mut dag, w.as_slice(), l01.0, 5, 1, &mut scratch);
+        assert_matches_fresh(&topo, &ft, &dag, &w);
+        assert_eq!(dag.ecmp_len[0], 2);
     }
 
     #[test]
     fn unaffected_deltas_are_detected() {
         let topo = diamond();
+        let ft = FlatTopo::new(&topo);
         let w = WeightVector::uniform(&topo, 1);
-        let dag = ShortestPathDag::compute(&topo, &w, NodeId(3));
+        let dag = flat_compute(&ft, &w, 3);
         // The reverse link 3→0-side weights never matter for paths *to* 3
         // from 0 unless tight; check a non-tight increase is filtered.
         let l31 = topo.find_link(NodeId(3), NodeId(1)).unwrap();
-        assert!(!delta_affects_dag(&topo, &dag, l31, 1, 9));
+        assert!(!delta_affects_dag(&ft, &dag, l31.0, 1, 9));
         // A tight link increase is flagged.
         let l13 = topo.find_link(NodeId(1), NodeId(3)).unwrap();
-        assert!(delta_affects_dag(&topo, &dag, l13, 1, 2));
+        assert!(delta_affects_dag(&ft, &dag, l13.0, 1, 2));
         // A decrease creating a tie is flagged (ECMP membership change).
         let l02 = topo.find_link(NodeId(0), NodeId(2)).unwrap();
-        assert!(!delta_affects_dag(&topo, &dag, l02, 1, 1));
+        assert!(!delta_affects_dag(&ft, &dag, l02.0, 1, 1));
     }
 
     /// Structural equality against a fresh masked computation.
     fn assert_matches_fresh_masked(
         topo: &Topology,
-        dag: &ShortestPathDag,
+        ft: &FlatTopo,
+        dag: &FlatDag,
         w: &WeightVector,
         up: &[bool],
     ) {
         let mut ws = dtr_graph::SpfWorkspace::new();
-        let fresh = ShortestPathDag::compute_with(topo, w, dag.dest, Some(up), &mut ws);
-        assert_eq!(dag.dist, fresh.dist, "masked dist mismatch");
-        assert_eq!(dag.ecmp_out, fresh.ecmp_out, "masked ecmp mismatch");
-        assert_eq!(dag.order, fresh.order, "masked order mismatch");
+        let fresh = ShortestPathDag::compute_with(topo, w, NodeId(dag.dest), Some(up), &mut ws);
+        let got = dag.to_dag(ft);
+        assert_eq!(got.dist, fresh.dist, "masked dist mismatch");
+        assert_eq!(got.ecmp_out, fresh.ecmp_out, "masked ecmp mismatch");
+        assert_eq!(got.order, fresh.order, "masked order mismatch");
     }
 
     #[test]
     fn duplex_down_then_up_roundtrips() {
         let topo = diamond();
+        let ft = FlatTopo::new(&topo);
         let w = WeightVector::uniform(&topo, 1);
-        let dest = NodeId(3);
-        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let mut dag = flat_compute(&ft, &w, 3);
         let original = dag.clone();
         let mut scratch = DynSpfScratch::new();
 
         // Fail duplex 0↔1: apply the two directed removals staged.
-        let a = topo.find_link(NodeId(0), NodeId(1)).unwrap();
-        let b = topo.find_link(NodeId(1), NodeId(0)).unwrap();
+        let a = topo.find_link(NodeId(0), NodeId(1)).unwrap().0;
+        let b = topo.find_link(NodeId(1), NodeId(0)).unwrap().0;
         let mut up = vec![true; topo.link_count()];
-        up[a.index()] = false;
-        if link_down_affects_dag(&topo, &dag, w.as_slice(), a) {
-            apply_link_down(&topo, &mut dag, w.as_slice(), &up, a, &mut scratch);
+        let mut mask = LinkMask::all_up(topo.link_count());
+        up[a as usize] = false;
+        mask.set_down(a);
+        if link_down_affects_dag(&ft, &dag, w.as_slice(), a) {
+            apply_link_down(&ft, &mut dag, w.as_slice(), &mask, a, &mut scratch);
         }
-        up[b.index()] = false;
-        if link_down_affects_dag(&topo, &dag, w.as_slice(), b) {
-            apply_link_down(&topo, &mut dag, w.as_slice(), &up, b, &mut scratch);
+        up[b as usize] = false;
+        mask.set_down(b);
+        if link_down_affects_dag(&ft, &dag, w.as_slice(), b) {
+            apply_link_down(&ft, &mut dag, w.as_slice(), &mask, b, &mut scratch);
         }
-        assert_matches_fresh_masked(&topo, &dag, &w, &up);
+        assert_matches_fresh_masked(&topo, &ft, &dag, &w, &up);
         // Node 0 lost its ECMP split towards 3.
-        assert_eq!(dag.ecmp_out[0].len(), 1);
+        assert_eq!(dag.ecmp_len[0], 1);
 
         // Revert in reverse order under staged masks.
-        up[b.index()] = true;
-        apply_link_up(&topo, &mut dag, w.as_slice(), &up, b, &mut scratch);
-        up[a.index()] = true;
-        apply_link_up(&topo, &mut dag, w.as_slice(), &up, a, &mut scratch);
-        assert_eq!(dag.dist, original.dist);
-        assert_eq!(dag.ecmp_out, original.ecmp_out);
-        assert_eq!(dag.order, original.order);
+        mask.set_up(b);
+        apply_link_up(&ft, &mut dag, w.as_slice(), &mask, b, &mut scratch);
+        mask.set_up(a);
+        apply_link_up(&ft, &mut dag, w.as_slice(), &mask, a, &mut scratch);
+        assert!(dag.same_structure(&ft, &original));
     }
 
     #[test]
     fn isolating_removal_marks_unreachable_and_recovers() {
         // A 2-node duplex: cutting it makes node 1 unreachable from 0.
-        let mut b = dtr_graph::TopologyBuilder::new();
+        let mut b = TopologyBuilder::new();
         b.add_nodes(2);
         b.add_duplex(NodeId(0), NodeId(1), 1.0, 0.001);
         let topo = b.build().unwrap();
+        let ft = FlatTopo::new(&topo);
         let w = WeightVector::uniform(&topo, 1);
-        let dest = NodeId(1);
-        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let mut dag = flat_compute(&ft, &w, 1);
         let original = dag.clone();
         let mut scratch = DynSpfScratch::new();
-        let l01 = topo.find_link(NodeId(0), NodeId(1)).unwrap();
-        let l10 = topo.find_link(NodeId(1), NodeId(0)).unwrap();
+        let l01 = topo.find_link(NodeId(0), NodeId(1)).unwrap().0;
+        let l10 = topo.find_link(NodeId(1), NodeId(0)).unwrap().0;
         let mut up = vec![true; topo.link_count()];
-        up[l01.index()] = false;
-        if link_down_affects_dag(&topo, &dag, w.as_slice(), l01) {
-            apply_link_down(&topo, &mut dag, w.as_slice(), &up, l01, &mut scratch);
+        let mut mask = LinkMask::all_up(topo.link_count());
+        up[l01 as usize] = false;
+        mask.set_down(l01);
+        if link_down_affects_dag(&ft, &dag, w.as_slice(), l01) {
+            apply_link_down(&ft, &mut dag, w.as_slice(), &mask, l01, &mut scratch);
         }
-        up[l10.index()] = false;
-        if link_down_affects_dag(&topo, &dag, w.as_slice(), l10) {
-            apply_link_down(&topo, &mut dag, w.as_slice(), &up, l10, &mut scratch);
+        up[l10 as usize] = false;
+        mask.set_down(l10);
+        if link_down_affects_dag(&ft, &dag, w.as_slice(), l10) {
+            apply_link_down(&ft, &mut dag, w.as_slice(), &mask, l10, &mut scratch);
         }
         assert_eq!(dag.dist[0], UNREACHABLE);
-        assert_matches_fresh_masked(&topo, &dag, &w, &up);
-        up[l10.index()] = true;
-        apply_link_up(&topo, &mut dag, w.as_slice(), &up, l10, &mut scratch);
-        up[l01.index()] = true;
-        apply_link_up(&topo, &mut dag, w.as_slice(), &up, l01, &mut scratch);
-        assert_eq!(dag.dist, original.dist);
-        assert_eq!(dag.ecmp_out, original.ecmp_out);
-        assert_eq!(dag.order, original.order);
+        assert_matches_fresh_masked(&topo, &ft, &dag, &w, &up);
+        mask.set_up(l10);
+        apply_link_up(&ft, &mut dag, w.as_slice(), &mask, l10, &mut scratch);
+        mask.set_up(l01);
+        apply_link_up(&ft, &mut dag, w.as_slice(), &mask, l01, &mut scratch);
+        assert!(dag.same_structure(&ft, &original));
     }
 
     #[test]
@@ -751,6 +766,7 @@ mod tests {
             directed_links: 56,
             seed: 21,
         });
+        let ft = FlatTopo::new(&topo);
         let mut rng = StdRng::seed_from_u64(77);
         let mut w = WeightVector::uniform(&topo, 3);
         for (lid, _) in topo.links() {
@@ -758,27 +774,27 @@ mod tests {
         }
         let mut scratch = DynSpfScratch::new();
         for dest_seed in 0..4u32 {
-            let dest = NodeId(dest_seed * 3 % topo.node_count() as u32);
-            let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+            let dest = dest_seed * 3 % topo.node_count() as u32;
+            let mut dag = flat_compute(&ft, &w, dest);
             let original = dag.clone();
             for _ in 0..60 {
-                let a = LinkId(rng.random_range(0..topo.link_count() as u32));
-                let b = topo.reverse_link(a).unwrap();
+                let a = rng.random_range(0..topo.link_count() as u32);
+                let b = topo.reverse_link(dtr_graph::LinkId(a)).unwrap().0;
                 let mut up = vec![true; topo.link_count()];
+                let mut mask = LinkMask::all_up(topo.link_count());
                 for l in [a, b] {
-                    up[l.index()] = false;
-                    if link_down_affects_dag(&topo, &dag, w.as_slice(), l) {
-                        apply_link_down(&topo, &mut dag, w.as_slice(), &up, l, &mut scratch);
+                    up[l as usize] = false;
+                    mask.set_down(l);
+                    if link_down_affects_dag(&ft, &dag, w.as_slice(), l) {
+                        apply_link_down(&ft, &mut dag, w.as_slice(), &mask, l, &mut scratch);
                     }
                 }
-                assert_matches_fresh_masked(&topo, &dag, &w, &up);
+                assert_matches_fresh_masked(&topo, &ft, &dag, &w, &up);
                 for l in [b, a] {
-                    up[l.index()] = true;
-                    apply_link_up(&topo, &mut dag, w.as_slice(), &up, l, &mut scratch);
+                    mask.set_up(l);
+                    apply_link_up(&ft, &mut dag, w.as_slice(), &mask, l, &mut scratch);
                 }
-                assert_eq!(dag.dist, original.dist);
-                assert_eq!(dag.ecmp_out, original.ecmp_out);
-                assert_eq!(dag.order, original.order);
+                assert!(dag.same_structure(&ft, &original));
             }
         }
     }
@@ -792,20 +808,20 @@ mod tests {
             directed_links: 56,
             seed: 11,
         });
+        let ft = FlatTopo::new(&topo);
         let mut rng = StdRng::seed_from_u64(99);
         let mut w = WeightVector::uniform(&topo, 5);
-        let dest = NodeId(0);
-        let mut dag = ShortestPathDag::compute(&topo, &w, dest);
+        let mut dag = flat_compute(&ft, &w, 0);
         let mut scratch = DynSpfScratch::new();
         for _ in 0..500 {
-            let lid = LinkId(rng.random_range(0..topo.link_count() as u32));
-            let old = w.get(lid);
+            let lid = rng.random_range(0..topo.link_count() as u32);
+            let old = w.get(dtr_graph::LinkId(lid));
             let new = rng.random_range(1u32..=10);
-            w.set(lid, new);
-            if delta_affects_dag(&topo, &dag, lid, old, new) {
-                apply_weight_delta(&topo, &mut dag, w.as_slice(), lid, old, new, &mut scratch);
+            w.set(dtr_graph::LinkId(lid), new);
+            if delta_affects_dag(&ft, &dag, lid, old, new) {
+                apply_weight_delta(&ft, &mut dag, w.as_slice(), lid, old, new, &mut scratch);
             }
-            assert_matches_fresh(&topo, &dag, &w);
+            assert_matches_fresh(&topo, &ft, &dag, &w);
         }
     }
 }

@@ -7,12 +7,18 @@
 //! paid a full reverse-Dijkstra per destination per candidate. This
 //! crate is the engine that removes that cost:
 //!
+//! - [`flat`] — arena-indexed structure-of-arrays storage for the hot
+//!   path: CSR adjacency ([`flat::FlatTopo`]), flat per-destination
+//!   ECMP DAGs ([`flat::FlatDag`]) and `u64`-word bitset link masks
+//!   ([`flat::LinkMask`]), keeping candidate evaluation cache-resident
+//!   at 1000+ nodes;
 //! - [`dynspf`] — Ramalingam–Reps-style dynamic maintenance of the
 //!   per-destination ECMP shortest-path DAGs: an O(1) per-destination
 //!   filter ([`dynspf::delta_affects_dag`]) plus an affected-region-only
 //!   repair ([`dynspf::apply_weight_delta`]);
-//! - [`state`] — per-destination load contributions with an exact-order
-//!   fold, so patched loads are **bit-identical** to full evaluation;
+//! - [`state`] — sparse per-destination load contributions with an
+//!   exact-order fold, so patched loads are **bit-identical** to full
+//!   evaluation;
 //! - [`backend`] — the [`EvalBackend`] trait with [`FullBackend`]
 //!   (recompute everything, rayon-parallel across the batch) and
 //!   [`IncrementalBackend`] (repair only affected destinations)
@@ -39,6 +45,7 @@ pub mod backend;
 pub mod bound;
 pub mod cache;
 pub mod dynspf;
+pub mod flat;
 pub mod state;
 
 pub use backend::{
@@ -51,6 +58,7 @@ pub use dynspf::{
     apply_link_down, apply_link_up, apply_weight_delta, delta_affects_dag, link_down_affects_dag,
     DynSpfScratch,
 };
+pub use flat::{FlatDag, FlatSpfWorkspace, FlatTopo, LinkMask};
 pub use state::{CandidateEval, DestState, FlowState};
 
 use dtr_cost::Objective;

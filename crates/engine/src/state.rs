@@ -1,7 +1,7 @@
-//! Per-class incremental flow state: one dynamically maintained ECMP DAG
-//! and per-matrix load contribution per destination, plus the exact-order
-//! fold that rebuilds aggregate class loads bit-identically to
-//! [`dtr_routing::LoadCalculator`].
+//! Per-class incremental flow state: one dynamically maintained flat
+//! ECMP DAG and per-matrix load contribution per destination, plus the
+//! exact-order fold that rebuilds aggregate class loads bit-identically
+//! to [`dtr_routing::LoadCalculator`].
 //!
 //! # Why a fold instead of a running aggregate
 //!
@@ -10,63 +10,125 @@
 //! aggregates drift (bit-wise) from what a full evaluation produces —
 //! and the engine's contract is **bit-identical** results under both
 //! backends. The full calculator accumulates destination contributions
-//! in ascending destination order; summing the cached per-destination
-//! contribution vectors in that same order reproduces the identical
+//! in ascending destination order; replaying the cached per-destination
+//! contributions in that same order reproduces the identical
 //! floating-point operation sequence per link, while still skipping the
 //! expensive part (Dijkstra + DAG push) for unaffected destinations.
-//! The fold is `O(dests · links)` of pure adds — vectorizable and an
-//! order of magnitude cheaper than the SPF work it replaces.
+//!
+//! # Why the contributions are sparse
+//!
+//! A demand push touches only the links on the destination's DAG, and
+//! each touched link receives **exactly one** `+= share` per
+//! destination per matrix (a link is a branch of its unique tail node).
+//! The full calculator therefore performs, per link, one add per
+//! *touching* destination — untouched links see nothing. Storing each
+//! destination's contribution as `(link, value)` pairs and replaying
+//! only those reproduces that add sequence exactly; the dense
+//! alternative's interleaved `+= 0.0` adds are bit-exact no-ops on the
+//! non-negative accumulators anyway, and at 1000+ nodes a dense vector
+//! per destination per matrix is tens of megabytes of mostly zeros that
+//! the fold would stream through every candidate.
 
 use crate::dynspf::{
     apply_link_down, apply_link_up, apply_weight_delta, delta_affects_dag, fast_rebranch,
     link_down_affects_dag, DynSpfScratch,
 };
+use crate::flat::{push_demand_flat, FlatDag, FlatSpfWorkspace, FlatTopo, LinkMask};
 use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, Weight, WeightVector};
-use dtr_routing::{push_demand_down_dag, push_demand_down_dag_with, ClassLoads};
+use dtr_routing::ClassLoads;
 use dtr_traffic::TrafficMatrix;
 use std::sync::Arc;
 
 /// A single weight change `(link, new_weight)`.
 pub type WeightDelta = (LinkId, Weight);
 
+/// One destination's load contribution to one matrix, as `(link,
+/// value)` pairs in ascending link order (empty = no demand towards the
+/// destination in that matrix). Values are the exact `+= share` amounts
+/// a full demand push performs — see the module docs for why replaying
+/// them is bit-identical to the dense fold.
+#[derive(Debug, Clone, Default)]
+struct SparseLoads {
+    links: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseLoads {
+    /// Replays the adds into `agg`.
+    #[inline]
+    fn add_into(&self, agg: &mut [f64]) {
+        for (&l, &v) in self.links.iter().zip(&self.vals) {
+            agg[l as usize] += v;
+        }
+    }
+
+    /// Rebuilds from a dense push result, keeping only touched links.
+    fn compress_from(&mut self, dense: &[f64]) {
+        self.links.clear();
+        self.vals.clear();
+        for (l, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                self.links.push(l as u32);
+                self.vals.push(v);
+            }
+        }
+    }
+}
+
 /// Per-destination cached state.
 #[derive(Debug, Clone)]
 pub struct DestState {
     /// The destination node.
     pub dest: NodeId,
-    /// The ECMP DAG towards `dest` under the current base weights.
-    /// `Arc` so unaffected candidates can share it without copying.
-    pub dag: Arc<ShortestPathDag>,
-    /// Per-matrix load contribution of this destination (empty vec for
-    /// matrices with no demand towards `dest`).
-    pub contrib: Vec<ClassLoads>,
+    /// The flat ECMP DAG towards `dest` under the current base weights.
+    dag: FlatDag,
+    /// Per-matrix sparse load contribution of this destination.
+    contrib: Vec<SparseLoads>,
+    /// Lazily materialized [`ShortestPathDag`] form of `dag`, shared
+    /// with consumers that need it (the SLA walk). Invalidated whenever
+    /// `dag` is repaired in place — except by `eval_mask`, whose
+    /// apply/revert sweep provably restores the identical structure.
+    shared: Option<Arc<ShortestPathDag>>,
 }
 
 /// The incremental evaluation state of one routed class (or of two
 /// classes sharing a weight vector, for single-topology routing).
 pub struct FlowState<'a> {
-    topo: &'a Topology,
+    /// Flat CSR/SoA mirror of the bound topology — every hot loop runs
+    /// on this (the `Topology` itself is not retained).
+    flat: FlatTopo,
     /// The traffic matrices routed on this weight vector (1 for a DTR
     /// class, 2 for STR joint evaluation).
     matrices: Vec<&'a TrafficMatrix>,
     /// The base weight vector the cached DAGs reflect.
     base: WeightVector,
     /// Cached per-destination state, ascending destination order, only
-    /// destinations with demand in at least one matrix.
+    /// destinations with demand in at least one matrix. The set is
+    /// fixed at construction (it depends only on the matrices).
     dests: Vec<DestState>,
     /// Scratch for DAG repairs.
     scratch: DynSpfScratch,
-    /// Scratch weight slice for sequenced delta application.
+    /// Scratch for fresh flat SPF computations.
+    spf_ws: FlatSpfWorkspace,
+    /// Reusable repair target for candidate evaluation (`clone_from`
+    /// recycles its buffers — four flat memcpys, no allocation).
+    scratch_dag: FlatDag,
+    /// Scratch weight slice for sequenced delta application; equal to
+    /// `base` between uses (users revert the entries they set).
     work_weights: Vec<Weight>,
     /// Scratch per-node flow buffer for load pushes.
     node_flow: Vec<f64>,
+    /// Scratch dense load vector for contribution compression.
+    dense_buf: Vec<f64>,
     /// Scratch branch list for single-node ECMP overrides.
-    branch_buf: Vec<LinkId>,
+    branch_buf: Vec<u32>,
     /// Scratch staged link-up mask for failure sweeps; invariantly
-    /// all-true between calls (each sweep's revert loop restores it).
-    mask_buf: Vec<bool>,
+    /// all-up between calls (each sweep's revert loop restores it).
+    mask_buf: LinkMask,
     /// Scratch down-link list for failure sweeps.
-    downs_buf: Vec<LinkId>,
+    downs_buf: Vec<u32>,
+    /// Scratch dirty flags for rebase.
+    dirty_buf: Vec<bool>,
 }
 
 /// The outcome of evaluating one candidate against the base state:
@@ -77,7 +139,7 @@ pub struct CandidateEval {
     /// evaluation of the candidate weights.
     pub loads: Vec<ClassLoads>,
     /// `(dest, dag)` for every destination in the state, ascending;
-    /// unaffected destinations share the base `Arc`.
+    /// unaffected destinations share the cached base `Arc`.
     pub dags: Vec<(NodeId, Arc<ShortestPathDag>)>,
 }
 
@@ -86,17 +148,38 @@ impl<'a> FlowState<'a> {
     pub fn new(topo: &'a Topology, matrices: Vec<&'a TrafficMatrix>, base: WeightVector) -> Self {
         assert!(!matrices.is_empty());
         assert_eq!(base.len(), topo.link_count());
+        let flat = FlatTopo::new(topo);
+        let mask_buf = LinkMask::all_up(topo.link_count());
+        let scratch_dag = FlatDag::empty(&flat);
+        let mut dests = Vec::new();
+        for t in topo.nodes() {
+            let any = matrices
+                .iter()
+                .any(|m| m.demands_to(t.index()).next().is_some());
+            if any {
+                dests.push(DestState {
+                    dest: t,
+                    dag: FlatDag::empty(&flat),
+                    contrib: Vec::new(),
+                    shared: None,
+                });
+            }
+        }
         let mut state = FlowState {
-            topo,
+            flat,
             matrices,
             base,
-            dests: Vec::new(),
+            dests,
             scratch: DynSpfScratch::new(),
+            spf_ws: FlatSpfWorkspace::new(),
+            scratch_dag,
             work_weights: Vec::new(),
             node_flow: Vec::new(),
+            dense_buf: Vec::new(),
             branch_buf: Vec::new(),
-            mask_buf: Vec::new(),
+            mask_buf,
             downs_buf: Vec::new(),
+            dirty_buf: Vec::new(),
         };
         state.rebuild_all();
         state
@@ -107,76 +190,29 @@ impl<'a> FlowState<'a> {
         &self.base
     }
 
-    /// The cached destination states (ascending destination order).
-    pub fn dests(&self) -> &[DestState] {
-        &self.dests
+    /// Number of cached destinations.
+    pub fn dest_count(&self) -> usize {
+        self.dests.len()
     }
 
-    /// Full rebuild of every destination state from `self.base`.
+    /// Full recompute of every destination state from `self.base`,
+    /// reusing every existing buffer (the destination set is fixed).
     fn rebuild_all(&mut self) {
-        let topo = self.topo;
-        let mut ws = dtr_graph::SpfWorkspace::new();
-        self.dests.clear();
-        for t in topo.nodes() {
-            let any = self
-                .matrices
-                .iter()
-                .any(|m| m.demands_to(t.index()).next().is_some());
-            if !any {
-                continue;
-            }
-            let dag = ShortestPathDag::compute_with(topo, &self.base, t, None, &mut ws);
-            let contrib = Self::contributions(topo, &self.matrices, &dag, t, &mut self.node_flow);
-            self.dests.push(DestState {
-                dest: t,
-                dag: Arc::new(dag),
-                contrib,
-            });
+        let weights = self.base.as_slice();
+        for ds in &mut self.dests {
+            ds.dag
+                .compute_into(&self.flat, weights, ds.dest.0, None, &mut self.spf_ws);
+            ds.shared = None;
+            contributions_into(
+                &self.flat,
+                &self.matrices,
+                &ds.dag,
+                ds.dest.0,
+                &mut self.node_flow,
+                &mut self.dense_buf,
+                &mut ds.contrib,
+            );
         }
-    }
-
-    /// Per-matrix contribution vectors of one destination's DAG.
-    fn contributions(
-        topo: &Topology,
-        matrices: &[&TrafficMatrix],
-        dag: &ShortestPathDag,
-        t: NodeId,
-        node_flow: &mut Vec<f64>,
-    ) -> Vec<ClassLoads> {
-        matrices
-            .iter()
-            .map(|m| {
-                if m.demands_to(t.index()).next().is_none() {
-                    Vec::new()
-                } else {
-                    let mut out = vec![0.0; topo.link_count()];
-                    push_demand_down_dag(topo, dag, m, t, node_flow, &mut out);
-                    out
-                }
-            })
-            .collect()
-    }
-
-    /// Aggregates per-destination contributions in ascending destination
-    /// order — the same per-link addition sequence the full calculator
-    /// executes. `overrides` supplies replacement states for affected
-    /// destinations (parallel to `self.dests`, `None` = use cached).
-    fn fold(&self, overrides: &[Option<DestState>]) -> Vec<ClassLoads> {
-        let m = self.topo.link_count();
-        let mut out: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
-        for (i, ds) in self.dests.iter().enumerate() {
-            let state = overrides.get(i).and_then(|o| o.as_ref()).unwrap_or(ds);
-            for (j, contrib) in state.contrib.iter().enumerate() {
-                if contrib.is_empty() {
-                    continue;
-                }
-                let agg = &mut out[j];
-                for (a, c) in agg.iter_mut().zip(contrib) {
-                    *a += c;
-                }
-            }
-        }
-        out
     }
 
     /// The diff between `cand` and the base, as ordered deltas.
@@ -191,20 +227,32 @@ impl<'a> FlowState<'a> {
         deltas
     }
 
+    /// Ensures every destination's shared [`ShortestPathDag`] is
+    /// materialized (the `want_dags` path hands these out).
+    fn materialize_shared(&mut self) {
+        let flat = &self.flat;
+        for ds in &mut self.dests {
+            if ds.shared.is_none() {
+                ds.shared = Some(Arc::new(ds.dag.to_dag(flat)));
+            }
+        }
+    }
+
     /// Evaluates `cand` against the base **without committing**.
     /// Returns `None` when the delta count exceeds `max_deltas` — the
     /// caller should fall back to a full evaluation (diversification
     /// jumps perturb ~5% of all weights, where repairing link-by-link
     /// would cost more than recomputing).
     ///
-    /// The hot path is allocation-light: destinations an affecting delta
-    /// touches are repaired on one reused scratch DAG (`clone_from`
-    /// recycles its buffers) and their demand is pushed **directly into
-    /// the fold accumulator** — the identical per-link add sequence the
-    /// full calculator executes, so results stay bit-identical.
-    /// Unaffected destinations contribute their cached vectors instead
-    /// of an SPF run. Per-destination DAGs are materialized only when
-    /// `want_dags` is set (the SLA walk needs them).
+    /// The hot path is allocation-free in steady state: destinations an
+    /// affecting delta touches are repaired on one reused scratch DAG
+    /// (`clone_from` recycles its flat buffers) and their demand is
+    /// pushed **directly into the fold accumulator** — the identical
+    /// per-link add sequence the full calculator executes, so results
+    /// stay bit-identical. Unaffected destinations replay their sparse
+    /// cached contributions instead of an SPF run. Per-destination
+    /// DAGs are materialized only when `want_dags` is set (the SLA walk
+    /// needs them).
     pub fn eval_candidate(
         &mut self,
         cand: &WeightVector,
@@ -215,26 +263,25 @@ impl<'a> FlowState<'a> {
         if deltas.len() > max_deltas {
             return None;
         }
-        let topo = self.topo;
-        let m = topo.link_count();
-
-        // Weight stages: stage k = base with deltas[0..k] applied.
-        // Checking/applying delta k against a DAG that reflects stage k
-        // needs exactly stage k's old value and stage k+1's slice (the
-        // deltas touch distinct links, so stage k's old value for link k
-        // is the base value).
-        self.work_weights.clear();
-        self.work_weights.extend_from_slice(self.base.as_slice());
-        let mut stages: Vec<Vec<Weight>> = Vec::with_capacity(deltas.len());
-        for &(lid, new_w) in &deltas {
-            self.work_weights[lid.index()] = new_w;
-            stages.push(self.work_weights.clone());
+        let m = self.flat.link_count();
+        if want_dags {
+            self.materialize_shared();
         }
-        debug_assert!(stages.is_empty() || stages.last().unwrap() == cand.as_slice());
+
+        // `work_weights` tracks the delta *stage* per destination:
+        // checking/applying delta k against a DAG that reflects deltas
+        // 0..k needs the slice with deltas 0..=k applied (the deltas
+        // touch distinct links, so the old value of link k is the base
+        // value). Entries are set on the way in and reverted to base
+        // after each destination, so the buffer needs no full rebuild.
+        if self.work_weights.len() != m {
+            self.work_weights.clear();
+            self.work_weights.extend_from_slice(self.base.as_slice());
+        }
+        debug_assert_eq!(self.work_weights, self.base.as_slice());
 
         let mut loads: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
         let mut dags: Vec<(NodeId, Arc<ShortestPathDag>)> = Vec::new();
-        let mut scratch_dag: Option<ShortestPathDag> = None;
 
         for ds in &self.dests {
             // Find the first delta that affects this destination. All
@@ -242,7 +289,7 @@ impl<'a> FlowState<'a> {
             // DAG.
             let mut first_hit = None;
             for (k, &(lid, new_w)) in deltas.iter().enumerate() {
-                if delta_affects_dag(topo, &ds.dag, lid, self.base.get(lid), new_w) {
+                if delta_affects_dag(&self.flat, &ds.dag, lid.0, self.base.get(lid), new_w) {
                     first_hit = Some(k);
                     break;
                 }
@@ -257,10 +304,10 @@ impl<'a> FlowState<'a> {
             if first_hit.is_some_and(|k| k + 1 == deltas.len()) {
                 let (lid, new_w) = deltas[deltas.len() - 1];
                 if let Some(u) = fast_rebranch(
-                    topo,
+                    &self.flat,
                     &ds.dag,
                     cand.as_slice(),
-                    lid,
+                    lid.0,
                     self.base.get(lid),
                     new_w,
                     &mut self.branch_buf,
@@ -269,19 +316,20 @@ impl<'a> FlowState<'a> {
                         if mm.demands_to(ds.dest.index()).next().is_none() {
                             continue;
                         }
-                        push_demand_down_dag_with(
-                            topo,
+                        push_demand_flat(
+                            &self.flat,
                             &ds.dag,
                             mm,
-                            ds.dest,
+                            ds.dest.0,
                             &mut self.node_flow,
                             &mut loads[j],
-                            Some((u.0, &self.branch_buf)),
+                            Some((u, &self.branch_buf)),
                         );
                     }
                     if want_dags {
-                        let mut patched = ds.dag.as_ref().clone();
-                        patched.ecmp_out[u.index()] = self.branch_buf.clone();
+                        let mut patched = ds.dag.to_dag(&self.flat);
+                        patched.ecmp_out[u as usize] =
+                            self.branch_buf.iter().map(|&l| LinkId(l)).collect();
                         dags.push((ds.dest, Arc::new(patched)));
                     }
                     continue;
@@ -292,32 +340,37 @@ impl<'a> FlowState<'a> {
             // apply the delta sequence.
             let mut repaired = false;
             if let Some(k0) = first_hit {
-                for (k, &(lid, new_w)) in deltas.iter().enumerate().skip(k0) {
+                for &(lid, new_w) in &deltas[..k0] {
+                    self.work_weights[lid.index()] = new_w;
+                }
+                for &(lid, new_w) in &deltas[k0..] {
+                    self.work_weights[lid.index()] = new_w;
                     let old_w = self.base.get(lid);
-                    let current: &ShortestPathDag = if repaired {
-                        scratch_dag.as_ref().unwrap()
-                    } else {
-                        &ds.dag
+                    let affects = {
+                        let current = if repaired { &self.scratch_dag } else { &ds.dag };
+                        delta_affects_dag(&self.flat, current, lid.0, old_w, new_w)
                     };
-                    if !delta_affects_dag(topo, current, lid, old_w, new_w) {
+                    if !affects {
                         continue;
                     }
                     if !repaired {
-                        match &mut scratch_dag {
-                            Some(buf) => buf.clone_from(&ds.dag),
-                            None => scratch_dag = Some(ds.dag.as_ref().clone()),
-                        }
+                        self.scratch_dag.clone_from(&ds.dag);
                         repaired = true;
                     }
                     apply_weight_delta(
-                        topo,
-                        scratch_dag.as_mut().unwrap(),
-                        &stages[k],
-                        lid,
+                        &self.flat,
+                        &mut self.scratch_dag,
+                        &self.work_weights,
+                        lid.0,
                         old_w,
                         new_w,
                         &mut self.scratch,
                     );
+                }
+                // Restore the stage buffer to the base for the next
+                // destination (and the next call).
+                for &(lid, _) in &deltas {
+                    self.work_weights[lid.index()] = self.base.get(lid);
                 }
             }
 
@@ -325,27 +378,30 @@ impl<'a> FlowState<'a> {
                 // Push demand straight into the accumulators — the same
                 // add sequence the full calculator performs at this
                 // destination's position.
-                let dag = scratch_dag.as_ref().unwrap();
                 for (j, mm) in self.matrices.iter().enumerate() {
                     if mm.demands_to(ds.dest.index()).next().is_none() {
                         continue;
                     }
-                    push_demand_down_dag(
-                        topo,
-                        dag,
+                    push_demand_flat(
+                        &self.flat,
+                        &self.scratch_dag,
                         mm,
-                        ds.dest,
+                        ds.dest.0,
                         &mut self.node_flow,
                         &mut loads[j],
+                        None,
                     );
                 }
                 if want_dags {
-                    dags.push((ds.dest, Arc::new(dag.clone())));
+                    dags.push((ds.dest, Arc::new(self.scratch_dag.to_dag(&self.flat))));
                 }
             } else {
-                add_contributions(&mut loads, ds);
+                for (j, contrib) in ds.contrib.iter().enumerate() {
+                    contrib.add_into(&mut loads[j]);
+                }
                 if want_dags {
-                    dags.push((ds.dest, ds.dag.clone()));
+                    let shared = ds.shared.as_ref().expect("materialized above");
+                    dags.push((ds.dest, shared.clone()));
                 }
             }
         }
@@ -361,42 +417,48 @@ impl<'a> FlowState<'a> {
         if deltas.is_empty() {
             return;
         }
+        // Any committed weight change invalidates the staged buffer
+        // invariant (`work_weights == base`); rebuild it lazily.
+        self.work_weights.clear();
         if deltas.len() > max_deltas {
             self.base = new_base.clone();
             self.rebuild_all();
             return;
         }
-        self.work_weights.clear();
         self.work_weights.extend_from_slice(self.base.as_slice());
-        let mut dirty = vec![false; self.dests.len()];
+        self.dirty_buf.clear();
+        self.dirty_buf.resize(self.dests.len(), false);
         for &(lid, new_w) in &deltas {
             let old_w = self.work_weights[lid.index()];
             self.work_weights[lid.index()] = new_w;
             for (i, ds) in self.dests.iter_mut().enumerate() {
-                if !delta_affects_dag(self.topo, &ds.dag, lid, old_w, new_w) {
+                if !delta_affects_dag(&self.flat, &ds.dag, lid.0, old_w, new_w) {
                     continue;
                 }
                 apply_weight_delta(
-                    self.topo,
-                    Arc::make_mut(&mut ds.dag),
+                    &self.flat,
+                    &mut ds.dag,
                     &self.work_weights,
-                    lid,
+                    lid.0,
                     old_w,
                     new_w,
                     &mut self.scratch,
                 );
-                dirty[i] = true;
+                self.dirty_buf[i] = true;
             }
         }
         self.base = new_base.clone();
         for (i, ds) in self.dests.iter_mut().enumerate() {
-            if dirty[i] {
-                ds.contrib = Self::contributions(
-                    self.topo,
+            if self.dirty_buf[i] {
+                ds.shared = None;
+                contributions_into(
+                    &self.flat,
                     &self.matrices,
                     &ds.dag,
-                    ds.dest,
+                    ds.dest.0,
                     &mut self.node_flow,
+                    &mut self.dense_buf,
+                    &mut ds.contrib,
                 );
             }
         }
@@ -404,7 +466,14 @@ impl<'a> FlowState<'a> {
 
     /// Aggregate loads at the current base (exact fold, no repairs).
     pub fn base_loads(&self) -> Vec<ClassLoads> {
-        self.fold(&[])
+        let m = self.flat.link_count();
+        let mut out: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
+        for ds in &self.dests {
+            for (j, contrib) in ds.contrib.iter().enumerate() {
+                contrib.add_into(&mut out[j]);
+            }
+        }
+        out
     }
 
     /// Evaluates the **base** weights under a link-up mask
@@ -415,38 +484,36 @@ impl<'a> FlowState<'a> {
     /// This is the failure-sweep hot path: for a single duplex-pair
     /// failure, a down link matters to a destination only if it is
     /// *tight* on that destination's intact DAG, so most destinations
-    /// contribute their cached vectors untouched. Affected destinations
-    /// have the down links **applied** to their cached DAG in place
-    /// (staged masks, one [`apply_link_down`] per tight link), their
-    /// demand pushed straight into the fold accumulators, and the DAG
-    /// **reverted** with the matching [`apply_link_up`] sequence —
-    /// repairs are exact on integer distances, so the restored state is
-    /// structurally identical to the cached one and the next scenario
-    /// starts from the same intact state.
+    /// replay their cached contributions untouched. Affected
+    /// destinations have the down links **applied** to their cached DAG
+    /// in place (staged bitset masks, one [`apply_link_down`] per tight
+    /// link), their demand pushed straight into the fold accumulators,
+    /// and the DAG **reverted** with the matching [`apply_link_up`]
+    /// sequence — repairs are exact on integer distances, so the
+    /// restored state is structurally identical to the cached one (any
+    /// cached shared `Arc` stays valid) and the next scenario starts
+    /// from the same intact state.
     pub fn eval_mask(&mut self, link_up: &[bool]) -> Vec<ClassLoads> {
-        let topo = self.topo;
-        let m = topo.link_count();
+        let m = self.flat.link_count();
         assert_eq!(link_up.len(), m);
         self.downs_buf.clear();
         self.downs_buf
-            .extend((0..m).filter(|&i| !link_up[i]).map(|i| LinkId(i as u32)));
+            .extend((0..m as u32).filter(|&i| !link_up[i as usize]));
         let mut loads: Vec<ClassLoads> = self.matrices.iter().map(|_| vec![0.0; m]).collect();
         if self.downs_buf.is_empty() {
             for ds in &self.dests {
-                add_contributions(&mut loads, ds);
+                for (j, contrib) in ds.contrib.iter().enumerate() {
+                    contrib.add_into(&mut loads[j]);
+                }
             }
             return loads;
         }
         // Staged working mask: entry `k` of the down list is cleared
         // just before delta `k` is considered, so every repair sees
         // exactly the links available in its intermediate state. The
-        // buffer is invariantly all-true between calls — each
+        // buffer is invariantly all-up between calls — each
         // destination's revert loop restores every entry it cleared.
-        if self.mask_buf.len() != m {
-            self.mask_buf.clear();
-            self.mask_buf.resize(m, true);
-        }
-        debug_assert!(self.mask_buf.iter().all(|&u| u));
+        debug_assert!(self.mask_buf.is_all_up());
         let weights = self.base.as_slice();
         for di in 0..self.dests.len() {
             // Find the first down link that is tight on the cached DAG.
@@ -456,25 +523,34 @@ impl<'a> FlowState<'a> {
                 let dag = &self.dests[di].dag;
                 self.downs_buf
                     .iter()
-                    .position(|&l| link_down_affects_dag(topo, dag, weights, l))
+                    .position(|&l| link_down_affects_dag(&self.flat, dag, weights, l))
             };
             let Some(k0) = first else {
-                add_contributions(&mut loads, &self.dests[di]);
+                let ds = &self.dests[di];
+                for (j, contrib) in ds.contrib.iter().enumerate() {
+                    contrib.add_into(&mut loads[j]);
+                }
                 continue;
             };
             let ds = &mut self.dests[di];
-            let dag = Arc::make_mut(&mut ds.dag);
             // Deltas before the first hit are no-op removals, but their
             // links must still be masked before any repair runs — a
             // repair may otherwise route the affected region through a
             // link the scenario removed.
             for &l in &self.downs_buf[..k0] {
-                self.mask_buf[l.index()] = false;
+                self.mask_buf.set_down(l);
             }
             for &l in &self.downs_buf[k0..] {
-                self.mask_buf[l.index()] = false;
-                if link_down_affects_dag(topo, dag, weights, l) {
-                    apply_link_down(topo, dag, weights, &self.mask_buf, l, &mut self.scratch);
+                self.mask_buf.set_down(l);
+                if link_down_affects_dag(&self.flat, &ds.dag, weights, l) {
+                    apply_link_down(
+                        &self.flat,
+                        &mut ds.dag,
+                        weights,
+                        &self.mask_buf,
+                        l,
+                        &mut self.scratch,
+                    );
                 }
             }
             // Push demand straight into the accumulators — the same add
@@ -484,32 +560,59 @@ impl<'a> FlowState<'a> {
                 if mm.demands_to(ds.dest.index()).next().is_none() {
                     continue;
                 }
-                push_demand_down_dag(topo, dag, mm, ds.dest, &mut self.node_flow, &mut loads[j]);
+                push_demand_flat(
+                    &self.flat,
+                    &ds.dag,
+                    mm,
+                    ds.dest.0,
+                    &mut self.node_flow,
+                    &mut loads[j],
+                    None,
+                );
             }
             // Revert: restore the links in reverse order under the
             // matching staged masks. `apply_link_up` detects no-ops
             // itself, so no-op removals need no bookkeeping.
-            for &l in self.downs_buf.iter().rev() {
-                self.mask_buf[l.index()] = true;
-                apply_link_up(topo, dag, weights, &self.mask_buf, l, &mut self.scratch);
+            for i in (0..self.downs_buf.len()).rev() {
+                let l = self.downs_buf[i];
+                self.mask_buf.set_up(l);
+                apply_link_up(
+                    &self.flat,
+                    &mut ds.dag,
+                    weights,
+                    &self.mask_buf,
+                    l,
+                    &mut self.scratch,
+                );
             }
         }
         loads
     }
 }
 
-/// Adds `ds`'s cached per-matrix contributions into `loads` — the exact
-/// per-link add sequence the full calculator executes at `ds`'s position
-/// (each link receives at most one add per destination per matrix).
-fn add_contributions(loads: &mut [ClassLoads], ds: &DestState) {
-    for (j, contrib) in ds.contrib.iter().enumerate() {
-        if contrib.is_empty() {
+/// (Re)computes `contrib` — the sparse per-matrix contribution vectors
+/// of one destination's DAG — via a dense push into `dense` scratch.
+fn contributions_into(
+    flat: &FlatTopo,
+    matrices: &[&TrafficMatrix],
+    dag: &FlatDag,
+    t: u32,
+    node_flow: &mut Vec<f64>,
+    dense: &mut Vec<f64>,
+    contrib: &mut Vec<SparseLoads>,
+) {
+    contrib.resize_with(matrices.len(), SparseLoads::default);
+    for (j, m) in matrices.iter().enumerate() {
+        let sl = &mut contrib[j];
+        if m.demands_to(t as usize).next().is_none() {
+            sl.links.clear();
+            sl.vals.clear();
             continue;
         }
-        let agg = &mut loads[j];
-        for (a, c) in agg.iter_mut().zip(contrib) {
-            *a += c;
-        }
+        dense.resize(flat.link_count(), 0.0);
+        dense.fill(0.0);
+        push_demand_flat(flat, dag, m, t, node_flow, dense, None);
+        sl.compress_from(dense);
     }
 }
 
@@ -574,6 +677,28 @@ mod tests {
             let ev = state.eval_candidate(&cand, 4, false).unwrap();
             let full = calc.class_loads(&topo, &cand, &demands.low);
             assert_eq!(ev.loads[0], full);
+        }
+    }
+
+    #[test]
+    fn candidate_dags_match_full_compute() {
+        let (topo, demands) = instance(6);
+        let mut rng = StdRng::seed_from_u64(41);
+        let w = WeightVector::uniform(&topo, 4);
+        let mut state = FlowState::new(&topo, vec![&demands.high], w.clone());
+        for _ in 0..40 {
+            let mut cand = w.clone();
+            for _ in 0..rng.random_range(1usize..=2) {
+                let lid = LinkId(rng.random_range(0..topo.link_count() as u32));
+                cand.set(lid, rng.random_range(1u32..=30));
+            }
+            let ev = state.eval_candidate(&cand, 4, true).unwrap();
+            for (dest, dag) in &ev.dags {
+                let fresh = ShortestPathDag::compute(&topo, &cand, *dest);
+                assert_eq!(dag.dist, fresh.dist);
+                assert_eq!(dag.ecmp_out, fresh.ecmp_out);
+                assert_eq!(dag.order, fresh.order);
+            }
         }
     }
 

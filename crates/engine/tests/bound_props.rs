@@ -1,0 +1,86 @@
+//! Property tests for [`SharedBound`]'s bit-ordering boundary.
+//!
+//! The bound implements a wait-free `min` over `f64` costs by applying
+//! `AtomicU64::fetch_min` to raw bit patterns, which is only sound on
+//! the non-negative finite domain. `observe` guards that domain at the
+//! API boundary (clamping negatives and `-0.0`, ignoring NaN/±∞); these
+//! tests throw arbitrary doubles — including the adversarial encodings —
+//! at it and check the bound still behaves as an exact mathematical
+//! minimum of the admitted values.
+
+use dtr_engine::SharedBound;
+use proptest::prelude::*;
+
+/// What `observe` is documented to admit: negatives (and `-0.0`) clamp
+/// to `0.0`, non-finite values are dropped.
+fn admitted(x: f64) -> Option<f64> {
+    if !x.is_finite() {
+        None
+    } else if x <= 0.0 {
+        Some(0.0)
+    } else {
+        Some(x)
+    }
+}
+
+/// Finite values, signed zeros, signed infinities, and NaN — the
+/// special encodings drawn as often as the ordinary range, so they
+/// show up in most generated sequences.
+fn any_cost() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12f64..1e12f64,
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+proptest! {
+    /// After any observation sequence the bound equals the minimum of
+    /// the admitted (clamped, finite) values — or stays at `f64::MAX`
+    /// untouched — and is never NaN, negative, or `-0.0`.
+    #[test]
+    fn bound_is_exact_min_of_admitted_values(xs in proptest::collection::vec(any_cost(), 0..40)) {
+        let b = SharedBound::new();
+        for &x in &xs {
+            b.observe(x);
+        }
+        let expected = xs
+            .iter()
+            .filter_map(|&x| admitted(x))
+            .fold(f64::MAX, f64::min);
+        let got = b.primary();
+        prop_assert!(!got.is_nan());
+        prop_assert!(got.is_sign_positive(), "bound {got} must not be -0.0 or negative");
+        prop_assert_eq!(got.to_bits(), expected.to_bits());
+    }
+
+    /// The bound is monotone non-increasing under observation, and
+    /// `dominates` is consistent with `primary` at every step.
+    #[test]
+    fn bound_is_monotone(xs in proptest::collection::vec(any_cost(), 1..40)) {
+        let b = SharedBound::new();
+        let mut prev = b.primary();
+        for &x in &xs {
+            b.observe(x);
+            let cur = b.primary();
+            prop_assert!(cur <= prev, "bound rose from {prev} to {cur} on {x}");
+            prop_assert_eq!(b.dominates(prev + 1.0), cur < prev + 1.0);
+            prev = cur;
+        }
+    }
+
+    /// The bit-pattern trick itself: over the clamped domain, `fetch_min`
+    /// on bits agrees with `min` on values for every admitted pair.
+    #[test]
+    fn bits_order_like_values_on_admitted_domain(a in any_cost(), c in any_cost()) {
+        if let (Some(a), Some(c)) = (admitted(a), admitted(c)) {
+            prop_assert_eq!(a.to_bits() < c.to_bits(), a < c);
+            prop_assert_eq!(a.to_bits() == c.to_bits(), a == c);
+        }
+    }
+}

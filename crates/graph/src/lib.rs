@@ -34,6 +34,7 @@ pub mod export;
 pub mod families;
 pub mod gen;
 pub mod geo;
+pub mod rocketfuel;
 pub mod spf;
 pub mod topology;
 pub mod weights;
@@ -45,6 +46,7 @@ pub use datacenter::{
 pub use families::{
     grid_topology, hierarchical_topology, waxman_topology, GridCfg, HierarchicalCfg, WaxmanCfg,
 };
+pub use rocketfuel::{rocketfuel_topology, RocketfuelCfg};
 pub use spf::{ShortestPathDag, SpfTree, SpfWorkspace};
 pub use topology::{Link, LinkId, NodeId, Topology, TopologyBuilder, TopologyError};
 pub use weights::{Weight, WeightVector, MAX_WEIGHT, MIN_WEIGHT};

@@ -1,0 +1,250 @@
+//! Rocketfuel-style ISP backbone generator for the large regime
+//! (500–1500 nodes).
+//!
+//! The Rocketfuel measurement studies mapped real ISP backbones as a
+//! two-level structure: a modest number of PoPs (points of presence),
+//! each housing a couple of meshed backbone routers, joined by
+//! long-haul inter-PoP trunks, with the bulk of the router count being
+//! access routers dual-homed onto their PoP's backbone pair. This
+//! generator reproduces that shape deterministically:
+//!
+//! - PoPs are placed on a jittered unit circle; inter-PoP trunk delays
+//!   grow with chord length (rescaled into the paper's 1.2–15 ms
+//!   band), intra-PoP hops are 100 µs;
+//! - the PoP backbone is a ring (strong connectivity by construction)
+//!   plus seeded random long-haul chords for path diversity;
+//! - backbone routers within a PoP are fully meshed; every access
+//!   router is dual-homed onto two backbone routers of its PoP;
+//! - trunk and intra-PoP backbone links carry 10× the access capacity,
+//!   mirroring real oversubscription.
+//!
+//! Node ids are PoP-major: PoP `p` owns the contiguous block
+//! `p·(backbone+access) ..`, backbone routers first. Node and link
+//! counts are exact functions of the configuration
+//! ([`RocketfuelCfg::node_count`] / [`RocketfuelCfg::directed_link_count`]),
+//! unlike the rejection-sampling families — at 1000+ nodes a retry loop
+//! over O(n²) candidate pairs is what this generator exists to avoid:
+//! construction is O(nodes + links).
+
+use crate::gen::{DEFAULT_CAPACITY_MBPS, SYNTH_DELAY_MAX_S, SYNTH_DELAY_MIN_S};
+use crate::geo::rescale;
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Intra-PoP hop delay (backbone mesh and access homing links).
+const POP_LOCAL_DELAY_S: f64 = 100e-6;
+
+/// Trunk/backbone capacity multiple over access capacity.
+const BACKBONE_CAPACITY_FACTOR: f64 = 10.0;
+
+/// Parameters for [`rocketfuel_topology`]. Defaults build a
+/// 1200-router / 4600-directed-link backbone (60 PoPs × (2 backbone +
+/// 18 access)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocketfuelCfg {
+    /// Number of PoPs (≥ 3).
+    pub pops: usize,
+    /// Backbone routers per PoP (≥ 2; fully meshed within the PoP).
+    pub backbone_per_pop: usize,
+    /// Access routers per PoP (each dual-homed onto two backbone
+    /// routers of its PoP).
+    pub access_per_pop: usize,
+    /// Long-haul chords beyond the PoP ring (must leave the pair budget
+    /// `pops·(pops−3)/2` of non-ring PoP pairs unexhausted).
+    pub chords: usize,
+    /// RNG seed; generation is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for RocketfuelCfg {
+    fn default() -> Self {
+        RocketfuelCfg {
+            pops: 60,
+            backbone_per_pop: 2,
+            access_per_pop: 18,
+            chords: 20,
+            seed: 1,
+        }
+    }
+}
+
+impl RocketfuelCfg {
+    /// Exact node count of the generated topology.
+    pub fn node_count(&self) -> usize {
+        self.pops * (self.backbone_per_pop + self.access_per_pop)
+    }
+
+    /// Exact **directed** link count of the generated topology.
+    pub fn directed_link_count(&self) -> usize {
+        let bb = self.backbone_per_pop;
+        let mesh_pairs = self.pops * bb * (bb - 1) / 2;
+        let ring_pairs = self.pops;
+        let access_pairs = self.pops * self.access_per_pop * 2;
+        2 * (mesh_pairs + ring_pairs + self.chords + access_pairs)
+    }
+}
+
+/// Generates a Rocketfuel-style two-level ISP backbone (see module
+/// docs). Deterministic in `cfg.seed`; panics on invalid parameters.
+pub fn rocketfuel_topology(cfg: &RocketfuelCfg) -> Topology {
+    assert!(cfg.pops >= 3, "need at least 3 PoPs for a ring");
+    assert!(
+        cfg.backbone_per_pop >= 2,
+        "need ≥ 2 backbone routers per PoP for dual-homing"
+    );
+    let max_chords = cfg.pops * (cfg.pops.saturating_sub(3)) / 2;
+    assert!(
+        cfg.chords <= max_chords,
+        "chords ({}) exceed the {} non-ring PoP pairs",
+        cfg.chords,
+        max_chords
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let bb = cfg.backbone_per_pop;
+    let per_pop = bb + cfg.access_per_pop;
+    let backbone_cap = BACKBONE_CAPACITY_FACTOR * DEFAULT_CAPACITY_MBPS;
+
+    // PoP geography: a jittered circle, so ring neighbors are close and
+    // chord delays scale with how much of the backbone they span.
+    let pos: Vec<(f64, f64)> = (0..cfg.pops)
+        .map(|p| {
+            let theta: f64 = std::f64::consts::TAU * (p as f64 / cfg.pops as f64)
+                + rng.random_range(-0.3..0.3) / cfg.pops as f64;
+            (theta.cos(), theta.sin())
+        })
+        .collect();
+    let trunk_delay = |a: usize, b: usize| -> f64 {
+        let (dx, dy) = (pos[a].0 - pos[b].0, pos[a].1 - pos[b].1);
+        rescale(
+            (dx * dx + dy * dy).sqrt(),
+            0.0,
+            2.0,
+            SYNTH_DELAY_MIN_S,
+            SYNTH_DELAY_MAX_S,
+        )
+    };
+    let router = |pop: usize, idx: usize| NodeId((pop * per_pop + idx) as u32);
+
+    let mut b = TopologyBuilder::new();
+    b.add_nodes(cfg.pops * per_pop);
+
+    // Intra-PoP backbone mesh.
+    for p in 0..cfg.pops {
+        for i in 0..bb {
+            for j in (i + 1)..bb {
+                b.add_duplex(router(p, i), router(p, j), backbone_cap, POP_LOCAL_DELAY_S);
+            }
+        }
+    }
+
+    // PoP ring trunks, alternating which backbone router carries the
+    // trunk so both mesh members see long-haul traffic.
+    for p in 0..cfg.pops {
+        let q = (p + 1) % cfg.pops;
+        b.add_duplex(
+            router(p, p % bb),
+            router(q, q % bb),
+            backbone_cap,
+            trunk_delay(p, q),
+        );
+    }
+
+    // Long-haul chords: seeded distinct non-ring PoP pairs.
+    let mut used = std::collections::HashSet::new();
+    let mut placed = 0usize;
+    while placed < cfg.chords {
+        let x = rng.random_range(0..cfg.pops);
+        let y = rng.random_range(0..cfg.pops);
+        let (lo, hi) = (x.min(y), x.max(y));
+        let ring_adjacent = hi - lo == 1 || (lo == 0 && hi == cfg.pops - 1);
+        if x == y || ring_adjacent || !used.insert((lo, hi)) {
+            continue;
+        }
+        b.add_duplex(
+            router(x, rng.random_range(0..bb)),
+            router(y, rng.random_range(0..bb)),
+            backbone_cap,
+            trunk_delay(x, y),
+        );
+        placed += 1;
+    }
+
+    // Access routers, dual-homed onto two distinct backbone routers.
+    for p in 0..cfg.pops {
+        for a in 0..cfg.access_per_pop {
+            let access = router(p, bb + a);
+            let primary = rng.random_range(0..bb);
+            let secondary = (primary + 1 + rng.random_range(0..bb - 1)) % bb;
+            debug_assert_ne!(primary, secondary);
+            b.add_duplex(
+                access,
+                router(p, primary),
+                DEFAULT_CAPACITY_MBPS,
+                POP_LOCAL_DELAY_S,
+            );
+            b.add_duplex(
+                access,
+                router(p, secondary),
+                DEFAULT_CAPACITY_MBPS,
+                POP_LOCAL_DELAY_S,
+            );
+        }
+    }
+
+    b.build()
+        .expect("rocketfuel topologies are connected by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_counts_are_exact() {
+        let cfg = RocketfuelCfg::default();
+        let topo = rocketfuel_topology(&cfg);
+        assert_eq!(topo.node_count(), cfg.node_count());
+        assert_eq!(topo.node_count(), 1200);
+        assert_eq!(topo.link_count(), cfg.directed_link_count());
+        assert_eq!(topo.link_count(), 4600);
+    }
+
+    #[test]
+    fn small_instance_is_connected_and_duplex() {
+        let cfg = RocketfuelCfg {
+            pops: 5,
+            backbone_per_pop: 2,
+            access_per_pop: 3,
+            chords: 2,
+            seed: 7,
+        };
+        let topo = rocketfuel_topology(&cfg);
+        assert_eq!(topo.node_count(), cfg.node_count());
+        assert_eq!(topo.link_count(), cfg.directed_link_count());
+        for (lid, _) in topo.links() {
+            assert!(
+                topo.reverse_link(lid).is_some(),
+                "missing reverse of {lid:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let cfg = RocketfuelCfg {
+            pops: 8,
+            backbone_per_pop: 2,
+            access_per_pop: 4,
+            chords: 3,
+            seed: 42,
+        };
+        let a = rocketfuel_topology(&cfg);
+        let b = rocketfuel_topology(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        let la: Vec<_> = a.links().map(|(_, l)| (l.src, l.dst)).collect();
+        let lb: Vec<_> = b.links().map(|(_, l)| (l.src, l.dst)).collect();
+        assert_eq!(la, lb);
+    }
+}

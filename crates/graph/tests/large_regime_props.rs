@@ -1,0 +1,136 @@
+//! Structural property tests for the large-regime generators: the
+//! Rocketfuel-style ISP backbone and the 16-pod fat-tree instance the
+//! flat-memory engine is benchmarked on.
+//!
+//! The Rocketfuel generator promises *exact* node and directed-link
+//! counts as functions of its configuration (that is what makes it
+//! usable at 1000+ nodes without rejection sampling), full duplex
+//! symmetry, strong connectivity via the PoP ring, and byte-for-byte
+//! determinism under a fixed seed. Each promise is checked across the
+//! parameter space here, not just at the defaults.
+
+use dtr_graph::datacenter::{fat_tree_topology, FatTreeCfg};
+use dtr_graph::rocketfuel::{rocketfuel_topology, RocketfuelCfg};
+use dtr_graph::{NodeId, Topology};
+use proptest::prelude::*;
+
+/// Canonical fingerprint of a topology's link structure, including the
+/// delay/capacity attributes the seed determines.
+fn link_key(t: &Topology) -> Vec<(u32, u32, u64, u64)> {
+    t.links()
+        .map(|(_, l)| {
+            (
+                l.src.0,
+                l.dst.0,
+                l.capacity.to_bits(),
+                l.prop_delay.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Every directed link must have its duplex twin.
+fn assert_symmetric(t: &Topology) {
+    for (lid, _) in t.links() {
+        assert!(t.reverse_link(lid).is_some(), "missing twin of {lid}");
+    }
+}
+
+/// Forward BFS reachability from node 0; combined with duplex symmetry
+/// this is strong connectivity.
+fn assert_connected(t: &Topology) {
+    let mut seen = vec![false; t.node_count()];
+    let mut queue = vec![NodeId(0)];
+    seen[0] = true;
+    while let Some(v) = queue.pop() {
+        for &lid in t.out_links(v) {
+            let w = t.link(lid).dst;
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                queue.push(w);
+            }
+        }
+    }
+    let reached = seen.iter().filter(|&&s| s).count();
+    assert_eq!(reached, t.node_count(), "graph is not connected");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact counts, duplex symmetry and connectivity across the
+    /// Rocketfuel parameter space (chords clamped to the non-ring pair
+    /// budget the generator asserts on).
+    #[test]
+    fn rocketfuel_structure(
+        pops in 3usize..=20,
+        backbone_per_pop in 2usize..=4,
+        access_per_pop in 0usize..=6,
+        raw_chords in 0usize..=12,
+        seed in 0u64..1000,
+    ) {
+        let chords = raw_chords.min(pops * (pops - 3) / 2);
+        let cfg = RocketfuelCfg {
+            pops,
+            backbone_per_pop,
+            access_per_pop,
+            chords,
+            seed,
+        };
+        let t = rocketfuel_topology(&cfg);
+        prop_assert_eq!(t.node_count(), cfg.node_count());
+        prop_assert_eq!(t.link_count(), cfg.directed_link_count());
+        assert_symmetric(&t);
+        assert_connected(&t);
+        // Access routers are exactly dual-homed: degree 4 (two duplex
+        // uplinks), and only onto backbone routers of their own PoP.
+        let per_pop = backbone_per_pop + access_per_pop;
+        for v in t.nodes() {
+            let (pop, idx) = (v.index() / per_pop, v.index() % per_pop);
+            if idx >= backbone_per_pop {
+                prop_assert_eq!(t.degree(v), 4, "access router {} degree", v);
+                for &lid in t.out_links(v) {
+                    let u = t.link(lid).dst;
+                    prop_assert_eq!(u.index() / per_pop, pop, "uplink leaves the PoP");
+                    prop_assert!(u.index() % per_pop < backbone_per_pop, "uplink not to backbone");
+                }
+            }
+        }
+    }
+
+    /// Same seed → byte-identical wiring, capacities and delays; the
+    /// counts are seed-independent.
+    #[test]
+    fn rocketfuel_seed_determinism(seed in proptest::prelude::any::<u64>()) {
+        let cfg = RocketfuelCfg {
+            pops: 10,
+            backbone_per_pop: 2,
+            access_per_pop: 4,
+            chords: 6,
+            seed,
+        };
+        let a = rocketfuel_topology(&cfg);
+        let b = rocketfuel_topology(&cfg);
+        prop_assert_eq!(link_key(&a), link_key(&b));
+        let other = rocketfuel_topology(&RocketfuelCfg {
+            seed: seed.wrapping_add(1),
+            ..cfg
+        });
+        prop_assert_eq!(other.node_count(), a.node_count());
+        prop_assert_eq!(other.link_count(), a.link_count());
+    }
+}
+
+/// The benchmark instance itself: 16 pods → 320 switches / 4096
+/// directed links, symmetric, connected, and (being purely structural)
+/// identical across builds.
+#[test]
+fn fattree16_structure_and_determinism() {
+    let t = fat_tree_topology(&FatTreeCfg { pods: 16 });
+    assert_eq!(t.node_count(), 320);
+    assert_eq!(t.link_count(), 4096);
+    assert_symmetric(&t);
+    assert_connected(&t);
+    let again = fat_tree_topology(&FatTreeCfg { pods: 16 });
+    assert_eq!(link_key(&t), link_key(&again));
+}

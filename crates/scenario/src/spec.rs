@@ -26,6 +26,7 @@ use dtr_graph::families::{
 use dtr_graph::gen::{
     isp_topology, power_law_topology, random_topology, PowerLawTopologyCfg, RandomTopologyCfg,
 };
+use dtr_graph::rocketfuel::{rocketfuel_topology, RocketfuelCfg};
 use dtr_graph::Topology;
 use dtr_routing::FailurePolicy;
 use dtr_traffic::{family_demands, DemandSet, FamilyTrafficCfg, HighPriModel, TrafficFamily};
@@ -116,6 +117,19 @@ pub enum TopologySpec {
         /// Generator seed.
         seed: u64,
     },
+    /// Rocketfuel-style two-level ISP backbone (large regime).
+    Rocketfuel {
+        /// PoP count (≥ 3).
+        pops: usize,
+        /// Backbone routers per PoP (≥ 2).
+        backbone_per_pop: usize,
+        /// Access routers per PoP.
+        access_per_pop: usize,
+        /// Long-haul chords beyond the PoP ring.
+        chords: usize,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl TopologySpec {
@@ -132,6 +146,7 @@ impl TopologySpec {
             TopologySpec::Vl2 { .. } => "vl2",
             TopologySpec::Jellyfish { .. } => "jellyfish",
             TopologySpec::Xpander { .. } => "xpander",
+            TopologySpec::Rocketfuel { .. } => "rocketfuel",
         }
     }
 
@@ -154,6 +169,12 @@ impl TopologySpec {
             TopologySpec::Vl2 { da, di } => da / 2 + di + da * di / 4,
             TopologySpec::Jellyfish { switches, .. } => switches,
             TopologySpec::Xpander { degree, lifts, .. } => (degree + 1) << lifts,
+            TopologySpec::Rocketfuel {
+                pops,
+                backbone_per_pop,
+                access_per_pop,
+                ..
+            } => pops * (backbone_per_pop + access_per_pop),
         }
     }
 
@@ -247,6 +268,26 @@ impl TopologySpec {
                     ));
                 }
             }
+            TopologySpec::Rocketfuel {
+                pops,
+                backbone_per_pop,
+                chords,
+                ..
+            } => {
+                if pops < 3 || backbone_per_pop < 2 {
+                    return Err(format!(
+                        "Rocketfuel needs pops ≥ 3 and backbone_per_pop ≥ 2, \
+                         got {pops}/{backbone_per_pop}"
+                    ));
+                }
+                let max_chords = pops * (pops - 3) / 2;
+                if chords > max_chords {
+                    return Err(format!(
+                        "Rocketfuel chords ({chords}) exceed the {max_chords} non-ring \
+                         PoP pairs of a {pops}-PoP ring"
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -318,6 +359,19 @@ impl TopologySpec {
             } => xpander_topology(&XpanderCfg {
                 degree,
                 lifts,
+                seed,
+            }),
+            TopologySpec::Rocketfuel {
+                pops,
+                backbone_per_pop,
+                access_per_pop,
+                chords,
+                seed,
+            } => rocketfuel_topology(&RocketfuelCfg {
+                pops,
+                backbone_per_pop,
+                access_per_pop,
+                chords,
                 seed,
             }),
         }
