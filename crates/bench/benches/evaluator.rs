@@ -36,7 +36,7 @@ fn bench_eval(c: &mut Criterion) {
         g.bench_function(format!("high_only_incremental/{name}"), |b| {
             b.iter(|| {
                 let high = ev.eval_high_side(&w.high);
-                black_box(ev.finish(high, low_loads.clone()))
+                black_box(ev.finish(high, low_loads.clone()).unwrap())
             })
         });
 
@@ -45,7 +45,7 @@ fn bench_eval(c: &mut Criterion) {
         g.bench_function(format!("low_only_incremental/{name}"), |b| {
             b.iter(|| {
                 let low = ev.low_loads(&w.low);
-                black_box(ev.finish(high.clone(), low))
+                black_box(ev.finish(high.clone(), low).unwrap())
             })
         });
     }

@@ -1,5 +1,7 @@
-//! Minimal `--flag value` argument parsing.
+//! Minimal `--flag value` argument parsing, plus the one shared parser
+//! for the unified objective flag pair (`--objective`/`--classes`).
 
+use dtr_core::{ObjectiveSpec, SlaParams};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -44,6 +46,21 @@ pub enum ArgError {
     },
     /// A required flag is absent.
     MissingFlag(String),
+    /// A flag parsed but its value is outside the supported range or
+    /// shape.
+    Invalid {
+        /// The flag name (with `--`).
+        flag: String,
+        /// Why the value is unusable.
+        reason: String,
+    },
+    /// Two flags that contradict each other.
+    Conflict {
+        /// The offending combination, e.g. `--objective load --sla-bound-ms`.
+        flags: String,
+        /// Why they cannot be combined.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ArgError {
@@ -61,6 +78,12 @@ impl fmt::Display for ArgError {
                 write!(f, "could not parse value {value:?} for {flag}")
             }
             ArgError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
+            ArgError::Invalid { flag, reason } => {
+                write!(f, "invalid value for {flag}: {reason}")
+            }
+            ArgError::Conflict { flags, reason } => {
+                write!(f, "conflicting flags {flags}: {reason}")
+            }
         }
     }
 }
@@ -131,6 +154,96 @@ impl Args {
             }),
         }
     }
+}
+
+/// Parses the unified objective flag pair shared by `optimize`,
+/// `evaluate`, `reopt`, `robust`, `suite`, `validate` and `replay`:
+///
+/// - `--objective load|sla[:BOUND_MS]` — the per-class cost mode.
+///   `sla` defaults to the paper's 25 ms bound; `sla:40` sets 40 ms.
+/// - `--classes K` — class count (default 2). `K ≥ 3` builds a k-class
+///   spec: a load cascade under `load`, or `K − 1` identical SLA tiers
+///   over a load-based base under `sla` ([`ObjectiveSpec::uniform_sla`]).
+/// - `--sla-bound-ms MS` — the legacy bound spelling, equivalent to
+///   `--objective sla:MS`.
+///
+/// Contradictory combinations are hard errors rather than silent
+/// precedence: an inline bound together with `--sla-bound-ms`, a bound
+/// in either spelling under `--objective load`, a `load:<x>` suffix,
+/// and class counts outside the spec layer's supported range.
+pub fn parse_objective_spec(args: &Args) -> Result<ObjectiveSpec, ArgError> {
+    let classes: usize = args.get_or("classes", 2usize)?;
+    let legacy_ms: Option<f64> = match args.get("sla-bound-ms") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
+            flag: "--sla-bound-ms".to_string(),
+            value: v.to_string(),
+        })?),
+    };
+    let objective = args.get("objective").unwrap_or("load");
+    let (kind, inline_bound) = match objective.split_once(':') {
+        Some((kind, bound)) => (kind, Some(bound)),
+        None => (objective, None),
+    };
+    let spec = match kind {
+        "load" => {
+            if inline_bound.is_some() {
+                return Err(ArgError::Invalid {
+                    flag: "--objective".to_string(),
+                    reason: format!(
+                        "\"{objective}\" — only the SLA mode takes a bound (sla:BOUND_MS)"
+                    ),
+                });
+            }
+            if legacy_ms.is_some() {
+                return Err(ArgError::Conflict {
+                    flags: "--objective load --sla-bound-ms".to_string(),
+                    reason: "an SLA bound is meaningless under the load objective".to_string(),
+                });
+            }
+            ObjectiveSpec::load(classes)
+        }
+        "sla" => {
+            let bound_ms = match (inline_bound, legacy_ms) {
+                (Some(_), Some(_)) => {
+                    return Err(ArgError::Conflict {
+                        flags: format!("--objective {objective} --sla-bound-ms"),
+                        reason: "the SLA bound is given twice; use one spelling".to_string(),
+                    })
+                }
+                (Some(inline), None) => inline.parse().map_err(|_| ArgError::BadValue {
+                    flag: "--objective".to_string(),
+                    value: objective.to_string(),
+                })?,
+                (None, Some(ms)) => ms,
+                (None, None) => SlaParams::default().bound_s * 1e3,
+            };
+            if !(bound_ms.is_finite() && bound_ms > 0.0) {
+                return Err(ArgError::Invalid {
+                    flag: "--objective".to_string(),
+                    reason: format!("SLA bound {bound_ms} ms — need a positive finite bound"),
+                });
+            }
+            ObjectiveSpec::uniform_sla(
+                classes,
+                SlaParams {
+                    bound_s: bound_ms * 1e-3,
+                    ..SlaParams::default()
+                },
+            )
+        }
+        other => {
+            return Err(ArgError::Invalid {
+                flag: "--objective".to_string(),
+                reason: format!("unknown mode \"{other}\" (expected load or sla[:BOUND_MS])"),
+            })
+        }
+    };
+    spec.validate().map_err(|e| ArgError::Invalid {
+        flag: "--classes".to_string(),
+        reason: e.to_string(),
+    })?;
+    Ok(spec)
 }
 
 #[cfg(test)]
@@ -228,5 +341,64 @@ mod tests {
     #[test]
     fn empty_is_missing_command() {
         assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+    }
+
+    fn objective(s: &str) -> Result<ObjectiveSpec, ArgError> {
+        parse_objective_spec(&parse(&format!("optimize {s}")).unwrap())
+    }
+
+    #[test]
+    fn objective_flags_build_the_expected_specs() {
+        assert_eq!(objective("").unwrap(), ObjectiveSpec::two_class_load());
+        assert_eq!(objective("--classes 3").unwrap(), ObjectiveSpec::load(3));
+        // The three bound spellings agree.
+        let sla25 = objective("--objective sla").unwrap();
+        assert_eq!(objective("--objective sla:25").unwrap(), sla25);
+        assert_eq!(
+            objective("--objective sla --sla-bound-ms 25").unwrap(),
+            sla25
+        );
+        assert_eq!(sla25.summary(), "sla:25ms,load");
+        // k-class SLA: uniform tiers over a load base.
+        let spec = objective("--objective sla:40 --classes 4").unwrap();
+        assert_eq!(spec.summary(), "sla:40ms,sla:40ms,sla:40ms,load");
+    }
+
+    #[test]
+    fn contradictory_objective_combos_are_rejected() {
+        // Bound under the load objective, in either spelling.
+        assert!(matches!(
+            objective("--objective load --sla-bound-ms 10"),
+            Err(ArgError::Conflict { .. })
+        ));
+        assert!(matches!(
+            objective("--objective load:10"),
+            Err(ArgError::Invalid { .. })
+        ));
+        // Bound given twice.
+        let e = objective("--objective sla:30 --sla-bound-ms 10").unwrap_err();
+        assert!(matches!(e, ArgError::Conflict { .. }));
+        assert!(e.to_string().contains("twice"), "{e}");
+        // Unknown mode and malformed bounds.
+        assert!(matches!(
+            objective("--objective latency"),
+            Err(ArgError::Invalid { .. })
+        ));
+        assert!(matches!(
+            objective("--objective sla:abc"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            objective("--objective sla:-3"),
+            Err(ArgError::Invalid { .. })
+        ));
+        // Class counts outside the spec layer's range name --classes.
+        for combo in ["--classes 1", "--classes 9"] {
+            let e = objective(combo).unwrap_err();
+            assert!(
+                matches!(&e, ArgError::Invalid { flag, .. } if flag == "--classes"),
+                "{combo}: {e:?}"
+            );
+        }
     }
 }

@@ -4,7 +4,7 @@ use crate::args::{ArgError, Args};
 use dtr_core::{
     parse_portfolio, AnnealSearch, DtrSearch, DualWeights, GaSearch, MemeticSearch, Objective,
     PortfolioMode, PortfolioParams, PortfolioResult, PortfolioSearch, ReoptSearch, RobustSearch,
-    ScenarioCombine, Scheme, SearchParams, SlaParams, StrSearch, StrategyKind,
+    ScenarioCombine, Scheme, SearchParams, StrSearch, StrategyKind,
 };
 use dtr_graph::datacenter::{
     fat_tree_topology, jellyfish_topology, vl2_topology, xpander_topology, FatTreeCfg,
@@ -177,21 +177,48 @@ fn print_portfolio(res: &PortfolioResult, elapsed_s: f64) {
     );
 }
 
+/// The shared `--objective`/`--classes` flag pair, restricted to the
+/// two-class commands (`optimize`, `evaluate`, `reopt`, `robust`,
+/// `replay`): their inputs are two-class traffic matrices, so a `k ≥ 3`
+/// spec is rejected with a pointer at the corpus pipelines that do
+/// support it.
 fn parse_objective(args: &Args) -> Result<Objective, CliError> {
-    match args.get("objective").unwrap_or("load") {
-        "load" => Ok(Objective::LoadBased),
-        "sla" => {
-            let bound_ms: f64 = args.get_or("sla-bound-ms", 25.0)?;
-            Ok(Objective::SlaBased(SlaParams {
-                bound_s: bound_ms * 1e-3,
-                ..SlaParams::default()
-            }))
-        }
-        other => Err(CliError::UnknownVariant {
-            what: "objective",
-            value: other.to_string(),
-        }),
+    let spec = crate::args::parse_objective_spec(args)?;
+    spec.as_two_class().ok_or_else(|| CliError::UnknownVariant {
+        what: "objective for a two-class command (k-class objectives run \
+               through the corpus pipelines: dtrctl suite/validate)",
+        value: spec.summary(),
+    })
+}
+
+/// Applies the `--objective`/`--classes` override to the selected corpus
+/// manifests (`suite`/`validate`): when either flag is present, the
+/// selection is narrowed first, every selected manifest's objective is
+/// replaced, and the result re-validated — so objective sweeps never
+/// need manifest edits, and an override a given instance cannot carry
+/// (e.g. `k ≥ 3` on a non-gravity family) fails fast with the
+/// instance's name.
+fn apply_objective_override(
+    args: &Args,
+    specs: Vec<dtr_scenario::ScenarioSpec>,
+    cfg: &dtr_scenario::SuiteCfg,
+) -> Result<Vec<dtr_scenario::ScenarioSpec>, CliError> {
+    if args.get("objective").is_none() && args.get("classes").is_none() {
+        return Ok(specs);
     }
+    let objective = crate::args::parse_objective_spec(args)?;
+    let mut selected: Vec<dtr_scenario::ScenarioSpec> = dtr_scenario::select(&specs, cfg)
+        .into_iter()
+        .cloned()
+        .collect();
+    for spec in &mut selected {
+        spec.objective = Some(objective.clone());
+        spec.validate().map_err(|e| CliError::UnknownVariant {
+            what: "objective override (incompatible instance; narrow with --only)",
+            value: format!("{}: {e}", spec.name),
+        })?;
+    }
+    Ok(selected)
 }
 
 /// Executes one parsed command line. Returns the text that `main` should
@@ -238,7 +265,7 @@ USAGE:
          --out tm.json
   dtrctl optimize --topo topo.json --traffic tm.json
          [--scheme str|dtr|ga|memetic|anneal-str|anneal-dtr]
-         [--objective load|sla] [--sla-bound-ms 25]
+         [--objective load|sla[:BOUND_MS]] [--sla-bound-ms 25] [--classes 2]
          [--budget tiny|quick|experiment|paper] [--seed S]
          [--backend incremental|full]
          [--workers N] [--portfolio descent,anneal,ga,memetic]
@@ -263,7 +290,7 @@ USAGE:
           --robust runs non-descent arms warm-start a failure-aware
           descent from their nominal optimum)
   dtrctl evaluate --topo topo.json --traffic tm.json --weights weights.json
-         [--objective load|sla]
+         [--objective load|sla[:BOUND_MS]]
   dtrctl simulate --topo topo.json --traffic tm.json --weights weights.json
          [--duration 2.0] [--warmup 0.5] [--seed S]
   dtrctl deploy --topo topo.json --weights weights.json [--fail-link ID]
@@ -285,15 +312,20 @@ USAGE:
           N worst scenarios of the initial solution — an approximation;
           the dropped pairs are reported)
   dtrctl suite [--corpus corpus] [--out suite-out] [--smoke] [--only A,B]
+         [--objective load|sla[:BOUND_MS]] [--classes K]
          (runs the scenario corpus end-to-end: per instance an STR
           baseline and a DTR search at identical budgets plus the
           manifest's failure-policy robustness evaluation; writes one
           JSON report per instance and summary.json into --out. --smoke
           restricts to the tiny smoke-tagged instances and asserts
           result shapes — the CI gate. --only takes a comma-separated
-          list of name substrings; an instance runs if it matches any)
+          list of name substrings; an instance runs if it matches any.
+          --objective/--classes override the selected manifests'
+          objective — k >= 3 needs gravity-family instances without
+          failure policies, so narrow with --only when overriding)
   dtrctl validate [--corpus corpus] [--out validate-out] [--smoke]
          [--only A,B] [--des-packets N]
+         [--objective load|sla[:BOUND_MS]] [--classes K]
          (corpus-scale sim-vs-analytic differential validation: per
           instance, reruns the suite searches and pushes both incumbents
           through (a) the analytic evaluator, (b) the deterministic
@@ -315,6 +347,8 @@ USAGE:
          [--budget tiny|quick|experiment|paper] [--seed S]
          [--backend incremental|full] [--changes H]
          [--min-gain-per-churn F] [--weights initial.json] [--smoke]
+         [--objective load|sla[:BOUND_MS]]   (sla needs a demand-only
+          trace: the daemon's masked evaluation is load-only)
          (drives the dtrd reoptimization daemon through a churn trace
           end to end over the line protocol; writes events.jsonl (one
           reply per event), report.json (deterministic summary incl.
@@ -891,6 +925,7 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
     };
     let specs = load_corpus(Path::new(corpus_dir))
         .map_err(|e| CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    let specs = apply_objective_override(args, specs, &cfg)?;
     if select(&specs, &cfg).is_empty() {
         return Err(CliError::UnknownVariant {
             what: "suite selection (no corpus instance matches --smoke/--only)",
@@ -956,6 +991,7 @@ fn cmd_validate(args: &Args) -> Result<(), CliError> {
     };
     let specs = load_corpus(Path::new(corpus_dir))
         .map_err(|e| CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    let specs = apply_objective_override(args, specs, &cfg.suite_cfg())?;
     if select(&specs, &cfg.suite_cfg()).is_empty() {
         return Err(CliError::UnknownVariant {
             what: "validate selection (no corpus instance matches --smoke/--only)",
@@ -1182,6 +1218,33 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         None => return Err(CliError::Args(ArgError::MissingFlag("--trace".into()))),
     };
     let trace: ChurnTrace = load(trace_path)?;
+    let objective = parse_objective(args)?;
+    if matches!(objective, Objective::SlaBased(_)) {
+        // Masked evaluation is load-only, so an SLA replay of a trace
+        // with link-failure events would only collect per-event protocol
+        // errors — reject the combination up front instead.
+        use dtr_scenario::ChurnAction;
+        let link_events = trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.action,
+                    ChurnAction::LinkDown { .. }
+                        | ChurnAction::LinkUp { .. }
+                        | ChurnAction::WhatIfLinkDown { .. }
+                )
+            })
+            .count();
+        if link_events > 0 {
+            return Err(CliError::UnknownVariant {
+                what: "objective for a trace with link-failure events \
+                       (masked evaluation is load-only; regenerate the \
+                       trace with --flap-rate 0 --whatif-rate 0)",
+                value: format!("sla ({link_events} link events in {})", trace.name),
+            });
+        }
+    }
     let defaults = DaemonCfg::default();
     let cfg = DaemonCfg {
         // Daemons answer per event, so the budget defaults to the
@@ -1189,6 +1252,7 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         params: parse_budget_with(args, "tiny")?,
         changes_per_event: args.get_or("changes", defaults.changes_per_event)?,
         min_gain_per_churn: args.get_or("min-gain-per-churn", defaults.min_gain_per_churn)?,
+        objective,
     };
     let initial: Option<DualWeights> = match args.get("weights") {
         Some(p) => Some(load(p)?),
@@ -1811,6 +1875,57 @@ mod tests {
     fn help_runs() {
         run(&args("help")).unwrap();
         assert!(help_text().contains("optimize"));
+    }
+
+    #[test]
+    fn two_class_commands_reject_k_class_objectives_with_a_pointer() {
+        // The parser accepts --classes 3, but optimize/evaluate/reopt
+        // read two-class matrices: the error must name the corpus
+        // pipelines that do support k-class specs.
+        let e = parse_objective(&args("optimize --objective sla --classes 3")).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("suite/validate"), "{msg}");
+        assert!(msg.contains("sla:25ms,sla:25ms,load"), "{msg}");
+        // Contradictory flag pairs surface the args-layer conflicts.
+        assert!(matches!(
+            parse_objective(&args("optimize --objective load --sla-bound-ms 10")),
+            Err(CliError::Args(ArgError::Conflict { .. }))
+        ));
+        // The inline-bound spelling reaches the legacy enum unchanged.
+        match parse_objective(&args("optimize --objective sla:40")).unwrap() {
+            Objective::SlaBased(p) => assert!((p.bound_s - 0.040).abs() < 1e-12),
+            other => panic!("expected SlaBased, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_override_rejects_incompatible_instances_by_name() {
+        // vl2-hotspot is not gravity-family, so a 3-class override must
+        // fail fast and name the instance.
+        let corpus = format!("{}/../../corpus", env!("CARGO_MANIFEST_DIR"));
+        let out = tmp("suite-override-err");
+        let e = run(&args(&format!(
+            "suite --corpus {corpus} --smoke --only vl2 --classes 3 --out {out}"
+        )))
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("vl2-hotspot"), "{msg}");
+        assert!(msg.contains("--only"), "{msg}");
+    }
+
+    #[test]
+    fn replay_rejects_sla_on_traces_with_link_events() {
+        // The checked-in smoke trace contains link flaps; an SLA replay
+        // would only collect protocol errors, so the combo is rejected
+        // with the regeneration hint.
+        let trace_p = format!("{}/../../traces/smoke.json", env!("CARGO_MANIFEST_DIR"));
+        let e = run(&args(&format!(
+            "replay --trace {trace_p} --objective sla --out /tmp/replay-sla-err"
+        )))
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("link-failure events"), "{msg}");
+        assert!(msg.contains("--flap-rate 0"), "{msg}");
     }
 
     #[test]

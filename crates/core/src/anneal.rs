@@ -218,7 +218,10 @@ impl<'a> AnnealSearch<'a> {
                     .evaluator
                     .high_side_from_loads(pe.high_loads.clone(), &w.high);
                 let low = self.evaluator.low_loads(&w.low);
-                return self.evaluator.finish(high, low);
+                return self
+                    .evaluator
+                    .finish(high, low)
+                    .expect("high side built by this evaluator carries the SLA walk");
             }
         }
         match self.mode {

@@ -59,7 +59,10 @@ impl State {
         engine.rebase_low(&w.low);
         let high = engine.eval_high(&w.high);
         let low_loads = engine.eval_low(&w.low);
-        let eval = engine.evaluator().finish(high.clone(), low_loads.clone());
+        let eval = engine
+            .evaluator()
+            .finish(high.clone(), low_loads.clone())
+            .expect("engine high sides carry the SLA walk");
         State {
             w,
             high,
@@ -269,7 +272,8 @@ impl<'a> DtrSearch<'a> {
             let eval = self
                 .engine
                 .evaluator()
-                .finish(high.clone(), state.low_loads.clone());
+                .finish(high.clone(), state.low_loads.clone())
+                .expect("engine high sides carry the SLA walk");
             trace.evaluations += 1;
             if best.as_ref().is_none_or(|(b, _, _)| eval.cost < b.cost) {
                 best = Some((eval, high, wh));
@@ -318,7 +322,8 @@ impl<'a> DtrSearch<'a> {
             let eval = self
                 .engine
                 .evaluator()
-                .finish(state.high.clone(), low_loads.clone());
+                .finish(state.high.clone(), low_loads.clone())
+                .expect("engine high sides carry the SLA walk");
             trace.evaluations += 1;
             if best.as_ref().is_none_or(|(b, _, _)| eval.cost < b.cost) {
                 best = Some((eval, low_loads, wl));

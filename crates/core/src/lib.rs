@@ -87,7 +87,7 @@ pub use telemetry::SearchTrace;
 
 // Re-export the types a downstream user needs to drive a search without
 // depending on every substrate crate explicitly.
-pub use dtr_cost::{Lex2, Objective, SlaParams};
+pub use dtr_cost::{Lex2, LexCost, Objective, ObjectiveError, ObjectiveSpec, SlaParams};
 pub use dtr_engine::{BackendKind, BatchEvaluator, EvalBackend, SharedBound};
 pub use dtr_graph::weights::DualWeights;
 pub use dtr_graph::{Topology, WeightVector};

@@ -80,6 +80,99 @@ impl fmt::Display for Lex2 {
     }
 }
 
+/// A lexicographically ordered k-component cost vector; component 0 is
+/// the highest priority. This is the k-class generalization of [`Lex2`]:
+/// `dtr-multi`'s `LexK` is an alias of this type, and a two-component
+/// `LexCost` orders exactly like the `Lex2` built from the same values.
+/// Comparisons require equal lengths (same class count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LexCost(Vec<f64>);
+
+impl LexCost {
+    /// Wraps components (must all be finite).
+    pub fn new(components: Vec<f64>) -> Self {
+        debug_assert!(components.iter().all(|c| c.is_finite()));
+        LexCost(components)
+    }
+
+    /// Builds the two-component cost matching `Lex2::new(p, s)`.
+    pub fn two(primary: f64, secondary: f64) -> Self {
+        LexCost::new(vec![primary, secondary])
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty tuple (no classes).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Component for class `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// A tuple of `len` `f64::MAX` components — worse than any real cost.
+    pub fn worst(len: usize) -> Self {
+        LexCost(vec![f64::MAX; len])
+    }
+
+    /// The two-class view `⟨component 0, Σ components 1..⟩` used when a
+    /// k-class cost has to be reported through a two-tuple interface.
+    pub fn two_view(&self) -> Lex2 {
+        let rest = self.0[1..].iter().sum();
+        Lex2::new(self.0[0], rest)
+    }
+}
+
+impl From<Lex2> for LexCost {
+    fn from(l: Lex2) -> Self {
+        LexCost::two(l.primary, l.secondary)
+    }
+}
+
+impl Eq for LexCost {}
+
+impl PartialOrd for LexCost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LexCost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        assert_eq!(self.0.len(), other.0.len(), "class-count mismatch");
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.total_cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for LexCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.3}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +235,38 @@ mod tests {
         let a = Lex2::new(-0.0, 0.0);
         let b = Lex2::new(0.0, 0.0);
         assert!(a <= b);
+    }
+
+    #[test]
+    fn lexcost_orders_like_lex2_for_two_components() {
+        let pairs = [(0.0, 0.0), (0.0, 1.0), (1.0, -5.0), (1.0, 0.0), (2.0, 3.0)];
+        for &(a1, a2) in &pairs {
+            for &(b1, b2) in &pairs {
+                let lex2 = Lex2::new(a1, a2).cmp(&Lex2::new(b1, b2));
+                let lexk = LexCost::two(a1, a2).cmp(&LexCost::two(b1, b2));
+                assert_eq!(lex2, lexk, "({a1},{a2}) vs ({b1},{b2})");
+            }
+        }
+    }
+
+    #[test]
+    fn lexcost_earlier_components_dominate() {
+        let a = LexCost::new(vec![1.0, 99.0, 99.0]);
+        let b = LexCost::new(vec![2.0, 0.0, 0.0]);
+        assert!(a < b);
+        assert!(LexCost::new(vec![1e308, 1e308]) < LexCost::worst(2));
+    }
+
+    #[test]
+    fn lexcost_two_view_folds_the_tail() {
+        let c = LexCost::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(c.two_view(), Lex2::new(3.0, 3.0));
+        assert_eq!(LexCost::from(Lex2::new(5.0, 7.0)).as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn lexcost_length_mismatch_panics() {
+        let _ = LexCost::new(vec![1.0]) < LexCost::new(vec![1.0, 2.0]);
     }
 }

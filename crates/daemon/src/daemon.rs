@@ -26,9 +26,7 @@ use dtr_mtr::deployment_cost;
 use dtr_routing::{strongly_connected_under, Evaluation, Evaluator, LoadCalculator};
 use dtr_traffic::DemandSet;
 
-/// Daemon configuration. The objective is fixed to
-/// [`Objective::LoadBased`] — masked evaluation (re-optimizing while
-/// links are down) is only defined for the load objective.
+/// Daemon configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DaemonCfg {
     /// Search parameters for the per-event reoptimization (`seed`
@@ -40,6 +38,16 @@ pub struct DaemonCfg {
     /// Minimum `(Φ_H + Φ_L)` gain per flooded LSA message a candidate
     /// must offer to be deployed. `0.0` accepts every improvement.
     pub min_gain_per_churn: f64,
+    /// The two-class objective every search and evaluation runs under.
+    /// Masked evaluation (re-optimizing while links are down) is only
+    /// defined for [`Objective::LoadBased`], so under
+    /// [`Objective::SlaBased`] the daemon answers link-failure events
+    /// and probes with a protocol `Error` instead of wrong numbers;
+    /// demand updates and weight what-ifs work under both. The churn
+    /// gate (`min_gain_per_churn`) always meters the `(Φ_H + Φ_L)` gain
+    /// — under the SLA objective the *acceptance* test still compares
+    /// the lexicographic `⟨Λ, Φ_L⟩` cost.
+    pub objective: Objective,
 }
 
 impl Default for DaemonCfg {
@@ -48,6 +56,7 @@ impl Default for DaemonCfg {
             params: SearchParams::tiny(),
             changes_per_event: 4,
             min_gain_per_churn: 0.0,
+            objective: Objective::LoadBased,
         }
     }
 }
@@ -81,13 +90,13 @@ impl Daemon {
     ) -> Self {
         cfg.params.validate();
         let incumbent = incumbent.unwrap_or_else(|| {
-            dtr_core::DtrSearch::new(&topo, &demands, Objective::LoadBased, cfg.params)
+            dtr_core::DtrSearch::new(&topo, &demands, cfg.objective, cfg.params)
                 .run()
                 .weights
         });
         assert_eq!(incumbent.high.len(), topo.link_count());
         let link_up = vec![true; topo.link_count()];
-        let session = ReoptSession::new(incumbent, Objective::LoadBased, cfg.params, Scheme::Dtr);
+        let session = ReoptSession::new(incumbent, cfg.objective, cfg.params, Scheme::Dtr);
         Daemon {
             topo,
             demands,
@@ -145,17 +154,36 @@ impl Daemon {
     }
 
     /// Evaluates `w` on the current demands under the current mask.
+    /// The masked branch is only reachable under the load objective —
+    /// link-failure events are refused up front under the SLA objective
+    /// (see [`DaemonCfg::objective`]), so the mask never fills in.
     fn eval_under_mask(&self, w: &DualWeights) -> Evaluation {
-        let mut ev = Evaluator::new(&self.topo, &self.demands, Objective::LoadBased);
+        let mut ev = Evaluator::new(&self.topo, &self.demands, self.cfg.objective);
         if self.links_down() == 0 {
             ev.eval_dual(w)
         } else {
+            debug_assert!(
+                matches!(self.cfg.objective, Objective::LoadBased),
+                "links can only be down under the load objective"
+            );
             let mut calc = LoadCalculator::new();
             let hl =
                 calc.class_loads_masked(&self.topo, &w.high, &self.link_up, &self.demands.high);
             let ll = calc.class_loads_masked(&self.topo, &w.low, &self.link_up, &self.demands.low);
             ev.assemble(hl, ll, &w.high)
         }
+    }
+
+    /// The clear protocol error for link-failure events and probes under
+    /// the SLA objective (`None` under the load objective, where masks
+    /// are supported). See [`DaemonCfg::objective`].
+    fn reject_mask_under_sla(&self) -> Option<String> {
+        matches!(self.cfg.objective, Objective::SlaBased(_)).then(|| {
+            "link-failure events are not supported under the SLA objective: \
+             masked evaluation is only defined for the load-based cost \
+             (run the daemon with --objective load to manage failures)"
+                .to_string()
+        })
     }
 
     fn pair(&self, link: u32) -> Result<(LinkId, LinkId), String> {
@@ -295,6 +323,9 @@ impl Daemon {
             }
             Request::LinkDown { link } => {
                 let label = format!("link_down({link})");
+                if let Some(message) = self.reject_mask_under_sla() {
+                    return Reply::Error { message };
+                }
                 let (lid, twin) = match self.pair(link) {
                     Ok(p) => p,
                     Err(message) => return Reply::Error { message },
@@ -327,6 +358,9 @@ impl Daemon {
             }
             Request::WhatIfLinkDown { link } => {
                 let query = format!("whatif_link_down({link})");
+                if let Some(message) = self.reject_mask_under_sla() {
+                    return Reply::Error { message };
+                }
                 let (lid, twin) = match self.pair(link) {
                     Ok(p) => p,
                     Err(message) => return Reply::Error { message },
@@ -422,7 +456,7 @@ impl Daemon {
                 }
                 let mut session = ReoptSession::new(
                     snapshot.incumbent,
-                    Objective::LoadBased,
+                    self.cfg.objective,
                     self.cfg.params,
                     Scheme::Dtr,
                 );

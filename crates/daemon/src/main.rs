@@ -4,7 +4,8 @@
 //! dtrd --topo topo.json --traffic traffic.json \
 //!      [--weights weights.json] [--budget tiny|quick|experiment|paper] \
 //!      [--seed N] [--backend full|incremental] [--changes H] \
-//!      [--min-gain-per-churn F] [--socket PATH]
+//!      [--min-gain-per-churn F] [--objective load|sla[:BOUND_MS]] \
+//!      [--socket PATH]
 //! ```
 //!
 //! Serves the line-delimited JSON protocol on stdin/stdout, or on a
@@ -22,7 +23,30 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: dtrd --topo FILE --traffic FILE [--weights FILE] \
 [--budget NAME] [--seed N] [--backend full|incremental] [--changes H] \
-[--min-gain-per-churn F] [--socket PATH]";
+[--min-gain-per-churn F] [--objective load|sla[:BOUND_MS]] [--socket PATH]";
+
+/// `load`, `sla` (paper-default 25 ms bound) or `sla:<ms>`.
+fn parse_objective(value: &str) -> Result<dtr_cost::Objective, String> {
+    use dtr_cost::{Objective, SlaParams};
+    match value {
+        "load" => Ok(Objective::LoadBased),
+        "sla" => Ok(Objective::SlaBased(SlaParams::default())),
+        other => match other.strip_prefix("sla:") {
+            Some(ms) => {
+                let bound_ms: f64 = ms
+                    .parse()
+                    .ok()
+                    .filter(|b: &f64| b.is_finite() && *b > 0.0)
+                    .ok_or_else(|| format!("bad SLA bound '{ms}' (need positive ms)"))?;
+                Ok(Objective::SlaBased(SlaParams {
+                    bound_s: bound_ms * 1e-3,
+                    ..SlaParams::default()
+                }))
+            }
+            None => Err(format!("unknown objective '{other}'")),
+        },
+    }
+}
 
 fn parse_args() -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -81,6 +105,10 @@ fn run() -> Result<(), String> {
         min_gain_per_churn: match args.get("min-gain-per-churn") {
             Some(v) => v.parse().map_err(|_| "bad --min-gain-per-churn")?,
             None => 0.0,
+        },
+        objective: match args.get("objective") {
+            Some(v) => parse_objective(v)?,
+            None => DaemonCfg::default().objective,
         },
     };
 

@@ -10,7 +10,6 @@
 use crate::daemon::{Daemon, DaemonCfg};
 use crate::event::{CostPair, EventAction, Reply, Request};
 use dtr_core::{DtrSearch, ReoptSession, Scheme};
-use dtr_cost::Objective;
 use dtr_graph::weights::DualWeights;
 use dtr_graph::WeightVector;
 use dtr_scenario::ChurnTrace;
@@ -166,19 +165,17 @@ pub fn replay_trace(
     // the network as it stands after the last event.
     let final_cost = daemon.cost_of(daemon.incumbent());
     let batch_weights = if daemon.link_up().iter().all(|&u| u) {
-        DtrSearch::new(
-            daemon.topo(),
-            daemon.demands(),
-            Objective::LoadBased,
-            cfg.params,
-        )
-        .run()
-        .weights
+        DtrSearch::new(daemon.topo(), daemon.demands(), cfg.objective, cfg.params)
+            .run()
+            .weights
     } else {
         // Links still down (hand-written trace): cold masked search from
         // uniform weights with an effectively unlimited change budget.
+        // Only reachable under the load objective — the daemon refuses
+        // link-down events under the SLA objective, so the mask stays
+        // all-up there.
         let uniform = DualWeights::replicated(WeightVector::uniform(daemon.topo(), 1));
-        let mut s = ReoptSession::new(uniform, Objective::LoadBased, cfg.params, Scheme::Dtr);
+        let mut s = ReoptSession::new(uniform, cfg.objective, cfg.params, Scheme::Dtr);
         let h = 2 * daemon.topo().link_count();
         s.step_masked(daemon.topo(), daemon.demands(), daemon.link_up(), h)
             .weights

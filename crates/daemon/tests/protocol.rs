@@ -45,6 +45,7 @@ fn cfg() -> DaemonCfg {
         params: SearchParams::tiny().with_seed(5),
         changes_per_event: 4,
         min_gain_per_churn: 0.0,
+        ..Default::default()
     }
 }
 
@@ -295,4 +296,65 @@ fn unix_socket_serves_the_same_protocol() {
     }
     handle.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sla_objective_daemon_optimizes_but_refuses_failure_masks() {
+    use dtr_cost::{Objective, SlaParams};
+
+    let (topo, base) = instance();
+    let sla_cfg = DaemonCfg {
+        objective: Objective::SlaBased(SlaParams::default()),
+        ..cfg()
+    };
+    let mut d = Daemon::new(topo.clone(), base.clone(), Some(uniform(&topo)), sla_cfg);
+
+    // Demand updates (and their warm reoptimizations) work under SLA.
+    let drifted = base.scaled(1.1);
+    let reply = d.handle(Request::DemandUpdate { demands: drifted });
+    assert!(matches!(reply, Reply::Event(_)), "{reply:?}");
+
+    // Link-failure events and probes get the clear protocol error
+    // instead of numbers from an undefined masked SLA evaluation.
+    for req in [
+        Request::LinkDown { link: 0 },
+        Request::WhatIfLinkDown { link: 0 },
+    ] {
+        match d.handle(req) {
+            Reply::Error { message } => {
+                assert!(message.contains("SLA objective"), "{message}");
+                assert!(message.contains("--objective load"), "{message}");
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    }
+    assert!(d.link_up().iter().all(|&u| u), "mask must stay untouched");
+
+    // Weight what-ifs stay available (all-up evaluation is defined).
+    let probe = d.handle(Request::WhatIfWeights {
+        weights: uniform(&topo),
+    });
+    assert!(matches!(probe, Reply::WhatIf(_)), "{probe:?}");
+}
+
+#[test]
+fn sla_objective_replays_a_demand_only_trace() {
+    use dtr_cost::{Objective, SlaParams};
+    use dtr_scenario::ChurnAction;
+
+    // Strip a generated trace down to demand walks so no failure mask
+    // is ever requested — the supported SLA regime.
+    let mut t = trace(30, 6);
+    t.events
+        .retain(|e| matches!(e.action, ChurnAction::Demand { .. }));
+    assert!(!t.events.is_empty(), "trace must keep demand events");
+    let sla_cfg = DaemonCfg {
+        objective: Objective::SlaBased(SlaParams::default()),
+        ..cfg()
+    };
+    let a = replay_trace(&t, sla_cfg, Some(uniform(&t.topo)));
+    let b = replay_trace(&t, sla_cfg, Some(uniform(&t.topo)));
+    assert_eq!(a.lines, b.lines, "SLA replay must stay deterministic");
+    assert_eq!(a.report.events, t.events.len());
+    assert_eq!(a.report.final_links_down, 0);
 }

@@ -46,6 +46,7 @@ pub mod bound;
 pub mod cache;
 pub mod dynspf;
 pub mod flat;
+pub mod kclass;
 pub mod state;
 
 pub use backend::{
@@ -59,9 +60,10 @@ pub use dynspf::{
     DynSpfScratch,
 };
 pub use flat::{FlatDag, FlatSpfWorkspace, FlatTopo, LinkMask};
+pub use kclass::{KClassBatchEvaluator, KClassEvaluation};
 pub use state::{CandidateEval, DestState, FlowState};
 
-use dtr_cost::Objective;
+use dtr_cost::{Objective, ObjectiveError, ObjectiveSpec};
 use dtr_graph::{NodeId, ShortestPathDag, Topology, WeightVector};
 use dtr_routing::{sla_evaluation, ClassLoads, Evaluation, Evaluator, FailureScenario, HighSide};
 use dtr_traffic::DemandSet;
@@ -163,6 +165,29 @@ impl<'a> BatchEvaluator<'a> {
             high_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
             low_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
             joint_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Binds the problem instance under a unified [`ObjectiveSpec`].
+    ///
+    /// This evaluator is the two-class search engine, so the spec must
+    /// map onto the legacy [`Objective`] enum (see
+    /// [`ObjectiveSpec::as_two_class`]); compatible specs route through
+    /// the exact [`Self::new`] path, keeping results bit-identical.
+    /// `k ≥ 3` specs belong to [`KClassBatchEvaluator`].
+    pub fn with_spec(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        spec: &ObjectiveSpec,
+        kind: BackendKind,
+    ) -> Result<Self, ObjectiveError> {
+        spec.validate()?;
+        match spec.as_two_class() {
+            Some(objective) => Ok(BatchEvaluator::new(topo, demands, objective, kind)),
+            None => Err(ObjectiveError::Unsupported {
+                context: "two-class BatchEvaluator",
+                spec: spec.summary(),
+            }),
         }
     }
 
@@ -310,7 +335,10 @@ impl<'a> BatchEvaluator<'a> {
                 let low_loads = ev.loads.swap_remove(1);
                 let high_loads = ev.loads.swap_remove(0);
                 let high = self.make_high_side(high_loads, &cands[i], &ev.dags);
-                let evaluation = self.evaluator.finish(high, low_loads);
+                let evaluation = self
+                    .evaluator
+                    .finish(high, low_loads)
+                    .expect("make_high_side fills the SLA walk under SLA objectives");
                 self.joint_cache.put(&cands[i], evaluation.clone());
                 values.push(evaluation);
             }

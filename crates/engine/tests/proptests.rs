@@ -7,9 +7,10 @@
 //! match the plain [`Evaluator`]. Equality below is `PartialEq` over the
 //! full structures, which compares every `f64` exactly (no tolerance).
 
-use dtr_cost::Objective;
-use dtr_engine::{BackendKind, BatchEvaluator};
+use dtr_cost::{Objective, ObjectiveSpec, SlaParams};
+use dtr_engine::{BackendKind, BatchEvaluator, KClassBatchEvaluator};
 use dtr_graph::gen::{random_topology, RandomTopologyCfg};
+use dtr_graph::weights::DualWeights;
 use dtr_graph::{LinkId, Topology, WeightVector, MAX_WEIGHT, MIN_WEIGHT};
 use dtr_routing::Evaluator;
 use dtr_traffic::{DemandSet, TrafficCfg};
@@ -169,6 +170,57 @@ proptest! {
             base = next;
             let cand = neighbor_walk(&topo, &base, 1, 1, rng.random::<u64>()).pop().unwrap();
             prop_assert_eq!(incr.eval_joint(&cand), ev.eval_str(&cand));
+        }
+    }
+
+    /// The unified-spec k-class path with `k = 2` LoadBased is
+    /// bit-identical to the legacy two-class evaluator, under both
+    /// backends: same Φ components, same per-link terms, same loads.
+    #[test]
+    fn kclass_two_class_load_spec_bit_identical(seed in 0u64..300, wseed in 0u64..300, deltas in 1usize..=2) {
+        let (topo, demands) = instance(seed, 12);
+        let base = rand_weights(&topo, wseed);
+        let cands = neighbor_walk(&topo, &base, deltas, 4, seed ^ (wseed << 2));
+        let spec = ObjectiveSpec::two_class_load();
+
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        for kind in [BackendKind::Full, BackendKind::Incremental] {
+            let mut kc = KClassBatchEvaluator::new(
+                &topo, vec![&demands.high, &demands.low], &spec, kind).unwrap();
+            for wh in &cands {
+                let e = kc.eval(&[wh.clone(), base.clone()]);
+                let r = ev.eval_dual(&DualWeights { high: wh.clone(), low: base.clone() });
+                prop_assert_eq!(e.phis[0], r.phi_h);
+                prop_assert_eq!(e.phis[1], r.phi_l);
+                prop_assert_eq!(&e.phi_per_link[0], &r.phi_h_per_link);
+                prop_assert_eq!(&e.phi_per_link[1], &r.phi_l_per_link);
+                prop_assert_eq!(&e.loads[0], &r.high_loads);
+                prop_assert_eq!(&e.loads[1], &r.low_loads);
+            }
+        }
+    }
+
+    /// k-class SLA evaluation agrees bitwise between the Full and
+    /// Incremental backends, including the per-class delay walks and
+    /// candidate stepping on a middle class.
+    #[test]
+    fn kclass_sla_full_vs_incremental(seed in 0u64..200, wseed in 0u64..200) {
+        let (topo, demands) = instance(seed, 10);
+        // Three classes: reuse the two generated matrices at different
+        // priorities — the cascade treats every class independently.
+        let matrices = vec![&demands.high, &demands.low, &demands.high];
+        let spec = ObjectiveSpec::uniform_sla(3, SlaParams::default());
+        let base = rand_weights(&topo, wseed);
+        let weights = vec![base.clone(), rand_weights(&topo, wseed ^ 0xabcd), base.clone()];
+        let cands = neighbor_walk(&topo, &weights[1], 2, 3, seed.wrapping_mul(17) ^ wseed);
+
+        let mut full = KClassBatchEvaluator::new(&topo, matrices.clone(), &spec, BackendKind::Full).unwrap();
+        let mut incr = KClassBatchEvaluator::new(&topo, matrices, &spec, BackendKind::Incremental).unwrap();
+        prop_assert_eq!(full.eval(&weights), incr.eval(&weights));
+        let a = full.eval_class_batch(1, &cands, &weights);
+        let b = incr.eval_class_batch(1, &cands, &weights);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x, y);
         }
     }
 }

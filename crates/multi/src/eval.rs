@@ -1,10 +1,17 @@
 //! k-class evaluation with cascading residual capacities.
+//!
+//! [`MultiEvaluator`] accepts the unified [`ObjectiveSpec`]: each class
+//! is costed either by the Fortz–Thorup `Φ` against its residual
+//! capacity (`ClassMode::Load`) or by the Eq. 4 SLA penalty `Λ` over
+//! pair delays computed with the Eq. 3 link-delay model against that
+//! same residual capacity (`ClassMode::Sla`). The legacy
+//! [`MultiEvaluator::new`] constructor forwards to the all-load spec.
 
 use crate::demand::MultiDemand;
 use crate::lexk::LexK;
-use dtr_cost::phi;
-use dtr_graph::{Topology, WeightVector};
-use dtr_routing::{ClassLoads, LoadCalculator};
+use dtr_cost::{link_delay, ClassMode, ObjectiveError, ObjectiveSpec};
+use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
+use dtr_routing::{cascade_classes, sla_walk, ClassLoads, LoadCalculator, SlaEvaluation};
 
 /// Evaluation of one k-topology weight setting.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,7 +22,11 @@ pub struct MultiEvaluation {
     pub phis: Vec<f64>,
     /// Per-class per-link Φ (for neighborhood ranking).
     pub phi_per_link: Vec<Vec<f64>>,
-    /// The lexicographic objective `⟨Φ_0, …, Φ_{k−1}⟩`.
+    /// Per-class SLA outputs (`Some` exactly for `ClassMode::Sla`
+    /// classes, always `None` under an all-load spec).
+    pub sla: Vec<Option<SlaEvaluation>>,
+    /// The lexicographic objective `⟨c_0, …, c_{k−1}⟩` where `c_i` is
+    /// class i's `Φ` (load mode) or `Λ` (SLA mode).
     pub cost: LexK,
 }
 
@@ -48,26 +59,91 @@ impl MultiEvaluation {
     }
 }
 
-/// Evaluator bound to a topology and k-class demand set.
+/// Evaluator bound to a topology, a k-class demand set and an
+/// [`ObjectiveSpec`].
 pub struct MultiEvaluator<'a> {
     topo: &'a Topology,
     demands: &'a MultiDemand,
+    spec: ObjectiveSpec,
     calc: LoadCalculator,
+    ws: SpfWorkspace,
+    /// Per-class destinations with demand, ascending — nonempty only for
+    /// SLA classes (the iteration order of their SLA walks).
+    dests: Vec<Vec<NodeId>>,
 }
 
 impl<'a> MultiEvaluator<'a> {
-    /// Binds the instance.
+    /// Binds the instance with the all-load objective
+    /// `⟨Φ_0, …, Φ_{k−1}⟩`.
+    ///
+    /// Legacy entry point, retained as a thin wrapper: it is equivalent
+    /// to `MultiEvaluator::with_spec(topo, demands,
+    /// &ObjectiveSpec::load(k)).unwrap()` for `k ≥ 2`, and also accepts
+    /// the degenerate single-class set that the STR-like search uses.
     pub fn new(topo: &'a Topology, demands: &'a MultiDemand) -> Self {
+        Self::bind(topo, demands, ObjectiveSpec::load(demands.class_count()))
+    }
+
+    /// Binds the instance with a unified [`ObjectiveSpec`]: per-class
+    /// load or SLA cost components over the same strict-priority
+    /// residual cascade. The spec's class count must match the demand
+    /// set's.
+    pub fn with_spec(
+        topo: &'a Topology,
+        demands: &'a MultiDemand,
+        spec: &ObjectiveSpec,
+    ) -> Result<Self, ObjectiveError> {
+        spec.validate()?;
+        if spec.class_count() != demands.class_count() {
+            return Err(ObjectiveError::ClassCountMismatch {
+                spec: spec.class_count(),
+                demands: demands.class_count(),
+            });
+        }
+        Ok(Self::bind(topo, demands, spec.clone()))
+    }
+
+    fn bind(topo: &'a Topology, demands: &'a MultiDemand, spec: ObjectiveSpec) -> Self {
+        let dests = spec
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(c, mode)| match mode {
+                ClassMode::Sla(_) => topo
+                    .nodes()
+                    .filter(|t| demands.classes[c].demands_to(t.index()).next().is_some())
+                    .collect(),
+                ClassMode::Load => Vec::new(),
+            })
+            .collect();
         MultiEvaluator {
             topo,
             demands,
+            spec,
             calc: LoadCalculator::new(),
+            ws: SpfWorkspace::new(),
+            dests,
         }
     }
 
     /// The bound topology.
     pub fn topo(&self) -> &'a Topology {
         self.topo
+    }
+
+    /// The bound objective spec.
+    pub fn spec(&self) -> &ObjectiveSpec {
+        &self.spec
+    }
+
+    /// True if any class is costed by its SLA penalty (those classes
+    /// need [`Self::assemble_with`] — plain Φ assembly cannot produce
+    /// their `Λ` components).
+    pub fn has_sla(&self) -> bool {
+        self.spec
+            .classes
+            .iter()
+            .any(|m| matches!(m, ClassMode::Sla(_)))
     }
 
     /// Number of classes.
@@ -89,31 +165,89 @@ impl<'a> MultiEvaluator<'a> {
             .enumerate()
             .map(|(i, w)| self.class_loads(i, w))
             .collect();
-        self.assemble(loads)
+        if self.has_sla() {
+            self.assemble_with(loads, weights)
+        } else {
+            self.assemble(loads)
+        }
     }
 
     /// Computes Φ values from per-class loads (cascading residuals).
+    ///
+    /// This is the load-only assembly: SLA classes' `Λ` components need
+    /// the weight vectors' shortest-path DAGs, so specs with SLA classes
+    /// must use [`Self::assemble_with`] (checked in debug builds).
     pub fn assemble(&self, loads: Vec<ClassLoads>) -> MultiEvaluation {
-        let m = self.topo.link_count();
+        debug_assert!(
+            !self.has_sla(),
+            "SLA classes need assemble_with (weights drive the delay walk)"
+        );
         let k = loads.len();
-        let mut phis = vec![0.0; k];
-        let mut phi_per_link = vec![vec![0.0; m]; k];
-        for (lid, link) in self.topo.links() {
-            let i = lid.index();
-            let mut used = 0.0;
-            for c in 0..k {
-                let residual = (link.capacity - used).max(0.0);
-                let p = phi(loads[c][i], residual);
-                phi_per_link[c][i] = p;
-                phis[c] += p;
-                used += loads[c][i];
-            }
-        }
-        let cost = LexK::new(phis.clone());
+        let cascade = cascade_classes(self.topo, &loads);
+        let cost = LexK::new(cascade.phis.clone());
         MultiEvaluation {
             loads,
-            phis,
-            phi_per_link,
+            phis: cascade.phis,
+            phi_per_link: cascade.phi_per_link,
+            sla: vec![None; k],
+            cost,
+        }
+    }
+
+    /// Spec-aware assembly: runs the residual cascade, then replaces
+    /// each SLA class's cost component with its penalty `Λ`, computed by
+    /// the shared SLA walk over link delays evaluated against that
+    /// class's **residual** capacity. `weights[c]` must be the vector
+    /// that produced `loads[c]` (its DAGs drive class c's delay walk).
+    ///
+    /// Class 0's residual is the raw capacity bit-for-bit, so a
+    /// two-class `⟨Λ, Φ⟩` spec reproduces
+    /// `dtr_routing::Evaluator` with `Objective::SlaBased` exactly.
+    pub fn assemble_with(
+        &mut self,
+        loads: Vec<ClassLoads>,
+        weights: &[WeightVector],
+    ) -> MultiEvaluation {
+        assert_eq!(weights.len(), loads.len(), "one weight vector per class");
+        let k = loads.len();
+        let cascade = cascade_classes(self.topo, &loads);
+        let mut components = cascade.phis.clone();
+        let mut sla = vec![None; k];
+        for c in 0..k {
+            if let ClassMode::Sla(params) = self.spec.mode(c) {
+                let link_delays: Vec<f64> = self
+                    .topo
+                    .links()
+                    .map(|(lid, link)| {
+                        link_delay(
+                            &params.delay,
+                            loads[c][lid.index()],
+                            cascade.residuals[c][lid.index()],
+                            link.prop_delay,
+                        )
+                    })
+                    .collect();
+                let topo = self.topo;
+                let ws = &mut self.ws;
+                let w = &weights[c];
+                let s = sla_walk(
+                    topo,
+                    &self.demands.classes[c],
+                    &self.dests[c],
+                    link_delays,
+                    &params,
+                    |t| ShortestPathDag::compute_with(topo, w, t, None, ws),
+                );
+                components[c] = s.lambda;
+                sla[c] = Some(s);
+            }
+        }
+        let cost = LexK::new(components);
+        MultiEvaluation {
+            loads,
+            phis: cascade.phis,
+            phi_per_link: cascade.phi_per_link,
+            sla,
             cost,
         }
     }
@@ -217,5 +351,84 @@ mod tests {
 
         assert_eq!(me.phis[0], te.phi_h);
         assert_eq!(me.phis[1], te.phi_l);
+    }
+
+    #[test]
+    fn two_class_sla_spec_matches_dtr_routing_bitwise() {
+        // A ⟨Λ, Φ⟩ spec through the k-class cascade must reproduce the
+        // legacy SLA evaluator exactly: class 0's residual capacity is
+        // the raw capacity bit-for-bit.
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 10,
+            directed_links: 40,
+            seed: 11,
+        });
+        let demands = MultiDemand::generate(
+            &topo,
+            &MultiTrafficCfg {
+                fractions: vec![0.3],
+                densities: vec![0.1],
+                seed: 11,
+            },
+        )
+        .scaled(4.0);
+        let ds = demands.as_demand_set();
+        let wh = WeightVector::uniform(&topo, 1);
+        let wl = WeightVector::delay_proportional(&topo, 30);
+        let params = dtr_cost::SlaParams::default();
+
+        let spec = ObjectiveSpec::from(dtr_cost::Objective::SlaBased(params));
+        let mut multi = MultiEvaluator::with_spec(&topo, &demands, &spec).unwrap();
+        let me = multi.eval(&[wh.clone(), wl.clone()]);
+
+        let mut two =
+            dtr_routing::Evaluator::new(&topo, &ds, dtr_cost::Objective::SlaBased(params));
+        let te = two.eval_dual(&dtr_graph::weights::DualWeights { high: wh, low: wl });
+
+        let tsla = te.sla.as_ref().unwrap();
+        let msla = me.sla[0].as_ref().unwrap();
+        assert_eq!(msla.lambda, tsla.lambda);
+        assert_eq!(msla.link_delays, tsla.link_delays);
+        assert_eq!(msla.pair_delays, tsla.pair_delays);
+        assert_eq!(me.cost.get(0), te.cost.primary);
+        assert_eq!(me.cost.get(1), te.cost.secondary);
+        assert!(me.sla[1].is_none());
+    }
+
+    #[test]
+    fn with_spec_rejects_class_count_mismatch() {
+        let (topo, demands) = stacked_triangle(); // 3 classes
+        let Err(err) = MultiEvaluator::with_spec(&topo, &demands, &ObjectiveSpec::load(2)) else {
+            panic!("mismatched spec must be rejected");
+        };
+        assert!(matches!(
+            err,
+            ObjectiveError::ClassCountMismatch {
+                spec: 2,
+                demands: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn kclass_sla_components_use_residual_capacity() {
+        // Three stacked classes on one path, classes 0 and 1 under SLA:
+        // class 1's link delays see the residual left by class 0, so its
+        // delays are strictly larger on the shared link.
+        let (topo, demands) = stacked_triangle();
+        let params = dtr_cost::SlaParams::default();
+        let spec = ObjectiveSpec::uniform_sla(3, params);
+        let mut ev = MultiEvaluator::with_spec(&topo, &demands, &spec).unwrap();
+        let w = vec![WeightVector::uniform(&topo, 1); 3];
+        let e = ev.eval(&w);
+        let ac = topo
+            .find_link(dtr_graph::NodeId(0), dtr_graph::NodeId(2))
+            .unwrap();
+        let d0 = e.sla[0].as_ref().unwrap().link_delays[ac.index()];
+        let d1 = e.sla[1].as_ref().unwrap().link_delays[ac.index()];
+        assert!(d1 > d0, "residual delays must cascade: {d0} vs {d1}");
+        assert!(e.sla[2].is_none());
+        // Components: λ for SLA classes, Φ for the load class.
+        assert_eq!(e.cost.get(2), e.phis[2]);
     }
 }

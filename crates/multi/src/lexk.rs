@@ -1,80 +1,12 @@
 //! Lexicographic k-tuples — the order minimized by the k-class search.
+//!
+//! `LexK` is the shared [`dtr_cost::LexCost`]: the k-component
+//! generalization of `Lex2` now lives in `dtr-cost` so that every crate
+//! (multi, engine, scenario) compares k-class costs with the one
+//! canonical total order. The alias is kept so existing `dtr_multi::LexK`
+//! call sites keep compiling unchanged.
 
-use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::fmt;
-
-/// A lexicographically ordered cost vector; component 0 is the highest
-/// priority. Comparisons require equal lengths (same class count).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LexK(Vec<f64>);
-
-impl LexK {
-    /// Wraps components (must all be finite).
-    pub fn new(components: Vec<f64>) -> Self {
-        debug_assert!(components.iter().all(|c| c.is_finite()));
-        LexK(components)
-    }
-
-    /// Number of classes.
-    pub fn len(&self) -> usize {
-        self.0.len()
-    }
-
-    /// True for the empty tuple (no classes).
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-
-    /// Component for class `i`.
-    pub fn get(&self, i: usize) -> f64 {
-        self.0[i]
-    }
-
-    /// The components as a slice.
-    pub fn as_slice(&self) -> &[f64] {
-        &self.0
-    }
-
-    /// A tuple of `len` `f64::MAX` components — worse than any real cost.
-    pub fn worst(len: usize) -> Self {
-        LexK(vec![f64::MAX; len])
-    }
-}
-
-impl Eq for LexK {}
-
-impl PartialOrd for LexK {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for LexK {
-    fn cmp(&self, other: &Self) -> Ordering {
-        assert_eq!(self.0.len(), other.0.len(), "class-count mismatch");
-        for (a, b) in self.0.iter().zip(&other.0) {
-            match a.total_cmp(b) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            }
-        }
-        Ordering::Equal
-    }
-}
-
-impl fmt::Display for LexK {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "⟨")?;
-        for (i, c) in self.0.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{c:.3}")?;
-        }
-        write!(f, "⟩")
-    }
-}
+pub use dtr_cost::LexCost as LexK;
 
 #[cfg(test)]
 mod tests {
@@ -104,5 +36,11 @@ mod tests {
     #[test]
     fn display_renders_components() {
         assert_eq!(format!("{}", LexK::new(vec![1.0, 0.5])), "⟨1.000, 0.500⟩");
+    }
+
+    #[test]
+    fn alias_is_the_shared_lexcost() {
+        let k: LexK = dtr_cost::LexCost::two(1.0, 2.0);
+        assert_eq!(k.as_slice(), &[1.0, 2.0]);
     }
 }

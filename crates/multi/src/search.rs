@@ -36,16 +36,51 @@ pub struct MultiResult {
 pub struct MultiSearch<'a> {
     evaluator: MultiEvaluator<'a>,
     params: SearchParams,
+    initial: Option<Vec<WeightVector>>,
 }
 
 impl<'a> MultiSearch<'a> {
-    /// Prepares a search starting from uniform weights for every class.
+    /// Prepares a search starting from uniform weights for every class,
+    /// under the all-load objective (thin wrapper over the spec path).
     pub fn new(topo: &'a Topology, demands: &'a MultiDemand, params: SearchParams) -> Self {
         params.validate();
         MultiSearch {
             evaluator: MultiEvaluator::new(topo, demands),
             params,
+            initial: None,
         }
+    }
+
+    /// Prepares a search under a unified [`dtr_cost::ObjectiveSpec`] —
+    /// per-class load or SLA cost components (see
+    /// [`MultiEvaluator::with_spec`]).
+    pub fn with_spec(
+        topo: &'a Topology,
+        demands: &'a MultiDemand,
+        spec: &dtr_cost::ObjectiveSpec,
+        params: SearchParams,
+    ) -> Result<Self, dtr_cost::ObjectiveError> {
+        params.validate();
+        Ok(MultiSearch {
+            evaluator: MultiEvaluator::with_spec(topo, demands, spec)?,
+            params,
+            initial: None,
+        })
+    }
+
+    /// Warm-starts the search from `weights` (one vector per class)
+    /// instead of the uniform setting. The search only ever replaces its
+    /// incumbent with lexicographic improvements, so the result's
+    /// leading cost components can never end worse than the start's —
+    /// the same never-regress contract the two-class suite relies on.
+    pub fn with_initial(mut self, weights: Vec<WeightVector>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.evaluator.class_count(),
+            "one initial weight vector per class"
+        );
+        self.initial = Some(weights);
+        self
     }
 
     /// Runs the staged search.
@@ -57,7 +92,10 @@ impl<'a> MultiSearch<'a> {
         let sampler = NeighborhoodSampler::new(topo.link_count(), &params);
         let mut trace = SearchTrace::default();
 
-        let mut weights = vec![WeightVector::uniform(topo, 1); k];
+        let mut weights = self
+            .initial
+            .take()
+            .unwrap_or_else(|| vec![WeightVector::uniform(topo, 1); k]);
         let mut eval = self.evaluator.eval(&weights);
         let mut best = (eval.cost.clone(), weights.clone());
         trace.improved(0, Phase::OptimizeHigh, two_view(&eval.cost));
@@ -149,7 +187,13 @@ impl<'a> MultiSearch<'a> {
             }
             let mut loads = eval.loads.clone();
             loads[c] = self.evaluator.class_loads(c, &w);
-            let cand = self.evaluator.assemble(loads);
+            let cand = if self.evaluator.has_sla() {
+                let mut wc = weights.to_vec();
+                wc[c] = w.clone();
+                self.evaluator.assemble_with(loads, &wc)
+            } else {
+                self.evaluator.assemble(loads)
+            };
             trace.evaluations += 1;
             if best_cand.as_ref().is_none_or(|(b, _)| cand.cost < b.cost) {
                 best_cand = Some((cand, w));
@@ -252,6 +296,39 @@ mod tests {
             (m0 - d0).abs() <= 0.25 * d0.max(1.0),
             "primary components diverge: multi {m0} vs dtr {d0}"
         );
+    }
+
+    #[test]
+    fn sla_spec_search_runs_and_reports_lambda_components() {
+        let (topo, demands) = instance(2, 12);
+        let spec = dtr_cost::ObjectiveSpec::uniform_sla(3, dtr_cost::SlaParams::default());
+        let res =
+            MultiSearch::with_spec(&topo, &demands, &spec, SearchParams::tiny().with_seed(12))
+                .unwrap()
+                .run();
+        assert_eq!(res.weights.len(), 3);
+        assert_eq!(res.best_cost.len(), 3);
+        // SLA classes carry their walks; the load class does not.
+        assert!(res.eval.sla[0].is_some());
+        assert!(res.eval.sla[1].is_some());
+        assert!(res.eval.sla[2].is_none());
+        // The λ components are the SLA walks' totals, Φ the load class's.
+        assert_eq!(
+            res.best_cost.get(0),
+            res.eval.sla[0].as_ref().unwrap().lambda
+        );
+        assert_eq!(res.best_cost.get(2), res.eval.phis[2]);
+    }
+
+    #[test]
+    fn warm_start_never_regresses_from_its_initial_point() {
+        let (topo, demands) = instance(2, 4);
+        let base = MultiSearch::new(&topo, &demands, SearchParams::tiny().with_seed(4)).run();
+        let warm = MultiSearch::new(&topo, &demands, SearchParams::tiny().with_seed(40))
+            .with_initial(base.weights.clone())
+            .run();
+        assert!(warm.best_cost <= base.best_cost);
+        assert!(warm.best_cost.get(0) <= base.best_cost.get(0));
     }
 
     #[test]

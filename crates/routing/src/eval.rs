@@ -15,10 +15,37 @@
 //! let the heuristics re-route only the class whose weights changed.
 
 use crate::loads::{avg_utilization, max_utilization, ClassLoads, LoadCalculator};
-use dtr_cost::{link_delay, phi, sla_penalty, Lex2, Objective, SlaParams};
+use dtr_cost::{link_delay, phi, sla_penalty, Lex2, Objective, ObjectiveSpec, SlaParams};
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
 use dtr_traffic::DemandSet;
+use std::fmt;
+
+/// Structured evaluation errors. The only way to hit one is to compose
+/// evaluator pieces inconsistently (for example finishing an SLA
+/// objective from a [`HighSide`] that was built without its SLA walk) —
+/// the evaluator's own entry points can never produce one, but external
+/// composers (the batch engine) get a typed error instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// The objective is SLA-based but the high side carries no
+    /// [`SlaEvaluation`] — the `Λ` component cannot be formed.
+    MissingSlaEvaluation,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingSlaEvaluation => write!(
+                f,
+                "SLA objective needs a high side with an SLA evaluation \
+                 (build it via eval_high_side or high_side_with_sla(.., Some(..)))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// Per-SD-pair delay record of an SLA evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +167,11 @@ pub struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     /// Binds `topo`, `demands` and `objective`.
+    ///
+    /// This is the legacy two-class entry point, retained as a thin
+    /// wrapper: `Evaluator::new(t, d, o)` is equivalent to
+    /// `Evaluator::with_spec(t, d, &ObjectiveSpec::from(o)).unwrap()`,
+    /// and new code should prefer [`Evaluator::with_spec`].
     pub fn new(topo: &'a Topology, demands: &'a DemandSet, objective: Objective) -> Self {
         let high_dests = topo
             .nodes()
@@ -152,6 +184,30 @@ impl<'a> Evaluator<'a> {
             calc: LoadCalculator::new(),
             ws: SpfWorkspace::new(),
             high_dests,
+        }
+    }
+
+    /// Binds `topo`, `demands` and a unified [`ObjectiveSpec`].
+    ///
+    /// This evaluator implements the paper's two-class model, so the
+    /// spec must map onto the legacy [`Objective`] enum (see
+    /// [`ObjectiveSpec::as_two_class`]); compatible specs are routed
+    /// through the exact same code paths as [`Evaluator::new`], which
+    /// keeps results bit-identical. Specs with `k ≥ 3` classes belong
+    /// to `dtr-multi` / `dtr-engine` and yield
+    /// [`ObjectiveError::Unsupported`](dtr_cost::ObjectiveError::Unsupported).
+    pub fn with_spec(
+        topo: &'a Topology,
+        demands: &'a DemandSet,
+        spec: &ObjectiveSpec,
+    ) -> Result<Self, dtr_cost::ObjectiveError> {
+        spec.validate()?;
+        match spec.as_two_class() {
+            Some(objective) => Ok(Evaluator::new(topo, demands, objective)),
+            None => Err(dtr_cost::ObjectiveError::Unsupported {
+                context: "two-class Evaluator",
+                spec: spec.summary(),
+            }),
         }
     }
 
@@ -186,6 +242,7 @@ impl<'a> Evaluator<'a> {
         let h = self.eval_high_side(&w.high);
         let l = self.low_loads(&w.low);
         self.finish(h, l)
+            .expect("high side built by this evaluator carries the SLA walk")
     }
 
     /// Single-topology evaluation (both classes share `w`); one SPF pass
@@ -218,7 +275,12 @@ impl<'a> Evaluator<'a> {
 
     /// Combines a (possibly cached) high side with fresh low-class loads.
     /// Costs `O(|E|)` — this is the hot path of `FindL`.
-    pub fn finish(&self, high: HighSide, low_loads: ClassLoads) -> Evaluation {
+    ///
+    /// Under the SLA objective the high side must carry its
+    /// [`SlaEvaluation`] (every `HighSide` this evaluator builds does);
+    /// a high side assembled externally without one yields
+    /// [`EvalError::MissingSlaEvaluation`] instead of a panic.
+    pub fn finish(&self, high: HighSide, low_loads: ClassLoads) -> Result<Evaluation, EvalError> {
         let topo = self.topo;
         let m = topo.link_count();
         let mut phi_l_per_link = vec![0.0; m];
@@ -233,9 +295,9 @@ impl<'a> Evaluator<'a> {
         let cost = match (&self.objective, &high.sla) {
             (Objective::LoadBased, _) => Lex2::new(high.phi, phi_l),
             (Objective::SlaBased(_), Some(sla)) => Lex2::new(sla.lambda, phi_l),
-            (Objective::SlaBased(_), None) => unreachable!("SLA high side always filled"),
+            (Objective::SlaBased(_), None) => return Err(EvalError::MissingSlaEvaluation),
         };
-        Evaluation {
+        Ok(Evaluation {
             high_loads: high.loads,
             low_loads,
             phi_h_per_link: high.phi_per_link,
@@ -244,7 +306,7 @@ impl<'a> Evaluator<'a> {
             phi_l,
             sla: high.sla,
             cost,
-        }
+        })
     }
 
     /// Assembles the cost structure from per-class loads. `high_weights`
@@ -258,6 +320,7 @@ impl<'a> Evaluator<'a> {
     ) -> Evaluation {
         let high = self.high_side_from_loads(high_loads, high_weights);
         self.finish(high, low_loads)
+            .expect("high side built by this evaluator carries the SLA walk")
     }
 
     /// Destinations that receive high-priority traffic, in ascending node
@@ -317,19 +380,17 @@ impl<'a> Evaluator<'a> {
 
     /// Per-link ranking keys for the heuristic neighborhoods (Algorithm 2):
     /// `L_l = ⟨Φ_H,l, Φ_L,l⟩` (load objective) or `⟨D_l, Φ_L,l⟩` (SLA).
+    ///
+    /// The key is chosen by what the evaluation carries: an evaluation
+    /// with an SLA walk ranks by link delay, one without ranks by per-link
+    /// Φ. This makes the method total — no panic arm for a mismatched
+    /// objective/evaluation pair.
     pub fn link_ranks(&self, ev: &Evaluation) -> Vec<LinkRank> {
         (0..self.topo.link_count())
             .map(|i| {
-                let high = match (&self.objective, &ev.sla) {
-                    (Objective::LoadBased, _) => {
-                        Lex2::new(ev.phi_h_per_link[i], ev.phi_l_per_link[i])
-                    }
-                    (Objective::SlaBased(_), Some(sla)) => {
-                        Lex2::new(sla.link_delays[i], ev.phi_l_per_link[i])
-                    }
-                    (Objective::SlaBased(_), None) => {
-                        unreachable!("SLA objective always fills ev.sla")
-                    }
+                let high = match &ev.sla {
+                    Some(sla) => Lex2::new(sla.link_delays[i], ev.phi_l_per_link[i]),
+                    None => Lex2::new(ev.phi_h_per_link[i], ev.phi_l_per_link[i]),
                 };
                 LinkRank {
                     high,
@@ -358,7 +419,7 @@ pub fn sla_evaluation<D, F>(
     dests: &[NodeId],
     high_loads: &[f64],
     params: &SlaParams,
-    mut dag_for: F,
+    dag_for: F,
 ) -> SlaEvaluation
 where
     D: std::borrow::Borrow<ShortestPathDag>,
@@ -375,7 +436,32 @@ where
             )
         })
         .collect();
+    sla_walk(topo, high, dests, link_delays, params, dag_for)
+}
 
+/// The ξ dynamic program and Eq. 4 penalty accumulation over
+/// **precomputed** per-link delays.
+///
+/// [`sla_evaluation`] computes the delays against raw link capacity
+/// (the paper's two-class SLA model, where the high class is alone at
+/// the top of the priority cascade) and delegates here; k-class callers
+/// compute each class's delays against its **residual** capacity
+/// `C̃_c = max(C − Σ_{j<c} load_j, 0)` and call this directly. The walk
+/// itself is identical either way: destinations in ascending order,
+/// `dag.order` reversed for the ξ recursion — so the two-class path
+/// stays bit-identical to the pre-split code.
+pub fn sla_walk<D, F>(
+    topo: &Topology,
+    matrix: &dtr_traffic::TrafficMatrix,
+    dests: &[NodeId],
+    link_delays: Vec<f64>,
+    params: &SlaParams,
+    mut dag_for: F,
+) -> SlaEvaluation
+where
+    D: std::borrow::Borrow<ShortestPathDag>,
+    F: FnMut(NodeId) -> D,
+{
     let mut pair_delays = Vec::new();
     let mut lambda = 0.0;
     let mut violations = 0;
@@ -399,7 +485,7 @@ where
             }
             xi[vi] = acc / branches.len() as f64;
         }
-        for (s, _vol) in high.demands_to(t.index()) {
+        for (s, _vol) in matrix.demands_to(t.index()) {
             let delay_s = xi[s];
             let penalty = sla_penalty(delay_s, params.bound_s, params.penalty_a, params.penalty_b);
             if penalty > 0.0 {

@@ -17,6 +17,7 @@
 //! `FindH` re-routes only the high class (reusing cached low-class loads)
 //! and vice versa. Costs are then assembled in `O(|E| + pairs)`.
 
+pub mod cascade;
 pub mod estimate;
 pub mod eval;
 pub mod loads;
@@ -24,9 +25,11 @@ pub mod lower_bound;
 pub mod routing_matrix;
 pub mod scenarios;
 
+pub use cascade::{cascade_classes, ClassCascade};
 pub use estimate::{gravity_prior, l1_error, tomogravity, EstimateResult, TomoCfg};
 pub use eval::{
-    sla_evaluation, Evaluation, Evaluator, HighSide, LinkRank, PairDelay, SlaEvaluation,
+    sla_evaluation, sla_walk, EvalError, Evaluation, Evaluator, HighSide, LinkRank, PairDelay,
+    SlaEvaluation,
 };
 pub use loads::{push_demand_down_dag, push_demand_down_dag_with, ClassLoads, LoadCalculator};
 pub use lower_bound::{dual_lower_bound, frank_wolfe, DualLowerBound, FwParams, FwResult};

@@ -33,9 +33,9 @@ pub use churn::{generate_churn, ChurnAction, ChurnCfg, ChurnEvent, ChurnTrace};
 pub use corpus::{load_corpus, load_spec, ScenarioError};
 pub use spec::{ScenarioSpec, SearchSpec, TopologySpec, TrafficSpec};
 pub use suite::{
-    cost_ratio, run_instance, run_instance_full, run_suite, search_incumbents, select,
-    InstanceReport, InstanceRun, RobustReport, SchemeReport, SearchedInstance, SuiteCfg,
-    SuiteSummary,
+    cost_ratio, run_instance, run_instance_full, run_instance_k, run_suite, search_incumbents,
+    search_incumbents_k, select, InstanceReport, InstanceRun, RobustReport, SchemeReport,
+    SearchedInstance, SearchedInstanceK, SuiteCfg, SuiteSummary,
 };
 pub use validate::{
     assert_validation_shape, run_validation, summarize, validate_instance, ClassAgreement,

@@ -16,6 +16,7 @@
 //! ```
 
 use dtr_core::SearchParams;
+use dtr_cost::ObjectiveSpec;
 use dtr_graph::datacenter::{
     fat_tree_topology, jellyfish_topology, vl2_topology, xpander_topology, FatTreeCfg,
     JellyfishCfg, Vl2Cfg, XpanderCfg,
@@ -28,6 +29,7 @@ use dtr_graph::gen::{
 };
 use dtr_graph::rocketfuel::{rocketfuel_topology, RocketfuelCfg};
 use dtr_graph::Topology;
+use dtr_multi::{MultiDemand, MultiTrafficCfg};
 use dtr_routing::FailurePolicy;
 use dtr_traffic::{family_demands, DemandSet, FamilyTrafficCfg, HighPriModel, TrafficFamily};
 use serde::{Deserialize, Serialize};
@@ -378,10 +380,16 @@ impl TopologySpec {
     }
 }
 
-/// Two-class traffic generation for one instance. Omitted fields take
-/// the paper's defaults: `f = 0.3`, `k = 0.1`, random high-priority
+/// Traffic generation for one instance. Omitted fields take the
+/// paper's defaults: `f = 0.3`, `k = 0.1`, random high-priority
 /// placement, `scale = 1`, `seed = 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Instances whose objective carries more than two classes use the
+/// k-class generator ([`TrafficSpec::build_multi`]): `fractions` and
+/// `densities` configure the priority classes above the (gravity) base
+/// class; omitted, the two-class `f`/`k` defaults are split evenly
+/// across the upper classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficSpec {
     /// Low-priority matrix family.
     pub family: TrafficFamily,
@@ -395,6 +403,14 @@ pub struct TrafficSpec {
     pub scale: Option<f64>,
     /// Traffic seed.
     pub seed: Option<u64>,
+    /// k-class instances only: volume fraction per priority class above
+    /// the base, highest first (must sum below 1; the base class gets
+    /// the remainder). Default: `f` split evenly across the upper
+    /// classes.
+    pub fractions: Option<Vec<f64>>,
+    /// k-class instances only: SD-pair density per priority class above
+    /// the base (aligned with `fractions`). Default: `k` per class.
+    pub densities: Option<Vec<f64>>,
 }
 
 impl TrafficSpec {
@@ -422,6 +438,40 @@ impl TrafficSpec {
                 f: self.f(),
                 k: self.k(),
                 model: self.model.unwrap_or(HighPriModel::Random),
+                seed: self.seed.unwrap_or(1),
+            },
+        )
+        .scaled(self.scale())
+    }
+
+    /// The effective per-class volume fractions of the `k − 1` priority
+    /// classes above the base (manifest `fractions`, or `f` split
+    /// evenly).
+    pub fn class_fractions(&self, k: usize) -> Vec<f64> {
+        match &self.fractions {
+            Some(fr) => fr.clone(),
+            None => vec![self.f() / (k - 1) as f64; k - 1],
+        }
+    }
+
+    /// The effective per-class pair densities of the upper classes
+    /// (manifest `densities`, or `k` replicated).
+    pub fn class_densities(&self, k: usize) -> Vec<f64> {
+        match &self.densities {
+            Some(d) => d.clone(),
+            None => vec![self.k(); k - 1],
+        }
+    }
+
+    /// Generates the `k`-class demand set for `topo` (gravity base plus
+    /// `k − 1` coupled priority classes; see [`MultiDemand::generate`]).
+    pub fn build_multi(&self, topo: &Topology, k: usize) -> MultiDemand {
+        assert!(k >= 3, "build_multi is the k ≥ 3 generator; use build");
+        MultiDemand::generate(
+            topo,
+            &MultiTrafficCfg {
+                fractions: self.class_fractions(k),
+                densities: self.class_densities(k),
                 seed: self.seed.unwrap_or(1),
             },
         )
@@ -485,12 +535,16 @@ pub struct ScenarioSpec {
     pub smoke: Option<bool>,
     /// Topology family + parameters.
     pub topology: TopologySpec,
-    /// Two-class traffic generation.
+    /// Traffic generation (two-class, or k-class when the objective
+    /// carries more classes).
     pub traffic: TrafficSpec,
     /// Failure-scenario policy (default: nominal only).
     pub failures: Option<FailurePolicy>,
     /// Search configuration (default: `quick` budget, seed 1).
     pub search: Option<SearchSpec>,
+    /// The unified objective (default: the paper's load-based two-class
+    /// `A = ⟨Φ_H, Φ_L⟩`, so every pre-spec manifest parses unchanged).
+    pub objective: Option<ObjectiveSpec>,
 }
 
 impl ScenarioSpec {
@@ -507,6 +561,16 @@ impl ScenarioSpec {
     /// The effective search spec.
     pub fn search(&self) -> SearchSpec {
         self.search.clone().unwrap_or_default()
+    }
+
+    /// The effective objective spec.
+    pub fn objective(&self) -> ObjectiveSpec {
+        self.objective.clone().unwrap_or_default()
+    }
+
+    /// Number of traffic classes the objective requests.
+    pub fn class_count(&self) -> usize {
+        self.objective().class_count()
     }
 
     /// Checks the manifest for the mistakes a generator would otherwise
@@ -586,6 +650,62 @@ impl ScenarioSpec {
                 return Err("failures.WorstK.k must be ≥ 1".into());
             }
         }
+        let objective = self.objective();
+        objective
+            .validate()
+            .map_err(|e| format!("objective: {e}"))?;
+        let classes = objective.class_count();
+        if let Some(fr) = &self.traffic.fractions {
+            if fr.len() + 1 != classes {
+                return Err(format!(
+                    "traffic.fractions has {} entries but the objective carries \
+                     {classes} classes (need {})",
+                    fr.len(),
+                    classes - 1
+                ));
+            }
+            let sum: f64 = fr.iter().sum();
+            if !(fr.iter().all(|&f| f.is_finite() && f > 0.0) && sum < 1.0) {
+                return Err(format!(
+                    "traffic.fractions must be positive and sum below 1, got {fr:?}"
+                ));
+            }
+            match &self.traffic.densities {
+                Some(d) if d.len() == fr.len() && !d.iter().all(|&x| x > 0.0 && x <= 1.0) => {
+                    return Err(format!("traffic.densities outside (0,1]: {d:?}"));
+                }
+                Some(d) if d.len() != fr.len() => {
+                    return Err(format!(
+                        "traffic.densities has {} entries, fractions {}",
+                        d.len(),
+                        fr.len()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if classes > 2 {
+            if self.traffic.family != TrafficFamily::Gravity {
+                return Err(format!(
+                    "k-class instances ({classes} classes) need the Gravity traffic \
+                     family (the k-class generator couples priority classes to a \
+                     gravity base), got {:?}",
+                    self.traffic.family
+                ));
+            }
+            if !self.failures().is_none() {
+                return Err(format!(
+                    "k-class instances ({classes} classes) do not support failure \
+                     sweeps (the robustness evaluator is two-class)"
+                ));
+            }
+            if search.portfolio() {
+                return Err(format!(
+                    "k-class instances ({classes} classes) do not support the \
+                     portfolio orchestrator (its strategy arms are two-class)"
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -607,9 +727,12 @@ mod tests {
                 model: None,
                 scale: None,
                 seed: None,
+                fractions: None,
+                densities: None,
             },
             failures: None,
             search: None,
+            objective: None,
         }
     }
 
@@ -623,7 +746,107 @@ mod tests {
         assert!(!s.search().portfolio());
         assert!(s.failures().is_none());
         assert!(!s.is_smoke());
+        assert_eq!(s.objective(), ObjectiveSpec::two_class_load());
+        assert_eq!(s.class_count(), 2);
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn objective_field_parses_and_validates() {
+        // A pre-spec manifest (no objective key) defaults to two-class
+        // load — the compatibility contract for the existing corpus.
+        let json = r#"{
+            "name": "legacy",
+            "topology": "Isp",
+            "traffic": { "family": "Gravity" }
+        }"#;
+        let s: ScenarioSpec = serde_json::from_str(json).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.objective(), ObjectiveSpec::two_class_load());
+
+        // A 3-class per-class-SLA manifest.
+        let json = r#"{
+            "name": "triclass",
+            "topology": { "Random": { "nodes": 10, "links": 40, "seed": 1 } },
+            "traffic": {
+                "family": "Gravity",
+                "fractions": [0.15, 0.15],
+                "densities": [0.2, 0.2],
+                "scale": 3.0
+            },
+            "objective": { "classes": [
+                { "Sla": { "bound_s": 0.025, "penalty_a": 100.0, "penalty_b": 1.0,
+                           "delay": { "packet_size_bits": 8000.0 } } },
+                { "Sla": { "bound_s": 0.05, "penalty_a": 100.0, "penalty_b": 1.0,
+                           "delay": { "packet_size_bits": 8000.0 } } },
+                "Load"
+            ] }
+        }"#;
+        let s: ScenarioSpec = serde_json::from_str(json).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.class_count(), 3);
+        assert_eq!(s.objective().summary(), "sla:25ms,sla:50ms,load");
+        assert_eq!(s.traffic.class_fractions(3), vec![0.15, 0.15]);
+        let back: ScenarioSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn k_class_validation_catches_mismatches() {
+        let mut s = minimal("kc");
+        s.objective = Some(ObjectiveSpec::load(3));
+        s.validate().unwrap();
+        // Fraction count must match the class count.
+        s.traffic.fractions = Some(vec![0.2]);
+        assert!(s.validate().unwrap_err().contains("fractions"));
+        s.traffic.fractions = Some(vec![0.2, 0.9]);
+        assert!(s.validate().unwrap_err().contains("sum below 1"));
+        s.traffic.fractions = Some(vec![0.2, 0.2]);
+        s.traffic.densities = Some(vec![0.1]);
+        assert!(s.validate().unwrap_err().contains("densities"));
+        s.traffic.densities = None;
+        s.validate().unwrap();
+        // k-class instances reject non-gravity families and failures.
+        s.traffic.family = TrafficFamily::SkewedGravity { alpha: 1.0 };
+        assert!(s.validate().unwrap_err().contains("Gravity"));
+        s.traffic.family = TrafficFamily::Gravity;
+        s.failures = Some(FailurePolicy::AllSingleDuplex);
+        assert!(s.validate().unwrap_err().contains("failure"));
+        // And a structurally bad objective is reported with context.
+        s.failures = None;
+        s.objective = Some(ObjectiveSpec { classes: vec![] });
+        assert!(s.validate().unwrap_err().contains("objective"));
+    }
+
+    #[test]
+    fn default_class_fractions_split_f_evenly() {
+        let s = minimal("frac");
+        let fr = s.traffic.class_fractions(4);
+        assert_eq!(fr.len(), 3);
+        for f in fr {
+            assert!((f - 0.1).abs() < 1e-12);
+        }
+        assert_eq!(s.traffic.class_densities(3), vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn build_multi_respects_fractions_and_scale() {
+        let mut s = minimal("bm");
+        s.topology = TopologySpec::Random {
+            nodes: 10,
+            links: 40,
+            seed: 3,
+        };
+        s.traffic.fractions = Some(vec![0.2, 0.1]);
+        s.traffic.densities = Some(vec![0.3, 0.3]);
+        s.traffic.scale = Some(2.0);
+        s.traffic.seed = Some(3);
+        let topo = s.topology.build();
+        let d = s.traffic.build_multi(&topo, 3);
+        assert_eq!(d.class_count(), 3);
+        assert!((d.fraction(0) - 0.2).abs() < 1e-9);
+        assert!((d.fraction(1) - 0.1).abs() < 1e-9);
+        assert!(d.total_volume() > 0.0);
     }
 
     #[test]

@@ -30,11 +30,12 @@
 
 use crate::spec::ScenarioSpec;
 use dtr_core::{
-    DtrSearch, Objective, PortfolioMode, PortfolioParams, PortfolioSearch, RobustCost,
-    RobustEvaluator, ScenarioCombine, Scheme, StrSearch, StrategyKind,
+    DtrSearch, Objective, ObjectiveSpec, PortfolioMode, PortfolioParams, PortfolioSearch,
+    RobustCost, RobustEvaluator, ScenarioCombine, Scheme, StrSearch, StrategyKind,
 };
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{Topology, WeightVector};
+use dtr_multi::{MultiDemand, MultiEvaluation, MultiEvaluator, MultiSearch};
 use dtr_routing::{Evaluator, FailurePolicy};
 use dtr_traffic::DemandSet;
 use serde::{Deserialize, Serialize};
@@ -89,9 +90,11 @@ impl SuiteCfg {
 /// One scheme's outcome on one instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchemeReport {
-    /// `Φ_H` of the incumbent.
+    /// `Φ_H` of the incumbent. For k-class instances this is the
+    /// objective's leading component (class 0's `Φ` or `Λ`).
     pub phi_h: f64,
-    /// `Φ_L` of the incumbent.
+    /// `Φ_L` of the incumbent. For k-class instances, the sum of the
+    /// lower classes' cost components.
     pub phi_l: f64,
     /// Average link utilization.
     pub avg_util: f64,
@@ -129,6 +132,11 @@ pub struct InstanceReport {
     pub topology: String,
     /// Traffic family name.
     pub traffic: String,
+    /// Number of traffic classes (2 for the paper's dual setup).
+    pub classes: usize,
+    /// The objective summary (e.g. `"load,load"` or
+    /// `"sla:25ms,sla:50ms,load"`).
+    pub objective: String,
     /// Node count.
     pub nodes: usize,
     /// Directed link count.
@@ -184,7 +192,10 @@ fn run_scheme(
 ) -> (DualWeights, SchemeReport) {
     let search = spec.search();
     let params = search.params(smoke);
-    let objective = Objective::LoadBased;
+    let objective = spec
+        .objective()
+        .as_two_class()
+        .expect("two-class pipeline got a k-class objective");
     let start = Instant::now();
     let (weights, evaluations) = if search.portfolio() {
         let mut folio = PortfolioSearch::new(
@@ -252,7 +263,11 @@ pub struct InstanceRun {
 
 /// Executes one instance end-to-end.
 pub fn run_instance(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
-    run_instance_full(spec, smoke).report
+    if spec.class_count() > 2 {
+        run_instance_k(spec, smoke)
+    } else {
+        run_instance_full(spec, smoke).report
+    }
 }
 
 /// The search front half of one instance: the built topology and
@@ -312,9 +327,152 @@ pub fn search_incumbents(spec: &ScenarioSpec, smoke: bool) -> SearchedInstance {
     }
 }
 
+/// The k-class counterpart of [`SearchedInstance`]: both schemes'
+/// incumbents carry one weight vector per class.
+pub struct SearchedInstanceK {
+    /// The instance's topology.
+    pub topo: Topology,
+    /// The instance's k-class demand set.
+    pub demands: MultiDemand,
+    /// The effective objective spec.
+    pub objective: ObjectiveSpec,
+    /// STR baseline incumbent: the single-topology weight vector
+    /// replicated into every class.
+    pub str_weights: Vec<WeightVector>,
+    /// Baseline scheme report.
+    pub baseline: SchemeReport,
+    /// DTR incumbent (one vector per class, warm-started from the
+    /// baseline).
+    pub dtr_weights: Vec<WeightVector>,
+    /// DTR scheme report.
+    pub dtr: SchemeReport,
+    /// The effective budget-preset name the searches ran at.
+    pub budget: String,
+}
+
+/// Folds a k-class demand set into the two-class view the STR baseline
+/// search runs on: class 0 keeps the high slot, every lower class is
+/// merged into the low matrix.
+fn aggregate_two_class(demands: &MultiDemand) -> DemandSet {
+    let mut low = demands.classes[1].clone();
+    for m in &demands.classes[2..] {
+        for (s, t) in m.positive_pairs() {
+            low.add(s, t, m.get(s, t));
+        }
+    }
+    DemandSet {
+        high: demands.classes[0].clone(),
+        low,
+    }
+}
+
+/// Projects a k-class evaluation onto the two-component report shape:
+/// the objective's leading component plus the sum of the rest.
+fn scheme_report_k(
+    topo: &Topology,
+    eval: &MultiEvaluation,
+    evaluations: usize,
+    elapsed_s: f64,
+) -> SchemeReport {
+    let total = eval.total_loads();
+    SchemeReport {
+        phi_h: eval.cost.get(0),
+        phi_l: eval.cost.as_slice()[1..].iter().sum(),
+        avg_util: eval.avg_utilization(topo),
+        max_util: dtr_routing::loads::max_utilization(topo, &total),
+        evaluations,
+        elapsed_s,
+    }
+}
+
+/// Builds one k-class instance and runs both scheme searches: the STR
+/// baseline (one weight vector for every class, found on the two-class
+/// aggregate) and the staged k-class DTR search under the instance's
+/// [`ObjectiveSpec`], warm-started from the baseline so the leading
+/// cost component can never regress.
+pub fn search_incumbents_k(spec: &ScenarioSpec, smoke: bool) -> SearchedInstanceK {
+    let objective = spec.objective();
+    let k = objective.class_count();
+    assert!(k > 2, "two-class instances use search_incumbents");
+    let topo = spec.topology.build();
+    let demands = spec.traffic.build_multi(&topo, k);
+    let search = spec.search();
+    let params = search.params(smoke);
+
+    let mut evaluator =
+        MultiEvaluator::with_spec(&topo, &demands, &objective).expect("manifest validated");
+
+    // Baseline: single-topology STR on the aggregated two-class view.
+    let start = Instant::now();
+    let agg = aggregate_two_class(&demands);
+    let res = StrSearch::new(&topo, &agg, Objective::LoadBased, params).run();
+    let str_elapsed = start.elapsed().as_secs_f64();
+    let str_weights = vec![res.weights; k];
+    let baseline_eval = evaluator.eval(&str_weights);
+    let baseline = scheme_report_k(&topo, &baseline_eval, res.trace.evaluations, str_elapsed);
+
+    // DTR: the staged k-class search under the unified objective.
+    let start = Instant::now();
+    let res = MultiSearch::with_spec(&topo, &demands, &objective, params)
+        .expect("manifest validated")
+        .with_initial(str_weights.clone())
+        .run();
+    let dtr = scheme_report_k(
+        &topo,
+        &res.eval,
+        res.trace.evaluations,
+        start.elapsed().as_secs_f64(),
+    );
+
+    SearchedInstanceK {
+        topo,
+        demands,
+        objective,
+        str_weights,
+        baseline,
+        dtr_weights: res.weights,
+        dtr,
+        budget: if smoke {
+            "tiny".to_string()
+        } else {
+            search.budget().to_string()
+        },
+    }
+}
+
+/// Executes one k-class instance end-to-end. The failure-policy sweep
+/// does not apply (manifest validation rejects k-class instances with a
+/// failure policy), so the report's `robust` is always `None`.
+pub fn run_instance_k(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
+    let run = search_incumbents_k(spec, smoke);
+    InstanceReport {
+        name: spec.name.clone(),
+        topology: spec.topology.family_name().to_string(),
+        traffic: spec.traffic.family.name().to_string(),
+        classes: run.objective.class_count(),
+        objective: run.objective.summary(),
+        nodes: run.topo.node_count(),
+        links: run.topo.link_count(),
+        total_demand: run.demands.total_volume(),
+        high_fraction: run.demands.fraction(0),
+        budget: run.budget,
+        portfolio: false,
+        r_h: cost_ratio(run.baseline.phi_h, run.dtr.phi_h),
+        r_l: cost_ratio(run.baseline.phi_l, run.dtr.phi_l),
+        dtr_high_win: run.dtr.phi_h <= run.baseline.phi_h * (1.0 + 1e-9),
+        baseline: run.baseline,
+        dtr: run.dtr,
+        robust: None,
+    }
+}
+
 /// Executes one instance end-to-end, returning the report **and** both
 /// incumbent weight settings.
 pub fn run_instance_full(spec: &ScenarioSpec, smoke: bool) -> InstanceRun {
+    assert!(
+        spec.class_count() == 2,
+        "k-class instances go through run_instance_k"
+    );
     let search = spec.search();
     let SearchedInstance {
         topo,
@@ -354,6 +512,8 @@ pub fn run_instance_full(spec: &ScenarioSpec, smoke: bool) -> InstanceRun {
         name: spec.name.clone(),
         topology: spec.topology.family_name().to_string(),
         traffic: spec.traffic.family.name().to_string(),
+        classes: 2,
+        objective: spec.objective().summary(),
         nodes: topo.node_count(),
         links: topo.link_count(),
         total_demand: demands.total_volume(),
@@ -509,6 +669,8 @@ mod tests {
                 model: None,
                 scale: Some(3.0),
                 seed: Some(3),
+                fractions: None,
+                densities: None,
             },
             failures: Some(dtr_routing::FailurePolicy::AllSingleDuplex),
             search: Some(SearchSpec {
@@ -517,6 +679,7 @@ mod tests {
                 beta: None,
                 portfolio: None,
             }),
+            objective: None,
         }
     }
 
@@ -580,6 +743,54 @@ mod tests {
         let text = serde_json::to_string_pretty(&r).unwrap();
         let back: InstanceReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn two_class_sla_objective_threads_through_the_searches() {
+        let mut s = spec("sla2", true);
+        s.failures = None;
+        s.objective = Some(dtr_cost::ObjectiveSpec::from(
+            dtr_core::Objective::SlaBased(dtr_cost::SlaParams::default()),
+        ));
+        let r = run_instance(&s, true);
+        assert_report_shape(&r);
+        assert_eq!(r.classes, 2);
+        assert_eq!(r.objective, "sla:25ms,load");
+    }
+
+    #[test]
+    fn k_class_instance_runs_end_to_end() {
+        let mut s = spec("tri", true);
+        s.failures = None;
+        s.objective = Some(dtr_cost::ObjectiveSpec::uniform_sla(
+            3,
+            dtr_cost::SlaParams::default(),
+        ));
+        s.validate().unwrap();
+        let r = run_instance(&s, true);
+        assert_report_shape(&r);
+        assert_eq!(r.classes, 3);
+        assert_eq!(r.objective, "sla:25ms,sla:25ms,load");
+        assert!(r.robust.is_none(), "k-class instances skip the sweep");
+        // The warm start makes the leading component a never-regress
+        // guarantee, so the paper's qualitative gate holds by
+        // construction.
+        assert!(r.dtr_high_win);
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: InstanceReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn k_class_aggregate_preserves_volume() {
+        let mut s = spec("agg", true);
+        s.failures = None;
+        s.objective = Some(dtr_cost::ObjectiveSpec::load(4));
+        let topo = s.topology.build();
+        let demands = s.traffic.build_multi(&topo, 4);
+        let agg = aggregate_two_class(&demands);
+        assert!((agg.total_volume() - demands.total_volume()).abs() < 1e-9);
+        assert_eq!(agg.high, demands.classes[0]);
     }
 
     #[test]

@@ -31,13 +31,14 @@
 //! the same corpus — `tests/validation.rs` asserts it.
 
 use crate::spec::ScenarioSpec;
-use crate::suite::{search_incumbents, SuiteCfg};
+use crate::suite::{search_incumbents, search_incumbents_k, SuiteCfg};
 use dtr_core::{derive_stream_seed, Objective};
 use dtr_graph::weights::DualWeights;
-use dtr_graph::Topology;
+use dtr_graph::{Topology, WeightVector};
+use dtr_multi::{MultiDemand, MultiEvaluator};
 use dtr_routing::Evaluator;
-use dtr_sim::{BackendReport, DesBackend, FluidSim, SimBackend, TrafficClass};
-use dtr_traffic::DemandSet;
+use dtr_sim::{BackendReport, DesBackend, FluidSim, KClassReport, SimBackend, TrafficClass};
+use dtr_traffic::{DemandSet, TrafficMatrix};
 use serde::{Deserialize, Serialize};
 
 /// Fluid loads must match the analytic evaluator's to this relative
@@ -94,6 +95,13 @@ pub fn load_floor(max_load: f64) -> f64 {
 /// Isolation scan: both classes need at least this many wait samples on
 /// a link before an inversion there counts.
 const ISOLATION_MIN_SAMPLES: u64 = 500;
+
+/// Minimum DES wait samples a (class, link) needs before its relative
+/// load error enters the k-class comparison. The two-class check gets
+/// significance for free — its load floor tracks the aggregate volume —
+/// but a thin class's links can clear the 2% floor on a handful of
+/// packets, where a relative error is pure sampling noise.
+const DES_LOAD_MIN_SAMPLES: u64 = 500;
 
 /// How the validation harness should run.
 #[derive(Debug, Clone, Default)]
@@ -423,6 +431,188 @@ fn validate_scheme(
     }
 }
 
+/// The k-class counterpart of [`class_agreement`]: one priority class
+/// of one scheme, compared across the three k-class pipelines.
+fn class_agreement_k(
+    c: usize,
+    analytic_loads: &[f64],
+    link_stable: &[bool],
+    fluid: &KClassReport,
+    des: &KClassReport,
+    matrix: &TrafficMatrix,
+) -> ClassAgreement {
+    let mut fluid_err = 0.0f64;
+    for (a, f) in analytic_loads.iter().zip(&fluid.class_loads[c]) {
+        let err = if *a == 0.0 && *f == 0.0 {
+            0.0
+        } else {
+            (f - a).abs() / a.abs().max(1e-12)
+        };
+        fluid_err = fluid_err.max(err);
+    }
+    let max_load = analytic_loads.iter().cloned().fold(0.0, f64::max);
+    let floor = load_floor(max_load);
+    let mut des_err = 0.0f64;
+    for (i, (a, d)) in analytic_loads.iter().zip(&des.class_loads[c]).enumerate() {
+        if *a >= floor
+            && floor > 0.0
+            && link_stable[i]
+            && des.link_wait_samples[c][i] >= DES_LOAD_MIN_SAMPLES
+        {
+            des_err = des_err.max((d - a).abs() / a);
+        }
+    }
+    let (mut fluid_sum, mut des_sum, mut vol) = (0.0, 0.0, 0.0);
+    let (mut compared, mut saturated) = (0usize, 0usize);
+    for (key, &fd) in &fluid.pair_delays {
+        if key.class as usize != c {
+            continue;
+        }
+        if !fd.is_finite() || fluid.hot_pairs.contains(key) {
+            saturated += 1;
+            continue;
+        }
+        let Some(&dd) = des.pair_delays.get(key) else {
+            continue;
+        };
+        let v = matrix.get(key.src as usize, key.dst as usize);
+        if v <= 0.0 {
+            continue;
+        }
+        fluid_sum += fd * v;
+        des_sum += dd * v;
+        vol += v;
+        compared += 1;
+    }
+    let (fluid_mean, des_mean, rel) = if vol > 0.0 {
+        let fm = fluid_sum / vol;
+        let dm = des_sum / vol;
+        (Some(fm), Some(dm), Some((dm - fm).abs() / fm))
+    } else {
+        (None, None, None)
+    };
+    ClassAgreement {
+        fluid_load_rel_err: fluid_err,
+        des_load_rel_err: des_err,
+        fluid_mean_delay_s: fluid_mean,
+        des_mean_delay_s: des_mean,
+        mean_delay_rel_err: rel,
+        pairs_compared: compared,
+        pairs_saturated: saturated,
+    }
+}
+
+/// Folds the agreements of classes `1..k` into the report's `low` slot:
+/// worst-case load errors, summed pair counts, and the delay means of
+/// the class with the worst delay error (so the reported means and the
+/// reported error describe the same class).
+fn fold_lower_classes(classes: &[ClassAgreement]) -> ClassAgreement {
+    let mut out = ClassAgreement {
+        fluid_load_rel_err: 0.0,
+        des_load_rel_err: 0.0,
+        fluid_mean_delay_s: None,
+        des_mean_delay_s: None,
+        mean_delay_rel_err: None,
+        pairs_compared: 0,
+        pairs_saturated: 0,
+    };
+    for c in classes {
+        out.fluid_load_rel_err = out.fluid_load_rel_err.max(c.fluid_load_rel_err);
+        out.des_load_rel_err = out.des_load_rel_err.max(c.des_load_rel_err);
+        out.pairs_compared += c.pairs_compared;
+        out.pairs_saturated += c.pairs_saturated;
+        if let Some(e) = c.mean_delay_rel_err {
+            if out.mean_delay_rel_err.is_none_or(|b| e > b) {
+                out.mean_delay_rel_err = Some(e);
+                out.fluid_mean_delay_s = c.fluid_mean_delay_s;
+                out.des_mean_delay_s = c.des_mean_delay_s;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a k-class DES report for priority inversions across every
+/// adjacent class pair — strict priority forbids a higher class waiting
+/// longer than the class right below it on the same link.
+fn isolation_violations_k(des: &KClassReport) -> usize {
+    let k = des.classes();
+    let n = des.class_loads[0].len();
+    let mut violations = 0;
+    for c in 0..k - 1 {
+        for i in 0..n {
+            let (nh, nl) = (des.link_wait_samples[c][i], des.link_wait_samples[c + 1][i]);
+            if nh < ISOLATION_MIN_SAMPLES || nl < ISOLATION_MIN_SAMPLES {
+                continue;
+            }
+            if des.link_wait_s[c][i] > 1.25 * des.link_wait_s[c + 1][i] + 2e-5 {
+                violations += 1;
+            }
+        }
+    }
+    violations
+}
+
+/// Validates one k-class incumbent (one weight vector per class) on one
+/// instance: analytic k-class evaluator vs fluid `run_classes` vs
+/// budgeted k-class DES, with the same gates as the two-class path.
+fn validate_scheme_k(
+    scheme: &str,
+    topo: &Topology,
+    demands: &MultiDemand,
+    weights: &[WeightVector],
+    des_seed: u64,
+    packets: u64,
+) -> SchemeValidation {
+    let k = demands.class_count();
+    let analytic = MultiEvaluator::new(topo, demands).eval(weights);
+    let matrices: Vec<&TrafficMatrix> = demands.classes.iter().collect();
+    let fluid_backend = FluidSim {
+        cfg: dtr_sim::FluidCfg {
+            hot_util: HOT_UTIL,
+            ..Default::default()
+        },
+    };
+    let fluid = fluid_backend.run_classes(topo, &matrices, weights);
+    // The DES envelopes are calibrated against the two-class corpus. The
+    // binding statistic is the *per-class* load error and the thinnest
+    // class in a k-class split carries a small fraction of the volume, so
+    // scale the packet budget with the class count to keep that class's
+    // sample size in the regime the envelopes were tuned for.
+    let packets = packets * k as u64;
+    let des = DesBackend::budgeted_classes(&matrices, packets, des_seed)
+        .run_classes(topo, &matrices, weights);
+
+    let total = analytic.total_loads();
+    let link_stable: Vec<bool> = topo
+        .links()
+        .map(|(lid, l)| total[lid.index()] / l.capacity < HOT_UTIL)
+        .collect();
+    let saturated_links = link_stable.iter().filter(|ok| !**ok).count();
+    let per_class: Vec<ClassAgreement> = (0..k)
+        .map(|c| {
+            class_agreement_k(
+                c,
+                &analytic.loads[c],
+                &link_stable,
+                &fluid,
+                &des,
+                &demands.classes[c],
+            )
+        })
+        .collect();
+    SchemeValidation {
+        scheme: scheme.to_string(),
+        max_util: dtr_routing::loads::max_utilization(topo, &total),
+        saturated_links,
+        des_seed,
+        des_packets: des.packets,
+        isolation_violations: isolation_violations_k(&des),
+        high: per_class[0],
+        low: fold_lower_classes(&per_class[1..]),
+    }
+}
+
 /// Stream tags for the derived DES seeds, offset far from the portfolio
 /// orchestrator's task streams so validation never shares an RNG stream
 /// with a search arm.
@@ -435,6 +625,9 @@ const DES_STREAM_DTR: u64 = 0xDE5_0002;
 /// validation has no use for), then pushes both through the three
 /// pipelines.
 pub fn validate_instance(spec: &ScenarioSpec, cfg: &ValidateCfg) -> ValidationReport {
+    if spec.class_count() > 2 {
+        return validate_instance_k(spec, cfg);
+    }
     let run = search_incumbents(spec, cfg.smoke);
     let base_seed = spec.search().seed.unwrap_or(1);
     let packets = cfg.packets();
@@ -453,6 +646,41 @@ pub fn validate_instance(spec: &ScenarioSpec, cfg: &ValidateCfg) -> ValidationRe
             packets,
         ),
         dtr: validate_scheme(
+            "dtr",
+            &run.topo,
+            &run.demands,
+            &run.dtr_weights,
+            derive_stream_seed(base_seed, DES_STREAM_DTR),
+            packets,
+        ),
+    }
+}
+
+/// The k-class variant of [`validate_instance`]: reruns the k-class
+/// suite searches for the incumbents, then pushes the replicated STR
+/// baseline and the k-vector DTR incumbent through the analytic, fluid
+/// and DES k-class pipelines. The report's `high` slot carries class 0,
+/// `low` the fold of every lower class ([`fold_lower_classes`]), so
+/// [`summarize`] gates k-class instances with the same envelopes.
+fn validate_instance_k(spec: &ScenarioSpec, cfg: &ValidateCfg) -> ValidationReport {
+    let run = search_incumbents_k(spec, cfg.smoke);
+    let base_seed = spec.search().seed.unwrap_or(1);
+    let packets = cfg.packets();
+    ValidationReport {
+        name: spec.name.clone(),
+        topology: spec.topology.family_name().to_string(),
+        nodes: run.topo.node_count(),
+        links: run.topo.link_count(),
+        budget: run.budget.clone(),
+        baseline: validate_scheme_k(
+            "baseline",
+            &run.topo,
+            &run.demands,
+            &run.str_weights,
+            derive_stream_seed(base_seed, DES_STREAM_BASELINE),
+            packets,
+        ),
+        dtr: validate_scheme_k(
             "dtr",
             &run.topo,
             &run.demands,
@@ -598,6 +826,8 @@ mod tests {
                 model: None,
                 scale: Some(3.0),
                 seed: Some(3),
+                fractions: None,
+                densities: None,
             },
             failures: None,
             search: Some(SearchSpec {
@@ -606,6 +836,7 @@ mod tests {
                 beta: None,
                 portfolio: None,
             }),
+            objective: None,
         }
     }
 
@@ -656,6 +887,63 @@ mod tests {
         let text = serde_json::to_string_pretty(&r).unwrap();
         let back: ValidationReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn k_class_instance_validates_end_to_end() {
+        let mut s = spec("tri-val");
+        s.objective = Some(dtr_cost::ObjectiveSpec::uniform_sla(
+            3,
+            dtr_cost::SlaParams::default(),
+        ));
+        s.validate().unwrap();
+        let r = validate_instance(&s, &cfg());
+        assert_validation_shape(&r);
+        // Fluid loads reproduce the k-class analytic loads exactly, for
+        // class 0 and for every lower class.
+        for sv in r.schemes() {
+            for c in [&sv.high, &sv.low] {
+                assert!(
+                    c.fluid_load_rel_err <= FLUID_LOAD_TOL,
+                    "{}: fluid err {}",
+                    sv.scheme,
+                    c.fluid_load_rel_err
+                );
+            }
+            assert_eq!(sv.isolation_violations, 0, "{}", sv.scheme);
+        }
+        let summary = summarize(&[r], &cfg());
+        assert!(summary.fluid_ok);
+        assert!(summary.isolation_ok);
+    }
+
+    #[test]
+    fn fold_lower_classes_takes_worst_and_sums_pairs() {
+        let a = ClassAgreement {
+            fluid_load_rel_err: 1e-12,
+            des_load_rel_err: 0.1,
+            fluid_mean_delay_s: Some(0.010),
+            des_mean_delay_s: Some(0.011),
+            mean_delay_rel_err: Some(0.1),
+            pairs_compared: 4,
+            pairs_saturated: 1,
+        };
+        let b = ClassAgreement {
+            fluid_load_rel_err: 1e-10,
+            des_load_rel_err: 0.05,
+            fluid_mean_delay_s: Some(0.020),
+            des_mean_delay_s: Some(0.024),
+            mean_delay_rel_err: Some(0.2),
+            pairs_compared: 6,
+            pairs_saturated: 0,
+        };
+        let f = fold_lower_classes(&[a, b]);
+        assert_eq!(f.fluid_load_rel_err, 1e-10);
+        assert_eq!(f.des_load_rel_err, 0.1);
+        assert_eq!(f.mean_delay_rel_err, Some(0.2));
+        assert_eq!(f.fluid_mean_delay_s, Some(0.020), "means track worst class");
+        assert_eq!(f.pairs_compared, 10);
+        assert_eq!(f.pairs_saturated, 1);
     }
 
     #[test]

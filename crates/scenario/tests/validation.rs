@@ -29,6 +29,8 @@ fn spec(name: &str, topology: TopologySpec, family: TrafficFamily, seed: u64) ->
             model: None,
             scale: Some(3.0),
             seed: Some(seed),
+            fractions: None,
+            densities: None,
         },
         failures: None,
         search: Some(SearchSpec {
@@ -37,6 +39,7 @@ fn spec(name: &str, topology: TopologySpec, family: TrafficFamily, seed: u64) ->
             beta: None,
             portfolio: None,
         }),
+        objective: None,
     }
 }
 

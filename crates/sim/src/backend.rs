@@ -15,9 +15,9 @@
 //! validation harness tests for.
 
 use crate::engine::{SimConfig, Simulation};
-use crate::stats::{PairKey, TrafficClass};
+use crate::stats::{ClassPairKey, PairKey, TrafficClass};
 use dtr_graph::weights::DualWeights;
-use dtr_graph::Topology;
+use dtr_graph::{Topology, WeightVector};
 use dtr_traffic::{DemandSet, TrafficMatrix};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -97,6 +97,84 @@ impl BackendReport {
     }
 }
 
+/// [`BackendReport`]'s k-class counterpart: per-class vectors instead of
+/// two-element arrays, priority-index pair keys, same units and
+/// conventions. Produced by [`crate::FluidSim::run_classes`] and
+/// [`DesBackend::run_classes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KClassReport {
+    /// The producing backend's [`SimBackend::name`].
+    pub backend: &'static str,
+    /// Per-class per-link carried load (Mbit/s), index 0 served first.
+    pub class_loads: Vec<Vec<f64>>,
+    /// Per-class per-link mean queueing wait (seconds).
+    pub link_wait_s: Vec<Vec<f64>>,
+    /// Wait-sample counts (`u64::MAX` for exact fluid predictions).
+    pub link_wait_samples: Vec<Vec<u64>>,
+    /// Mean end-to-end delay per (class index, src, dst) pair, seconds.
+    pub pair_delays: BTreeMap<ClassPairKey, f64>,
+    /// Pairs whose expected path crosses a near-saturated link.
+    pub hot_pairs: BTreeSet<ClassPairKey>,
+    /// Packets generated (0 for the fluid backend).
+    pub packets: u64,
+}
+
+impl KClassReport {
+    /// Number of priority classes covered.
+    pub fn classes(&self) -> usize {
+        self.class_loads.len()
+    }
+
+    /// Flow-weighted mean end-to-end delay of class `class` over the
+    /// finite-delay pairs, weighted by `matrix`'s volumes. `None` when
+    /// no pair of the class qualifies.
+    pub fn mean_class_delay(&self, class: usize, matrix: &TrafficMatrix) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut vol = 0.0;
+        for (key, &d) in &self.pair_delays {
+            if key.class as usize != class || !d.is_finite() {
+                continue;
+            }
+            let v = matrix.get(key.src as usize, key.dst as usize);
+            if v > 0.0 {
+                sum += d * v;
+                vol += v;
+            }
+        }
+        (vol > 0.0).then_some(sum / vol)
+    }
+
+    /// Repackages a two-class report into the classic [`BackendReport`]
+    /// shape. Values are moved, not recomputed — bit-identical.
+    pub fn into_two_class(self) -> BackendReport {
+        assert_eq!(self.classes(), 2, "two-class report needs two classes");
+        let key = |k: ClassPairKey| PairKey {
+            class: TrafficClass::from_idx(k.class as usize)
+                .expect("two-class report has class indices 0 and 1"),
+            src: k.src,
+            dst: k.dst,
+        };
+        let two =
+            |v: Vec<Vec<f64>>| -> [Vec<f64>; 2] { v.try_into().expect("exactly two classes") };
+        BackendReport {
+            backend: self.backend,
+            class_loads: two(self.class_loads),
+            link_wait_s: two(self.link_wait_s),
+            link_wait_samples: self
+                .link_wait_samples
+                .try_into()
+                .expect("exactly two classes"),
+            pair_delays: self
+                .pair_delays
+                .into_iter()
+                .map(|(k, d)| (key(k), d))
+                .collect(),
+            hot_pairs: self.hot_pairs.into_iter().map(key).collect(),
+            packets: self.packets,
+        }
+    }
+}
+
 /// The packet-level discrete-event engine behind the [`SimBackend`]
 /// contract. Wraps a [`SimConfig`]; each [`SimBackend::run`] call builds
 /// and runs one [`Simulation`] and condenses its [`crate::SimReport`].
@@ -113,8 +191,15 @@ impl DesBackend {
     /// mode the validation harness uses — cost is bounded by the packet
     /// budget, not by the instance's absolute traffic volume.
     pub fn budgeted(demands: &DemandSet, packets: u64, seed: u64) -> Self {
+        Self::budgeted_classes(&[&demands.high, &demands.low], packets, seed)
+    }
+
+    /// [`DesBackend::budgeted`] for k priority classes: the packet
+    /// budget is shared across all classes' offered volume.
+    pub fn budgeted_classes(matrices: &[&TrafficMatrix], packets: u64, seed: u64) -> Self {
         let cfg = SimConfig::default();
-        let total_pps = demands.total_volume() * 1e6 / cfg.mean_packet_bits;
+        let volume: f64 = matrices.iter().map(|m| m.total()).sum();
+        let total_pps = volume * 1e6 / cfg.mean_packet_bits;
         assert!(total_pps > 0.0, "budgeted DES needs positive demand");
         let duration_s = packets as f64 / total_pps;
         DesBackend {
@@ -126,22 +211,25 @@ impl DesBackend {
             },
         }
     }
-}
 
-impl SimBackend for DesBackend {
-    fn name(&self) -> &'static str {
-        "des"
-    }
-
-    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport {
-        let report = Simulation::new(topo, demands, weights, self.cfg).run();
+    /// The k-class DES run: one packet-level simulation of all classes
+    /// under strict priority, condensed to a [`KClassReport`]. With two
+    /// classes this is exactly [`SimBackend::run`] (which delegates
+    /// here).
+    pub fn run_classes(
+        &self,
+        topo: &Topology,
+        matrices: &[&TrafficMatrix],
+        weights: &[WeightVector],
+    ) -> KClassReport {
+        let report = Simulation::with_classes(topo, matrices, weights, self.cfg).run_classes();
+        let k = matrices.len();
         let m = topo.link_count();
-        let mut class_loads = [vec![0.0; m], vec![0.0; m]];
-        let mut link_wait_s = [vec![0.0; m], vec![0.0; m]];
-        let mut link_wait_samples = [vec![0u64; m], vec![0u64; m]];
+        let mut class_loads = vec![vec![0.0; m]; k];
+        let mut link_wait_s = vec![vec![0.0; m]; k];
+        let mut link_wait_samples = vec![vec![0u64; m]; k];
         for i in 0..m {
-            for class in [TrafficClass::High, TrafficClass::Low] {
-                let c = class.idx();
+            for c in 0..k {
                 let cs = &report.link_stats[i].per_class[c];
                 class_loads[c][i] = cs.bits / report.duration_s / 1e6;
                 link_wait_s[c][i] = cs.wait.mean();
@@ -152,10 +240,10 @@ impl SimBackend for DesBackend {
             .pair_delays
             .iter()
             .filter(|(_, acc)| acc.count > 0)
-            .map(|(k, acc)| (*k, acc.mean()))
+            .map(|(key, acc)| (*key, acc.mean()))
             .collect();
-        BackendReport {
-            backend: self.name(),
+        KClassReport {
+            backend: "des",
             class_loads,
             link_wait_s,
             link_wait_samples,
@@ -163,6 +251,21 @@ impl SimBackend for DesBackend {
             hot_pairs: BTreeSet::new(),
             packets: report.generated,
         }
+    }
+}
+
+impl SimBackend for DesBackend {
+    fn name(&self) -> &'static str {
+        "des"
+    }
+
+    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport {
+        self.run_classes(
+            topo,
+            &[&demands.high, &demands.low],
+            &[weights.high.clone(), weights.low.clone()],
+        )
+        .into_two_class()
     }
 }
 
@@ -198,6 +301,39 @@ mod tests {
         // ≥ propagation + transmission.
         assert!(dh > 0.001, "high delay {dh}");
         assert!(r.mean_class_delay(TrafficClass::Low, &demands).unwrap() >= dh * 0.5);
+    }
+
+    #[test]
+    fn k_class_des_agrees_with_k_class_fluid() {
+        // Three classes on one bottleneck: the budgeted DES's measured
+        // loads and waits track the fluid (Cobham) predictions.
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(2);
+        b.add_duplex(NodeId(0), NodeId(1), 10.0, 0.001);
+        let topo = b.build().unwrap();
+        let mut mats = Vec::new();
+        for mbps in [2.0, 3.0, 2.0] {
+            let mut m = TrafficMatrix::zeros(2);
+            m.set(0, 1, mbps);
+            mats.push(m);
+        }
+        let refs: Vec<&TrafficMatrix> = mats.iter().collect();
+        let w = WeightVector::uniform(&topo, 1);
+        let weights = vec![w.clone(), w.clone(), w];
+        let fluid = crate::FluidSim::new().run_classes(&topo, &refs, &weights);
+        let des =
+            DesBackend::budgeted_classes(&refs, 60_000, 5).run_classes(&topo, &refs, &weights);
+        assert_eq!(fluid.classes(), 3);
+        assert_eq!(des.classes(), 3);
+        let link = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        for (c, mat) in mats.iter().enumerate() {
+            let lf = fluid.class_loads[c][link.index()];
+            let ld = des.class_loads[c][link.index()];
+            assert!((lf - ld).abs() / lf < 0.15, "class {c} load {ld} vs {lf}");
+            let df = fluid.mean_class_delay(c, mat).unwrap();
+            let dd = des.mean_class_delay(c, mat).unwrap();
+            assert!((df - dd).abs() / df < 0.25, "class {c} delay {dd} vs {df}");
+        }
     }
 
     #[test]

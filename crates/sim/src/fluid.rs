@@ -26,12 +26,12 @@
 //! magnitude faster than a statistically meaningful DES run, and exactly
 //! reproducible (no RNG anywhere).
 
-use crate::backend::{BackendReport, SimBackend};
+use crate::backend::{BackendReport, KClassReport, SimBackend};
 use crate::forwarding::ForwardingState;
-use crate::queueing::{cobham, PriorityLink};
-use crate::stats::{PairKey, TrafficClass};
+use crate::queueing::{cobham_k, PriorityLink};
+use crate::stats::ClassPairKey;
 use dtr_graph::weights::DualWeights;
-use dtr_graph::{NodeId, Topology};
+use dtr_graph::{NodeId, Topology, WeightVector};
 use dtr_routing::push_demand_down_dag;
 use dtr_traffic::{DemandSet, TrafficMatrix};
 use std::collections::{BTreeMap, BTreeSet};
@@ -84,7 +84,7 @@ impl FluidSim {
         &self,
         topo: &Topology,
         fwd: &ForwardingState,
-        class: TrafficClass,
+        class: usize,
         m: &TrafficMatrix,
         flow: &mut Vec<f64>,
     ) -> Vec<f64> {
@@ -93,29 +93,38 @@ impl FluidSim {
             if m.demands_to(t.index()).next().is_none() {
                 continue;
             }
-            push_demand_down_dag(topo, fwd.dag(class, t), m, t, flow, &mut loads);
+            push_demand_down_dag(topo, fwd.class_dag(class, t), m, t, flow, &mut loads);
         }
         loads
     }
-}
 
-impl SimBackend for FluidSim {
-    fn name(&self) -> &'static str {
-        "fluid"
-    }
-
-    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport {
+    /// The k-class fluid run: `matrices[c]` is the demand of priority
+    /// class `c` (0 served first), routed on `weights[c]`. Per-link
+    /// delays come from [`cobham_k`]; everything else is the two-class
+    /// pipeline generalized, and with `k = 2` the numbers are
+    /// bit-identical to [`SimBackend::run`] (which delegates here).
+    pub fn run_classes(
+        &self,
+        topo: &Topology,
+        matrices: &[&TrafficMatrix],
+        weights: &[WeightVector],
+    ) -> KClassReport {
+        assert!(!matrices.is_empty(), "need at least one class");
+        assert_eq!(matrices.len(), weights.len(), "one weight vector per class");
+        let k = matrices.len();
         let m = topo.link_count();
-        let fwd = ForwardingState::new(topo, weights);
+        let fwd = ForwardingState::with_class_weights(topo, weights);
         let mut flow = Vec::new();
-        let high_loads = self.class_loads(topo, &fwd, TrafficClass::High, &demands.high, &mut flow);
-        let low_loads = self.class_loads(topo, &fwd, TrafficClass::Low, &demands.low, &mut flow);
+        let loads: Vec<Vec<f64>> = (0..k)
+            .map(|c| self.class_loads(topo, &fwd, c, matrices[c], &mut flow))
+            .collect();
 
         // Closed-form per-link waits and sojourns at those loads, plus
         // the near-saturation flags for the hot-pair scan.
-        let mut wait = [vec![0.0; m], vec![0.0; m]];
-        let mut sojourn = [vec![0.0; m], vec![0.0; m]];
+        let mut wait = vec![vec![0.0; m]; k];
+        let mut sojourn = vec![vec![0.0; m]; k];
         let mut link_hot = vec![false; m];
+        let mut offered = vec![0.0; k];
         for (lid, link) in topo.links() {
             let i = lid.index();
             let pl = PriorityLink {
@@ -123,12 +132,17 @@ impl SimBackend for FluidSim {
                 mean_packet_bits: self.cfg.mean_packet_bits,
                 deterministic: self.cfg.deterministic_size,
             };
-            let (dh, dl) = cobham(&pl, high_loads[i], low_loads[i]);
-            wait[0][i] = dh.wait_s;
-            wait[1][i] = dl.wait_s;
-            sojourn[0][i] = dh.sojourn_s;
-            sojourn[1][i] = dl.sojourn_s;
-            link_hot[i] = (high_loads[i] + low_loads[i]) / link.capacity >= self.cfg.hot_util;
+            let mut total = 0.0;
+            for c in 0..k {
+                offered[c] = loads[c][i];
+                total += loads[c][i];
+            }
+            let delays = cobham_k(&pl, &offered);
+            for c in 0..k {
+                wait[c][i] = delays[c].wait_s;
+                sojourn[c][i] = delays[c].sojourn_s;
+            }
+            link_hot[i] = total / link.capacity >= self.cfg.hot_util;
         }
 
         // End-to-end expected delays: ξ dynamic program per destination
@@ -140,16 +154,12 @@ impl SimBackend for FluidSim {
         let mut hot_pairs = BTreeSet::new();
         let mut xi = vec![0.0f64; topo.node_count()];
         let mut hot = vec![false; topo.node_count()];
-        for (class, matrix) in [
-            (TrafficClass::High, &demands.high),
-            (TrafficClass::Low, &demands.low),
-        ] {
-            let c = class.idx();
+        for (c, matrix) in matrices.iter().enumerate() {
             for t in topo.nodes() {
                 if matrix.demands_to(t.index()).next().is_none() {
                     continue;
                 }
-                let dag = fwd.dag(class, t);
+                let dag = fwd.class_dag(c, t);
                 xi.fill(0.0);
                 hot.fill(false);
                 // A source that cannot reach `t` has no delay, not a
@@ -175,8 +185,8 @@ impl SimBackend for FluidSim {
                     xi[vi] = acc / branches.len() as f64;
                 }
                 for (s, _vol) in matrix.demands_to(t.index()) {
-                    let key = PairKey {
-                        class,
+                    let key = ClassPairKey {
+                        class: c as u8,
                         src: s as u32,
                         dst: t.index() as u32,
                     };
@@ -188,13 +198,13 @@ impl SimBackend for FluidSim {
             }
         }
 
-        BackendReport {
-            backend: self.name(),
-            class_loads: [high_loads, low_loads],
+        KClassReport {
+            backend: "fluid",
+            class_loads: loads,
             link_wait_s: wait,
             // Exact, not sampled: report saturation so significance
             // filters never discard fluid predictions.
-            link_wait_samples: [vec![u64::MAX; m], vec![u64::MAX; m]],
+            link_wait_samples: vec![vec![u64::MAX; m]; k],
             pair_delays,
             hot_pairs,
             packets: 0,
@@ -202,10 +212,26 @@ impl SimBackend for FluidSim {
     }
 }
 
+impl SimBackend for FluidSim {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, topo: &Topology, demands: &DemandSet, weights: &DualWeights) -> BackendReport {
+        self.run_classes(
+            topo,
+            &[&demands.high, &demands.low],
+            &[weights.high.clone(), weights.low.clone()],
+        )
+        .into_two_class()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::queueing::cobham;
+    use crate::stats::{PairKey, TrafficClass};
     use dtr_graph::{NodeId, TopologyBuilder, WeightVector};
 
     fn two_node(capacity: f64, prop: f64) -> Topology {
@@ -366,6 +392,58 @@ mod tests {
         };
         let mean = r.mean_class_delay(TrafficClass::High, &d).unwrap();
         assert_eq!(mean, r.pair_delays[&local]);
+    }
+
+    #[test]
+    fn three_class_single_link_matches_cobham_k() {
+        use crate::queueing::cobham_k;
+        use crate::stats::ClassPairKey;
+        let topo = two_node(10.0, 0.002);
+        let mut mats = Vec::new();
+        for mbps in [2.0, 3.0, 3.0] {
+            let mut m = TrafficMatrix::zeros(2);
+            m.set(0, 1, mbps);
+            mats.push(m);
+        }
+        let w = WeightVector::uniform(&topo, 1);
+        let r = FluidSim::new().run_classes(
+            &topo,
+            &[&mats[0], &mats[1], &mats[2]],
+            &[w.clone(), w.clone(), w],
+        );
+        assert_eq!(r.classes(), 3);
+        let link = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        let pl = PriorityLink {
+            capacity_mbps: 10.0,
+            mean_packet_bits: 8000.0,
+            deterministic: false,
+        };
+        let theory = cobham_k(&pl, &[2.0, 3.0, 3.0]);
+        for c in 0..3 {
+            assert_eq!(r.class_loads[c][link.index()], [2.0, 3.0, 3.0][c]);
+            assert_eq!(r.link_wait_s[c][link.index()], theory[c].wait_s);
+            let key = ClassPairKey {
+                class: c as u8,
+                src: 0,
+                dst: 1,
+            };
+            assert!(
+                (r.pair_delays[&key] - (theory[c].sojourn_s + 0.002)).abs() < 1e-15,
+                "class {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_class_run_classes_is_run_bitwise() {
+        let topo = two_node(10.0, 0.001);
+        let d = demands(3.0, 4.0, 2);
+        let w = DualWeights::replicated(WeightVector::uniform(&topo, 1));
+        let a = FluidSim::new().run(&topo, &d, &w);
+        let b = FluidSim::new()
+            .run_classes(&topo, &[&d.high, &d.low], &[w.high.clone(), w.low.clone()])
+            .into_two_class();
+        assert_eq!(a, b);
     }
 
     #[test]

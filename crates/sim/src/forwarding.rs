@@ -7,7 +7,7 @@
 
 use crate::stats::TrafficClass;
 use dtr_graph::weights::DualWeights;
-use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology};
+use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, WeightVector};
 
 /// Per-class, per-destination shortest-path DAGs.
 ///
@@ -18,34 +18,64 @@ use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology};
 /// one structure guarantees both backends route on identical DAGs.
 #[derive(Debug, Clone)]
 pub struct ForwardingState {
-    /// `dags[class][dest]` = the ECMP DAG towards `dest`.
-    dags: [Vec<ShortestPathDag>; 2],
+    /// `dags[class][dest]` = the ECMP DAG towards `dest`, one row per
+    /// priority class (0 = served first).
+    dags: Vec<Vec<ShortestPathDag>>,
 }
 
 impl ForwardingState {
-    /// Builds the tables from a dual weight setting.
+    /// Builds the tables from a dual weight setting: class 0 routes on
+    /// `weights.high`, class 1 on `weights.low`.
     pub fn new(topo: &Topology, weights: &DualWeights) -> Self {
-        let build = |w| -> Vec<ShortestPathDag> {
-            topo.nodes()
-                .map(|dest| ShortestPathDag::compute(topo, w, dest))
-                .collect()
-        };
+        Self::with_class_weights(topo, &[weights.high.clone(), weights.low.clone()])
+    }
+
+    /// Builds the tables for `weights.len()` priority classes, each
+    /// routing on its own weight vector (the k-class generalization the
+    /// unified objective spec plumbs through the backends).
+    pub fn with_class_weights(topo: &Topology, weights: &[WeightVector]) -> Self {
+        assert!(!weights.is_empty(), "need at least one class");
         ForwardingState {
-            dags: [build(&weights.high), build(&weights.low)],
+            dags: weights
+                .iter()
+                .map(|w| {
+                    topo.nodes()
+                        .map(|dest| ShortestPathDag::compute(topo, w, dest))
+                        .collect()
+                })
+                .collect(),
         }
+    }
+
+    /// Number of priority classes the tables cover.
+    #[inline]
+    pub fn classes(&self) -> usize {
+        self.dags.len()
     }
 
     /// The ECMP branches for `class` traffic at `node` towards `dest`.
     /// Empty exactly when `node == dest`.
     #[inline]
     pub fn branches(&self, class: TrafficClass, dest: NodeId, node: NodeId) -> &[LinkId] {
-        &self.dags[class.idx()][dest.index()].ecmp_out[node.index()]
+        self.class_branches(class.idx(), dest, node)
+    }
+
+    /// [`ForwardingState::branches`] by priority index.
+    #[inline]
+    pub fn class_branches(&self, class: usize, dest: NodeId, node: NodeId) -> &[LinkId] {
+        &self.dags[class][dest.index()].ecmp_out[node.index()]
     }
 
     /// The full shortest-path DAG of `class` traffic towards `dest`.
     #[inline]
     pub fn dag(&self, class: TrafficClass, dest: NodeId) -> &ShortestPathDag {
-        &self.dags[class.idx()][dest.index()]
+        self.class_dag(class.idx(), dest)
+    }
+
+    /// [`ForwardingState::dag`] by priority index.
+    #[inline]
+    pub fn class_dag(&self, class: usize, dest: NodeId) -> &ShortestPathDag {
+        &self.dags[class][dest.index()]
     }
 }
 
@@ -71,6 +101,31 @@ mod tests {
         let low = fwd.branches(TrafficClass::Low, NodeId(2), NodeId(0));
         assert_eq!(low.len(), 1);
         assert_eq!(topo.link(low[0]).dst, NodeId(1), "low detours via B");
+    }
+
+    #[test]
+    fn k_class_tables_match_per_class_construction() {
+        let topo = triangle_topology(1.0);
+        let w0 = WeightVector::uniform(&topo, 1);
+        let mut w1 = WeightVector::uniform(&topo, 1);
+        w1.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let w2 = WeightVector::uniform(&topo, 3);
+        let fwd = ForwardingState::with_class_weights(&topo, &[w0.clone(), w1.clone(), w2]);
+        assert_eq!(fwd.classes(), 3);
+        // The first two classes agree with the two-class constructor.
+        let two = ForwardingState::new(&topo, &DualWeights { high: w0, low: w1 });
+        for dest in topo.nodes() {
+            for node in topo.nodes() {
+                assert_eq!(
+                    fwd.class_branches(0, dest, node),
+                    two.branches(TrafficClass::High, dest, node)
+                );
+                assert_eq!(
+                    fwd.class_branches(1, dest, node),
+                    two.branches(TrafficClass::Low, dest, node)
+                );
+            }
+        }
     }
 
     #[test]

@@ -44,13 +44,13 @@ pub mod forwarding;
 pub mod queueing;
 pub mod stats;
 
-pub use backend::{BackendReport, DesBackend, SimBackend};
-pub use engine::{EcmpMode, Scheduler, SimConfig, SimReport, Simulation};
+pub use backend::{BackendReport, DesBackend, KClassReport, SimBackend};
+pub use engine::{EcmpMode, KClassSimReport, Scheduler, SimConfig, SimReport, Simulation};
 pub use event::{Event, EventQueue};
 pub use fluid::{FluidCfg, FluidSim};
 pub use forwarding::ForwardingState;
 pub use queueing::{
-    cobham, mm1_sojourn, paper_high_sojourn, residual_approx_error, residual_low_sojourn,
+    cobham, cobham_k, mm1_sojourn, paper_high_sojourn, residual_approx_error, residual_low_sojourn,
     ClassDelays, PriorityLink,
 };
-pub use stats::{ClassStats, LinkStats, PairKey, TrafficClass};
+pub use stats::{ClassLinkStats, ClassPairKey, ClassStats, LinkStats, PairKey, TrafficClass};

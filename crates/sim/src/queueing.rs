@@ -103,6 +103,62 @@ pub fn cobham(link: &PriorityLink, high_mbps: f64, low_mbps: f64) -> (ClassDelay
     )
 }
 
+/// Cobham's formulas for **k** non-preemptive priority classes at one
+/// link: `loads_mbps[c]` is the offered bit rate of priority `c`
+/// (0 = served first), and class `c`'s mean wait is
+///
+/// ```text
+/// W_c = W₀ / ((1 − σ_{c−1})(1 − σ_c)),   σ_c = Σ_{j ≤ c} ρ_j
+/// ```
+///
+/// with `σ_{−1} = 0`. A class is unstable (infinite wait) as soon as
+/// `σ_c ≥ 1`. With two classes this is **bit-identical** to [`cobham`]
+/// — `W₀` sums the same ρ sequence, and `(1 − 0)·x == x` exactly — so
+/// the k-class fluid backend degenerates to the two-class one without a
+/// tolerance.
+pub fn cobham_k(link: &PriorityLink, loads_mbps: &[f64]) -> Vec<ClassDelays> {
+    assert!(link.capacity_mbps > 0.0, "capacity must be positive");
+    assert!(link.mean_packet_bits > 0.0, "packet size must be positive");
+    assert!(!loads_mbps.is_empty(), "need at least one class");
+    let es = link.service_s();
+    let rhos: Vec<f64> = loads_mbps
+        .iter()
+        .map(|&l| {
+            assert!(l >= 0.0, "loads must be ≥ 0");
+            l / link.capacity_mbps
+        })
+        .collect();
+    // W₀ over ALL classes: a non-preemptive arrival can find any
+    // class's packet in service, lower priorities included.
+    let mut total = 0.0;
+    for &r in &rhos {
+        total += r;
+    }
+    let w0 = if link.deterministic {
+        total * es / 2.0
+    } else {
+        total * es
+    };
+
+    let mut sigma = 0.0;
+    rhos.iter()
+        .map(|&rho_c| {
+            let above = sigma; // σ_{c−1}
+            sigma += rho_c; // σ_c
+            let wait_s = if above < 1.0 && sigma < 1.0 {
+                w0 / ((1.0 - above) * (1.0 - sigma))
+            } else {
+                f64::INFINITY
+            };
+            ClassDelays {
+                wait_s,
+                sojourn_s: wait_s + es,
+                rho: rho_c,
+            }
+        })
+        .collect()
+}
+
 /// Plain M/M/1 mean sojourn time `E[S]/(1 − ρ)` (seconds); infinite at
 /// `ρ ≥ 1`. This is what the paper's Eq. 3 computes for the high class:
 /// `s/C·(H/(C−H) + 1) = E[S]/(1 − ρ_H)`.
@@ -263,6 +319,75 @@ mod tests {
         // Instability classification ignores the size model entirely.
         assert!(cobham(&det, 11.0, 0.0).0.wait_s.is_infinite());
         assert!(cobham(&det, 4.0, 7.0).1.wait_s.is_infinite());
+    }
+
+    #[test]
+    fn cobham_k_two_classes_bit_identical_to_cobham() {
+        for link in [
+            link_10mbps(),
+            PriorityLink {
+                deterministic: true,
+                ..link_10mbps()
+            },
+        ] {
+            for (h, lo) in [
+                (0.0, 0.0),
+                (3.0, 3.0),
+                (0.0, 4.0),
+                (4.0, 0.0),
+                (5.0, 4.999),
+                (4.0, 7.0),  // low unstable
+                (11.0, 1.0), // both unstable
+            ] {
+                let (eh, el) = cobham(&link, h, lo);
+                let k = cobham_k(&link, &[h, lo]);
+                assert_eq!(k.len(), 2);
+                // Bitwise, not approximate: total_cmp on every field.
+                assert_eq!(k[0].wait_s.total_cmp(&eh.wait_s), std::cmp::Ordering::Equal);
+                assert_eq!(
+                    k[0].sojourn_s.total_cmp(&eh.sojourn_s),
+                    std::cmp::Ordering::Equal
+                );
+                assert_eq!(k[0].rho.to_bits(), eh.rho.to_bits());
+                assert_eq!(k[1].wait_s.total_cmp(&el.wait_s), std::cmp::Ordering::Equal);
+                assert_eq!(
+                    k[1].sojourn_s.total_cmp(&el.sojourn_s),
+                    std::cmp::Ordering::Equal
+                );
+                assert_eq!(k[1].rho.to_bits(), el.rho.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cobham_k_three_classes_hand_computed() {
+        // ρ = (0.2, 0.3, 0.3), E[S] = 0.8 ms: W₀ = 0.8·0.8 ms = 0.64 ms.
+        // W₀' = W₀/((1−0)(1−0.2)), W₁ = W₀/((1−0.2)(1−0.5)),
+        // W₂ = W₀/((1−0.5)(1−0.8)).
+        let l = link_10mbps();
+        let k = cobham_k(&l, &[2.0, 3.0, 3.0]);
+        let w0 = 0.8 * 0.0008;
+        assert!((k[0].wait_s - w0 / 0.8).abs() < 1e-12, "{}", k[0].wait_s);
+        assert!((k[1].wait_s - w0 / (0.8 * 0.5)).abs() < 1e-12);
+        assert!((k[2].wait_s - w0 / (0.5 * 0.2)).abs() < 1e-12);
+        // Waits are monotone in priority, sojourns add one E[S].
+        assert!(k[0].wait_s < k[1].wait_s && k[1].wait_s < k[2].wait_s);
+        for d in &k {
+            assert!((d.sojourn_s - (d.wait_s + l.service_s())).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cobham_k_instability_cascades_down_priorities() {
+        let l = link_10mbps();
+        // σ₀ = 0.4, σ₁ = 0.9, σ₂ = 1.3: only the last class diverges.
+        let k = cobham_k(&l, &[4.0, 5.0, 4.0]);
+        assert!(k[0].wait_s.is_finite());
+        assert!(k[1].wait_s.is_finite());
+        assert!(k[2].wait_s.is_infinite());
+        // Once σ crosses 1, every lower priority is unstable too.
+        let k = cobham_k(&l, &[11.0, 0.0, 1.0]);
+        assert!(k.iter().all(|d| d.wait_s.is_infinite()));
     }
 
     #[test]

@@ -20,6 +20,17 @@ impl TrafficClass {
             TrafficClass::Low => 1,
         }
     }
+
+    /// The class at a priority index, for converting k-class reports
+    /// back to the two-class shape. `None` beyond the two classes.
+    #[inline]
+    pub fn from_idx(i: usize) -> Option<TrafficClass> {
+        match i {
+            0 => Some(TrafficClass::High),
+            1 => Some(TrafficClass::Low),
+            _ => None,
+        }
+    }
 }
 
 /// Mean/min/max accumulator.
@@ -93,6 +104,45 @@ pub struct PairKey {
     pub src: u32,
     /// Destination node index.
     pub dst: u32,
+}
+
+/// [`PairKey`]'s k-class counterpart: the class is a priority index
+/// (0 = served first) instead of the two-valued enum. Orders by
+/// (class, src, dst) — the same order `PairKey` derives, so two-class
+/// conversions preserve map iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassPairKey {
+    /// Priority index of the flow's class (0 highest).
+    pub class: u8,
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+}
+
+/// [`LinkStats`] for k priority classes: one [`ClassStats`] per class in
+/// priority order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassLinkStats {
+    /// Indexed by priority (0 = served first).
+    pub per_class: Vec<ClassStats>,
+    /// Total busy time of the transmitter (seconds).
+    pub busy_s: f64,
+}
+
+impl ClassLinkStats {
+    /// Empty statistics for `classes` priority classes.
+    pub fn new(classes: usize) -> Self {
+        ClassLinkStats {
+            per_class: vec![ClassStats::default(); classes],
+            busy_s: 0.0,
+        }
+    }
+
+    /// Measured utilization over a window of `duration_s`.
+    pub fn utilization(&self, duration_s: f64) -> f64 {
+        self.busy_s / duration_s
+    }
 }
 
 #[cfg(test)]
