@@ -339,22 +339,32 @@ USAGE:
 
   dtrctl churn --topo topo.json --traffic tm.json [--events 100] [--seed S]
          [--flap-rate 0.3] [--repair-rate 1.0] [--demand-rate 1.0]
-         [--whatif-rate 0.2] [--drift 0.08] [--name NAME] --out trace.json
+         [--whatif-rate 0.2] [--directed-flap-rate 0.0] [--burst-rate 0.0]
+         [--burst-max 4] [--drift 0.08] [--name NAME] --out trace.json
          (seed-deterministic churn trace: Poisson link flaps under the
           single-failure regime, gravity-drift demand walks and what-if
-          probes, self-contained with topology and base demands)
+          probes, self-contained with topology and base demands;
+          --directed-flap-rate adds single-directed-link failures,
+          --burst-rate adds same-timestamp bursts of 2..=--burst-max
+          demand walks — the coalescing workload)
   dtrctl replay [--trace trace.json] [--out replay-out]
          [--budget tiny|quick|experiment|paper] [--seed S]
          [--backend incremental|full] [--changes H]
          [--min-gain-per-churn F] [--weights initial.json] [--smoke]
+         [--coalesce N] [--idle-steps N] [--transport inproc|tcp]
          [--objective load|sla[:BOUND_MS]]   (sla needs a demand-only
           trace: the daemon's masked evaluation is load-only)
          (drives the dtrd reoptimization daemon through a churn trace
           end to end over the line protocol; writes events.jsonl (one
-          reply per event), report.json (deterministic summary incl.
-          gain-vs-churn accounting and the final-incumbent-vs-cold-batch
-          ratio) and timing.json (p50/p99 latency, events/sec). --smoke
-          replays twice and asserts events.jsonl and report.json are
+          reply per line, trace events plus injected flushes),
+          report.json (deterministic summary incl. gain-vs-churn
+          accounting and the final-incumbent-vs-cold-batch ratio) and
+          timing.json (p50/p99 latency, events/sec, per-kind breakdown).
+          --coalesce batches same-timestamp events (the driver injects
+          Flush at every timestamp change), --idle-steps spends a
+          background anytime budget at event boundaries, --transport tcp
+          replays over a real loopback serve_tcp server. --smoke replays
+          twice and asserts events.jsonl and report.json are
           byte-identical — timing.json is wall-clock and explicitly
           outside the gate — plus report shape and the batch ratio; the
           trace defaults to traces/smoke.json — the CI gate)
@@ -1091,6 +1101,9 @@ fn cmd_churn(args: &Args) -> Result<(), CliError> {
         repair_rate: args.get_or("repair-rate", defaults.repair_rate)?,
         demand_rate: args.get_or("demand-rate", defaults.demand_rate)?,
         whatif_rate: args.get_or("whatif-rate", defaults.whatif_rate)?,
+        directed_flap_rate: args.get_or("directed-flap-rate", defaults.directed_flap_rate)?,
+        burst_rate: args.get_or("burst-rate", defaults.burst_rate)?,
+        burst_max: args.get_or("burst-max", defaults.burst_max)?,
         drift_sigma: args.get_or("drift", defaults.drift_sigma)?,
     };
     let name = args.get("name").unwrap_or("churn");
@@ -1098,7 +1111,8 @@ fn cmd_churn(args: &Args) -> Result<(), CliError> {
     let count =
         |pred: fn(&ChurnAction) -> bool| trace.events.iter().filter(|e| pred(&e.action)).count();
     println!(
-        "churn {name}: {} events on {}n/{}l (seed {}) — {} flaps, {} repairs, {} demand walks, {} what-ifs",
+        "churn {name}: {} events on {}n/{}l (seed {}) — {} flaps, {} repairs, {} demand walks, \
+         {} what-ifs, {} directed flaps, {} directed repairs",
         trace.events.len(),
         trace.topo.node_count(),
         trace.topo.link_count(),
@@ -1107,6 +1121,8 @@ fn cmd_churn(args: &Args) -> Result<(), CliError> {
         count(|a| matches!(a, ChurnAction::LinkUp { .. })),
         count(|a| matches!(a, ChurnAction::Demand { .. })),
         count(|a| matches!(a, ChurnAction::WhatIfLinkDown { .. })),
+        count(|a| matches!(a, ChurnAction::DirectedLinkDown { .. })),
+        count(|a| matches!(a, ChurnAction::DirectedLinkUp { .. })),
     );
     save(args.require("out")?, &trace)
 }
@@ -1118,9 +1134,16 @@ fn assert_replay_shape(r: &dtr_daemon::ReplayReport, events: usize) -> Result<()
     if r.events != events {
         failed.push(format!("report covers {} of {events} events", r.events));
     }
-    let handled = r.accepted + r.declined + r.refused + r.no_improvement + r.noop + r.whatif;
-    if handled != events as u64 {
-        failed.push(format!("action counts sum to {handled}, not {events}"));
+    // Every protocol line — trace event or driver-injected flush — lands
+    // in exactly one action bucket, so the counts sum to events+flushes.
+    let handled =
+        r.accepted + r.declined + r.refused + r.no_improvement + r.noop + r.coalesced + r.whatif;
+    let lines = events as u64 + r.flushes;
+    if handled != lines {
+        failed.push(format!(
+            "action counts sum to {handled}, not {lines} ({events} events + {} flushes)",
+            r.flushes
+        ));
     }
     for (label, v) in [
         ("final Φ_H", r.final_cost.phi_h),
@@ -1232,6 +1255,8 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
                     e.action,
                     ChurnAction::LinkDown { .. }
                         | ChurnAction::LinkUp { .. }
+                        | ChurnAction::DirectedLinkDown { .. }
+                        | ChurnAction::DirectedLinkUp { .. }
                         | ChurnAction::WhatIfLinkDown { .. }
                 )
             })
@@ -1253,13 +1278,27 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         changes_per_event: args.get_or("changes", defaults.changes_per_event)?,
         min_gain_per_churn: args.get_or("min-gain-per-churn", defaults.min_gain_per_churn)?,
         objective,
+        coalesce: args.get_or("coalesce", defaults.coalesce)?,
+        idle_steps: args.get_or("idle-steps", defaults.idle_steps)?,
+    };
+    let transport = args.get("transport").unwrap_or("inproc");
+    let run_replay = |initial: Option<DualWeights>| -> Result<dtr_daemon::ReplayOutcome, CliError> {
+        match transport {
+            "inproc" => Ok(replay_trace(&trace, cfg, initial)),
+            "tcp" => Ok(dtr_daemon::replay_trace_tcp(&trace, cfg, initial)?),
+            other => Err(CliError::UnknownVariant {
+                what: "replay transport (inproc|tcp)",
+                value: other.to_string(),
+            }),
+        }
     };
     let initial: Option<DualWeights> = match args.get("weights") {
         Some(p) => Some(load(p)?),
         None => None,
     };
     println!(
-        "replay {}: {} events on {}n/{}l (budget {}, h={}, min-gain-per-churn {})",
+        "replay {}: {} events on {}n/{}l (budget {}, h={}, min-gain-per-churn {}, coalesce {}, \
+         idle-steps {}, transport {transport})",
         trace.name,
         trace.events.len(),
         trace.topo.node_count(),
@@ -1267,8 +1306,10 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         args.get("budget").unwrap_or("tiny"),
         cfg.changes_per_event,
         cfg.min_gain_per_churn,
+        cfg.coalesce,
+        cfg.idle_steps,
     );
-    let out = replay_trace(&trace, cfg, initial.clone());
+    let out = run_replay(initial.clone())?;
 
     // Artifacts are written before any smoke gate runs so a failing
     // gate still leaves the per-event replies on disk for upload.
@@ -1277,15 +1318,23 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     for (name, bytes) in replay_gated_artifacts(&out)? {
         std::fs::write(out_dir.join(name), bytes)?;
     }
-    let timing = TimingSummary::from_samples(&out.per_event_s);
+    let timing = TimingSummary::from_labeled(&out.per_event_s, &out.per_event_kind);
     std::fs::write(
         out_dir.join("timing.json"),
         serde_json::to_string_pretty(&timing)?,
     )?;
     let r = &out.report;
     println!(
-        "  actions: {} accepted, {} declined, {} refused, {} no-improvement, {} noop, {} what-if",
-        r.accepted, r.declined, r.refused, r.no_improvement, r.noop, r.whatif
+        "  actions: {} accepted, {} declined, {} refused, {} no-improvement, {} noop, \
+         {} coalesced (+{} flushes), {} what-if",
+        r.accepted,
+        r.declined,
+        r.refused,
+        r.no_improvement,
+        r.noop,
+        r.coalesced,
+        r.flushes,
+        r.whatif
     );
     println!(
         "  gain {:.4} over {} LSA messages ({:.6}/msg); final (Φ_H {:.4}, Φ_L {:.4}) vs batch \
@@ -1310,7 +1359,7 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
     if smoke {
         // Determinism gate: a second replay must reproduce the gated
         // artifacts byte for byte (timing.json is excluded — wall clock).
-        let again = replay_trace(&trace, cfg, initial);
+        let again = run_replay(initial)?;
         check_replay_determinism(&out, &again)?;
         assert_replay_shape(&out.report, trace.events.len())?;
         println!("replay: smoke gates green (byte-identical double run, shapes, batch ratio)");
@@ -1578,6 +1627,10 @@ mod tests {
         let timing: dtr_daemon::TimingSummary = load(&format!("{out_d}/timing.json")).unwrap();
         assert_eq!(timing.events, 16);
         assert!(timing.p99_event_s >= timing.p50_event_s);
+        // timing.json carries the per-kind breakdown and it tiles the
+        // events exactly.
+        assert!(!timing.per_kind.is_empty());
+        assert_eq!(timing.per_kind.iter().map(|k| k.events).sum::<usize>(), 16);
 
         // A second replay of the same trace writes identical deterministic
         // artifacts (reports and reply lines, not timings).
@@ -1601,10 +1654,51 @@ mod tests {
             CliError::Args(ArgError::MissingFlag(_))
         ));
 
-        for p in [topo_p, tm_p, trace_p] {
+        // A bursty trace replayed with coalescing over TCP: the smoke
+        // gate (double replay over the same transport) must still hold,
+        // events.jsonl must carry trace events + injected flushes, and
+        // the report must balance coalesced acknowledgements against
+        // flush batches.
+        let btrace_p = tmp("trace6b.json");
+        let out3_d = tmp("replay6c");
+        run(&args(&format!(
+            "churn --topo {topo_p} --traffic {tm_p} --events 16 --seed 11 \
+             --flap-rate 0 --whatif-rate 0 --burst-rate 2.0 --burst-max 4 \
+             --name wf-bursty --out {btrace_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "replay --trace {btrace_p} --smoke --budget tiny --coalesce 8 \
+             --idle-steps 1 --transport tcp --out {out3_d}"
+        )))
+        .unwrap();
+        let breport: dtr_daemon::ReplayReport = load(&format!("{out3_d}/report.json")).unwrap();
+        assert_eq!(breport.events, 16);
+        assert!(breport.coalesced > 0, "bursty trace never coalesced");
+        assert!(breport.flushes > 0, "coalescing without flushes");
+        let bevents = std::fs::read_to_string(format!("{out3_d}/events.jsonl")).unwrap();
+        assert_eq!(
+            bevents.lines().count() as u64,
+            16 + breport.flushes,
+            "one reply line per trace event plus per injected flush"
+        );
+
+        // An unknown transport is rejected up front.
+        assert!(matches!(
+            run(&args(&format!(
+                "replay --trace {btrace_p} --transport carrier-pigeon --out {out3_d}"
+            )))
+            .unwrap_err(),
+            CliError::UnknownVariant {
+                what: "replay transport (inproc|tcp)",
+                ..
+            }
+        ));
+
+        for p in [topo_p, tm_p, trace_p, btrace_p] {
             let _ = std::fs::remove_file(p);
         }
-        for d in [out_d, out2_d] {
+        for d in [out_d, out2_d, out3_d] {
             let _ = std::fs::remove_dir_all(d);
         }
     }
@@ -1621,11 +1715,13 @@ mod tests {
         let out = replay_trace(&trace, cfg, None);
 
         // Inject a timing difference an order of magnitude beyond run-to-
-        // run noise: the gate must not care, because timing.json is
-        // wall-clock and outside REPLAY_GATED_FILES.
+        // run noise — and scramble the per-kind labels that feed the
+        // timing.json breakdown: the gate must not care, because
+        // timing.json is wall-clock and outside REPLAY_GATED_FILES.
         let twin = dtr_daemon::ReplayOutcome {
             lines: out.lines.clone(),
             per_event_s: out.per_event_s.iter().map(|s| s * 100.0 + 1.0).collect(),
+            per_event_kind: out.per_event_kind.iter().rev().cloned().collect(),
             report: out.report.clone(),
         };
         check_replay_determinism(&out, &twin).unwrap();
@@ -1634,6 +1730,7 @@ mod tests {
         let mut bad_report = dtr_daemon::ReplayOutcome {
             lines: out.lines.clone(),
             per_event_s: out.per_event_s.clone(),
+            per_event_kind: out.per_event_kind.clone(),
             report: out.report.clone(),
         };
         bad_report.report.accepted += 1;
@@ -1647,6 +1744,7 @@ mod tests {
         let mut bad_lines = dtr_daemon::ReplayOutcome {
             lines: out.lines.clone(),
             per_event_s: out.per_event_s.clone(),
+            per_event_kind: out.per_event_kind.clone(),
             report: out.report.clone(),
         };
         bad_lines.lines[1].push('x');

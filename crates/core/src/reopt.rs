@@ -184,17 +184,20 @@ impl ChangeProposer {
     }
 }
 
-/// The shared descent loop: [`SearchParams::str_iters`] iterations of
-/// `neighbors` candidates each, with diversification restarts inside
-/// the feasible ball. Generic over the evaluation function so the same
-/// loop serves full-topology ([`ReoptSearch::run`]) and masked
-/// ([`ReoptSession::step_masked`]) evaluation.
+/// The shared descent loop: `iters` iterations (normally
+/// [`SearchParams::str_iters`]) of `neighbors` candidates each, with
+/// diversification restarts inside the feasible ball. Generic over the
+/// evaluation function so the same loop serves full-topology
+/// ([`ReoptSearch::run`]) and masked ([`ReoptSession::step_masked`])
+/// evaluation; the explicit iteration budget serves
+/// [`ReoptSession::idle_step`]'s cheaper anytime passes.
 fn constrained_descent<E>(
     mut eval: E,
     proposer: &ChangeProposer,
     incumbent: &DualWeights,
     start: Option<DualWeights>,
     n_links: usize,
+    iters: usize,
 ) -> ReoptResult
 where
     E: FnMut(&DualWeights) -> Evaluation,
@@ -225,7 +228,7 @@ where
     }
 
     let mut stall = 0usize;
-    for _ in 0..params.str_iters() {
+    for _ in 0..iters {
         trace.iterations += 1;
 
         let mut best_cand: Option<(Evaluation, DualWeights)> = None;
@@ -336,6 +339,13 @@ impl<'a> ReoptSearch<'a> {
     /// Runs the constrained search for [`SearchParams::str_iters`]
     /// iterations of `m` candidates each.
     pub fn run(self) -> ReoptResult {
+        let iters = self.params.str_iters();
+        self.run_with_iters(iters)
+    }
+
+    /// Like [`run`](Self::run) with an explicit iteration budget —
+    /// the anytime knob behind [`ReoptSession::idle_step`].
+    pub fn run_with_iters(self, iters: usize) -> ReoptResult {
         let proposer = ChangeProposer {
             params: self.params,
             scheme: self.scheme,
@@ -348,7 +358,7 @@ impl<'a> ReoptSearch<'a> {
             Scheme::Str => evaluator.eval_str(&w.high),
             Scheme::Dtr => evaluator.eval_dual(w),
         };
-        constrained_descent(eval, &proposer, &self.incumbent, self.start, n_links)
+        constrained_descent(eval, &proposer, &self.incumbent, self.start, n_links, iters)
     }
 }
 
@@ -424,6 +434,7 @@ pub fn frontier(
 /// re-optimize a network that currently has links down. Snapshot /
 /// restore is supported by persisting the incumbent and
 /// [`steps`](Self::steps), then [`resume_at`](Self::resume_at).
+#[derive(Clone)]
 pub struct ReoptSession {
     objective: Objective,
     params: SearchParams,
@@ -583,6 +594,65 @@ impl ReoptSession {
             "masked reoptimization supports Objective::LoadBased only"
         );
         let params = self.next_params();
+        let iters = params.str_iters();
+        self.masked_descent(topo, demands, link_up, params, max_changes, iters)
+    }
+
+    /// A budgeted anytime improvement pass over the incumbent: one
+    /// warm-started descent limited to `iters` iterations instead of the
+    /// full [`SearchParams::str_iters`] schedule. Consumes one position
+    /// of the per-step seed stream exactly like
+    /// [`step_masked`](Self::step_masked), so a snapshotted session
+    /// restored via [`resume_at`](Self::resume_at) replays idle passes
+    /// identically. The incumbent is *not* moved — callers price the
+    /// result and [`accept`](Self::accept) it like any other step.
+    ///
+    /// Masked evaluation carries the same [`Objective::LoadBased`]-only
+    /// restriction as `step_masked`; an all-up mask uses the plain
+    /// evaluator and works under every objective.
+    pub fn idle_step(
+        &mut self,
+        topo: &Topology,
+        demands: &DemandSet,
+        link_up: &[bool],
+        max_changes: usize,
+        iters: usize,
+    ) -> ReoptResult {
+        assert_eq!(self.incumbent.high.len(), topo.link_count());
+        assert_eq!(link_up.len(), topo.link_count());
+        let params = self.next_params();
+        if link_up.iter().all(|&u| u) {
+            return ReoptSearch::new(
+                topo,
+                demands,
+                self.objective,
+                params,
+                self.scheme,
+                self.incumbent.clone(),
+                max_changes,
+            )
+            .run_with_iters(iters);
+        }
+        assert!(
+            matches!(self.objective, Objective::LoadBased),
+            "masked reoptimization supports Objective::LoadBased only"
+        );
+        self.masked_descent(topo, demands, link_up, params, max_changes, iters)
+    }
+
+    /// The shared masked-descent body behind
+    /// [`step_masked`](Self::step_masked) and
+    /// [`idle_step`](Self::idle_step): candidates are evaluated under
+    /// the failure mask via one-scenario [`BatchEvaluator`] sweeps.
+    fn masked_descent(
+        &self,
+        topo: &Topology,
+        demands: &DemandSet,
+        link_up: &[bool],
+        params: SearchParams,
+        max_changes: usize,
+        iters: usize,
+    ) -> ReoptResult {
         let scheme = self.scheme;
         // A synthetic one-scenario sweep; pair_id is reporting-only.
         let scenario = FailureScenario {
@@ -608,7 +678,14 @@ impl ReoptSession {
             ev.finish(high, ll)
                 .expect("high side built by this evaluator carries the SLA walk")
         };
-        constrained_descent(eval, &proposer, &self.incumbent, None, topo.link_count())
+        constrained_descent(
+            eval,
+            &proposer,
+            &self.incumbent,
+            None,
+            topo.link_count(),
+            iters,
+        )
     }
 }
 

@@ -48,7 +48,28 @@ pub struct DaemonCfg {
     /// — under the SLA objective the *acceptance* test still compares
     /// the lexicographic `⟨Λ, Φ_L⟩` cost.
     pub objective: Objective,
+    /// Event-coalescing batch cap. `0` (the default) reoptimizes after
+    /// every state-changing event. `N ≥ 1` *applies* each event
+    /// immediately but defers the search, acknowledging with
+    /// [`EventAction::Coalesced`], until `N` events are pending or an
+    /// explicit [`Request::Flush`] arrives — one search then covers the
+    /// whole batch. `coalesce: 1` is byte-identical to `0` (every event
+    /// closes its own batch), which is the anchor of the coalescing
+    /// determinism argument in `DESIGN.md`.
+    pub coalesce: usize,
+    /// Background anytime optimization budget: how many cheap
+    /// improvement passes ([`ReoptSession::idle_step`] at
+    /// [`IDLE_STEP_ITERS`] iterations each) run at each event boundary.
+    /// Passes run deterministically *before* the next event applies and
+    /// never while a coalescing batch is open, so the reply stream stays
+    /// a pure function of the event sequence. `0` disables.
+    pub idle_steps: u64,
 }
+
+/// Descent iterations of one background [`ReoptSession::idle_step`]
+/// pass — deliberately a small fraction of the full per-event schedule
+/// (`SearchParams::tiny` runs 200) so idle passes stay cheap.
+pub const IDLE_STEP_ITERS: usize = 25;
 
 impl Default for DaemonCfg {
     fn default() -> Self {
@@ -57,11 +78,20 @@ impl Default for DaemonCfg {
             changes_per_event: 4,
             min_gain_per_churn: 0.0,
             objective: Objective::LoadBased,
+            coalesce: 0,
+            idle_steps: 0,
         }
     }
 }
 
 /// The long-running reoptimization daemon (see module docs).
+///
+/// `Clone` exists for the TCP transport's published read view: after
+/// each state-mutating request the server clones the daemon into an
+/// `Arc` snapshot that concurrent probe connections answer from (via
+/// [`Daemon::handle_readonly`]) while the single writer keeps
+/// optimizing.
+#[derive(Clone)]
 pub struct Daemon {
     topo: Topology,
     demands: DemandSet,
@@ -74,6 +104,10 @@ pub struct Daemon {
     refused: u64,
     total_gain: f64,
     total_churn_messages: u64,
+    pending: usize,
+    idle_steps_run: u64,
+    idle_accepted: u64,
+    idle_declined: u64,
     shutdown: bool,
 }
 
@@ -109,6 +143,10 @@ impl Daemon {
             refused: 0,
             total_gain: 0.0,
             total_churn_messages: 0,
+            pending: 0,
+            idle_steps_run: 0,
+            idle_accepted: 0,
+            idle_declined: 0,
             shutdown: false,
         }
     }
@@ -158,8 +196,15 @@ impl Daemon {
     /// link-failure events are refused up front under the SLA objective
     /// (see [`DaemonCfg::objective`]), so the mask never fills in.
     fn eval_under_mask(&self, w: &DualWeights) -> Evaluation {
+        self.eval_with_mask(w, &self.link_up)
+    }
+
+    /// Evaluates `w` on the current demands under an explicit mask —
+    /// shared by state evaluation and the (non-mutating) what-if
+    /// probes, so probes can be answered from a `&self` read view.
+    fn eval_with_mask(&self, w: &DualWeights, link_up: &[bool]) -> Evaluation {
         let mut ev = Evaluator::new(&self.topo, &self.demands, self.cfg.objective);
-        if self.links_down() == 0 {
+        if link_up.iter().all(|&u| u) {
             ev.eval_dual(w)
         } else {
             debug_assert!(
@@ -167,9 +212,8 @@ impl Daemon {
                 "links can only be down under the load objective"
             );
             let mut calc = LoadCalculator::new();
-            let hl =
-                calc.class_loads_masked(&self.topo, &w.high, &self.link_up, &self.demands.high);
-            let ll = calc.class_loads_masked(&self.topo, &w.low, &self.link_up, &self.demands.low);
+            let hl = calc.class_loads_masked(&self.topo, &w.high, link_up, &self.demands.high);
+            let ll = calc.class_loads_masked(&self.topo, &w.low, link_up, &self.demands.low);
             ev.assemble(hl, ll, &w.high)
         }
     }
@@ -201,9 +245,73 @@ impl Daemon {
         Ok((lid, twin))
     }
 
+    /// Validates a directed link index.
+    fn check_link(&self, link: u32) -> Result<LinkId, String> {
+        if link as usize >= self.topo.link_count() {
+            return Err(format!(
+                "link {link} out of range (topology has {} directed links)",
+                self.topo.link_count()
+            ));
+        }
+        Ok(LinkId(link))
+    }
+
+    /// Routes a state-changing event that was just applied: reoptimize
+    /// immediately (no coalescing, or the batch cap was reached) or
+    /// defer with a [`EventAction::Coalesced`] acknowledgement.
+    fn event_reply(&mut self, label: String) -> Reply {
+        if self.cfg.coalesce == 0 {
+            return Reply::Event(self.reoptimize(label, 1));
+        }
+        self.pending += 1;
+        if self.pending >= self.cfg.coalesce {
+            let batch = self.pending;
+            self.pending = 0;
+            Reply::Event(self.reoptimize(label, batch))
+        } else {
+            Reply::Event(self.no_change(label, EventAction::Coalesced))
+        }
+    }
+
+    /// The background anytime pass: up to [`DaemonCfg::idle_steps`]
+    /// cheap [`ReoptSession::idle_step`] descents, each priced through
+    /// the same churn gate as event reoptimizations. Runs at event
+    /// boundaries only (callers skip it while a batch is open), so
+    /// accepted improvements are published exactly when the protocol
+    /// allows the incumbent to move.
+    fn idle_optimize(&mut self) {
+        for _ in 0..self.cfg.idle_steps {
+            let before_eval = self.eval_under_mask(self.session.incumbent());
+            let res = self.session.idle_step(
+                &self.topo,
+                &self.demands,
+                &self.link_up,
+                self.cfg.changes_per_event,
+                IDLE_STEP_ITERS,
+            );
+            self.idle_steps_run += 1;
+            if !(res.best_cost < before_eval.cost && res.changes_used > 0) {
+                continue;
+            }
+            let gain = (before_eval.phi_h - res.eval.phi_h) + (before_eval.phi_l - res.eval.phi_l);
+            let churn = deployment_cost(&self.topo, self.session.incumbent(), &res.weights);
+            let gpc = gain / churn.lsa_messages.max(1) as f64;
+            if gpc >= self.cfg.min_gain_per_churn {
+                self.session.accept(res.weights);
+                self.idle_accepted += 1;
+                self.total_gain += gain;
+                self.total_churn_messages += churn.lsa_messages;
+            } else {
+                self.idle_declined += 1;
+            }
+        }
+    }
+
     /// One warm-started reoptimization under the current state, with
     /// churn-gated adoption. This is the daemon's core decision.
-    fn reoptimize(&mut self, event: String) -> EventReport {
+    /// `batch` is the number of applied events the search covers
+    /// (1 outside coalescing mode).
+    fn reoptimize(&mut self, event: String, batch: usize) -> EventReport {
         let before_eval = self.eval_under_mask(self.session.incumbent());
         let before = CostPair {
             phi_h: before_eval.phi_h,
@@ -260,6 +368,7 @@ impl Daemon {
             reopt_cost: reopt,
             cost_after,
             changes,
+            batch,
             gain,
             churn,
             gain_per_churn,
@@ -282,29 +391,71 @@ impl Daemon {
             reopt_cost: cost,
             cost_after: cost,
             changes: 0,
+            batch: 0,
             gain: 0.0,
             churn: None,
             gain_per_churn: 0.0,
         }
     }
 
+    /// Pre-flight validation of an event request, mirroring the error
+    /// checks of the event arms in [`Self::handle`] (same order, same
+    /// messages). Runs before the event boundary so a failing event
+    /// neither advances `seq` nor spends the idle budget.
+    fn validate_event(&self, req: &Request) -> Option<String> {
+        match req {
+            Request::DemandUpdate { demands } => {
+                if demands.high.len() != self.topo.node_count()
+                    || demands.low.len() != self.topo.node_count()
+                {
+                    return Some(format!(
+                        "demand matrices must be {n}x{n}",
+                        n = self.topo.node_count()
+                    ));
+                }
+                None
+            }
+            Request::LinkDown { link } => self
+                .reject_mask_under_sla()
+                .or_else(|| self.pair(*link).err()),
+            Request::LinkUp { link } => self.pair(*link).err(),
+            Request::DirectedLinkDown { link } => self
+                .reject_mask_under_sla()
+                .or_else(|| self.check_link(*link).err()),
+            Request::DirectedLinkUp { link } => self.check_link(*link).err(),
+            _ => None,
+        }
+    }
+
     /// Processes one request and produces its reply.
     ///
-    /// Events and probes (demand updates, link events, what-ifs, and
-    /// malformed lines) advance the sequence number; management
-    /// requests (`Status`, `Snapshot`, `Restore`, `Shutdown`) do not —
-    /// that keeps a snapshot/restore round-trip byte-identical to a
-    /// straight-through run of the same event stream.
+    /// Only state-changing events (demand updates, link events, flush)
+    /// advance the sequence number; probes, management requests
+    /// (`Status`, `Snapshot`, `Restore`, `Shutdown`), and malformed
+    /// lines do not — and a failed (`Error`) event is a complete
+    /// no-op. `seq` is therefore exactly the count of applied
+    /// events — which keeps a snapshot/restore round-trip
+    /// byte-identical to a straight-through run, and lets the TCP
+    /// transport answer probes from a concurrent read view without
+    /// perturbing the writer's stream.
     pub fn handle(&mut self, req: Request) -> Reply {
-        if matches!(
-            req,
-            Request::DemandUpdate { .. }
-                | Request::LinkDown { .. }
-                | Request::LinkUp { .. }
-                | Request::WhatIfLinkDown { .. }
-                | Request::WhatIfWeights { .. }
-        ) {
+        if req.is_event() {
+            // A failed event is a complete no-op: validation runs
+            // before the event boundary so an `Error` reply neither
+            // advances `seq` nor spends the idle budget.
+            if let Some(message) = self.validate_event(&req) {
+                return Reply::Error { message };
+            }
+            // The background budget runs at event boundaries, before
+            // the next event applies, and never while a coalescing
+            // batch is open.
+            if self.pending == 0 {
+                self.idle_optimize();
+            }
             self.seq += 1;
+        }
+        if let Some(reply) = self.handle_readonly(&req) {
+            return reply;
         }
         match req {
             Request::DemandUpdate { demands } => {
@@ -319,7 +470,7 @@ impl Daemon {
                     };
                 }
                 self.demands = demands;
-                Reply::Event(self.reoptimize("demand_update".to_string()))
+                self.event_reply("demand_update".to_string())
             }
             Request::LinkDown { link } => {
                 let label = format!("link_down({link})");
@@ -330,7 +481,7 @@ impl Daemon {
                     Ok(p) => p,
                     Err(message) => return Reply::Error { message },
                 };
-                if !self.link_up[lid.index()] {
+                if !self.link_up[lid.index()] && !self.link_up[twin.index()] {
                     return Reply::Event(self.no_change(label, EventAction::NoOp));
                 }
                 let mut mask = self.link_up.clone();
@@ -341,7 +492,7 @@ impl Daemon {
                     return Reply::Event(self.no_change(label, EventAction::Refused));
                 }
                 self.link_up = mask;
-                Reply::Event(self.reoptimize(label))
+                self.event_reply(label)
             }
             Request::LinkUp { link } => {
                 let label = format!("link_up({link})");
@@ -349,30 +500,123 @@ impl Daemon {
                     Ok(p) => p,
                     Err(message) => return Reply::Error { message },
                 };
-                if self.link_up[lid.index()] {
+                if self.link_up[lid.index()] && self.link_up[twin.index()] {
                     return Reply::Event(self.no_change(label, EventAction::NoOp));
                 }
                 self.link_up[lid.index()] = true;
                 self.link_up[twin.index()] = true;
-                Reply::Event(self.reoptimize(label))
+                self.event_reply(label)
             }
-            Request::WhatIfLinkDown { link } => {
-                let query = format!("whatif_link_down({link})");
+            Request::DirectedLinkDown { link } => {
+                let label = format!("directed_link_down({link})");
                 if let Some(message) = self.reject_mask_under_sla() {
                     return Reply::Error { message };
                 }
-                let (lid, twin) = match self.pair(link) {
-                    Ok(p) => p,
+                let lid = match self.check_link(link) {
+                    Ok(l) => l,
                     Err(message) => return Reply::Error { message },
+                };
+                if !self.link_up[lid.index()] {
+                    return Reply::Event(self.no_change(label, EventAction::NoOp));
+                }
+                let mut mask = self.link_up.clone();
+                mask[lid.index()] = false;
+                if !strongly_connected_under(&self.topo, &mask) {
+                    self.refused += 1;
+                    return Reply::Event(self.no_change(label, EventAction::Refused));
+                }
+                self.link_up = mask;
+                self.event_reply(label)
+            }
+            Request::DirectedLinkUp { link } => {
+                let label = format!("directed_link_up({link})");
+                let lid = match self.check_link(link) {
+                    Ok(l) => l,
+                    Err(message) => return Reply::Error { message },
+                };
+                if self.link_up[lid.index()] {
+                    return Reply::Event(self.no_change(label, EventAction::NoOp));
+                }
+                self.link_up[lid.index()] = true;
+                self.event_reply(label)
+            }
+            Request::Flush => {
+                if self.pending == 0 {
+                    return Reply::Event(self.no_change("flush".to_string(), EventAction::NoOp));
+                }
+                let batch = self.pending;
+                self.pending = 0;
+                Reply::Event(self.reoptimize(format!("flush({batch})"), batch))
+            }
+            Request::WhatIfLinkDown { .. }
+            | Request::WhatIfWeights { .. }
+            | Request::Status
+            | Request::Snapshot => unreachable!("read-only requests are handled above"),
+            Request::Restore { snapshot } => {
+                if snapshot.link_up.len() != snapshot.topo.link_count()
+                    || snapshot.incumbent.high.len() != snapshot.topo.link_count()
+                    || snapshot.demands.high.len() != snapshot.topo.node_count()
+                {
+                    return Reply::Error {
+                        message: "snapshot is internally inconsistent".to_string(),
+                    };
+                }
+                let mut session = ReoptSession::new(
+                    snapshot.incumbent,
+                    self.cfg.objective,
+                    self.cfg.params,
+                    Scheme::Dtr,
+                );
+                session.resume_at(snapshot.steps);
+                self.topo = snapshot.topo;
+                self.demands = snapshot.demands;
+                self.link_up = snapshot.link_up;
+                self.session = session;
+                self.seq = snapshot.seq;
+                self.accepted = snapshot.accepted;
+                self.declined = snapshot.declined;
+                self.refused = snapshot.refused;
+                self.total_gain = snapshot.total_gain;
+                self.total_churn_messages = snapshot.total_churn_messages;
+                self.pending = snapshot.pending;
+                self.idle_steps_run = snapshot.idle_steps;
+                self.idle_accepted = snapshot.idle_accepted;
+                self.idle_declined = snapshot.idle_declined;
+                Reply::Restored { seq: self.seq }
+            }
+            Request::Shutdown => {
+                self.shutdown = true;
+                Reply::Bye { seq: self.seq }
+            }
+        }
+    }
+
+    /// Answers a request that needs no mutable access — the what-if
+    /// probes, `Status`, and `Snapshot` — or returns `None` for
+    /// state-changing and management-write requests. [`handle`]
+    /// delegates here, and the TCP transport calls this directly on a
+    /// published clone so probes are served concurrently while the
+    /// writer optimizes; both paths produce identical reply bytes for
+    /// the same state.
+    ///
+    /// [`handle`]: Self::handle
+    pub fn handle_readonly(&self, req: &Request) -> Option<Reply> {
+        Some(match req {
+            Request::WhatIfLinkDown { link } => {
+                let query = format!("whatif_link_down({link})");
+                if let Some(message) = self.reject_mask_under_sla() {
+                    return Some(Reply::Error { message });
+                }
+                let (lid, twin) = match self.pair(*link) {
+                    Ok(p) => p,
+                    Err(message) => return Some(Reply::Error { message }),
                 };
                 let mut mask = self.link_up.clone();
                 mask[lid.index()] = false;
                 mask[twin.index()] = false;
                 let feasible = strongly_connected_under(&self.topo, &mask);
                 let cost = feasible.then(|| {
-                    let saved = std::mem::replace(&mut self.link_up, mask);
-                    let eval = self.eval_under_mask(self.session.incumbent());
-                    self.link_up = saved;
+                    let eval = self.eval_with_mask(self.session.incumbent(), &mask);
                     CostPair {
                         phi_h: eval.phi_h,
                         phi_l: eval.phi_l,
@@ -391,16 +635,16 @@ impl Daemon {
                 if weights.high.len() != self.topo.link_count()
                     || weights.low.len() != self.topo.link_count()
                 {
-                    return Reply::Error {
+                    return Some(Reply::Error {
                         message: format!(
                             "weight vectors must have {} entries",
                             self.topo.link_count()
                         ),
-                    };
+                    });
                 }
-                let eval = self.eval_under_mask(&weights);
-                let changes = changes_between(&weights, self.session.incumbent(), Scheme::Dtr);
-                let churn = deployment_cost(&self.topo, self.session.incumbent(), &weights);
+                let eval = self.eval_under_mask(weights);
+                let changes = changes_between(weights, self.session.incumbent(), Scheme::Dtr);
+                let churn = deployment_cost(&self.topo, self.session.incumbent(), weights);
                 Reply::WhatIf(WhatIfReport {
                     seq: self.seq,
                     query: "whatif_weights".to_string(),
@@ -430,6 +674,10 @@ impl Daemon {
                     total_gain: self.total_gain,
                     total_churn_messages: self.total_churn_messages,
                     steps: self.session.steps(),
+                    pending: self.pending,
+                    idle_steps: self.idle_steps_run,
+                    idle_accepted: self.idle_accepted,
+                    idle_declined: self.idle_declined,
                 })
             }
             Request::Snapshot => Reply::Snapshot(Snapshot {
@@ -440,59 +688,29 @@ impl Daemon {
                 refused: self.refused,
                 total_gain: self.total_gain,
                 total_churn_messages: self.total_churn_messages,
+                pending: self.pending,
+                idle_steps: self.idle_steps_run,
+                idle_accepted: self.idle_accepted,
+                idle_declined: self.idle_declined,
                 link_up: self.link_up.clone(),
                 demands: self.demands.clone(),
                 incumbent: self.session.incumbent().clone(),
                 topo: self.topo.clone(),
             }),
-            Request::Restore { snapshot } => {
-                if snapshot.link_up.len() != snapshot.topo.link_count()
-                    || snapshot.incumbent.high.len() != snapshot.topo.link_count()
-                    || snapshot.demands.high.len() != snapshot.topo.node_count()
-                {
-                    return Reply::Error {
-                        message: "snapshot is internally inconsistent".to_string(),
-                    };
-                }
-                let mut session = ReoptSession::new(
-                    snapshot.incumbent,
-                    self.cfg.objective,
-                    self.cfg.params,
-                    Scheme::Dtr,
-                );
-                session.resume_at(snapshot.steps);
-                self.topo = snapshot.topo;
-                self.demands = snapshot.demands;
-                self.link_up = snapshot.link_up;
-                self.session = session;
-                self.seq = snapshot.seq;
-                self.accepted = snapshot.accepted;
-                self.declined = snapshot.declined;
-                self.refused = snapshot.refused;
-                self.total_gain = snapshot.total_gain;
-                self.total_churn_messages = snapshot.total_churn_messages;
-                Reply::Restored { seq: self.seq }
-            }
-            Request::Shutdown => {
-                self.shutdown = true;
-                Reply::Bye { seq: self.seq }
-            }
-        }
+            _ => return None,
+        })
     }
 
     /// Parses one protocol line, handles it, and serializes the reply.
-    /// Malformed JSON yields an `Error` reply (and still advances the
-    /// sequence number, so a replayed stream with a bad line stays
-    /// aligned).
+    /// Malformed JSON yields an `Error` reply; like probes and
+    /// management requests, it does *not* advance the sequence number
+    /// (`seq` counts applied events only).
     pub fn handle_line(&mut self, line: &str) -> String {
         let reply = match serde_json::from_str::<Request>(line) {
             Ok(req) => self.handle(req),
-            Err(e) => {
-                self.seq += 1;
-                Reply::Error {
-                    message: format!("bad request: {e}"),
-                }
-            }
+            Err(e) => Reply::Error {
+                message: format!("bad request: {e}"),
+            },
         };
         serde_json::to_string(&reply).expect("replies always serialize")
     }

@@ -39,6 +39,21 @@ pub enum Request {
         /// Any directed link index of the pair.
         link: u32,
     },
+    /// Exactly one directed link failed; its reverse twin keeps
+    /// forwarding.
+    DirectedLinkDown {
+        /// The directed link index that went down.
+        link: u32,
+    },
+    /// One directed link repaired (its twin's state is untouched).
+    DirectedLinkUp {
+        /// The directed link index that came back.
+        link: u32,
+    },
+    /// Close the current coalescing batch: run one reoptimization over
+    /// every event deferred since the last search. A no-op event when
+    /// nothing is pending (including when coalescing is off).
+    Flush,
     /// Non-mutating probe: what would the incumbent cost if this pair
     /// were down?
     WhatIfLinkDown {
@@ -74,6 +89,8 @@ impl Request {
             ChurnAction::LinkDown { link } => Request::LinkDown { link: *link },
             ChurnAction::LinkUp { link } => Request::LinkUp { link: *link },
             ChurnAction::WhatIfLinkDown { link } => Request::WhatIfLinkDown { link: *link },
+            ChurnAction::DirectedLinkDown { link } => Request::DirectedLinkDown { link: *link },
+            ChurnAction::DirectedLinkUp { link } => Request::DirectedLinkUp { link: *link },
         }
     }
 
@@ -83,6 +100,9 @@ impl Request {
             Request::DemandUpdate { .. } => "demand_update".to_string(),
             Request::LinkDown { link } => format!("link_down({link})"),
             Request::LinkUp { link } => format!("link_up({link})"),
+            Request::DirectedLinkDown { link } => format!("directed_link_down({link})"),
+            Request::DirectedLinkUp { link } => format!("directed_link_up({link})"),
+            Request::Flush => "flush".to_string(),
             Request::WhatIfLinkDown { link } => format!("whatif_link_down({link})"),
             Request::WhatIfWeights { .. } => "whatif_weights".to_string(),
             Request::Status => "status".to_string(),
@@ -90,6 +110,52 @@ impl Request {
             Request::Restore { .. } => "restore".to_string(),
             Request::Shutdown => "shutdown".to_string(),
         }
+    }
+
+    /// The request kind without per-link detail — the grouping key of
+    /// the per-kind timing breakdown in `timing.json`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::DemandUpdate { .. } => "demand_update",
+            Request::LinkDown { .. } => "link_down",
+            Request::LinkUp { .. } => "link_up",
+            Request::DirectedLinkDown { .. } => "directed_link_down",
+            Request::DirectedLinkUp { .. } => "directed_link_up",
+            Request::Flush => "flush",
+            Request::WhatIfLinkDown { .. } => "whatif_link_down",
+            Request::WhatIfWeights { .. } => "whatif_weights",
+            Request::Status => "status",
+            Request::Snapshot => "snapshot",
+            Request::Restore { .. } => "restore",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// True for the *event class*: state-mutating requests that advance
+    /// the sequence number (and, under coalescing, may join a batch).
+    pub fn is_event(&self) -> bool {
+        matches!(
+            self,
+            Request::DemandUpdate { .. }
+                | Request::LinkDown { .. }
+                | Request::LinkUp { .. }
+                | Request::DirectedLinkDown { .. }
+                | Request::DirectedLinkUp { .. }
+                | Request::Flush
+        )
+    }
+
+    /// True for requests answerable from an immutable state view
+    /// (probes and management reads) — the set the TCP transport serves
+    /// concurrently from a published snapshot.
+    pub fn is_readonly(&self) -> bool {
+        matches!(
+            self,
+            Request::WhatIfLinkDown { .. }
+                | Request::WhatIfWeights { .. }
+                | Request::Status
+                | Request::Snapshot
+        )
     }
 }
 
@@ -146,6 +212,10 @@ pub enum EventAction {
     Refused,
     /// The event changed nothing (e.g. failing an already-down pair).
     NoOp,
+    /// The event was applied to the network state but its
+    /// reoptimization was deferred to the end of the coalescing batch
+    /// (see `DaemonCfg::coalesce`).
+    Coalesced,
 }
 
 /// Per-event report: what happened, what it cost, what it bought.
@@ -169,6 +239,11 @@ pub struct EventReport {
     pub cost_after: CostPair,
     /// Weight changes the accepted/declined candidate would deploy.
     pub changes: usize,
+    /// Coalesced events covered by this report's reoptimization: `0`
+    /// when no search ran (NoOp/Refused/Coalesced replies), `1` for an
+    /// ordinary immediate event, `k` for a batch flush over `k`
+    /// deferred events.
+    pub batch: usize,
     /// `(Φ_H + Φ_L)` improvement the candidate offered.
     pub gain: f64,
     /// Control-plane price of deploying the candidate (present whenever
@@ -221,6 +296,14 @@ pub struct StatusReport {
     pub total_churn_messages: u64,
     /// Reoptimization steps consumed (the session seed-stream position).
     pub steps: u64,
+    /// Events applied but not yet reoptimized (open coalescing batch).
+    pub pending: usize,
+    /// Background anytime improvement passes run so far.
+    pub idle_steps: u64,
+    /// Background improvements deployed (accepted by the churn gate).
+    pub idle_accepted: u64,
+    /// Background improvements declined on churn grounds.
+    pub idle_declined: u64,
 }
 
 /// A complete, self-contained daemon state for restart round-trips.
@@ -240,6 +323,14 @@ pub struct Snapshot {
     pub total_gain: f64,
     /// Accumulated LSA messages of accepted reconfigurations.
     pub total_churn_messages: u64,
+    /// Open coalescing-batch size at snapshot time.
+    pub pending: usize,
+    /// Background anytime improvement passes run.
+    pub idle_steps: u64,
+    /// Background improvements deployed.
+    pub idle_accepted: u64,
+    /// Background improvements declined on churn grounds.
+    pub idle_declined: u64,
     /// Per-directed-link operational state.
     pub link_up: Vec<bool>,
     /// Current demand set.

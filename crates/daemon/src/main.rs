@@ -5,13 +5,17 @@
 //!      [--weights weights.json] [--budget tiny|quick|experiment|paper] \
 //!      [--seed N] [--backend full|incremental] [--changes H] \
 //!      [--min-gain-per-churn F] [--objective load|sla[:BOUND_MS]] \
-//!      [--socket PATH]
+//!      [--coalesce N] [--idle-steps N] [--socket PATH] [--tcp ADDR]
 //! ```
 //!
-//! Serves the line-delimited JSON protocol on stdin/stdout, or on a
-//! unix socket when `--socket` is given. The argument parser is
-//! deliberately tiny — `dtrctl` (in `dtr-cli`) is the full-featured
-//! front end and drives the same daemon in-process.
+//! Serves the line-delimited JSON protocol on stdin/stdout, on a unix
+//! socket when `--socket` is given, or on TCP when `--tcp ADDR`
+//! (e.g. `--tcp 127.0.0.1:7700`) is given. `--coalesce N` batches
+//! state-changing events (send `"Flush"` to close a batch early);
+//! `--idle-steps N` spends a background anytime budget at each event
+//! boundary. The argument parser is deliberately tiny — `dtrctl` (in
+//! `dtr-cli`) is the full-featured front end and drives the same
+//! daemon in-process.
 
 use dtr_daemon::{serve_stdio, Daemon, DaemonCfg};
 use dtr_engine::BackendKind;
@@ -23,7 +27,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: dtrd --topo FILE --traffic FILE [--weights FILE] \
 [--budget NAME] [--seed N] [--backend full|incremental] [--changes H] \
-[--min-gain-per-churn F] [--objective load|sla[:BOUND_MS]] [--socket PATH]";
+[--min-gain-per-churn F] [--objective load|sla[:BOUND_MS]] [--coalesce N] \
+[--idle-steps N] [--socket PATH] [--tcp ADDR]";
 
 /// `load`, `sla` (paper-default 25 ms bound) or `sla:<ms>`.
 fn parse_objective(value: &str) -> Result<dtr_cost::Objective, String> {
@@ -110,11 +115,22 @@ fn run() -> Result<(), String> {
             Some(v) => parse_objective(v)?,
             None => DaemonCfg::default().objective,
         },
+        coalesce: match args.get("coalesce") {
+            Some(v) => v.parse().map_err(|_| "bad --coalesce")?,
+            None => 0,
+        },
+        idle_steps: match args.get("idle-steps") {
+            Some(v) => v.parse().map_err(|_| "bad --idle-steps")?,
+            None => 0,
+        },
     };
 
+    if args.contains_key("socket") && args.contains_key("tcp") {
+        return Err("--socket and --tcp are mutually exclusive".to_string());
+    }
     let mut daemon = Daemon::new(topo, demands, weights, cfg);
-    match args.get("socket") {
-        Some(path) => {
+    match (args.get("socket"), args.get("tcp")) {
+        (Some(path), _) => {
             #[cfg(unix)]
             {
                 dtr_daemon::serve_unix(&mut daemon, std::path::Path::new(path))
@@ -126,7 +142,16 @@ fn run() -> Result<(), String> {
                 Err("--socket requires a unix platform".to_string())
             }
         }
-        None => serve_stdio(&mut daemon).map_err(|e| format!("stdio: {e}")),
+        (None, Some(addr)) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("tcp {addr}: {e}"))?;
+            eprintln!(
+                "dtrd: listening on tcp://{}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            dtr_daemon::serve_tcp(daemon, listener).map_err(|e| format!("tcp {addr}: {e}"))
+        }
+        (None, None) => serve_stdio(&mut daemon).map_err(|e| format!("stdio: {e}")),
     }
 }
 

@@ -1,11 +1,24 @@
-//! Transport: line-delimited JSON over stdio or a unix socket.
+//! Transport: line-delimited JSON over stdio, a unix socket, or TCP.
 //!
-//! Both transports feed the same [`Daemon::handle_line`] loop, so the
-//! wire behavior is identical; the replay driver calls `handle_line`
-//! directly and therefore exercises exactly what a live client sees.
+//! The stdio and unix transports feed the same [`Daemon::handle_line`]
+//! loop, so the wire behavior is identical; the replay driver calls
+//! `handle_line` directly and therefore exercises exactly what a live
+//! client sees. The TCP transport ([`serve_tcp`]) accepts many clients
+//! concurrently: state-changing requests are serialized through one
+//! writer lock, while read-only probes (`Status`, `Snapshot`,
+//! `WhatIf*`) are answered from a published read view — a clone of the
+//! daemon taken at the last event boundary — so probes return
+//! immediately even while the writer is inside a slow reoptimization.
+//! Because [`Daemon::handle_readonly`] on a view taken at event
+//! boundary `seq` produces exactly the bytes the single-threaded loop
+//! would produce at that `seq`, the concurrency is observationally
+//! deterministic (see `DESIGN.md`).
 
 use crate::daemon::Daemon;
 use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Serves `daemon` over any line-based reader/writer pair until EOF or
 /// a `Shutdown` request. Empty lines are ignored; every other line gets
@@ -53,5 +66,122 @@ pub fn serve_unix(daemon: &mut Daemon, path: &std::path::Path) -> io::Result<()>
         serve(daemon, reader, &mut writer)?;
     }
     let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Shared state of the TCP transport: the single writer daemon plus
+/// the read view published at the last event boundary.
+struct Shared {
+    writer: Mutex<Daemon>,
+    view: RwLock<Arc<Daemon>>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Handles one line on behalf of a client. Read-only requests are
+    /// answered from the published view without touching the writer;
+    /// everything else (events, restore, shutdown, malformed lines)
+    /// goes through the writer lock, after which a fresh view is
+    /// published.
+    fn handle_line(&self, line: &str) -> String {
+        if let Ok(req) = serde_json::from_str::<crate::event::Request>(line) {
+            if req.is_readonly() {
+                let view = self.view.read().expect("view lock").clone();
+                if let Some(reply) = view.handle_readonly(&req) {
+                    return serde_json::to_string(&reply).expect("replies always serialize");
+                }
+            }
+        }
+        let mut daemon = self.writer.lock().expect("writer lock");
+        let reply = daemon.handle_line(line);
+        if daemon.is_shutdown() {
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        *self.view.write().expect("view lock") = Arc::new(daemon.clone());
+        reply
+    }
+}
+
+/// Serves `daemon` over TCP on an already-bound listener (bind to port
+/// 0 and read `listener.local_addr()` first when you need the
+/// ephemeral port). Each client connection gets its own thread;
+/// read-only probes are served concurrently from the published read
+/// view while state-changing requests serialize through the writer
+/// lock. Returns once a `Shutdown` request has been processed and all
+/// client threads have drained.
+///
+/// Determinism note: replies to the *writer* stream are a pure
+/// function of the event sequence exactly as under [`serve`]; probes
+/// observe the state as of the last published event boundary. Running
+/// several concurrent writers is allowed but makes the interleaving —
+/// and therefore the reply stream — scheduling-dependent; keep one
+/// writer when byte-reproducibility matters (see `DESIGN.md`).
+pub fn serve_tcp(daemon: Daemon, listener: TcpListener) -> io::Result<()> {
+    let shared = Arc::new(Shared {
+        view: RwLock::new(Arc::new(daemon.clone())),
+        writer: Mutex::new(daemon),
+        shutdown: AtomicBool::new(false),
+    });
+    listener.set_nonblocking(true)?;
+    let mut clients: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                clients.push(std::thread::spawn(move || {
+                    let _ = serve_tcp_client(&shared, stream);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+        clients.retain(|h| !h.is_finished());
+    }
+    for h in clients {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// One TCP client: read lines, answer via [`Shared::handle_line`],
+/// stop at EOF or once the daemon shut down. Reads use a short timeout
+/// so an idle connection notices shutdown instead of blocking the
+/// server's final join forever; partial lines survive timeouts because
+/// `read_line` appends into the same buffer across retries.
+fn serve_tcp_client(shared: &Shared, stream: std::net::TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = io::BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !buf.trim().is_empty() {
+                    let reply = shared.handle_line(buf.trim_end());
+                    writeln!(writer, "{reply}")?;
+                    writer.flush()?;
+                }
+                buf.clear();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
     Ok(())
 }

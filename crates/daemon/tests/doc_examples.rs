@@ -1,0 +1,129 @@
+//! docs/PROTOCOL.md cannot rot: every example line in its fenced
+//! ```request / ```reply blocks must deserialize as a protocol
+//! [`Request`] / [`Reply`], and together the examples must cover every
+//! variant of both enums (ISSUE 9 satellite).
+
+use dtr_daemon::{Reply, Request};
+use std::collections::BTreeSet;
+
+/// Extracts the lines of every fenced code block tagged `tag`.
+fn fenced_lines(doc: &str, tag: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut in_block = false;
+    for line in doc.lines() {
+        if let Some(rest) = line.strip_prefix("```") {
+            in_block = !in_block && rest.trim() == tag;
+            continue;
+        }
+        if in_block && !line.trim().is_empty() {
+            lines.push(line.to_string());
+        }
+    }
+    lines
+}
+
+/// The externally-tagged serde variant name of one JSON line: the
+/// string itself for unit variants (`"Flush"`), the single top-level
+/// key for struct variants (`{"LinkDown":{...}}`).
+fn variant(line: &str) -> String {
+    let t = line.trim();
+    if let Some(rest) = t.strip_prefix('"') {
+        return rest.trim_end_matches('"').to_string();
+    }
+    let rest = t
+        .strip_prefix('{')
+        .unwrap_or_else(|| panic!("unexpected example shape: {line}"));
+    let start = rest.find('"').expect("tag key") + 1;
+    let end = rest[start..].find('"').expect("tag key end") + start;
+    rest[start..end].to_string()
+}
+
+fn doc() -> String {
+    let path = format!("{}/../../docs/PROTOCOL.md", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn every_request_example_parses_and_every_variant_is_covered() {
+    let doc = doc();
+    let lines = fenced_lines(&doc, "request");
+    assert!(!lines.is_empty(), "no ```request blocks found");
+    let mut covered = BTreeSet::new();
+    for line in &lines {
+        let _: Request = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("request example does not parse ({e}): {line}"));
+        covered.insert(variant(line));
+    }
+    let expected: BTreeSet<String> = [
+        "DemandUpdate",
+        "LinkDown",
+        "LinkUp",
+        "DirectedLinkDown",
+        "DirectedLinkUp",
+        "Flush",
+        "WhatIfLinkDown",
+        "WhatIfWeights",
+        "Status",
+        "Snapshot",
+        "Restore",
+        "Shutdown",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(
+        covered, expected,
+        "docs/PROTOCOL.md must show exactly one example per Request variant"
+    );
+}
+
+#[test]
+fn every_reply_example_parses_and_every_variant_is_covered() {
+    let doc = doc();
+    let lines = fenced_lines(&doc, "reply");
+    assert!(!lines.is_empty(), "no ```reply blocks found");
+    let mut covered = BTreeSet::new();
+    for line in &lines {
+        let _: Reply = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("reply example does not parse ({e}): {line}"));
+        covered.insert(variant(line));
+    }
+    let expected: BTreeSet<String> = [
+        "Event", "WhatIf", "Status", "Snapshot", "Restored", "Bye", "Error",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(
+        covered, expected,
+        "docs/PROTOCOL.md must show an example of every Reply variant"
+    );
+}
+
+/// The coalescing narrative in the doc matches the wire reality: the
+/// documented example replies are regenerable state, not hand-written
+/// fiction — a `Coalesced` event example must carry `batch: 0` and a
+/// flush example `batch ≥ 1`.
+#[test]
+fn documented_event_examples_respect_the_batch_rule() {
+    let doc = doc();
+    let mut saw_coalesced = false;
+    let mut saw_flush = false;
+    for line in fenced_lines(&doc, "reply") {
+        if let Ok(Reply::Event(r)) = serde_json::from_str::<Reply>(&line) {
+            match r.action {
+                dtr_daemon::EventAction::Coalesced => {
+                    assert_eq!(r.batch, 0, "coalesced replies defer the search: {line}");
+                    saw_coalesced = true;
+                }
+                _ if r.event.starts_with("flush(") => {
+                    assert!(r.batch >= 1, "flush replies cover a batch: {line}");
+                    saw_flush = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(saw_coalesced, "doc must show a Coalesced event example");
+    assert!(saw_flush, "doc must show a flush example");
+}

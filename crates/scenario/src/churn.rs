@@ -27,7 +27,7 @@
 //!   end-state network.
 
 use dtr_graph::Topology;
-use dtr_routing::survivable_duplex_failures;
+use dtr_routing::{strongly_connected_under, survivable_duplex_failures};
 use dtr_traffic::{DemandSet, TrafficMatrix};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -53,6 +53,17 @@ pub struct ChurnCfg {
     pub whatif_rate: f64,
     /// Per-event standard step of the log-space gravity walk.
     pub drift_sigma: f64,
+    /// Rate of *single-directed-link* failures (one direction of a
+    /// duplex pair goes down while its twin keeps forwarding). Shares
+    /// the single-failure regime with `flap_rate`.
+    pub directed_flap_rate: f64,
+    /// Rate of demand-update *bursts*: a burst emits 2..=`burst_max`
+    /// drift snapshots at one timestamp, modeling the correlated event
+    /// clusters Magnien et al. observe. Zero (the default) reproduces
+    /// pre-burst traces byte-for-byte.
+    pub burst_rate: f64,
+    /// Largest burst size; must be ≥ 2 when `burst_rate > 0`.
+    pub burst_max: usize,
 }
 
 impl Default for ChurnCfg {
@@ -65,6 +76,9 @@ impl Default for ChurnCfg {
             demand_rate: 1.0,
             whatif_rate: 0.2,
             drift_sigma: 0.08,
+            directed_flap_rate: 0.0,
+            burst_rate: 0.0,
+            burst_max: 4,
         }
     }
 }
@@ -90,6 +104,16 @@ pub enum ChurnAction {
     /// A non-mutating probe: "what would failing this pair cost?"
     WhatIfLinkDown {
         /// Canonical pair id (a directed link index).
+        link: u32,
+    },
+    /// Exactly one directed link failed; its reverse twin stays up.
+    DirectedLinkDown {
+        /// The directed link index that went down.
+        link: u32,
+    },
+    /// The directed link repaired.
+    DirectedLinkUp {
+        /// The directed link index that came back.
         link: u32,
     },
 }
@@ -141,6 +165,8 @@ impl ChurnTrace {
             match e.action {
                 ChurnAction::LinkDown { link } => set_pair(&self.topo, &mut up, link, false),
                 ChurnAction::LinkUp { link } => set_pair(&self.topo, &mut up, link, true),
+                ChurnAction::DirectedLinkDown { link } => up[link as usize] = false,
+                ChurnAction::DirectedLinkUp { link } => up[link as usize] = true,
                 _ => {}
             }
         }
@@ -161,7 +187,9 @@ impl ChurnTrace {
                 }
                 ChurnAction::LinkDown { link }
                 | ChurnAction::LinkUp { link }
-                | ChurnAction::WhatIfLinkDown { link } => {
+                | ChurnAction::WhatIfLinkDown { link }
+                | ChurnAction::DirectedLinkDown { link }
+                | ChurnAction::DirectedLinkUp { link } => {
                     assert!((*link as usize) < self.topo.link_count());
                 }
             }
@@ -192,52 +220,87 @@ pub fn generate_churn(name: &str, topo: &Topology, base: &DemandSet, cfg: &Churn
             && cfg.repair_rate >= 0.0
             && cfg.demand_rate >= 0.0
             && cfg.whatif_rate >= 0.0
-            && cfg.drift_sigma >= 0.0,
+            && cfg.drift_sigma >= 0.0
+            && cfg.directed_flap_rate >= 0.0
+            && cfg.burst_rate >= 0.0,
         "rates must be non-negative"
     );
+    assert!(
+        cfg.burst_rate == 0.0 || cfg.burst_max >= 2,
+        "bursts need burst_max >= 2"
+    );
+    // Tracks which kind of failure is currently open so the repair
+    // event matches it.
+    enum Down {
+        Pair(u32),
+        Directed(u32),
+    }
     // Decorrelate from other consumers of the same base seed.
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127);
     let survivable = survivable_duplex_failures(topo);
+    // Directed links whose lone removal keeps the graph strongly
+    // connected (a superset of the duplex cuts: only one direction of
+    // the pair is masked).
+    let directed_survivable: Vec<u32> = if cfg.directed_flap_rate > 0.0 {
+        let mut up = vec![true; topo.link_count()];
+        (0..topo.link_count() as u32)
+            .filter(|&l| {
+                up[l as usize] = false;
+                let ok = strongly_connected_under(topo, &up);
+                up[l as usize] = true;
+                ok
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let n = topo.node_count();
     let mut out_m = vec![0.0f64; n];
     let mut in_m = vec![0.0f64; n];
-    let mut down: Option<u32> = None;
+    let mut down: Option<Down> = None;
     let mut t = 0.0f64;
     let mut events: Vec<ChurnEvent> = Vec::with_capacity(cfg.events);
+
+    let repair_action = |d: Down| match d {
+        Down::Pair(link) => ChurnAction::LinkUp { link },
+        Down::Directed(link) => ChurnAction::DirectedLinkUp { link },
+    };
 
     while events.len() < cfg.events {
         let remaining = cfg.events - events.len();
         if down.is_some() && remaining == 1 {
             // Reserve the last slot for the repair: traces end quiescent.
-            let link = down.take().unwrap();
+            let d = down.take().unwrap();
             t += exp_draw(&mut rng, cfg.repair_rate.max(1e-9));
             events.push(ChurnEvent {
                 at_s: t,
-                action: ChurnAction::LinkUp { link },
+                action: repair_action(d),
             });
             continue;
         }
         // Competing exponential clocks; flaps need a free slot for their
-        // matching repair and a survivable cut to draw from.
-        let flap = if down.is_none() && remaining >= 2 && !survivable.is_empty() {
+        // matching repair and a survivable cut to draw from. The two new
+        // clocks (directed flaps, bursts) sit *after* the original four
+        // in the pick order, so zero rates reproduce pre-burst traces
+        // byte-for-byte.
+        let can_fail = down.is_none() && remaining >= 2;
+        let flap = if can_fail && !survivable.is_empty() {
             cfg.flap_rate
         } else {
             0.0
         };
+        let dflap = if can_fail && !directed_survivable.is_empty() {
+            cfg.directed_flap_rate
+        } else {
+            0.0
+        };
         let repair = if down.is_some() { cfg.repair_rate } else { 0.0 };
-        let total = flap + repair + cfg.demand_rate + cfg.whatif_rate;
+        let burst = if remaining >= 3 { cfg.burst_rate } else { 0.0 };
+        let total = flap + repair + cfg.demand_rate + cfg.whatif_rate + dflap + burst;
         assert!(total > 0.0, "at least one event rate must be positive");
         t += exp_draw(&mut rng, total);
 
-        let pick: f64 = rng.random_range(0.0..total);
-        let action = if pick < flap {
-            let link = survivable.choose(&mut rng).expect("non-empty").pair_id;
-            down = Some(link);
-            ChurnAction::LinkDown { link }
-        } else if pick < flap + repair {
-            let link = down.take().expect("repair clock only runs while down");
-            ChurnAction::LinkUp { link }
-        } else if pick < flap + repair + cfg.demand_rate {
+        let walk = |rng: &mut StdRng, out_m: &mut [f64], in_m: &mut [f64]| {
             // One clamped log-space step of the gravity walk, then a
             // full snapshot of the drifted matrices.
             for m in out_m.iter_mut().chain(in_m.iter_mut()) {
@@ -245,15 +308,41 @@ pub fn generate_churn(name: &str, topo: &Topology, base: &DemandSet, cfg: &Churn
                 *m = (*m + cfg.drift_sigma * step).clamp(-0.5, 0.5);
             }
             ChurnAction::Demand {
-                demands: drifted(base, &out_m, &in_m),
+                demands: drifted(base, out_m, in_m),
             }
-        } else {
+        };
+
+        let pick: f64 = rng.random_range(0.0..total);
+        let action = if pick < flap {
+            let link = survivable.choose(&mut rng).expect("non-empty").pair_id;
+            down = Some(Down::Pair(link));
+            ChurnAction::LinkDown { link }
+        } else if pick < flap + repair {
+            let d = down.take().expect("repair clock only runs while down");
+            repair_action(d)
+        } else if pick < flap + repair + cfg.demand_rate {
+            walk(&mut rng, &mut out_m, &mut in_m)
+        } else if pick < flap + repair + cfg.demand_rate + cfg.whatif_rate {
             let link = match survivable.choose(&mut rng) {
                 Some(s) => s.pair_id,
                 // Degenerate topology with no survivable cut: probe pair 0.
                 None => 0,
             };
             ChurnAction::WhatIfLinkDown { link }
+        } else if pick < flap + repair + cfg.demand_rate + cfg.whatif_rate + dflap {
+            let link = *directed_survivable.choose(&mut rng).expect("non-empty");
+            down = Some(Down::Directed(link));
+            ChurnAction::DirectedLinkDown { link }
+        } else {
+            // A correlated burst: k drift snapshots sharing one
+            // timestamp, capped so the repair slot stays reserved.
+            let cap = remaining - usize::from(down.is_some());
+            let k = rng.random_range(2..=cfg.burst_max).min(cap).max(1);
+            for _ in 0..k {
+                let action = walk(&mut rng, &mut out_m, &mut in_m);
+                events.push(ChurnEvent { at_s: t, action });
+            }
+            continue;
         };
         events.push(ChurnEvent { at_s: t, action });
     }
@@ -393,6 +482,90 @@ mod tests {
         }
         assert!(saw_demand, "default rates should produce demand events");
         assert_eq!(trace.final_demands().high.len(), n);
+    }
+
+    #[test]
+    fn zero_rates_for_new_kinds_emit_no_new_kinds() {
+        let (topo, base) = instance();
+        let trace = generate_churn(
+            "t",
+            &topo,
+            &base,
+            &ChurnCfg {
+                events: 40,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        assert!(trace.events.iter().all(|e| !matches!(
+            e.action,
+            ChurnAction::DirectedLinkDown { .. } | ChurnAction::DirectedLinkUp { .. }
+        )));
+        // No timestamp collisions without bursts (exponential clocks).
+        for w in trace.events.windows(2) {
+            assert!(w[1].at_s > w[0].at_s);
+        }
+    }
+
+    #[test]
+    fn bursts_share_timestamps_and_traces_stay_exact_length() {
+        let (topo, base) = instance();
+        let cfg = ChurnCfg {
+            events: 40,
+            seed: 2,
+            burst_rate: 2.0,
+            burst_max: 6,
+            ..Default::default()
+        };
+        let trace = generate_churn("t", &topo, &base, &cfg);
+        assert_eq!(trace.events.len(), 40);
+        assert_eq!(trace, generate_churn("t", &topo, &base, &cfg));
+        let mut saw_burst = false;
+        for w in trace.events.windows(2) {
+            if w[0].at_s == w[1].at_s {
+                saw_burst = true;
+                for e in w {
+                    assert!(matches!(e.action, ChurnAction::Demand { .. }));
+                }
+            }
+        }
+        assert!(saw_burst, "burst_rate=2.0 should produce shared timestamps");
+    }
+
+    #[test]
+    fn directed_flaps_stay_single_failure_and_end_quiescent() {
+        let (topo, base) = instance();
+        for seed in 0..4u64 {
+            let cfg = ChurnCfg {
+                events: 30,
+                seed,
+                flap_rate: 1.0,
+                directed_flap_rate: 2.0,
+                ..Default::default()
+            };
+            let trace = generate_churn("t", &topo, &base, &cfg);
+            let mut down: Option<ChurnAction> = None;
+            let mut saw_directed = false;
+            for e in &trace.events {
+                match e.action {
+                    ChurnAction::LinkDown { .. } | ChurnAction::DirectedLinkDown { .. } => {
+                        assert!(down.is_none(), "at most one failure open at a time");
+                        saw_directed |= matches!(e.action, ChurnAction::DirectedLinkDown { .. });
+                        down = Some(e.action.clone());
+                    }
+                    ChurnAction::LinkUp { link } => {
+                        assert_eq!(down.take(), Some(ChurnAction::LinkDown { link }));
+                    }
+                    ChurnAction::DirectedLinkUp { link } => {
+                        assert_eq!(down.take(), Some(ChurnAction::DirectedLinkDown { link }));
+                    }
+                    _ => {}
+                }
+            }
+            assert!(down.is_none(), "trace must end with all links up");
+            assert!(trace.final_mask().iter().all(|&u| u));
+            assert!(saw_directed, "directed flap clock should fire at rate 2.0");
+        }
     }
 
     #[test]
