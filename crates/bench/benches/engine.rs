@@ -217,6 +217,48 @@ fn bench_kclass(c: &mut Criterion) {
     }
 }
 
+/// Deployment-aware low-class stepping cost: the 50-node instance with
+/// half the routers upgraded (every even index), batch-evaluating low
+/// weight candidates through `BatchEvaluator::eval_deployed_low_batch`
+/// — the `FindL` hot path of a partial-deployment search, where every
+/// candidate rebuilds the hybrid (legacy + upgraded) per-destination
+/// DAGs. Candidates are regenerated per iteration so caching cannot
+/// absorb the harness's repeats.
+fn bench_deployed(c: &mut Criterion) {
+    let topo = random_topology(&RandomTopologyCfg {
+        nodes: 50,
+        directed_links: 200,
+        seed: 7,
+    });
+    let demands = DemandSet::generate(
+        &topo,
+        &TrafficCfg {
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .scaled(3.0);
+    let upgraded: Vec<u32> = (0..topo.node_count() as u32).step_by(2).collect();
+    let dep = dtr_routing::DeploymentSet::from_upgraded(topo.node_count(), &upgraded);
+    let mut ev = dtr_engine::BatchEvaluator::new(
+        &topo,
+        &demands,
+        Objective::LoadBased,
+        BackendKind::Incremental,
+    );
+    ev.set_deployment(Some(dep))
+        .expect("load-based two-class evaluator accepts a deployment");
+    let base = WeightVector::delay_proportional(&topo, 30);
+    let mut round: u64 = 0;
+    c.bench_function("engine/deployed/low_step/random_50n_200l", |b| {
+        b.iter(|| {
+            round += 1;
+            let cands = neighbors_seeded(&topo, &base, 8, "step", round);
+            ev.eval_deployed_low_batch(&base, &cands)
+        })
+    });
+}
+
 /// End-to-end seeded search under both backends: wall-clock and
 /// incumbent equality (the engine's correctness contract).
 fn search_comparison() -> (f64, f64, bool) {
@@ -295,6 +337,7 @@ fn bench_engine(c: &mut Criterion) {
     let mut speedups = Vec::new();
     bench_backends(c, &mut speedups);
     bench_kclass(c);
+    bench_deployed(c);
     for s in &speedups {
         println!(
             "speedup {} [{}]: {:.1}x (full {:.1} µs/cand, incremental {:.1} µs/cand)",

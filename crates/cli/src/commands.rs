@@ -4,7 +4,7 @@ use crate::args::{ArgError, Args};
 use dtr_core::{
     parse_portfolio, AnnealSearch, DtrSearch, DualWeights, GaSearch, MemeticSearch, Objective,
     PortfolioMode, PortfolioParams, PortfolioResult, PortfolioSearch, ReoptSearch, RobustSearch,
-    ScenarioCombine, Scheme, SearchParams, StrSearch, StrategyKind,
+    ScenarioCombine, Scheme, SearchParams, StrSearch, StrategyKind, UpgradeParams, UpgradeSearch,
 };
 use dtr_graph::datacenter::{
     fat_tree_topology, jellyfish_topology, vl2_topology, xpander_topology, FatTreeCfg,
@@ -44,6 +44,13 @@ pub enum CliError {
     Json(serde_json::Error),
     /// A differential-validation gate failed (`dtrctl validate`).
     Gate(String),
+    /// A churn trace failed structural validation (`dtrctl replay`).
+    Trace {
+        /// Path the trace was loaded from.
+        path: String,
+        /// The structural defect, naming the offending event index.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -57,6 +64,9 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::Json(e) => write!(f, "json: {e}"),
             CliError::Gate(msg) => write!(f, "validation gate failed: {msg}"),
+            CliError::Trace { path, detail } => {
+                write!(f, "invalid churn trace {path}: {detail}")
+            }
         }
     }
 }
@@ -235,6 +245,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "estimate" => cmd_estimate(args),
         "reopt" => cmd_reopt(args),
         "robust" => cmd_robust(args),
+        "upgrade" => cmd_upgrade(args),
         "suite" => cmd_suite(args),
         "validate" => cmd_validate(args),
         "churn" => cmd_churn(args),
@@ -311,6 +322,20 @@ USAGE:
           alias of `optimize --robust`. --cap optimizes against only the
           N worst scenarios of the initial solution — an approximation;
           the dropped pairs are reported)
+  dtrctl upgrade --budget N
+         (--topo topo.json --traffic tm.json | --instance NAME [--corpus corpus])
+         [--search tiny|quick|experiment|paper] [--probe tiny|...] [--seed S]
+         [--swap-passes 1] [--backend incremental|full]
+         [--portfolio descent,...] [--restarts R] [--workers W] [--out report.json]
+         (upgrade-placement planning under partial deployment: which N
+          routers should become MT-capable? Greedy + local-swap over
+          node subsets, each placement scored by a deployment-aware
+          weight search — cheap --probe searches steer the combinatorics,
+          a cold portfolio at the --search budget scores each budget
+          step definitively. Legacy (non-upgraded) routers forward both
+          classes on the default high topology. Emits the monotone
+          R_L-vs-budget curve with placements; byte-deterministic in
+          --seed and the instance, whatever --workers is)
   dtrctl suite [--corpus corpus] [--out suite-out] [--smoke] [--only A,B]
          [--objective load|sla[:BOUND_MS]] [--classes K]
          (runs the scenario corpus end-to-end: per instance an STR
@@ -923,7 +948,126 @@ fn cmd_robust(args: &Args) -> Result<(), CliError> {
     save(args.require("out")?, &res.weights)
 }
 
+/// Rejects `--only` needles that match no corpus instance. Without this
+/// check `--only alpha,zzz` ran `alpha` and silently dropped `zzz` —
+/// and a lone typo produced an empty summary with exit 0. Every
+/// unmatched needle is now a hard argument error listing the available
+/// instance names.
+fn ensure_only_matches(
+    specs: &[dtr_scenario::ScenarioSpec],
+    cfg: &dtr_scenario::SuiteCfg,
+) -> Result<(), CliError> {
+    let unmatched = cfg.unmatched_needles(specs.iter().map(|s| s.name.as_str()));
+    if unmatched.is_empty() {
+        return Ok(());
+    }
+    let available: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+    Err(CliError::Args(ArgError::Invalid {
+        flag: "--only".to_string(),
+        reason: format!(
+            "no corpus instance matches {:?} (available: {})",
+            unmatched.join(","),
+            available.join(", ")
+        ),
+    }))
+}
+
 /// `suite`: the scenario-corpus runner (see `dtr-scenario`).
+/// `dtrctl upgrade`: the migration-planning question — given a budget
+/// of `N` upgradeable routers, which placement maximizes `R_L`?
+fn cmd_upgrade(args: &Args) -> Result<(), CliError> {
+    // The instance: either explicit artifact files, or a corpus
+    // manifest by name (its topology/traffic/seed, with any declared
+    // deployment ignored — the planner explores placements itself).
+    let (topo, demands): (Topology, DemandSet) =
+        match args.get("instance") {
+            Some(name) => {
+                let corpus_dir = args.get("corpus").unwrap_or("corpus");
+                let specs = dtr_scenario::load_corpus(Path::new(corpus_dir)).map_err(|e| {
+                    CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+                })?;
+                let spec = specs.iter().find(|s| s.name == name).ok_or_else(|| {
+                    CliError::UnknownVariant {
+                        what: "corpus instance (--instance)",
+                        value: name.to_string(),
+                    }
+                })?;
+                let topo = spec.topology.build();
+                let demands = spec.traffic.build(&topo);
+                (topo, demands)
+            }
+            None => (
+                load(args.require("topo")?)?,
+                load(args.require("traffic")?)?,
+            ),
+        };
+
+    let budget_str = args.require("budget")?;
+    let budget: usize = budget_str.parse().map_err(|_| CliError::UnknownVariant {
+        what: "upgrade budget (a node count ≥ 1)",
+        value: budget_str.to_string(),
+    })?;
+
+    // `--search` is the definitive per-budget weight-search preset;
+    // `--probe` the cheap greedy/swap scoring preset.
+    let preset = |flag: &'static str, default: &str| -> Result<SearchParams, CliError> {
+        let name = args.get(flag).unwrap_or(default).to_string();
+        SearchParams::preset(&name).ok_or(CliError::UnknownVariant {
+            what: "search preset (tiny|quick|experiment|paper)",
+            value: name,
+        })
+    };
+    let mut params = preset("search", "quick")?;
+    params.seed = args.get_or("seed", params.seed)?;
+    params.backend = match args.get("backend").unwrap_or("incremental") {
+        "incremental" | "incr" => dtr_engine::BackendKind::Incremental,
+        "full" => dtr_engine::BackendKind::Full,
+        other => {
+            return Err(CliError::UnknownVariant {
+                what: "backend",
+                value: other.to_string(),
+            })
+        }
+    };
+    let mut probe = preset("probe", "tiny")?;
+    probe.seed = params.seed;
+    probe.backend = params.backend;
+
+    let up = UpgradeParams {
+        budget,
+        swap_passes: args.get_or("swap-passes", 1usize)?,
+        probe,
+    };
+    let cfg = parse_portfolio_cfg(args)?;
+
+    let outcome = UpgradeSearch::new(&topo, &demands, params, cfg, up).run();
+
+    println!(
+        "upgrade: {} nodes, budget {budget}, baseline Φ_L {:.6} ({} probe searches)",
+        topo.node_count(),
+        outcome.baseline_phi_l,
+        outcome.probes
+    );
+    println!("  budget  Φ_L           R_L      best R_L  placement");
+    for s in &outcome.steps {
+        println!(
+            "  {:>6}  {:<12.6}  {:>7.3}  {:>8.3}  {:?}",
+            s.budget, s.phi_l, s.r_l, s.best_r_l, s.upgraded
+        );
+    }
+    let last = outcome.last();
+    println!(
+        "  best: R_L {:.3} with {} upgraded {:?}",
+        last.best_r_l,
+        last.best_upgraded.len(),
+        last.best_upgraded
+    );
+    if let Some(out) = args.get("out") {
+        save(out, &outcome)?;
+    }
+    Ok(())
+}
+
 fn cmd_suite(args: &Args) -> Result<(), CliError> {
     use dtr_scenario::{load_corpus, run_suite, select, SuiteCfg};
 
@@ -936,6 +1080,7 @@ fn cmd_suite(args: &Args) -> Result<(), CliError> {
     let specs = load_corpus(Path::new(corpus_dir))
         .map_err(|e| CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
     let specs = apply_objective_override(args, specs, &cfg)?;
+    ensure_only_matches(&specs, &cfg)?;
     if select(&specs, &cfg).is_empty() {
         return Err(CliError::UnknownVariant {
             what: "suite selection (no corpus instance matches --smoke/--only)",
@@ -1002,6 +1147,7 @@ fn cmd_validate(args: &Args) -> Result<(), CliError> {
     let specs = load_corpus(Path::new(corpus_dir))
         .map_err(|e| CliError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
     let specs = apply_objective_override(args, specs, &cfg.suite_cfg())?;
+    ensure_only_matches(&specs, &cfg.suite_cfg())?;
     if select(&specs, &cfg.suite_cfg()).is_empty() {
         return Err(CliError::UnknownVariant {
             what: "validate selection (no corpus instance matches --smoke/--only)",
@@ -1241,6 +1387,12 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
         None => return Err(CliError::Args(ArgError::MissingFlag("--trace".into()))),
     };
     let trace: ChurnTrace = load(trace_path)?;
+    // A hand-edited or corrupted trace must fail with a diagnostic, not
+    // a panic deep inside the daemon.
+    trace.validate().map_err(|e| CliError::Trace {
+        path: trace_path.to_string(),
+        detail: e.to_string(),
+    })?;
     let objective = parse_objective(args)?;
     if matches!(objective, Objective::SlaBased(_)) {
         // Masked evaluation is load-only, so an SLA replay of a trace
@@ -1412,6 +1564,51 @@ mod tests {
         run(&args(&format!("bound --topo {topo_p} --traffic {tm_p}"))).unwrap();
 
         for p in [topo_p, tm_p, w_p] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn upgrade_emits_a_deterministic_monotone_curve() {
+        let topo_p = tmp("up-topo.json");
+        let tm_p = tmp("up-tm.json");
+        let out1 = tmp("up-out1.json");
+        let out2 = tmp("up-out2.json");
+
+        run(&args(&format!(
+            "topo random --nodes 6 --links 22 --seed 21 --out {topo_p}"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "traffic --topo {topo_p} --scale 3 --seed 21 --out {tm_p}"
+        )))
+        .unwrap();
+        let upgrade = |out: &str| {
+            run(&args(&format!(
+                "upgrade --topo {topo_p} --traffic {tm_p} --budget 2 --search tiny \
+                 --probe tiny --seed 9 --portfolio descent --restarts 1 --workers 1 \
+                 --out {out}"
+            )))
+            .unwrap();
+        };
+        upgrade(&out1);
+        upgrade(&out2);
+
+        let b1 = std::fs::read(&out1).unwrap();
+        let b2 = std::fs::read(&out2).unwrap();
+        assert_eq!(b1, b2, "upgrade reports differ between identical runs");
+
+        let outcome: dtr_core::UpgradeOutcome = load(&out1).unwrap();
+        assert_eq!(outcome.steps.len(), 3, "expected budgets 0, 1, 2");
+        let curve = outcome.curve();
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "best R_L regressed along the curve: {curve:?}"
+            );
+        }
+
+        for p in [topo_p, tm_p, out1, out2] {
             let _ = std::fs::remove_file(p);
         }
     }
@@ -1845,7 +2042,7 @@ mod tests {
             out.display()
         )))
         .unwrap_err();
-        assert!(matches!(e, CliError::UnknownVariant { .. }));
+        assert!(matches!(e, CliError::Args(ArgError::Invalid { .. })));
         assert!(out.join("mini.json").is_file());
         let summary = std::fs::read_to_string(out.join("summary.json")).unwrap();
         assert!(summary.contains("\"mini\""), "{summary}");
@@ -1913,7 +2110,27 @@ mod tests {
             out.display()
         )))
         .unwrap_err();
-        assert!(matches!(e, CliError::UnknownVariant { .. }));
+        assert!(matches!(e, CliError::Args(ArgError::Invalid { .. })));
+        // A list that matches only partially is a hard error too: the
+        // unmatched needle used to be dropped silently. The diagnostic
+        // names the bad needle and lists what is available.
+        let _ = std::fs::remove_dir_all(&out);
+        let e = run(&args(&format!(
+            "suite --corpus {} --out {} --only alpha-one,zzz",
+            dir.display(),
+            out.display()
+        )))
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("zzz"), "{msg}");
+        assert!(
+            msg.contains("alpha-one") && msg.contains("beta-two"),
+            "{msg}"
+        );
+        assert!(
+            !out.join("alpha-one.json").exists(),
+            "a rejected selection must not run anything"
+        );
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&out);
     }
@@ -1925,7 +2142,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&out);
         // The validate command reuses the suite's comma-list filter.
         run(&args(&format!(
-            "validate --corpus {} --out {} --smoke --only alpha,zzz --des-packets 30000",
+            "validate --corpus {} --out {} --smoke --only alpha --des-packets 30000",
             dir.display(),
             out.display()
         )))
@@ -1935,14 +2152,18 @@ mod tests {
         let summary = std::fs::read_to_string(out.join("validation_summary.json")).unwrap();
         assert!(summary.contains("\"fluid_ok\": true"), "{summary}");
         assert!(summary.contains("\"isolation_ok\": true"), "{summary}");
-        // A filter matching nothing is a clean error, not a panic.
-        let e = run(&args(&format!(
-            "validate --corpus {} --out {} --only zzz",
-            dir.display(),
-            out.display()
-        )))
-        .unwrap_err();
-        assert!(matches!(e, CliError::UnknownVariant { .. }));
+        // A filter matching nothing is a clean error, not a panic —
+        // even when another needle in the same list does match.
+        for only in ["zzz", "alpha,zzz"] {
+            let e = run(&args(&format!(
+                "validate --corpus {} --out {} --only {only}",
+                dir.display(),
+                out.display()
+            )))
+            .unwrap_err();
+            assert!(matches!(e, CliError::Args(ArgError::Invalid { .. })));
+            assert!(e.to_string().contains("zzz"), "{e}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&out);
     }
@@ -2009,6 +2230,48 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("vl2-hotspot"), "{msg}");
         assert!(msg.contains("--only"), "{msg}");
+    }
+
+    #[test]
+    fn replay_rejects_doctored_traces_with_the_event_index() {
+        use dtr_scenario::{generate_churn, ChurnAction, ChurnCfg};
+        let topo = dtr_graph::gen::random_topology(&dtr_graph::gen::RandomTopologyCfg {
+            nodes: 8,
+            directed_links: 32,
+            seed: 6,
+        });
+        let base = dtr_traffic::DemandSet::generate(
+            &topo,
+            &dtr_traffic::TrafficCfg {
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        let mut trace = generate_churn(
+            "doctored",
+            &topo,
+            &base,
+            &ChurnCfg {
+                events: 8,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        // Hand-edit event 5 to name a link the topology does not have —
+        // this used to panic inside the daemon; now it is a clean error
+        // naming the event.
+        trace.events[5].action = ChurnAction::WhatIfLinkDown { link: 9999 };
+        let trace_p = tmp("doctored-trace.json");
+        std::fs::write(&trace_p, serde_json::to_string(&trace).unwrap()).unwrap();
+        let e = run(&args(&format!(
+            "replay --trace {trace_p} --budget tiny --out /tmp/replay-doctored"
+        )))
+        .unwrap_err();
+        assert!(matches!(e, CliError::Trace { .. }), "{e:?}");
+        let msg = e.to_string();
+        assert!(msg.contains("event 5"), "{msg}");
+        assert!(msg.contains("9999"), "{msg}");
+        let _ = std::fs::remove_file(&trace_p);
     }
 
     #[test]

@@ -143,6 +143,21 @@ impl<'a> AnnealSearch<'a> {
         self
     }
 
+    /// Binds a partial-deployment model (DTR mode, load-based objective
+    /// only): candidate evaluations route the low class down the hybrid
+    /// DAGs with trapped demand penalized, so the walk optimizes the
+    /// mixed network it will actually run on. A full set is a no-op.
+    pub fn with_deployment(mut self, dep: dtr_routing::DeploymentSet) -> Self {
+        assert!(
+            matches!(self.mode, AnnealMode::Dtr) || dep.is_full(),
+            "partial deployment requires DTR mode (STR is deployment-invariant)"
+        );
+        self.evaluator
+            .set_deployment(Some(dep))
+            .expect("anneal deployment: load-based objective and matching node count required");
+        self
+    }
+
     /// Overrides the annealing knobs.
     pub fn with_anneal_params(mut self, anneal: AnnealParams) -> Self {
         assert!(
@@ -217,6 +232,17 @@ impl<'a> AnnealSearch<'a> {
                 let high = self
                     .evaluator
                     .high_side_from_loads(pe.high_loads.clone(), &w.high);
+                if let Some(dep) = self.evaluator.deployment().cloned() {
+                    // Partial deployment: the low class rides the hybrid
+                    // DAGs (the high side is still reusable — the high
+                    // vector did not move).
+                    let (low, undeliverable) =
+                        self.evaluator.low_loads_deployed(&dep, &w.high, &w.low);
+                    return self
+                        .evaluator
+                        .finish_deployed(high, low, undeliverable)
+                        .expect("high side built by this evaluator carries the SLA walk");
+                }
                 let low = self.evaluator.low_loads(&w.low);
                 return self
                     .evaluator

@@ -53,10 +53,28 @@ struct State {
 
 impl State {
     /// Evaluates `w` through the engine and rebases both class backends
-    /// onto it, so subsequent candidate deltas are small.
+    /// onto it, so subsequent candidate deltas are small. Under a bound
+    /// partial deployment the low class rides the hybrid DAGs and
+    /// trapped demand is penalized (see `dtr_routing::deploy`).
     fn build(engine: &mut BatchEvaluator<'_>, w: DualWeights) -> State {
         engine.rebase_high(&w.high);
         engine.rebase_low(&w.low);
+        if engine.deployment().is_some() {
+            let (high, low_loads, undeliverable) = engine
+                .eval_deployed_high_batch(std::slice::from_ref(&w.high), &w.low)
+                .pop()
+                .unwrap();
+            let eval = engine
+                .evaluator()
+                .finish_deployed(high.clone(), low_loads.clone(), undeliverable)
+                .expect("engine high sides carry the SLA walk");
+            return State {
+                w,
+                high,
+                low_loads,
+                eval,
+            };
+        }
         let high = engine.eval_high(&w.high);
         let low_loads = engine.eval_low(&w.low);
         let eval = engine
@@ -107,6 +125,18 @@ impl<'a> DtrSearch<'a> {
     /// so seeded runs stay reproducible under any thread schedule.
     pub fn with_shared_bound(mut self, bound: Arc<SharedBound>) -> Self {
         self.bound = Some(bound);
+        self
+    }
+
+    /// Binds a partial-deployment model: legacy nodes forward the low
+    /// class on the high topology, trapped demand is penalized, and
+    /// `FindH` moves re-route the low class too (legacy next-hops follow
+    /// the high DAGs). A full set is a no-op — the search stays
+    /// bit-identical to the undeployed path. Load-based objective only.
+    pub fn with_deployment(mut self, dep: dtr_routing::DeploymentSet) -> Self {
+        self.engine
+            .set_deployment(Some(dep))
+            .expect("DtrSearch deployment: load-based objective and matching node count required");
         self
     }
 
@@ -265,6 +295,36 @@ impl<'a> DtrSearch<'a> {
                 (wh != state.w.high).then_some(wh) // drop clamped no-ops
             })
             .collect();
+        if self.engine.deployment().is_some() {
+            // A high-side move re-routes the low class too (legacy nodes
+            // forward it on the high DAGs), so candidates carry fresh
+            // hybrid low loads alongside their high sides.
+            let results = self.engine.eval_deployed_high_batch(&cands, &state.w.low);
+            let mut best: Option<(Evaluation, HighSide, ClassLoads, WeightVector)> = None;
+            for (wh, (high, low_loads, undeliverable)) in cands.into_iter().zip(results) {
+                let eval = self
+                    .engine
+                    .evaluator()
+                    .finish_deployed(high.clone(), low_loads.clone(), undeliverable)
+                    .expect("engine high sides carry the SLA walk");
+                trace.evaluations += 1;
+                if best.as_ref().is_none_or(|(b, _, _, _)| eval.cost < b.cost) {
+                    best = Some((eval, high, low_loads, wh));
+                }
+            }
+            return match best {
+                Some((eval, high, low_loads, wh)) if eval.cost < state.eval.cost => {
+                    state.w.high = wh;
+                    state.high = high;
+                    state.low_loads = low_loads;
+                    state.eval = eval;
+                    self.engine.rebase_high(&state.w.high);
+                    trace.moves_accepted += 1;
+                    true
+                }
+                _ => false,
+            };
+        }
         let highs = self.engine.eval_high_batch(&cands);
 
         let mut best: Option<(Evaluation, HighSide, WeightVector)> = None;
@@ -315,6 +375,32 @@ impl<'a> DtrSearch<'a> {
                 (wl != state.w.low).then_some(wl)
             })
             .collect();
+        if self.engine.deployment().is_some() {
+            let results = self.engine.eval_deployed_low_batch(&state.w.high, &cands);
+            let mut best: Option<(Evaluation, ClassLoads, WeightVector)> = None;
+            for (wl, (low_loads, undeliverable)) in cands.into_iter().zip(results) {
+                let eval = self
+                    .engine
+                    .evaluator()
+                    .finish_deployed(state.high.clone(), low_loads.clone(), undeliverable)
+                    .expect("engine high sides carry the SLA walk");
+                trace.evaluations += 1;
+                if best.as_ref().is_none_or(|(b, _, _)| eval.cost < b.cost) {
+                    best = Some((eval, low_loads, wl));
+                }
+            }
+            return match best {
+                Some((eval, low_loads, wl)) if eval.cost < state.eval.cost => {
+                    state.w.low = wl;
+                    state.low_loads = low_loads;
+                    state.eval = eval;
+                    self.engine.rebase_low(&state.w.low);
+                    trace.moves_accepted += 1;
+                    true
+                }
+                _ => false,
+            };
+        }
         let loads = self.engine.eval_low_batch(&cands);
 
         let mut best: Option<(Evaluation, ClassLoads, WeightVector)> = None;

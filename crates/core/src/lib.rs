@@ -63,7 +63,9 @@ pub mod robust;
 pub mod scheme;
 pub mod slicing;
 pub mod str_search;
+pub mod streams;
 pub mod telemetry;
+pub mod upgrade;
 
 pub use anneal::{AnnealMode, AnnealParams, AnnealResult, AnnealSearch};
 pub use dtr::{DtrResult, DtrSearch};
@@ -84,6 +86,7 @@ pub use scheme::Scheme;
 pub use slicing::{SlicedResult, SlicedSearch};
 pub use str_search::{RelaxedBest, StrResult, StrSearch};
 pub use telemetry::SearchTrace;
+pub use upgrade::{cost_ratio, UpgradeOutcome, UpgradeParams, UpgradeSearch, UpgradeStep};
 
 // Re-export the types a downstream user needs to drive a search without
 // depending on every substrate crate explicitly.
@@ -91,5 +94,5 @@ pub use dtr_cost::{Lex2, LexCost, Objective, ObjectiveError, ObjectiveSpec, SlaP
 pub use dtr_engine::{BackendKind, BatchEvaluator, EvalBackend, SharedBound};
 pub use dtr_graph::weights::DualWeights;
 pub use dtr_graph::{Topology, WeightVector};
-pub use dtr_routing::{Evaluation, Evaluator};
+pub use dtr_routing::{DeploymentSet, Evaluation, Evaluator};
 pub use dtr_traffic::{DemandSet, TrafficCfg};

@@ -9,8 +9,10 @@
 //! - the portfolio spec (strategy list × restart count, base seed)
 //!   expands into a **fixed task list** — task `i` runs strategy
 //!   `strategies[i % len]` with the derived seed
-//!   [`crate::params::derive_stream_seed`]`(base, i)`. The list depends
-//!   only on the spec, never on thread count or scheduling;
+//!   [`crate::params::derive_stream_seed`]`(base,
+//!   `[`streams::PORTFOLIO_ARM`](crate::streams::PORTFOLIO_ARM)` + i)`.
+//!   The list depends only on the spec, never on thread count or
+//!   scheduling;
 //! - `--workers N` is purely an execution knob: tasks fan out over a
 //!   rayon pool of `N` threads, **each task constructing its own search
 //!   and therefore its own [`dtr_engine::BatchEvaluator`]** — per-worker
@@ -278,6 +280,7 @@ pub struct PortfolioSearch<'a> {
     mode: PortfolioMode,
     cfg: PortfolioParams,
     initial: Option<DualWeights>,
+    deployment: Option<dtr_routing::DeploymentSet>,
 }
 
 impl<'a> PortfolioSearch<'a> {
@@ -311,6 +314,7 @@ impl<'a> PortfolioSearch<'a> {
             mode,
             cfg,
             initial: None,
+            deployment: None,
         }
     }
 
@@ -340,6 +344,37 @@ impl<'a> PortfolioSearch<'a> {
                 spec: spec.summary(),
             }),
         }
+    }
+
+    /// Binds a partial-deployment model: the deployment-aware arms
+    /// (descent, anneal) search the mixed network directly, the
+    /// replicated-subspace arms (GA, memetic) keep exploring shared
+    /// vectors — which are deployment-invariant by construction — and
+    /// **every** arm is scored by the canonical deployment-aware
+    /// `eval_dual`, so the reduction compares all arms on the network
+    /// they will actually run on. A full set is normalized away and the
+    /// portfolio stays bit-identical to the undeployed path.
+    ///
+    /// Nominal DTR mode with the load-based objective only.
+    pub fn with_deployment(mut self, dep: dtr_routing::DeploymentSet) -> Self {
+        assert!(
+            dep.is_full() || matches!(self.mode, PortfolioMode::Nominal(Scheme::Dtr)),
+            "partial deployment requires nominal DTR mode"
+        );
+        assert!(
+            dep.is_full() || matches!(self.objective, Objective::LoadBased),
+            "partial deployment requires the load-based objective"
+        );
+        self.deployment = if dep.is_full() { None } else { Some(dep) };
+        self
+    }
+
+    /// A canonical evaluator with the portfolio's deployment bound.
+    fn canonical_evaluator(&self) -> Evaluator<'a> {
+        let mut ev = Evaluator::new(self.topo, self.demands, self.objective);
+        ev.set_deployment(self.deployment.clone())
+            .expect("with_deployment validated the deployment");
+        ev
     }
 
     /// Warm-starts the arms that accept an initial setting (descent arms
@@ -455,7 +490,7 @@ impl<'a> PortfolioSearch<'a> {
         let winner = &tasks[best.expect("portfolio ran ≥ 1 task")];
         let (eval, robust) = match self.mode {
             PortfolioMode::Nominal(_) => {
-                let mut ev = Evaluator::new(self.topo, self.demands, self.objective);
+                let mut ev = self.canonical_evaluator();
                 (Some(ev.eval_dual(&winner.weights)), None)
             }
             PortfolioMode::Robust { .. } => {
@@ -510,7 +545,9 @@ impl<'a> PortfolioSearch<'a> {
         capped_ids: Option<&[u32]>,
     ) -> TaskOutcome {
         let strategy = self.cfg.strategies[si];
-        let params = self.params.with_stream(task as u64);
+        let params = self
+            .params
+            .with_stream(crate::streams::PORTFOLIO_ARM + task as u64);
         let (weights, evaluations) = match self.mode {
             PortfolioMode::Nominal(scheme) => self.run_nominal(strategy, scheme, params, bound),
             PortfolioMode::Robust {
@@ -521,7 +558,7 @@ impl<'a> PortfolioSearch<'a> {
         };
         let cost = match self.mode {
             PortfolioMode::Nominal(_) => {
-                let mut ev = Evaluator::new(self.topo, self.demands, self.objective);
+                let mut ev = self.canonical_evaluator();
                 ev.eval_dual(&weights).cost
             }
             PortfolioMode::Robust { .. } => {
@@ -557,6 +594,9 @@ impl<'a> PortfolioSearch<'a> {
             (StrategyKind::Descent, Scheme::Dtr) => {
                 let mut s = DtrSearch::new(self.topo, self.demands, self.objective, params)
                     .with_shared_bound(Arc::clone(bound));
+                if let Some(dep) = &self.deployment {
+                    s = s.with_deployment(dep.clone());
+                }
                 if let Some(w0) = &self.initial {
                     s = s.with_initial(w0.clone());
                 }
@@ -573,9 +613,13 @@ impl<'a> PortfolioSearch<'a> {
                 (DualWeights::replicated(r.weights), r.trace.evaluations)
             }
             (StrategyKind::Anneal, scheme) => {
-                let r = AnnealSearch::new(self.topo, self.demands, self.objective, params, scheme)
-                    .with_shared_bound(Arc::clone(bound))
-                    .run();
+                let mut s =
+                    AnnealSearch::new(self.topo, self.demands, self.objective, params, scheme)
+                        .with_shared_bound(Arc::clone(bound));
+                if let Some(dep) = &self.deployment {
+                    s = s.with_deployment(dep.clone());
+                }
+                let r = s.run();
                 (r.weights, r.trace.evaluations)
             }
             (StrategyKind::Ga, _) => {

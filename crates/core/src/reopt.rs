@@ -420,10 +420,11 @@ pub fn frontier(
 ///   incumbent, so its result is never worse than leaving the weights
 ///   alone (the incumbent's own evaluation seeds the best-so-far).
 /// - **Seed decorrelation:** step `k` runs with
-///   [`derive_stream_seed`]`(params.seed, k)`, so consecutive steps
-///   explore independently while the whole sequence stays a pure
-///   function of the base seed — replaying the same event sequence
-///   reproduces the same results bit for bit.
+///   [`derive_stream_seed`]`(params.seed,
+///   `[`streams::REOPT_STEP`](crate::streams::REOPT_STEP)` + k)`, so
+///   consecutive steps explore independently while the whole sequence
+///   stays a pure function of the base seed — replaying the same event
+///   sequence reproduces the same results bit for bit.
 /// - **Explicit adoption:** the session only moves its incumbent when
 ///   the caller [`accept`](Self::accept)s a result, mirroring an
 ///   operator who may decline a reconfiguration (e.g. because its
@@ -530,11 +531,14 @@ impl ReoptSession {
     }
 
     /// Derives this step's params (decorrelated seed) and advances the
-    /// stream position.
+    /// stream position. Step `k` uses stream
+    /// [`streams::REOPT_STEP`](crate::streams::REOPT_STEP)` + k` — the
+    /// frozen zero-tagged span, so recorded replay artifacts stay valid.
     fn next_params(&mut self) -> SearchParams {
-        let p = self
-            .params
-            .with_seed(derive_stream_seed(self.params.seed, self.steps));
+        let p = self.params.with_seed(derive_stream_seed(
+            self.params.seed,
+            crate::streams::REOPT_STEP + self.steps,
+        ));
         self.steps += 1;
         p
     }

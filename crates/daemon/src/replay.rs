@@ -202,7 +202,9 @@ pub fn replay_trace(
     cfg: DaemonCfg,
     initial: Option<DualWeights>,
 ) -> ReplayOutcome {
-    trace.validate();
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid churn trace: {e}"));
     let mut daemon = Daemon::new(trace.topo.clone(), trace.base.clone(), initial, cfg);
     replay_over(trace, cfg, &mut |line: &str| daemon.handle_line(line))
 }
@@ -219,7 +221,9 @@ pub fn replay_trace_tcp(
 ) -> std::io::Result<ReplayOutcome> {
     use std::io::{BufRead, BufReader, Write};
 
-    trace.validate();
+    trace
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid churn trace: {e}"));
     let daemon = Daemon::new(trace.topo.clone(), trace.base.clone(), initial, cfg);
     let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;

@@ -64,8 +64,11 @@ pub use kclass::{KClassBatchEvaluator, KClassEvaluation};
 pub use state::{CandidateEval, DestState, FlowState};
 
 use dtr_cost::{Objective, ObjectiveError, ObjectiveSpec};
-use dtr_graph::{NodeId, ShortestPathDag, Topology, WeightVector};
-use dtr_routing::{sla_evaluation, ClassLoads, Evaluation, Evaluator, FailureScenario, HighSide};
+use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
+use dtr_routing::{
+    hybrid_low_dag, push_demand_down_dag, sla_evaluation, trapped_flow, ClassLoads, DeploymentSet,
+    EvalError, Evaluation, Evaluator, FailureScenario, HighSide,
+};
 use dtr_traffic::DemandSet;
 use std::sync::Arc;
 
@@ -92,6 +95,9 @@ pub struct BatchEvaluator<'a> {
     high_cache: LruCache<HighSide>,
     low_cache: LruCache<ClassLoads>,
     joint_cache: LruCache<Evaluation>,
+    /// Workspace for the fresh SPFs the deployed paths need at
+    /// destinations outside a backend's coverage.
+    ws: SpfWorkspace,
 }
 
 /// A backend constructed on first use. `DtrSearch` never touches the
@@ -165,6 +171,7 @@ impl<'a> BatchEvaluator<'a> {
             high_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
             low_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
             joint_cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+            ws: SpfWorkspace::new(),
         }
     }
 
@@ -349,6 +356,151 @@ impl<'a> BatchEvaluator<'a> {
         out.into_iter().map(Option::unwrap).collect()
     }
 
+    /// Binds a partial-deployment model on the underlying evaluator (see
+    /// [`dtr_routing::deploy`]); `None` or a full set clears it and
+    /// restores the exact legacy paths.
+    pub fn set_deployment(&mut self, dep: Option<DeploymentSet>) -> Result<(), EvalError> {
+        self.evaluator.set_deployment(dep)
+    }
+
+    /// The bound partial deployment, if any.
+    pub fn deployment(&self) -> Option<&DeploymentSet> {
+        self.evaluator.deployment()
+    }
+
+    /// Destinations with low-priority demand, ascending — the hybrid
+    /// push order (matches [`Evaluator::low_loads_deployed`]).
+    fn low_dests(&self) -> Vec<NodeId> {
+        self.topo
+            .nodes()
+            .filter(|t| self.demands.low.demands_to(t.index()).next().is_some())
+            .collect()
+    }
+
+    /// The bound deployment, required by the deployed entry points.
+    fn deployment_cloned(&self) -> DeploymentSet {
+        self.evaluator
+            .deployment()
+            .cloned()
+            .expect("deployed batch entry points require a bound partial deployment")
+    }
+
+    /// Evaluates a batch of **low-class** candidates under the bound
+    /// partial deployment, against a fixed high vector `wh`. Returns,
+    /// per candidate, the hybrid low loads plus the trapped
+    /// (undeliverable) volume — feed both to
+    /// [`Evaluator::finish_deployed`].
+    ///
+    /// The candidates' per-destination low DAGs come from the (possibly
+    /// incremental) low backend; the fixed high DAGs are computed once
+    /// per call. Results are bit-identical to
+    /// [`Evaluator::low_loads_deployed`] because the hybrid synthesis
+    /// reads only DAG branch lists, which both paths produce identically.
+    /// Uncached: results key on the `(wh, wl)` pair, which the per-class
+    /// LRU caches cannot express.
+    pub fn eval_deployed_low_batch(
+        &mut self,
+        wh: &WeightVector,
+        cands: &[WeightVector],
+    ) -> Vec<(ClassLoads, f64)> {
+        let dep = self.deployment_cloned();
+        let dests = self.low_dests();
+        let high_dags: Vec<ShortestPathDag> = dests
+            .iter()
+            .map(|&t| ShortestPathDag::compute_with(self.topo, wh, t, None, &mut self.ws))
+            .collect();
+        let evals = self.low.get().eval_batch(cands, true);
+        let mut by_node: Vec<Option<Arc<ShortestPathDag>>> = vec![None; self.topo.node_count()];
+        evals
+            .into_iter()
+            .map(|ev| {
+                by_node.iter_mut().for_each(|s| *s = None);
+                for (t, dag) in ev.dags {
+                    by_node[t.index()] = Some(dag);
+                }
+                let mut out = vec![0.0; self.topo.link_count()];
+                let mut flow = Vec::new();
+                let mut undeliverable = 0.0;
+                for (t, dh) in dests.iter().zip(&high_dags) {
+                    let dl = by_node[t.index()]
+                        .as_deref()
+                        .expect("low backend DAGs cover every low destination");
+                    let hybrid = hybrid_low_dag(self.topo, &dep, dh, dl);
+                    push_demand_down_dag(
+                        self.topo,
+                        &hybrid,
+                        &self.demands.low,
+                        *t,
+                        &mut flow,
+                        &mut out,
+                    );
+                    undeliverable += trapped_flow(&hybrid, &flow);
+                }
+                (out, undeliverable)
+            })
+            .collect()
+    }
+
+    /// Evaluates a batch of **high-class** candidates under the bound
+    /// partial deployment, against a fixed low vector `wl`. Under
+    /// partial deployment a high-side move re-routes the low class too
+    /// (legacy nodes forward it on the high DAGs), so each entry carries
+    /// the candidate's [`HighSide`] *and* its hybrid low loads plus
+    /// trapped volume.
+    ///
+    /// High DAGs come from the high backend where it covers the
+    /// destination (it only tracks high-demand destinations); low-only
+    /// destinations get a fresh per-candidate SPF.
+    pub fn eval_deployed_high_batch(
+        &mut self,
+        cands: &[WeightVector],
+        wl: &WeightVector,
+    ) -> Vec<(HighSide, ClassLoads, f64)> {
+        let dep = self.deployment_cloned();
+        let dests = self.low_dests();
+        let low_dags: Vec<ShortestPathDag> = dests
+            .iter()
+            .map(|&t| ShortestPathDag::compute_with(self.topo, wl, t, None, &mut self.ws))
+            .collect();
+        let evals = self.high.get().eval_batch(cands, true);
+        let mut by_node: Vec<Option<Arc<ShortestPathDag>>> = vec![None; self.topo.node_count()];
+        let mut results = Vec::with_capacity(evals.len());
+        for (mut ev, wh) in evals.into_iter().zip(cands) {
+            let loads = ev.loads.swap_remove(0);
+            let hs = self.make_high_side(loads, wh, &ev.dags);
+            by_node.iter_mut().for_each(|s| *s = None);
+            for (t, dag) in ev.dags {
+                by_node[t.index()] = Some(dag);
+            }
+            let mut out = vec![0.0; self.topo.link_count()];
+            let mut flow = Vec::new();
+            let mut undeliverable = 0.0;
+            for (t, dl) in dests.iter().zip(&low_dags) {
+                let fresh;
+                let dh = match by_node[t.index()].as_deref() {
+                    Some(d) => d,
+                    None => {
+                        fresh =
+                            ShortestPathDag::compute_with(self.topo, wh, *t, None, &mut self.ws);
+                        &fresh
+                    }
+                };
+                let hybrid = hybrid_low_dag(self.topo, &dep, dh, dl);
+                push_demand_down_dag(
+                    self.topo,
+                    &hybrid,
+                    &self.demands.low,
+                    *t,
+                    &mut flow,
+                    &mut out,
+                );
+                undeliverable += trapped_flow(&hybrid, &flow);
+            }
+            results.push((hs, out, undeliverable));
+        }
+        results
+    }
+
     /// Raw per-link loads of the high class under `wh` — no cost
     /// assembly, bit-identical to
     /// [`dtr_routing::LoadCalculator::class_loads`]. The robust search's
@@ -510,6 +662,54 @@ mod tests {
         let (hits, misses) = engine.cache_stats();
         assert_eq!(hits, 1);
         assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn deployed_batches_match_the_plain_evaluator_bit_for_bit() {
+        let (topo, demands) = instance(11);
+        let n = topo.node_count();
+        // Upgrade every third node — a genuinely partial deployment.
+        let upgraded: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let dep = DeploymentSet::from_upgraded(n, &upgraded);
+        let wh = WeightVector::uniform(&topo, 2);
+        let mut cands = Vec::new();
+        for i in 0..4u32 {
+            let mut w = WeightVector::uniform(&topo, 1);
+            w.set(dtr_graph::LinkId(i), 7 + i);
+            cands.push(w);
+        }
+        let mut reference = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        reference.set_deployment(Some(dep.clone())).unwrap();
+        for kind in [BackendKind::Full, BackendKind::Incremental] {
+            let mut engine = BatchEvaluator::new(&topo, &demands, Objective::LoadBased, kind);
+            engine.set_deployment(Some(dep.clone())).unwrap();
+            // Low-side candidates against a fixed high vector.
+            for (wl, (loads, und)) in cands
+                .iter()
+                .zip(engine.eval_deployed_low_batch(&wh, &cands))
+            {
+                let (ref_loads, ref_und) = reference.low_loads_deployed(&dep, &wh, wl);
+                assert_eq!(loads, ref_loads, "{kind:?} low loads diverge");
+                assert_eq!(und, ref_und);
+            }
+            // High-side candidates against a fixed low vector.
+            let wl = cands[1].clone();
+            for (whc, (hs, loads, und)) in cands
+                .iter()
+                .zip(engine.eval_deployed_high_batch(&cands, &wl))
+            {
+                let ref_hs = reference.eval_high_side(whc);
+                let (ref_loads, ref_und) = reference.low_loads_deployed(&dep, whc, &wl);
+                assert_eq!(hs, ref_hs, "{kind:?} high side diverges");
+                assert_eq!(loads, ref_loads, "{kind:?} hybrid low loads diverge");
+                assert_eq!(und, ref_und);
+                let ev = reference
+                    .finish_deployed(ref_hs, ref_loads, ref_und)
+                    .unwrap();
+                let ev2 = engine.evaluator().finish_deployed(hs, loads, und).unwrap();
+                assert_eq!(ev, ev2);
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! The per-class entry points (`high_loads` / `low_loads` / `assemble`)
 //! let the heuristics re-route only the class whose weights changed.
 
-use crate::loads::{avg_utilization, max_utilization, ClassLoads, LoadCalculator};
+use crate::deploy::{hybrid_low_dag, trapped_flow, DeploymentSet};
+use crate::loads::{
+    avg_utilization, max_utilization, push_demand_down_dag, ClassLoads, LoadCalculator,
+};
 use dtr_cost::{link_delay, phi, sla_penalty, Lex2, Objective, ObjectiveSpec, SlaParams};
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{NodeId, ShortestPathDag, SpfWorkspace, Topology, WeightVector};
@@ -31,6 +34,20 @@ pub enum EvalError {
     /// The objective is SLA-based but the high side carries no
     /// [`SlaEvaluation`] — the `Λ` component cannot be formed.
     MissingSlaEvaluation,
+    /// A partial [`DeploymentSet`] was combined with the SLA objective.
+    /// The Eq. 3/4 delay model assumes the high class rides dedicated
+    /// shortest paths; under a hybrid low DAG with trapped demand the
+    /// per-pair delay walk is undefined, so the combination is fenced
+    /// off rather than silently mis-modeled.
+    DeploymentWithSla,
+    /// A [`DeploymentSet`] was built over a different node universe than
+    /// the evaluator's topology.
+    DeploymentSizeMismatch {
+        /// Nodes in the deployment set.
+        deployment_nodes: usize,
+        /// Nodes in the bound topology.
+        topo_nodes: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -40,6 +57,19 @@ impl fmt::Display for EvalError {
                 f,
                 "SLA objective needs a high side with an SLA evaluation \
                  (build it via eval_high_side or high_side_with_sla(.., Some(..)))"
+            ),
+            EvalError::DeploymentWithSla => write!(
+                f,
+                "partial deployment is only supported under the load-based \
+                 objective (the SLA delay model is undefined over hybrid DAGs)"
+            ),
+            EvalError::DeploymentSizeMismatch {
+                deployment_nodes,
+                topo_nodes,
+            } => write!(
+                f,
+                "deployment set covers {deployment_nodes} nodes but the \
+                 topology has {topo_nodes}"
             ),
         }
     }
@@ -163,6 +193,10 @@ pub struct Evaluator<'a> {
     ws: SpfWorkspace,
     /// Destinations that receive high-priority traffic, precomputed.
     high_dests: Vec<NodeId>,
+    /// Partial-deployment model, when set (see [`crate::deploy`]).
+    /// `None` and a full set are equivalent and take the exact legacy
+    /// code path, so full-deployment results stay bit-identical.
+    deployment: Option<DeploymentSet>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -184,6 +218,7 @@ impl<'a> Evaluator<'a> {
             calc: LoadCalculator::new(),
             ws: SpfWorkspace::new(),
             high_dests,
+            deployment: None,
         }
     }
 
@@ -237,12 +272,112 @@ impl<'a> Evaluator<'a> {
         self.calc.class_loads(self.topo, wl, &self.demands.low)
     }
 
-    /// Full dual-topology evaluation.
+    /// Binds a partial-deployment model (see [`crate::deploy`]), or
+    /// clears it with `None`. A full set is normalized to `None` so
+    /// every downstream branch takes the exact legacy code path and
+    /// full-deployment results stay bit-identical.
+    ///
+    /// Partial deployment composes with the load-based objective only
+    /// ([`EvalError::DeploymentWithSla`]); the set must cover the bound
+    /// topology's nodes ([`EvalError::DeploymentSizeMismatch`]).
+    pub fn set_deployment(&mut self, dep: Option<DeploymentSet>) -> Result<(), EvalError> {
+        let dep = match dep {
+            Some(d) if !d.is_full() => d,
+            _ => {
+                self.deployment = None;
+                return Ok(());
+            }
+        };
+        if matches!(self.objective, Objective::SlaBased(_)) {
+            return Err(EvalError::DeploymentWithSla);
+        }
+        if dep.node_count() != self.topo.node_count() {
+            return Err(EvalError::DeploymentSizeMismatch {
+                deployment_nodes: dep.node_count(),
+                topo_nodes: self.topo.node_count(),
+            });
+        }
+        self.deployment = Some(dep);
+        Ok(())
+    }
+
+    /// The bound partial deployment, if any (`None` also covers a full
+    /// set — see [`Self::set_deployment`]).
+    pub fn deployment(&self) -> Option<&DeploymentSet> {
+        self.deployment.as_ref()
+    }
+
+    /// Routes the low class down the **hybrid** per-destination DAGs of
+    /// `dep` (low-topology branches at upgraded nodes, high-topology
+    /// branches at legacy nodes; see [`crate::deploy`]). Returns the
+    /// per-link loads plus the total demand volume trapped by hybrid
+    /// forwarding loops — exactly `0.0` when nothing loops.
+    ///
+    /// Destinations are processed in ascending node order with the same
+    /// push primitive as [`Self::low_loads`]. (Full-deployment
+    /// bit-identity is guaranteed one level up: [`Self::set_deployment`]
+    /// normalizes a full set to `None`, so the legacy path runs — this
+    /// method is only ever invoked for genuinely partial sets.)
+    pub fn low_loads_deployed(
+        &mut self,
+        dep: &DeploymentSet,
+        wh: &WeightVector,
+        wl: &WeightVector,
+    ) -> (ClassLoads, f64) {
+        let topo = self.topo;
+        let mut out = vec![0.0; topo.link_count()];
+        let mut flow = Vec::new();
+        let mut undeliverable = 0.0;
+        for t in topo.nodes() {
+            if self.demands.low.demands_to(t.index()).next().is_none() {
+                continue;
+            }
+            let dh = ShortestPathDag::compute_with(topo, wh, t, None, &mut self.ws);
+            let dl = ShortestPathDag::compute_with(topo, wl, t, None, &mut self.ws);
+            let hybrid = hybrid_low_dag(topo, dep, &dh, &dl);
+            push_demand_down_dag(topo, &hybrid, &self.demands.low, t, &mut flow, &mut out);
+            undeliverable += trapped_flow(&hybrid, &flow);
+        }
+        (out, undeliverable)
+    }
+
+    /// [`Self::finish`], plus the partial-deployment undeliverable
+    /// penalty: trapped demand is charged at `Φ`'s steepest slope
+    /// (`phi(u, 0) = 5000·u`), appended to `Φ_L` **after** the per-link
+    /// sum so a zero-trap evaluation is bit-identical to [`Self::finish`].
+    pub fn finish_deployed(
+        &self,
+        high: HighSide,
+        low_loads: ClassLoads,
+        undeliverable: f64,
+    ) -> Result<Evaluation, EvalError> {
+        let mut ev = self.finish(high, low_loads)?;
+        if undeliverable > 0.0 {
+            ev.phi_l += phi(undeliverable, 0.0);
+            ev.cost = Lex2::new(ev.cost.primary, ev.phi_l);
+        }
+        Ok(ev)
+    }
+
+    /// Full dual-topology evaluation. Honors the bound
+    /// [`DeploymentSet`], if any: the high class always routes on
+    /// `w.high`; the low class follows the hybrid DAGs and trapped
+    /// demand is penalized (see [`Self::finish_deployed`]).
     pub fn eval_dual(&mut self, w: &DualWeights) -> Evaluation {
-        let h = self.eval_high_side(&w.high);
-        let l = self.low_loads(&w.low);
-        self.finish(h, l)
-            .expect("high side built by this evaluator carries the SLA walk")
+        match self.deployment.clone() {
+            None => {
+                let h = self.eval_high_side(&w.high);
+                let l = self.low_loads(&w.low);
+                self.finish(h, l)
+                    .expect("high side built by this evaluator carries the SLA walk")
+            }
+            Some(dep) => {
+                let h = self.eval_high_side(&w.high);
+                let (l, undeliverable) = self.low_loads_deployed(&dep, &w.high, &w.low);
+                self.finish_deployed(h, l, undeliverable)
+                    .expect("high side built by this evaluator carries the SLA walk")
+            }
+        }
     }
 
     /// Single-topology evaluation (both classes share `w`); one SPF pass
@@ -644,6 +779,94 @@ mod tests {
             .0;
         assert_eq!(max, ac.index());
         assert!(ranks[ac.index()].low > 0.0);
+    }
+
+    #[test]
+    fn full_or_empty_deployment_normalizes_to_the_legacy_path() {
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let w = DualWeights { high: wh, low: wl };
+        let legacy = ev.eval_dual(&w);
+        ev.set_deployment(Some(DeploymentSet::full(3))).unwrap();
+        assert!(ev.deployment().is_none(), "full set normalizes to None");
+        assert_eq!(ev.eval_dual(&w), legacy);
+        // All-legacy: low class rides the high DAG — same as replicating
+        // the high weights into the low topology.
+        ev.set_deployment(Some(DeploymentSet::empty(3))).unwrap();
+        let all_legacy = ev.eval_dual(&w);
+        ev.set_deployment(None).unwrap();
+        let replicated = ev.eval_dual(&DualWeights::replicated(w.high.clone()));
+        assert_eq!(all_legacy.cost, replicated.cost);
+        assert_eq!(all_legacy.low_loads, replicated.low_loads);
+    }
+
+    #[test]
+    fn partial_deployment_with_a_loop_pays_the_trapped_penalty() {
+        // The deploy-module counterexample, end to end: high routes
+        // A→B→C, low routes B→A→C; with only B upgraded the low class
+        // loops A↔B and all 2/3 units of A→C low demand are trapped.
+        let (topo, demands) = triangle_instance();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let c = NodeId(2);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let mut wh = WeightVector::uniform(&topo, 1);
+        wh.set(topo.find_link(a, c).unwrap(), 10);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(b, c).unwrap(), 10);
+        ev.set_deployment(Some(DeploymentSet::from_upgraded(3, &[1])))
+            .unwrap();
+        let e = ev.eval_dual(&DualWeights { high: wh, low: wl });
+        assert!(e.low_loads.iter().all(|&x| x == 0.0), "nothing delivered");
+        // Φ_L = 5000 · 2/3, charged at the steepest slope.
+        assert!((e.phi_l - 5000.0 * (2.0 / 3.0)).abs() < 1e-9, "{}", e.phi_l);
+        assert_eq!(e.cost.secondary, e.phi_l);
+    }
+
+    #[test]
+    fn loop_free_partial_deployment_blends_the_two_topologies() {
+        // A upgraded: A's low traffic takes the low DAG detour via B;
+        // legacy B would forward on the high DAG (but has no demand).
+        let (topo, demands) = triangle_instance();
+        let a = NodeId(0);
+        let c = NodeId(2);
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(a, c).unwrap(), 30); // low detours via B
+        let w = DualWeights { high: wh, low: wl };
+        ev.set_deployment(Some(DeploymentSet::from_upgraded(3, &[0])))
+            .unwrap();
+        let partial = ev.eval_dual(&w);
+        ev.set_deployment(None).unwrap();
+        let full = ev.eval_dual(&w);
+        // The only low source is upgraded, so the partial evaluation
+        // matches full deployment exactly: Φ_L = 8/3.
+        assert_eq!(partial.cost, full.cost);
+        assert!((partial.phi_l - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deployment_fences_reject_sla_and_size_mismatch() {
+        let (topo, demands) = triangle_instance();
+        let mut ev = Evaluator::new(&topo, &demands, Objective::SlaBased(SlaParams::default()));
+        assert_eq!(
+            ev.set_deployment(Some(DeploymentSet::empty(3))),
+            Err(EvalError::DeploymentWithSla)
+        );
+        // A FULL set is fine even under SLA — it normalizes away.
+        assert_eq!(ev.set_deployment(Some(DeploymentSet::full(3))), Ok(()));
+        let mut ev = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        assert_eq!(
+            ev.set_deployment(Some(DeploymentSet::empty(5))),
+            Err(EvalError::DeploymentSizeMismatch {
+                deployment_nodes: 5,
+                topo_nodes: 3
+            })
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! and vice versa. Costs are then assembled in `O(|E| + pairs)`.
 
 pub mod cascade;
+pub mod deploy;
 pub mod estimate;
 pub mod eval;
 pub mod loads;
@@ -26,6 +27,7 @@ pub mod routing_matrix;
 pub mod scenarios;
 
 pub use cascade::{cascade_classes, ClassCascade};
+pub use deploy::{hybrid_low_dag, trapped_flow, DeploymentSet};
 pub use estimate::{gravity_prior, l1_error, tomogravity, EstimateResult, TomoCfg};
 pub use eval::{
     sla_evaluation, sla_walk, EvalError, Evaluation, Evaluator, HighSide, LinkRank, PairDelay,

@@ -295,4 +295,65 @@ proptest! {
             );
         }
     }
+
+    /// A full `DeploymentSet` must be indistinguishable from no
+    /// deployment at all: every field of the evaluation — loads, per-link
+    /// Φ vectors, scalar Φ values, and the lexicographic cost — is
+    /// bit-identical to the plain evaluator, because full sets normalize
+    /// to the legacy code path rather than re-deriving it.
+    #[test]
+    fn full_deployment_is_bit_identical_to_the_plain_evaluator(
+        seed in 0u64..200,
+        wseed in 0u64..500,
+    ) {
+        let (topo, demands) = small_instance(seed);
+        let w = DualWeights {
+            high: rand_weights(&topo, wseed),
+            low: rand_weights(&topo, wseed.wrapping_add(1)),
+        };
+        let plain = Evaluator::new(&topo, &demands, Objective::LoadBased).eval_dual(&w);
+        let mut deployed = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        deployed
+            .set_deployment(Some(dtr_routing::DeploymentSet::full(topo.node_count())))
+            .unwrap();
+        let dep = deployed.eval_dual(&w);
+        prop_assert_eq!(&plain.high_loads, &dep.high_loads);
+        prop_assert_eq!(&plain.low_loads, &dep.low_loads);
+        prop_assert_eq!(&plain.phi_h_per_link, &dep.phi_h_per_link);
+        prop_assert_eq!(&plain.phi_l_per_link, &dep.phi_l_per_link);
+        prop_assert!(plain.phi_h == dep.phi_h && plain.phi_l == dep.phi_l);
+        prop_assert_eq!(plain.cost, dep.cost);
+    }
+
+    /// Legacy nodes only reroute the *low* class: under any partial
+    /// deployment the high-topology side of the evaluation (loads,
+    /// per-link Φ, Φ_H) is bit-identical to the plain evaluator.
+    #[test]
+    fn partial_deployment_never_touches_the_high_class(
+        seed in 0u64..200,
+        wseed in 0u64..500,
+        dseed in 0u64..500,
+    ) {
+        let (topo, demands) = small_instance(seed);
+        let n = topo.node_count();
+        let w = DualWeights {
+            high: rand_weights(&topo, wseed),
+            low: rand_weights(&topo, wseed.wrapping_add(1)),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(dseed);
+        let mut upgraded: Vec<u32> =
+            (0..n as u32).filter(|_| rng.random_range(0..2) == 1).collect();
+        if upgraded.len() == n {
+            upgraded.pop(); // keep the set genuinely partial
+        }
+        let set = dtr_routing::DeploymentSet::from_upgraded(n, &upgraded);
+        let plain = Evaluator::new(&topo, &demands, Objective::LoadBased).eval_dual(&w);
+        let mut deployed = Evaluator::new(&topo, &demands, Objective::LoadBased);
+        deployed.set_deployment(Some(set)).unwrap();
+        let dep = deployed.eval_dual(&w);
+        prop_assert_eq!(&plain.high_loads, &dep.high_loads);
+        prop_assert_eq!(&plain.phi_h_per_link, &dep.phi_h_per_link);
+        prop_assert!(plain.phi_h == dep.phi_h);
+        prop_assert!(dep.phi_l.is_finite() && dep.phi_l >= 0.0);
+    }
 }

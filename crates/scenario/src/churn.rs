@@ -174,28 +174,134 @@ impl ChurnTrace {
     }
 
     /// Structural sanity: sizes match, timestamps are non-decreasing,
-    /// link ids are valid. Panics on violation.
-    pub fn validate(&self) {
-        assert_eq!(self.base.high.len(), self.topo.node_count());
+    /// link ids are valid.
+    ///
+    /// A hand-edited or corrupted trace used to `assert!` here, aborting
+    /// `dtrctl replay` with a panic; now every violation is a structured
+    /// [`ChurnTraceError`] naming the offending event index, so the CLI
+    /// can exit non-zero with a diagnostic instead of a backtrace.
+    pub fn validate(&self) -> Result<(), ChurnTraceError> {
+        if self.base.high.len() != self.topo.node_count() {
+            return Err(ChurnTraceError::BaseDemandSize {
+                demand_nodes: self.base.high.len(),
+                topo_nodes: self.topo.node_count(),
+            });
+        }
         let mut prev = 0.0f64;
-        for e in &self.events {
-            assert!(e.at_s >= prev, "timestamps must be non-decreasing");
+        for (index, e) in self.events.iter().enumerate() {
+            // `is_nan` kept explicit: a NaN timestamp must also fail.
+            if e.at_s.is_nan() || e.at_s < prev {
+                return Err(ChurnTraceError::TimestampRegression {
+                    index,
+                    at_s: e.at_s,
+                    prev_s: prev,
+                });
+            }
             prev = e.at_s;
             match &e.action {
                 ChurnAction::Demand { demands } => {
-                    assert_eq!(demands.high.len(), self.topo.node_count());
+                    if demands.high.len() != self.topo.node_count() {
+                        return Err(ChurnTraceError::DemandSize {
+                            index,
+                            demand_nodes: demands.high.len(),
+                            topo_nodes: self.topo.node_count(),
+                        });
+                    }
                 }
                 ChurnAction::LinkDown { link }
                 | ChurnAction::LinkUp { link }
                 | ChurnAction::WhatIfLinkDown { link }
                 | ChurnAction::DirectedLinkDown { link }
                 | ChurnAction::DirectedLinkUp { link } => {
-                    assert!((*link as usize) < self.topo.link_count());
+                    if (*link as usize) >= self.topo.link_count() {
+                        return Err(ChurnTraceError::LinkOutOfRange {
+                            index,
+                            link: *link,
+                            link_count: self.topo.link_count(),
+                        });
+                    }
                 }
             }
         }
+        Ok(())
     }
 }
+
+/// A structural defect in a [`ChurnTrace`], pinned to the event that
+/// carries it (`index` is the position in [`ChurnTrace::events`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnTraceError {
+    /// The base demand matrices disagree with the topology's node count.
+    BaseDemandSize {
+        /// Node count of the base demand matrices.
+        demand_nodes: usize,
+        /// Node count of the trace's topology.
+        topo_nodes: usize,
+    },
+    /// An event's timestamp runs backwards (or is NaN).
+    TimestampRegression {
+        /// Offending event index.
+        index: usize,
+        /// Its timestamp.
+        at_s: f64,
+        /// The previous event's timestamp.
+        prev_s: f64,
+    },
+    /// A demand snapshot's matrices disagree with the topology.
+    DemandSize {
+        /// Offending event index.
+        index: usize,
+        /// Node count of the snapshot's matrices.
+        demand_nodes: usize,
+        /// Node count of the trace's topology.
+        topo_nodes: usize,
+    },
+    /// A link event names a directed link the topology does not have.
+    LinkOutOfRange {
+        /// Offending event index.
+        index: usize,
+        /// The out-of-range directed link id.
+        link: u32,
+        /// The topology's directed link count.
+        link_count: usize,
+    },
+}
+
+impl std::fmt::Display for ChurnTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnTraceError::BaseDemandSize {
+                demand_nodes,
+                topo_nodes,
+            } => write!(
+                f,
+                "base demand matrices cover {demand_nodes} nodes but the topology has {topo_nodes}"
+            ),
+            ChurnTraceError::TimestampRegression { index, at_s, prev_s } => write!(
+                f,
+                "event {index} runs backwards in time ({at_s} s after {prev_s} s)"
+            ),
+            ChurnTraceError::DemandSize {
+                index,
+                demand_nodes,
+                topo_nodes,
+            } => write!(
+                f,
+                "event {index}: demand snapshot covers {demand_nodes} nodes but the topology has {topo_nodes}"
+            ),
+            ChurnTraceError::LinkOutOfRange {
+                index,
+                link,
+                link_count,
+            } => write!(
+                f,
+                "event {index}: link id {link} out of range (topology has {link_count} directed links)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChurnTraceError {}
 
 fn set_pair(topo: &Topology, up: &mut [bool], link: u32, value: bool) {
     let lid = dtr_graph::LinkId(link);
@@ -235,8 +341,9 @@ pub fn generate_churn(name: &str, topo: &Topology, base: &DemandSet, cfg: &Churn
         Pair(u32),
         Directed(u32),
     }
-    // Decorrelate from other consumers of the same base seed.
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127);
+    // Decorrelate from other consumers of the same base seed; the tag
+    // is registered in the central stream-id registry.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ dtr_core::streams::CHURN_CLOCK_XOR);
     let survivable = survivable_duplex_failures(topo);
     // Directed links whose lone removal keeps the graph strongly
     // connected (a superset of the duplex cuts: only one direction of
@@ -354,7 +461,9 @@ pub fn generate_churn(name: &str, topo: &Topology, base: &DemandSet, cfg: &Churn
         base: base.clone(),
         events,
     };
-    trace.validate();
+    trace
+        .validate()
+        .expect("generated traces are structurally valid");
     trace
 }
 
@@ -566,6 +675,61 @@ mod tests {
             assert!(trace.final_mask().iter().all(|&u| u));
             assert!(saw_directed, "directed flap clock should fire at rate 2.0");
         }
+    }
+
+    #[test]
+    fn doctored_traces_fail_validation_with_the_event_index() {
+        let (topo, base) = instance();
+        let trace = generate_churn(
+            "doctored",
+            &topo,
+            &base,
+            &ChurnCfg {
+                events: 10,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(trace.validate(), Ok(()));
+
+        // A hand-edited link id past the topology's range must name the
+        // offending event, not panic.
+        let mut bad = trace.clone();
+        let idx = 4;
+        bad.events[idx].action = ChurnAction::WhatIfLinkDown {
+            link: topo.link_count() as u32 + 7,
+        };
+        match bad.validate() {
+            Err(ChurnTraceError::LinkOutOfRange { index, link, .. }) => {
+                assert_eq!(index, idx);
+                assert_eq!(link, topo.link_count() as u32 + 7);
+            }
+            other => panic!("expected LinkOutOfRange, got {other:?}"),
+        }
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("event 4"), "diagnostic names the index: {msg}");
+
+        // A timestamp running backwards is pinned the same way.
+        let mut bad = trace.clone();
+        bad.events[3].at_s = -1.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ChurnTraceError::TimestampRegression { index: 3, .. })
+        ));
+
+        // A truncated demand snapshot, likewise.
+        let mut bad = trace.clone();
+        bad.events[0].at_s = 0.0;
+        bad.events[0].action = ChurnAction::Demand {
+            demands: DemandSet {
+                high: TrafficMatrix::zeros(2),
+                low: TrafficMatrix::zeros(2),
+            },
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ChurnTraceError::DemandSize { index: 0, .. })
+        ));
     }
 
     #[test]

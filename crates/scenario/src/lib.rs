@@ -29,9 +29,9 @@ pub mod spec;
 pub mod suite;
 pub mod validate;
 
-pub use churn::{generate_churn, ChurnAction, ChurnCfg, ChurnEvent, ChurnTrace};
+pub use churn::{generate_churn, ChurnAction, ChurnCfg, ChurnEvent, ChurnTrace, ChurnTraceError};
 pub use corpus::{load_corpus, load_spec, ScenarioError};
-pub use spec::{ScenarioSpec, SearchSpec, TopologySpec, TrafficSpec};
+pub use spec::{DeploymentSpec, ScenarioSpec, SearchSpec, TopologySpec, TrafficSpec};
 pub use suite::{
     cost_ratio, run_instance, run_instance_full, run_instance_k, run_suite, search_incumbents,
     search_incumbents_k, select, InstanceReport, InstanceRun, RobustReport, SchemeReport,

@@ -522,6 +522,20 @@ impl SearchSpec {
     }
 }
 
+/// Partial-deployment declaration: which routers are MT-capable.
+///
+/// Omitting the `deployment` key (every pre-existing manifest) means
+/// full deployment — the classic DTR setup where every router installs
+/// both topologies. With a partial set, the **legacy** (non-upgraded)
+/// routers forward *both* classes on the default high topology; see
+/// `dtr_routing::deploy` for the forwarding model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// Node indices of the MT-capable (upgraded) routers. Listing every
+    /// node is equivalent to omitting the key entirely.
+    pub upgraded: Vec<u32>,
+}
+
 /// One complete scenario manifest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -545,6 +559,9 @@ pub struct ScenarioSpec {
     /// The unified objective (default: the paper's load-based two-class
     /// `A = ⟨Φ_H, Φ_L⟩`, so every pre-spec manifest parses unchanged).
     pub objective: Option<ObjectiveSpec>,
+    /// Partial deployment (default: fully deployed — every pre-spec
+    /// manifest parses unchanged).
+    pub deployment: Option<DeploymentSpec>,
 }
 
 impl ScenarioSpec {
@@ -571,6 +588,16 @@ impl ScenarioSpec {
     /// Number of traffic classes the objective requests.
     pub fn class_count(&self) -> usize {
         self.objective().class_count()
+    }
+
+    /// Resolves the manifest's deployment against a topology of `n`
+    /// nodes. Returns `None` for an omitted key **or** a set covering
+    /// every node — the normalization that keeps fully-deployed
+    /// evaluation on the exact legacy code path, bit for bit.
+    pub fn deployment_set(&self, n: usize) -> Option<dtr_routing::DeploymentSet> {
+        let d = self.deployment.as_ref()?;
+        let set = dtr_routing::DeploymentSet::from_upgraded(n, &d.upgraded);
+        (!set.is_full()).then_some(set)
     }
 
     /// Checks the manifest for the mistakes a generator would otherwise
@@ -706,6 +733,41 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(dep) = &self.deployment {
+            if classes != 2 {
+                return Err(format!(
+                    "deployment requires the two-class pipeline, got {classes} classes"
+                ));
+            }
+            if !matches!(
+                objective.as_two_class(),
+                Some(dtr_cost::Objective::LoadBased)
+            ) {
+                return Err(
+                    "deployment requires the load-based objective (the legacy-forwarding \
+                     model has no SLA delay semantics)"
+                        .into(),
+                );
+            }
+            if !self.failures().is_none() {
+                return Err(
+                    "deployment does not combine with failure sweeps (the robustness \
+                     evaluator is deployment-unaware)"
+                        .into(),
+                );
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for &v in &dep.upgraded {
+                if (v as usize) >= n {
+                    return Err(format!(
+                        "deployment.upgraded node {v} outside the {n}-node topology"
+                    ));
+                }
+                if !seen.insert(v) {
+                    return Err(format!("deployment.upgraded lists node {v} twice"));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -733,6 +795,7 @@ mod tests {
             failures: None,
             search: None,
             objective: None,
+            deployment: None,
         }
     }
 
@@ -789,6 +852,46 @@ mod tests {
         assert_eq!(s.traffic.class_fractions(3), vec![0.15, 0.15]);
         let back: ScenarioSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn deployment_field_parses_normalizes_and_fences() {
+        // Manifest form: an explicit upgraded-node list.
+        let json = r#"{
+            "name": "partial",
+            "topology": "Isp",
+            "traffic": { "family": "Gravity" },
+            "deployment": { "upgraded": [0, 3, 7] }
+        }"#;
+        let s: ScenarioSpec = serde_json::from_str(json).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.deployment_set(16).unwrap().upgraded_nodes(), [0, 3, 7]);
+        let back: ScenarioSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+
+        // Listing every node is the same as omitting the key: the
+        // resolver normalizes to None so evaluation stays on the exact
+        // legacy code path.
+        let mut s = minimal("full");
+        s.deployment = Some(DeploymentSpec {
+            upgraded: (0..16).collect(),
+        });
+        s.validate().unwrap();
+        assert!(s.deployment_set(16).is_none());
+        assert!(minimal("omitted").deployment_set(16).is_none());
+
+        // Fences: out-of-range node, duplicate node, failure sweeps and
+        // k-class objectives are all rejected at manifest load.
+        let mut s = minimal("bad");
+        s.deployment = Some(DeploymentSpec { upgraded: vec![16] });
+        assert!(s.validate().unwrap_err().contains("outside"));
+        s.deployment = Some(DeploymentSpec {
+            upgraded: vec![1, 1],
+        });
+        assert!(s.validate().unwrap_err().contains("twice"));
+        s.deployment = Some(DeploymentSpec { upgraded: vec![1] });
+        s.failures = Some(FailurePolicy::AllSingleDuplex);
+        assert!(s.validate().unwrap_err().contains("failure"));
     }
 
     #[test]

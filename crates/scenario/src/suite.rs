@@ -36,28 +36,12 @@ use dtr_core::{
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{Topology, WeightVector};
 use dtr_multi::{MultiDemand, MultiEvaluation, MultiEvaluator, MultiSearch};
-use dtr_routing::{Evaluator, FailurePolicy};
+use dtr_routing::{DeploymentSet, Evaluator, FailurePolicy};
 use dtr_traffic::DemandSet;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// The paper's cost ratio `R = cost(STR)/cost(DTR)` with two guards:
-///
-/// - `0/0` (both schemes meet the objective exactly) is defined as 1 —
-///   equal performance;
-/// - a zero on one side only (a finite-budget artifact where one search
-///   found a violation-free solution and the other just missed) is
-///   **saturated** into `[10⁻³, 10³]` so a single knife-edge point
-///   cannot dominate a table. Raw costs are always reported alongside
-///   ratios.
-pub fn cost_ratio(str_cost: f64, dtr_cost: f64) -> f64 {
-    const EPS: f64 = 1e-9;
-    if str_cost <= EPS && dtr_cost <= EPS {
-        1.0
-    } else {
-        ((str_cost + EPS) / (dtr_cost + EPS)).clamp(1e-3, 1e3)
-    }
-}
+pub use dtr_core::cost_ratio;
 
 /// How the suite should run.
 #[derive(Debug, Clone, Default)]
@@ -83,6 +67,26 @@ impl SuiteCfg {
                 .map(str::trim)
                 .filter(|needle| !needle.is_empty())
                 .any(|needle| name.contains(needle)),
+        }
+    }
+
+    /// The `--only` needles that match **none** of `names`. A non-empty
+    /// return means the user asked for instances that do not exist —
+    /// `--only alpha,zzz` used to run `alpha` and silently drop `zzz`;
+    /// callers now turn unmatched needles into a hard argument error.
+    pub fn unmatched_needles<'n>(
+        &self,
+        names: impl Iterator<Item = &'n str> + Clone,
+    ) -> Vec<String> {
+        match self.only.as_deref() {
+            None => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .map(str::trim)
+                .filter(|needle| !needle.is_empty())
+                .filter(|needle| !names.clone().any(|name| name.contains(needle)))
+                .map(str::to_string)
+                .collect(),
         }
     }
 }
@@ -149,6 +153,9 @@ pub struct InstanceReport {
     pub budget: String,
     /// Whether the portfolio orchestrator ran the searches.
     pub portfolio: bool,
+    /// Upgraded (MT-capable) node indices when the manifest declares a
+    /// partial deployment; `None` for the classic fully-deployed DTR.
+    pub deployment: Option<Vec<u32>>,
     /// Single-topology baseline outcome.
     pub baseline: SchemeReport,
     /// DTR outcome.
@@ -188,6 +195,7 @@ fn run_scheme(
     spec: &ScenarioSpec,
     scheme: Scheme,
     initial: Option<&DualWeights>,
+    deployment: Option<&DeploymentSet>,
     smoke: bool,
 ) -> (DualWeights, SchemeReport) {
     let search = spec.search();
@@ -196,6 +204,12 @@ fn run_scheme(
         .objective()
         .as_two_class()
         .expect("two-class pipeline got a k-class objective");
+    // Only the DTR scheme sees the deployment: the STR baseline runs
+    // one topology on one table, which legacy routers forward exactly.
+    debug_assert!(
+        deployment.is_none() || matches!(scheme, Scheme::Dtr),
+        "deployment only applies to the DTR scheme"
+    );
     let start = Instant::now();
     let (weights, evaluations) = if search.portfolio() {
         let mut folio = PortfolioSearch::new(
@@ -211,6 +225,9 @@ fn run_scheme(
                 prune_margin: f64::INFINITY,
             },
         );
+        if let Some(dep) = deployment {
+            folio = folio.with_deployment(dep.clone());
+        }
         if let Some(w0) = initial {
             // Warm-starts the descent arms; the deterministic reduction
             // takes the best arm, so the result is never worse than w0.
@@ -223,6 +240,9 @@ fn run_scheme(
         match scheme {
             Scheme::Dtr => {
                 let mut s = DtrSearch::new(topo, demands, objective, params);
+                if let Some(dep) = deployment {
+                    s = s.with_deployment(dep.clone());
+                }
                 if let Some(w0) = initial {
                     s = s.with_initial(w0.clone());
                 }
@@ -236,7 +256,11 @@ fn run_scheme(
         }
     };
     let elapsed_s = start.elapsed().as_secs_f64();
-    let eval = Evaluator::new(topo, demands, objective).eval_dual(&weights);
+    let mut evaluator = Evaluator::new(topo, demands, objective);
+    evaluator
+        .set_deployment(deployment.cloned())
+        .expect("manifest validation fences deployment to load-based two-class");
+    let eval = evaluator.eval_dual(&weights);
     let report = SchemeReport {
         phi_h: eval.phi_h,
         phi_l: eval.phi_l,
@@ -291,6 +315,11 @@ pub struct SearchedInstance {
     pub dtr: SchemeReport,
     /// The effective budget-preset name the searches ran at.
     pub budget: String,
+    /// The manifest's partial deployment, already normalized (`None`
+    /// for an omitted key or a full set). The DTR search and the
+    /// canonical DTR evaluation above ran deployment-aware; the STR
+    /// baseline is deployment-invariant (one topology, one table).
+    pub deployment: Option<DeploymentSet>,
 }
 
 /// Builds one instance and runs both scheme searches (no robustness
@@ -299,7 +328,8 @@ pub fn search_incumbents(spec: &ScenarioSpec, smoke: bool) -> SearchedInstance {
     let topo = spec.topology.build();
     let demands = spec.traffic.build(&topo);
     let search = spec.search();
-    let (str_weights, baseline) = run_scheme(&topo, &demands, spec, Scheme::Str, None, smoke);
+    let deployment = spec.deployment_set(topo.node_count());
+    let (str_weights, baseline) = run_scheme(&topo, &demands, spec, Scheme::Str, None, None, smoke);
     // DTR warm-starts from the baseline incumbent (see module docs):
     // the comparison reads "what does the second topology buy on top of
     // the single-topology optimum", and the lexicographic search
@@ -310,6 +340,7 @@ pub fn search_incumbents(spec: &ScenarioSpec, smoke: bool) -> SearchedInstance {
         spec,
         Scheme::Dtr,
         Some(&str_weights),
+        deployment.as_ref(),
         smoke,
     );
     SearchedInstance {
@@ -324,6 +355,7 @@ pub fn search_incumbents(spec: &ScenarioSpec, smoke: bool) -> SearchedInstance {
         } else {
             search.budget().to_string()
         },
+        deployment,
     }
 }
 
@@ -457,6 +489,7 @@ pub fn run_instance_k(spec: &ScenarioSpec, smoke: bool) -> InstanceReport {
         high_fraction: run.demands.fraction(0),
         budget: run.budget,
         portfolio: false,
+        deployment: None,
         r_h: cost_ratio(run.baseline.phi_h, run.dtr.phi_h),
         r_l: cost_ratio(run.baseline.phi_l, run.dtr.phi_l),
         dtr_high_win: run.dtr.phi_h <= run.baseline.phi_h * (1.0 + 1e-9),
@@ -482,6 +515,7 @@ pub fn run_instance_full(spec: &ScenarioSpec, smoke: bool) -> InstanceRun {
         dtr_weights,
         dtr,
         budget,
+        deployment,
     } = search_incumbents(spec, smoke);
 
     let robust = match spec.failures() {
@@ -520,6 +554,7 @@ pub fn run_instance_full(spec: &ScenarioSpec, smoke: bool) -> InstanceRun {
         high_fraction: demands.high_fraction(),
         budget,
         portfolio: search.portfolio(),
+        deployment: deployment.as_ref().map(DeploymentSet::upgraded_nodes),
         r_h: cost_ratio(baseline.phi_h, dtr.phi_h),
         r_l: cost_ratio(baseline.phi_l, dtr.phi_l),
         dtr_high_win: dtr.phi_h <= baseline.phi_h * (1.0 + 1e-9),
@@ -680,6 +715,7 @@ mod tests {
                 portfolio: None,
             }),
             objective: None,
+            deployment: None,
         }
     }
 
@@ -701,6 +737,48 @@ mod tests {
         let rb = r.robust.expect("AllSingleDuplex policy must evaluate");
         assert!(rb.scenarios > 0);
         assert_eq!(rb.beta, 0.5);
+    }
+
+    #[test]
+    fn partial_deployment_instance_runs_and_records_the_placement() {
+        let mut s = spec("partial", true);
+        s.failures = None; // deployment and failure sweeps don't combine
+        s.deployment = Some(crate::spec::DeploymentSpec {
+            upgraded: vec![0, 2, 5],
+        });
+        s.validate().unwrap();
+        let r = run_instance(&s, true);
+        assert_report_shape(&r);
+        assert_eq!(r.deployment.as_deref(), Some(&[0u32, 2, 5][..]));
+        assert!(r.robust.is_none());
+        // The DTR search is warm-started from the (deployment-invariant)
+        // baseline and only accepts lexicographic improvements, so the
+        // high class never regresses even mid-migration.
+        assert!(r.dtr_high_win);
+        // A fully-listed deployment normalizes away: bit-identical to
+        // the plain instance, including its report.
+        let mut full = spec("partial", true);
+        full.failures = None;
+        full.deployment = Some(crate::spec::DeploymentSpec {
+            upgraded: (0..8).collect(),
+        });
+        let plain = {
+            let mut p = spec("partial", true);
+            p.failures = None;
+            p
+        };
+        let rf = run_instance(&full, true);
+        let rp = run_instance(&plain, true);
+        // The full set normalizes away before the report is built, so
+        // the report shows no deployment at all…
+        assert_eq!(rf.deployment, None);
+        // …and wall-clock aside, the whole report is bit-identical.
+        let strip = |mut r: InstanceReport| {
+            r.baseline.elapsed_s = 0.0;
+            r.dtr.elapsed_s = 0.0;
+            r
+        };
+        assert_eq!(strip(rf), strip(rp));
     }
 
     #[test]

@@ -36,8 +36,8 @@ use dtr_core::{derive_stream_seed, Objective};
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{Topology, WeightVector};
 use dtr_multi::{MultiDemand, MultiEvaluator};
-use dtr_routing::Evaluator;
-use dtr_sim::{BackendReport, DesBackend, FluidSim, KClassReport, SimBackend, TrafficClass};
+use dtr_routing::{DeploymentSet, Evaluator};
+use dtr_sim::{BackendReport, DesBackend, FluidSim, ForwardingState, KClassReport, TrafficClass};
 use dtr_traffic::{DemandSet, TrafficMatrix};
 use serde::{Deserialize, Serialize};
 
@@ -378,15 +378,39 @@ fn isolation_violations(des: &BackendReport) -> usize {
 }
 
 /// Validates one incumbent weight setting on one instance.
+///
+/// Under a partial `deployment` the analytic evaluation and both
+/// simulation backends all route the low class on the **hybrid** DAGs
+/// (legacy routers forward on the high table); the incumbent must be
+/// loop-free — trapped demand has no steady state to validate, so the
+/// harness refuses it up front with the undeliverable volume.
 fn validate_scheme(
     scheme: &str,
     topo: &Topology,
     demands: &DemandSet,
     weights: &DualWeights,
+    deployment: Option<&DeploymentSet>,
     des_seed: u64,
     packets: u64,
 ) -> SchemeValidation {
-    let analytic = Evaluator::new(topo, demands, Objective::LoadBased).eval_dual(weights);
+    let mut evaluator = Evaluator::new(topo, demands, Objective::LoadBased);
+    evaluator
+        .set_deployment(deployment.cloned())
+        .expect("validated manifest fences deployment to load-based two-class");
+    if let Some(dep) = deployment {
+        let (_, undeliverable) = evaluator.low_loads_deployed(dep, &weights.high, &weights.low);
+        assert!(
+            undeliverable <= 0.0,
+            "{scheme}: incumbent traps {undeliverable} Mbit/s under the partial \
+             deployment (cross-topology forwarding loop); nothing to simulate"
+        );
+    }
+    let analytic = evaluator.eval_dual(weights);
+    let fwd = match deployment {
+        Some(dep) => ForwardingState::with_deployment(topo, weights, dep),
+        None => ForwardingState::new(topo, weights),
+    };
+    let mats = [&demands.high, &demands.low];
     // The same threshold classifies links here (load gate) and pairs
     // inside the fluid backend (delay gate) — passing it explicitly
     // keeps the two exclusion sets from drifting apart.
@@ -396,8 +420,12 @@ fn validate_scheme(
             ..Default::default()
         },
     };
-    let fluid = fluid_backend.run(topo, demands, weights);
-    let des = DesBackend::budgeted(demands, packets, des_seed).run(topo, demands, weights);
+    let fluid = fluid_backend
+        .run_classes_on(topo, &mats, &fwd)
+        .into_two_class();
+    let des = DesBackend::budgeted(demands, packets, des_seed)
+        .run_classes_on(topo, &mats, &fwd)
+        .into_two_class();
 
     let total = analytic.total_loads();
     let link_stable: Vec<bool> = topo
@@ -613,12 +641,13 @@ fn validate_scheme_k(
     }
 }
 
-/// Stream tags for the derived DES seeds, offset far from the portfolio
-/// orchestrator's task streams so validation never shares an RNG stream
-/// with a search arm.
-const DES_STREAM_BASELINE: u64 = 0xDE5_0001;
+/// Stream tags for the derived DES seeds, allocated in the central
+/// registry ([`dtr_core::streams`]) inside the span-tagged DES window so
+/// validation can never share an RNG stream with a search arm or a
+/// reoptimization step.
+const DES_STREAM_BASELINE: u64 = dtr_core::streams::DES_BASELINE;
 /// See [`DES_STREAM_BASELINE`].
-const DES_STREAM_DTR: u64 = 0xDE5_0002;
+const DES_STREAM_DTR: u64 = dtr_core::streams::DES_DTR;
 
 /// Validates one corpus instance end-to-end: reruns the suite searches
 /// for the incumbents (without the failure-policy sweep, which
@@ -642,6 +671,7 @@ pub fn validate_instance(spec: &ScenarioSpec, cfg: &ValidateCfg) -> ValidationRe
             &run.topo,
             &run.demands,
             &run.str_weights,
+            None,
             derive_stream_seed(base_seed, DES_STREAM_BASELINE),
             packets,
         ),
@@ -650,6 +680,7 @@ pub fn validate_instance(spec: &ScenarioSpec, cfg: &ValidateCfg) -> ValidationRe
             &run.topo,
             &run.demands,
             &run.dtr_weights,
+            run.deployment.as_ref(),
             derive_stream_seed(base_seed, DES_STREAM_DTR),
             packets,
         ),
@@ -837,6 +868,7 @@ mod tests {
                 portfolio: None,
             }),
             objective: None,
+            deployment: None,
         }
     }
 
@@ -867,6 +899,29 @@ mod tests {
         let summary = summarize(&[r], &cfg());
         assert!(summary.fluid_ok);
         assert!(summary.isolation_ok);
+    }
+
+    #[test]
+    fn partial_deployment_instance_validates_end_to_end() {
+        let mut s = spec("mini-partial");
+        s.deployment = Some(crate::spec::DeploymentSpec {
+            upgraded: vec![0, 3, 5],
+        });
+        s.validate().unwrap();
+        let r = validate_instance(&s, &cfg());
+        assert_validation_shape(&r);
+        // The fluid backend routed on the same hybrid DAGs as the
+        // deployment-aware analytic evaluation: exact agreement.
+        for sv in r.schemes() {
+            for c in [&sv.high, &sv.low] {
+                assert!(
+                    c.fluid_load_rel_err <= FLUID_LOAD_TOL,
+                    "{}: fluid err {}",
+                    sv.scheme,
+                    c.fluid_load_rel_err
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn spec(name: &str, topology: TopologySpec, family: TrafficFamily, seed: u64) ->
             portfolio: None,
         }),
         objective: None,
+        deployment: None,
     }
 }
 

@@ -15,6 +15,7 @@
 //! validation harness tests for.
 
 use crate::engine::{SimConfig, Simulation};
+use crate::forwarding::ForwardingState;
 use crate::stats::{ClassPairKey, PairKey, TrafficClass};
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{Topology, WeightVector};
@@ -222,7 +223,26 @@ impl DesBackend {
         matrices: &[&TrafficMatrix],
         weights: &[WeightVector],
     ) -> KClassReport {
-        let report = Simulation::with_classes(topo, matrices, weights, self.cfg).run_classes();
+        self.run_classes_on(
+            topo,
+            matrices,
+            &ForwardingState::with_class_weights(topo, weights),
+        )
+    }
+
+    /// [`DesBackend::run_classes`] on **prebuilt** forwarding tables —
+    /// the injection point for the partial-deployment hybrid DAGs
+    /// ([`ForwardingState::with_deployment`]). Every flow must be
+    /// deliverable under the tables (see
+    /// [`Simulation::with_forwarding`]).
+    pub fn run_classes_on(
+        &self,
+        topo: &Topology,
+        matrices: &[&TrafficMatrix],
+        fwd: &ForwardingState,
+    ) -> KClassReport {
+        let report =
+            Simulation::with_forwarding(topo, matrices, fwd.clone(), self.cfg).run_classes();
         let k = matrices.len();
         let m = topo.link_count();
         let mut class_loads = vec![vec![0.0; m]; k];
@@ -334,6 +354,67 @@ mod tests {
             let dd = des.mean_class_delay(c, mat).unwrap();
             assert!((df - dd).abs() / df < 0.25, "class {c} delay {dd} vs {df}");
         }
+    }
+
+    #[test]
+    fn deployed_des_tracks_the_hybrid_fluid_loads() {
+        use dtr_graph::gen::triangle_topology;
+        use dtr_routing::DeploymentSet;
+        let topo = triangle_topology(10.0);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let w = DualWeights { high: wh, low: wl };
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 2.0);
+        let d = DemandSet { high, low };
+        // Only A upgraded: loop-free, everything deliverable.
+        let dep = DeploymentSet::from_upgraded(3, &[0]);
+        let fwd = crate::ForwardingState::with_deployment(&topo, &w, &dep);
+        let mats = [&d.high, &d.low];
+        let fluid = crate::FluidSim::new().run_classes_on(&topo, &mats, &fwd);
+        let des = DesBackend::budgeted(&d, 30_000, 7).run_classes_on(&topo, &mats, &fwd);
+        for c in 0..2 {
+            for (lid, _) in topo.links() {
+                let f = fluid.class_loads[c][lid.index()];
+                let m = des.class_loads[c][lid.index()];
+                if f > 0.1 {
+                    assert!(
+                        (m - f).abs() / f < 0.15,
+                        "class {c} link {lid:?}: {m} vs {f}"
+                    );
+                } else {
+                    assert!(m < 0.1, "class {c} link {lid:?} should be idle, got {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undeliverable")]
+    fn des_rejects_undeliverable_flows_up_front() {
+        use dtr_graph::gen::triangle_topology;
+        use dtr_routing::DeploymentSet;
+        // The cross-topology loop from the deploy module: high detours
+        // A→C via B, low detours B→C via A, only B upgraded — low
+        // traffic towards C ping-pongs between A and B forever.
+        let topo = triangle_topology(10.0);
+        let mut wh = WeightVector::uniform(&topo, 1);
+        wh.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 10);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(NodeId(1), NodeId(2)).unwrap(), 10);
+        let w = DualWeights { high: wh, low: wl };
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 1.0);
+        let d = DemandSet {
+            high: TrafficMatrix::zeros(3),
+            low,
+        };
+        let dep = DeploymentSet::from_upgraded(3, &[1]);
+        let fwd = crate::ForwardingState::with_deployment(&topo, &w, &dep);
+        let _ = Simulation::with_forwarding(&topo, &[&d.high, &d.low], fwd, SimConfig::default());
     }
 
     #[test]

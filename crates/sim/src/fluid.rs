@@ -109,14 +109,30 @@ impl FluidSim {
         matrices: &[&TrafficMatrix],
         weights: &[WeightVector],
     ) -> KClassReport {
-        assert!(!matrices.is_empty(), "need at least one class");
         assert_eq!(matrices.len(), weights.len(), "one weight vector per class");
+        let fwd = ForwardingState::with_class_weights(topo, weights);
+        self.run_classes_on(topo, matrices, &fwd)
+    }
+
+    /// [`FluidSim::run_classes`] on **prebuilt** forwarding tables —
+    /// the injection point for non-shortest-path routing such as the
+    /// partial-deployment hybrid DAGs
+    /// ([`ForwardingState::with_deployment`]). Sources that cannot
+    /// reach a destination in their class's DAG report an infinite
+    /// pair delay and carry no load, exactly like saturated pairs.
+    pub fn run_classes_on(
+        &self,
+        topo: &Topology,
+        matrices: &[&TrafficMatrix],
+        fwd: &ForwardingState,
+    ) -> KClassReport {
+        assert!(!matrices.is_empty(), "need at least one class");
+        assert_eq!(matrices.len(), fwd.classes(), "one DAG table per class");
         let k = matrices.len();
         let m = topo.link_count();
-        let fwd = ForwardingState::with_class_weights(topo, weights);
         let mut flow = Vec::new();
         let loads: Vec<Vec<f64>> = (0..k)
-            .map(|c| self.class_loads(topo, &fwd, c, matrices[c], &mut flow))
+            .map(|c| self.class_loads(topo, fwd, c, matrices[c], &mut flow))
             .collect();
 
         // Closed-form per-link waits and sojourns at those loads, plus
@@ -277,6 +293,39 @@ mod tests {
         assert!((r.pair_delays[&key(TrafficClass::High)] - (dh.sojourn_s + 0.002)).abs() < 1e-15);
         assert!((r.pair_delays[&key(TrafficClass::Low)] - (dl.sojourn_s + 0.002)).abs() < 1e-15);
         assert_eq!(r.packets, 0);
+    }
+
+    #[test]
+    fn deployed_fluid_loads_match_the_deployment_aware_evaluator() {
+        use dtr_cost::Objective;
+        use dtr_graph::gen::triangle_topology;
+        use dtr_routing::{DeploymentSet, Evaluator};
+
+        // Loop-free partial deployment on the triangle: only A (node 0)
+        // is upgraded; the fluid loads routed on the hybrid tables must
+        // be bit-identical to the deployment-aware evaluator's.
+        let topo = triangle_topology(10.0);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let w = DualWeights { high: wh, low: wl };
+        let mut high = TrafficMatrix::zeros(3);
+        high.set(0, 2, 1.0);
+        high.set(1, 2, 0.5);
+        let mut low = TrafficMatrix::zeros(3);
+        low.set(0, 2, 2.0);
+        low.set(1, 0, 0.25);
+        let d = DemandSet { high, low };
+        let dep = DeploymentSet::from_upgraded(3, &[0]);
+
+        let fwd = ForwardingState::with_deployment(&topo, &w, &dep);
+        let r = FluidSim::new().run_classes_on(&topo, &[&d.high, &d.low], &fwd);
+
+        let mut ev = Evaluator::new(&topo, &d, Objective::LoadBased);
+        ev.set_deployment(Some(dep)).unwrap();
+        let e = ev.eval_dual(&w);
+        assert_eq!(r.class_loads[0], e.high_loads);
+        assert_eq!(r.class_loads[1], e.low_loads);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::stats::TrafficClass;
 use dtr_graph::weights::DualWeights;
 use dtr_graph::{LinkId, NodeId, ShortestPathDag, Topology, WeightVector};
+use dtr_routing::{hybrid_low_dag, DeploymentSet};
 
 /// Per-class, per-destination shortest-path DAGs.
 ///
@@ -44,6 +45,38 @@ impl ForwardingState {
                         .collect()
                 })
                 .collect(),
+        }
+    }
+
+    /// Builds the tables for a **partially deployed** network: class 0
+    /// (high) routes on `weights.high` everywhere, while class 1's DAGs
+    /// are the hybrid low DAGs of [`dtr_routing::hybrid_low_dag`] —
+    /// legacy (non-upgraded) routers forward low traffic on the high
+    /// topology because they only install one table.
+    ///
+    /// A full deployment degenerates to [`ForwardingState::new`]
+    /// bit-for-bit (the hybrid is skipped entirely, mirroring the
+    /// evaluator's normalization). Nodes trapped by a cross-topology
+    /// loop appear as unreachable in the hybrid DAG; callers that
+    /// cannot tolerate undeliverable demand must gate on the
+    /// evaluator's undeliverable volume *before* simulating.
+    pub fn with_deployment(topo: &Topology, weights: &DualWeights, dep: &DeploymentSet) -> Self {
+        if dep.is_full() {
+            return Self::new(topo, weights);
+        }
+        let high: Vec<ShortestPathDag> = topo
+            .nodes()
+            .map(|dest| ShortestPathDag::compute(topo, &weights.high, dest))
+            .collect();
+        let low = topo
+            .nodes()
+            .map(|dest| {
+                let pure = ShortestPathDag::compute(topo, &weights.low, dest);
+                hybrid_low_dag(topo, dep, &high[dest.index()], &pure)
+            })
+            .collect();
+        ForwardingState {
+            dags: vec![high, low],
         }
     }
 
@@ -126,6 +159,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn full_deployment_matches_the_plain_constructor() {
+        let topo = triangle_topology(1.0);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let w = DualWeights { high: wh, low: wl };
+        let dep = DeploymentSet::full(3);
+        let deployed = ForwardingState::with_deployment(&topo, &w, &dep);
+        let plain = ForwardingState::new(&topo, &w);
+        for class in 0..2 {
+            for dest in topo.nodes() {
+                for node in topo.nodes() {
+                    assert_eq!(
+                        deployed.class_branches(class, dest, node),
+                        plain.class_branches(class, dest, node)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_nodes_forward_low_traffic_on_the_high_table() {
+        let topo = triangle_topology(1.0);
+        let wh = WeightVector::uniform(&topo, 1);
+        let mut wl = WeightVector::uniform(&topo, 1);
+        // A full deployment detours low A→C traffic through B…
+        wl.set(topo.find_link(NodeId(0), NodeId(2)).unwrap(), 30);
+        let w = DualWeights { high: wh, low: wl };
+        // …but when only B is upgraded, legacy A keeps its single
+        // (high-topology) table and sends low traffic straight to C.
+        let dep = DeploymentSet::from_upgraded(3, &[1]);
+        let fwd = ForwardingState::with_deployment(&topo, &w, &dep);
+        let low = fwd.branches(TrafficClass::Low, NodeId(2), NodeId(0));
+        assert_eq!(low.len(), 1);
+        assert_eq!(topo.link(low[0]).dst, NodeId(2), "legacy A goes direct");
+        // High forwarding is untouched by the deployment.
+        let high = fwd.branches(TrafficClass::High, NodeId(2), NodeId(0));
+        assert_eq!(topo.link(high[0]).dst, NodeId(2));
     }
 
     #[test]
